@@ -1,0 +1,36 @@
+"""Ablation bench: dual-link aggregation (link asymmetry).
+
+Collapsing the DGX-1's dual NVLink connections to singles removes the
+50 GB/s virtual links the paper describes; communication-bound training
+slows accordingly.
+"""
+
+import functools
+
+from repro.core.config import CommMethodName, TrainingConfig
+from repro.topology import build_dgx1v
+from repro.train import Trainer
+
+from conftest import BENCH_SIM
+
+
+def test_asymmetry_ablation(run_once):
+    uniform = functools.partial(build_dgx1v, uniform_link_width=1)
+
+    def run_all():
+        out = {}
+        for label, builder in (("dual", build_dgx1v), ("single", uniform)):
+            config = TrainingConfig("alexnet", 16, 8, comm_method=CommMethodName.P2P)
+            out[label] = Trainer(
+                config, sim=BENCH_SIM, topology_builder=builder
+            ).run().epoch_time
+        return out
+
+    times = run_once(run_all)
+    slowdown = times["single"] / times["dual"]
+    assert slowdown > 1.05  # dual links measurably help
+    assert slowdown < 2.0   # but cannot more than halve transfer time
+
+    print()
+    print(f"  dual-link epoch   = {times['dual']:.2f}s")
+    print(f"  single-link epoch = {times['single']:.2f}s  (x{slowdown:.2f})")

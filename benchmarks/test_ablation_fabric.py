@@ -1,0 +1,46 @@
+"""Ablation bench: NVLink vs PCIe-only fabric.
+
+The paper's insight that raw interconnect bandwidth matters but cannot by
+itself remove the communication bottleneck: removing NVLink catastrophically
+slows the communication-heavy workload while the compute-bound workload
+degrades far less.
+"""
+
+import functools
+
+from repro.core.config import CommMethodName, TrainingConfig
+from repro.topology import build_dgx1v
+from repro.train import Trainer
+
+from conftest import BENCH_SIM
+
+
+def _epoch(net, topology_builder=build_dgx1v):
+    config = TrainingConfig(net, 16, 8, comm_method=CommMethodName.P2P)
+    return Trainer(config, sim=BENCH_SIM, topology_builder=topology_builder).run()
+
+
+def test_fabric_ablation(run_once):
+    pcie_only = functools.partial(build_dgx1v, nvlink=False)
+
+    def run_all():
+        return {
+            (net, fabric): _epoch(net, builder).epoch_time
+            for net in ("alexnet", "inception-v3")
+            for fabric, builder in (("nvlink", build_dgx1v), ("pcie", pcie_only))
+        }
+
+    times = run_once(run_all)
+
+    alex_slowdown = times[("alexnet", "pcie")] / times[("alexnet", "nvlink")]
+    incep_slowdown = times[("inception-v3", "pcie")] / times[("inception-v3", "nvlink")]
+
+    # PCIe-only devastates the communication-bound network...
+    assert alex_slowdown > 3.0
+    # ...but the compute-bound network still loses some ground.
+    assert 1.0 < incep_slowdown < alex_slowdown
+
+    print()
+    for (net, fabric), t in sorted(times.items()):
+        print(f"  {net:13s} {fabric:7s} epoch = {t:8.2f}s")
+    print(f"  slowdown: alexnet x{alex_slowdown:.2f}, inception-v3 x{incep_slowdown:.2f}")

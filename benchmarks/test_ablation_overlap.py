@@ -1,0 +1,29 @@
+"""Ablation bench: BP/WU overlap (MXNet's communication pipelining).
+
+DESIGN.md: shows how much communication-latency hiding contributes to the
+paper's numbers.  Without overlap, every gradient waits for the full
+backward pass before it starts moving.
+"""
+
+from repro.core.config import CommMethodName
+from repro.experiments import ablations
+
+
+def test_overlap_ablation(run_once):
+    result = run_once(
+        ablations.run, networks=("alexnet", "inception-v3"), batch_size=16,
+        num_gpus=8,
+    )
+
+    for net in ("alexnet", "inception-v3"):
+        for method in ("p2p", "nccl"):
+            row = result.row(f"no-overlap/{method}", net)
+            assert row.slowdown >= 1.0, (net, method)
+
+    # The communication-bound network benefits most from overlap.
+    alex = result.row("no-overlap/p2p", "alexnet").slowdown
+    incep = result.row("no-overlap/p2p", "inception-v3").slowdown
+    assert alex > incep
+
+    print()
+    print(ablations.render(result))

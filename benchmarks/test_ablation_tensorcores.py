@@ -1,0 +1,38 @@
+"""Ablation bench: tensor cores on/off.
+
+The paper notes the V100's tensor cores accelerate the matrix-multiply
+heavy DNN training; disabling them slows compute-bound networks much more
+than launch-bound LeNet.
+"""
+
+from repro.core.config import CommMethodName, TrainingConfig
+from repro.train import Trainer
+
+from conftest import BENCH_SIM
+
+
+def _epoch(net, use_tensor_cores):
+    config = TrainingConfig(net, 32, 1, comm_method=CommMethodName.P2P)
+    return Trainer(
+        config, sim=BENCH_SIM, use_tensor_cores=use_tensor_cores
+    ).run().epoch_time
+
+
+def test_tensor_core_ablation(run_once):
+    def run_all():
+        return {
+            (net, tc): _epoch(net, tc)
+            for net in ("lenet", "inception-v3")
+            for tc in (True, False)
+        }
+
+    times = run_once(run_all)
+    incep_slowdown = times[("inception-v3", False)] / times[("inception-v3", True)]
+    lenet_slowdown = times[("lenet", False)] / times[("lenet", True)]
+
+    assert incep_slowdown > 1.3           # compute-bound network suffers
+    assert lenet_slowdown < incep_slowdown  # launch-bound network barely moves
+
+    print()
+    print(f"  inception-v3 without tensor cores: x{incep_slowdown:.2f}")
+    print(f"  lenet        without tensor cores: x{lenet_slowdown:.2f}")

@@ -1,0 +1,37 @@
+"""Bench: the paper's bandwidth-alone-is-not-enough claim.
+
+Section V-A insight: "only increasing the bandwidth of the interconnect
+network cannot completely eliminate the communication bottleneck."
+Scaling every NVLink lane 8x must yield far less than 8x training speedup.
+"""
+
+from repro.core.config import CommMethodName
+from repro.experiments import bandwidth_sweep
+
+from conftest import BENCH_SIM
+
+
+def test_bandwidth_sweep(run_once):
+    result = run_once(
+        bandwidth_sweep.run,
+        networks=("alexnet", "googlenet"),
+        scales=(1.0, 8.0),
+        batch_size=16,
+        num_gpus=8,
+        sim=BENCH_SIM,
+    )
+
+    # Even the most communication-bound workload gains far less than the
+    # bandwidth ratio...
+    alex_gain = {m: result.gain("alexnet", m, 8.0) for m in ("p2p", "nccl")}
+    for method, gain in alex_gain.items():
+        assert 1.2 < gain < 4.0, (method, gain)
+
+    # ...and the compute-bound workload barely moves at all.
+    for method in ("p2p", "nccl"):
+        goog_gain = result.gain("googlenet", method, 8.0)
+        assert goog_gain < 1.15, (method, goog_gain)
+        assert goog_gain < alex_gain[method]
+
+    print()
+    print(bandwidth_sweep.render(result))

@@ -1,0 +1,55 @@
+"""Benches for the extension studies: async SGD, multi-node, crossover."""
+
+import pytest
+
+from repro.analysis import CrossoverStudy
+from repro.experiments import async_study, multinode_study
+
+from conftest import BENCH_SIM
+
+
+def test_async_study(run_once):
+    result = run_once(
+        async_study.run, networks=("lenet", "inception-v3"),
+        gpu_counts=(2, 8), sim=BENCH_SIM,
+    )
+    for net in ("lenet", "inception-v3"):
+        row = result.row(net, 8)
+        # removing the barrier always raises raw throughput...
+        assert row.raw_speedup > 1.0
+        # ...and staleness approaches N-1
+        assert row.staleness_mean == pytest.approx(7.0, abs=1.5)
+        assert row.async_effective_epoch > row.async_epoch
+    print()
+    print(async_study.render(result))
+
+
+def test_multinode_study(run_once):
+    result = run_once(
+        multinode_study.run, networks=("inception-v3",),
+        node_counts=(1, 2, 4), sim=BENCH_SIM,
+    )
+    s2 = result.scaling("inception-v3", 2)
+    s4 = result.scaling("inception-v3", 4)
+    # more nodes help, but InfiniBand takes its cut at every boundary
+    assert 1.4 < s2 < 2.0
+    assert s2 < s4 < 4.0
+    assert result.row("inception-v3", 2).wu_per_iteration > (
+        result.row("inception-v3", 1).wu_per_iteration
+    )
+    print()
+    print(multinode_study.render(result))
+
+
+def test_crossover_study(run_once):
+    study = CrossoverStudy(num_gpus=8, batch_size=16, sim=BENCH_SIM)
+    result = run_once(study.run, depths=(2, 8, 32, 64))
+    advantages = [p.nccl_advantage for p in result.points]
+    # deeper stacks (more weight arrays) shift the advantage toward NCCL
+    assert advantages == sorted(advantages)
+    assert advantages[0] < 1.0 < advantages[-1]
+    assert result.crossover_depth is not None
+    print()
+    for p in result.points:
+        print(f"  depth {p.depth:3d} ({p.weight_arrays:3d} arrays): "
+              f"P2P/NCCL = x{p.nccl_advantage:.3f}")

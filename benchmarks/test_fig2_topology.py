@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 2 (DGX-1 topology and routing)."""
+
+from repro.experiments import fig2_topology
+
+
+def test_fig2(run_once):
+    result = run_once(fig2_topology.run)
+
+    # Structural properties the paper relies on.
+    assert all(p == 6 for p in result.nvlink_ports_per_gpu)
+    assert result.max_hops == 2
+    labels = {cell for row in result.matrix for cell in row}
+    assert "NV1" in labels and "NV2" in labels and "NV-2hop" in labels
+    assert "SYS" not in labels  # every pair reachable within 2 NVLink hops
+
+    print()
+    print(fig2_topology.render(result))

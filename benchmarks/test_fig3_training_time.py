@@ -1,0 +1,42 @@
+"""Bench: regenerate Figure 3 (training time per epoch, P2P vs NCCL).
+
+Reduced sweep: one small and one large network at batch 16 across all GPU
+counts -- enough to reproduce every crossover the paper reports.
+"""
+
+import pytest
+
+from repro.experiments import fig3_training_time
+
+
+def test_fig3(run_once, cache):
+    result = run_once(
+        fig3_training_time.run,
+        cache,
+        networks=("lenet", "googlenet"),
+        batch_sizes=(16,),
+        gpu_counts=(1, 2, 4, 8),
+    )
+
+    # Paper anchors: LeNet P2P speedups 1.62 / 2.37 / 3.36.
+    for gpus, expected in ((2, 1.62), (4, 2.37), (8, 3.36)):
+        cell = result.cell("lenet", "p2p", 16, gpus)
+        assert cell.speedup_vs_1gpu == pytest.approx(expected, rel=0.12)
+
+    # LeNet NCCL speedups 1.56 / 2.27 / 2.77, always below P2P's.
+    for gpus, expected in ((2, 1.56), (4, 2.27), (8, 2.77)):
+        cell = result.cell("lenet", "nccl", 16, gpus)
+        assert cell.speedup_vs_1gpu == pytest.approx(expected, rel=0.12)
+
+    # Crossover: P2P wins LeNet, NCCL wins GoogLeNet at 4 and 8 GPUs.
+    for gpus in (2, 4, 8):
+        assert result.epoch_time("lenet", "p2p", 16, gpus) < result.epoch_time(
+            "lenet", "nccl", 16, gpus
+        )
+    for gpus in (4, 8):
+        assert result.epoch_time("googlenet", "nccl", 16, gpus) < (
+            result.epoch_time("googlenet", "p2p", 16, gpus)
+        )
+
+    print()
+    print(fig3_training_time.render(result))

@@ -1,0 +1,43 @@
+"""Bench: regenerate Figure 4 (FP+BP vs WU breakdown under NCCL)."""
+
+import pytest
+
+from repro.experiments import fig4_breakdown
+
+
+def test_fig4(run_once, cache):
+    result = run_once(
+        fig4_breakdown.run,
+        cache,
+        networks=("lenet", "alexnet", "inception-v3"),
+        batch_sizes=(16,),
+        gpu_counts=(1, 2, 4, 8),
+    )
+
+    # Computation dominates for the compute-heavy network at every scale.
+    for gpus in (2, 4, 8):
+        cell = result.cell("inception-v3", 16, gpus)
+        assert cell.fp_bp_epoch > cell.wu_epoch
+
+    # Inception-v3's FP+BP scales near-linearly (paper: near-ideal).
+    two = result.cell("inception-v3", 16, 2)
+    eight = result.cell("inception-v3", 16, 8)
+    assert two.fp_bp_epoch / eight.fp_bp_epoch == pytest.approx(4.0, rel=0.15)
+
+    # LeNet's FP+BP scales non-linearly (CUDA API overhead).
+    lenet_two = result.cell("lenet", 16, 2)
+    lenet_eight = result.cell("lenet", 16, 8)
+    assert lenet_two.fp_bp_epoch / lenet_eight.fp_bp_epoch < 3.5
+
+    # WU per epoch decreases with GPU count (fixed model size, fewer
+    # iterations).
+    wu = [result.cell("lenet", 16, g).wu_epoch for g in (2, 4, 8)]
+    assert wu[0] > wu[1] > wu[2]
+
+    # AlexNet is the most communication-bound of the three.
+    alex = result.cell("alexnet", 16, 8)
+    incep = result.cell("inception-v3", 16, 8)
+    assert alex.wu_share > incep.wu_share
+
+    print()
+    print(fig4_breakdown.render(result))

@@ -1,0 +1,32 @@
+"""Bench: regenerate Figure 5 (weak scaling)."""
+
+from repro.core.config import CommMethodName
+from repro.experiments import fig5_weak_scaling
+
+
+def test_fig5(run_once, cache):
+    result = run_once(
+        fig5_weak_scaling.run,
+        cache,
+        networks=("lenet", "inception-v3"),
+        batch_sizes=(16,),
+        gpu_counts=(1, 2, 4, 8),
+        methods=(CommMethodName.NCCL,),
+    )
+
+    # Weak scaling never loses to strong scaling.
+    for cell in result.cells:
+        assert cell.weak_speedup >= cell.strong_speedup * 0.999
+
+    # LeNet gains the most (per-run overheads amortize over more batches).
+    lenet = result.cell("lenet", "nccl", 16, 8)
+    incep = result.cell("inception-v3", "nccl", 16, 8)
+    lenet_gain = lenet.weak_speedup / lenet.strong_speedup
+    incep_gain = incep.weak_speedup / incep.strong_speedup
+    assert lenet_gain > incep_gain
+
+    # Paper: large networks improve by less than ~17%.
+    assert incep_gain <= 1.17
+
+    print()
+    print(fig5_weak_scaling.render(result))

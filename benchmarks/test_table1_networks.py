@@ -1,0 +1,26 @@
+"""Bench: regenerate Table I (network descriptions)."""
+
+import pytest
+
+from repro.experiments import table1_networks
+
+
+def test_table1(run_once):
+    result = run_once(table1_networks.run)
+    by_name = {r.network: r for r in result.rows}
+
+    # Table I structure: conv/inception/FC layer counts.
+    assert by_name["lenet"].conv_layers == 2
+    assert by_name["alexnet"].conv_layers == 5
+    assert by_name["alexnet"].fc_layers == 3
+    assert by_name["googlenet"].inception_modules == 9
+    assert by_name["inception-v3"].inception_modules == 11
+
+    # Weights match the published figures.
+    assert by_name["alexnet"].weights == pytest.approx(61.1e6, rel=0.01)
+    assert by_name["googlenet"].weights == pytest.approx(7.0e6, rel=0.03)
+    assert by_name["inception-v3"].weights == pytest.approx(23.8e6, rel=0.02)
+    assert by_name["resnet"].weights == pytest.approx(25.6e6, rel=0.01)
+
+    print()
+    print(table1_networks.render(result))

@@ -1,0 +1,32 @@
+"""Bench: regenerate Table II (single-GPU NCCL overhead)."""
+
+import pytest
+
+from repro.experiments import table2_nccl_overhead
+
+
+def test_table2(run_once, cache):
+    result = run_once(
+        table2_nccl_overhead.run,
+        cache,
+        networks=("lenet", "alexnet", "inception-v3"),
+        batch_sizes=(16, 32, 64),
+    )
+
+    # Paper: ~21.8% for LeNet at batch 16, rising with batch size.
+    assert result.overhead("lenet", 16) == pytest.approx(21.8, abs=6.0)
+    assert (
+        result.overhead("lenet", 16)
+        < result.overhead("lenet", 32)
+        < result.overhead("lenet", 64)
+    )
+
+    # Large networks stay within a few points at every batch size.
+    for batch in (16, 32, 64):
+        assert result.overhead("inception-v3", batch) < 12.0
+
+    # The small network's overhead dwarfs the large network's.
+    assert result.overhead("lenet", 64) > 2 * result.overhead("inception-v3", 64)
+
+    print()
+    print(table2_nccl_overhead.render(result))

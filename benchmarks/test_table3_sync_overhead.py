@@ -1,0 +1,29 @@
+"""Bench: regenerate Table III (cudaStreamSynchronize overhead, LeNet)."""
+
+from repro.experiments import table3_sync_overhead
+
+
+def test_table3(run_once, cache):
+    result = run_once(
+        table3_sync_overhead.run,
+        cache,
+        batch_sizes=(16, 32, 64),
+        gpu_counts=(1, 2, 4, 8),
+    )
+
+    # Paper: cudaStreamSynchronize consumes most time among all APIs.
+    for row in result.rows:
+        assert row.sync_percent > 50.0
+
+    # Sync share grows (or at least does not shrink) with GPU count.
+    for batch in (16, 32, 64):
+        assert result.percent(batch, 8) >= result.percent(batch, 1) - 2.0
+
+    # Absolute sync time per iteration grows with GPU count at fixed batch
+    # (stragglers + communication).
+    for batch in (16, 32, 64):
+        rows = {r.num_gpus: r for r in result.rows if r.batch_size == batch}
+        assert rows[8].sync_seconds_per_iter > rows[1].sync_seconds_per_iter
+
+    print()
+    print(table3_sync_overhead.render(result))

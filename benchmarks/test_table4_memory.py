@@ -1,0 +1,36 @@
+"""Bench: regenerate Table IV (GPU memory usage)."""
+
+import pytest
+
+from repro.experiments import table4_memory
+
+
+def test_table4(run_once):
+    result = run_once(table4_memory.run)
+
+    # Prose anchors from the paper.
+    assert result.row("alexnet", 64).training_gpu0_gb == pytest.approx(2.37, rel=0.08)
+    assert result.row("inception-v3", 64).training_gpu0_gb == pytest.approx(
+        11.0, rel=0.15
+    )
+
+    for row in result.rows:
+        # GPU0 (the server) always uses more than the workers...
+        assert row.training_gpu0_gb > row.training_gpux_gb
+        # ...and pre-training usage is well below training usage.
+        assert row.pretraining_gb < row.training_gpu0_gb
+
+    # GPU0's relative extra shrinks as batch size grows.
+    for net in ("alexnet", "inception-v3", "resnet", "googlenet"):
+        extras = [result.row(net, b).gpu0_extra_percent for b in (16, 32, 64)]
+        assert extras[0] >= extras[1] >= extras[2]
+
+    # OOM boundaries: Inception-v3/ResNet cannot train above batch 64;
+    # GoogLeNet and LeNet can.
+    assert 64 <= result.max_batch["inception-v3"] < 128
+    assert 64 <= result.max_batch["resnet"] < 128
+    assert result.max_batch["googlenet"] >= 128
+    assert result.max_batch["lenet"] >= 256
+
+    print()
+    print(table4_memory.render(result))

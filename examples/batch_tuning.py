@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Find the throughput-optimal batch size for each workload.
+
+Automates the trade-off the paper works through by hand in Sections V-A
+and V-D: bigger batches cut the epoch time almost linearly until the
+V100's 16 GiB runs out.
+
+Run:  python examples/batch_tuning.py [network ...]
+"""
+
+import sys
+
+from repro.analysis import tune_batch_size
+from repro.analysis.batch_tuner import render
+
+
+def main() -> None:
+    networks = sys.argv[1:] or ["googlenet", "inception-v3", "lstm"]
+    for network in networks:
+        result = tune_batch_size(network, num_gpus=8)
+        print(render(result))
+        best = result.best
+        print(
+            f"-> train {network} at batch {best.batch_size}/GPU: "
+            f"{best.images_per_second:.0f} samples/s "
+            f"({result.gain_over(result.points[0].batch_size):.2f}x over batch "
+            f"{result.points[0].batch_size})\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

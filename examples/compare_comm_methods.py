@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Compare P2P and NCCL weight updates across GPU counts (paper Fig. 3).
+
+Reproduces the paper's central comparison for two contrasting workloads:
+AlexNet (few layers, huge gradient arrays -- P2P's sharded transfers win)
+and Inception-v3 (many small arrays -- NCCL's pipelined collectives win at
+4 and 8 GPUs).
+
+Run:  python examples/compare_comm_methods.py [network ...]
+"""
+
+import sys
+
+from repro import CommMethodName, TrainingConfig, train
+from repro.experiments.tables import render_table
+
+GPU_COUNTS = (1, 2, 4, 8)
+
+
+def sweep(network: str, batch_size: int = 16):
+    rows = []
+    results = {}
+    for method in (CommMethodName.P2P, CommMethodName.NCCL):
+        for gpus in GPU_COUNTS:
+            config = TrainingConfig(network, batch_size, gpus, comm_method=method)
+            results[(method, gpus)] = train(config)
+
+    for gpus in GPU_COUNTS:
+        p2p = results[(CommMethodName.P2P, gpus)]
+        nccl = results[(CommMethodName.NCCL, gpus)]
+        winner = "P2P" if p2p.epoch_time < nccl.epoch_time else "NCCL"
+        rows.append(
+            (
+                gpus,
+                f"{p2p.epoch_time:.2f}",
+                f"{nccl.epoch_time:.2f}",
+                f"{p2p.epoch_time / nccl.epoch_time:.2f}",
+                winner,
+            )
+        )
+    return rows
+
+
+def main() -> None:
+    networks = sys.argv[1:] or ["alexnet", "inception-v3"]
+    for network in networks:
+        rows = sweep(network)
+        print(
+            render_table(
+                ["GPUs", "P2P epoch (s)", "NCCL epoch (s)", "P2P/NCCL", "Winner"],
+                rows,
+                title=f"{network}: communication method comparison (batch 16)",
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

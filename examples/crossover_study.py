@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Locate the P2P-vs-NCCL crossover with synthetic networks.
+
+The paper observes that P2P wins for layer-poor networks and NCCL for
+layer-rich ones.  This study sweeps a family of synthetic conv stacks of
+increasing depth and finds the depth (= weight-array count) where NCCL's
+pipelined collectives overtake P2P's per-array tree transfers.
+
+Run:  python examples/crossover_study.py
+"""
+
+from repro.analysis import CrossoverStudy
+from repro.experiments.tables import render_table
+
+
+def main() -> None:
+    study = CrossoverStudy(num_gpus=8, batch_size=16)
+    result = study.run(depths=(2, 4, 8, 16, 32, 64))
+
+    rows = [
+        (
+            p.depth,
+            p.weight_arrays,
+            f"{p.p2p_epoch:.2f}",
+            f"{p.nccl_epoch:.2f}",
+            f"x{p.nccl_advantage:.3f}",
+            "NCCL" if p.nccl_advantage > 1 else "P2P",
+        )
+        for p in result.points
+    ]
+    print(
+        render_table(
+            ["Depth", "Weight arrays", "P2P (s)", "NCCL (s)", "P2P/NCCL", "Winner"],
+            rows,
+            title=f"Synthetic conv stacks, {result.num_gpus} GPUs, batch "
+                  f"{result.batch_size}",
+        )
+    )
+    if result.crossover_depth is None:
+        print("NCCL never overtakes P2P in this sweep.")
+    else:
+        print(f"NCCL overtakes P2P at depth {result.crossover_depth}.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Profile a custom architecture on the simulated DGX-1.
+
+Builds a small VGG-style CNN with the network-builder DSL, inspects its
+cost profile, and sweeps GPU counts under both communication methods --
+the workflow a model designer would use to predict multi-GPU behaviour
+before renting hardware.
+
+Run:  python examples/custom_network.py
+"""
+
+from repro import CommMethodName, TrainingConfig, compile_network
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.shapes import Shape
+from repro.experiments.tables import render_table
+from repro.train import Trainer
+
+
+def build_mini_vgg():
+    """A VGG-ish stack: conv blocks with BN, then a wide classifier."""
+    b = NetworkBuilder("mini-vgg")
+    for block, (channels, convs) in enumerate(((64, 2), (128, 2), (256, 3)), start=1):
+        for i in range(convs):
+            b.conv(channels, 3, pad=1, bn=True, name=f"b{block}c{i + 1}",
+                   module=f"block{block}")
+        b.maxpool(2, name=f"pool{block}", module=f"block{block}")
+    b.flatten()
+    b.dense(2048, act="relu", name="fc1")
+    b.dropout(0.5)
+    b.dense(1000, name="fc2")
+    b.softmax()
+    return b.build()
+
+
+def main() -> None:
+    input_shape = Shape(3, 96, 96)
+    network = build_mini_vgg()
+    stats = compile_network(network, input_shape)
+
+    print(f"network          : {stats.name}")
+    print(f"parameters       : {stats.total_params / 1e6:.1f}M "
+          f"({len(stats.weight_arrays)} weight arrays)")
+    print(f"forward FLOPs    : {stats.forward_flops_per_sample / 1e9:.2f} G/image")
+    print(f"activations      : {stats.materialized_activation_bytes_per_sample / 1e6:.1f} MB/image")
+    print()
+
+    rows = []
+    for method in (CommMethodName.P2P, CommMethodName.NCCL):
+        for gpus in (1, 2, 4, 8):
+            config = TrainingConfig("mini-vgg", 32, gpus, comm_method=method)
+            result = Trainer(config, network=network, input_shape=input_shape).run()
+            rows.append(
+                (
+                    method.value,
+                    gpus,
+                    f"{result.epoch_time:.2f}",
+                    f"{result.images_per_second:.0f}",
+                    f"{100 * result.stages.wu / result.stages.iteration:.1f}%",
+                )
+            )
+    print(
+        render_table(
+            ["Method", "GPUs", "Epoch (s)", "img/s", "Exposed WU"],
+            rows,
+            title="mini-vgg scaling forecast (batch 32)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Size an inference deployment on the DGX-1.
+
+Uses the same V100 kernel model as the training simulation to answer
+serving questions: per-batch latency, the latency/throughput batch curve,
+and aggregate throughput with all eight GPUs serving as replicas.
+
+Run:  python examples/inference_serving.py
+"""
+
+from repro.core.units import format_bytes
+from repro.experiments.tables import render_table
+from repro.train import InferenceEstimator
+
+NETWORKS = ("resnet", "inception-v3", "vgg16")
+
+
+def main() -> None:
+    for network in NETWORKS:
+        estimator = InferenceEstimator(network)
+        rows = []
+        for point in estimator.sweep(batches=(1, 4, 16, 64, 256)):
+            rows.append(
+                (
+                    point.batch_size,
+                    f"{point.latency * 1e3:.2f}",
+                    f"{point.throughput_per_gpu:.0f}",
+                    f"{point.throughput(8):.0f}",
+                    format_bytes(point.memory_bytes),
+                )
+            )
+        print(
+            render_table(
+                ["Batch", "Latency (ms)", "img/s per GPU", "img/s x8", "Memory"],
+                rows,
+                title=f"{network} serving profile (V100)",
+            )
+        )
+        best = estimator.max_throughput_batch()
+        print(f"-> {best.describe()}\n")
+
+
+if __name__ == "__main__":
+    main()

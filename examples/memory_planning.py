@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Plan GPU memory for a training run (paper Table IV / Section V-D).
+
+For each workload: the per-GPU footprint at the paper's batch sizes, the
+largest batch that fits in the V100's 16 GiB, and a demonstration of the
+OOM failure the paper hit for Inception-v3 above batch 64.
+
+Run:  python examples/memory_planning.py
+"""
+
+from repro import OutOfMemoryError, TrainingConfig, train
+from repro.core.units import format_bytes
+from repro.dnn import build_network, compile_network, network_input_shape
+from repro.dnn.zoo import PAPER_NETWORKS
+from repro.experiments.tables import render_table
+from repro.gpu import MemoryModel
+
+
+def main() -> None:
+    model = MemoryModel()
+    rows = []
+    for name in PAPER_NETWORKS:
+        stats = compile_network(build_network(name), network_input_shape(name))
+        usage = model.training(stats, 64, is_server=True)
+        rows.append(
+            (
+                name,
+                format_bytes(model.pretraining(stats).total),
+                format_bytes(usage.total),
+                format_bytes(usage.activations),
+                format_bytes(usage.workspace),
+                model.max_batch_size(stats),
+            )
+        )
+    print(
+        render_table(
+            ["Network", "Pre-train", "Train GPU0 @b64", "Activations",
+             "Workspace", "Max batch"],
+            rows,
+            title="Memory plan per workload (server GPU)",
+        )
+    )
+
+    # The paper's OOM: Inception-v3 cannot train above batch 64 per GPU.
+    print("Attempting inception-v3 at batch 128 (paper: out of memory)...")
+    try:
+        train(TrainingConfig("inception-v3", 128, 4))
+    except OutOfMemoryError as exc:
+        print(f"  OutOfMemoryError: {exc}")
+
+    print("Attempting inception-v3 at batch 64 (paper: trains fine)...")
+    result = train(TrainingConfig("inception-v3", 64, 4))
+    print(f"  ok: epoch = {result.epoch_time:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

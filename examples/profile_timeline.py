@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Export an nvprof-style timeline of a training run as a Chrome trace.
+
+Open the resulting JSON in chrome://tracing or https://ui.perfetto.dev to
+see kernels per GPU, P2P/NCCL transfers on the fabric, API calls, and the
+FP/BP/WU stage spans.
+
+Run:  python examples/profile_timeline.py [output.json]
+"""
+
+import sys
+
+from repro import CommMethodName, SimulationConfig, TrainingConfig
+from repro.profile import export_chrome_trace
+from repro.train import Trainer
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "resnet_timeline.json"
+
+    config = TrainingConfig("resnet", 16, 4, comm_method=CommMethodName.NCCL)
+    trainer = Trainer(
+        config,
+        sim=SimulationConfig(warmup_iterations=1, measure_iterations=2),
+        keep_profiler=True,
+    )
+    result = trainer.run()
+
+    with open(out_path, "w") as fp:
+        export_chrome_trace(result.profiler, fp)
+
+    kernels = len(result.profiler.kernels)
+    transfers = len(result.profiler.transfers)
+    print(f"simulated {config.describe()}: iteration = {result.iteration_time*1e3:.2f} ms")
+    print(f"wrote {out_path}: {kernels} kernels, {transfers} transfers")
+    print("open it in chrome://tracing or https://ui.perfetto.dev")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate training GoogLeNet on the DGX-1 and read the results.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CommMethodName, TrainingConfig, train
+from repro.core.units import format_seconds
+
+
+def main() -> None:
+    # One point of the paper's sweep: GoogLeNet, batch 32 per GPU,
+    # 4 GPUs, NCCL-based weight updates, 256K ImageNet images per epoch.
+    config = TrainingConfig(
+        network="googlenet",
+        batch_size=32,
+        num_gpus=4,
+        comm_method=CommMethodName.NCCL,
+    )
+    result = train(config)
+
+    print(f"configuration    : {config.describe()}")
+    print(f"iterations/epoch : {result.iterations_per_epoch}")
+    print(f"iteration time   : {format_seconds(result.iteration_time)}")
+    print(f"epoch time       : {format_seconds(result.epoch_time)}")
+    print(f"throughput       : {result.images_per_second:.0f} images/s")
+    print()
+    print("per-iteration stage breakdown:")
+    print(f"  forward prop    : {format_seconds(result.stages.fp)}")
+    print(f"  backward prop   : {format_seconds(result.stages.bp)}")
+    print(f"  weight update   : {format_seconds(result.stages.wu)} (exposed)")
+    print()
+    print("top CUDA APIs by wall time:")
+    for name, seconds in result.apis.totals[:3]:
+        print(f"  {name:24s} {100 * seconds / result.apis.total_time:5.1f}%")
+    print()
+    print("GPU busy fractions:", {g: f"{b:.0%}" for g, b in result.gpu_busy.items()})
+
+
+if __name__ == "__main__":
+    main()

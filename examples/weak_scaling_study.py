@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Weak vs strong scaling study (paper Fig. 5 / Section V-E).
+
+Strong scaling keeps the 256K-image dataset fixed as GPUs are added; weak
+scaling grows it proportionally.  The per-run overheads (stream creation,
+NCCL communicator setup) amortize over the larger weak-scaling epoch,
+which is why LeNet gains the most.
+
+Run:  python examples/weak_scaling_study.py
+"""
+
+from repro import CommMethodName, ScalingMode, TrainingConfig, train
+from repro.experiments.tables import render_table
+
+NETWORKS = ("lenet", "alexnet", "inception-v3")
+GPU_COUNTS = (1, 2, 4, 8)
+
+
+def main() -> None:
+    for network in NETWORKS:
+        rows = []
+        baselines = {}
+        for scaling in (ScalingMode.STRONG, ScalingMode.WEAK):
+            for gpus in GPU_COUNTS:
+                config = TrainingConfig(
+                    network, 32, gpus,
+                    comm_method=CommMethodName.NCCL, scaling=scaling,
+                )
+                result = train(config)
+                if gpus == 1:
+                    baselines[scaling] = result
+                speedup = result.speedup_over(baselines[scaling])
+                rows.append(
+                    (
+                        scaling.value,
+                        gpus,
+                        f"{result.config.total_images // 1024}K",
+                        f"{result.epoch_time:.2f}",
+                        f"x{speedup:.2f}",
+                    )
+                )
+        print(
+            render_table(
+                ["Scaling", "GPUs", "Images", "Epoch (s)", "Speedup"],
+                rows,
+                title=f"{network}: weak vs strong scaling (batch 32, NCCL)",
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so ``pip install -e .`` works on environments whose setuptools predates
+PEP 660 editable-wheel support (this offline image lacks the ``wheel``
+package).  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

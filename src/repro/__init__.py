@@ -1,0 +1,60 @@
+"""repro: a simulation-based reproduction of
+"Profiling DNN Workloads on a Volta-based DGX-1 System" (IISWC 2018).
+
+The public API mirrors the paper's experimental workflow::
+
+    from repro import TrainingConfig, CommMethodName, train
+
+    result = train(TrainingConfig("googlenet", batch_size=32, num_gpus=4,
+                                  comm_method=CommMethodName.NCCL))
+    print(result.describe())
+
+Subpackages
+-----------
+``repro.sim``        deterministic discrete-event engine
+``repro.topology``   DGX-1 NVLink/PCIe/QPI fabric and routing
+``repro.gpu``        V100 kernel-cost and memory models
+``repro.dnn``        layer IR and the five-network zoo
+``repro.comm``       P2P and NCCL weight-update communicators
+``repro.train``      the synchronous-SGD trainer
+``repro.profile``    nvprof/nvidia-smi style observability
+``repro.experiments`` regeneration of every table and figure
+"""
+
+from repro.core.config import (
+    PAPER_BATCH_SIZES,
+    PAPER_GPU_COUNTS,
+    CommMethodName,
+    ScalingMode,
+    SimulationConfig,
+    TrainingConfig,
+)
+from repro.core.constants import CALIBRATION, CalibrationConstants
+from repro.core.errors import OutOfMemoryError, ReproError
+from repro.dnn import build_network, compile_network, network_input_shape
+from repro.dnn.zoo import PAPER_NETWORKS, available_networks
+from repro.train import Trainer, TrainingResult, train
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CALIBRATION",
+    "CalibrationConstants",
+    "CommMethodName",
+    "OutOfMemoryError",
+    "PAPER_BATCH_SIZES",
+    "PAPER_GPU_COUNTS",
+    "PAPER_NETWORKS",
+    "ReproError",
+    "ScalingMode",
+    "SimulationConfig",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingResult",
+    "available_networks",
+    "build_network",
+    "compile_network",
+    "network_input_shape",
+    "train",
+    "__version__",
+]

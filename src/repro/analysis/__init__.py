@@ -1,0 +1,37 @@
+"""Post-processing analyses over training results.
+
+:mod:`repro.analysis.scaling` fits and summarizes scaling behaviour
+(speedup, efficiency, Amdahl/Karp-Flatt serial fractions);
+:mod:`repro.analysis.crossover` locates the model-shape boundary where
+NCCL overtakes P2P (generalizing the paper's five data points);
+:mod:`repro.analysis.serialization` persists results as JSON for external
+plotting.
+"""
+
+from repro.analysis.batch_tuner import BatchTuneResult, tune_batch_size
+from repro.analysis.crossover import CrossoverStudy, synthetic_conv_network
+from repro.analysis.scaling import (
+    ScalingCurve,
+    amdahl_serial_fraction,
+    karp_flatt,
+    scaling_curve,
+)
+from repro.analysis.serialization import result_from_dict, result_to_dict
+from repro.analysis.validation import PAPER_ANCHORS, PaperAnchor, ValidationReport, validate
+
+__all__ = [
+    "BatchTuneResult",
+    "CrossoverStudy",
+    "PAPER_ANCHORS",
+    "PaperAnchor",
+    "ValidationReport",
+    "ScalingCurve",
+    "amdahl_serial_fraction",
+    "karp_flatt",
+    "result_from_dict",
+    "result_to_dict",
+    "scaling_curve",
+    "synthetic_conv_network",
+    "tune_batch_size",
+    "validate",
+]

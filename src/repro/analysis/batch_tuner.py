@@ -1,0 +1,112 @@
+"""Batch-size tuning under the GPU memory cap (paper Sections V-A/V-D).
+
+The paper's twin findings -- "increasing batch size reduces training time
+almost linearly" and "GPU memory limits the maximum batch" -- imply a
+simple tuning procedure: sweep power-of-two batches up to the memory
+limit and take the throughput knee.  (Following the paper, accuracy is
+not treated as a limiting factor for batch growth.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.config import CommMethodName, SimulationConfig, TrainingConfig
+from repro.core.errors import OutOfMemoryError
+from repro.experiments.tables import render_table
+from repro.train import Trainer
+
+
+@dataclass(frozen=True)
+class BatchPoint:
+    batch_size: int
+    epoch_time: float
+    images_per_second: float
+    gpu0_memory_gb: float
+
+
+@dataclass(frozen=True)
+class BatchTuneResult:
+    network: str
+    comm_method: str
+    num_gpus: int
+    points: Tuple[BatchPoint, ...]
+    oom_batch: Optional[int]            # first power-of-two batch that OOMed
+
+    @property
+    def best(self) -> BatchPoint:
+        """The highest-throughput point that fits."""
+        return max(self.points, key=lambda p: p.images_per_second)
+
+    def gain_over(self, batch_size: int) -> float:
+        """Throughput gain of the best point over a reference batch."""
+        ref = next(p for p in self.points if p.batch_size == batch_size)
+        return self.best.images_per_second / ref.images_per_second
+
+
+def tune_batch_size(
+    network: str,
+    num_gpus: int = 8,
+    comm_method: CommMethodName = CommMethodName.NCCL,
+    start_batch: int = 16,
+    limit: int = 1024,
+    sim: Optional[SimulationConfig] = None,
+) -> BatchTuneResult:
+    """Sweep power-of-two batches until OOM; return the curve and winner."""
+    sim = sim or SimulationConfig()
+    points: List[BatchPoint] = []
+    oom_batch: Optional[int] = None
+    batch = start_batch
+    while batch <= limit:
+        config = TrainingConfig(network, batch, num_gpus, comm_method=comm_method)
+        try:
+            result = Trainer(config, sim=sim).run()
+        except OutOfMemoryError:
+            oom_batch = batch
+            break
+        gpu0 = next(
+            m for m in result.memory if m.phase == "training" and m.gpu == 0
+        )
+        points.append(
+            BatchPoint(
+                batch_size=batch,
+                epoch_time=result.epoch_time,
+                images_per_second=result.images_per_second,
+                gpu0_memory_gb=gpu0.total_gb,
+            )
+        )
+        batch *= 2
+    if not points:
+        raise OutOfMemoryError("tuner", 0, 0)
+    return BatchTuneResult(
+        network=network,
+        comm_method=comm_method.value,
+        num_gpus=num_gpus,
+        points=tuple(points),
+        oom_batch=oom_batch,
+    )
+
+
+def render(result: BatchTuneResult) -> str:
+    rows = [
+        (
+            p.batch_size,
+            f"{p.epoch_time:.2f}",
+            f"{p.images_per_second:.0f}",
+            f"{p.gpu0_memory_gb:.2f}",
+            "<-- best" if p == result.best else "",
+        )
+        for p in result.points
+    ]
+    table = render_table(
+        ["Batch/GPU", "Epoch (s)", "img/s", "GPU0 mem (GB)", ""],
+        rows,
+        title=(
+            f"Batch tuning: {result.network}, {result.num_gpus} GPUs, "
+            f"{result.comm_method}"
+        ),
+    )
+    if result.oom_batch is not None:
+        table += f"batch {result.oom_batch}: out of memory\n"
+    return table

@@ -1,0 +1,113 @@
+"""Where does NCCL overtake P2P?  A synthetic-network crossover study.
+
+The paper observes the crossover with five fixed networks: P2P wins for
+LeNet/AlexNet (few weight arrays), NCCL wins for the layer-rich trio at 4
+and 8 GPUs.  This module generalizes the observation: it sweeps a family
+of synthetic convolutional networks whose *depth* (and therefore weight-
+array count) varies while other knobs stay fixed, and locates the depth at
+which NCCL's pipelined collectives overtake P2P's per-array tree
+transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.config import CommMethodName, SimulationConfig, TrainingConfig
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.network import Network
+from repro.dnn.shapes import Shape
+from repro.train import Trainer
+
+#: Input resolution of the synthetic family.
+SYNTHETIC_INPUT = Shape(3, 64, 64)
+
+
+def synthetic_conv_network(depth: int, width: int = 64) -> Network:
+    """A plain conv stack of ``depth`` 3x3 layers plus a classifier.
+
+    Every conv carries batch norm, so each extra layer adds three weight
+    arrays (weight, gamma, beta) -- the communication keys whose count
+    drives the P2P-vs-NCCL crossover.
+    """
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    b = NetworkBuilder(f"synth-d{depth}-w{width}")
+    b.conv(width, 3, stride=2, pad=1, bn=True, name="stem")
+    for i in range(depth - 1):
+        b.conv(width, 3, pad=1, bn=True, name=f"conv{i + 2}")
+    b.global_avgpool()
+    b.dense(1000, name="fc")
+    b.softmax()
+    return b.build()
+
+
+@dataclass(frozen=True)
+class CrossoverPoint:
+    depth: int
+    weight_arrays: int
+    p2p_epoch: float
+    nccl_epoch: float
+
+    @property
+    def nccl_advantage(self) -> float:
+        return self.p2p_epoch / self.nccl_epoch
+
+
+@dataclass(frozen=True)
+class CrossoverStudyResult:
+    num_gpus: int
+    batch_size: int
+    points: Tuple[CrossoverPoint, ...]
+
+    @property
+    def crossover_depth(self) -> Optional[int]:
+        """The first depth at which NCCL wins, or ``None`` if it never does."""
+        for point in self.points:
+            if point.nccl_advantage > 1.0:
+                return point.depth
+        return None
+
+
+class CrossoverStudy:
+    """Runs the synthetic sweep and locates the crossover."""
+
+    def __init__(
+        self,
+        num_gpus: int = 8,
+        batch_size: int = 16,
+        sim: Optional[SimulationConfig] = None,
+    ) -> None:
+        self.num_gpus = num_gpus
+        self.batch_size = batch_size
+        self.sim = sim or SimulationConfig()
+
+    def _epoch(self, network: Network, method: CommMethodName) -> float:
+        config = TrainingConfig(
+            network.name, self.batch_size, self.num_gpus, comm_method=method
+        )
+        trainer = Trainer(
+            config, sim=self.sim, network=network, input_shape=SYNTHETIC_INPUT,
+            check_memory=False,
+        )
+        return trainer.run().epoch_time
+
+    def run(self, depths: Tuple[int, ...] = (2, 4, 8, 16, 32, 64)) -> CrossoverStudyResult:
+        from repro.dnn import compile_network
+
+        points: List[CrossoverPoint] = []
+        for depth in depths:
+            network = synthetic_conv_network(depth)
+            stats = compile_network(network, SYNTHETIC_INPUT)
+            points.append(
+                CrossoverPoint(
+                    depth=depth,
+                    weight_arrays=len(stats.weight_arrays),
+                    p2p_epoch=self._epoch(network, CommMethodName.P2P),
+                    nccl_epoch=self._epoch(network, CommMethodName.NCCL),
+                )
+            )
+        return CrossoverStudyResult(
+            num_gpus=self.num_gpus, batch_size=self.batch_size, points=tuple(points)
+        )

@@ -1,0 +1,114 @@
+"""JSON serialization of training results.
+
+Sweeps are cheap to re-run but expensive to re-plot; these helpers round-
+trip :class:`~repro.train.results.TrainingResult` (minus the raw profiler,
+which has its own Chrome-trace exporter) through plain dicts suitable for
+``json.dump``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.core.config import CommMethodName, ScalingMode, TrainingConfig
+from repro.gpu.memory import MemoryUsage
+from repro.profile.smi import MemoryReading
+from repro.profile.summary import ApiSummary, StageBreakdown
+from repro.train.results import TrainingResult
+
+#: Schema version stamped into every exported dict.
+SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: TrainingResult) -> Dict[str, Any]:
+    """A JSON-serializable representation of ``result``."""
+    c = result.config
+    return {
+        "schema": SCHEMA_VERSION,
+        "config": {
+            "network": c.network,
+            "batch_size": c.batch_size,
+            "num_gpus": c.num_gpus,
+            "comm_method": c.comm_method.value,
+            "scaling": c.scaling.value,
+            "dataset_images": c.dataset_images,
+            "overlap_bp_wu": c.overlap_bp_wu,
+        },
+        "iteration_time": result.iteration_time,
+        "iteration_times": list(result.iteration_times),
+        "epoch_time": result.epoch_time,
+        "fixed_overhead": result.fixed_overhead,
+        "stages": {
+            "fp": result.stages.fp,
+            "bp": result.stages.bp,
+            "wu": result.stages.wu,
+            "iteration": result.stages.iteration,
+        },
+        "apis": [[name, seconds] for name, seconds in result.apis.totals],
+        "gpu_busy": {str(g): b for g, b in result.gpu_busy.items()},
+        "compute_utilization": result.compute_utilization,
+        "memory": [
+            {
+                "gpu": m.gpu,
+                "phase": m.phase,
+                "context": m.usage.context,
+                "parameters": m.usage.parameters,
+                "activations": m.usage.activations,
+                "workspace": m.usage.workspace,
+                "input_batch": m.usage.input_batch,
+                "server_buffers": m.usage.server_buffers,
+            }
+            for m in result.memory
+        ],
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> TrainingResult:
+    """Rebuild a :class:`TrainingResult` exported by :func:`result_to_dict`."""
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(f"unsupported schema {data.get('schema')!r}")
+    c = data["config"]
+    config = TrainingConfig(
+        network=c["network"],
+        batch_size=c["batch_size"],
+        num_gpus=c["num_gpus"],
+        comm_method=CommMethodName(c["comm_method"]),
+        scaling=ScalingMode(c["scaling"]),
+        dataset_images=c["dataset_images"],
+        overlap_bp_wu=c["overlap_bp_wu"],
+    )
+    stages = StageBreakdown(
+        fp=data["stages"]["fp"],
+        bp=data["stages"]["bp"],
+        wu=data["stages"]["wu"],
+        iteration=data["stages"]["iteration"],
+    )
+    apis = ApiSummary(totals=tuple((n, t) for n, t in data["apis"]))
+    memory = tuple(
+        MemoryReading(
+            gpu=m["gpu"],
+            phase=m["phase"],
+            usage=MemoryUsage(
+                context=m["context"],
+                parameters=m["parameters"],
+                activations=m["activations"],
+                workspace=m["workspace"],
+                input_batch=m["input_batch"],
+                server_buffers=m["server_buffers"],
+            ),
+        )
+        for m in data["memory"]
+    )
+    return TrainingResult(
+        config=config,
+        iteration_time=data["iteration_time"],
+        iteration_times=tuple(data["iteration_times"]),
+        epoch_time=data["epoch_time"],
+        fixed_overhead=data["fixed_overhead"],
+        stages=stages,
+        apis=apis,
+        gpu_busy={int(g): b for g, b in data["gpu_busy"].items()},
+        compute_utilization=data["compute_utilization"],
+        memory=memory,
+        profiler=None,
+    )

@@ -1,0 +1,44 @@
+"""Inter-GPU communication methods for the weight-update stage.
+
+Two implementations of the :class:`~repro.comm.base.Communicator` interface
+match the paper's comparison:
+
+* :class:`~repro.comm.p2p.P2PCommunicator` -- MXNet's ``device`` KVStore:
+  cudaMemcpyPeer DMAs arranged as a binomial reduction tree onto GPU0,
+  an SGD update on GPU0, and a binomial broadcast tree back out.
+* :class:`~repro.comm.nccl.NcclCommunicator` -- MXNet's ``nccl`` KVStore:
+  topology-aware ring Reduce/Broadcast collectives with chunk pipelining,
+  per-call launch overhead and a per-run communicator-setup cost.
+
+A third method, :class:`~repro.comm.local.LocalCommunicator` (MXNet's
+``local`` KVStore: CPU aggregation over PCIe), serves as the PCIe-era
+baseline the paper's background section contrasts against.
+"""
+
+from repro.comm.base import Communicator
+from repro.comm.local import LocalCommunicator
+from repro.comm.nccl import NcclAllReduceCommunicator, NcclCommunicator
+from repro.comm.p2p import P2PCommunicator, reduction_tree
+
+__all__ = [
+    "Communicator",
+    "LocalCommunicator",
+    "NcclAllReduceCommunicator",
+    "NcclCommunicator",
+    "P2PCommunicator",
+    "reduction_tree",
+]
+
+
+def make_communicator(name, *args, **kwargs) -> Communicator:
+    """Factory keyed by :class:`~repro.core.config.CommMethodName` or string."""
+    key = getattr(name, "value", name)
+    if key == "p2p":
+        return P2PCommunicator(*args, **kwargs)
+    if key == "nccl":
+        return NcclCommunicator(*args, **kwargs)
+    if key == "local":
+        return LocalCommunicator(*args, **kwargs)
+    if key == "nccl-allreduce":
+        return NcclAllReduceCommunicator(*args, **kwargs)
+    raise ValueError(f"unknown communication method {name!r}")

@@ -1,0 +1,133 @@
+"""Communicator interface shared by the P2P and NCCL implementations."""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Generator, List, Optional, Sequence
+
+from repro.core.constants import CALIBRATION, CalibrationConstants
+from repro.dnn.stats import WeightArray
+from repro.gpu.device import GpuDevice
+from repro.gpu.kernel import KernelCostModel, KernelSpec
+from repro.sim import Environment
+from repro.sim.events import Event
+from repro.topology.fabric import Fabric
+from repro.train.optimizers import SGD_MOMENTUM, OptimizerSpec
+
+
+class Communicator(abc.ABC):
+    """Synchronizes one gradient array across the training GPUs.
+
+    A communicator implements the complete per-array weight-update path:
+    gradient aggregation, the SGD update on the server GPU, and the
+    distribution of updated weights back to every worker.  The trainer
+    spawns :meth:`sync_array` once per weight array per iteration, as soon
+    as that array's gradients are ready on all GPUs.
+    """
+
+    #: Human-readable method name ("p2p" / "nccl").
+    name: str = "base"
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: Fabric,
+        devices: Sequence[GpuDevice],
+        cost_model: KernelCostModel,
+        constants: CalibrationConstants = CALIBRATION,
+        profiler: Optional[object] = None,
+        gradient_bytes_scale: float = 1.0,
+        optimizer: OptimizerSpec = SGD_MOMENTUM,
+    ) -> None:
+        """``gradient_bytes_scale`` shrinks the bytes moved per array
+        (0.5 models fp16 gradient communication); update kernels stay at
+        full precision."""
+        if not devices:
+            raise ValueError("communicator needs at least one device")
+        if gradient_bytes_scale <= 0 or gradient_bytes_scale > 1:
+            raise ValueError("gradient_bytes_scale must be in (0, 1]")
+        self.env = env
+        self.fabric = fabric
+        self.devices = list(devices)
+        self.cost_model = cost_model
+        self.constants = constants
+        self.profiler = profiler
+        self.gradient_bytes_scale = gradient_bytes_scale
+        self.optimizer = optimizer
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self.devices)
+
+    @property
+    def server(self) -> GpuDevice:
+        """GPU0 -- the parameter server in MXNet's KVStore."""
+        return self.devices[0]
+
+    # ------------------------------------------------------------------
+    # Costs charged outside the event simulation
+    # ------------------------------------------------------------------
+    def epoch_fixed_overhead(self) -> float:
+        """Once-per-run setup cost added to the epoch time (seconds)."""
+        return 0.0
+
+    def per_iteration_overhead(self) -> float:
+        """Host-side cost the method adds to every iteration (seconds)."""
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # The per-array weight-update process
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def sync_array(self, array: WeightArray) -> Generator[Event, None, None]:
+        """Process: aggregate, update and redistribute one weight array.
+
+        Returns once every GPU holds the updated weights for ``array``.
+        """
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _update_kernel(self, array: WeightArray) -> KernelSpec:
+        """The optimizer's weight-update kernel for one array.
+
+        Memory bound: the optimizer spec gives the FLOPs per parameter and
+        the number of array-sized memory passes (5 for SGD+momentum, 7 for
+        Adam's two moment buffers).
+        """
+        flops = self.optimizer.flops_per_param * array.numel
+        nbytes = self.optimizer.memory_passes * array.nbytes
+        duration = self.cost_model.kernel_time(
+            flops=flops, bytes_moved=nbytes, matmul=False
+        )
+        return KernelSpec(
+            name=f"{self.optimizer.name}_update.{array.name}",
+            layer=array.layer,
+            stage="wu",
+            duration=duration,
+            flops=flops,
+            bytes_moved=nbytes,
+        )
+
+    def _add_kernel(self, array: WeightArray, tag: str) -> KernelSpec:
+        """Gradient accumulation kernel on a reduction-tree parent."""
+        duration = self.cost_model.kernel_time(
+            flops=float(array.numel), bytes_moved=3 * array.nbytes, matmul=False
+        )
+        return KernelSpec(
+            name=f"grad_add.{array.name}.{tag}",
+            layer=array.layer,
+            stage="wu",
+            duration=duration,
+            flops=float(array.numel),
+            bytes_moved=3 * array.nbytes,
+        )
+
+    def _comm_bytes(self, array: WeightArray) -> int:
+        """Bytes one array moves on the wire (after precision scaling)."""
+        return max(1, int(array.nbytes * self.gradient_bytes_scale))
+
+    def _record_transfer(self, kind: str, src: int, dst: int, nbytes: int,
+                         start: float, end: float) -> None:
+        if self.profiler is not None:
+            self.profiler.record_transfer(kind, src, dst, nbytes, start, end)

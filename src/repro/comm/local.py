@@ -1,0 +1,111 @@
+"""MXNet ``local`` KVStore: aggregation in host memory over PCIe.
+
+The third data-movement option the paper's background contrasts with
+NVLink-based methods: every GPU DtoH-copies its gradients into pinned host
+memory, the CPU reduces and updates the weights, and the result is HtoD
+broadcast back.  All traffic rides PCIe (sharing the per-switch uplinks)
+and the reduction itself runs on the host cores, so this method bounds
+what a PCIe-only system could achieve -- useful as a baseline and for the
+fabric ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator
+
+from repro.comm.base import Communicator
+from repro.dnn.stats import WeightArray
+from repro.sim import Resource
+from repro.sim.events import Event
+from repro.topology.routing import Router
+
+#: Host-side reduction throughput (bytes/s): summing N gradient arrays is
+#: memory-bound on the Xeon's ~60 GB/s per-socket bandwidth, with two
+#: reads and one write per element.
+HOST_REDUCE_BANDWIDTH = 20e9
+
+#: Host-side cost of staging one DtoH/HtoD copy.
+HOST_COPY_SETUP = 10.0e-6
+
+
+class LocalCommunicator(Communicator):
+    """CPU parameter server (MXNet ``kvstore=local``)."""
+
+    name = "local"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.router = Router(self.fabric.topology)
+        self._dispatch: Dict[int, Resource] = {
+            d.index: Resource(self.env) for d in self.devices
+        }
+        # The host reduction is single-threaded per key in MXNet's local
+        # kvstore; model the CPU reducer as one resource.
+        self._cpu = Resource(self.env)
+
+    # ------------------------------------------------------------------
+    # Weight-update path
+    # ------------------------------------------------------------------
+    def sync_array(self, array: WeightArray) -> Generator[Event, None, None]:
+        if self.num_gpus == 1:
+            yield self.env.process(self.server.run_kernel(self._update_kernel(array)))
+            return
+        # Phase 1: DtoH from every GPU (concurrent, contending on PCIe).
+        pushes = [
+            self.env.process(self._dtoh(array, dev.index))
+            for dev in self.devices
+        ]
+        yield self.env.all_of(pushes)
+        # Phase 2: reduce + SGD update on the host cores.
+        yield self.env.process(self._host_update(array))
+        # Phase 3: HtoD back to every GPU.
+        pulls = [
+            self.env.process(self._htod(array, dev.index))
+            for dev in self.devices
+        ]
+        yield self.env.all_of(pulls)
+
+    def _dtoh(self, array: WeightArray, gpu: int) -> Generator[Event, None, None]:
+        gpu_node = self.fabric.topology.gpu(gpu)
+        cpu_node = self.fabric.topology.home_cpu(gpu_node)
+        # DtoH is the reverse of the CPU->GPU route.
+        route = self.router.cpu_to_gpu(cpu_node, gpu_node)
+        req = self._dispatch[gpu].request()
+        yield req
+        try:
+            yield self.env.timeout(HOST_COPY_SETUP)
+        finally:
+            self._dispatch[gpu].release(req)
+        start = self.env.now
+        nbytes = self._comm_bytes(array)
+        # Same links, opposite (device-to-host) direction.
+        yield self.env.process(self.fabric.dma(route.legs[0].reversed(), nbytes))
+        self._record_transfer("d2h", gpu, -1, nbytes, start, self.env.now)
+
+    def _htod(self, array: WeightArray, gpu: int) -> Generator[Event, None, None]:
+        gpu_node = self.fabric.topology.gpu(gpu)
+        cpu_node = self.fabric.topology.home_cpu(gpu_node)
+        route = self.router.cpu_to_gpu(cpu_node, gpu_node)
+        req = self._dispatch[gpu].request()
+        yield req
+        try:
+            yield self.env.timeout(HOST_COPY_SETUP)
+        finally:
+            self._dispatch[gpu].release(req)
+        start = self.env.now
+        nbytes = self._comm_bytes(array)
+        yield self.env.process(self.fabric.dma(route.legs[0], nbytes))
+        self._record_transfer("h2d", -1, gpu, nbytes, start, self.env.now)
+
+    def _host_update(self, array: WeightArray) -> Generator[Event, None, None]:
+        """Sum N gradients and apply SGD on the CPU."""
+        req = self._cpu.request()
+        yield req
+        try:
+            reduce_bytes = array.nbytes * (self.num_gpus + 1)
+            update_bytes = 5 * array.nbytes
+            yield self.env.timeout(
+                (reduce_bytes + update_bytes) / HOST_REDUCE_BANDWIDTH
+            )
+        finally:
+            self._cpu.release(req)

@@ -1,0 +1,18 @@
+"""NCCL-based communication.
+
+:class:`NcclCommunicator` is the paper's method (MXNet ``nccl`` KVStore:
+Reduce to GPU0, update, Broadcast); :class:`NcclAllReduceCommunicator` is
+the modern AllReduce-with-local-updates variant for comparison.
+"""
+
+from repro.comm.nccl.allreduce import NcclAllReduceCommunicator
+from repro.comm.nccl.communicator import NcclCommunicator
+from repro.comm.nccl.rings import RingPlan, build_ring_plan, find_nvlink_ring
+
+__all__ = [
+    "NcclAllReduceCommunicator",
+    "NcclCommunicator",
+    "RingPlan",
+    "build_ring_plan",
+    "find_nvlink_ring",
+]

@@ -1,0 +1,142 @@
+"""The NCCL communicator (MXNet ``nccl`` KVStore).
+
+Per weight array and iteration: a ring ``Reduce`` brings the summed
+gradients to GPU0, GPU0 runs the SGD update on its compute engine, and a
+ring ``Broadcast`` returns the updated weights -- the AllReduce/Broadcast
+pair the paper describes.  Collectives serialize on the NCCL stream, so
+many small arrays pipeline back to back with one launch overhead each,
+which is how NCCL amortizes its higher per-call cost on layer-rich
+networks.
+
+Two costs distinguish NCCL from P2P even on a single GPU (paper Table II):
+the Reduce/Broadcast kernels still launch per array, and the communicator
+setup is paid once per run (``nccl_epoch_fixed_overhead``).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.comm.base import Communicator
+from repro.comm.nccl.rings import RingPlan, build_ring_plan
+from repro.dnn.stats import WeightArray
+from repro.sim import Resource
+from repro.sim.events import Event
+
+
+class NcclCommunicator(Communicator):
+    """NCCL collective weight synchronization (paper's "NCCL")."""
+
+    name = "nccl"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._stream = Resource(self.env)
+        self.plan: RingPlan = build_ring_plan(
+            self.fabric.topology,
+            [d.index for d in self.devices],
+            self.constants,
+        )
+
+    def epoch_fixed_overhead(self) -> float:
+        return self.constants.nccl_epoch_fixed_overhead
+
+    def per_iteration_overhead(self) -> float:
+        """Grouped-launch rendezvous across all engine threads.
+
+        Every iteration, MXNet's NCCL KVStore must get all N engine
+        threads to enqueue their collectives together; the rendezvous cost
+        grows with GPU count and is independent of model size -- large for
+        LeNet in relative terms, negligible for Inception-v3.
+        """
+        if self.num_gpus == 1:
+            return 0.0
+        return self.constants.nccl_group_sync_per_gpu * self.num_gpus
+
+    # ------------------------------------------------------------------
+    # Collective durations
+    # ------------------------------------------------------------------
+    def reduce_duration(self, nbytes: int) -> float:
+        """Ring Reduce toward the root GPU.
+
+        With chunk pipelining every ring link stays busy carrying the
+        accumulating stream, so each channel moves the full array: the
+        wire cost is ``S / aggregate_bandwidth`` plus the pipeline fill of
+        ``N-1`` chunk steps.
+        """
+        c = self.constants
+        n = self.plan.size
+        if n == 1:
+            return c.nccl_single_gpu_kernel
+        wire = nbytes / self.plan.aggregate_bandwidth
+        return c.nccl_call_overhead + (n - 1) * c.nccl_ring_step_latency + wire
+
+    def broadcast_duration(self, nbytes: int) -> float:
+        """Ring Broadcast from the root: same pipelined full-array cost."""
+        c = self.constants
+        n = self.plan.size
+        if n == 1:
+            return c.nccl_single_gpu_kernel
+        wire = nbytes / self.plan.aggregate_bandwidth
+        return c.nccl_call_overhead + (n - 1) * c.nccl_ring_step_latency + wire
+
+    # ------------------------------------------------------------------
+    # Weight-update path
+    # ------------------------------------------------------------------
+    def sync_array(self, array: WeightArray) -> Generator[Event, None, None]:
+        yield self.env.process(self._collective("reduce", array))
+        yield self.env.process(self.server.run_kernel(self._update_kernel(array)))
+        yield self.env.process(self._collective("broadcast", array))
+
+    def _collective_kernel(self, kind: str, array: WeightArray, duration: float):
+        """The ReduceKernel/BroadcastKernel occupancy on one GPU.
+
+        NCCL collectives are cooperative kernels: every participating GPU
+        runs one, and it occupies SMs (briefly, but per array and per
+        call) -- this is the per-array NCCL cost the paper's Table II
+        isolates on a single GPU and that layer-rich networks amortize
+        through back-to-back pipelining.
+        """
+        from repro.gpu.kernel import KernelSpec
+
+        return KernelSpec(
+            name=f"nccl.{kind}.{array.name}",
+            layer=array.layer,
+            stage="wu",
+            duration=duration,
+            flops=float(array.numel),
+            bytes_moved=array.nbytes,
+        )
+
+    def _collective(self, kind: str, array: WeightArray) -> Generator[Event, None, None]:
+        c = self.constants
+        if self.plan.size == 1:
+            # Single GPU: the collective degenerates to a device-local
+            # kernel that still occupies the compute engine.
+            kernel = self._collective_kernel(kind, array, c.nccl_single_gpu_kernel)
+            yield self.env.process(self.server.run_kernel(kernel))
+            return
+        wire_bytes = self._comm_bytes(array)
+        duration = (
+            self.reduce_duration(wire_bytes)
+            if kind == "reduce"
+            else self.broadcast_duration(wire_bytes)
+        )
+        req = self._stream.request()
+        yield req
+        start = self.env.now
+        # Each GPU launches its cooperative kernel; the brief SM occupancy
+        # contends with backward-pass compute on every device.
+        taxes = [
+            self.env.process(
+                dev.run_kernel(self._collective_kernel(kind, array, c.nccl_engine_tax))
+            )
+            for dev in self.devices
+        ]
+        try:
+            yield self.env.timeout(duration)
+            yield self.env.all_of(taxes)
+        finally:
+            self._stream.release(req)
+        self._record_transfer("nccl", self.server.index, -1, wire_bytes,
+                              start, self.env.now)

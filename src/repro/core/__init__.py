@@ -1,0 +1,56 @@
+"""Core primitives shared by every subsystem.
+
+This package holds the small, dependency-free building blocks of the
+simulator: physical units (:mod:`repro.core.units`), calibrated hardware
+constants (:mod:`repro.core.constants`), common exception types
+(:mod:`repro.core.errors`) and run-level configuration objects
+(:mod:`repro.core.config`).
+"""
+
+from repro.core.config import CommMethodName, ScalingMode, SimulationConfig, TrainingConfig
+from repro.core.constants import CALIBRATION, CalibrationConstants
+from repro.core.errors import (
+    ConfigurationError,
+    OutOfMemoryError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+)
+from repro.core.units import (
+    GB,
+    GIB,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    Bytes,
+    Seconds,
+    format_bytes,
+    format_seconds,
+    gbps,
+)
+
+__all__ = [
+    "Bytes",
+    "CALIBRATION",
+    "CalibrationConstants",
+    "CommMethodName",
+    "ConfigurationError",
+    "GB",
+    "GIB",
+    "KB",
+    "KIB",
+    "MB",
+    "MIB",
+    "OutOfMemoryError",
+    "ReproError",
+    "RoutingError",
+    "ScalingMode",
+    "Seconds",
+    "SimulationConfig",
+    "SimulationError",
+    "TrainingConfig",
+    "format_bytes",
+    "format_seconds",
+    "gbps",
+]

@@ -1,0 +1,139 @@
+"""Run-level configuration objects.
+
+:class:`TrainingConfig` describes one training experiment (network, batch
+size, GPU count, communication method, dataset size); it validates itself on
+construction so an invalid sweep fails fast.  :class:`SimulationConfig`
+controls how the discrete-event simulation extrapolates steady-state
+iterations to a full epoch.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigurationError
+
+#: The GPU counts the paper evaluates.
+PAPER_GPU_COUNTS = (1, 2, 4, 8)
+#: The per-GPU batch sizes the paper evaluates.
+PAPER_BATCH_SIZES = (16, 32, 64)
+#: The strong-scaling dataset: 256K ImageNet images.
+PAPER_DATASET_IMAGES = 256 * 1024
+
+
+class CommMethodName(str, enum.Enum):
+    """Inter-GPU communication method, matching the paper's terminology."""
+
+    P2P = "p2p"
+    NCCL = "nccl"
+    #: CPU aggregation over PCIe (MXNet ``kvstore=local``); not part of the
+    #: paper's sweep but the baseline its background section contrasts.
+    LOCAL = "local"
+    #: Modern AllReduce with replicated local updates (DDP/Horovod style);
+    #: the forward-looking comparison point.
+    NCCL_ALLREDUCE = "nccl-allreduce"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class ScalingMode(str, enum.Enum):
+    """Strong scaling keeps the dataset fixed; weak scaling grows it with N."""
+
+    STRONG = "strong"
+    WEAK = "weak"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Controls the event-level simulation of a training run.
+
+    Training is periodic per iteration, so we simulate ``warmup_iterations``
+    to reach steady state, then ``measure_iterations`` at full event fidelity
+    and extrapolate the mean steady-state iteration time to the epoch's
+    iteration count (plus once-per-run fixed costs).
+    """
+
+    warmup_iterations: int = 1
+    measure_iterations: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.warmup_iterations < 0:
+            raise ConfigurationError("warmup_iterations must be >= 0")
+        if self.measure_iterations < 1:
+            raise ConfigurationError("measure_iterations must be >= 1")
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """One point of the paper's experimental sweep."""
+
+    network: str
+    batch_size: int
+    num_gpus: int
+    comm_method: CommMethodName = CommMethodName.NCCL
+    scaling: ScalingMode = ScalingMode.STRONG
+    dataset_images: int = PAPER_DATASET_IMAGES
+    overlap_bp_wu: bool = True
+    #: DGX-1 nodes in the system; >1 simulates an InfiniBand cluster
+    #: (extension beyond the paper's single node, NCCL only).
+    cluster_nodes: int = 1
+    #: Communicate gradients/weights in half precision (halves WU traffic;
+    #: an extension in the direction the paper's insights point).
+    fp16_gradients: bool = False
+    #: Optimizer name ('sgd', 'sgd-momentum', 'adam'); resolved by the
+    #: trainer against :mod:`repro.train.optimizers`.
+    optimizer: str = "sgd-momentum"
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ConfigurationError(f"batch_size must be positive, got {self.batch_size}")
+        if self.num_gpus < 1:
+            raise ConfigurationError(f"num_gpus must be positive, got {self.num_gpus}")
+        if self.cluster_nodes < 1:
+            raise ConfigurationError("cluster_nodes must be positive")
+        if self.num_gpus > 8 * self.cluster_nodes:
+            raise ConfigurationError(
+                f"{self.cluster_nodes} DGX-1 node(s) hold at most "
+                f"{8 * self.cluster_nodes} GPUs"
+            )
+        if self.cluster_nodes > 1 and self.comm_method not in (
+            CommMethodName.NCCL, CommMethodName.NCCL_ALLREDUCE,
+        ):
+            raise ConfigurationError(
+                "multi-node training is modeled for NCCL only (MXNet's "
+                "device/local KVStores cannot span nodes)"
+            )
+        if self.dataset_images < 1:
+            raise ConfigurationError("dataset_images must be positive")
+
+    @property
+    def total_images(self) -> int:
+        """Images processed per epoch (weak scaling grows the dataset)."""
+        if self.scaling is ScalingMode.WEAK:
+            return self.dataset_images * self.num_gpus
+        return self.dataset_images
+
+    @property
+    def global_batch_size(self) -> int:
+        """Combined mini-batch across all GPUs per iteration."""
+        return self.batch_size * self.num_gpus
+
+    @property
+    def iterations_per_epoch(self) -> int:
+        """Number of synchronous-SGD iterations in one epoch."""
+        images = self.total_images
+        return max(1, -(-images // self.global_batch_size))  # ceil division
+
+    def describe(self) -> str:
+        """Short human-readable tag, e.g. ``alexnet/b32/g4/nccl``."""
+        nodes = f"/n{self.cluster_nodes}" if self.cluster_nodes > 1 else ""
+        return (
+            f"{self.network}/b{self.batch_size}/g{self.num_gpus}/"
+            f"{self.comm_method.value}{nodes}"
+        )

@@ -1,0 +1,116 @@
+"""Calibrated hardware and runtime constants.
+
+Everything structural in the simulator (FLOP counts, tensor bytes, topology,
+iteration counts) derives from first principles.  The handful of constants
+that cannot be derived -- per-call software overheads and efficiency knees --
+live here, each with documented provenance.  They were calibrated once
+against the anchors the paper reports (see DESIGN.md section 4) and are not
+tuned per experiment.
+
+Provenance notes
+----------------
+* ``kernel_launch_overhead``: 3-10 us is the commonly measured CUDA kernel
+  launch latency on x86 + V100 class systems.
+* ``stream_sync_overhead``: host-side cost per device of the end-of-
+  iteration stream synchronization (the cudaStreamSynchronize calls whose
+  growth with GPU count Table III isolates); the time spent *waiting* for
+  GPU work is computed by the simulator, this constant covers the engine
+  wake-up/arbitration cost itself.
+* ``nccl_group_sync_per_gpu``: per-iteration cost of rendezvousing all
+  engine threads for the grouped NCCL launch; proportional to GPU count
+  and independent of model size, which is why it dominates LeNet's NCCL
+  scaling but is invisible for Inception-v3.
+* ``p2p_copy_setup``: driver-side setup of one cudaMemcpyPeerAsync DMA.
+* ``nccl_call_overhead``: enqueue + kernel-launch cost of one NCCL
+  collective; NCCL 2.x collectives launch one cooperative kernel per device.
+* ``nccl_epoch_fixed_overhead``: per-run communicator/stream/buffer setup
+  that MXNet's NCCL KVStore pays; the paper's per-epoch measurements (5
+  repetitions of short runs) include it, which is why Table II's overhead
+  *grows* with batch size for the small networks (the epoch shrinks while
+  this term does not).
+* Efficiency knees: a V100 needs on the order of 10^8 FLOPs in flight per
+  kernel to approach peak; below that launch/drain effects dominate.  The
+  half-saturation constants encode that knee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CalibrationConstants:
+    """All tunable constants of the performance model, in SI units."""
+
+    # --- CUDA runtime / driver software costs (seconds) ---
+    kernel_launch_overhead: float = 4.5e-6
+    stream_sync_overhead: float = 65.0e-6
+    p2p_copy_setup: float = 20.0e-6
+    host_dispatch_per_kernel: float = 2.0e-6
+
+    # --- NCCL library costs ---
+    nccl_call_overhead: float = 6.0e-6
+    nccl_single_gpu_kernel: float = 7.0e-6   # Reduce/BroadcastKernel on 1 GPU, per array
+    nccl_engine_tax: float = 1.0e-6          # per-GPU SM occupancy per collective
+    nccl_group_sync_per_gpu: float = 195.0e-6  # per-iteration grouped-launch rendezvous
+    nccl_epoch_fixed_overhead: float = 0.75  # communicator + stream setup per run
+    nccl_chunk_bytes: int = 4 * 1024 * 1024  # ring pipelining granularity
+    nccl_ring_step_latency: float = 1.0e-6   # per chunk-step hop latency
+    nccl_bandwidth_efficiency: float = 0.80  # achieved fraction of link peak in rings
+
+    # --- interconnect latencies (seconds, per hop) ---
+    nvlink_latency: float = 1.8e-6
+    pcie_latency: float = 5.0e-6
+    qpi_latency: float = 3.0e-6
+    infiniband_latency: float = 2.0e-6   # EDR switch + HCA, RDMA path
+
+    # --- link efficiencies (achieved fraction of peak for large DMAs) ---
+    nvlink_efficiency: float = 0.92
+    pcie_efficiency: float = 0.80
+
+    # --- GPU compute efficiency model ---
+    # Achieved throughput = peak * work / (work + half_saturation_work).
+    fp32_half_saturation_flops: float = 1.5e8
+    tensor_half_saturation_flops: float = 1.0e9
+    memory_half_saturation_bytes: float = 5.0e6
+    max_compute_efficiency: float = 0.78
+    # Fraction of conv/dense FLOPs eligible for tensor cores (fp16 matmul
+    # paths that cuDNN actually selects in the MXNet 18.04 container).
+    tensor_core_fraction: float = 0.55
+
+    # --- framework (MXNet) costs ---
+    # Once-per-run startup: CUDA stream creation, cuDNN autotune, engine
+    # spin-up.  Weak scaling amortizes this over a growing dataset, which
+    # is why the paper's weak-scaling speedups beat strong scaling,
+    # dramatically so for LeNet.
+    run_startup_overhead: float = 0.2
+    # CPU-side work per iteration to schedule the dependency engine.
+    framework_iteration_overhead: float = 25.0e-6
+    # Input pipeline: decode + H2D staging is overlapped with compute; a
+    # residual per-iteration cost plus a small exposed per-image cost
+    # remain (the latter is why batch-size doubling falls slightly short
+    # of halving LeNet's epoch time -- x1.92/x3.67 in the paper).
+    input_pipeline_residual: float = 8.0e-6
+    input_cost_per_image: float = 3.0e-6
+
+    # --- memory model (bytes / ratios) ---
+    cuda_context_bytes: int = 360 * 1000 * 1000   # driver + cuDNN/cuBLAS handles
+    framework_reserved_bytes: int = 140 * 1000 * 1000
+    # Training keeps the materialized forward activations (gradient buffers
+    # are recycled by MXNet's memory planner): bytes * multiplier.
+    activation_training_multiplier: float = 1.0
+    # Per-convolution cuDNN workspace: im2col-sized, batch-proportional,
+    # capped per operator (MXNet caches one workspace per autotuned op).
+    cudnn_per_op_workspace_cap: int = 64 * 1000 * 1000
+    # GPU0 additionally stores the aggregation buffers of the KVStore.
+    server_extra_copies: int = 2
+
+    def scaled(self, **overrides: float) -> "CalibrationConstants":
+        """Return a copy with the given fields replaced (for ablations)."""
+        return replace(self, **overrides)
+
+
+#: Library-wide default calibration.  Experiments take a ``constants``
+#: argument, so ablation studies can pass modified copies without mutating
+#: global state.
+CALIBRATION = CalibrationConstants()

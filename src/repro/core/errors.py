@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base type at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An experiment or simulation configuration is invalid."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class RoutingError(ReproError, LookupError):
+    """No route exists between two nodes in the interconnect topology."""
+
+
+class OutOfMemoryError(ReproError, MemoryError):
+    """A GPU memory allocation exceeded device capacity.
+
+    Mirrors the cudaErrorMemoryAllocation failures the paper hit when
+    training Inception-v3/ResNet with batch sizes above 64 per GPU.
+    """
+
+    def __init__(self, device: str, requested: int, free: int) -> None:
+        self.device = device
+        self.requested = requested
+        self.free = free
+        super().__init__(
+            f"{device}: allocation of {requested} bytes exceeds free memory ({free} bytes)"
+        )
+
+
+class ShapeError(ReproError, ValueError):
+    """Layer shape inference failed (incompatible tensor dimensions)."""

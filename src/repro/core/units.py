@@ -1,0 +1,68 @@
+"""Physical units and formatting helpers.
+
+The simulator works in SI base units throughout: **seconds** for time and
+**bytes** for data.  Bandwidths are bytes/second.  These aliases and
+constants make call sites self-documenting without introducing a heavyweight
+unit system.
+"""
+
+from __future__ import annotations
+
+# Type aliases used in signatures across the code base.  They are plain
+# floats/ints at runtime; the names carry the unit.
+Seconds = float
+Bytes = int
+BytesPerSecond = float
+
+# Decimal (SI) sizes -- matches how link bandwidths are quoted (25 GB/s).
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+# Binary sizes -- matches how device memory is quoted (16 GiB HBM2).
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+
+
+def gbps(value: float) -> BytesPerSecond:
+    """Convert a bandwidth quoted in GB/s into bytes/second."""
+    return value * GB
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count with a human-friendly binary suffix.
+
+    >>> format_bytes(2.37 * GIB)
+    '2.37 GiB'
+    >>> format_bytes(512)
+    '512 B'
+    """
+    value = float(n)
+    for suffix, scale in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if abs(value) >= scale:
+            return f"{value / scale:.2f} {suffix}"
+    return f"{value:.0f} B"
+
+
+def format_seconds(t: float) -> str:
+    """Render a duration with an appropriate unit.
+
+    >>> format_seconds(0.000012)
+    '12.00 us'
+    >>> format_seconds(90)
+    '1m30.0s'
+    """
+    if t < 0:
+        return "-" + format_seconds(-t)
+    if t < MILLISECOND:
+        return f"{t / MICROSECOND:.2f} us"
+    if t < 1.0:
+        return f"{t / MILLISECOND:.2f} ms"
+    if t < 60.0:
+        return f"{t:.2f} s"
+    minutes, seconds = divmod(t, 60.0)
+    return f"{int(minutes)}m{seconds:.1f}s"

@@ -1,0 +1,24 @@
+"""DNN intermediate representation and model zoo.
+
+Networks are DAGs of :class:`~repro.dnn.layers.Layer` objects with shape
+inference, parameter/FLOP/activation accounting, and the five workloads the
+paper profiles (LeNet, AlexNet, GoogLeNet, Inception-v3, ResNet-50) built
+layer by layer in :mod:`repro.dnn.zoo`.
+"""
+
+from repro.dnn.network import Network
+from repro.dnn.shapes import Shape
+from repro.dnn.stats import CompiledLayer, NetworkStats, WeightArray, compile_network
+from repro.dnn.zoo import available_networks, build_network, network_input_shape
+
+__all__ = [
+    "CompiledLayer",
+    "Network",
+    "NetworkStats",
+    "Shape",
+    "WeightArray",
+    "available_networks",
+    "build_network",
+    "compile_network",
+    "network_input_shape",
+]

@@ -1,0 +1,143 @@
+"""A small fluent DSL for constructing networks.
+
+The builder keeps a *cursor* (the most recently added node) so sequential
+architectures read top-to-bottom; branch-and-merge structures (inception
+modules, residual blocks) capture the cursor, build each branch from it, and
+merge with :meth:`concat` or :meth:`add_residual`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dnn.layers import (
+    LRN,
+    Activation,
+    Add,
+    AvgPool2d,
+    BatchNorm,
+    Concat,
+    Conv2d,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    MaxPool2d,
+    Softmax,
+)
+from repro.dnn.network import INPUT, Network
+
+
+class NetworkBuilder:
+    """Builds a :class:`~repro.dnn.network.Network` incrementally."""
+
+    def __init__(self, name: str) -> None:
+        self.network = Network(name)
+        self.cursor: str = INPUT
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Naming
+    # ------------------------------------------------------------------
+    def _name(self, prefix: str, name: Optional[str]) -> str:
+        if name is not None:
+            return name
+        self._seq += 1
+        return f"{prefix}{self._seq}"
+
+    def _append(self, layer, inputs=None, module: Optional[str] = None) -> str:
+        src = self.cursor if inputs is None else inputs
+        self.cursor = self.network.add(layer, src, module=module)
+        return self.cursor
+
+    # ------------------------------------------------------------------
+    # Layers
+    # ------------------------------------------------------------------
+    def conv(
+        self,
+        out_channels: int,
+        kernel,
+        stride=1,
+        pad=0,
+        groups: int = 1,
+        act: Optional[str] = "relu",
+        bn: bool = False,
+        name: Optional[str] = None,
+        module: Optional[str] = None,
+    ) -> str:
+        """Convolution, optionally followed by batch norm and activation."""
+        base = self._name("conv", name)
+        self._append(
+            Conv2d(base, out_channels, kernel, stride=stride, pad=pad, groups=groups,
+                   bias=not bn),
+            module=module,
+        )
+        if bn:
+            self._append(BatchNorm(f"{base}.bn"), module=module)
+        if act is not None:
+            self._append(Activation(f"{base}.{act}", act), module=module)
+        return self.cursor
+
+    def maxpool(self, kernel, stride=None, pad=0, ceil_mode=False,
+                name: Optional[str] = None, module: Optional[str] = None) -> str:
+        return self._append(
+            MaxPool2d(self._name("maxpool", name), kernel, stride, pad, ceil_mode),
+            module=module,
+        )
+
+    def avgpool(self, kernel, stride=None, pad=0, ceil_mode=False,
+                name: Optional[str] = None, module: Optional[str] = None) -> str:
+        return self._append(
+            AvgPool2d(self._name("avgpool", name), kernel, stride, pad, ceil_mode),
+            module=module,
+        )
+
+    def global_avgpool(self, name: Optional[str] = None,
+                       module: Optional[str] = None) -> str:
+        return self._append(GlobalAvgPool(self._name("gap", name)), module=module)
+
+    def flatten(self, name: Optional[str] = None) -> str:
+        return self._append(Flatten(self._name("flatten", name)))
+
+    def dense(self, units: int, act: Optional[str] = None,
+              name: Optional[str] = None, module: Optional[str] = None) -> str:
+        base = self._name("fc", name)
+        self._append(Dense(base, units), module=module)
+        if act is not None:
+            self._append(Activation(f"{base}.{act}", act), module=module)
+        return self.cursor
+
+    def dropout(self, rate: float = 0.5, name: Optional[str] = None) -> str:
+        return self._append(Dropout(self._name("dropout", name), rate))
+
+    def lrn(self, local_size: int = 5, name: Optional[str] = None) -> str:
+        return self._append(LRN(self._name("lrn", name), local_size))
+
+    def softmax(self, name: Optional[str] = None) -> str:
+        return self._append(Softmax(self._name("softmax", name)))
+
+    # ------------------------------------------------------------------
+    # Branch & merge
+    # ------------------------------------------------------------------
+    def at(self, node: str) -> "NetworkBuilder":
+        """Move the cursor to an existing node (to start a branch)."""
+        if node != INPUT:
+            self.network.node(node)  # validate
+        self.cursor = node
+        return self
+
+    def concat(self, branches: Sequence[str], name: Optional[str] = None,
+               module: Optional[str] = None) -> str:
+        return self._append(
+            Concat(self._name("concat", name)), inputs=list(branches), module=module
+        )
+
+    def add_residual(self, a: str, b: str, name: Optional[str] = None,
+                     module: Optional[str] = None) -> str:
+        base = self._name("add", name)
+        self._append(Add(base), inputs=[a, b], module=module)
+        self._append(Activation(f"{base}.relu", "relu"), module=module)
+        return self.cursor
+
+    def build(self) -> Network:
+        return self.network

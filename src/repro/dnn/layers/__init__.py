@@ -1,0 +1,32 @@
+"""Layer types of the DNN IR."""
+
+from repro.dnn.layers.base import Layer, LayerKind, ParamArray
+from repro.dnn.layers.activation import LRN, Activation, Dropout, Softmax
+from repro.dnn.layers.conv import Conv2d
+from repro.dnn.layers.dense import Dense, Flatten
+from repro.dnn.layers.merge import Add, Concat
+from repro.dnn.layers.norm import BatchNorm
+from repro.dnn.layers.pool import AvgPool2d, GlobalAvgPool, MaxPool2d
+from repro.dnn.layers.recurrent import LSTM, Embedding, SequenceLast
+
+__all__ = [
+    "Activation",
+    "Add",
+    "AvgPool2d",
+    "BatchNorm",
+    "Concat",
+    "Conv2d",
+    "Dense",
+    "Dropout",
+    "Embedding",
+    "Flatten",
+    "GlobalAvgPool",
+    "LRN",
+    "LSTM",
+    "Layer",
+    "LayerKind",
+    "MaxPool2d",
+    "ParamArray",
+    "SequenceLast",
+    "Softmax",
+]

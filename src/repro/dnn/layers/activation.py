@@ -1,0 +1,79 @@
+"""Element-wise activations, LRN, dropout and softmax."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dnn.layers.base import Layer, LayerKind
+from repro.dnn.shapes import Shape
+
+
+class Activation(Layer):
+    """Element-wise nonlinearity (relu, sigmoid, tanh)."""
+
+    kind = LayerKind.ACTIVATION
+    _COSTS = {"relu": 1.0, "sigmoid": 4.0, "tanh": 6.0}
+
+    def __init__(self, name: str, function: str = "relu") -> None:
+        super().__init__(name)
+        if function not in self._COSTS:
+            raise ValueError(f"{name}: unknown activation {function!r}")
+        self.function = function
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        self._check_arity(inputs)
+        return inputs[0]
+
+    def forward_flops(self, inputs: Sequence[Shape], output: Shape) -> float:
+        return output.numel * self._COSTS[self.function]
+
+
+class Softmax(Layer):
+    """Softmax over a flat feature vector (the classifier output)."""
+
+    kind = LayerKind.LOSS
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        self._check_arity(inputs)
+        return inputs[0]
+
+    def forward_flops(self, inputs: Sequence[Shape], output: Shape) -> float:
+        # exp + sum + divide per element.
+        return 6.0 * output.numel
+
+
+class LRN(Layer):
+    """Local response normalization (AlexNet/GoogLeNet era)."""
+
+    kind = LayerKind.NORM
+
+    def __init__(self, name: str, local_size: int = 5) -> None:
+        super().__init__(name)
+        self.local_size = int(local_size)
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        self._check_arity(inputs)
+        return inputs[0]
+
+    def forward_flops(self, inputs: Sequence[Shape], output: Shape) -> float:
+        # A window of squares plus scaling per element.
+        return output.numel * (self.local_size + 3.0)
+
+
+class Dropout(Layer):
+    """Dropout; masks elements during training."""
+
+    kind = LayerKind.DROPOUT
+
+    def __init__(self, name: str, rate: float = 0.5) -> None:
+        super().__init__(name)
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"{name}: dropout rate must be in [0, 1)")
+        self.rate = rate
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        self._check_arity(inputs)
+        return inputs[0]
+
+    def forward_flops(self, inputs: Sequence[Shape], output: Shape) -> float:
+        return 2.0 * output.numel  # RNG compare + mask multiply

@@ -1,0 +1,108 @@
+"""Layer base class.
+
+A layer declares shape inference, its learnable parameter arrays, and
+per-sample FLOP counts for forward and backward.  FLOPs count multiply and
+add separately (one MAC = 2 FLOPs), matching the convention of the V100's
+quoted 15.7 TFLOP/s.
+
+Backward cost convention: for parameterized layers backward runs two
+kernels, data-gradient (dgrad) and weight-gradient (wgrad), each roughly as
+expensive as forward; element-wise layers run one backward kernel of
+forward cost.  These are standard cuDNN cost relationships.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.core.errors import ShapeError
+from repro.dnn.shapes import Shape
+
+
+class LayerKind(str, enum.Enum):
+    CONV = "conv"
+    FC = "fc"
+    POOL = "pool"
+    ACTIVATION = "activation"
+    NORM = "norm"
+    MERGE = "merge"
+    DROPOUT = "dropout"
+    RESHAPE = "reshape"
+    LOSS = "loss"
+
+
+@dataclass(frozen=True)
+class ParamArray:
+    """One learnable array: the unit of KVStore communication."""
+
+    name: str
+    numel: int
+    dtype_bytes: int = 4
+
+    @property
+    def nbytes(self) -> int:
+        return self.numel * self.dtype_bytes
+
+
+class Layer(abc.ABC):
+    """Abstract layer of the IR.
+
+    ``n_inputs`` is the number of predecessor tensors the layer consumes
+    (``None`` means variadic, e.g. concat).
+    """
+
+    kind: LayerKind
+    n_inputs: int | None = 1
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("layer name must be non-empty")
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Shape and parameters
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        """Per-sample output shape given per-sample input shapes."""
+
+    def param_arrays(self, inputs: Sequence[Shape]) -> Tuple[ParamArray, ...]:
+        """Learnable arrays; default none."""
+        return ()
+
+    def param_count(self, inputs: Sequence[Shape]) -> int:
+        return sum(p.numel for p in self.param_arrays(inputs))
+
+    # ------------------------------------------------------------------
+    # Cost model (per sample)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def forward_flops(self, inputs: Sequence[Shape], output: Shape) -> float:
+        """Forward FLOPs per sample."""
+
+    def backward_flops(self, inputs: Sequence[Shape], output: Shape) -> float:
+        """Backward FLOPs per sample; default mirrors forward."""
+        return self.forward_flops(inputs, output)
+
+    def backward_kernel_count(self) -> int:
+        """Number of backward kernels (dgrad/wgrad split for weighted layers)."""
+        return 2 if self.param_arrays_possible() else 1
+
+    def param_arrays_possible(self) -> bool:
+        """Whether this layer type ever carries parameters."""
+        return False
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    def _check_arity(self, inputs: Sequence[Shape]) -> None:
+        if self.n_inputs is not None and len(inputs) != self.n_inputs:
+            raise ShapeError(
+                f"{self.name}: expected {self.n_inputs} input(s), got {len(inputs)}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

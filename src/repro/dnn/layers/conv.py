@@ -1,0 +1,90 @@
+"""2-D convolution."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.core.errors import ShapeError
+from repro.dnn.layers.base import Layer, LayerKind, ParamArray
+from repro.dnn.shapes import Shape, conv_output_hw
+
+
+class Conv2d(Layer):
+    """Standard (optionally grouped) 2-D convolution.
+
+    FLOPs: ``2 * K_h * K_w * C_in/groups * C_out * H_out * W_out`` per
+    sample forward; backward runs dgrad + wgrad, each of comparable cost,
+    for a total of twice the forward FLOPs.
+    """
+
+    kind = LayerKind.CONV
+
+    def __init__(
+        self,
+        name: str,
+        out_channels: int,
+        kernel: int | Tuple[int, int],
+        stride: int | Tuple[int, int] = 1,
+        pad: int | Tuple[int, int] = 0,
+        groups: int = 1,
+        bias: bool = True,
+    ) -> None:
+        super().__init__(name)
+        self.out_channels = int(out_channels)
+        self.kernel = _pair(kernel)
+        self.stride = _pair(stride)
+        self.pad = _pair(pad)
+        self.groups = int(groups)
+        self.bias = bias
+        if self.out_channels < 1:
+            raise ShapeError(f"{name}: out_channels must be positive")
+        if self.groups < 1 or self.out_channels % self.groups:
+            raise ShapeError(f"{name}: groups must divide out_channels")
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        self._check_arity(inputs)
+        x = inputs[0]
+        if not x.is_spatial:
+            raise ShapeError(f"{self.name}: convolution needs a (C, H, W) input, got {x}")
+        if x.channels % self.groups:
+            raise ShapeError(f"{self.name}: groups must divide input channels")
+        h = conv_output_hw(x.height, self.kernel[0], self.stride[0], self.pad[0])
+        w = conv_output_hw(x.width, self.kernel[1], self.stride[1], self.pad[1])
+        return Shape(self.out_channels, h, w)
+
+    def param_arrays(self, inputs: Sequence[Shape]) -> Tuple[ParamArray, ...]:
+        x = inputs[0]
+        weight = (
+            self.out_channels
+            * (x.channels // self.groups)
+            * self.kernel[0]
+            * self.kernel[1]
+        )
+        arrays = [ParamArray(f"{self.name}.weight", weight)]
+        if self.bias:
+            arrays.append(ParamArray(f"{self.name}.bias", self.out_channels))
+        return tuple(arrays)
+
+    def forward_flops(self, inputs: Sequence[Shape], output: Shape) -> float:
+        x = inputs[0]
+        macs = (
+            output.numel
+            * (x.channels // self.groups)
+            * self.kernel[0]
+            * self.kernel[1]
+        )
+        return 2.0 * macs
+
+    def backward_flops(self, inputs: Sequence[Shape], output: Shape) -> float:
+        return 2.0 * self.forward_flops(inputs, output)
+
+    def param_arrays_possible(self) -> bool:
+        return True
+
+
+def _pair(value: int | Tuple[int, int]) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        if len(value) != 2:
+            raise ShapeError(f"expected (h, w) pair, got {value}")
+        return (int(value[0]), int(value[1]))
+    return (int(value), int(value))

@@ -1,0 +1,61 @@
+"""Fully connected layers and the flatten adapter."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.dnn.layers.base import Layer, LayerKind, ParamArray
+from repro.dnn.shapes import Shape
+
+
+class Flatten(Layer):
+    """Collapse a (C, H, W) feature map into a flat vector; zero cost."""
+
+    kind = LayerKind.RESHAPE
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        self._check_arity(inputs)
+        return Shape(inputs[0].numel)
+
+    def forward_flops(self, inputs: Sequence[Shape], output: Shape) -> float:
+        return 0.0
+
+    def backward_kernel_count(self) -> int:
+        return 0
+
+
+class Dense(Layer):
+    """Fully connected layer: ``y = W x + b``.
+
+    FLOPs: ``2 * in_features * out_features`` forward; backward computes
+    dgrad and wgrad, each a matmul of the same size.
+    """
+
+    kind = LayerKind.FC
+
+    def __init__(self, name: str, units: int, bias: bool = True) -> None:
+        super().__init__(name)
+        self.units = int(units)
+        self.bias = bias
+        if self.units < 1:
+            raise ValueError(f"{name}: units must be positive")
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        self._check_arity(inputs)
+        return Shape(self.units)
+
+    def param_arrays(self, inputs: Sequence[Shape]) -> Tuple[ParamArray, ...]:
+        in_features = inputs[0].numel
+        arrays = [ParamArray(f"{self.name}.weight", in_features * self.units)]
+        if self.bias:
+            arrays.append(ParamArray(f"{self.name}.bias", self.units))
+        return tuple(arrays)
+
+    def forward_flops(self, inputs: Sequence[Shape], output: Shape) -> float:
+        return 2.0 * inputs[0].numel * self.units
+
+    def backward_flops(self, inputs: Sequence[Shape], output: Shape) -> float:
+        return 2.0 * self.forward_flops(inputs, output)
+
+    def param_arrays_possible(self) -> bool:
+        return True

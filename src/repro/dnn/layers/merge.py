@@ -1,0 +1,53 @@
+"""Multi-input merge layers: concat (inception) and add (residual)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors import ShapeError
+from repro.dnn.layers.base import Layer, LayerKind
+from repro.dnn.shapes import Shape
+
+
+class Concat(Layer):
+    """Channel-axis concatenation of feature maps (inception modules)."""
+
+    kind = LayerKind.MERGE
+    n_inputs = None  # variadic
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        if len(inputs) < 2:
+            raise ShapeError(f"{self.name}: concat needs at least two inputs")
+        first = inputs[0]
+        if not first.is_spatial:
+            raise ShapeError(f"{self.name}: concat expects (C, H, W) inputs")
+        for shape in inputs[1:]:
+            if not shape.is_spatial or (shape.height, shape.width) != (
+                first.height,
+                first.width,
+            ):
+                raise ShapeError(
+                    f"{self.name}: spatial dims must match, got {first} vs {shape}"
+                )
+        channels = sum(s.channels for s in inputs)
+        return Shape(channels, first.height, first.width)
+
+    def forward_flops(self, inputs: Sequence[Shape], output: Shape) -> float:
+        return 0.0  # pure data movement; bytes are accounted separately
+
+
+class Add(Layer):
+    """Element-wise addition (residual shortcut)."""
+
+    kind = LayerKind.MERGE
+    n_inputs = 2
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        self._check_arity(inputs)
+        a, b = inputs
+        if a != b:
+            raise ShapeError(f"{self.name}: addend shapes differ, {a} vs {b}")
+        return a
+
+    def forward_flops(self, inputs: Sequence[Shape], output: Shape) -> float:
+        return float(output.numel)

@@ -1,0 +1,43 @@
+"""Batch normalization."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.core.errors import ShapeError
+from repro.dnn.layers.base import Layer, LayerKind, ParamArray
+from repro.dnn.shapes import Shape
+
+
+class BatchNorm(Layer):
+    """Per-channel batch normalization with learnable scale and shift.
+
+    Carries two learnable arrays (gamma, beta) of ``channels`` elements;
+    the running statistics are not learnable and do not enter gradient
+    communication.
+    """
+
+    kind = LayerKind.NORM
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        self._check_arity(inputs)
+        return inputs[0]
+
+    def _channels(self, inputs: Sequence[Shape]) -> int:
+        x = inputs[0]
+        return x.channels if x.is_spatial else x.features
+
+    def param_arrays(self, inputs: Sequence[Shape]) -> Tuple[ParamArray, ...]:
+        c = self._channels(inputs)
+        return (
+            ParamArray(f"{self.name}.gamma", c),
+            ParamArray(f"{self.name}.beta", c),
+        )
+
+    def forward_flops(self, inputs: Sequence[Shape], output: Shape) -> float:
+        # normalize (subtract, divide) + scale + shift per element, plus the
+        # reduction for the batch statistics (~2 passes).
+        return 6.0 * output.numel
+
+    def param_arrays_possible(self) -> bool:
+        return True

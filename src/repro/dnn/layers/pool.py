@@ -1,0 +1,80 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.core.errors import ShapeError
+from repro.dnn.layers.base import Layer, LayerKind
+from repro.dnn.layers.conv import _pair
+from repro.dnn.shapes import Shape, conv_output_hw
+
+
+class _Pool2d(Layer):
+    """Shared machinery for max/average pooling."""
+
+    kind = LayerKind.POOL
+    #: FLOPs per output element (comparison or addition per window element).
+    _flops_per_window_element = 1.0
+
+    def __init__(
+        self,
+        name: str,
+        kernel: int | Tuple[int, int],
+        stride: int | Tuple[int, int] | None = None,
+        pad: int | Tuple[int, int] = 0,
+        ceil_mode: bool = False,
+    ) -> None:
+        super().__init__(name)
+        self.kernel = _pair(kernel)
+        self.stride = _pair(stride if stride is not None else kernel)
+        self.pad = _pair(pad)
+        self.ceil_mode = ceil_mode
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        self._check_arity(inputs)
+        x = inputs[0]
+        if not x.is_spatial:
+            raise ShapeError(f"{self.name}: pooling needs a (C, H, W) input, got {x}")
+        h = self._extent(x.height, 0)
+        w = self._extent(x.width, 1)
+        return Shape(x.channels, h, w)
+
+    def _extent(self, size: int, axis: int) -> int:
+        if self.ceil_mode:
+            padded = size + 2 * self.pad[axis] - self.kernel[axis]
+            out = -(-padded // self.stride[axis]) + 1
+            if out < 1:
+                raise ShapeError(f"{self.name}: window does not fit input extent {size}")
+            return out
+        return conv_output_hw(size, self.kernel[axis], self.stride[axis], self.pad[axis])
+
+    def forward_flops(self, inputs: Sequence[Shape], output: Shape) -> float:
+        window = self.kernel[0] * self.kernel[1]
+        return output.numel * window * self._flops_per_window_element
+
+
+class MaxPool2d(_Pool2d):
+    """Max pooling; one comparison per window element."""
+
+
+class AvgPool2d(_Pool2d):
+    """Average pooling; one addition per window element plus the divide."""
+
+    _flops_per_window_element = 1.0
+
+
+class GlobalAvgPool(Layer):
+    """Average over all spatial positions, producing a flat feature vector."""
+
+    kind = LayerKind.POOL
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        self._check_arity(inputs)
+        x = inputs[0]
+        if not x.is_spatial:
+            raise ShapeError(f"{self.name}: global pooling needs a (C, H, W) input")
+        return Shape(x.channels)
+
+    def forward_flops(self, inputs: Sequence[Shape], output: Shape) -> float:
+        return float(inputs[0].numel)

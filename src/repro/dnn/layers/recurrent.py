@@ -1,0 +1,116 @@
+"""Recurrent layers: embedding lookup and LSTM.
+
+The framework studies the paper builds on (Shi et al.) profile three
+workload classes -- FCNs, CNNs and RNNs; these layers let the simulator
+cover the third.  Sequences use rank-2 per-sample shapes ``(T, F)``
+(timesteps x features); token inputs are rank-1 ``(T,)``.
+
+An LSTM is communication-light per FLOP (weights are reused across all T
+timesteps) but hard to parallelize across the time dimension -- its
+kernels are many and small, which is the LeNet-like regime of the paper's
+analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.core.errors import ShapeError
+from repro.dnn.layers.base import Layer, LayerKind, ParamArray
+from repro.dnn.shapes import Shape
+
+
+class Embedding(Layer):
+    """Token-id lookup table: ``(T,) -> (T, dim)``."""
+
+    kind = LayerKind.FC
+
+    def __init__(self, name: str, vocab_size: int, dim: int) -> None:
+        super().__init__(name)
+        if vocab_size < 1 or dim < 1:
+            raise ShapeError(f"{name}: vocab_size and dim must be positive")
+        self.vocab_size = int(vocab_size)
+        self.dim = int(dim)
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        self._check_arity(inputs)
+        x = inputs[0]
+        if x.rank != 1:
+            raise ShapeError(f"{self.name}: embedding expects a (T,) token sequence")
+        return Shape(x.dims[0], self.dim)
+
+    def param_arrays(self, inputs: Sequence[Shape]) -> Tuple[ParamArray, ...]:
+        return (ParamArray(f"{self.name}.weight", self.vocab_size * self.dim),)
+
+    def forward_flops(self, inputs: Sequence[Shape], output: Shape) -> float:
+        # a gather: one copy per output element
+        return float(output.numel)
+
+    def param_arrays_possible(self) -> bool:
+        return True
+
+
+class LSTM(Layer):
+    """Single-direction LSTM over a sequence: ``(T, F) -> (T, H)``.
+
+    Per timestep the four gates compute ``4H x (F + H)`` matrix-vector
+    products plus elementwise gate math; forward FLOPs are
+    ``T * (8H(F + H) + 24H)`` (2 FLOPs per MAC convention).  Backward
+    through time costs roughly double, like the other weighted layers.
+    """
+
+    kind = LayerKind.FC
+
+    def __init__(self, name: str, hidden_size: int) -> None:
+        super().__init__(name)
+        if hidden_size < 1:
+            raise ShapeError(f"{name}: hidden_size must be positive")
+        self.hidden_size = int(hidden_size)
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        self._check_arity(inputs)
+        x = inputs[0]
+        if x.rank != 2:
+            raise ShapeError(f"{self.name}: LSTM expects a (T, F) sequence input")
+        return Shape(x.dims[0], self.hidden_size)
+
+    def _in_features(self, inputs: Sequence[Shape]) -> int:
+        return inputs[0].dims[1]
+
+    def param_arrays(self, inputs: Sequence[Shape]) -> Tuple[ParamArray, ...]:
+        f, h = self._in_features(inputs), self.hidden_size
+        return (
+            ParamArray(f"{self.name}.weight_ih", 4 * h * f),
+            ParamArray(f"{self.name}.weight_hh", 4 * h * h),
+            ParamArray(f"{self.name}.bias", 8 * h),
+        )
+
+    def forward_flops(self, inputs: Sequence[Shape], output: Shape) -> float:
+        t = inputs[0].dims[0]
+        f, h = self._in_features(inputs), self.hidden_size
+        return float(t) * (8.0 * h * (f + h) + 24.0 * h)
+
+    def backward_flops(self, inputs: Sequence[Shape], output: Shape) -> float:
+        return 2.0 * self.forward_flops(inputs, output)
+
+    def param_arrays_possible(self) -> bool:
+        return True
+
+
+class SequenceLast(Layer):
+    """Select the final timestep: ``(T, F) -> (F,)`` (a view, zero cost)."""
+
+    kind = LayerKind.RESHAPE
+
+    def infer_shape(self, inputs: Sequence[Shape]) -> Shape:
+        self._check_arity(inputs)
+        x = inputs[0]
+        if x.rank != 2:
+            raise ShapeError(f"{self.name}: expects a (T, F) sequence input")
+        return Shape(x.dims[1])
+
+    def forward_flops(self, inputs: Sequence[Shape], output: Shape) -> float:
+        return 0.0
+
+    def backward_kernel_count(self) -> int:
+        return 0

@@ -1,0 +1,118 @@
+"""Network container: a DAG of named layers with shape inference."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError, ShapeError
+from repro.dnn.layers.base import Layer
+from repro.dnn.shapes import Shape
+
+#: Reserved node name for the network input tensor.
+INPUT = "@input"
+
+
+@dataclass(frozen=True)
+class NetworkNode:
+    """One layer instance wired to its predecessors."""
+
+    layer: Layer
+    inputs: Tuple[str, ...]
+    #: Optional tag grouping layers into a structural module (e.g. the
+    #: inception module or residual block a layer belongs to).
+    module: Optional[str] = None
+
+
+class Network:
+    """An immutable-once-built DAG of layers.
+
+    Nodes are appended with :meth:`add`; predecessors must already exist, so
+    insertion order is a topological order by construction.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._nodes: Dict[str, NetworkNode] = {}
+        self._order: List[str] = []
+        self._output: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        layer: Layer,
+        inputs: Sequence[str] | str = INPUT,
+        module: Optional[str] = None,
+    ) -> str:
+        """Append ``layer``; returns its name for wiring successors."""
+        if isinstance(inputs, str):
+            inputs = (inputs,)
+        if layer.name in self._nodes or layer.name == INPUT:
+            raise ConfigurationError(f"duplicate layer name {layer.name!r}")
+        if not inputs:
+            raise ConfigurationError(f"{layer.name}: needs at least one input")
+        for src in inputs:
+            if src != INPUT and src not in self._nodes:
+                raise ConfigurationError(
+                    f"{layer.name}: unknown input {src!r} (predecessors must be added first)"
+                )
+        self._nodes[layer.name] = NetworkNode(layer, tuple(inputs), module)
+        self._order.append(layer.name)
+        self._output = layer.name
+        return layer.name
+
+    def set_output(self, name: str) -> None:
+        if name not in self._nodes:
+            raise ConfigurationError(f"unknown output node {name!r}")
+        self._output = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def output(self) -> str:
+        if self._output is None:
+            raise ConfigurationError("empty network has no output")
+        return self._output
+
+    @property
+    def layer_names(self) -> Tuple[str, ...]:
+        """Topological order of layers."""
+        return tuple(self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def node(self, name: str) -> NetworkNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise ConfigurationError(f"no layer named {name!r} in {self.name}") from None
+
+    def nodes(self) -> Iterable[Tuple[str, NetworkNode]]:
+        for name in self._order:
+            yield name, self._nodes[name]
+
+    def modules(self) -> Tuple[str, ...]:
+        """Distinct module tags, in first-appearance order."""
+        seen: List[str] = []
+        for _, node in self.nodes():
+            if node.module is not None and node.module not in seen:
+                seen.append(node.module)
+        return tuple(seen)
+
+    # ------------------------------------------------------------------
+    # Shape inference
+    # ------------------------------------------------------------------
+    def infer_shapes(self, input_shape: Shape) -> Dict[str, Shape]:
+        """Per-sample output shape of every layer, keyed by layer name."""
+        shapes: Dict[str, Shape] = {INPUT: input_shape}
+        for name, node in self.nodes():
+            try:
+                in_shapes = [shapes[s] for s in node.inputs]
+            except KeyError as missing:
+                raise ShapeError(f"{name}: input {missing} has no shape") from None
+            shapes[name] = node.layer.infer_shape(in_shapes)
+        return shapes

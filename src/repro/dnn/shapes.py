@@ -1,0 +1,81 @@
+"""Per-sample tensor shapes.
+
+Shapes exclude the batch dimension: a convolutional feature map is
+``Shape(channels, height, width)`` and a flat feature vector is
+``Shape(features)``.  All layers operate on these per-sample shapes; batch
+size enters only when the GPU model converts element counts into work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import prod
+from typing import Tuple
+
+from repro.core.errors import ShapeError
+
+
+@dataclass(frozen=True, order=True)
+class Shape:
+    """An immutable per-sample tensor shape."""
+
+    dims: Tuple[int, ...]
+
+    def __init__(self, *dims: int) -> None:
+        if not dims:
+            raise ShapeError("shape needs at least one dimension")
+        if any(d < 1 for d in dims):
+            raise ShapeError(f"shape dimensions must be positive, got {dims}")
+        object.__setattr__(self, "dims", tuple(int(d) for d in dims))
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def numel(self) -> int:
+        """Elements per sample."""
+        return prod(self.dims)
+
+    @property
+    def is_spatial(self) -> bool:
+        """True for (C, H, W) feature maps."""
+        return self.rank == 3
+
+    @property
+    def channels(self) -> int:
+        self._require_spatial()
+        return self.dims[0]
+
+    @property
+    def height(self) -> int:
+        self._require_spatial()
+        return self.dims[1]
+
+    @property
+    def width(self) -> int:
+        self._require_spatial()
+        return self.dims[2]
+
+    @property
+    def features(self) -> int:
+        if self.rank != 1:
+            raise ShapeError(f"expected a flat shape, got {self}")
+        return self.dims[0]
+
+    def _require_spatial(self) -> None:
+        if not self.is_spatial:
+            raise ShapeError(f"expected a (C, H, W) shape, got {self}")
+
+    def __str__(self) -> str:
+        return "x".join(str(d) for d in self.dims)
+
+
+def conv_output_hw(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Output spatial extent of a convolution/pool along one axis."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out < 1:
+        raise ShapeError(
+            f"kernel {kernel} (stride {stride}, pad {pad}) does not fit input extent {size}"
+        )
+    return out

@@ -1,0 +1,77 @@
+"""The five DNN workloads the paper profiles (plus VGG-16 as an extension).
+
+Each builder returns a :class:`~repro.dnn.network.Network`; input
+resolutions follow the paper (299x299 for Inception-v3, 224x224 for AlexNet,
+GoogLeNet and ResNet, the classic 32x32 for LeNet).  All classifiers
+emit 1000 ImageNet classes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.dnn.network import Network
+from repro.dnn.shapes import Shape
+from repro.dnn.zoo.alexnet import build_alexnet
+from repro.dnn.zoo.googlenet import build_googlenet
+from repro.dnn.zoo.inception_v3 import build_inception_v3
+from repro.dnn.zoo.lenet import build_lenet
+from repro.dnn.zoo.resnet import build_resnet50
+from repro.dnn.zoo.rnn import SEQ_LEN, build_lstm
+from repro.dnn.zoo.vgg import build_vgg16
+
+_REGISTRY: Dict[str, Tuple[Callable[[], Network], Shape]] = {
+    "lenet": (build_lenet, Shape(3, 32, 32)),
+    "alexnet": (build_alexnet, Shape(3, 224, 224)),
+    "googlenet": (build_googlenet, Shape(3, 224, 224)),
+    "inception-v3": (build_inception_v3, Shape(3, 299, 299)),
+    "resnet": (build_resnet50, Shape(3, 224, 224)),
+    "vgg16": (build_vgg16, Shape(3, 224, 224)),
+    "lstm": (build_lstm, Shape(SEQ_LEN)),
+}
+
+#: Names in the order the paper lists them.
+PAPER_NETWORKS = ("lenet", "alexnet", "resnet", "googlenet", "inception-v3")
+
+
+def available_networks() -> Tuple[str, ...]:
+    """All registered network names."""
+    return tuple(_REGISTRY)
+
+
+def build_network(name: str) -> Network:
+    """Instantiate a network from the zoo by name."""
+    try:
+        builder, _ = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown network {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return builder()
+
+
+def network_input_shape(name: str) -> Shape:
+    """The per-sample input shape used for ``name`` in the paper."""
+    try:
+        _, shape = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown network {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return shape
+
+
+__all__ = [
+    "PAPER_NETWORKS",
+    "available_networks",
+    "build_alexnet",
+    "build_googlenet",
+    "build_inception_v3",
+    "build_lenet",
+    "build_lstm",
+    "build_network",
+    "build_vgg16",
+    "build_resnet50",
+    "network_input_shape",
+]

@@ -1,0 +1,37 @@
+"""AlexNet (Krizhevsky et al., 2012), single-tower variant.
+
+Five convolution layers, three fully connected layers, ~61M parameters --
+the paper's example of a *communication-heavy but compute-light* workload:
+few layers, but very large gradient arrays (the two 4096-wide FC layers
+hold >90% of the weights).
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.network import Network
+
+NUM_CLASSES = 1000
+
+
+def build_alexnet(num_classes: int = NUM_CLASSES) -> Network:
+    """Single-tower AlexNet on 224x224 inputs (torchvision channel widths)."""
+    b = NetworkBuilder("alexnet")
+    b.conv(64, 11, stride=4, pad=2, name="conv1")
+    b.lrn(name="lrn1")
+    b.maxpool(3, stride=2, name="pool1")
+    b.conv(192, 5, pad=2, name="conv2")
+    b.lrn(name="lrn2")
+    b.maxpool(3, stride=2, name="pool2")
+    b.conv(384, 3, pad=1, name="conv3")
+    b.conv(256, 3, pad=1, name="conv4")
+    b.conv(256, 3, pad=1, name="conv5")
+    b.maxpool(3, stride=2, name="pool5")
+    b.flatten()
+    b.dropout(0.5, name="drop6")
+    b.dense(4096, act="relu", name="fc6")
+    b.dropout(0.5, name="drop7")
+    b.dense(4096, act="relu", name="fc7")
+    b.dense(num_classes, name="fc8")
+    b.softmax()
+    return b.build()

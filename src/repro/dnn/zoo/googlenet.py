@@ -1,0 +1,70 @@
+"""GoogLeNet / Inception-v1 (Szegedy et al., 2015).
+
+Nine inception modules over a convolutional stem; ~7M parameters.  The
+auxiliary classifiers are omitted, matching inference-graph training setups
+and keeping the weight-array list identical across iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.network import Network
+
+NUM_CLASSES = 1000
+
+#: (c1, c3_reduce, c3, c5_reduce, c5, pool_proj) per module.
+INCEPTION_V1_CONFIGS: Tuple[Tuple[str, Tuple[int, int, int, int, int, int]], ...] = (
+    ("3a", (64, 96, 128, 16, 32, 32)),
+    ("3b", (128, 128, 192, 32, 96, 64)),
+    ("4a", (192, 96, 208, 16, 48, 64)),
+    ("4b", (160, 112, 224, 24, 64, 64)),
+    ("4c", (128, 128, 256, 24, 64, 64)),
+    ("4d", (112, 144, 288, 32, 64, 64)),
+    ("4e", (256, 160, 320, 32, 128, 128)),
+    ("5a", (256, 160, 320, 32, 128, 128)),
+    ("5b", (384, 192, 384, 48, 128, 128)),
+)
+
+
+def _inception_module(b: NetworkBuilder, tag: str,
+                      config: Tuple[int, int, int, int, int, int]) -> str:
+    """One v1 inception module: four parallel branches, concatenated."""
+    c1, c3r, c3, c5r, c5, pp = config
+    module = f"inception_{tag}"
+    entry = b.cursor
+
+    branch1 = b.at(entry).conv(c1, 1, name=f"{module}.b1", module=module)
+    b.at(entry).conv(c3r, 1, name=f"{module}.b2r", module=module)
+    branch2 = b.conv(c3, 3, pad=1, name=f"{module}.b2", module=module)
+    b.at(entry).conv(c5r, 1, name=f"{module}.b3r", module=module)
+    branch3 = b.conv(c5, 5, pad=2, name=f"{module}.b3", module=module)
+    b.at(entry).maxpool(3, stride=1, pad=1, name=f"{module}.pool", module=module)
+    branch4 = b.conv(pp, 1, name=f"{module}.b4", module=module)
+
+    return b.concat([branch1, branch2, branch3, branch4],
+                    name=f"{module}.out", module=module)
+
+
+def build_googlenet(num_classes: int = NUM_CLASSES) -> Network:
+    """GoogLeNet on 224x224 inputs."""
+    b = NetworkBuilder("googlenet")
+    b.conv(64, 7, stride=2, pad=3, name="conv1")
+    b.maxpool(3, stride=2, ceil_mode=True, name="pool1")
+    b.lrn(name="lrn1")
+    b.conv(64, 1, name="conv2r")
+    b.conv(192, 3, pad=1, name="conv2")
+    b.lrn(name="lrn2")
+    b.maxpool(3, stride=2, ceil_mode=True, name="pool2")
+
+    for tag, config in INCEPTION_V1_CONFIGS:
+        _inception_module(b, tag, config)
+        if tag in ("3b", "4e"):
+            b.maxpool(3, stride=2, ceil_mode=True, name=f"pool_{tag}")
+
+    b.global_avgpool(name="gap")
+    b.dropout(0.4, name="drop")
+    b.dense(num_classes, name="fc")
+    b.softmax()
+    return b.build()

@@ -1,0 +1,127 @@
+"""Inception-v3 (Szegedy et al., 2016).
+
+Eleven inception modules (A x3, B, C x4, D, E x2) over a convolutional
+stem, batch norm after every convolution, ~24M parameters and the largest
+activation footprint of the paper's five workloads (299x299 inputs).
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.network import Network
+
+NUM_CLASSES = 1000
+
+
+def _conv_bn(b: NetworkBuilder, out_ch: int, kernel, stride=1, pad=0,
+             name: str = "", module: str | None = None) -> str:
+    return b.conv(out_ch, kernel, stride=stride, pad=pad, bn=True, name=name,
+                  module=module)
+
+
+def _inception_a(b: NetworkBuilder, tag: str, pool_features: int) -> str:
+    """35x35 module: 1x1, 5x5, double-3x3 and pooled branches."""
+    module = f"mixed_{tag}"
+    entry = b.cursor
+    br1 = _conv_bn(b.at(entry), 64, 1, name=f"{module}.b1", module=module)
+    _conv_bn(b.at(entry), 48, 1, name=f"{module}.b5r", module=module)
+    br2 = _conv_bn(b, 64, 5, pad=2, name=f"{module}.b5", module=module)
+    _conv_bn(b.at(entry), 64, 1, name=f"{module}.b3r", module=module)
+    _conv_bn(b, 96, 3, pad=1, name=f"{module}.b3a", module=module)
+    br3 = _conv_bn(b, 96, 3, pad=1, name=f"{module}.b3b", module=module)
+    b.at(entry).avgpool(3, stride=1, pad=1, name=f"{module}.pool", module=module)
+    br4 = _conv_bn(b, pool_features, 1, name=f"{module}.bp", module=module)
+    return b.concat([br1, br2, br3, br4], name=f"{module}.out", module=module)
+
+
+def _inception_b(b: NetworkBuilder, tag: str) -> str:
+    """Grid reduction 35x35 -> 17x17."""
+    module = f"mixed_{tag}"
+    entry = b.cursor
+    br1 = _conv_bn(b.at(entry), 384, 3, stride=2, name=f"{module}.b3", module=module)
+    _conv_bn(b.at(entry), 64, 1, name=f"{module}.b3dr", module=module)
+    _conv_bn(b, 96, 3, pad=1, name=f"{module}.b3da", module=module)
+    br2 = _conv_bn(b, 96, 3, stride=2, name=f"{module}.b3db", module=module)
+    br3 = b.at(entry).maxpool(3, stride=2, name=f"{module}.pool", module=module)
+    return b.concat([br1, br2, br3], name=f"{module}.out", module=module)
+
+
+def _inception_c(b: NetworkBuilder, tag: str, c7: int) -> str:
+    """17x17 module with factorized 7x7 convolutions."""
+    module = f"mixed_{tag}"
+    entry = b.cursor
+    br1 = _conv_bn(b.at(entry), 192, 1, name=f"{module}.b1", module=module)
+    _conv_bn(b.at(entry), c7, 1, name=f"{module}.b7r", module=module)
+    _conv_bn(b, c7, (1, 7), pad=(0, 3), name=f"{module}.b7a", module=module)
+    br2 = _conv_bn(b, 192, (7, 1), pad=(3, 0), name=f"{module}.b7b", module=module)
+    _conv_bn(b.at(entry), c7, 1, name=f"{module}.b7dr", module=module)
+    _conv_bn(b, c7, (7, 1), pad=(3, 0), name=f"{module}.b7da", module=module)
+    _conv_bn(b, c7, (1, 7), pad=(0, 3), name=f"{module}.b7db", module=module)
+    _conv_bn(b, c7, (7, 1), pad=(3, 0), name=f"{module}.b7dc", module=module)
+    br3 = _conv_bn(b, 192, (1, 7), pad=(0, 3), name=f"{module}.b7dd", module=module)
+    b.at(entry).avgpool(3, stride=1, pad=1, name=f"{module}.pool", module=module)
+    br4 = _conv_bn(b, 192, 1, name=f"{module}.bp", module=module)
+    return b.concat([br1, br2, br3, br4], name=f"{module}.out", module=module)
+
+
+def _inception_d(b: NetworkBuilder, tag: str) -> str:
+    """Grid reduction 17x17 -> 8x8."""
+    module = f"mixed_{tag}"
+    entry = b.cursor
+    _conv_bn(b.at(entry), 192, 1, name=f"{module}.b3r", module=module)
+    br1 = _conv_bn(b, 320, 3, stride=2, name=f"{module}.b3", module=module)
+    _conv_bn(b.at(entry), 192, 1, name=f"{module}.b7r", module=module)
+    _conv_bn(b, 192, (1, 7), pad=(0, 3), name=f"{module}.b7a", module=module)
+    _conv_bn(b, 192, (7, 1), pad=(3, 0), name=f"{module}.b7b", module=module)
+    br2 = _conv_bn(b, 192, 3, stride=2, name=f"{module}.b7c", module=module)
+    br3 = b.at(entry).maxpool(3, stride=2, name=f"{module}.pool", module=module)
+    return b.concat([br1, br2, br3], name=f"{module}.out", module=module)
+
+
+def _inception_e(b: NetworkBuilder, tag: str) -> str:
+    """8x8 module with expanded (1x3 / 3x1) branch fan-outs."""
+    module = f"mixed_{tag}"
+    entry = b.cursor
+    br1 = _conv_bn(b.at(entry), 320, 1, name=f"{module}.b1", module=module)
+    mid2 = _conv_bn(b.at(entry), 384, 1, name=f"{module}.b3r", module=module)
+    b2a = _conv_bn(b.at(mid2), 384, (1, 3), pad=(0, 1), name=f"{module}.b3a", module=module)
+    b2b = _conv_bn(b.at(mid2), 384, (3, 1), pad=(1, 0), name=f"{module}.b3b", module=module)
+    br2 = b.concat([b2a, b2b], name=f"{module}.b3out", module=module)
+    _conv_bn(b.at(entry), 448, 1, name=f"{module}.b3dr", module=module)
+    mid3 = _conv_bn(b, 384, 3, pad=1, name=f"{module}.b3da", module=module)
+    b3a = _conv_bn(b.at(mid3), 384, (1, 3), pad=(0, 1), name=f"{module}.b3db", module=module)
+    b3b = _conv_bn(b.at(mid3), 384, (3, 1), pad=(1, 0), name=f"{module}.b3dc", module=module)
+    br3 = b.concat([b3a, b3b], name=f"{module}.b3dout", module=module)
+    b.at(entry).avgpool(3, stride=1, pad=1, name=f"{module}.pool", module=module)
+    br4 = _conv_bn(b, 192, 1, name=f"{module}.bp", module=module)
+    return b.concat([br1, br2, br3, br4], name=f"{module}.out", module=module)
+
+
+def build_inception_v3(num_classes: int = NUM_CLASSES) -> Network:
+    """Inception-v3 on 299x299 inputs."""
+    b = NetworkBuilder("inception-v3")
+    _conv_bn(b, 32, 3, stride=2, name="stem1")
+    _conv_bn(b, 32, 3, name="stem2")
+    _conv_bn(b, 64, 3, pad=1, name="stem3")
+    b.maxpool(3, stride=2, name="stem_pool1")
+    _conv_bn(b, 80, 1, name="stem4")
+    _conv_bn(b, 192, 3, name="stem5")
+    b.maxpool(3, stride=2, name="stem_pool2")
+
+    _inception_a(b, "5b", pool_features=32)
+    _inception_a(b, "5c", pool_features=64)
+    _inception_a(b, "5d", pool_features=64)
+    _inception_b(b, "6a")
+    _inception_c(b, "6b", c7=128)
+    _inception_c(b, "6c", c7=160)
+    _inception_c(b, "6d", c7=160)
+    _inception_c(b, "6e", c7=192)
+    _inception_d(b, "7a")
+    _inception_e(b, "7b")
+    _inception_e(b, "7c")
+
+    b.global_avgpool(name="gap")
+    b.dropout(0.5, name="drop")
+    b.dense(num_classes, name="fc")
+    b.softmax()
+    return b.build()

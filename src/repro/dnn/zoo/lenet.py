@@ -1,0 +1,29 @@
+"""LeNet-5 (LeCun et al., 1998), adapted to RGB input and 1000 classes.
+
+The paper uses LeNet as its smallest workload: two convolution layers,
+three fully connected layers, on the order of 10^5 parameters -- small
+enough that communication and CUDA API overheads dominate its training.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.network import Network
+
+#: Classifier width (ImageNet classes, matching the paper's dataset).
+NUM_CLASSES = 1000
+
+
+def build_lenet(num_classes: int = NUM_CLASSES) -> Network:
+    """Classic LeNet-5 on 32x32 inputs."""
+    b = NetworkBuilder("lenet")
+    b.conv(6, 5, act="tanh", name="c1")
+    b.maxpool(2, name="s2")
+    b.conv(16, 5, act="tanh", name="c3")
+    b.maxpool(2, name="s4")
+    b.flatten()
+    b.dense(120, act="tanh", name="f5")
+    b.dense(84, act="tanh", name="f6")
+    b.dense(num_classes, name="output")
+    b.softmax()
+    return b.build()

@@ -1,0 +1,67 @@
+"""ResNet-50 (He et al., 2016).
+
+Bottleneck residual blocks with batch norm; ~25.6M parameters, 224x224
+inputs (at 299x299 the batch-64 activation footprint would exceed the
+V100's 16 GiB, contradicting the paper's own memory findings).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.network import Network
+
+NUM_CLASSES = 1000
+
+#: (blocks, bottleneck width, output width, first stride) per stage.
+RESNET50_STAGES: Tuple[Tuple[int, int, int, int], ...] = (
+    (3, 64, 256, 1),
+    (4, 128, 512, 2),
+    (6, 256, 1024, 2),
+    (3, 512, 2048, 2),
+)
+
+
+def _bottleneck(b: NetworkBuilder, tag: str, width: int, out_channels: int,
+                stride: int, project: bool) -> str:
+    """One bottleneck block: 1x1 -> 3x3 -> 1x1 plus the shortcut."""
+    module = f"block_{tag}"
+    entry = b.cursor
+    b.conv(width, 1, bn=True, name=f"{module}.a", module=module)
+    b.conv(width, 3, stride=stride, pad=1, bn=True, name=f"{module}.b", module=module)
+    main = b.conv(out_channels, 1, bn=True, act=None, name=f"{module}.c", module=module)
+    if project:
+        shortcut = b.at(entry).conv(
+            out_channels, 1, stride=stride, bn=True, act=None,
+            name=f"{module}.proj", module=module,
+        )
+    else:
+        shortcut = entry
+    return b.add_residual(main, shortcut, name=f"{module}.add", module=module)
+
+
+def build_resnet50(num_classes: int = NUM_CLASSES) -> Network:
+    """ResNet-50 on 224x224 inputs."""
+    b = NetworkBuilder("resnet")
+    b.conv(64, 7, stride=2, pad=3, bn=True, name="conv1")
+    b.maxpool(3, stride=2, pad=1, name="pool1")
+
+    for stage_idx, (blocks, width, out_channels, first_stride) in enumerate(
+        RESNET50_STAGES, start=2
+    ):
+        for block_idx in range(blocks):
+            stride = first_stride if block_idx == 0 else 1
+            _bottleneck(
+                b,
+                tag=f"{stage_idx}{chr(ord('a') + block_idx)}",
+                width=width,
+                out_channels=out_channels,
+                stride=stride,
+                project=block_idx == 0,
+            )
+
+    b.global_avgpool(name="gap")
+    b.dense(num_classes, name="fc")
+    b.softmax()
+    return b.build()

@@ -1,0 +1,39 @@
+"""A two-layer LSTM language-model classifier (the RNN workload class).
+
+Matches the medium LSTM configurations the framework benchmarks of the
+era used: 10K vocabulary, 512-wide embedding and hidden states, sequence
+length 64 -- about 15M parameters dominated by the embedding and output
+projection, with the time-unrolled recurrent compute the paper's
+LeNet-style analysis applies to (many small kernels per sample).
+"""
+
+from __future__ import annotations
+
+from repro.dnn.layers.recurrent import LSTM, Embedding, SequenceLast
+from repro.dnn.network import Network
+
+VOCAB_SIZE = 10_000
+EMBED_DIM = 512
+HIDDEN_SIZE = 512
+SEQ_LEN = 64
+
+
+def build_lstm(
+    vocab_size: int = VOCAB_SIZE,
+    embed_dim: int = EMBED_DIM,
+    hidden_size: int = HIDDEN_SIZE,
+    layers: int = 2,
+) -> Network:
+    """Embedding -> stacked LSTMs -> last state -> vocabulary softmax."""
+    from repro.dnn.layers import Dense, Dropout, Softmax
+
+    net = Network("lstm")
+    net.add(Embedding("embed", vocab_size, embed_dim))
+    previous = "embed"
+    for i in range(layers):
+        previous = net.add(LSTM(f"lstm{i + 1}", hidden_size), previous)
+        previous = net.add(Dropout(f"drop{i + 1}", 0.2), previous)
+    net.add(SequenceLast("last"), previous)
+    net.add(Dense("proj", vocab_size), "last")
+    net.add(Softmax("softmax"), "proj")
+    return net

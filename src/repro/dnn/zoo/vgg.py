@@ -1,0 +1,43 @@
+"""VGG-16 (Simonyan & Zisserman, 2015).
+
+Not part of the paper's five workloads, but the canonical communication
+stress test: 138M parameters (89% in three FC layers) make it the most
+gradient-heavy common architecture -- useful for extending the paper's
+P2P-vs-NCCL analysis beyond AlexNet.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.network import Network
+
+NUM_CLASSES = 1000
+
+#: (channels, convs) per block of the 16-layer configuration "D".
+VGG16_BLOCKS: Tuple[Tuple[int, int], ...] = (
+    (64, 2),
+    (128, 2),
+    (256, 3),
+    (512, 3),
+    (512, 3),
+)
+
+
+def build_vgg16(num_classes: int = NUM_CLASSES) -> Network:
+    """VGG-16 on 224x224 inputs."""
+    b = NetworkBuilder("vgg16")
+    for block, (channels, convs) in enumerate(VGG16_BLOCKS, start=1):
+        for i in range(convs):
+            b.conv(channels, 3, pad=1, name=f"conv{block}_{i + 1}",
+                   module=f"block{block}")
+        b.maxpool(2, name=f"pool{block}", module=f"block{block}")
+    b.flatten()
+    b.dense(4096, act="relu", name="fc6")
+    b.dropout(0.5, name="drop6")
+    b.dense(4096, act="relu", name="fc7")
+    b.dropout(0.5, name="drop7")
+    b.dense(num_classes, name="fc8")
+    b.softmax()
+    return b.build()

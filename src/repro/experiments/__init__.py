@@ -1,0 +1,25 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+Each module exposes ``run(...)`` returning a structured result and
+``render(result)`` producing the text table/series; the CLI
+(``repro-experiments``) drives them.  A shared :class:`~repro.experiments.runner.RunCache`
+deduplicates training simulations across experiments.
+
+===========  =====================================================
+Experiment   Paper artifact
+===========  =====================================================
+``table1``   Table I  -- network descriptions
+``fig2``     Figure 2 -- DGX-1 interconnect topology
+``fig3``     Figure 3 -- training time per epoch (P2P vs NCCL)
+``table2``   Table II -- NCCL overhead on a single GPU
+``fig4``     Figure 4 -- FP+BP vs WU breakdown
+``table3``   Table III-- cudaStreamSynchronize overhead (LeNet)
+``table4``   Table IV -- GPU memory usage
+``fig5``     Figure 5 -- weak scaling
+``ablate``   DESIGN.md ablations (overlap, fabric, tensor cores)
+===========  =====================================================
+"""
+
+from repro.experiments.runner import RunCache
+
+__all__ = ["RunCache"]

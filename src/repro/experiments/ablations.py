@@ -1,0 +1,123 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Four ablations, each isolating one mechanism the paper's conclusions rest
+on:
+
+* **BP/WU overlap** -- disable MXNet's pipelining of backward propagation
+  with weight update; shows how much communication latency hiding buys.
+* **Fabric** -- replace NVLink with PCIe-only transfers; the paper's claim
+  that bandwidth alone does not remove the communication bottleneck.
+* **Link asymmetry** -- collapse dual NVLinks to singles; quantifies the
+  benefit of the aggregated 50 GB/s connections.
+* **Tensor cores** -- disable them; compute-side sensitivity.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.config import CommMethodName, SimulationConfig, TrainingConfig
+from repro.experiments.tables import render_table
+from repro.topology import build_dgx1v
+from repro.train import Trainer
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    name: str
+    network: str
+    comm_method: str
+    num_gpus: int
+    baseline_epoch: float
+    ablated_epoch: float
+
+    @property
+    def slowdown(self) -> float:
+        return self.ablated_epoch / self.baseline_epoch
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    rows: Tuple[AblationRow, ...]
+
+    def row(self, name: str, network: str) -> AblationRow:
+        for r in self.rows:
+            if (r.name, r.network) == (name, network):
+                return r
+        raise KeyError((name, network))
+
+
+def _epoch(config: TrainingConfig, sim: SimulationConfig, **kwargs) -> float:
+    return Trainer(config, sim=sim, **kwargs).run().epoch_time
+
+
+def run(
+    networks: Tuple[str, ...] = ("alexnet", "inception-v3"),
+    batch_size: int = 32,
+    num_gpus: int = 8,
+    sim: Optional[SimulationConfig] = None,
+) -> AblationResult:
+    sim = sim or SimulationConfig()
+    rows: List[AblationRow] = []
+    for network in networks:
+        for method in (CommMethodName.P2P, CommMethodName.NCCL):
+            base_config = TrainingConfig(network, batch_size, num_gpus,
+                                         comm_method=method)
+            baseline = _epoch(base_config, sim)
+
+            no_overlap = TrainingConfig(network, batch_size, num_gpus,
+                                        comm_method=method, overlap_bp_wu=False)
+            rows.append(AblationRow(
+                name=f"no-overlap/{method.value}", network=network,
+                comm_method=method.value, num_gpus=num_gpus,
+                baseline_epoch=baseline,
+                ablated_epoch=_epoch(no_overlap, sim),
+            ))
+
+            if method is CommMethodName.P2P:
+                pcie_only = functools.partial(build_dgx1v, nvlink=False)
+                rows.append(AblationRow(
+                    name="pcie-fabric/p2p", network=network,
+                    comm_method=method.value, num_gpus=num_gpus,
+                    baseline_epoch=baseline,
+                    ablated_epoch=_epoch(base_config, sim,
+                                         topology_builder=pcie_only),
+                ))
+                uniform = functools.partial(build_dgx1v, uniform_link_width=1)
+                rows.append(AblationRow(
+                    name="single-links/p2p", network=network,
+                    comm_method=method.value, num_gpus=num_gpus,
+                    baseline_epoch=baseline,
+                    ablated_epoch=_epoch(base_config, sim,
+                                         topology_builder=uniform),
+                ))
+
+            if method is CommMethodName.NCCL:
+                rows.append(AblationRow(
+                    name="no-tensor-cores/nccl", network=network,
+                    comm_method=method.value, num_gpus=num_gpus,
+                    baseline_epoch=baseline,
+                    ablated_epoch=_epoch(base_config, sim,
+                                         use_tensor_cores=False),
+                ))
+    return AblationResult(rows=tuple(rows))
+
+
+def render(result: AblationResult) -> str:
+    return render_table(
+        ["Ablation", "Network", "GPUs", "Baseline (s)", "Ablated (s)", "Slowdown"],
+        [
+            (
+                r.name,
+                r.network,
+                r.num_gpus,
+                f"{r.baseline_epoch:.2f}",
+                f"{r.ablated_epoch:.2f}",
+                f"x{r.slowdown:.2f}",
+            )
+            for r in result.rows
+        ],
+        title="Ablations (batch 32, 8 GPUs)",
+    )

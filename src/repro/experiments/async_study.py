@@ -1,0 +1,99 @@
+"""Extension study: synchronous vs asynchronous SGD (paper Section II-B).
+
+The paper describes ASGD and its delayed-gradient problem as the
+alternative to the synchronous training it profiles.  This study
+quantifies the trade-off on the same simulated DGX-1: raw epoch time
+(ASGD wins -- no barriers, no stragglers), gradient staleness (grows with
+GPU count), and the staleness-penalized effective time (where synchronous
+SGD wins back for compute-heavy networks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.config import CommMethodName, SimulationConfig, TrainingConfig
+from repro.experiments.tables import render_table
+from repro.train import train, train_async
+
+
+@dataclass(frozen=True)
+class AsyncStudyRow:
+    network: str
+    num_gpus: int
+    sync_epoch: float
+    async_epoch: float
+    staleness_mean: float
+    staleness_max: int
+    async_effective_epoch: float
+
+    @property
+    def raw_speedup(self) -> float:
+        return self.sync_epoch / self.async_epoch
+
+    @property
+    def effective_speedup(self) -> float:
+        return self.sync_epoch / self.async_effective_epoch
+
+
+@dataclass(frozen=True)
+class AsyncStudyResult:
+    rows: Tuple[AsyncStudyRow, ...]
+
+    def row(self, network: str, gpus: int) -> AsyncStudyRow:
+        for r in self.rows:
+            if (r.network, r.num_gpus) == (network, gpus):
+                return r
+        raise KeyError((network, gpus))
+
+
+def run(
+    networks: Tuple[str, ...] = ("lenet", "inception-v3"),
+    batch_size: int = 16,
+    gpu_counts: Tuple[int, ...] = (2, 4, 8),
+    sim: Optional[SimulationConfig] = None,
+) -> AsyncStudyResult:
+    sim = sim or SimulationConfig()
+    rows: List[AsyncStudyRow] = []
+    for network in networks:
+        for gpus in gpu_counts:
+            config = TrainingConfig(network, batch_size, gpus,
+                                    comm_method=CommMethodName.P2P)
+            sync = train(config, sim=sim)
+            asyn = train_async(config, sim=sim)
+            rows.append(
+                AsyncStudyRow(
+                    network=network,
+                    num_gpus=gpus,
+                    sync_epoch=sync.epoch_time,
+                    async_epoch=asyn.epoch_time,
+                    staleness_mean=asyn.staleness_mean,
+                    staleness_max=asyn.staleness_max,
+                    async_effective_epoch=asyn.effective_epoch_time(),
+                )
+            )
+    return AsyncStudyResult(rows=tuple(rows))
+
+
+def render(result: AsyncStudyResult) -> str:
+    return render_table(
+        [
+            "Network", "GPUs", "Sync (s)", "Async (s)", "Raw speedup",
+            "Staleness", "Effective (s)", "Effective speedup",
+        ],
+        [
+            (
+                r.network,
+                r.num_gpus,
+                f"{r.sync_epoch:.2f}",
+                f"{r.async_epoch:.2f}",
+                f"x{r.raw_speedup:.2f}",
+                f"{r.staleness_mean:.1f} (max {r.staleness_max})",
+                f"{r.async_effective_epoch:.2f}",
+                f"x{r.effective_speedup:.2f}",
+            )
+            for r in result.rows
+        ],
+        title="Sync vs async SGD (batch 16; effective = staleness-penalized)",
+    )

@@ -1,0 +1,108 @@
+"""Extension study: does more interconnect bandwidth fix the bottleneck?
+
+The paper's insight: "only increasing the bandwidth of the interconnect
+network in the multi-GPU system cannot completely eliminate the
+communication bottleneck.  We also need an efficient implementation of DNN
+algorithms to take advantage of the high BW interconnect."
+
+This sweep scales every NVLink lane from 0.5x to 8x of its real 25 GB/s
+and measures the epoch-time response.  The wire time shrinks with
+bandwidth, but per-array launch/dispatch overheads, synchronization, and
+compute do not -- so speedups saturate far below the bandwidth ratio,
+exactly the paper's point.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.config import CommMethodName, SimulationConfig, TrainingConfig
+from repro.experiments.tables import render_table
+from repro.topology import build_dgx1v
+from repro.train import Trainer
+
+#: Lane-bandwidth multipliers swept (1.0 = the real 25 GB/s NVLink 2.0).
+BANDWIDTH_SCALES = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+@dataclass(frozen=True)
+class BandwidthPoint:
+    network: str
+    comm_method: str
+    scale: float
+    epoch_time: float
+
+
+@dataclass(frozen=True)
+class BandwidthSweepResult:
+    num_gpus: int
+    batch_size: int
+    points: Tuple[BandwidthPoint, ...]
+
+    def epoch(self, network: str, method: str, scale: float) -> float:
+        for p in self.points:
+            if (p.network, p.comm_method, p.scale) == (network, method, scale):
+                return p.epoch_time
+        raise KeyError((network, method, scale))
+
+    def gain(self, network: str, method: str, scale: float) -> float:
+        """Speedup over the real fabric from scaling bandwidth."""
+        return self.epoch(network, method, 1.0) / self.epoch(network, method, scale)
+
+
+def run(
+    networks: Tuple[str, ...] = ("alexnet", "googlenet"),
+    methods: Tuple[CommMethodName, ...] = (CommMethodName.P2P, CommMethodName.NCCL),
+    scales: Tuple[float, ...] = BANDWIDTH_SCALES,
+    batch_size: int = 16,
+    num_gpus: int = 8,
+    sim: Optional[SimulationConfig] = None,
+) -> BandwidthSweepResult:
+    sim = sim or SimulationConfig()
+    points: List[BandwidthPoint] = []
+    for network in networks:
+        for method in methods:
+            for scale in scales:
+                builder = functools.partial(
+                    build_dgx1v, nvlink_bandwidth_scale=scale
+                )
+                config = TrainingConfig(network, batch_size, num_gpus,
+                                        comm_method=method)
+                result = Trainer(config, sim=sim, topology_builder=builder).run()
+                points.append(
+                    BandwidthPoint(
+                        network=network,
+                        comm_method=method.value,
+                        scale=scale,
+                        epoch_time=result.epoch_time,
+                    )
+                )
+    return BandwidthSweepResult(
+        num_gpus=num_gpus, batch_size=batch_size, points=tuple(points)
+    )
+
+
+def render(result: BandwidthSweepResult) -> str:
+    networks = list(dict.fromkeys(p.network for p in result.points))
+    methods = list(dict.fromkeys(p.comm_method for p in result.points))
+    scales = sorted({p.scale for p in result.points})
+    rows = []
+    for network in networks:
+        for method in methods:
+            row: List[object] = [network, method]
+            for scale in scales:
+                epoch = result.epoch(network, method, scale)
+                gain = result.gain(network, method, scale)
+                row.append(f"{epoch:7.2f}s (x{gain:.2f})")
+            rows.append(row)
+    return render_table(
+        ["Network", "Method", *[f"{s:g}x BW" for s in scales]],
+        rows,
+        title=(
+            f"NVLink bandwidth sweep ({result.num_gpus} GPUs, batch "
+            f"{result.batch_size}); gain = speedup over the real 25 GB/s fabric"
+        ),
+        align_right_from=2,
+    )

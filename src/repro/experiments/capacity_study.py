@@ -1,0 +1,114 @@
+"""Extension study: what does more GPU memory buy? (paper Section V-D).
+
+The paper's memory insight: batch size cuts epoch time almost linearly,
+but the V100's 16 GiB caps the batch -- "future research should focus on
+both increasing memory capacity... as well as more efficient memory
+mapping."  This study answers the implied question with the 32 GiB V100
+refresh: the larger batches it admits, and the epoch-time gain from
+training at them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.config import CommMethodName, SimulationConfig, TrainingConfig
+from repro.dnn import build_network, compile_network, network_input_shape
+from repro.experiments.tables import render_table
+from repro.gpu import MemoryModel
+from repro.gpu.spec import TESLA_V100, TESLA_V100_32GB, GpuSpec
+from repro.train import Trainer
+
+
+@dataclass(frozen=True)
+class CapacityRow:
+    network: str
+    max_batch_16gb: int
+    max_batch_32gb: int
+    epoch_at_16gb_best: float       # best power-of-two batch under 16 GiB
+    epoch_at_32gb_best: float       # best power-of-two batch under 32 GiB
+    best_batch_16gb: int
+    best_batch_32gb: int
+
+    @property
+    def capacity_speedup(self) -> float:
+        return self.epoch_at_16gb_best / self.epoch_at_32gb_best
+
+
+@dataclass(frozen=True)
+class CapacityStudyResult:
+    num_gpus: int
+    rows: Tuple[CapacityRow, ...]
+
+    def row(self, network: str) -> CapacityRow:
+        for r in self.rows:
+            if r.network == network:
+                return r
+        raise KeyError(network)
+
+
+def _best_power_of_two(max_batch: int, floor: int = 16, cap: int = 512) -> int:
+    batch = floor
+    while batch * 2 <= min(max_batch, cap):
+        batch *= 2
+    return batch
+
+
+def run(
+    networks: Tuple[str, ...] = ("resnet", "inception-v3", "googlenet"),
+    num_gpus: int = 8,
+    sim: Optional[SimulationConfig] = None,
+) -> CapacityStudyResult:
+    sim = sim or SimulationConfig()
+    rows: List[CapacityRow] = []
+    for network in networks:
+        stats = compile_network(build_network(network), network_input_shape(network))
+        limits = {}
+        best = {}
+        epochs = {}
+        for spec in (TESLA_V100, TESLA_V100_32GB):
+            limit = MemoryModel(spec).max_batch_size(stats)
+            batch = _best_power_of_two(limit)
+            config = TrainingConfig(network, batch, num_gpus,
+                                    comm_method=CommMethodName.NCCL)
+            result = Trainer(config, sim=sim, spec=spec).run()
+            limits[spec.name] = limit
+            best[spec.name] = batch
+            epochs[spec.name] = result.epoch_time
+        rows.append(
+            CapacityRow(
+                network=network,
+                max_batch_16gb=limits[TESLA_V100.name],
+                max_batch_32gb=limits[TESLA_V100_32GB.name],
+                epoch_at_16gb_best=epochs[TESLA_V100.name],
+                epoch_at_32gb_best=epochs[TESLA_V100_32GB.name],
+                best_batch_16gb=best[TESLA_V100.name],
+                best_batch_32gb=best[TESLA_V100_32GB.name],
+            )
+        )
+    return CapacityStudyResult(num_gpus=num_gpus, rows=tuple(rows))
+
+
+def render(result: CapacityStudyResult) -> str:
+    return render_table(
+        [
+            "Network", "Max batch 16GiB", "Max batch 32GiB",
+            "Epoch @16GiB (s)", "Epoch @32GiB (s)", "Capacity speedup",
+        ],
+        [
+            (
+                r.network,
+                f"{r.max_batch_16gb} (ran b{r.best_batch_16gb})",
+                f"{r.max_batch_32gb} (ran b{r.best_batch_32gb})",
+                f"{r.epoch_at_16gb_best:.2f}",
+                f"{r.epoch_at_32gb_best:.2f}",
+                f"x{r.capacity_speedup:.2f}",
+            )
+            for r in result.rows
+        ],
+        title=(
+            f"Memory-capacity study: V100 16 GiB vs 32 GiB "
+            f"({result.num_gpus} GPUs, NCCL, best power-of-two batch)"
+        ),
+    )

@@ -1,0 +1,136 @@
+"""Command-line driver: regenerate any table or figure of the paper.
+
+Usage::
+
+    repro-experiments table1 fig2          # specific artifacts
+    repro-experiments all                  # everything
+    repro-experiments fig3 --fast          # reduced sweep for a quick look
+    repro-experiments fig4 -o results/     # also write the text output
+
+``--fast`` restricts sweeps to batch 16 and {1, 4} GPUs, which keeps the
+whole run under a few seconds while preserving the qualitative shapes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+from repro.experiments import (
+    ablations,
+    async_study,
+    bandwidth_sweep,
+    capacity_study,
+    multinode_study,
+    fig2_topology,
+    fig3_training_time,
+    fig4_breakdown,
+    fig5_weak_scaling,
+    table1_networks,
+    table2_nccl_overhead,
+    table3_sync_overhead,
+    table4_memory,
+)
+from repro.experiments.runner import RunCache
+
+FAST_BATCHES = (16,)
+FAST_GPUS = (1, 4)
+
+
+def _run_experiment(name: str, cache: RunCache, fast: bool) -> str:
+    if name == "table1":
+        return table1_networks.render(table1_networks.run())
+    if name == "fig2":
+        return fig2_topology.render(fig2_topology.run())
+    if name == "fig3":
+        kwargs = dict(batch_sizes=FAST_BATCHES, gpu_counts=FAST_GPUS) if fast else {}
+        return fig3_training_time.render(fig3_training_time.run(cache, **kwargs))
+    if name == "table2":
+        kwargs = dict(batch_sizes=FAST_BATCHES) if fast else {}
+        return table2_nccl_overhead.render(table2_nccl_overhead.run(cache, **kwargs))
+    if name == "fig4":
+        kwargs = dict(batch_sizes=FAST_BATCHES, gpu_counts=FAST_GPUS) if fast else {}
+        return fig4_breakdown.render(fig4_breakdown.run(cache, **kwargs))
+    if name == "table3":
+        kwargs = dict(batch_sizes=FAST_BATCHES, gpu_counts=FAST_GPUS) if fast else {}
+        return table3_sync_overhead.render(table3_sync_overhead.run(cache, **kwargs))
+    if name == "table4":
+        return table4_memory.render(table4_memory.run())
+    if name == "fig5":
+        kwargs = dict(batch_sizes=FAST_BATCHES, gpu_counts=FAST_GPUS) if fast else {}
+        return fig5_weak_scaling.render(fig5_weak_scaling.run(cache, **kwargs))
+    if name == "ablate":
+        networks = ("alexnet",) if fast else ("alexnet", "inception-v3")
+        return ablations.render(ablations.run(networks=networks))
+    if name == "async":
+        kwargs = dict(networks=("lenet",), gpu_counts=(2, 4)) if fast else {}
+        return async_study.render(async_study.run(**kwargs))
+    if name == "capacity":
+        kwargs = dict(networks=("resnet",), num_gpus=4) if fast else {}
+        return capacity_study.render(capacity_study.run(**kwargs))
+    if name == "report":
+        from repro.experiments import report as report_module
+
+        return report_module.generate(cache, fast=fast)
+    if name == "multinode":
+        kwargs = dict(networks=("resnet",), node_counts=(1, 2)) if fast else {}
+        return multinode_study.render(multinode_study.run(**kwargs))
+    if name == "validate":
+        from repro.analysis import validation
+
+        report = validation.validate(cache)
+        return validation.render(report)
+    if name == "bandwidth":
+        kwargs = (
+            dict(networks=("alexnet",), scales=(1.0, 4.0), num_gpus=4)
+            if fast else {}
+        )
+        return bandwidth_sweep.render(bandwidth_sweep.run(**kwargs))
+    raise SystemExit(f"unknown experiment {name!r}")
+
+
+EXPERIMENTS = (
+    "table1", "fig2", "fig3", "table2", "fig4", "table3", "table4", "fig5",
+    "ablate", "async", "bandwidth", "capacity", "multinode", "validate",
+    "report",
+)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures from simulation.",
+    )
+    parser.add_argument(
+        "experiments", nargs="+",
+        help=f"any of {', '.join(EXPERIMENTS)}, or 'all'",
+    )
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced sweep (batch 16, 1 and 4 GPUs)")
+    parser.add_argument("-o", "--output-dir", type=pathlib.Path, default=None,
+                        help="also write each artifact to <dir>/<name>.txt")
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    for name in names:
+        if name not in EXPERIMENTS:
+            parser.error(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")
+
+    cache = RunCache()
+    for name in names:
+        start = time.time()
+        text = _run_experiment(name, cache, args.fast)
+        elapsed = time.time() - start
+        print(f"==== {name} [{elapsed:.1f}s] " + "=" * 40)
+        print(text)
+        if args.output_dir is not None:
+            args.output_dir.mkdir(parents=True, exist_ok=True)
+            (args.output_dir / f"{name}.txt").write_text(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Figure 2: the DGX-1 interconnect topology.
+
+Renders an nvidia-smi ``topo -m`` style connectivity matrix plus the link
+inventory, and verifies the structural properties the paper relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.experiments.tables import render_table
+from repro.topology import Router, build_dgx1v
+from repro.topology.links import LinkType
+from repro.topology.system import SystemTopology
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    topology: SystemTopology
+    matrix: Tuple[Tuple[str, ...], ...]   # 8x8 connectivity labels
+    nvlink_ports_per_gpu: Tuple[int, ...]
+    max_hops: int
+
+
+def _label(topology: SystemTopology, router: Router, a: int, b: int) -> str:
+    if a == b:
+        return "X"
+    link = topology.nvlink_between(topology.gpu(a), topology.gpu(b))
+    if link is not None:
+        return f"NV{link.width}"
+    distance = router.nvlink_distance(topology.gpu(a), topology.gpu(b))
+    return "NV-2hop" if distance == 2 else "SYS"
+
+
+def run() -> Fig2Result:
+    topology = build_dgx1v()
+    router = Router(topology)
+    matrix = tuple(
+        tuple(_label(topology, router, a, b) for b in range(8)) for a in range(8)
+    )
+    ports = tuple(topology.nvlink_port_count(topology.gpu(i)) for i in range(8))
+    max_hops = max(
+        router.nvlink_distance(topology.gpu(a), topology.gpu(b))
+        for a in range(8)
+        for b in range(8)
+    )
+    return Fig2Result(
+        topology=topology, matrix=matrix, nvlink_ports_per_gpu=ports, max_hops=max_hops
+    )
+
+
+def render(result: Fig2Result) -> str:
+    headers = [""] + [f"GPU{i}" for i in range(8)]
+    rows = [
+        [f"GPU{i}", *result.matrix[i]]
+        for i in range(8)
+    ]
+    out = render_table(
+        headers, rows, title="Figure 2: DGX-1V connectivity (NVx = x NVLink lanes)"
+    )
+    links = [
+        (link.name, link.link_type.value, link.width,
+         f"{link.peak_bandwidth() / 1e9:.0f} GB/s")
+        for link in result.topology.links
+        if link.link_type is LinkType.NVLINK
+    ]
+    out += "\n" + render_table(
+        ["Link", "Type", "Lanes", "Peak/dir"], links, title="NVLink inventory"
+    )
+    out += (
+        f"\nNVLink ports per GPU: {list(result.nvlink_ports_per_gpu)} (6 each)\n"
+        f"Maximum NVLink hops between any GPU pair: {result.max_hops}\n"
+    )
+    return out

@@ -1,0 +1,101 @@
+"""Figure 3: training time per epoch for the full strong-scaling sweep.
+
+Five networks x {P2P, NCCL} x batch {16, 32, 64} x GPUs {1, 2, 4, 8},
+256K ImageNet images per epoch.  The paper reports the mean of five
+repetitions; the simulator is deterministic, so each cell is one run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import PAPER_BATCH_SIZES, PAPER_GPU_COUNTS, CommMethodName
+from repro.dnn.zoo import PAPER_NETWORKS
+from repro.experiments.runner import RunCache
+from repro.experiments.tables import render_table
+
+
+@dataclass(frozen=True)
+class Fig3Cell:
+    network: str
+    comm_method: str
+    batch_size: int
+    num_gpus: int
+    epoch_time: float
+    speedup_vs_1gpu: float
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    cells: Tuple[Fig3Cell, ...]
+
+    def cell(self, network: str, method: str, batch: int, gpus: int) -> Fig3Cell:
+        for c in self.cells:
+            if (c.network, c.comm_method, c.batch_size, c.num_gpus) == (
+                network, method, batch, gpus,
+            ):
+                return c
+        raise KeyError((network, method, batch, gpus))
+
+    def epoch_time(self, network: str, method: str, batch: int, gpus: int) -> float:
+        return self.cell(network, method, batch, gpus).epoch_time
+
+
+def run(
+    cache: Optional[RunCache] = None,
+    networks: Tuple[str, ...] = PAPER_NETWORKS,
+    batch_sizes: Tuple[int, ...] = PAPER_BATCH_SIZES,
+    gpu_counts: Tuple[int, ...] = PAPER_GPU_COUNTS,
+) -> Fig3Result:
+    cache = cache if cache is not None else RunCache()
+    cells: List[Fig3Cell] = []
+    for network in networks:
+        for method in (CommMethodName.P2P, CommMethodName.NCCL):
+            for batch in batch_sizes:
+                base_epoch: Optional[float] = None
+                for gpus in gpu_counts:
+                    result = cache.get(network, batch, gpus, method)
+                    if base_epoch is None:
+                        base_epoch = result.epoch_time
+                    speedup = base_epoch / result.epoch_time
+                    cells.append(
+                        Fig3Cell(
+                            network=network,
+                            comm_method=method.value,
+                            batch_size=batch,
+                            num_gpus=gpus,
+                            epoch_time=result.epoch_time,
+                            speedup_vs_1gpu=speedup,
+                        )
+                    )
+    return Fig3Result(cells=tuple(cells))
+
+
+def render(result: Fig3Result) -> str:
+    out = []
+    networks = sorted({c.network for c in result.cells},
+                      key=lambda n: [c.network for c in result.cells].index(n))
+    batches = sorted({c.batch_size for c in result.cells})
+    gpu_counts = sorted({c.num_gpus for c in result.cells})
+    for network in networks:
+        rows = []
+        for method in ("p2p", "nccl"):
+            for batch in batches:
+                row: List[object] = [method, batch]
+                for gpus in gpu_counts:
+                    try:
+                        cell = result.cell(network, method, batch, gpus)
+                    except KeyError:
+                        row.append("OOM")
+                        continue
+                    row.append(f"{cell.epoch_time:8.2f}s (x{cell.speedup_vs_1gpu:.2f})")
+                rows.append(row)
+        out.append(
+            render_table(
+                ["Method", "Batch", *[f"{g} GPU" for g in gpu_counts]],
+                rows,
+                title=f"Figure 3: {network} training time per epoch",
+            )
+        )
+    return "\n".join(out)

@@ -1,0 +1,102 @@
+"""Figure 4: breakdown of training time into FP+BP and WU (NCCL).
+
+For every network, batch size and multi-GPU count, the per-epoch time is
+split into computation (forward + backward propagation) and communication
+(the exposed weight-update stage).  Following the paper, single-GPU WU is
+not reported (it is two orders of magnitude below FP+BP) and only the
+NCCL-based communication method is profiled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.config import PAPER_BATCH_SIZES, CommMethodName
+from repro.dnn.zoo import PAPER_NETWORKS
+from repro.experiments.runner import RunCache
+from repro.experiments.tables import render_table
+
+#: Fig. 4 plots 1-8 GPUs but only reports WU for multi-GPU runs.
+FIG4_GPU_COUNTS = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class Fig4Cell:
+    network: str
+    batch_size: int
+    num_gpus: int
+    fp_bp_epoch: float
+    wu_epoch: float
+    sync_percent: float          # cudaStreamSynchronize share of API time
+
+    @property
+    def total(self) -> float:
+        return self.fp_bp_epoch + self.wu_epoch
+
+    @property
+    def wu_share(self) -> float:
+        return self.wu_epoch / self.total if self.total else 0.0
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    cells: Tuple[Fig4Cell, ...]
+
+    def cell(self, network: str, batch: int, gpus: int) -> Fig4Cell:
+        for c in self.cells:
+            if (c.network, c.batch_size, c.num_gpus) == (network, batch, gpus):
+                return c
+        raise KeyError((network, batch, gpus))
+
+
+def run(
+    cache: Optional[RunCache] = None,
+    networks: Tuple[str, ...] = PAPER_NETWORKS,
+    batch_sizes: Tuple[int, ...] = PAPER_BATCH_SIZES,
+    gpu_counts: Tuple[int, ...] = FIG4_GPU_COUNTS,
+) -> Fig4Result:
+    cache = cache if cache is not None else RunCache()
+    cells: List[Fig4Cell] = []
+    for network in networks:
+        for batch in batch_sizes:
+            for gpus in gpu_counts:
+                result = cache.get(network, batch, gpus, CommMethodName.NCCL)
+                wu = result.epoch_wu_time if gpus > 1 else 0.0
+                cells.append(
+                    Fig4Cell(
+                        network=network,
+                        batch_size=batch,
+                        num_gpus=gpus,
+                        fp_bp_epoch=result.epoch_fp_bp_time,
+                        wu_epoch=wu,
+                        sync_percent=result.apis.percent_of("cudaStreamSynchronize"),
+                    )
+                )
+    return Fig4Result(cells=tuple(cells))
+
+
+def render(result: Fig4Result) -> str:
+    out = []
+    networks = list(dict.fromkeys(c.network for c in result.cells))
+    for network in networks:
+        rows = []
+        for cell in result.cells:
+            if cell.network != network:
+                continue
+            rows.append(
+                (
+                    f"({cell.num_gpus},{cell.batch_size})",
+                    f"{cell.fp_bp_epoch:.2f}",
+                    f"{cell.wu_epoch:.2f}" if cell.num_gpus > 1 else "-",
+                    f"{100 * cell.wu_share:.1f}%" if cell.num_gpus > 1 else "-",
+                )
+            )
+        out.append(
+            render_table(
+                ["(GPUs, Batch)", "FP+BP (s)", "WU (s)", "WU share"],
+                rows,
+                title=f"Figure 4: {network} computation vs communication per epoch",
+            )
+        )
+    return "\n".join(out)

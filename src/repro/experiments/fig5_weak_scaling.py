@@ -1,0 +1,108 @@
+"""Figure 5: weak scaling.
+
+The dataset grows with GPU count (256K/512K/1024K/2048K images for
+1/2/4/8 GPUs), so per-GPU work per epoch is constant and speedup is
+measured in throughput (images/second).  The paper's findings: weak
+scaling beats strong scaling for every workload, dramatically for
+LeNet/AlexNet (the per-epoch CUDA/framework overheads amortize over more
+batches) and by less than ~17% for the three large networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.config import (
+    PAPER_BATCH_SIZES,
+    PAPER_GPU_COUNTS,
+    CommMethodName,
+    ScalingMode,
+)
+from repro.dnn.zoo import PAPER_NETWORKS
+from repro.experiments.runner import RunCache
+from repro.experiments.tables import render_table
+
+
+@dataclass(frozen=True)
+class Fig5Cell:
+    network: str
+    comm_method: str
+    batch_size: int
+    num_gpus: int
+    weak_epoch_time: float       # epoch over N x 256K images
+    weak_speedup: float          # throughput vs 1 GPU
+    strong_speedup: float        # same config under strong scaling
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    cells: Tuple[Fig5Cell, ...]
+
+    def cell(self, network: str, method: str, batch: int, gpus: int) -> Fig5Cell:
+        for c in self.cells:
+            if (c.network, c.comm_method, c.batch_size, c.num_gpus) == (
+                network, method, batch, gpus,
+            ):
+                return c
+        raise KeyError((network, method, batch, gpus))
+
+
+def run(
+    cache: Optional[RunCache] = None,
+    networks: Tuple[str, ...] = PAPER_NETWORKS,
+    batch_sizes: Tuple[int, ...] = PAPER_BATCH_SIZES,
+    gpu_counts: Tuple[int, ...] = PAPER_GPU_COUNTS,
+    methods: Tuple[CommMethodName, ...] = (CommMethodName.P2P, CommMethodName.NCCL),
+) -> Fig5Result:
+    cache = cache if cache is not None else RunCache()
+    cells: List[Fig5Cell] = []
+    for network in networks:
+        for method in methods:
+            for batch in batch_sizes:
+                weak_base = None
+                strong_base = None
+                for gpus in gpu_counts:
+                    weak = cache.get(network, batch, gpus, method, ScalingMode.WEAK)
+                    strong = cache.get(network, batch, gpus, method, ScalingMode.STRONG)
+                    if weak_base is None:
+                        weak_base, strong_base = weak, strong
+                    cells.append(
+                        Fig5Cell(
+                            network=network,
+                            comm_method=method.value,
+                            batch_size=batch,
+                            num_gpus=gpus,
+                            weak_epoch_time=weak.epoch_time,
+                            weak_speedup=weak.speedup_over(weak_base),
+                            strong_speedup=strong.speedup_over(strong_base),
+                        )
+                    )
+    return Fig5Result(cells=tuple(cells))
+
+
+def render(result: Fig5Result) -> str:
+    out = []
+    networks = list(dict.fromkeys(c.network for c in result.cells))
+    methods = list(dict.fromkeys(c.comm_method for c in result.cells))
+    batches = sorted({c.batch_size for c in result.cells})
+    gpu_counts = sorted({c.num_gpus for c in result.cells})
+    for network in networks:
+        rows = []
+        for method in methods:
+            for batch in batches:
+                row: List[object] = [method, batch]
+                for gpus in gpu_counts:
+                    c = result.cell(network, method, batch, gpus)
+                    row.append(
+                        f"weak x{c.weak_speedup:.2f} / strong x{c.strong_speedup:.2f}"
+                    )
+                rows.append(row)
+        out.append(
+            render_table(
+                ["Method", "Batch", *[f"{g} GPU" for g in gpu_counts]],
+                rows,
+                title=f"Figure 5: {network} weak vs strong scaling speedup",
+            )
+        )
+    return "\n".join(out)

@@ -1,0 +1,101 @@
+"""Extension study: scaling beyond one DGX-1 over InfiniBand.
+
+The paper stops at eight GPUs in one chassis and cites multi-node work
+(Awan et al.) as the next frontier.  This study extends the simulation to
+a cluster of DGX-1s on EDR InfiniBand: NCCL's rings must cross the
+12.5 GB/s IB lanes instead of staying on 25-50 GB/s NVLink, so per-GPU
+communication cost jumps at the node boundary -- the crossover every
+multi-node deployment has to engineer around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.config import CommMethodName, SimulationConfig, TrainingConfig
+from repro.experiments.tables import render_table
+from repro.train import Trainer
+
+
+@dataclass(frozen=True)
+class MultiNodeRow:
+    network: str
+    nodes: int
+    num_gpus: int
+    epoch_time: float
+    images_per_second: float
+    wu_per_iteration: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.nodes}x8"
+
+
+@dataclass(frozen=True)
+class MultiNodeStudyResult:
+    batch_size: int
+    rows: Tuple[MultiNodeRow, ...]
+
+    def row(self, network: str, nodes: int) -> MultiNodeRow:
+        for r in self.rows:
+            if (r.network, r.nodes) == (network, nodes):
+                return r
+        raise KeyError((network, nodes))
+
+    def scaling(self, network: str, nodes: int) -> float:
+        """Throughput speedup over the single-node run."""
+        base = self.row(network, 1)
+        return self.row(network, nodes).images_per_second / base.images_per_second
+
+
+def run(
+    networks: Tuple[str, ...] = ("resnet", "inception-v3"),
+    node_counts: Tuple[int, ...] = (1, 2, 4),
+    batch_size: int = 32,
+    sim: Optional[SimulationConfig] = None,
+) -> MultiNodeStudyResult:
+    sim = sim or SimulationConfig()
+    rows: List[MultiNodeRow] = []
+    for network in networks:
+        for nodes in node_counts:
+            gpus = 8 * nodes
+            config = TrainingConfig(
+                network, batch_size, gpus,
+                comm_method=CommMethodName.NCCL, cluster_nodes=nodes,
+            )
+            result = Trainer(config, sim=sim).run()
+            rows.append(
+                MultiNodeRow(
+                    network=network,
+                    nodes=nodes,
+                    num_gpus=gpus,
+                    epoch_time=result.epoch_time,
+                    images_per_second=result.images_per_second,
+                    wu_per_iteration=result.stages.wu,
+                )
+            )
+    return MultiNodeStudyResult(batch_size=batch_size, rows=tuple(rows))
+
+
+def render(result: MultiNodeStudyResult) -> str:
+    return render_table(
+        ["Network", "Nodes", "GPUs", "Epoch (s)", "img/s",
+         "Scaling vs 1 node", "Exposed WU/iter"],
+        [
+            (
+                r.network,
+                r.label,
+                r.num_gpus,
+                f"{r.epoch_time:.2f}",
+                f"{r.images_per_second:.0f}",
+                f"x{result.scaling(r.network, r.nodes):.2f}",
+                f"{r.wu_per_iteration * 1e3:.2f} ms",
+            )
+            for r in result.rows
+        ],
+        title=(
+            f"Multi-node scaling over EDR InfiniBand "
+            f"(NCCL, batch {result.batch_size}/GPU, strong scaling)"
+        ),
+    )

@@ -1,0 +1,69 @@
+"""Table I: description of the five networks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.dnn import build_network, compile_network, network_input_shape
+from repro.dnn.zoo import PAPER_NETWORKS
+from repro.experiments.tables import render_table
+
+
+@dataclass(frozen=True)
+class NetworkRow:
+    network: str
+    conv_layers: int
+    inception_modules: int
+    fc_layers: int
+    weights: int
+    input_side: int
+
+    @property
+    def weights_human(self) -> str:
+        if self.weights >= 1_000_000:
+            return f"{self.weights / 1e6:.1f}M"
+        return f"{self.weights / 1e3:.0f}K"
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    rows: Tuple[NetworkRow, ...]
+
+
+def run() -> Table1Result:
+    rows: List[NetworkRow] = []
+    for name in PAPER_NETWORKS:
+        shape = network_input_shape(name)
+        stats = compile_network(build_network(name), shape)
+        rows.append(
+            NetworkRow(
+                network=name,
+                conv_layers=stats.conv_layer_count,
+                inception_modules=(
+                    stats.module_count if name in ("googlenet", "inception-v3") else 0
+                ),
+                fc_layers=stats.fc_layer_count,
+                weights=stats.total_params,
+                input_side=shape.height,
+            )
+        )
+    return Table1Result(rows=tuple(rows))
+
+
+def render(result: Table1Result) -> str:
+    return render_table(
+        ["Network", "Conv Layers", "Incep Modules", "FC Layers", "Weights", "Input"],
+        [
+            (
+                r.network,
+                r.conv_layers,
+                r.inception_modules,
+                r.fc_layers,
+                r.weights_human,
+                f"{r.input_side}x{r.input_side}",
+            )
+            for r in result.rows
+        ],
+        title="Table I: Description of the networks",
+    )

@@ -1,0 +1,80 @@
+"""Table II: NCCL overhead over P2P on a single GPU.
+
+Even with one GPU, MXNet's NCCL KVStore launches Reduce/Broadcast kernels
+per weight array and pays the communicator setup, so its epoch is slower
+than the P2P (device KVStore) epoch.  The paper's headline numbers: ~21.8%
+for LeNet at batch 16, *rising* with batch size for the small networks and
+staying within a few points for the large ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.config import PAPER_BATCH_SIZES, CommMethodName
+from repro.dnn.zoo import PAPER_NETWORKS
+from repro.experiments.runner import RunCache
+from repro.experiments.tables import render_table
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    network: str
+    batch_size: int
+    p2p_epoch: float
+    nccl_epoch: float
+
+    @property
+    def overhead_percent(self) -> float:
+        return 100.0 * (self.nccl_epoch / self.p2p_epoch - 1.0)
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    rows: Tuple[Table2Row, ...]
+
+    def overhead(self, network: str, batch_size: int) -> float:
+        for row in self.rows:
+            if (row.network, row.batch_size) == (network, batch_size):
+                return row.overhead_percent
+        raise KeyError((network, batch_size))
+
+
+def run(
+    cache: Optional[RunCache] = None,
+    networks: Tuple[str, ...] = PAPER_NETWORKS,
+    batch_sizes: Tuple[int, ...] = PAPER_BATCH_SIZES,
+) -> Table2Result:
+    cache = cache if cache is not None else RunCache()
+    rows: List[Table2Row] = []
+    for network in networks:
+        for batch in batch_sizes:
+            p2p = cache.get(network, batch, 1, CommMethodName.P2P)
+            nccl = cache.get(network, batch, 1, CommMethodName.NCCL)
+            rows.append(
+                Table2Row(
+                    network=network,
+                    batch_size=batch,
+                    p2p_epoch=p2p.epoch_time,
+                    nccl_epoch=nccl.epoch_time,
+                )
+            )
+    return Table2Result(rows=tuple(rows))
+
+
+def render(result: Table2Result) -> str:
+    return render_table(
+        ["Network", "Batch Size", "P2P epoch (s)", "NCCL epoch (s)", "NCCL Overhead (%)"],
+        [
+            (
+                r.network,
+                r.batch_size,
+                f"{r.p2p_epoch:.2f}",
+                f"{r.nccl_epoch:.2f}",
+                f"{r.overhead_percent:.2f}",
+            )
+            for r in result.rows
+        ],
+        title="Table II: NCCL overhead compared to P2P on a single GPU",
+    )

@@ -1,0 +1,80 @@
+"""Table III: cudaStreamSynchronize API overhead for LeNet.
+
+nvprof's API view attributes to cudaStreamSynchronize the wall time the
+host spends blocked on GPU streams.  LeNet's kernels are tiny, so this
+dominates the API profile and grows with GPU count (more engine threads,
+longer straggler waits) -- the mechanism behind LeNet's non-linear FP+BP
+scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.config import PAPER_BATCH_SIZES, PAPER_GPU_COUNTS, CommMethodName
+from repro.experiments.runner import RunCache
+from repro.experiments.tables import render_table
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    batch_size: int
+    num_gpus: int
+    sync_percent: float          # share of total CUDA API wall time
+    sync_seconds_per_iter: float
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    rows: Tuple[Table3Row, ...]
+    network: str = "lenet"
+
+    def percent(self, batch: int, gpus: int) -> float:
+        for row in self.rows:
+            if (row.batch_size, row.num_gpus) == (batch, gpus):
+                return row.sync_percent
+        raise KeyError((batch, gpus))
+
+
+def run(
+    cache: Optional[RunCache] = None,
+    network: str = "lenet",
+    batch_sizes: Tuple[int, ...] = PAPER_BATCH_SIZES,
+    gpu_counts: Tuple[int, ...] = PAPER_GPU_COUNTS,
+) -> Table3Result:
+    cache = cache if cache is not None else RunCache()
+    rows: List[Table3Row] = []
+    for batch in batch_sizes:
+        for gpus in gpu_counts:
+            result = cache.get(network, batch, gpus, CommMethodName.NCCL)
+            iters = len(result.iteration_times)
+            sync_total = result.apis.time_of("cudaStreamSynchronize")
+            rows.append(
+                Table3Row(
+                    batch_size=batch,
+                    num_gpus=gpus,
+                    sync_percent=result.apis.percent_of("cudaStreamSynchronize"),
+                    sync_seconds_per_iter=sync_total / max(1, iters * gpus),
+                )
+            )
+    return Table3Result(rows=tuple(rows), network=network)
+
+
+def render(result: Table3Result) -> str:
+    return render_table(
+        ["Batch Size", "GPU Count", "Sync time (%)", "Sync per iter per GPU"],
+        [
+            (
+                r.batch_size,
+                r.num_gpus,
+                f"{r.sync_percent:.1f}",
+                f"{r.sync_seconds_per_iter * 1e3:.3f} ms",
+            )
+            for r in result.rows
+        ],
+        title=(
+            f"Table III: cudaStreamSynchronize overhead for {result.network} "
+            "(share of CUDA API wall time)"
+        ),
+    )

@@ -1,0 +1,67 @@
+"""Plain-text table rendering used by every experiment."""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    align_right_from: int = 1,
+) -> str:
+    """Render an aligned text table.
+
+    Columns from index ``align_right_from`` onward are right-aligned
+    (numeric convention); earlier columns are left-aligned.
+    """
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        cells = []
+        for i, cell in enumerate(row):
+            if i >= align_right_from:
+                cells.append(cell.rjust(widths[i]))
+            else:
+                cells.append(cell.ljust(widths[i]))
+        return "  ".join(cells).rstrip()
+
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header_line = fmt(list(headers))
+    out.write(header_line + "\n")
+    out.write("-" * len(header_line) + "\n")
+    for row in str_rows:
+        out.write(fmt(row) + "\n")
+    return out.getvalue()
+
+
+def render_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """The same data as CSV (for plotting outside the library)."""
+    lines = [",".join(headers)]
+    for row in rows:
+        lines.append(",".join(_cell(v) for v in row))
+    return "\n".join(lines) + "\n"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)

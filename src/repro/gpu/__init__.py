@@ -1,0 +1,23 @@
+"""Tesla V100 GPU model.
+
+:mod:`repro.gpu.spec` holds the hardware description,
+:mod:`repro.gpu.kernel` converts layer work into kernel durations (a
+roofline with batch-dependent efficiency and launch overhead),
+:mod:`repro.gpu.memory` computes device-memory footprints, and
+:mod:`repro.gpu.device` is the runtime object processes execute kernels on.
+"""
+
+from repro.gpu.device import GpuDevice
+from repro.gpu.kernel import KernelCostModel, KernelSpec
+from repro.gpu.memory import MemoryModel, MemoryUsage
+from repro.gpu.spec import TESLA_V100, GpuSpec
+
+__all__ = [
+    "GpuDevice",
+    "GpuSpec",
+    "KernelCostModel",
+    "KernelSpec",
+    "MemoryModel",
+    "MemoryUsage",
+    "TESLA_V100",
+]

@@ -1,0 +1,66 @@
+"""Runtime GPU object used inside a simulation.
+
+A :class:`GpuDevice` owns a single execution engine resource -- DNN
+training kernels are large enough to occupy the whole SM array, so kernels
+issued to any stream of one GPU serialize, while different GPUs run fully
+in parallel.  Kernel executions are reported to an optional profiler
+(anything with a ``record_kernel`` method; see
+:class:`repro.profile.profiler.Profiler`).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.sim import Environment, Resource
+from repro.sim.events import Event
+from repro.gpu.kernel import KernelSpec
+from repro.gpu.spec import TESLA_V100, GpuSpec
+from repro.topology.nodes import GpuNode
+
+
+class GpuDevice:
+    """One GPU of the simulated system."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: GpuNode,
+        spec: GpuSpec = TESLA_V100,
+        profiler: Optional[object] = None,
+        speed_factor: float = 1.0,
+    ) -> None:
+        """``speed_factor`` scales every kernel's duration on this device
+        (>1 = slower); used for straggler-injection studies."""
+        if speed_factor <= 0:
+            raise ValueError("speed_factor must be positive")
+        self.env = env
+        self.node = node
+        self.spec = spec
+        self.profiler = profiler
+        self.speed_factor = speed_factor
+        self.engine = Resource(env, capacity=1)
+        self.busy_time = 0.0
+
+    @property
+    def index(self) -> int:
+        return self.node.index
+
+    def run_kernel(self, kernel: KernelSpec) -> Generator[Event, None, None]:
+        """Process: execute one kernel on this GPU's SM array."""
+        req = self.engine.request()
+        yield req
+        start = self.env.now
+        try:
+            yield self.env.timeout(kernel.duration * self.speed_factor)
+        finally:
+            end = self.env.now
+            self.busy_time += end - start
+            self.engine.release(req)
+            if self.profiler is not None:
+                self.profiler.record_kernel(self.index, kernel, start, end)
+
+    def run_kernels(self, kernels) -> Generator[Event, None, None]:
+        """Process: execute a list of kernels back to back."""
+        for kernel in kernels:
+            yield self.env.process(self.run_kernel(kernel))

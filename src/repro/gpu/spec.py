@@ -1,0 +1,63 @@
+"""Hardware description of the Tesla V100 (SXM2, as in the DGX-1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.units import GIB, gbps
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static capabilities of one GPU."""
+
+    name: str
+    sm_count: int
+    fp32_flops: float          # peak single-precision FLOP/s
+    tensor_flops: float        # peak tensor-core FLOP/s (fp16 accumulate)
+    memory_bytes: int          # device memory capacity
+    memory_bandwidth: float    # bytes/second
+    nvlink_ports: int
+
+    @property
+    def tensor_speedup(self) -> float:
+        """How much faster tensor cores are than the fp32 pipeline."""
+        return self.tensor_flops / self.fp32_flops
+
+
+#: The GPU in the Volta-based DGX-1: 80 SMs, 15.7 TFLOP/s fp32,
+#: 125 TFLOP/s tensor, 16 GiB HBM2 at 900 GB/s, six NVLink 2.0 ports.
+TESLA_V100 = GpuSpec(
+    name="Tesla V100-SXM2-16GB",
+    sm_count=80,
+    fp32_flops=15.7e12,
+    tensor_flops=125.0e12,
+    memory_bytes=16 * GIB,
+    memory_bandwidth=gbps(900.0),
+    nvlink_ports=6,
+)
+
+#: The 32 GiB V100 refresh -- the capacity bump the paper's Section V-D
+#: calls for ("future research should focus on increasing memory
+#: capacity"); identical compute.
+TESLA_V100_32GB = GpuSpec(
+    name="Tesla V100-SXM2-32GB",
+    sm_count=80,
+    fp32_flops=15.7e12,
+    tensor_flops=125.0e12,
+    memory_bytes=32 * GIB,
+    memory_bandwidth=gbps(900.0),
+    nvlink_ports=6,
+)
+
+#: The Pascal-generation GPU of the original DGX-1 (the system Gawande et
+#: al. study): no tensor cores, four NVLink 1.0 ports, 16 GiB at 732 GB/s.
+TESLA_P100 = GpuSpec(
+    name="Tesla P100-SXM2-16GB",
+    sm_count=56,
+    fp32_flops=10.6e12,
+    tensor_flops=10.6e12,  # no tensor cores: same pipeline
+    memory_bytes=16 * GIB,
+    memory_bandwidth=gbps(732.0),
+    nvlink_ports=4,
+)

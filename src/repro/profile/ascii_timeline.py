@@ -1,0 +1,78 @@
+"""Terminal rendering of a profiled iteration as per-GPU lanes.
+
+A lightweight complement to the Chrome-trace exporter for quick looks:
+each GPU gets a lane of fixed-width character cells over a time window;
+cells show the dominant activity (``F`` forward, ``B`` backward, ``W``
+weight-update kernels, ``.`` idle), with a transfer lane underneath.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, Tuple
+
+from repro.profile.profiler import Profiler
+
+_STAGE_GLYPHS = {"fp": "F", "bp": "B", "wu": "W"}
+_TRANSFER_GLYPHS = {"p2p": "p", "nccl": "n", "h2d": "h", "d2h": "d"}
+
+
+def _dominant(intervals: List[Tuple[float, float, str]], t0: float, t1: float) -> str:
+    """Glyph of the activity covering most of [t0, t1), or '.'."""
+    best_glyph, best_cover = ".", 0.0
+    for start, end, glyph in intervals:
+        cover = min(end, t1) - max(start, t0)
+        if cover > best_cover:
+            best_glyph, best_cover = glyph, cover
+    return best_glyph if best_cover > 0 else "."
+
+
+def render_ascii_timeline(
+    profiler: Profiler,
+    width: int = 100,
+    window: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Render the profiled window as fixed-width per-GPU lanes."""
+    events = profiler.kernels
+    if not events:
+        return "(no kernels recorded)\n"
+    if window is None:
+        start = min(k.start for k in events)
+        end = max(k.end for k in events)
+        for t in profiler.transfers:
+            end = max(end, t.end)
+    else:
+        start, end = window
+    span = max(end - start, 1e-12)
+    cell = span / width
+
+    lanes: Dict[int, List[Tuple[float, float, str]]] = {}
+    for k in events:
+        lanes.setdefault(k.gpu, []).append(
+            (k.start, k.end, _STAGE_GLYPHS.get(k.stage, "?"))
+        )
+    transfers = [
+        (t.start, t.end, _TRANSFER_GLYPHS.get(t.kind, "?"))
+        for t in profiler.transfers
+    ]
+
+    out = io.StringIO()
+    out.write(
+        f"timeline {start * 1e3:.3f}ms .. {end * 1e3:.3f}ms "
+        f"({span * 1e3:.3f}ms, {cell * 1e6:.1f}us/cell)\n"
+    )
+    out.write("legend: F=forward B=backward W=weight-update  "
+              "p=p2p n=nccl h=h2d d=d2h  .=idle\n")
+    for gpu in sorted(lanes):
+        cells = [
+            _dominant(lanes[gpu], start + i * cell, start + (i + 1) * cell)
+            for i in range(width)
+        ]
+        out.write(f"gpu{gpu} |{''.join(cells)}|\n")
+    if transfers:
+        cells = [
+            _dominant(transfers, start + i * cell, start + (i + 1) * cell)
+            for i in range(width)
+        ]
+        out.write(f"xfer |{''.join(cells)}|\n")
+    return out.getvalue()

@@ -1,0 +1,111 @@
+"""Layer-wise kernel-time breakdown (the Dong et al. style analysis).
+
+The paper's related work highlights layer-by-layer profiling as the other
+lens on DNN training cost; this module aggregates the profiler's kernel
+records per layer and per stage, giving the nvprof "top kernels" view at
+layer granularity.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.profile.profiler import Profiler
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """Aggregated kernel time of one layer over the measured window."""
+
+    layer: str
+    fp_time: float
+    bp_time: float
+    wu_time: float
+    kernel_count: int
+
+    @property
+    def total(self) -> float:
+        return self.fp_time + self.bp_time + self.wu_time
+
+
+@dataclass(frozen=True)
+class LayerwiseSummary:
+    profiles: Tuple[LayerProfile, ...]   # descending by total time
+
+    @property
+    def total_time(self) -> float:
+        return sum(p.total for p in self.profiles)
+
+    def top(self, k: int) -> Tuple[LayerProfile, ...]:
+        return self.profiles[:k]
+
+    def of(self, layer: str) -> LayerProfile:
+        for p in self.profiles:
+            if p.layer == layer:
+                return p
+        raise KeyError(layer)
+
+    def share(self, layer: str) -> float:
+        total = self.total_time
+        return self.of(layer).total / total if total else 0.0
+
+
+def summarize_layers(
+    profiler: Profiler, gpu: Optional[int] = None
+) -> LayerwiseSummary:
+    """Aggregate kernel records by layer (optionally one GPU only)."""
+    fp: Dict[str, float] = defaultdict(float)
+    bp: Dict[str, float] = defaultdict(float)
+    wu: Dict[str, float] = defaultdict(float)
+    counts: Dict[str, int] = defaultdict(int)
+    for record in profiler.kernels:
+        if gpu is not None and record.gpu != gpu:
+            continue
+        counts[record.layer] += 1
+        if record.stage == "fp":
+            fp[record.layer] += record.duration
+        elif record.stage == "bp":
+            bp[record.layer] += record.duration
+        else:
+            wu[record.layer] += record.duration
+    layers = set(counts)
+    profiles = sorted(
+        (
+            LayerProfile(
+                layer=name,
+                fp_time=fp[name],
+                bp_time=bp[name],
+                wu_time=wu[name],
+                kernel_count=counts[name],
+            )
+            for name in layers
+        ),
+        key=lambda p: p.total,
+        reverse=True,
+    )
+    return LayerwiseSummary(profiles=tuple(profiles))
+
+
+def render_layerwise(summary: LayerwiseSummary, top_k: int = 15) -> str:
+    """nvprof-style text table of the hottest layers."""
+    from repro.experiments.tables import render_table
+
+    total = summary.total_time or 1.0
+    rows = [
+        (
+            p.layer,
+            f"{p.fp_time * 1e3:.3f}",
+            f"{p.bp_time * 1e3:.3f}",
+            f"{p.wu_time * 1e3:.3f}",
+            p.kernel_count,
+            f"{100 * p.total / total:.1f}%",
+        )
+        for p in summary.top(top_k)
+    ]
+    return render_table(
+        ["Layer", "FP (ms)", "BP (ms)", "WU (ms)", "Kernels", "Share"],
+        rows,
+        title=f"Layer-wise kernel time (top {min(top_k, len(summary.profiles))})",
+    )

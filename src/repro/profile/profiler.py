@@ -1,0 +1,88 @@
+"""The profiler: collects interval records during a simulated run.
+
+Measurement can be gated (``profiler.enabled``) so warm-up iterations do
+not pollute the statistics, mirroring how nvprof sessions are windowed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.gpu.kernel import KernelSpec
+from repro.profile.records import ApiRecord, KernelRecord, SpanRecord, TransferRecord
+
+
+class Profiler:
+    """Collects kernel/transfer/API/span records."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.kernels: List[KernelRecord] = []
+        self.transfers: List[TransferRecord] = []
+        self.apis: List[ApiRecord] = []
+        self.spans: List[SpanRecord] = []
+
+    # ------------------------------------------------------------------
+    # Recording hooks (called by devices, communicators, trainer)
+    # ------------------------------------------------------------------
+    def record_kernel(self, gpu: int, kernel: KernelSpec, start: float, end: float) -> None:
+        if self.enabled:
+            self.kernels.append(
+                KernelRecord(
+                    gpu=gpu,
+                    name=kernel.name,
+                    layer=kernel.layer,
+                    stage=kernel.stage,
+                    start=start,
+                    end=end,
+                )
+            )
+
+    def record_transfer(
+        self, kind: str, src: int, dst: int, nbytes: int, start: float, end: float
+    ) -> None:
+        if self.enabled:
+            self.transfers.append(
+                TransferRecord(kind=kind, src=src, dst=dst, nbytes=nbytes,
+                               start=start, end=end)
+            )
+
+    def record_api(self, name: str, gpu: int, start: float, end: float) -> None:
+        if self.enabled:
+            self.apis.append(ApiRecord(name=name, gpu=gpu, start=start, end=end))
+
+    def record_span(
+        self, name: str, gpu: int, iteration: int, start: float, end: float
+    ) -> None:
+        if self.enabled:
+            self.spans.append(
+                SpanRecord(name=name, gpu=gpu, iteration=iteration,
+                           start=start, end=end)
+            )
+
+    # ------------------------------------------------------------------
+    # Windowing
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop everything recorded so far (end of warm-up)."""
+        self.kernels.clear()
+        self.transfers.clear()
+        self.apis.clear()
+        self.spans.clear()
+
+    # ------------------------------------------------------------------
+    # Simple aggregates
+    # ------------------------------------------------------------------
+    def kernel_time(self, gpu: Optional[int] = None, stage: Optional[str] = None) -> float:
+        """Total kernel busy time, optionally filtered."""
+        return sum(
+            k.duration
+            for k in self.kernels
+            if (gpu is None or k.gpu == gpu) and (stage is None or k.stage == stage)
+        )
+
+    def bytes_transferred(self, kind: Optional[str] = None) -> int:
+        return sum(t.nbytes for t in self.transfers if kind is None or t.kind == kind)
+
+    def api_time(self, name: Optional[str] = None) -> float:
+        return sum(a.duration for a in self.apis if name is None or a.name == name)

@@ -1,0 +1,70 @@
+"""Interval records captured during simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KernelRecord:
+    """One kernel execution on one GPU."""
+
+    gpu: int
+    name: str
+    layer: str
+    stage: str       # "fp" | "bp" | "wu"
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One inter-device data movement (P2P DMA, NCCL collective, HtoD)."""
+
+    kind: str        # "p2p" | "nccl" | "h2d" | "d2h"
+    src: int
+    dst: int         # -1 for collectives involving all GPUs
+    nbytes: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def bandwidth(self) -> float:
+        return self.nbytes / self.duration if self.duration > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class ApiRecord:
+    """One CUDA runtime API call on the host (wall-clock interval)."""
+
+    name: str        # e.g. "cudaStreamSynchronize", "cudaLaunchKernel"
+    gpu: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """A labelled stage span (fp / bp / wu / iteration), per GPU or global."""
+
+    name: str
+    gpu: int         # -1 for global spans
+    iteration: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start

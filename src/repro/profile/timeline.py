@@ -1,0 +1,73 @@
+"""Chrome-trace (about://tracing, Perfetto) export of a profiled run."""
+
+from __future__ import annotations
+
+import json
+from typing import IO, List
+
+from repro.profile.profiler import Profiler
+
+_US = 1e6  # trace events are quoted in microseconds
+
+
+def chrome_trace_events(profiler: Profiler) -> List[dict]:
+    """The run as a list of Chrome trace-event dicts."""
+    events: List[dict] = []
+    for k in profiler.kernels:
+        events.append(
+            {
+                "name": k.name,
+                "cat": f"kernel,{k.stage}",
+                "ph": "X",
+                "ts": k.start * _US,
+                "dur": k.duration * _US,
+                "pid": "gpu",
+                "tid": f"gpu{k.gpu}",
+                "args": {"layer": k.layer, "stage": k.stage},
+            }
+        )
+    for t in profiler.transfers:
+        dst = "all" if t.dst < 0 else f"gpu{t.dst}"
+        events.append(
+            {
+                "name": f"{t.kind}:{t.src}->{dst}",
+                "cat": f"transfer,{t.kind}",
+                "ph": "X",
+                "ts": t.start * _US,
+                "dur": t.duration * _US,
+                "pid": "fabric",
+                "tid": f"{t.kind}",
+                "args": {"bytes": t.nbytes},
+            }
+        )
+    for a in profiler.apis:
+        events.append(
+            {
+                "name": a.name,
+                "cat": "api",
+                "ph": "X",
+                "ts": a.start * _US,
+                "dur": a.duration * _US,
+                "pid": "host",
+                "tid": f"engine{a.gpu}",
+            }
+        )
+    for s in profiler.spans:
+        events.append(
+            {
+                "name": s.name,
+                "cat": "span",
+                "ph": "X",
+                "ts": s.start * _US,
+                "dur": s.duration * _US,
+                "pid": "stages",
+                "tid": "global" if s.gpu < 0 else f"gpu{s.gpu}",
+                "args": {"iteration": s.iteration},
+            }
+        )
+    return events
+
+
+def export_chrome_trace(profiler: Profiler, fp: IO[str]) -> None:
+    """Write the run as a Chrome trace JSON file."""
+    json.dump({"traceEvents": chrome_trace_events(profiler)}, fp)

@@ -1,0 +1,103 @@
+"""The simulation environment: virtual clock plus event heap."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.core.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Process, Timeout
+
+
+class Environment:
+    """Owns simulated time and executes events in timestamp order.
+
+    Ties are broken by insertion order, which makes every run fully
+    deterministic.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = initial_time
+        self._eid = 0
+        self._queue: List[Tuple[float, int, Event]] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Event factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create an untriggered event; trigger it with ``succeed``/``fail``."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator)
+
+    def all_of(self, events) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling and execution
+    # ------------------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Queue a triggered event for processing at ``now + delay``."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, self._eid, event))
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, []
+        event._processed = True
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        ``until`` may be a simulated-time deadline (float) or an event; when
+        an event is given its value is returned (or its exception raised).
+        """
+        if isinstance(until, Event):
+            return self._run_until_event(until)
+        deadline = float("inf") if until is None else float(until)
+        if deadline < self._now:
+            raise SimulationError(f"deadline {deadline} is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        if deadline != float("inf"):
+            self._now = deadline
+        return None
+
+    def _run_until_event(self, until: Event) -> Any:
+        if until.env is not self:
+            raise SimulationError("run(until=...) got an event from another environment")
+        while not (until.triggered and until._processed):
+            if not self._queue:
+                raise SimulationError("event queue drained before target event fired")
+            self.step()
+        if not until.ok:
+            raise until.value
+        return until.value
+
+    def peek(self) -> float:
+        """Timestamp of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")

@@ -1,0 +1,237 @@
+"""Event types for the discrete-event engine.
+
+Events move through three states: *pending* (created), *triggered*
+(scheduled on the environment's heap with a value) and *processed*
+(callbacks ran).  Processes are events too, so a process can ``yield``
+another process to join on its completion.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, List, Optional
+
+from repro.core.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Environment
+
+#: Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    Callbacks receive the event itself once it is processed.  ``succeed``
+    and ``fail`` trigger the event; triggering twice is an error.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event value not available yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value not available yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception; waiters will re-raise it."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """Wraps a generator; completion of the generator triggers the event.
+
+    The generator yields events; the process resumes when the yielded event
+    is processed.  A failed event re-raises its exception inside the
+    generator, letting simulation code use ordinary ``try``/``except``.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]) -> None:
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"process target must be a generator, got {generator!r}")
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # Kick the process off at the current simulation time.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env.schedule(init)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            return
+        # Detach from whatever the process currently waits for.
+        if self._target is not None and self._resume in self._target.callbacks:
+            self._target.callbacks.remove(self._resume)
+        self._target = None
+        poke = Event(self.env)
+        poke._ok = False
+        poke._value = Interrupt(cause)
+        poke.callbacks.append(self._resume)
+        self.env.schedule(poke)
+
+    def _resume(self, trigger: Event) -> None:
+        self._target = None
+        try:
+            if trigger.ok:
+                next_event = self._generator.send(trigger.value)
+            else:
+                next_event = self._generator.throw(trigger.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # Process chose not to handle the interrupt; treat as failure.
+            self.fail(SimulationError("process terminated by unhandled interrupt"))
+            return
+        if not isinstance(next_event, Event):
+            self.fail(SimulationError(f"process yielded non-event {next_event!r}"))
+            return
+        if next_event.env is not self.env:
+            self.fail(SimulationError("process yielded event from another environment"))
+            return
+        self._target = next_event
+        if next_event._processed:
+            # Already-processed event: resume immediately (zero delay).
+            poke = Event(self.env)
+            poke._ok = next_event._ok
+            poke._value = next_event._value
+            poke.callbacks.append(self._resume)
+            self.env.schedule(poke)
+        else:
+            next_event.callbacks.append(self._resume)
+
+
+class AllOf(Event):
+    """Succeeds when every constituent event has succeeded.
+
+    Already-processed constituents count immediately; a failed constituent
+    fails the combinator with the same exception.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._pending = 0
+        for event in self._events:
+            if event.env is not self.env:
+                raise SimulationError("condition spans two environments")
+        for event in self._events:
+            if event._processed:
+                if not event.ok and not self.triggered:
+                    self.fail(event.value)
+            else:
+                self._pending += 1
+                event.callbacks.append(self._on_event)
+        if not self.triggered and self._pending == 0:
+            self.succeed([e.value for e in self._events])
+
+    def _on_event(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([e.value for e in self._events])
+
+
+class AnyOf(Event):
+    """Succeeds as soon as any constituent event succeeds.
+
+    An empty event list succeeds immediately with ``None``.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        for event in self._events:
+            if event.env is not self.env:
+                raise SimulationError("condition spans two environments")
+        if not self._events:
+            self.succeed(None)
+            return
+        for event in self._events:
+            if self.triggered:
+                break
+            if event._processed:
+                if event.ok:
+                    self.succeed(event.value)
+                else:
+                    self.fail(event.value)
+            else:
+                event.callbacks.append(self._on_event)
+
+    def _on_event(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.ok:
+            self.succeed(event.value)
+        else:
+            self.fail(event.value)

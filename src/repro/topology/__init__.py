@@ -1,0 +1,35 @@
+"""Interconnect topology of the Volta-based DGX-1.
+
+Static description of nodes (8 GPUs, 2 CPUs, 4 PCIe switches) and links
+(NVLink 2.0, PCIe Gen3, QPI), a routing layer that mirrors how CUDA/MXNet
+actually move data (direct NVLink, staged NVLink relay, or DtoH+HtoD over
+PCIe), and a runtime binding (:class:`~repro.topology.fabric.Fabric`) that
+attaches FIFO link resources to a simulation environment.
+"""
+
+from repro.topology.cluster import GPUS_PER_NODE, build_dgx1v_cluster, node_of_rank
+from repro.topology.dgx1 import build_dgx1v
+from repro.topology.fabric import Fabric
+from repro.topology.links import Link, LinkType
+from repro.topology.nodes import CpuNode, GpuNode, Node, NodeKind, SwitchNode
+from repro.topology.routing import Route, RouteKind, Router
+from repro.topology.system import SystemTopology
+
+__all__ = [
+    "CpuNode",
+    "GPUS_PER_NODE",
+    "Fabric",
+    "GpuNode",
+    "Link",
+    "LinkType",
+    "Node",
+    "NodeKind",
+    "Route",
+    "RouteKind",
+    "Router",
+    "SwitchNode",
+    "SystemTopology",
+    "build_dgx1v",
+    "build_dgx1v_cluster",
+    "node_of_rank",
+]

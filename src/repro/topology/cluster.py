@@ -1,0 +1,92 @@
+"""Multi-node clusters of DGX-1 systems over InfiniBand.
+
+The paper studies a single DGX-1 and cites multi-node work (Awan et al.'s
+MPI-vs-NCCL comparison); this module extends the fabric model to a
+cluster so those scales can be explored:
+
+* each node is a full DGX-1 (8 V100s, the NVLink cube-mesh, PCIe, QPI);
+  node ``k`` hosts GPUs ``8k .. 8k+7`` in global rank order;
+* each node contributes an aggregated EDR InfiniBand attachment (the
+  DGX-1 carries four 100 Gb/s HCAs; modeled as one width-4 link hanging
+  off CPU socket 0, 12.5 GB/s per lane);
+* a single non-blocking IB switch connects the nodes.
+
+Inter-node GPU transfers route GPU -> home CPU (PCIe) -> IB -> remote
+CPU -> GPU; NCCL rings crossing nodes are paced by the IB lanes (see
+``repro.comm.nccl.rings``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.topology.dgx1 import DGX1_PCIE_SWITCHES, DGX1V_NVLINKS
+from repro.topology.links import Link, LinkType
+from repro.topology.nodes import CpuNode, GpuNode, Node, NodeKind, SwitchNode
+from repro.topology.system import SystemTopology
+
+#: GPUs per DGX-1 node.
+GPUS_PER_NODE = 8
+
+#: EDR InfiniBand: 100 Gb/s per HCA = 12.5 GB/s per lane.
+IB_LANE_BANDWIDTH = 12.5e9
+
+#: HCAs per DGX-1, aggregated into one width-4 attachment.
+IB_LANES_PER_NODE = 4
+
+
+def node_of_rank(rank: int) -> int:
+    """The cluster node hosting global GPU ``rank``."""
+    return rank // GPUS_PER_NODE
+
+
+def build_dgx1v_cluster(num_nodes: int) -> SystemTopology:
+    """A cluster of ``num_nodes`` DGX-1V systems on one IB switch.
+
+    With ``num_nodes=1`` the result is a superset of :func:`build_dgx1v`
+    (same graph plus an idle IB attachment), so single-node behaviour is
+    unchanged.
+    """
+    if num_nodes < 1:
+        raise ConfigurationError("a cluster needs at least one node")
+    nodes: List[Node] = []
+    links: List[Link] = []
+
+    ib_switch = SwitchNode(name="ibswitch", kind=NodeKind.PCIE_SWITCH)
+
+    for k in range(num_nodes):
+        base = k * GPUS_PER_NODE
+        gpus = [GpuNode.named(base + i) for i in range(GPUS_PER_NODE)]
+        cpus = [CpuNode.named(2 * k + s) for s in range(2)]
+        switches = [
+            SwitchNode(name=f"plx{k}_{i}", kind=NodeKind.PCIE_SWITCH)
+            for i, _, _ in DGX1_PCIE_SWITCHES
+        ]
+        nodes.extend([*gpus, *cpus, *switches])
+
+        for a, b, width in DGX1V_NVLINKS:
+            links.append(Link(gpus[a], gpus[b], LinkType.NVLINK, width=width))
+        for idx, gpu_pair, socket in DGX1_PCIE_SWITCHES:
+            switch = switches[idx]
+            for g in gpu_pair:
+                links.append(Link(gpus[g], switch, LinkType.PCIE))
+            links.append(Link(switch, cpus[socket], LinkType.PCIE))
+        links.append(Link(cpus[0], cpus[1], LinkType.QPI))
+
+        # Aggregated IB attachment on socket 0.
+        nic = SwitchNode(name=f"nic{k}", kind=NodeKind.PCIE_SWITCH)
+        nodes.append(nic)
+        links.append(Link(cpus[0], nic, LinkType.PCIE, width=IB_LANES_PER_NODE))
+        links.append(
+            Link(
+                nic,
+                ib_switch,
+                LinkType.INFINIBAND,
+                width=IB_LANES_PER_NODE,
+                lane_bandwidth=IB_LANE_BANDWIDTH,
+            )
+        )
+
+    nodes.append(ib_switch)
+    return SystemTopology(f"dgx1v-cluster-{num_nodes}", nodes, links)

@@ -1,0 +1,109 @@
+"""Builder for the Volta-based DGX-1 interconnect (paper Figure 2).
+
+The NVLink graph below is the DGX-1V hybrid cube-mesh in CUDA device
+enumeration order: two quads (GPUs 0-3 and 4-7), each fully connected
+internally, plus four cross links, with six NVLink 2.0 ports per V100.
+
+The paper's Figure 2 draws the same graph with permuted labels (its GPU0
+has dual links to its GPU1/GPU2 and singles to GPU3/GPU6; here GPU0 has
+dual links to GPU3/GPU4 and singles to GPU1/GPU2 -- apply the permutation
+``paper -> here: 1->3, 2->4, 3->1, 6->2`` and the descriptions coincide).
+We keep the CUDA enumeration because job placement follows it: a 4-GPU
+training run lands on devices 0-3, which must form the fully connected
+quad for NCCL's ring construction to stay on NVLink, exactly as on the
+real machine.  Every structural property the paper relies on holds:
+
+* GPU0 has two dual-link and two single-link NVLink neighbors, so the
+  parameter-server tree is bandwidth-asymmetric (some workers return
+  updated weights at twice the rate of others);
+* some GPU pairs have no direct connection (e.g. GPU0-GPU5) and the NVLink
+  routers cannot forward, so those transfers are staged through an
+  intermediate GPU or fall back to DtoH+HtoD over PCIe;
+* every pair is within two NVLink hops;
+* every GPU consumes exactly six NVLink ports.
+
+PCIe follows the DGX-1 layout: four PLX switches, each shared by a GPU
+pair, two switches per CPU socket, QPI between the sockets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.topology.links import Link, LinkType
+from repro.topology.nodes import CpuNode, GpuNode, Node, SwitchNode
+from repro.topology.system import SystemTopology
+
+#: (gpu_a, gpu_b, width) -- the NVLink edges of the DGX-1V.
+DGX1V_NVLINKS: Tuple[Tuple[int, int, int], ...] = (
+    (0, 1, 1),
+    (0, 2, 1),
+    (0, 3, 2),
+    (0, 4, 2),
+    (1, 2, 2),
+    (1, 3, 1),
+    (1, 5, 2),
+    (2, 3, 2),
+    (2, 6, 1),
+    (3, 7, 1),
+    (4, 5, 1),
+    (4, 6, 1),
+    (4, 7, 2),
+    (5, 6, 2),
+    (5, 7, 1),
+    (6, 7, 2),
+)
+
+#: PCIe switch assignment: (switch index, gpus behind it, home cpu socket).
+DGX1_PCIE_SWITCHES: Tuple[Tuple[int, Tuple[int, int], int], ...] = (
+    (0, (0, 1), 0),
+    (1, (2, 3), 0),
+    (2, (4, 5), 1),
+    (3, (6, 7), 1),
+)
+
+
+def build_dgx1v(
+    nvlink: bool = True,
+    uniform_link_width: int | None = None,
+    nvlink_bandwidth_scale: float = 1.0,
+) -> SystemTopology:
+    """Construct the full Volta-based DGX-1 topology.
+
+    ``nvlink=False`` removes the NVLink mesh entirely (every GPU-GPU
+    transfer falls back to DtoH+HtoD over PCIe);
+    ``uniform_link_width=1`` collapses the dual links to singles;
+    ``nvlink_bandwidth_scale`` multiplies every NVLink lane's 25 GB/s
+    (the what-if-the-fabric-were-faster sweep).  All exist for the
+    ablation studies in DESIGN.md.
+    """
+    if nvlink_bandwidth_scale <= 0:
+        raise ValueError("nvlink_bandwidth_scale must be positive")
+    gpus = [GpuNode.named(i) for i in range(8)]
+    cpus = [CpuNode.named(s) for s in range(2)]
+    switches = [SwitchNode.named(i) for i, _, _ in DGX1_PCIE_SWITCHES]
+    nodes: List[Node] = [*gpus, *cpus, *switches]
+
+    lane_bandwidth = None
+    if nvlink_bandwidth_scale != 1.0:
+        from repro.topology.links import PEAK_BANDWIDTH
+
+        lane_bandwidth = PEAK_BANDWIDTH[LinkType.NVLINK] * nvlink_bandwidth_scale
+
+    links: List[Link] = []
+    if nvlink:
+        for a, b, width in DGX1V_NVLINKS:
+            if uniform_link_width is not None:
+                width = uniform_link_width
+            links.append(
+                Link(gpus[a], gpus[b], LinkType.NVLINK, width=width,
+                     lane_bandwidth=lane_bandwidth)
+            )
+    for idx, gpu_pair, socket in DGX1_PCIE_SWITCHES:
+        switch = switches[idx]
+        for g in gpu_pair:
+            links.append(Link(gpus[g], switch, LinkType.PCIE))
+        links.append(Link(switch, cpus[socket], LinkType.PCIE))
+    links.append(Link(cpus[0], cpus[1], LinkType.QPI))
+
+    return SystemTopology("dgx1-v", nodes, links)

@@ -1,0 +1,128 @@
+"""Runtime binding of a topology to a simulation environment.
+
+A :class:`Fabric` creates one FIFO :class:`~repro.sim.resources.Resource`
+per *direction* of every physical link (NVLink and PCIe are full duplex, so
+the two directions never contend with each other) and exposes a process that
+performs a DMA along a route leg, holding each directed link for the
+duration of the wire time.  Contention between concurrent transfers on the
+same link direction therefore shows up as FIFO queueing -- exactly the
+effect that serializes the P2P parameter-server traffic into GPU0.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.core.constants import CALIBRATION, CalibrationConstants
+from repro.sim import Environment, Resource
+from repro.sim.resources import Store
+from repro.sim.events import Event
+from repro.topology.links import Link
+from repro.topology.nodes import Node
+from repro.topology.routing import Leg, Route
+from repro.topology.system import SystemTopology
+
+#: A directed link is a (link, source-endpoint-name) pair.
+DirectedKey = Tuple[str, str]
+
+
+class Fabric:
+    """Link-contention state for one simulation run."""
+
+    def __init__(
+        self,
+        env: Environment,
+        topology: SystemTopology,
+        constants: CalibrationConstants = CALIBRATION,
+    ) -> None:
+        self.env = env
+        self.topology = topology
+        self.constants = constants
+        self._channels: Dict[DirectedKey, Resource] = {}
+        for link in topology.links:
+            self._channels[(link.name, link.a.name)] = Resource(env)
+            self._channels[(link.name, link.b.name)] = Resource(env)
+        # Cumulative accounting, for profiler/bandwidth reports.
+        self.bytes_moved: Dict[str, int] = {link.name: 0 for link in topology.links}
+        self.busy_time: Dict[str, float] = {link.name: 0.0 for link in topology.links}
+
+    def channel(self, link: Link, source: Node) -> Resource:
+        """The FIFO resource guarding ``link`` in the ``source ->`` direction."""
+        try:
+            return self._channels[(link.name, source.name)]
+        except KeyError:
+            raise ValueError(f"{source} is not an endpoint of {link.name}") from None
+
+    # ------------------------------------------------------------------
+    # DMA processes
+    # ------------------------------------------------------------------
+    def dma(self, leg: Leg, nbytes: int) -> Generator[Event, None, None]:
+        """Process: move ``nbytes`` across one leg, cut-through.
+
+        All links of the leg are held together for the leg's wire time;
+        this conservatively models a cut-through DMA whose slowest link
+        paces the whole chain.
+        """
+        requests = []
+        current = leg.src
+        for link in leg.links:
+            requests.append((link, self.channel(link, current).request()))
+            current = link.other(current)
+        for _, req in requests:
+            yield req
+        wire_time = leg.latency(self.constants) + nbytes / leg.bandwidth(self.constants)
+        try:
+            yield self.env.timeout(wire_time)
+        finally:
+            for link, req in requests:
+                self.bytes_moved[link.name] += nbytes
+                self.busy_time[link.name] += wire_time
+                req.resource.release(req)
+
+    def transfer(self, route: Route, nbytes: int) -> Generator[Event, None, float]:
+        """Process: move ``nbytes`` along a full route, store-and-forward.
+
+        Returns the total elapsed time.  Staged routes (NVLink relay or
+        DtoH+HtoD) execute their legs sequentially, matching how MXNet and
+        CUDA actually perform them.
+        """
+        start = self.env.now
+        for leg in route.legs:
+            yield self.env.process(self.dma(leg, nbytes))
+        return self.env.now - start
+
+    def pipelined_transfer(
+        self, route: Route, nbytes: int, chunk_bytes: int
+    ) -> Generator[Event, None, float]:
+        """Process: move ``nbytes`` along a route with chunk pipelining.
+
+        Multi-leg routes (NVLink relay, DtoH+HtoD) forward each chunk as
+        soon as it lands on the staging node, so a large staged transfer
+        approaches the bottleneck link's bandwidth instead of paying the
+        full store-and-forward penalty.
+        """
+        if len(route.legs) <= 1 or nbytes <= chunk_bytes:
+            result = yield from self.transfer(route, nbytes)
+            return result
+        start = self.env.now
+        chunks = []
+        remaining = nbytes
+        while remaining > 0:
+            size = min(chunk_bytes, remaining)
+            chunks.append(size)
+            remaining -= size
+        # Hand-off queues between consecutive legs.
+        queues = [Store(self.env) for _ in route.legs[1:]]
+
+        def leg_runner(leg_index: int):
+            leg = route.legs[leg_index]
+            for size in chunks:
+                if leg_index > 0:
+                    yield queues[leg_index - 1].get()
+                yield self.env.process(self.dma(leg, size))
+                if leg_index < len(queues):
+                    queues[leg_index].put(size)
+
+        runners = [self.env.process(leg_runner(i)) for i in range(len(route.legs))]
+        yield self.env.all_of(runners)
+        return self.env.now - start

@@ -1,0 +1,54 @@
+"""Node types of the interconnect graph."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class NodeKind(str, enum.Enum):
+    GPU = "gpu"
+    CPU = "cpu"
+    PCIE_SWITCH = "pcie_switch"
+
+
+@dataclass(frozen=True)
+class Node:
+    """A vertex in the interconnect graph, identified by a stable name."""
+
+    name: str
+    kind: NodeKind
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+@dataclass(frozen=True)
+class GpuNode(Node):
+    """A GPU endpoint; ``index`` is the CUDA device ordinal."""
+
+    index: int = 0
+
+    @staticmethod
+    def named(index: int) -> "GpuNode":
+        return GpuNode(name=f"gpu{index}", kind=NodeKind.GPU, index=index)
+
+
+@dataclass(frozen=True)
+class CpuNode(Node):
+    """A CPU socket; hosts pinned memory used for DtoH+HtoD staging."""
+
+    socket: int = 0
+
+    @staticmethod
+    def named(socket: int) -> "CpuNode":
+        return CpuNode(name=f"cpu{socket}", kind=NodeKind.CPU, socket=socket)
+
+
+@dataclass(frozen=True)
+class SwitchNode(Node):
+    """A PCIe switch; two GPUs in the DGX-1 share each switch's uplink."""
+
+    @staticmethod
+    def named(index: int) -> "SwitchNode":
+        return SwitchNode(name=f"plx{index}", kind=NodeKind.PCIE_SWITCH)

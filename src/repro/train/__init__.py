@@ -1,0 +1,45 @@
+"""Multi-GPU data-parallel training simulation.
+
+:class:`~repro.train.trainer.Trainer` assembles the whole system -- DGX-1
+fabric, V100 devices, kernel cost model, communicator, profiler -- and
+simulates synchronous-SGD iterations at event fidelity, extrapolating
+steady-state iteration time to a full epoch.
+"""
+
+from repro.train.async_trainer import AsyncResult, AsyncTrainer, train_async
+from repro.train.dataset import SyntheticImageDataset, imagenet_subset
+from repro.train.inference import InferenceEstimate, InferenceEstimator
+from repro.train.optimizers import ADAM, SGD, SGD_MOMENTUM, OptimizerSpec, available_optimizers, get_optimizer
+from repro.train.model_parallel import (
+    ModelParallelEstimator,
+    ModelParallelPlan,
+    ModelParallelResult,
+    partition_network,
+    train_model_parallel,
+)
+from repro.train.results import TrainingResult
+from repro.train.trainer import Trainer, train
+
+__all__ = [
+    "ADAM",
+    "AsyncResult",
+    "AsyncTrainer",
+    "InferenceEstimate",
+    "InferenceEstimator",
+    "ModelParallelEstimator",
+    "ModelParallelPlan",
+    "ModelParallelResult",
+    "OptimizerSpec",
+    "SGD",
+    "SGD_MOMENTUM",
+    "SyntheticImageDataset",
+    "Trainer",
+    "TrainingResult",
+    "imagenet_subset",
+    "available_optimizers",
+    "get_optimizer",
+    "partition_network",
+    "train",
+    "train_async",
+    "train_model_parallel",
+]

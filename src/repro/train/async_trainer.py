@@ -1,0 +1,244 @@
+"""Asynchronous SGD on the simulated DGX-1 (paper Section II-B).
+
+The paper contrasts synchronous SGD with ASGD: each GPU pushes its
+gradients to the parameter server and pulls fresh weights *without*
+waiting for the other GPUs, eliminating stragglers at the cost of the
+**delayed gradient problem** -- by the time a gradient arrives, the server
+weights have moved on by however many updates the other workers landed in
+between.
+
+:class:`AsyncTrainer` simulates this execution: per-GPU loops of
+pull -> FP -> BP -> push over the real fabric (P2P routes, contention and
+all), a server update per arriving push, and staleness accounting.  The
+result quantifies the paper's qualitative trade-off: higher hardware
+throughput, staleness growing with GPU count.
+
+Convergence itself is out of scope for a performance study, but
+:attr:`AsyncResult.effective_epoch_time` exposes the standard
+linear-staleness penalty model (each unit of mean staleness inflates the
+epochs-to-converge proportionally) so examples can show when ASGD's
+throughput win survives the statistical cost.  The penalty coefficient is
+a documented model input, not a measured quantity.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.core.config import SimulationConfig, TrainingConfig
+from repro.core.constants import CALIBRATION, CalibrationConstants
+from repro.dnn import build_network, compile_network, network_input_shape
+from repro.gpu import GpuDevice, KernelCostModel, MemoryModel
+from repro.gpu.kernel import KernelSpec
+from repro.gpu.spec import TESLA_V100, GpuSpec
+from repro.profile import Profiler
+from repro.sim import Environment
+from repro.sim.events import Event
+from repro.topology import Fabric, Router, build_dgx1v
+
+#: Per-iteration count each worker executes in the simulation window.
+ASYNC_MEASURE_ITERATIONS = 4
+
+#: Default linear staleness penalty: epochs-to-converge multiplier is
+#: ``1 + coefficient * mean_staleness`` (illustrative model input).
+STALENESS_PENALTY_COEFFICIENT = 0.12
+
+
+@dataclass(frozen=True)
+class AsyncResult:
+    """Measured behaviour of one asynchronous training run."""
+
+    config: TrainingConfig
+    iteration_time: float            # mean per-worker iteration (s)
+    epoch_time: float                # wall time for one pass over the data
+    images_per_second: float
+    staleness_mean: float            # server updates between pull and push
+    staleness_max: int
+    staleness_samples: Tuple[int, ...]
+    server_updates: int
+
+    def effective_epoch_time(
+        self, penalty: float = STALENESS_PENALTY_COEFFICIENT
+    ) -> float:
+        """Epoch time scaled by the linear staleness convergence penalty."""
+        return self.epoch_time * (1.0 + penalty * self.staleness_mean)
+
+    def describe(self) -> str:
+        return (
+            f"{self.config.describe()}[async]: epoch={self.epoch_time:.2f}s "
+            f"({self.images_per_second:.0f} img/s, "
+            f"staleness mean={self.staleness_mean:.2f} max={self.staleness_max})"
+        )
+
+
+class AsyncTrainer:
+    """Simulates asynchronous parameter-server SGD.
+
+    Weights live on GPU0.  Each worker (including GPU0's own compute)
+    repeatedly pulls the model, computes FP+BP on its mini-batch, and
+    pushes gradients back; the server applies each push immediately.
+    Transfers ride the same P2P routes as the synchronous ``device``
+    KVStore and contend on the NVLink fabric.
+    """
+
+    def __init__(
+        self,
+        config: TrainingConfig,
+        sim: SimulationConfig = SimulationConfig(),
+        constants: CalibrationConstants = CALIBRATION,
+        spec: GpuSpec = TESLA_V100,
+        check_memory: bool = True,
+        gpu_speed_factors=None,
+    ) -> None:
+        self.config = config
+        self.gpu_speed_factors = dict(gpu_speed_factors or {})
+        self.sim = sim
+        self.constants = constants
+        self.spec = spec
+        self.stats = compile_network(
+            build_network(config.network), network_input_shape(config.network)
+        )
+        self.cost_model = KernelCostModel(spec, constants)
+        if check_memory:
+            MemoryModel(spec, constants).check_fits(
+                self.stats, config.batch_size, is_server=config.num_gpus > 1
+            )
+        self._fwd = self.cost_model.forward_schedule(self.stats, config.batch_size)
+        self._bwd = self.cost_model.backward_schedule(self.stats, config.batch_size)
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def run(self) -> AsyncResult:
+        env = Environment()
+        topology = build_dgx1v()
+        fabric = Fabric(env, topology, self.constants)
+        router = Router(topology)
+        devices = [
+            GpuDevice(env, topology.gpu(i), self.spec,
+                      speed_factor=self.gpu_speed_factors.get(i, 1.0))
+            for i in range(self.config.num_gpus)
+        ]
+
+        state = _ServerState()
+        iterations = self.sim.warmup_iterations + ASYNC_MEASURE_ITERATIONS
+        workers = [
+            env.process(
+                self._worker(env, fabric, router, devices, pos, state, iterations)
+            )
+            for pos in range(len(devices))
+        ]
+        env.run(until=env.all_of(workers))
+
+        measured = [
+            t for pos, it, t in state.iteration_records
+            if it >= self.sim.warmup_iterations
+        ]
+        staleness = tuple(
+            s for pos, it, s in state.staleness_records
+            if it >= self.sim.warmup_iterations
+        )
+        mean_iteration = statistics.mean(measured)
+        # Workers proceed independently: aggregate throughput is the sum of
+        # per-worker rates.
+        images_per_second = sum(
+            self.config.batch_size / t for t in measured
+        ) / max(1, len(measured)) * self.config.num_gpus
+        epoch_time = (
+            self.config.total_images / images_per_second
+            + self.constants.run_startup_overhead
+        )
+        return AsyncResult(
+            config=self.config,
+            iteration_time=mean_iteration,
+            epoch_time=epoch_time,
+            images_per_second=images_per_second,
+            staleness_mean=statistics.mean(staleness) if staleness else 0.0,
+            staleness_max=max(staleness) if staleness else 0,
+            staleness_samples=staleness,
+            server_updates=state.version,
+        )
+
+    # ------------------------------------------------------------------
+    # Worker process
+    # ------------------------------------------------------------------
+    def _worker(
+        self,
+        env: Environment,
+        fabric: Fabric,
+        router: Router,
+        devices: List[GpuDevice],
+        pos: int,
+        state: "_ServerState",
+        iterations: int,
+    ) -> Generator[Event, None, None]:
+        c = self.constants
+        dev = devices[pos]
+        server = devices[0]
+        model_bytes = self.stats.model_bytes
+        for iteration in range(iterations):
+            start = env.now
+            # Pull the current weights from the server.
+            version_seen = state.version
+            if pos != 0:
+                route = router.gpu_to_gpu(
+                    fabric.topology.gpu(server.index), fabric.topology.gpu(dev.index)
+                )
+                yield env.timeout(c.p2p_copy_setup)
+                yield from fabric.pipelined_transfer(route, model_bytes, 4 * 2**20)
+            # Compute FP + BP.
+            yield env.timeout(
+                c.input_pipeline_residual
+                + c.input_cost_per_image * self.config.batch_size
+            )
+            for kernel in self._fwd:
+                yield env.process(dev.run_kernel(kernel))
+            for _, kernels in self._bwd:
+                for kernel in kernels:
+                    yield env.process(dev.run_kernel(kernel))
+            # Push gradients; the server updates immediately on arrival.
+            if pos != 0:
+                route = router.gpu_to_gpu(
+                    fabric.topology.gpu(dev.index), fabric.topology.gpu(server.index)
+                )
+                yield env.timeout(c.p2p_copy_setup)
+                yield from fabric.pipelined_transfer(route, model_bytes, 4 * 2**20)
+            yield env.process(server.run_kernel(self._update_kernel()))
+            staleness = state.version - version_seen
+            state.version += 1
+            state.staleness_records.append((pos, iteration, staleness))
+            state.iteration_records.append((pos, iteration, env.now - start))
+            yield env.timeout(c.stream_sync_overhead)
+
+    def _update_kernel(self) -> KernelSpec:
+        numel = self.stats.total_params
+        nbytes = self.stats.model_bytes
+        return KernelSpec(
+            name="asgd_update",
+            layer="@server",
+            stage="wu",
+            duration=self.cost_model.kernel_time(4.0 * numel, 5 * nbytes, False),
+            flops=4.0 * numel,
+            bytes_moved=5 * nbytes,
+        )
+
+
+class _ServerState:
+    """Mutable server-side bookkeeping shared by worker processes."""
+
+    def __init__(self) -> None:
+        self.version = 0
+        self.staleness_records: List[Tuple[int, int, int]] = []
+        self.iteration_records: List[Tuple[int, int, float]] = []
+
+
+def train_async(
+    config: TrainingConfig,
+    sim: SimulationConfig = SimulationConfig(),
+    constants: CalibrationConstants = CALIBRATION,
+    **kwargs,
+) -> AsyncResult:
+    """Convenience wrapper mirroring :func:`repro.train.train`."""
+    return AsyncTrainer(config, sim=sim, constants=constants, **kwargs).run()

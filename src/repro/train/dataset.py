@@ -1,0 +1,67 @@
+"""Synthetic dataset descriptors.
+
+The paper trains on a 256K-image ImageNet subset.  Pixel values never
+influence time or memory, so the dataset is described by image count and
+shape only; :meth:`SyntheticImageDataset.batches` yields the mini-batch
+sizes an epoch processes (the trailing batch may be short).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.errors import ConfigurationError
+from repro.dnn.shapes import Shape
+from repro.dnn.stats import DTYPE_BYTES
+
+
+@dataclass(frozen=True)
+class SyntheticImageDataset:
+    """A dataset of ``num_images`` images of ``image_shape`` each."""
+
+    name: str
+    num_images: int
+    image_shape: Shape
+
+    def __post_init__(self) -> None:
+        if self.num_images < 1:
+            raise ConfigurationError("dataset needs at least one image")
+
+    @property
+    def bytes_per_image(self) -> int:
+        return self.image_shape.numel * DTYPE_BYTES
+
+    @property
+    def total_bytes(self) -> int:
+        return self.num_images * self.bytes_per_image
+
+    def batches(self, global_batch_size: int) -> Iterator[int]:
+        """Mini-batch sizes for one epoch."""
+        if global_batch_size < 1:
+            raise ConfigurationError("batch size must be positive")
+        remaining = self.num_images
+        while remaining > 0:
+            size = min(global_batch_size, remaining)
+            yield size
+            remaining -= size
+
+    def num_batches(self, global_batch_size: int) -> int:
+        return -(-self.num_images // global_batch_size)
+
+    def scaled(self, factor: int) -> "SyntheticImageDataset":
+        """A weak-scaling variant with ``factor`` times the images."""
+        return SyntheticImageDataset(
+            name=f"{self.name}-x{factor}",
+            num_images=self.num_images * factor,
+            image_shape=self.image_shape,
+        )
+
+
+def imagenet_subset(num_images: int, image_shape: Shape) -> SyntheticImageDataset:
+    """The paper's ImageNet subset, resized for the target network."""
+    return SyntheticImageDataset(
+        name="imagenet-subset",
+        num_images=num_images,
+        image_shape=image_shape,
+    )

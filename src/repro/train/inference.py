@@ -1,0 +1,123 @@
+"""Forward-only (inference/serving) estimation.
+
+Training profiling is the paper's subject, but the same kernel model
+answers the serving questions a deployment asks: per-batch latency,
+latency-vs-throughput across batch sizes, and replica throughput on a
+full DGX-1 (inference needs no weight synchronization, so GPUs serve as
+independent replicas).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.constants import CALIBRATION, CalibrationConstants
+from repro.core.errors import ConfigurationError, OutOfMemoryError
+from repro.dnn import build_network, compile_network, network_input_shape
+from repro.dnn.network import Network
+from repro.dnn.shapes import Shape
+from repro.dnn.stats import DTYPE_BYTES, NetworkStats
+from repro.gpu import KernelCostModel, MemoryModel
+from repro.gpu.spec import TESLA_V100, GpuSpec
+
+
+@dataclass(frozen=True)
+class InferenceEstimate:
+    """Latency/throughput for one (network, batch) serving point."""
+
+    network: str
+    batch_size: int
+    latency: float                 # seconds per batch on one GPU
+    throughput_per_gpu: float      # images/second
+    memory_bytes: int              # weights + one batch of activations
+
+    def throughput(self, num_gpus: int) -> float:
+        """Aggregate replica throughput (no inter-GPU communication)."""
+        if num_gpus < 1:
+            raise ConfigurationError("num_gpus must be positive")
+        return self.throughput_per_gpu * num_gpus
+
+    def describe(self) -> str:
+        return (
+            f"{self.network}/b{self.batch_size} inference: "
+            f"{self.latency * 1e3:.2f} ms/batch, "
+            f"{self.throughput_per_gpu:.0f} img/s per GPU"
+        )
+
+
+class InferenceEstimator:
+    """Forward-pass cost model on one V100."""
+
+    def __init__(
+        self,
+        network_name: str,
+        constants: CalibrationConstants = CALIBRATION,
+        spec: GpuSpec = TESLA_V100,
+        use_tensor_cores: bool = True,
+        network: Optional[Network] = None,
+        input_shape: Optional[Shape] = None,
+    ) -> None:
+        self.constants = constants
+        self.spec = spec
+        if network is None:
+            network = build_network(network_name)
+            input_shape = network_input_shape(network_name)
+        elif input_shape is None:
+            raise ConfigurationError("a custom network needs an input_shape")
+        self.stats: NetworkStats = compile_network(network, input_shape)
+        self.cost_model = KernelCostModel(spec, constants, use_tensor_cores)
+
+    def memory_bytes(self, batch: int) -> int:
+        """Serving footprint: weights + live activations + input batch."""
+        return (
+            self.stats.model_bytes
+            + self.stats.materialized_activation_bytes_per_sample * batch
+            + self.stats.input_shape.numel * DTYPE_BYTES * batch
+            + self.constants.cuda_context_bytes
+        )
+
+    def estimate(self, batch: int, check_memory: bool = True) -> InferenceEstimate:
+        """Latency and throughput at one batch size."""
+        if batch < 1:
+            raise ConfigurationError("batch must be positive")
+        memory = self.memory_bytes(batch)
+        if check_memory and memory > self.spec.memory_bytes:
+            raise OutOfMemoryError(self.spec.name, memory, self.spec.memory_bytes)
+        latency = (
+            sum(k.duration for k in self.cost_model.forward_schedule(self.stats, batch))
+            + self.constants.input_pipeline_residual
+            + self.constants.input_cost_per_image * batch
+        )
+        return InferenceEstimate(
+            network=self.stats.name,
+            batch_size=batch,
+            latency=latency,
+            throughput_per_gpu=batch / latency,
+            memory_bytes=memory,
+        )
+
+    def sweep(self, batches: Tuple[int, ...] = (1, 4, 16, 64)) -> Tuple[InferenceEstimate, ...]:
+        """Latency/throughput curve over batch sizes (skipping OOM points)."""
+        points = []
+        for batch in batches:
+            try:
+                points.append(self.estimate(batch))
+            except OutOfMemoryError:
+                break
+        return tuple(points)
+
+    def max_throughput_batch(self, limit: int = 512) -> InferenceEstimate:
+        """The power-of-two batch with the highest per-GPU throughput."""
+        best: Optional[InferenceEstimate] = None
+        batch = 1
+        while batch <= limit:
+            try:
+                point = self.estimate(batch)
+            except OutOfMemoryError:
+                break
+            if best is None or point.throughput_per_gpu > best.throughput_per_gpu:
+                best = point
+            batch *= 2
+        assert best is not None  # batch=1 always fits on a 16 GiB V100
+        return best

@@ -1,0 +1,68 @@
+"""Optimizer cost descriptors.
+
+The paper trains with synchronous SGD; the optimizer choice matters to a
+performance study through exactly two channels, both captured here:
+
+* the **weight-update kernel** (FLOPs and memory passes per parameter),
+* the **optimizer state** resident in GPU memory (momentum buffers,
+  Adam's first/second moments).
+
+Descriptors are consumed by the communicators (update-kernel cost) and by
+the memory model (parameter-sized state arrays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class OptimizerSpec:
+    """Cost profile of one optimizer's update step."""
+
+    name: str
+    #: parameter-sized arrays kept besides weights and gradients.
+    state_arrays: int
+    #: FLOPs per parameter per update.
+    flops_per_param: float
+    #: array-sized memory passes per update (reads + writes).
+    memory_passes: int
+
+    @property
+    def param_copies(self) -> int:
+        """Parameter-sized arrays resident in training: w + grad + state."""
+        return 2 + self.state_arrays
+
+
+#: Plain SGD: ``w -= lr * g`` -- one read-modify-write plus the gradient.
+SGD = OptimizerSpec(name="sgd", state_arrays=0, flops_per_param=2.0,
+                    memory_passes=3)
+
+#: SGD with momentum (MXNet's default for the paper's workloads).
+SGD_MOMENTUM = OptimizerSpec(name="sgd-momentum", state_arrays=1,
+                             flops_per_param=4.0, memory_passes=5)
+
+#: Adam: two moment buffers, bias correction, per-param divide/sqrt.
+ADAM = OptimizerSpec(name="adam", state_arrays=2, flops_per_param=12.0,
+                     memory_passes=7)
+
+_REGISTRY: Dict[str, OptimizerSpec] = {
+    spec.name: spec for spec in (SGD, SGD_MOMENTUM, ADAM)
+}
+
+
+def get_optimizer(name: str) -> OptimizerSpec:
+    """Look an optimizer up by name ('sgd', 'sgd-momentum', 'adam')."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown optimizer {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_optimizers() -> tuple:
+    return tuple(sorted(_REGISTRY))

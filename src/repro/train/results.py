@@ -1,0 +1,74 @@
+"""Result objects returned by the trainer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import TrainingConfig
+from repro.profile.profiler import Profiler
+from repro.profile.smi import MemoryReading
+from repro.profile.summary import ApiSummary, StageBreakdown
+
+
+@dataclass(frozen=True)
+class TrainingResult:
+    """Everything measured for one training configuration."""
+
+    config: TrainingConfig
+    iteration_time: float            # mean steady-state iteration (s)
+    iteration_times: Tuple[float, ...]
+    epoch_time: float                # extrapolated epoch time (s)
+    fixed_overhead: float            # once-per-run cost included in epoch_time
+    stages: StageBreakdown           # per-iteration FP/BP/WU means
+    apis: ApiSummary
+    gpu_busy: Dict[int, float]       # busy fraction per GPU over the window
+    compute_utilization: float       # achieved/peak FLOP fraction in FP+BP
+    memory: Tuple[MemoryReading, ...]
+    profiler: Optional[Profiler] = None
+
+    @property
+    def iterations_per_epoch(self) -> int:
+        return self.config.iterations_per_epoch
+
+    # ------------------------------------------------------------------
+    # Epoch-level stage times (what Figures 3-5 plot)
+    # ------------------------------------------------------------------
+    @property
+    def epoch_wu_time(self) -> float:
+        """Exposed weight-update (communication) time per epoch."""
+        return self.stages.wu * self.iterations_per_epoch
+
+    @property
+    def epoch_fp_bp_time(self) -> float:
+        """Computation (FP+BP) time per epoch.
+
+        Following the paper's Figure 4, the epoch splits into exactly two
+        buckets -- communication (the exposed WU stage) and everything
+        else, which nvprof attributes to the FP+BP stages (kernel time
+        plus the CUDA API/synchronization overheads that make LeNet's
+        FP+BP scale non-linearly).
+        """
+        return self.epoch_time - self.epoch_wu_time
+
+    @property
+    def images_per_second(self) -> float:
+        images = self.config.total_images
+        return images / self.epoch_time if self.epoch_time > 0 else 0.0
+
+    def speedup_over(self, baseline: "TrainingResult") -> float:
+        """Strong/weak-scaling speedup relative to another run.
+
+        For weak scaling both runs process different image counts, so the
+        comparison normalizes to time per image.
+        """
+        mine = self.epoch_time / self.config.total_images
+        theirs = baseline.epoch_time / baseline.config.total_images
+        return theirs / mine if mine > 0 else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.config.describe()}: epoch={self.epoch_time:.2f}s "
+            f"(fp+bp={self.epoch_fp_bp_time:.2f}s, wu={self.epoch_wu_time:.2f}s, "
+            f"{self.images_per_second:.0f} img/s)"
+        )

@@ -1,0 +1,320 @@
+"""The multi-GPU synchronous-SGD training simulation.
+
+One :class:`Trainer` assembles the full system for a
+:class:`~repro.core.config.TrainingConfig`:
+
+* the DGX-1 fabric and one :class:`~repro.gpu.device.GpuDevice` per GPU,
+* the kernel schedules of the chosen network at the chosen batch size,
+* a :class:`~repro.comm.base.Communicator` (P2P or NCCL),
+* a :class:`~repro.profile.profiler.Profiler`.
+
+Each simulated iteration reproduces MXNet's execution structure: every GPU
+stages its input batch (prefetched, double-buffered over PCIe), runs FP
+then BP; as soon as a layer's backward kernels finish on *all* GPUs its
+weight arrays are handed to the communicator (the BP/WU overlap MXNet
+pipelines); the iteration barrier falls when both compute and weight
+update complete, plus the host-side synchronization cost.
+
+Training is periodic, so the trainer simulates a warm-up then a few
+measured iterations at full event fidelity and extrapolates the epoch:
+``epoch = iterations * mean_iteration + once_per_run_overheads``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Sequence
+
+from repro.comm import make_communicator
+from repro.core.config import SimulationConfig, TrainingConfig
+from repro.core.constants import CALIBRATION, CalibrationConstants
+from repro.dnn import build_network, compile_network, network_input_shape
+from repro.dnn.stats import NetworkStats
+from repro.gpu import GpuDevice, KernelCostModel, MemoryModel
+from repro.gpu.spec import TESLA_V100, GpuSpec
+from repro.profile import MemoryMonitor, Profiler, summarize_apis, summarize_stages
+from repro.profile.summary import gpu_busy_fractions
+from repro.sim import Environment
+from repro.sim.events import Event
+from repro.topology import Fabric, Router, build_dgx1v
+from repro.train.optimizers import get_optimizer
+from repro.train.results import TrainingResult
+
+
+class Trainer:
+    """Simulates training one network on the DGX-1."""
+
+    def __init__(
+        self,
+        config: TrainingConfig,
+        sim: SimulationConfig = SimulationConfig(),
+        constants: CalibrationConstants = CALIBRATION,
+        spec: GpuSpec = TESLA_V100,
+        use_tensor_cores: bool = True,
+        check_memory: bool = True,
+        keep_profiler: bool = False,
+        topology_builder=build_dgx1v,
+        network=None,
+        input_shape=None,
+        gpu_speed_factors=None,
+    ) -> None:
+        """``network``/``input_shape`` override the zoo lookup, letting a
+        custom :class:`~repro.dnn.network.Network` train under any
+        configuration (``config.network`` then serves only as a label).
+        ``gpu_speed_factors`` maps GPU position -> kernel-duration
+        multiplier (>1 = slower) for straggler-injection studies."""
+        self.config = config
+        self.sim = sim
+        self.constants = constants
+        self.spec = spec
+        self.check_memory = check_memory
+        self.keep_profiler = keep_profiler
+        self.topology_builder = topology_builder
+        self.gpu_speed_factors = dict(gpu_speed_factors or {})
+        if network is not None:
+            if input_shape is None:
+                raise ValueError("a custom network needs an explicit input_shape")
+            self.stats = compile_network(network, input_shape)
+        else:
+            self.stats = compile_network(
+                build_network(config.network), network_input_shape(config.network)
+            )
+        self.optimizer = get_optimizer(config.optimizer)
+        self.cost_model = KernelCostModel(spec, constants, use_tensor_cores)
+        self.memory_model = MemoryModel(spec, constants, optimizer=self.optimizer)
+        # Kernel schedules are batch-dependent but iteration-invariant.
+        self._fwd = self.cost_model.forward_schedule(self.stats, config.batch_size)
+        self._bwd = self.cost_model.backward_schedule(self.stats, config.batch_size)
+        self._kernels_per_iter = len(self._fwd) + sum(len(k) for _, k in self._bwd)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self) -> TrainingResult:
+        """Simulate the run and return the measured result.
+
+        Raises :class:`~repro.core.errors.OutOfMemoryError` when the
+        configuration cannot fit in GPU memory (as the paper hit for
+        Inception-v3/ResNet above batch 64).
+        """
+        if self.check_memory:
+            self.memory_model.check_fits(
+                self.stats,
+                self.config.batch_size,
+                is_server=self.config.num_gpus > 1,
+            )
+
+        env = Environment()
+        profiler = Profiler(enabled=False)
+        if self.config.cluster_nodes > 1:
+            from repro.topology import build_dgx1v_cluster
+
+            topology = build_dgx1v_cluster(self.config.cluster_nodes)
+        else:
+            topology = self.topology_builder()
+        fabric = Fabric(env, topology, self.constants)
+        router = Router(topology)
+        devices = [
+            GpuDevice(env, topology.gpu(i), self.spec, profiler,
+                      speed_factor=self.gpu_speed_factors.get(i, 1.0))
+            for i in range(self.config.num_gpus)
+        ]
+        comm = make_communicator(
+            self.config.comm_method,
+            env,
+            fabric,
+            devices,
+            self.cost_model,
+            self.constants,
+            profiler,
+            gradient_bytes_scale=0.5 if self.config.fp16_gradients else 1.0,
+            optimizer=self.optimizer,
+        )
+
+        input_ready: List[Optional[Event]] = [None] * len(devices)
+        iteration_times: List[float] = []
+        total_iterations = self.sim.warmup_iterations + self.sim.measure_iterations
+        for iteration in range(total_iterations):
+            if iteration == self.sim.warmup_iterations:
+                profiler.enabled = True
+                profiler.reset()
+            start = env.now
+            done = env.process(
+                self._iteration(
+                    env, iteration, devices, comm, profiler, fabric, router,
+                    input_ready,
+                )
+            )
+            env.run(until=done)
+            if iteration >= self.sim.warmup_iterations:
+                iteration_times.append(env.now - start)
+
+        mean_iteration = sum(iteration_times) / len(iteration_times)
+        fixed = comm.epoch_fixed_overhead() + self.constants.run_startup_overhead
+        epoch_time = self.config.iterations_per_epoch * mean_iteration + fixed
+        monitor = MemoryMonitor(self.spec, self.constants, optimizer=self.optimizer)
+        return TrainingResult(
+            config=self.config,
+            iteration_time=mean_iteration,
+            iteration_times=tuple(iteration_times),
+            epoch_time=epoch_time,
+            fixed_overhead=fixed,
+            stages=summarize_stages(profiler),
+            apis=summarize_apis(profiler),
+            gpu_busy=gpu_busy_fractions(profiler),
+            compute_utilization=self.cost_model.compute_utilization(
+                self.stats, self.config.batch_size
+            ),
+            memory=tuple(
+                monitor.sample(self.stats, self.config.batch_size, self.config.num_gpus)
+            ),
+            profiler=profiler if self.keep_profiler else None,
+        )
+
+    # ------------------------------------------------------------------
+    # One synchronous-SGD iteration
+    # ------------------------------------------------------------------
+    def _iteration(
+        self,
+        env: Environment,
+        iteration: int,
+        devices: Sequence[GpuDevice],
+        comm,
+        profiler: Profiler,
+        fabric: Fabric,
+        router: Router,
+        input_ready: List[Optional[Event]],
+    ) -> Generator[Event, None, None]:
+        c = self.constants
+        start = env.now
+        # Gradient readiness: one event per weighted layer per GPU.
+        grad_ready: Dict[str, List[Event]] = {
+            layer.name: [env.event() for _ in devices]
+            for layer, kernels in self._bwd
+            if layer.is_weighted
+        }
+        bp_end_times: List[float] = [start] * len(devices)
+
+        # Prefetch the *next* batch while this one computes (double buffer).
+        this_input = list(input_ready)
+        for pos, dev in enumerate(devices):
+            input_ready[pos] = env.process(
+                self._stage_input(env, fabric, router, dev, profiler)
+            )
+
+        compute = [
+            env.process(
+                self._gpu_compute(
+                    env, dev, pos, iteration, grad_ready, bp_end_times,
+                    profiler, this_input[pos],
+                )
+            )
+            for pos, dev in enumerate(devices)
+        ]
+        update = env.process(self._weight_update(env, comm, grad_ready))
+
+        yield env.all_of(compute)
+        compute_done = env.now
+        yield update
+        wu_end = max(env.now, compute_done)
+        profiler.record_span("wu", -1, iteration, compute_done, wu_end)
+
+        # Host-side barrier: one cudaStreamSynchronize per GPU (plus the
+        # communicator's per-iteration launch rendezvous) and the
+        # framework's iteration bookkeeping.
+        yield env.timeout(
+            c.framework_iteration_overhead
+            + len(devices) * c.stream_sync_overhead
+            + comm.per_iteration_overhead()
+        )
+        dispatch_time = self._kernels_per_iter * c.host_dispatch_per_kernel
+        for pos, dev in enumerate(devices):
+            # nvprof's view: the engine thread blocks in the sync call
+            # from the moment its dispatch work ends until the barrier.
+            sync_start = min(start + dispatch_time, env.now)
+            profiler.record_api("cudaStreamSynchronize", dev.index, sync_start, env.now)
+            profiler.record_api(
+                "cudaLaunchKernel", dev.index, start, start + dispatch_time
+            )
+        profiler.record_span("iteration", -1, iteration, start, env.now)
+
+    def _stage_input(
+        self, env: Environment, fabric: Fabric, router: Router, dev: GpuDevice,
+        profiler: Profiler,
+    ) -> Generator[Event, None, None]:
+        """HtoD copy of one GPU's next mini-batch (prefetch)."""
+        nbytes = (
+            self.stats.input_shape.numel * 4 * self.config.batch_size
+        )
+        cpu = fabric.topology.home_cpu(dev.node)
+        route = router.cpu_to_gpu(cpu, dev.node)
+        start = env.now
+        yield from fabric.transfer(route, nbytes)
+        profiler.record_transfer("h2d", -1, dev.index, nbytes, start, env.now)
+
+    def _gpu_compute(
+        self,
+        env: Environment,
+        dev: GpuDevice,
+        pos: int,
+        iteration: int,
+        grad_ready: Dict[str, List[Event]],
+        bp_end_times: List[float],
+        profiler: Profiler,
+        input_event: Optional[Event],
+    ) -> Generator[Event, None, None]:
+        """FP then BP on one GPU, signalling per-layer gradient readiness."""
+        if input_event is not None and not input_event.triggered:
+            yield input_event
+        yield env.timeout(
+            self.constants.input_pipeline_residual
+            + self.constants.input_cost_per_image * self.config.batch_size
+        )
+        fp_start = env.now
+        for kernel in self._fwd:
+            yield env.process(dev.run_kernel(kernel))
+        fp_end = env.now
+        profiler.record_span("fp", dev.index, iteration, fp_start, fp_end)
+        for layer, kernels in self._bwd:
+            for kernel in kernels:
+                yield env.process(dev.run_kernel(kernel))
+            if layer.is_weighted:
+                grad_ready[layer.name][pos].succeed()
+        bp_end = env.now
+        bp_end_times[pos] = bp_end
+        profiler.record_span("bp", dev.index, iteration, fp_end, bp_end)
+
+    def _weight_update(
+        self, env: Environment, comm, grad_ready: Dict[str, List[Event]]
+    ) -> Generator[Event, None, None]:
+        """Spawn per-array synchronization as gradients become ready."""
+        pending = []
+        if self.config.overlap_bp_wu:
+            # Layers appear in BP completion order, so waiting on each in
+            # turn streams arrays into the communicator as they are ready.
+            for layer, _ in self._bwd:
+                if not layer.is_weighted:
+                    continue
+                yield env.all_of(grad_ready[layer.name])
+                for array in self.stats.arrays_of_layer(layer.name):
+                    pending.append(env.process(comm.sync_array(array)))
+        else:
+            # No overlap: wait for every gradient, then synchronize.
+            all_events = [e for events in grad_ready.values() for e in events]
+            if all_events:
+                yield env.all_of(all_events)
+            for layer, _ in self._bwd:
+                if layer.is_weighted:
+                    for array in self.stats.arrays_of_layer(layer.name):
+                        pending.append(env.process(comm.sync_array(array)))
+        if pending:
+            yield env.all_of(pending)
+
+
+def train(
+    config: TrainingConfig,
+    sim: SimulationConfig = SimulationConfig(),
+    constants: CalibrationConstants = CALIBRATION,
+    **kwargs,
+) -> TrainingResult:
+    """Convenience wrapper: build a :class:`Trainer` and run it."""
+    return Trainer(config, sim=sim, constants=constants, **kwargs).run()

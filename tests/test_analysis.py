@@ -1,0 +1,145 @@
+"""Tests for the analysis package: scaling laws, crossover, serialization."""
+
+import json
+
+import pytest
+
+from repro import CommMethodName, SimulationConfig, TrainingConfig, train
+from repro.analysis import (
+    CrossoverStudy,
+    result_from_dict,
+    result_to_dict,
+    scaling_curve,
+    synthetic_conv_network,
+)
+from repro.analysis.scaling import ScalingCurve, compare_efficiency, karp_flatt
+from repro.core.errors import ConfigurationError
+from repro.dnn import compile_network
+from repro.analysis.crossover import SYNTHETIC_INPUT
+
+FAST = SimulationConfig(warmup_iterations=1, measure_iterations=2)
+
+
+# ----------------------------------------------------------------------
+# Scaling metrics
+# ----------------------------------------------------------------------
+def test_karp_flatt_perfect_scaling_is_zero():
+    assert karp_flatt(8.0, 8) == pytest.approx(0.0)
+
+
+def test_karp_flatt_no_scaling_is_one():
+    assert karp_flatt(1.0, 8) == pytest.approx(1.0)
+
+
+def test_karp_flatt_half_efficiency():
+    # S=4 on 8 GPUs -> e = (1/4 - 1/8) / (1 - 1/8) = 1/7
+    assert karp_flatt(4.0, 8) == pytest.approx(1.0 / 7.0)
+
+
+def test_karp_flatt_clamps_superlinear():
+    assert karp_flatt(10.0, 8) == 0.0
+
+
+def test_karp_flatt_validation():
+    with pytest.raises(ConfigurationError):
+        karp_flatt(2.0, 1)
+    with pytest.raises(ConfigurationError):
+        karp_flatt(0.0, 4)
+
+
+@pytest.fixture(scope="module")
+def lenet_curve():
+    results = [
+        train(TrainingConfig("lenet", 16, n, comm_method=CommMethodName.P2P),
+              sim=FAST)
+        for n in (1, 2, 4, 8)
+    ]
+    return scaling_curve(results)
+
+
+def test_scaling_curve_structure(lenet_curve):
+    assert lenet_curve.network == "lenet"
+    assert lenet_curve.gpu_counts == (1, 2, 4, 8)
+    assert lenet_curve.speedup(1) == 1.0
+    assert lenet_curve.speedup(8) > lenet_curve.speedup(2)
+
+
+def test_efficiency_decreases_with_gpus(lenet_curve):
+    assert (
+        lenet_curve.efficiency(1)
+        > lenet_curve.efficiency(2)
+        > lenet_curve.efficiency(4)
+        > lenet_curve.efficiency(8)
+    )
+
+
+def test_serial_fraction_positive_for_lenet(lenet_curve):
+    # LeNet's overheads imply a noticeable serial fraction.
+    assert 0.05 < lenet_curve.serial_fraction() < 0.5
+
+
+def test_scaling_curve_rejects_mixed_configs():
+    a = train(TrainingConfig("lenet", 16, 1, comm_method=CommMethodName.P2P),
+              sim=FAST)
+    b = train(TrainingConfig("lenet", 32, 2, comm_method=CommMethodName.P2P),
+              sim=FAST)
+    with pytest.raises(ConfigurationError):
+        scaling_curve([a, b])
+
+
+def test_scaling_curve_requires_one_gpu_baseline():
+    with pytest.raises(ConfigurationError):
+        ScalingCurve("x", "p2p", 16, (2, 4), (1.0, 0.5))
+
+
+def test_compare_efficiency(lenet_curve):
+    table = compare_efficiency([lenet_curve], 8)
+    assert table == {"lenet/p2p/b16": pytest.approx(lenet_curve.efficiency(8))}
+
+
+# ----------------------------------------------------------------------
+# Crossover study
+# ----------------------------------------------------------------------
+def test_synthetic_network_depth_controls_arrays():
+    shallow = compile_network(synthetic_conv_network(2), SYNTHETIC_INPUT)
+    deep = compile_network(synthetic_conv_network(16), SYNTHETIC_INPUT)
+    assert deep.conv_layer_count == 16
+    assert len(deep.weight_arrays) > 3 * len(shallow.weight_arrays)
+
+
+def test_synthetic_network_rejects_bad_depth():
+    with pytest.raises(ValueError):
+        synthetic_conv_network(0)
+
+
+def test_crossover_study_finds_nccl_win():
+    """Deep synthetic stacks favour NCCL at 8 GPUs, shallow ones P2P."""
+    study = CrossoverStudy(num_gpus=8, batch_size=16, sim=FAST)
+    result = study.run(depths=(2, 24, 48))
+    assert result.points[0].nccl_advantage < result.points[-1].nccl_advantage
+    assert result.points[-1].nccl_advantage > 1.0
+    assert result.crossover_depth is not None
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+def test_result_round_trips_through_json():
+    original = train(
+        TrainingConfig("alexnet", 16, 4, comm_method=CommMethodName.NCCL), sim=FAST
+    )
+    payload = json.loads(json.dumps(result_to_dict(original)))
+    restored = result_from_dict(payload)
+    assert restored.config == original.config
+    assert restored.epoch_time == original.epoch_time
+    assert restored.iteration_times == original.iteration_times
+    assert restored.stages == original.stages
+    assert restored.apis.totals == original.apis.totals
+    assert restored.gpu_busy == original.gpu_busy
+    assert restored.memory == original.memory
+    assert restored.epoch_fp_bp_time == original.epoch_fp_bp_time
+
+
+def test_unknown_schema_rejected():
+    with pytest.raises(ValueError):
+        result_from_dict({"schema": 99})

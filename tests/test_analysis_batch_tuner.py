@@ -1,0 +1,50 @@
+"""Tests for the batch-size tuner."""
+
+import pytest
+
+from repro.analysis import tune_batch_size
+from repro.analysis.batch_tuner import render
+from repro.core.config import CommMethodName, SimulationConfig
+
+FAST = SimulationConfig(warmup_iterations=1, measure_iterations=2)
+
+
+@pytest.fixture(scope="module")
+def tuned():
+    return tune_batch_size("inception-v3", num_gpus=4, sim=FAST)
+
+
+def test_sweep_stops_at_oom(tuned):
+    """Inception-v3 tops out at batch 64 (paper Sec. V-D)."""
+    batches = [p.batch_size for p in tuned.points]
+    assert batches == [16, 32, 64]
+    assert tuned.oom_batch == 128
+
+
+def test_throughput_improves_with_batch(tuned):
+    rates = [p.images_per_second for p in tuned.points]
+    assert rates == sorted(rates)
+    assert tuned.best.batch_size == 64
+
+
+def test_memory_grows_with_batch(tuned):
+    mems = [p.gpu0_memory_gb for p in tuned.points]
+    assert mems == sorted(mems)
+
+
+def test_gain_over_reference(tuned):
+    assert tuned.gain_over(16) > 1.2
+    assert tuned.gain_over(64) == pytest.approx(1.0)
+
+
+def test_render(tuned):
+    text = render(tuned)
+    assert "best" in text
+    assert "out of memory" in text
+
+
+def test_lenet_never_ooms_in_range():
+    result = tune_batch_size("lenet", num_gpus=2, limit=256, sim=FAST,
+                             comm_method=CommMethodName.P2P)
+    assert result.oom_batch is None
+    assert result.best.batch_size == 256

@@ -1,0 +1,90 @@
+"""Tests for the modern NCCL AllReduce communicator."""
+
+import pytest
+
+from repro import CommMethodName, SimulationConfig, TrainingConfig, train
+from repro.comm import NcclAllReduceCommunicator, make_communicator
+from repro.core.constants import CALIBRATION
+from repro.dnn.stats import WeightArray
+from repro.gpu import GpuDevice, KernelCostModel
+from repro.profile import Profiler
+from repro.sim import Environment
+from repro.topology import Fabric, build_dgx1v
+
+FAST = SimulationConfig(warmup_iterations=1, measure_iterations=2)
+ARRAY = WeightArray(0, "w", 2_000_000, "l")
+
+
+def _make_comm(num_gpus, profiler=None):
+    env = Environment()
+    topo = build_dgx1v()
+    fabric = Fabric(env, topo, CALIBRATION)
+    devices = [GpuDevice(env, topo.gpu(i), profiler=profiler) for i in range(num_gpus)]
+    comm = NcclAllReduceCommunicator(env, fabric, devices, KernelCostModel(),
+                                     CALIBRATION, profiler)
+    return env, comm
+
+
+def test_factory_builds_allreduce():
+    env = Environment()
+    topo = build_dgx1v()
+    fabric = Fabric(env, topo, CALIBRATION)
+    devices = [GpuDevice(env, topo.gpu(0))]
+    comm = make_communicator("nccl-allreduce", env, fabric, devices,
+                             KernelCostModel(), CALIBRATION, None)
+    assert isinstance(comm, NcclAllReduceCommunicator)
+
+
+def test_allreduce_bandwidth_optimal():
+    """AllReduce moves 2(N-1)/N * S; Reduce+Broadcast moves 2S."""
+    _, comm = _make_comm(8)
+    nbytes = 100 * 2**20
+    allreduce = comm.allreduce_duration(nbytes)
+    old_path = comm.reduce_duration(nbytes) + comm.broadcast_duration(nbytes)
+    assert allreduce < old_path
+
+
+def test_single_collective_per_array():
+    profiler = Profiler()
+    env, comm = _make_comm(4)
+    comm.profiler = profiler
+    done = env.process(comm.sync_array(ARRAY))
+    env.run(until=done)
+    assert len([t for t in profiler.transfers if t.kind == "nccl"]) == 1
+
+
+def test_update_replicated_on_every_gpu():
+    profiler = Profiler()
+    env, comm = _make_comm(4, profiler)
+    done = env.process(comm.sync_array(ARRAY))
+    env.run(until=done)
+    updates = [k for k in profiler.kernels if "_update." in k.name]
+    assert {k.gpu for k in updates} == {0, 1, 2, 3}
+
+
+def test_single_gpu_path():
+    profiler = Profiler()
+    env, comm = _make_comm(1, profiler)
+    done = env.process(comm.sync_array(ARRAY))
+    env.run(until=done)
+    assert any(k.name.startswith("nccl.allreduce") for k in profiler.kernels)
+
+
+def test_allreduce_beats_reduce_broadcast_end_to_end():
+    for net in ("alexnet", "inception-v3"):
+        old = train(TrainingConfig(net, 16, 8, comm_method=CommMethodName.NCCL),
+                    sim=FAST)
+        new = train(TrainingConfig(net, 16, 8,
+                                   comm_method=CommMethodName.NCCL_ALLREDUCE),
+                    sim=FAST)
+        assert new.epoch_time < old.epoch_time, net
+
+
+def test_allreduce_allowed_multi_node():
+    r = train(
+        TrainingConfig("resnet", 32, 16,
+                       comm_method=CommMethodName.NCCL_ALLREDUCE,
+                       cluster_nodes=2),
+        sim=FAST,
+    )
+    assert r.epoch_time > 0

@@ -1,0 +1,109 @@
+"""Tests for the CPU (``local`` KVStore) communicator."""
+
+import pytest
+
+from repro.comm import LocalCommunicator, make_communicator
+from repro.core.config import CommMethodName, SimulationConfig, TrainingConfig
+from repro.core.constants import CALIBRATION
+from repro.dnn.stats import WeightArray
+from repro.gpu import GpuDevice, KernelCostModel
+from repro.profile import Profiler
+from repro.sim import Environment
+from repro.topology import Fabric, build_dgx1v
+from repro.train import train
+
+FAST = SimulationConfig(warmup_iterations=1, measure_iterations=2)
+
+
+def _make_comm(num_gpus, profiler=None):
+    env = Environment()
+    topo = build_dgx1v()
+    fabric = Fabric(env, topo, CALIBRATION)
+    devices = [GpuDevice(env, topo.gpu(i), profiler=profiler) for i in range(num_gpus)]
+    comm = LocalCommunicator(env, fabric, devices, KernelCostModel(),
+                             CALIBRATION, profiler)
+    return env, fabric, comm
+
+
+ARRAY = WeightArray(key=0, name="w", numel=500_000, layer="l")
+
+
+def test_factory_builds_local():
+    env, fabric, _ = _make_comm(2)
+    comm = make_communicator(
+        CommMethodName.LOCAL, env, fabric,
+        [GpuDevice(env, fabric.topology.gpu(i)) for i in range(2)],
+        KernelCostModel(), CALIBRATION, None,
+    )
+    assert isinstance(comm, LocalCommunicator)
+
+
+def test_factory_rejects_unknown():
+    with pytest.raises(ValueError):
+        make_communicator("smoke-signals")
+
+
+def test_single_gpu_local_is_just_update():
+    env, fabric, comm = _make_comm(1)
+    done = env.process(comm.sync_array(ARRAY))
+    env.run(until=done)
+    assert sum(fabric.bytes_moved.values()) == 0
+
+
+def test_sync_uses_only_pcie():
+    env, fabric, comm = _make_comm(4)
+    done = env.process(comm.sync_array(ARRAY))
+    env.run(until=done)
+    for link_name, moved in fabric.bytes_moved.items():
+        if "nvlink" in link_name:
+            assert moved == 0, link_name
+    assert sum(fabric.bytes_moved.values()) > 0
+
+
+def test_transfers_recorded_both_directions():
+    profiler = Profiler()
+    env, fabric, comm = _make_comm(4, profiler)
+    done = env.process(comm.sync_array(ARRAY))
+    env.run(until=done)
+    d2h = [t for t in profiler.transfers if t.kind == "d2h"]
+    h2d = [t for t in profiler.transfers if t.kind == "h2d"]
+    assert len(d2h) == 4 and len(h2d) == 4
+    assert all(t.nbytes == ARRAY.nbytes for t in d2h + h2d)
+
+
+def test_local_slower_than_p2p_for_big_arrays():
+    """PCIe staging is the bottleneck for communication-heavy workloads."""
+    big = WeightArray(key=0, name="w", numel=30_000_000, layer="l")
+
+    def sync_time(factory):
+        env, fabric, comm = factory(8)
+        done = env.process(comm.sync_array(big))
+        env.run(until=done)
+        return env.now
+
+    from repro.comm import P2PCommunicator
+
+    def make_p2p(n):
+        env = Environment()
+        topo = build_dgx1v()
+        fabric = Fabric(env, topo, CALIBRATION)
+        devices = [GpuDevice(env, topo.gpu(i)) for i in range(n)]
+        return env, fabric, P2PCommunicator(env, fabric, devices,
+                                            KernelCostModel(), CALIBRATION)
+
+    assert sync_time(_make_comm) > 3 * sync_time(make_p2p)
+
+
+def test_end_to_end_training_with_local():
+    r = train(TrainingConfig("lenet", 16, 4, comm_method=CommMethodName.LOCAL),
+              sim=FAST)
+    assert r.epoch_time > 0
+    assert r.config.comm_method is CommMethodName.LOCAL
+
+
+def test_local_alexnet_pcie_bound():
+    p2p = train(TrainingConfig("alexnet", 16, 8, comm_method=CommMethodName.P2P),
+                sim=FAST)
+    local = train(TrainingConfig("alexnet", 16, 8, comm_method=CommMethodName.LOCAL),
+                  sim=FAST)
+    assert local.epoch_time > 5 * p2p.epoch_time

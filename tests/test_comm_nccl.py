@@ -1,0 +1,166 @@
+"""Tests for NCCL ring construction and the NCCL communicator."""
+
+import pytest
+
+from repro.comm import NcclCommunicator
+from repro.comm.nccl.rings import build_ring_plan, find_nvlink_ring
+from repro.core.constants import CALIBRATION
+from repro.dnn.stats import WeightArray
+from repro.gpu import GpuDevice, KernelCostModel
+from repro.profile import Profiler
+from repro.sim import Environment
+from repro.topology import Fabric, build_dgx1v
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_dgx1v()
+
+
+# ----------------------------------------------------------------------
+# Ring construction
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("gpus", [range(2), range(4), range(8)])
+def test_nvlink_ring_exists_for_paper_configs(topo, gpus):
+    ring = find_nvlink_ring(topo, list(gpus))
+    assert ring is not None
+    assert sorted(ring) == list(gpus)
+
+
+def test_ring_is_a_cycle(topo):
+    ring = find_nvlink_ring(topo, range(8))
+    for a, b in zip(ring, ring[1:] + ring[:1]):
+        assert topo.nvlink_between(topo.gpu(a), topo.gpu(b)) is not None
+
+
+def test_no_ring_without_nvlink():
+    pcie = build_dgx1v(nvlink=False)
+    assert find_nvlink_ring(pcie, range(4)) is None
+
+
+def test_single_gpu_ring(topo):
+    plan = build_ring_plan(topo, [0])
+    assert plan.size == 1 and plan.channels == 1
+
+
+def test_two_gpu_plan_has_one_channel(topo):
+    plan = build_ring_plan(topo, [0, 1])
+    assert plan.channels == 1
+    assert not plan.uses_pcie
+
+
+def test_multi_gpu_plan_has_two_channels(topo):
+    for n in (4, 8):
+        plan = build_ring_plan(topo, range(n))
+        assert plan.channels == 2
+        assert not plan.uses_pcie
+
+
+def test_pcie_fallback_plan():
+    pcie = build_dgx1v(nvlink=False)
+    plan = build_ring_plan(pcie, range(4))
+    assert plan.uses_pcie
+    assert plan.channel_bandwidth < 25e9 * CALIBRATION.nccl_bandwidth_efficiency
+
+
+def test_empty_gpu_set_rejected(topo):
+    from repro.core.errors import RoutingError
+
+    with pytest.raises(RoutingError):
+        build_ring_plan(topo, [])
+
+
+# ----------------------------------------------------------------------
+# Communicator behaviour
+# ----------------------------------------------------------------------
+def _make_comm(num_gpus, profiler=None):
+    env = Environment()
+    topo = build_dgx1v()
+    fabric = Fabric(env, topo, CALIBRATION)
+    devices = [GpuDevice(env, topo.gpu(i), profiler=profiler) for i in range(num_gpus)]
+    comm = NcclCommunicator(env, fabric, devices, KernelCostModel(),
+                            CALIBRATION, profiler)
+    return env, comm
+
+
+ARRAY = WeightArray(key=0, name="w", numel=1_000_000, layer="l")
+TINY = WeightArray(key=1, name="t", numel=1_000, layer="l")
+
+
+def test_durations_scale_with_bytes():
+    _, comm = _make_comm(8)
+    assert comm.reduce_duration(10**8) > comm.reduce_duration(10**6)
+    assert comm.broadcast_duration(10**8) > comm.broadcast_duration(10**6)
+
+
+def test_duration_includes_call_overhead():
+    _, comm = _make_comm(4)
+    assert comm.reduce_duration(1) >= CALIBRATION.nccl_call_overhead
+
+
+def test_epoch_fixed_overhead():
+    _, comm = _make_comm(4)
+    assert comm.epoch_fixed_overhead() == CALIBRATION.nccl_epoch_fixed_overhead
+
+
+def test_per_iteration_overhead_scales_with_gpus():
+    overheads = [_make_comm(n)[1].per_iteration_overhead() for n in (1, 2, 4, 8)]
+    assert overheads[0] == 0.0
+    assert overheads[1] < overheads[2] < overheads[3]
+
+
+def test_single_gpu_collectives_run_on_engine():
+    profiler = Profiler()
+    env, comm = _make_comm(1, profiler)
+    done = env.process(comm.sync_array(ARRAY))
+    env.run(until=done)
+    nccl_kernels = [k for k in profiler.kernels if k.name.startswith("nccl.")]
+    assert len(nccl_kernels) == 2  # reduce + broadcast kernels
+    assert {k.gpu for k in nccl_kernels} == {0}
+
+
+def test_multi_gpu_sync_records_transfers():
+    profiler = Profiler()
+    env, comm = _make_comm(4, profiler)
+    done = env.process(comm.sync_array(ARRAY))
+    env.run(until=done)
+    collectives = [t for t in profiler.transfers if t.kind == "nccl"]
+    assert len(collectives) == 2  # reduce + broadcast
+
+
+def test_collectives_serialize_on_stream():
+    """Two arrays take the sum of their collective durations."""
+    env, comm = _make_comm(4)
+    t_expected = 2 * (
+        comm.reduce_duration(ARRAY.nbytes) + comm.broadcast_duration(ARRAY.nbytes)
+    )
+    done = env.all_of([
+        env.process(comm.sync_array(ARRAY)),
+        env.process(comm.sync_array(WeightArray(2, "w2", ARRAY.numel, "l"))),
+    ])
+    env.run(until=done)
+    # serialized collectives dominate; updates add a little
+    assert env.now >= t_expected * 0.95
+
+
+def test_eight_gpu_bandwidth_realistic():
+    """Large-array ring bandwidth lands in the NCCL 2.x regime."""
+    _, comm = _make_comm(8)
+    nbytes = 256 * 2**20
+    t = comm.reduce_duration(nbytes)
+    bus_bw = nbytes / t
+    assert 20e9 < bus_bw < 80e9
+
+
+def test_update_runs_on_server_between_collectives():
+    profiler = Profiler()
+    env, comm = _make_comm(4, profiler)
+    done = env.process(comm.sync_array(ARRAY))
+    env.run(until=done)
+    updates = [k for k in profiler.kernels if "_update." in k.name]
+    assert len(updates) == 1 and updates[0].gpu == 0
+    collectives = sorted(
+        (t for t in profiler.transfers if t.kind == "nccl"), key=lambda t: t.start
+    )
+    assert collectives[0].end <= updates[0].start + 1e-12
+    assert updates[0].end <= collectives[1].start + 1e-12

@@ -1,0 +1,167 @@
+"""Tests for the P2P (device KVStore) communicator."""
+
+import pytest
+
+from repro.comm import P2PCommunicator, reduction_tree
+from repro.comm.p2p import BIGARRAY_BOUND_ELEMENTS, _split_chunks
+from repro.core.constants import CALIBRATION
+from repro.dnn.stats import WeightArray
+from repro.gpu import GpuDevice, KernelCostModel
+from repro.profile import Profiler
+from repro.sim import Environment
+from repro.topology import Fabric, build_dgx1v
+
+
+# ----------------------------------------------------------------------
+# Tree construction
+# ----------------------------------------------------------------------
+def test_reduction_tree_8():
+    assert reduction_tree(8) == [
+        [(1, 0), (3, 2), (5, 4), (7, 6)],
+        [(2, 0), (6, 4)],
+        [(4, 0)],
+    ]
+
+
+def test_reduction_tree_4():
+    assert reduction_tree(4) == [[(1, 0), (3, 2)], [(2, 0)]]
+
+
+def test_reduction_tree_2():
+    assert reduction_tree(2) == [[(1, 0)]]
+
+
+def test_reduction_tree_1():
+    assert reduction_tree(1) == []
+
+
+def test_reduction_tree_rejects_zero():
+    with pytest.raises(ValueError):
+        reduction_tree(0)
+
+
+def test_reduction_tree_all_sources_once():
+    """Every non-root GPU sends exactly once; everything reaches GPU0."""
+    for n in (2, 4, 8):
+        stages = reduction_tree(n)
+        sources = [src for stage in stages for src, _ in stage]
+        assert sorted(sources) == list(range(1, n))
+
+
+def test_split_chunks():
+    assert _split_chunks(10, 4) == [4, 4, 2]
+    assert _split_chunks(8, 4) == [4, 4]
+    assert _split_chunks(3, 4) == [3]
+    assert _split_chunks(0, 4) == [0]
+
+
+# ----------------------------------------------------------------------
+# Synchronization behaviour
+# ----------------------------------------------------------------------
+def _make_comm(num_gpus, profiler=None):
+    env = Environment()
+    topo = build_dgx1v()
+    fabric = Fabric(env, topo, CALIBRATION)
+    devices = [GpuDevice(env, topo.gpu(i), profiler=profiler) for i in range(num_gpus)]
+    comm = P2PCommunicator(env, fabric, devices, KernelCostModel(),
+                           CALIBRATION, profiler)
+    return env, fabric, comm
+
+
+def _sync(env, comm, array):
+    done = env.process(comm.sync_array(array))
+    env.run(until=done)
+    return env.now
+
+
+SMALL = WeightArray(key=0, name="w", numel=100_000, layer="l")       # tree path
+BIG = WeightArray(key=1, name="big", numel=4_000_000, layer="l")     # sharded path
+
+
+def test_single_gpu_sync_is_just_update():
+    env, fabric, comm = _make_comm(1)
+    t = _sync(env, comm, SMALL)
+    assert t < 100e-6
+    assert sum(fabric.bytes_moved.values()) == 0
+
+
+def test_tree_sync_moves_expected_bytes():
+    env, fabric, comm = _make_comm(2)
+    _sync(env, comm, SMALL)
+    # one push + one broadcast over the 0-1 link
+    assert sum(fabric.bytes_moved.values()) == 2 * SMALL.nbytes
+
+
+def test_tree_sync_bytes_scale_with_gpu_count():
+    totals = {}
+    for n in (2, 4, 8):
+        env, fabric, comm = _make_comm(n)
+        _sync(env, comm, SMALL)
+        totals[n] = sum(fabric.bytes_moved.values())
+    # (n-1) pushes + (n-1) broadcasts, each one link hop (tree edges are
+    # all direct NVLink)
+    for n in (2, 4, 8):
+        assert totals[n] == 2 * (n - 1) * SMALL.nbytes
+
+
+def test_sharded_path_taken_for_big_arrays():
+    assert BIG.numel >= BIGARRAY_BOUND_ELEMENTS
+    env, fabric, comm = _make_comm(4, Profiler())
+    _sync(env, comm, BIG)
+    # reduce-scatter + allgather: 2 * (n-1) shard transfers of S/n each,
+    # but staged routes may double-count on relay links; bytes moved is at
+    # least the algorithmic minimum.
+    shard = -(-BIG.nbytes // 4)
+    assert sum(fabric.bytes_moved.values()) >= 2 * 3 * 4 * shard // 4
+
+
+def test_sharded_faster_than_tree_would_be():
+    """Sharding a 16 MB array beats pushing it through GPU0 serially."""
+    env, fabric, comm = _make_comm(8)
+    t_big = _sync(env, comm, BIG)
+    # algorithmic lower bound through one link
+    one_link = 2 * BIG.nbytes / (25e9 * CALIBRATION.nvlink_efficiency)
+    tree_lower_bound = 2 * one_link  # reduce + broadcast, >= 2 stages each
+    assert t_big < tree_lower_bound
+
+
+def test_sync_time_grows_with_gpu_count():
+    times = [_sync(*(_make_comm(n)[0::2]), SMALL) for n in (2, 4, 8)]
+    assert times[0] < times[1] < times[2]
+
+
+def test_transfers_recorded():
+    profiler = Profiler()
+    env, fabric, comm = _make_comm(4, profiler)
+    _sync(env, comm, SMALL)
+    p2p = [t for t in profiler.transfers if t.kind == "p2p"]
+    assert len(p2p) == 6  # 3 reduce edges + 3 broadcast edges
+    assert all(t.nbytes == SMALL.nbytes for t in p2p)
+
+
+def test_update_kernel_runs_on_server():
+    profiler = Profiler()
+    env, fabric, comm = _make_comm(4, profiler)
+    _sync(env, comm, SMALL)
+    updates = [k for k in profiler.kernels if "_update." in k.name]
+    assert len(updates) == 1
+    assert updates[0].gpu == 0
+    adds = [k for k in profiler.kernels if k.name.startswith("grad_add")]
+    assert {k.gpu for k in adds} == {0, 2}  # tree parents
+
+
+def test_concurrent_arrays_contend():
+    """Two arrays synced together take longer than one but less than 2x."""
+    arrays = [
+        WeightArray(key=i, name=f"w{i}", numel=200_000, layer="l") for i in range(2)
+    ]
+    env, fabric, comm = _make_comm(4)
+    one = env.process(comm.sync_array(arrays[0]))
+    env.run(until=one)
+    t_one = env.now
+
+    env2, fabric2, comm2 = _make_comm(4)
+    both = [env2.process(comm2.sync_array(a)) for a in arrays]
+    env2.run(until=env2.all_of(both))
+    t_both = env2.now
+    assert t_one < t_both < 2.2 * t_one

@@ -1,0 +1,51 @@
+"""Tests for the calibration constants."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.constants import CALIBRATION, CalibrationConstants
+
+
+def test_frozen():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        CALIBRATION.kernel_launch_overhead = 0.0  # type: ignore[misc]
+
+
+def test_scaled_returns_modified_copy():
+    faster = CALIBRATION.scaled(kernel_launch_overhead=1e-6)
+    assert faster.kernel_launch_overhead == 1e-6
+    assert faster.stream_sync_overhead == CALIBRATION.stream_sync_overhead
+    assert CALIBRATION.kernel_launch_overhead != 1e-6  # original untouched
+
+
+def test_all_time_constants_positive():
+    for field in dataclasses.fields(CalibrationConstants):
+        value = getattr(CALIBRATION, field.name)
+        if isinstance(value, (int, float)):
+            assert value > 0, field.name
+
+
+def test_efficiency_fractions_in_unit_interval():
+    for name in ("nvlink_efficiency", "pcie_efficiency",
+                 "nccl_bandwidth_efficiency", "max_compute_efficiency",
+                 "tensor_core_fraction"):
+        value = getattr(CALIBRATION, name)
+        assert 0 < value <= 1, name
+
+
+def test_latency_ordering_is_physical():
+    """NVLink < QPI < PCIe per-hop latency."""
+    assert CALIBRATION.nvlink_latency < CALIBRATION.qpi_latency
+    assert CALIBRATION.qpi_latency < CALIBRATION.pcie_latency
+
+
+def test_scaled_is_usable_in_trainer():
+    from repro import SimulationConfig, TrainingConfig, train
+
+    slow_launch = CALIBRATION.scaled(kernel_launch_overhead=50e-6)
+    base = train(TrainingConfig("lenet", 16, 1),
+                 sim=SimulationConfig(1, 2))
+    slow = train(TrainingConfig("lenet", 16, 1),
+                 sim=SimulationConfig(1, 2), constants=slow_launch)
+    assert slow.epoch_time > base.epoch_time

@@ -1,0 +1,40 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.core.errors import (
+    ConfigurationError,
+    OutOfMemoryError,
+    ReproError,
+    RoutingError,
+    ShapeError,
+    SimulationError,
+)
+
+
+def test_hierarchy():
+    for exc in (ConfigurationError, SimulationError, RoutingError,
+                OutOfMemoryError, ShapeError):
+        assert issubclass(exc, ReproError)
+
+
+def test_dual_inheritance_for_catchability():
+    """Library errors also derive from the matching builtin, so callers
+    who catch ValueError/RuntimeError/etc. keep working."""
+    assert issubclass(ConfigurationError, ValueError)
+    assert issubclass(ShapeError, ValueError)
+    assert issubclass(SimulationError, RuntimeError)
+    assert issubclass(RoutingError, LookupError)
+    assert issubclass(OutOfMemoryError, MemoryError)
+
+
+def test_oom_message_and_fields():
+    err = OutOfMemoryError("Tesla V100", requested=20, free=10)
+    assert err.device == "Tesla V100"
+    assert err.requested == 20 and err.free == 10
+    assert "20 bytes" in str(err)
+
+
+def test_base_catchable():
+    with pytest.raises(ReproError):
+        raise OutOfMemoryError("x", 2, 1)

@@ -1,0 +1,61 @@
+"""Tests for unit helpers and formatting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.units import (
+    GB,
+    GIB,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    format_bytes,
+    format_seconds,
+    gbps,
+)
+
+
+def test_si_constants():
+    assert KB == 1_000
+    assert MB == 1_000_000
+    assert GB == 1_000_000_000
+
+
+def test_binary_constants():
+    assert KIB == 1024
+    assert MIB == 1024 * 1024
+    assert GIB == 1024 ** 3
+
+
+def test_gbps():
+    assert gbps(25.0) == 25e9
+
+
+def test_format_bytes_scales():
+    assert format_bytes(512) == "512 B"
+    assert format_bytes(2048) == "2.00 KiB"
+    assert format_bytes(3 * MIB) == "3.00 MiB"
+    assert format_bytes(2.37 * GIB) == "2.37 GiB"
+
+
+def test_format_seconds_scales():
+    assert format_seconds(12e-6) == "12.00 us"
+    assert format_seconds(3.5e-3) == "3.50 ms"
+    assert format_seconds(2.0) == "2.00 s"
+    assert format_seconds(90.0) == "1m30.0s"
+
+
+def test_format_seconds_negative():
+    assert format_seconds(-0.5) == "-500.00 ms"
+
+
+@given(st.floats(min_value=0, max_value=1e15, allow_nan=False))
+def test_format_bytes_never_crashes(n):
+    assert isinstance(format_bytes(n), str)
+
+
+@given(st.floats(min_value=0, max_value=1e7, allow_nan=False))
+def test_format_seconds_never_crashes(t):
+    assert isinstance(format_seconds(t), str)

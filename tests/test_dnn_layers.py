@@ -1,0 +1,226 @@
+"""Per-layer tests: shape inference, parameters, FLOPs."""
+
+import pytest
+
+from repro.core.errors import ShapeError
+from repro.dnn.layers import (
+    LRN,
+    Activation,
+    Add,
+    AvgPool2d,
+    BatchNorm,
+    Concat,
+    Conv2d,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    MaxPool2d,
+    Softmax,
+)
+from repro.dnn.shapes import Shape
+
+
+# ----------------------------------------------------------------------
+# Conv2d
+# ----------------------------------------------------------------------
+def test_conv_shape():
+    conv = Conv2d("c", 64, 3, stride=1, pad=1)
+    assert conv.infer_shape([Shape(3, 32, 32)]) == Shape(64, 32, 32)
+
+
+def test_conv_strided_shape():
+    conv = Conv2d("c", 96, 11, stride=4, pad=2)
+    assert conv.infer_shape([Shape(3, 224, 224)]) == Shape(96, 55, 55)
+
+
+def test_conv_param_count():
+    conv = Conv2d("c", 64, 3, pad=1)
+    arrays = conv.param_arrays([Shape(3, 32, 32)])
+    assert {a.name: a.numel for a in arrays} == {
+        "c.weight": 3 * 64 * 9,
+        "c.bias": 64,
+    }
+
+
+def test_conv_without_bias():
+    conv = Conv2d("c", 64, 3, bias=False)
+    names = [a.name for a in conv.param_arrays([Shape(3, 32, 32)])]
+    assert names == ["c.weight"]
+
+
+def test_conv_flops_formula():
+    conv = Conv2d("c", 64, 3, pad=1)
+    x = Shape(16, 8, 8)
+    out = conv.infer_shape([x])
+    # 2 * K*K*Cin per output element
+    assert conv.forward_flops([x], out) == 2 * 9 * 16 * out.numel
+    assert conv.backward_flops([x], out) == 2 * conv.forward_flops([x], out)
+
+
+def test_grouped_conv_divides_flops_and_params():
+    full = Conv2d("f", 64, 3, pad=1)
+    grouped = Conv2d("g", 64, 3, pad=1, groups=4)
+    x = Shape(16, 8, 8)
+    out = full.infer_shape([x])
+    assert grouped.forward_flops([x], out) == full.forward_flops([x], out) / 4
+    assert grouped.param_count([x]) < full.param_count([x])
+
+
+def test_conv_rejects_flat_input():
+    with pytest.raises(ShapeError):
+        Conv2d("c", 8, 3).infer_shape([Shape(100)])
+
+
+def test_conv_rejects_bad_groups():
+    with pytest.raises(ShapeError):
+        Conv2d("c", 64, 3, groups=5)
+    with pytest.raises(ShapeError):
+        Conv2d("c", 64, 3, groups=4).infer_shape([Shape(6, 8, 8)])
+
+
+def test_conv_asymmetric_kernel():
+    conv = Conv2d("c", 32, (1, 7), pad=(0, 3))
+    assert conv.infer_shape([Shape(16, 17, 17)]) == Shape(32, 17, 17)
+
+
+def test_conv_backward_kernel_count():
+    assert Conv2d("c", 8, 3).backward_kernel_count() == 2  # dgrad + wgrad
+
+
+# ----------------------------------------------------------------------
+# Pooling
+# ----------------------------------------------------------------------
+def test_maxpool_shape():
+    pool = MaxPool2d("p", 2)
+    assert pool.infer_shape([Shape(6, 28, 28)]) == Shape(6, 14, 14)
+
+
+def test_maxpool_ceil_mode():
+    floor_pool = MaxPool2d("p", 3, stride=2)
+    ceil_pool = MaxPool2d("p", 3, stride=2, ceil_mode=True)
+    assert floor_pool.infer_shape([Shape(64, 112, 112)]) == Shape(64, 55, 55)
+    assert ceil_pool.infer_shape([Shape(64, 112, 112)]) == Shape(64, 56, 56)
+
+
+def test_avgpool_has_no_params():
+    pool = AvgPool2d("p", 3, stride=1, pad=1)
+    assert pool.param_arrays([Shape(16, 8, 8)]) == ()
+    assert not pool.param_arrays_possible()
+
+
+def test_global_avgpool_flattens():
+    gap = GlobalAvgPool("g")
+    assert gap.infer_shape([Shape(2048, 7, 7)]) == Shape(2048)
+
+
+def test_global_avgpool_rejects_flat():
+    with pytest.raises(ShapeError):
+        GlobalAvgPool("g").infer_shape([Shape(2048)])
+
+
+# ----------------------------------------------------------------------
+# Dense / Flatten
+# ----------------------------------------------------------------------
+def test_dense_shape_and_params():
+    fc = Dense("fc", 4096)
+    x = Shape(9216)
+    assert fc.infer_shape([x]) == Shape(4096)
+    assert fc.param_count([x]) == 9216 * 4096 + 4096
+
+
+def test_dense_flops():
+    fc = Dense("fc", 10)
+    x = Shape(100)
+    assert fc.forward_flops([x], Shape(10)) == 2 * 100 * 10
+    assert fc.backward_flops([x], Shape(10)) == 4 * 100 * 10
+
+
+def test_dense_accepts_spatial_input():
+    """MXNet FullyConnected implicitly flattens."""
+    fc = Dense("fc", 10)
+    assert fc.infer_shape([Shape(16, 5, 5)]) == Shape(10)
+    assert fc.param_count([Shape(16, 5, 5)]) == 400 * 10 + 10
+
+
+def test_flatten_zero_cost():
+    f = Flatten("f")
+    x = Shape(16, 5, 5)
+    assert f.infer_shape([x]) == Shape(400)
+    assert f.forward_flops([x], Shape(400)) == 0.0
+    assert f.backward_kernel_count() == 0
+
+
+# ----------------------------------------------------------------------
+# Activations, norm, merge
+# ----------------------------------------------------------------------
+def test_activation_preserves_shape():
+    act = Activation("a", "relu")
+    assert act.infer_shape([Shape(64, 8, 8)]) == Shape(64, 8, 8)
+
+
+def test_activation_costs_ordered():
+    x, out = Shape(1000), Shape(1000)
+    relu = Activation("r", "relu").forward_flops([x], out)
+    sigmoid = Activation("s", "sigmoid").forward_flops([x], out)
+    tanh = Activation("t", "tanh").forward_flops([x], out)
+    assert relu < sigmoid < tanh
+
+
+def test_unknown_activation_rejected():
+    with pytest.raises(ValueError):
+        Activation("a", "swish")
+
+
+def test_batchnorm_params_per_channel():
+    bn = BatchNorm("bn")
+    arrays = bn.param_arrays([Shape(64, 8, 8)])
+    assert [a.numel for a in arrays] == [64, 64]
+
+
+def test_lrn_no_params():
+    assert LRN("l").param_arrays([Shape(64, 8, 8)]) == ()
+
+
+def test_dropout_rate_validation():
+    with pytest.raises(ValueError):
+        Dropout("d", rate=1.0)
+    with pytest.raises(ValueError):
+        Dropout("d", rate=-0.1)
+
+
+def test_softmax_shape():
+    assert Softmax("s").infer_shape([Shape(1000)]) == Shape(1000)
+
+
+def test_concat_sums_channels():
+    c = Concat("c")
+    out = c.infer_shape([Shape(64, 28, 28), Shape(32, 28, 28), Shape(96, 28, 28)])
+    assert out == Shape(192, 28, 28)
+
+
+def test_concat_rejects_mismatched_spatial():
+    with pytest.raises(ShapeError):
+        Concat("c").infer_shape([Shape(64, 28, 28), Shape(64, 14, 14)])
+
+
+def test_concat_needs_two_inputs():
+    with pytest.raises(ShapeError):
+        Concat("c").infer_shape([Shape(64, 28, 28)])
+
+
+def test_add_requires_matching_shapes():
+    add = Add("a")
+    assert add.infer_shape([Shape(256, 56, 56)] * 2) == Shape(256, 56, 56)
+    with pytest.raises(ShapeError):
+        add.infer_shape([Shape(256, 56, 56), Shape(128, 56, 56)])
+
+
+def test_add_arity_checked():
+    with pytest.raises(ShapeError):
+        Add("a").infer_shape([Shape(8, 2, 2)])
+
+
+def test_layer_requires_name():
+    with pytest.raises(ValueError):
+        Conv2d("", 8, 3)

@@ -1,0 +1,153 @@
+"""Tests for the network DAG container and the builder DSL."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, ShapeError
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.layers import Activation, Add, Concat, Conv2d, Dense
+from repro.dnn.network import INPUT, Network
+from repro.dnn.shapes import Shape
+
+
+def test_add_and_output():
+    net = Network("n")
+    net.add(Conv2d("c1", 8, 3, pad=1))
+    net.add(Activation("a1"), "c1")
+    assert net.output == "a1"
+    assert net.layer_names == ("c1", "a1")
+    assert len(net) == 2
+
+
+def test_duplicate_layer_name_rejected():
+    net = Network("n")
+    net.add(Conv2d("c", 8, 3))
+    with pytest.raises(ConfigurationError):
+        net.add(Conv2d("c", 8, 3))
+
+
+def test_unknown_input_rejected():
+    net = Network("n")
+    with pytest.raises(ConfigurationError):
+        net.add(Activation("a"), "ghost")
+
+
+def test_reserved_input_name_rejected():
+    net = Network("n")
+    with pytest.raises(ConfigurationError):
+        net.add(Conv2d(INPUT, 8, 3))
+
+
+def test_empty_input_list_rejected():
+    net = Network("n")
+    with pytest.raises(ConfigurationError):
+        net.add(Conv2d("c", 8, 3), [])
+
+
+def test_empty_network_has_no_output():
+    with pytest.raises(ConfigurationError):
+        _ = Network("n").output
+
+
+def test_set_output():
+    net = Network("n")
+    net.add(Conv2d("c1", 8, 3, pad=1))
+    net.add(Conv2d("c2", 8, 3, pad=1), "c1")
+    net.set_output("c1")
+    assert net.output == "c1"
+    with pytest.raises(ConfigurationError):
+        net.set_output("ghost")
+
+
+def test_shape_inference_chain():
+    net = Network("n")
+    net.add(Conv2d("c", 16, 5))
+    net.add(Dense("fc", 10), "c")
+    shapes = net.infer_shapes(Shape(3, 32, 32))
+    assert shapes["c"] == Shape(16, 28, 28)
+    assert shapes["fc"] == Shape(10)
+
+
+def test_shape_inference_multi_input():
+    net = Network("n")
+    net.add(Conv2d("a", 8, 1))
+    net.add(Conv2d("b", 8, 1))  # also from INPUT
+    net.add(Concat("cat"), ["a", "b"])
+    shapes = net.infer_shapes(Shape(3, 8, 8))
+    assert shapes["cat"] == Shape(16, 8, 8)
+
+
+def test_shape_error_propagates_layer_name():
+    net = Network("n")
+    net.add(Conv2d("too_big", 8, 64))
+    with pytest.raises(ShapeError):
+        net.infer_shapes(Shape(3, 32, 32))
+
+
+def test_modules_in_first_appearance_order():
+    net = Network("n")
+    net.add(Conv2d("a", 8, 1), module="m1")
+    net.add(Conv2d("b", 8, 1), "a", module="m2")
+    net.add(Conv2d("c", 8, 1), "b", module="m1")
+    assert net.modules() == ("m1", "m2")
+
+
+# ----------------------------------------------------------------------
+# Builder DSL
+# ----------------------------------------------------------------------
+def test_builder_sequential_chain():
+    b = NetworkBuilder("seq")
+    b.conv(8, 3, pad=1, name="c1")
+    b.maxpool(2)
+    b.flatten()
+    b.dense(10, name="out")
+    net = b.build()
+    shapes = net.infer_shapes(Shape(3, 8, 8))
+    assert shapes[net.output] == Shape(10)
+
+
+def test_builder_conv_with_bn_adds_three_layers():
+    b = NetworkBuilder("n")
+    b.conv(8, 3, bn=True, name="c")
+    names = b.build().layer_names
+    assert names == ("c", "c.bn", "c.relu")
+
+
+def test_builder_conv_bn_drops_conv_bias():
+    b = NetworkBuilder("n")
+    b.conv(8, 3, bn=True, name="c")
+    net = b.build()
+    conv = net.node("c").layer
+    assert [a.name for a in conv.param_arrays([Shape(3, 8, 8)])] == ["c.weight"]
+
+
+def test_builder_branch_and_concat():
+    b = NetworkBuilder("n")
+    stem = b.conv(8, 3, pad=1, name="stem")
+    left = b.at(stem).conv(4, 1, name="left")
+    right = b.at(stem).conv(4, 1, name="right")
+    b.concat([left, right], name="merged")
+    shapes = b.build().infer_shapes(Shape(3, 8, 8))
+    assert shapes["merged"] == Shape(8, 8, 8)
+
+
+def test_builder_residual():
+    b = NetworkBuilder("n")
+    entry = b.conv(8, 3, pad=1, name="entry")
+    main = b.conv(8, 3, pad=1, act=None, name="main")
+    b.add_residual(main, entry, name="res")
+    shapes = b.build().infer_shapes(Shape(3, 8, 8))
+    assert shapes["res.relu"] == Shape(8, 8, 8)
+
+
+def test_builder_at_validates_node():
+    b = NetworkBuilder("n")
+    with pytest.raises(ConfigurationError):
+        b.at("missing")
+
+
+def test_builder_auto_names_unique():
+    b = NetworkBuilder("n")
+    b.conv(4, 1)
+    b.conv(4, 1)
+    names = b.build().layer_names
+    assert len(names) == len(set(names))

@@ -1,0 +1,107 @@
+"""Tests for recurrent layers and the LSTM zoo model."""
+
+import pytest
+
+from repro.core.errors import ShapeError
+from repro.dnn import build_network, compile_network, network_input_shape
+from repro.dnn.layers import LSTM, Embedding, SequenceLast
+from repro.dnn.shapes import Shape
+
+
+# ----------------------------------------------------------------------
+# Embedding
+# ----------------------------------------------------------------------
+def test_embedding_shape():
+    emb = Embedding("e", vocab_size=1000, dim=64)
+    assert emb.infer_shape([Shape(32)]) == Shape(32, 64)
+
+
+def test_embedding_params():
+    emb = Embedding("e", vocab_size=1000, dim=64)
+    arrays = emb.param_arrays([Shape(32)])
+    assert [a.numel for a in arrays] == [64_000]
+
+
+def test_embedding_rejects_sequence_of_vectors():
+    with pytest.raises(ShapeError):
+        Embedding("e", 100, 8).infer_shape([Shape(32, 16)])
+
+
+def test_embedding_validation():
+    with pytest.raises(ShapeError):
+        Embedding("e", 0, 8)
+
+
+# ----------------------------------------------------------------------
+# LSTM
+# ----------------------------------------------------------------------
+def test_lstm_shape():
+    lstm = LSTM("l", hidden_size=128)
+    assert lstm.infer_shape([Shape(16, 64)]) == Shape(16, 128)
+
+
+def test_lstm_params():
+    lstm = LSTM("l", hidden_size=128)
+    arrays = {a.name: a.numel for a in lstm.param_arrays([Shape(16, 64)])}
+    assert arrays["l.weight_ih"] == 4 * 128 * 64
+    assert arrays["l.weight_hh"] == 4 * 128 * 128
+    assert arrays["l.bias"] == 8 * 128
+
+
+def test_lstm_flops_scale_with_sequence_length():
+    lstm = LSTM("l", hidden_size=128)
+    short = lstm.forward_flops([Shape(16, 64)], Shape(16, 128))
+    long = lstm.forward_flops([Shape(32, 64)], Shape(32, 128))
+    assert long == pytest.approx(2 * short)
+
+
+def test_lstm_backward_double(dummy=None):
+    lstm = LSTM("l", hidden_size=64)
+    x, out = Shape(8, 32), Shape(8, 64)
+    assert lstm.backward_flops([x], out) == 2 * lstm.forward_flops([x], out)
+    assert lstm.backward_kernel_count() == 2
+
+
+def test_lstm_rejects_flat_input():
+    with pytest.raises(ShapeError):
+        LSTM("l", 64).infer_shape([Shape(100)])
+
+
+def test_sequence_last():
+    last = SequenceLast("s")
+    assert last.infer_shape([Shape(16, 128)]) == Shape(128)
+    assert last.forward_flops([Shape(16, 128)], Shape(128)) == 0.0
+    with pytest.raises(ShapeError):
+        last.infer_shape([Shape(128)])
+
+
+# ----------------------------------------------------------------------
+# Zoo model
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def lstm_stats():
+    return compile_network(build_network("lstm"), network_input_shape("lstm"))
+
+
+def test_lstm_model_parameters(lstm_stats):
+    # embedding 5.12M + 2 LSTMs (2.1M each) + projection 5.13M
+    assert lstm_stats.total_params == pytest.approx(14.45e6, rel=0.02)
+    assert len(lstm_stats.weight_arrays) == 9
+
+
+def test_lstm_model_trains_end_to_end():
+    from repro import CommMethodName, SimulationConfig, TrainingConfig, train
+
+    r = train(TrainingConfig("lstm", 32, 4, comm_method=CommMethodName.NCCL),
+              sim=SimulationConfig(1, 2))
+    assert r.epoch_time > 0
+    assert r.images_per_second > 0
+
+
+def test_lstm_is_communication_heavy_per_flop(lstm_stats):
+    """Weights-to-FLOPs ratio far above the conv networks' -- the RNN
+    regime the framework studies call out."""
+    resnet = compile_network(build_network("resnet"), network_input_shape("resnet"))
+    lstm_ratio = lstm_stats.model_bytes / lstm_stats.forward_flops_per_sample
+    resnet_ratio = resnet.model_bytes / resnet.forward_flops_per_sample
+    assert lstm_ratio > 5 * resnet_ratio

@@ -1,0 +1,99 @@
+"""Tests for shapes and shape arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ShapeError
+from repro.dnn.shapes import Shape, conv_output_hw
+
+
+def test_shape_numel():
+    assert Shape(3, 224, 224).numel == 3 * 224 * 224
+    assert Shape(1000).numel == 1000
+
+
+def test_shape_accessors():
+    s = Shape(64, 28, 14)
+    assert (s.channels, s.height, s.width) == (64, 28, 14)
+    assert s.is_spatial
+
+
+def test_flat_shape_features():
+    assert Shape(4096).features == 4096
+    assert not Shape(4096).is_spatial
+
+
+def test_spatial_accessor_on_flat_shape_raises():
+    with pytest.raises(ShapeError):
+        _ = Shape(10).channels
+
+
+def test_features_on_spatial_shape_raises():
+    with pytest.raises(ShapeError):
+        _ = Shape(3, 8, 8).features
+
+
+def test_empty_shape_rejected():
+    with pytest.raises(ShapeError):
+        Shape()
+
+
+@pytest.mark.parametrize("dims", [(0,), (-1, 2, 2), (3, 0, 5)])
+def test_non_positive_dims_rejected(dims):
+    with pytest.raises(ShapeError):
+        Shape(*dims)
+
+
+def test_shape_str():
+    assert str(Shape(3, 224, 224)) == "3x224x224"
+
+
+def test_shape_equality_and_hash():
+    assert Shape(3, 2, 1) == Shape(3, 2, 1)
+    assert Shape(3, 2, 1) != Shape(3, 1, 2)
+    assert len({Shape(1, 2, 3), Shape(1, 2, 3)}) == 1
+
+
+# ----------------------------------------------------------------------
+# conv_output_hw
+# ----------------------------------------------------------------------
+def test_conv_output_known_values():
+    assert conv_output_hw(224, 11, 4, 2) == 55   # AlexNet conv1
+    assert conv_output_hw(32, 5, 1, 0) == 28     # LeNet c1
+    assert conv_output_hw(299, 3, 2, 0) == 149   # Inception stem
+
+
+def test_conv_output_kernel_too_large():
+    with pytest.raises(ShapeError):
+        conv_output_hw(4, 7, 1, 0)
+
+
+@given(
+    size=st.integers(min_value=1, max_value=512),
+    kernel=st.integers(min_value=1, max_value=11),
+    stride=st.integers(min_value=1, max_value=4),
+    pad=st.integers(min_value=0, max_value=5),
+)
+def test_conv_output_bounds_property(size, kernel, stride, pad):
+    """Output is positive and never exceeds the padded input extent."""
+    padded = size + 2 * pad
+    if padded < kernel:
+        with pytest.raises(ShapeError):
+            conv_output_hw(size, kernel, stride, pad)
+        return
+    out = conv_output_hw(size, kernel, stride, pad)
+    assert 1 <= out <= padded
+    # stride 1, no pad, kernel 1 is identity
+    if stride == 1 and pad == 0 and kernel == 1:
+        assert out == size
+
+
+@given(
+    size=st.integers(min_value=8, max_value=512),
+    kernel=st.integers(min_value=1, max_value=7),
+)
+def test_conv_output_stride_monotone_property(size, kernel):
+    """Larger stride never produces a larger output."""
+    outs = [conv_output_hw(size, kernel, s, 0) for s in (1, 2, 4)]
+    assert outs[0] >= outs[1] >= outs[2]

@@ -1,0 +1,95 @@
+"""Tests for network compilation and cost accounting."""
+
+import pytest
+
+from repro.dnn import compile_network
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.layers.base import LayerKind
+from repro.dnn.shapes import Shape
+from repro.dnn.stats import DTYPE_BYTES
+
+
+@pytest.fixture()
+def simple_stats():
+    b = NetworkBuilder("tiny")
+    b.conv(8, 3, pad=1, name="c1")       # conv + relu
+    b.maxpool(2, name="p1")
+    b.flatten()
+    b.dense(10, name="fc")
+    b.softmax()
+    return compile_network(b.build(), Shape(3, 8, 8))
+
+
+def test_layer_order_is_topological(simple_stats):
+    names = [l.name for l in simple_stats.layers]
+    assert names.index("c1") < names.index("p1") < names.index("fc")
+
+
+def test_total_params(simple_stats):
+    conv_params = 3 * 8 * 9 + 8
+    fc_params = 8 * 4 * 4 * 10 + 10
+    assert simple_stats.total_params == conv_params + fc_params
+
+
+def test_model_bytes(simple_stats):
+    assert simple_stats.model_bytes == simple_stats.total_params * DTYPE_BYTES
+
+
+def test_weight_arrays_carry_layer_names(simple_stats):
+    layers = {w.layer for w in simple_stats.weight_arrays}
+    assert layers == {"c1", "fc"}
+    assert len(simple_stats.arrays_of_layer("c1")) == 2  # weight + bias
+
+
+def test_activation_accounting_excludes_inplace(simple_stats):
+    by_name = {l.name: l for l in simple_stats.layers}
+    assert by_name["c1"].allocates_output
+    assert not by_name["c1.relu"].allocates_output        # in-place
+    assert not by_name["flatten1"].allocates_output       # view
+    assert simple_stats.materialized_activation_bytes_per_sample < (
+        simple_stats.activation_bytes_per_sample
+    )
+
+
+def test_activation_bytes_positive(simple_stats):
+    assert simple_stats.activation_bytes_per_sample > 0
+    assert simple_stats.largest_output_bytes >= max(
+        l.output_bytes for l in simple_stats.layers
+    )
+
+
+def test_im2col_only_for_convs(simple_stats):
+    for layer in simple_stats.layers:
+        if layer.kind is LayerKind.CONV:
+            assert layer.im2col_bytes > 0
+        else:
+            assert layer.im2col_bytes == 0
+
+
+def test_im2col_formula(simple_stats):
+    c1 = next(l for l in simple_stats.layers if l.name == "c1")
+    # K*K*Cin * Hout*Wout * 4 bytes
+    assert c1.im2col_bytes == 9 * 3 * 8 * 8 * DTYPE_BYTES
+
+
+def test_conv_im2col_tuple_matches_layers(simple_stats):
+    assert simple_stats.conv_im2col_bytes_per_sample == tuple(
+        l.im2col_bytes for l in simple_stats.layers if l.im2col_bytes > 0
+    )
+
+
+def test_count_layers(simple_stats):
+    assert simple_stats.count_layers(LayerKind.CONV) == 1
+    assert simple_stats.count_layers(LayerKind.FC) == 1
+    assert simple_stats.count_layers(LayerKind.POOL) == 1
+
+
+def test_backward_kernels_split_for_weighted(simple_stats):
+    by_name = {l.name: l for l in simple_stats.layers}
+    assert by_name["c1"].backward_kernels == 2
+    assert by_name["p1"].backward_kernels == 1
+    assert by_name["flatten1"].backward_kernels == 0
+
+
+def test_module_count_zero_without_modules(simple_stats):
+    assert simple_stats.module_count == 0

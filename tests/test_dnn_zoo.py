@@ -1,0 +1,173 @@
+"""Tests of the five workloads against published architecture figures."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.dnn import build_network, compile_network, network_input_shape
+from repro.dnn.zoo import PAPER_NETWORKS, available_networks
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return {
+        name: compile_network(build_network(name), network_input_shape(name))
+        for name in PAPER_NETWORKS
+    }
+
+
+def test_registry_contains_paper_networks():
+    assert set(PAPER_NETWORKS) <= set(available_networks())
+
+
+def test_unknown_network_rejected():
+    with pytest.raises(ConfigurationError):
+        build_network("transformer-xl")
+    with pytest.raises(ConfigurationError):
+        network_input_shape("transformer-xl")
+
+
+def test_vgg16_extension_registered():
+    stats = compile_network(build_network("vgg16"), network_input_shape("vgg16"))
+    assert stats.total_params == pytest.approx(138.36e6, rel=0.01)
+    assert stats.conv_layer_count == 13
+    assert stats.fc_layer_count == 3
+
+
+# ----------------------------------------------------------------------
+# Parameter counts vs published values
+# ----------------------------------------------------------------------
+def test_lenet_parameters(stats):
+    # Classic LeNet-5 scaled to 1000 classes: ~146K parameters.
+    assert stats["lenet"].total_params == pytest.approx(146_000, rel=0.05)
+
+
+def test_alexnet_parameters(stats):
+    assert stats["alexnet"].total_params == pytest.approx(61.1e6, rel=0.01)
+
+
+def test_googlenet_parameters(stats):
+    assert stats["googlenet"].total_params == pytest.approx(7.0e6, rel=0.03)
+
+
+def test_inception_v3_parameters(stats):
+    assert stats["inception-v3"].total_params == pytest.approx(23.8e6, rel=0.02)
+
+
+def test_resnet50_parameters(stats):
+    assert stats["resnet"].total_params == pytest.approx(25.6e6, rel=0.01)
+
+
+# ----------------------------------------------------------------------
+# Layer counts (paper Table I structure)
+# ----------------------------------------------------------------------
+def test_lenet_structure(stats):
+    s = stats["lenet"]
+    assert s.conv_layer_count == 2
+    assert s.fc_layer_count == 3
+
+
+def test_alexnet_structure(stats):
+    s = stats["alexnet"]
+    assert s.conv_layer_count == 5
+    assert s.fc_layer_count == 3
+
+
+def test_googlenet_structure(stats):
+    s = stats["googlenet"]
+    assert s.module_count == 9          # nine inception modules
+    assert s.fc_layer_count == 1
+    assert s.conv_layer_count == 57     # 3 stem + 9 modules x 6 convs
+
+
+def test_inception_v3_structure(stats):
+    s = stats["inception-v3"]
+    assert s.module_count == 11         # A x3, B, C x4, D, E x2
+    assert s.fc_layer_count == 1
+    assert s.conv_layer_count == 94
+
+
+def test_resnet50_structure(stats):
+    s = stats["resnet"]
+    assert s.module_count == 16         # bottleneck blocks: 3+4+6+3
+    assert s.fc_layer_count == 1
+    assert s.conv_layer_count == 53     # 1 stem + 16x3 + 4 projections
+
+
+# ----------------------------------------------------------------------
+# FLOPs vs published values (2 FLOPs per MAC convention)
+# ----------------------------------------------------------------------
+def test_alexnet_flops(stats):
+    assert stats["alexnet"].forward_flops_per_sample == pytest.approx(
+        1.4e9, rel=0.1
+    )
+
+
+def test_inception_v3_flops(stats):
+    # ~5.7 GMAC at 299x299 -> ~11.4 GFLOPs.
+    assert stats["inception-v3"].forward_flops_per_sample == pytest.approx(
+        11.4e9, rel=0.1
+    )
+
+
+def test_resnet50_flops(stats):
+    # ~4.1 GMAC at 224x224 -> ~8.2 GFLOPs.
+    assert stats["resnet"].forward_flops_per_sample == pytest.approx(
+        8.2e9, rel=0.1
+    )
+
+
+def test_backward_flops_roughly_double_forward(stats):
+    for s in stats.values():
+        ratio = s.backward_flops_per_sample / s.forward_flops_per_sample
+        assert 1.5 <= ratio <= 2.1
+
+
+# ----------------------------------------------------------------------
+# Ordering relations the paper relies on
+# ----------------------------------------------------------------------
+def test_parameter_ordering(stats):
+    """AlexNet has by far the most weights; LeNet by far the fewest."""
+    params = {n: s.total_params for n, s in stats.items()}
+    assert params["alexnet"] > params["resnet"] > params["inception-v3"]
+    assert params["inception-v3"] > params["googlenet"] > params["lenet"]
+
+
+def test_weight_array_count_ordering(stats):
+    """Layer-rich networks expose many more KVStore keys."""
+    arrays = {n: len(s.weight_arrays) for n, s in stats.items()}
+    assert arrays["inception-v3"] > arrays["resnet"] > arrays["googlenet"]
+    assert arrays["googlenet"] > arrays["alexnet"] > arrays["lenet"]
+
+
+def test_compute_intensity_ordering(stats):
+    flops = {n: s.forward_flops_per_sample for n, s in stats.items()}
+    assert flops["inception-v3"] > flops["resnet"] > flops["googlenet"]
+    assert flops["googlenet"] > flops["alexnet"] > flops["lenet"]
+
+
+def test_weight_arrays_unique_keys(stats):
+    for s in stats.values():
+        keys = [w.key for w in s.weight_arrays]
+        assert keys == sorted(set(keys))
+
+
+def test_arrays_sum_to_total(stats):
+    for s in stats.values():
+        assert sum(w.numel for w in s.weight_arrays) == s.total_params
+
+
+def test_input_shapes_follow_paper():
+    assert network_input_shape("inception-v3").height == 299
+    assert network_input_shape("alexnet").height == 224
+    assert network_input_shape("googlenet").height == 224
+    assert network_input_shape("resnet").height == 224
+    assert network_input_shape("lenet").height == 32
+
+
+def test_custom_class_count():
+    net = build_network("lenet")
+    small = compile_network(net, network_input_shape("lenet"))
+    from repro.dnn.zoo import build_lenet
+
+    ten = compile_network(build_lenet(num_classes=10), network_input_shape("lenet"))
+    assert ten.total_params < small.total_params

@@ -1,0 +1,57 @@
+"""Compile-time safety net over the example scripts.
+
+Examples run full sweeps (seconds to minutes), so unit tests only verify
+that each script parses, compiles, and has a ``main`` entry point; the
+examples themselves are exercised manually and by the documentation.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLE_FILES}
+    assert {"quickstart", "compare_comm_methods", "memory_planning"} <= names
+    assert len(EXAMPLE_FILES) >= 10
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_compiles(path):
+    source = path.read_text()
+    compile(source, str(path), "exec")
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_has_main_guard(path):
+    tree = ast.parse(path.read_text())
+    functions = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+    assert "main" in functions, path
+    assert 'if __name__ == "__main__":' in path.read_text()
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_has_docstring(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), f"{path} lacks a module docstring"
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_imports_resolve(path):
+    """Every repro import an example names must exist."""
+    import importlib
+
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and (
+            node.module.startswith("repro")
+        ):
+            module = importlib.import_module(node.module)
+            for alias in node.names:
+                assert hasattr(module, alias.name), (
+                    f"{path.stem}: {node.module}.{alias.name} missing"
+                )

@@ -1,0 +1,55 @@
+"""Tests for the memory-capacity study and the alternative GPU specs."""
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.dnn import build_network, compile_network, network_input_shape
+from repro.experiments import capacity_study
+from repro.gpu import MemoryModel
+from repro.gpu.spec import TESLA_P100, TESLA_V100, TESLA_V100_32GB
+
+FAST = SimulationConfig(warmup_iterations=1, measure_iterations=2)
+
+
+def test_spec_catalogue():
+    assert TESLA_V100_32GB.memory_bytes == 2 * TESLA_V100.memory_bytes
+    assert TESLA_V100_32GB.fp32_flops == TESLA_V100.fp32_flops
+    assert TESLA_P100.tensor_speedup == 1.0      # no tensor cores
+    assert TESLA_P100.nvlink_ports == 4
+    assert TESLA_V100.tensor_speedup > 7.0
+
+
+def test_32gb_doubles_activation_headroom():
+    stats = compile_network(build_network("inception-v3"),
+                            network_input_shape("inception-v3"))
+    small = MemoryModel(TESLA_V100).max_batch_size(stats)
+    big = MemoryModel(TESLA_V100_32GB).max_batch_size(stats)
+    assert big > 2 * small  # fixed overheads do not double
+
+
+def test_capacity_study_structure():
+    result = capacity_study.run(networks=("resnet",), num_gpus=4, sim=FAST)
+    row = result.row("resnet")
+    assert row.max_batch_32gb > row.max_batch_16gb
+    assert row.best_batch_32gb >= row.best_batch_16gb
+    assert row.capacity_speedup >= 1.0
+    with pytest.raises(KeyError):
+        result.row("lenet")
+
+
+def test_capacity_study_render():
+    result = capacity_study.run(networks=("resnet",), num_gpus=4, sim=FAST)
+    text = capacity_study.render(result)
+    assert "16 GiB vs 32 GiB" in text
+    assert "resnet" in text
+
+
+def test_p100_slower_than_v100():
+    from repro.core.config import CommMethodName, TrainingConfig
+    from repro.train import Trainer
+
+    config = TrainingConfig("resnet", 16, 1, comm_method=CommMethodName.P2P)
+    v100 = Trainer(config, sim=FAST, spec=TESLA_V100).run()
+    p100 = Trainer(config, sim=FAST, spec=TESLA_P100,
+                   use_tensor_cores=False).run()
+    assert p100.epoch_time > 1.5 * v100.epoch_time

@@ -1,0 +1,40 @@
+"""Tests for the experiments CLI."""
+
+import pathlib
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, main
+
+
+def test_static_experiments_run(capsys):
+    assert main(["table1", "fig2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+    assert "Figure 2" in out
+
+
+def test_fast_dynamic_experiment(capsys):
+    assert main(["table3", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "cudaStreamSynchronize" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_output_dir_written(tmp_path, capsys):
+    assert main(["table1", "-o", str(tmp_path)]) == 0
+    capsys.readouterr()
+    written = tmp_path / "table1.txt"
+    assert written.exists()
+    assert "alexnet" in written.read_text()
+
+
+def test_all_expands_to_every_experiment():
+    assert set(EXPERIMENTS) >= {
+        "table1", "fig2", "fig3", "table2", "fig4", "table3", "table4",
+        "fig5", "ablate", "async",
+    }

@@ -1,0 +1,105 @@
+"""Tests for the extension experiments (async study, bandwidth sweep)."""
+
+import pytest
+
+from repro.core.config import CommMethodName, SimulationConfig
+from repro.experiments import async_study, bandwidth_sweep
+
+FAST = SimulationConfig(warmup_iterations=1, measure_iterations=2)
+
+
+# ----------------------------------------------------------------------
+# Async study
+# ----------------------------------------------------------------------
+def test_async_study_structure():
+    result = async_study.run(networks=("lenet",), gpu_counts=(2, 4), sim=FAST)
+    assert len(result.rows) == 2
+    row = result.row("lenet", 4)
+    assert row.raw_speedup > 1.0              # async removes the barrier
+    assert row.async_effective_epoch > row.async_epoch
+    assert row.staleness_mean > 0
+    with pytest.raises(KeyError):
+        result.row("lenet", 8)
+
+
+def test_async_study_staleness_grows():
+    result = async_study.run(networks=("lenet",), gpu_counts=(2, 8), sim=FAST)
+    assert result.row("lenet", 8).staleness_mean > result.row("lenet", 2).staleness_mean
+
+
+def test_async_study_render():
+    result = async_study.run(networks=("lenet",), gpu_counts=(2,), sim=FAST)
+    text = async_study.render(result)
+    assert "Staleness" in text and "Effective" in text
+
+
+# ----------------------------------------------------------------------
+# Bandwidth sweep
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def sweep():
+    return bandwidth_sweep.run(
+        networks=("alexnet",),
+        methods=(CommMethodName.P2P,),
+        scales=(0.5, 1.0, 4.0),
+        num_gpus=4,
+        sim=FAST,
+    )
+
+
+def test_bandwidth_sweep_monotone(sweep):
+    assert (
+        sweep.epoch("alexnet", "p2p", 0.5)
+        > sweep.epoch("alexnet", "p2p", 1.0)
+        > sweep.epoch("alexnet", "p2p", 4.0)
+    )
+
+
+def test_bandwidth_gain_sublinear(sweep):
+    """4x bandwidth gives much less than 4x speedup -- the paper's claim."""
+    assert 1.0 < sweep.gain("alexnet", "p2p", 4.0) < 3.0
+
+
+def test_bandwidth_sweep_lookup_errors(sweep):
+    with pytest.raises(KeyError):
+        sweep.epoch("alexnet", "p2p", 16.0)
+
+
+def test_bandwidth_sweep_render(sweep):
+    text = bandwidth_sweep.render(sweep)
+    assert "bandwidth sweep" in text
+    assert "4x BW" in text
+
+
+# ----------------------------------------------------------------------
+# Topology bandwidth scaling plumbing
+# ----------------------------------------------------------------------
+def test_scaled_topology_links():
+    from repro.topology import build_dgx1v
+    from repro.topology.links import LinkType
+
+    base = build_dgx1v()
+    fast = build_dgx1v(nvlink_bandwidth_scale=2.0)
+    base_link = base.nvlink_between(base.gpu(0), base.gpu(1))
+    fast_link = fast.nvlink_between(fast.gpu(0), fast.gpu(1))
+    assert fast_link.peak_bandwidth() == 2 * base_link.peak_bandwidth()
+    # PCIe untouched
+    base_pcie = [l for l in base.links if l.link_type is LinkType.PCIE][0]
+    fast_pcie = [l for l in fast.links if l.link_type is LinkType.PCIE][0]
+    assert base_pcie.peak_bandwidth() == fast_pcie.peak_bandwidth()
+
+
+def test_scaled_topology_affects_nccl_rings():
+    from repro.comm.nccl.rings import build_ring_plan
+    from repro.topology import build_dgx1v
+
+    base = build_ring_plan(build_dgx1v(), range(8))
+    fast = build_ring_plan(build_dgx1v(nvlink_bandwidth_scale=4.0), range(8))
+    assert fast.channel_bandwidth == pytest.approx(4 * base.channel_bandwidth)
+
+
+def test_invalid_scale_rejected():
+    from repro.topology import build_dgx1v
+
+    with pytest.raises(ValueError):
+        build_dgx1v(nvlink_bandwidth_scale=0.0)

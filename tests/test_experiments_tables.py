@@ -1,0 +1,44 @@
+"""Tests for the table renderer."""
+
+import pytest
+
+from repro.experiments.tables import render_csv, render_table
+
+
+def test_alignment():
+    text = render_table(["Name", "Value"], [("a", 1), ("long-name", 22)])
+    lines = text.splitlines()
+    assert lines[0].startswith("Name")
+    assert lines[-1].endswith("22")
+    # header separator spans the header width
+    assert set(lines[1]) == {"-"}
+
+
+def test_title_included():
+    text = render_table(["A"], [(1,)], title="My Table")
+    assert text.startswith("My Table\n")
+
+
+def test_row_width_mismatch_rejected():
+    with pytest.raises(ValueError):
+        render_table(["A", "B"], [(1,)])
+
+
+def test_float_formatting():
+    text = render_table(["V"], [(0.12345,), (3.14159,), (123.456,), (0.0,)])
+    assert "0.1235" in text or "0.1234" in text
+    assert "3.14" in text
+    assert "123.5" in text
+
+
+def test_csv_output():
+    csv = render_csv(["a", "b"], [(1, 2), (3, 4)])
+    assert csv == "a,b\n1,2\n3,4\n"
+
+
+def test_left_and_right_alignment():
+    text = render_table(["Key", "N"], [("x", 5), ("yy", 100)])
+    lines = text.splitlines()
+    # left column is left-aligned, right column right-aligned
+    assert lines[2].startswith("x ")
+    assert lines[2].rstrip().endswith("5")

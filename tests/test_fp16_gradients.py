@@ -1,0 +1,63 @@
+"""Tests for half-precision gradient communication."""
+
+import pytest
+
+from repro import CommMethodName, SimulationConfig, TrainingConfig, train
+from repro.comm import P2PCommunicator
+from repro.core.constants import CALIBRATION
+from repro.dnn.stats import WeightArray
+from repro.gpu import GpuDevice, KernelCostModel
+from repro.profile import Profiler
+from repro.sim import Environment
+from repro.topology import Fabric, build_dgx1v
+
+FAST = SimulationConfig(warmup_iterations=1, measure_iterations=2)
+
+
+def test_invalid_scale_rejected():
+    env = Environment()
+    topo = build_dgx1v()
+    fabric = Fabric(env, topo, CALIBRATION)
+    devices = [GpuDevice(env, topo.gpu(0))]
+    for bad in (0.0, -0.5, 1.5):
+        with pytest.raises(ValueError):
+            P2PCommunicator(env, fabric, devices, KernelCostModel(),
+                            CALIBRATION, gradient_bytes_scale=bad)
+
+
+def test_fp16_halves_wire_bytes():
+    profiler = Profiler()
+    env = Environment()
+    topo = build_dgx1v()
+    fabric = Fabric(env, topo, CALIBRATION)
+    devices = [GpuDevice(env, topo.gpu(i), profiler=profiler) for i in range(2)]
+    comm = P2PCommunicator(env, fabric, devices, KernelCostModel(),
+                           CALIBRATION, profiler, gradient_bytes_scale=0.5)
+    array = WeightArray(0, "w", 100_000, "l")
+    done = env.process(comm.sync_array(array))
+    env.run(until=done)
+    assert sum(fabric.bytes_moved.values()) == array.nbytes  # 2 x half
+
+def test_fp16_speeds_up_comm_bound_training():
+    full = train(TrainingConfig("alexnet", 16, 8, comm_method=CommMethodName.NCCL),
+                 sim=FAST)
+    half = train(TrainingConfig("alexnet", 16, 8, comm_method=CommMethodName.NCCL,
+                                fp16_gradients=True), sim=FAST)
+    assert half.epoch_time < 0.85 * full.epoch_time
+
+
+def test_fp16_negligible_for_compute_bound_training():
+    full = train(TrainingConfig("inception-v3", 16, 8,
+                                comm_method=CommMethodName.NCCL), sim=FAST)
+    half = train(TrainingConfig("inception-v3", 16, 8,
+                                comm_method=CommMethodName.NCCL,
+                                fp16_gradients=True), sim=FAST)
+    assert half.epoch_time <= full.epoch_time
+    assert half.epoch_time > 0.9 * full.epoch_time
+
+
+def test_fp16_works_for_every_method():
+    for method in (CommMethodName.P2P, CommMethodName.NCCL, CommMethodName.LOCAL):
+        r = train(TrainingConfig("lenet", 16, 4, comm_method=method,
+                                 fp16_gradients=True), sim=FAST)
+        assert r.epoch_time > 0

@@ -1,0 +1,140 @@
+"""Tests for the kernel cost model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constants import CALIBRATION
+from repro.dnn import build_network, compile_network, network_input_shape
+from repro.gpu import KernelCostModel
+from repro.gpu.spec import TESLA_V100
+
+
+@pytest.fixture(scope="module")
+def model():
+    return KernelCostModel()
+
+
+@pytest.fixture(scope="module")
+def lenet_stats():
+    return compile_network(build_network("lenet"), network_input_shape("lenet"))
+
+
+@pytest.fixture(scope="module")
+def inception_stats():
+    return compile_network(
+        build_network("inception-v3"), network_input_shape("inception-v3")
+    )
+
+
+def test_empty_kernel_costs_launch_overhead(model):
+    assert model.kernel_time(0, 0, matmul=False) == pytest.approx(
+        CALIBRATION.kernel_launch_overhead
+    )
+
+
+def test_kernel_time_monotone_in_flops(model):
+    times = [model.kernel_time(f, 0, matmul=True) for f in (1e6, 1e8, 1e10)]
+    assert times[0] < times[1] < times[2]
+
+
+def test_kernel_time_monotone_in_bytes(model):
+    times = [model.kernel_time(0, b, matmul=False) for b in (1e4, 1e6, 1e8)]
+    assert times[0] < times[1] < times[2]
+
+
+def test_big_kernel_approaches_peak(model):
+    flops = 1e12
+    t = model.kernel_time(flops, 0, matmul=False) - CALIBRATION.kernel_launch_overhead
+    achieved = flops / t
+    assert achieved > 0.7 * TESLA_V100.fp32_flops * CALIBRATION.max_compute_efficiency
+
+
+def test_tensor_cores_accelerate_matmul(model):
+    no_tc = KernelCostModel(use_tensor_cores=False)
+    flops = 1e10
+    assert model.kernel_time(flops, 0, matmul=True) < no_tc.kernel_time(
+        flops, 0, matmul=True
+    )
+
+
+def test_tensor_cores_ignored_for_non_matmul(model):
+    no_tc = KernelCostModel(use_tensor_cores=False)
+    flops = 1e9
+    assert model.kernel_time(flops, 0, matmul=False) == pytest.approx(
+        no_tc.kernel_time(flops, 0, matmul=False)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    flops=st.floats(min_value=0, max_value=1e12),
+    nbytes=st.floats(min_value=0, max_value=1e9),
+    matmul=st.booleans(),
+)
+def test_kernel_time_bounds_property(model, flops, nbytes, matmul):
+    """Never faster than peak, never slower than a fixed floor rate."""
+    t = model.kernel_time(flops, nbytes, matmul)
+    assert t >= CALIBRATION.kernel_launch_overhead
+    if flops > 0:
+        # can't beat the tensor-core peak
+        assert flops / (t - CALIBRATION.kernel_launch_overhead + 1e-12) <= (
+            TESLA_V100.tensor_flops
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    batch1=st.integers(min_value=1, max_value=32),
+    factor=st.integers(min_value=2, max_value=4),
+)
+def test_iteration_time_subadditive_in_batch(model, lenet_stats, batch1, factor):
+    """Doubling batch less than doubles time (efficiency grows)."""
+    t1 = model.iteration_compute_time(lenet_stats, batch1)
+    t2 = model.iteration_compute_time(lenet_stats, batch1 * factor)
+    assert t1 < t2 < factor * t1
+
+
+def test_forward_schedule_covers_all_layers(model, lenet_stats):
+    kernels = model.forward_schedule(lenet_stats, 16)
+    layers_with_kernels = {k.layer for k in kernels}
+    expected = {l.name for l in lenet_stats.layers if l.kind.value != "reshape"}
+    assert layers_with_kernels == expected
+
+
+def test_backward_schedule_reverse_order(model, lenet_stats):
+    schedule = model.backward_schedule(lenet_stats, 16)
+    names = [layer.name for layer, _ in schedule]
+    assert names == [l.name for l in reversed(lenet_stats.layers)]
+
+
+def test_backward_has_dgrad_and_wgrad(model, lenet_stats):
+    schedule = dict(
+        (layer.name, kernels) for layer, kernels in model.backward_schedule(lenet_stats, 16)
+    )
+    conv_kernels = schedule["c1"]
+    assert [k.name for k in conv_kernels] == ["c1.dgrad", "c1.wgrad"]
+
+
+def test_network_compute_ordering(model, lenet_stats, inception_stats):
+    assert model.iteration_compute_time(lenet_stats, 16) < (
+        model.iteration_compute_time(inception_stats, 16)
+    )
+
+
+def test_realistic_throughput_ranges(model, inception_stats):
+    """Inception-v3 on a V100 lands in the published throughput range."""
+    t = model.iteration_compute_time(inception_stats, 32)
+    images_per_second = 32 / t
+    assert 250 <= images_per_second <= 900
+
+
+def test_compute_utilization_bounds(model, lenet_stats, inception_stats):
+    for stats in (lenet_stats, inception_stats):
+        for batch in (16, 64):
+            u = model.compute_utilization(stats, batch)
+            assert 0.0 <= u <= 1.0
+    # big networks utilize better
+    assert model.compute_utilization(inception_stats, 64) > (
+        model.compute_utilization(lenet_stats, 64)
+    )

@@ -1,0 +1,130 @@
+"""Tests for the memory model against the paper's Table IV findings."""
+
+import pytest
+
+from repro.core.errors import OutOfMemoryError
+from repro.dnn import build_network, compile_network, network_input_shape
+from repro.gpu import MemoryModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MemoryModel()
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return {
+        name: compile_network(build_network(name), network_input_shape(name))
+        for name in ("lenet", "alexnet", "resnet", "googlenet", "inception-v3")
+    }
+
+
+def test_pretraining_identical_structure(model, stats):
+    """Pre-training usage = context + one copy of the model."""
+    for s in stats.values():
+        usage = model.pretraining(s)
+        assert usage.parameters == s.model_bytes
+        assert usage.activations == 0
+        assert usage.server_buffers == 0
+
+
+def test_pretraining_much_smaller_than_training(model, stats):
+    for s in stats.values():
+        pre = model.pretraining(s).total
+        train = model.training(s, 64).total
+        assert pre < train
+
+
+def test_training_grows_with_batch(model, stats):
+    for s in stats.values():
+        totals = [model.training(s, b).total for b in (16, 32, 64)]
+        assert totals[0] < totals[1] < totals[2]
+
+
+def test_server_uses_more_than_worker(model, stats):
+    for s in stats.values():
+        gpu0 = model.training(s, 32, is_server=True).total
+        gpux = model.training(s, 32, is_server=False).total
+        assert gpu0 > gpux
+        assert gpu0 - gpux == 2 * s.model_bytes
+
+
+def test_server_extra_share_shrinks_with_batch(model, stats):
+    """Paper: GPU0's relative extra usage decreases as batch grows."""
+    for s in stats.values():
+        shares = []
+        for b in (16, 32, 64):
+            gpu0 = model.training(s, b, is_server=True).total
+            gpux = model.training(s, b, is_server=False).total
+            shares.append(gpu0 / gpux - 1.0)
+        assert shares[0] >= shares[1] >= shares[2]
+
+
+def test_alexnet_b64_gpu0_anchor(model, stats):
+    """Paper: 2.37 GB on GPU0 for AlexNet at batch 64."""
+    usage = model.training(stats["alexnet"], 64, is_server=True)
+    assert usage.total_gb == pytest.approx(2.37, rel=0.08)
+
+
+def test_inception_b64_gpu0_anchor(model, stats):
+    """Paper: ~11 GB on GPU0 for Inception-v3 at batch 64."""
+    usage = model.training(stats["inception-v3"], 64, is_server=True)
+    assert usage.total_gb == pytest.approx(11.0, rel=0.15)
+
+
+def test_inception_resnet_oom_above_64(model, stats):
+    for name in ("inception-v3", "resnet"):
+        model.check_fits(stats[name], 64)  # trains
+        with pytest.raises(OutOfMemoryError):
+            model.check_fits(stats[name], 128)
+
+
+def test_googlenet_trains_at_128(model, stats):
+    model.check_fits(stats["googlenet"], 128)
+
+
+def test_lenet_never_oom_at_paper_batches(model, stats):
+    for b in (16, 32, 64, 128, 256):
+        model.check_fits(stats["lenet"], b)
+
+
+def test_max_batch_size_consistency(model, stats):
+    for s in stats.values():
+        limit = model.max_batch_size(s)
+        model.check_fits(s, limit)
+        if limit < 4096:  # 4096 is the search cap, not an OOM boundary
+            with pytest.raises(OutOfMemoryError):
+                model.check_fits(s, limit + 1)
+
+
+def test_max_batch_respects_limit_argument(model, stats):
+    assert model.max_batch_size(stats["lenet"], limit=64) == 64
+
+
+def test_oom_error_details(model, stats):
+    with pytest.raises(OutOfMemoryError) as exc:
+        model.check_fits(stats["inception-v3"], 256)
+    assert exc.value.requested > exc.value.free
+
+
+def test_workspace_capped_per_op(model, stats):
+    s = stats["inception-v3"]
+    ws_small = model.workspace_bytes(s, 1)
+    ws_large = model.workspace_bytes(s, 4096)
+    cap = model.constants.cudnn_per_op_workspace_cap
+    n_convs = len(s.conv_im2col_bytes_per_sample)
+    assert ws_large <= cap * n_convs
+    assert ws_small < ws_large
+
+
+def test_usage_breakdown_sums(model, stats):
+    usage = model.training(stats["alexnet"], 32, is_server=True)
+    assert usage.total == (
+        usage.context
+        + usage.parameters
+        + usage.activations
+        + usage.workspace
+        + usage.input_batch
+        + usage.server_buffers
+    )

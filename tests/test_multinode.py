@@ -1,0 +1,81 @@
+"""Tests for multi-node training configuration and the scaling study."""
+
+import pytest
+
+from repro import CommMethodName, SimulationConfig, TrainingConfig, train
+from repro.core.errors import ConfigurationError
+from repro.experiments import multinode_study
+
+FAST = SimulationConfig(warmup_iterations=1, measure_iterations=2)
+
+
+def test_config_accepts_multi_node_gpu_counts():
+    c = TrainingConfig("resnet", 32, 16, comm_method=CommMethodName.NCCL,
+                       cluster_nodes=2)
+    assert c.global_batch_size == 512
+    assert "n2" in c.describe()
+
+
+def test_config_rejects_too_many_gpus_per_node():
+    with pytest.raises(ConfigurationError):
+        TrainingConfig("resnet", 32, 16, comm_method=CommMethodName.NCCL)
+
+
+def test_config_rejects_non_nccl_multi_node():
+    for method in (CommMethodName.P2P, CommMethodName.LOCAL):
+        with pytest.raises(ConfigurationError):
+            TrainingConfig("resnet", 32, 16, comm_method=method, cluster_nodes=2)
+
+
+def test_config_rejects_invalid_node_count():
+    with pytest.raises(ConfigurationError):
+        TrainingConfig("resnet", 32, 8, cluster_nodes=0)
+
+
+def test_single_node_describe_unchanged():
+    c = TrainingConfig("resnet", 32, 8, comm_method=CommMethodName.NCCL)
+    assert c.describe() == "resnet/b32/g8/nccl"
+
+
+def test_two_node_training_runs():
+    r = train(
+        TrainingConfig("resnet", 32, 16, comm_method=CommMethodName.NCCL,
+                       cluster_nodes=2),
+        sim=FAST,
+    )
+    assert r.epoch_time > 0
+    assert set(r.gpu_busy) == set(range(16))
+
+
+def test_multi_node_throughput_scales_sublinearly():
+    one = train(TrainingConfig("resnet", 32, 8, comm_method=CommMethodName.NCCL),
+                sim=FAST)
+    two = train(
+        TrainingConfig("resnet", 32, 16, comm_method=CommMethodName.NCCL,
+                       cluster_nodes=2),
+        sim=FAST,
+    )
+    gain = two.images_per_second / one.images_per_second
+    assert 1.3 < gain < 2.0  # more GPUs help, IB takes its cut
+
+
+def test_ib_crossing_raises_wu_cost():
+    one = train(TrainingConfig("inception-v3", 32, 8,
+                               comm_method=CommMethodName.NCCL), sim=FAST)
+    two = train(
+        TrainingConfig("inception-v3", 32, 16,
+                       comm_method=CommMethodName.NCCL, cluster_nodes=2),
+        sim=FAST,
+    )
+    assert two.stages.wu > one.stages.wu
+
+
+def test_multinode_study_structure():
+    result = multinode_study.run(networks=("resnet",), node_counts=(1, 2),
+                                 sim=FAST)
+    assert result.scaling("resnet", 1) == pytest.approx(1.0)
+    assert 1.0 < result.scaling("resnet", 2) < 2.0
+    with pytest.raises(KeyError):
+        result.row("resnet", 8)
+    text = multinode_study.render(result)
+    assert "InfiniBand" in text

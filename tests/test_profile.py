@@ -1,0 +1,151 @@
+"""Tests for the profiler, summaries, timeline export and smi monitor."""
+
+import io
+import json
+
+import pytest
+
+from repro.dnn import build_network, compile_network, network_input_shape
+from repro.gpu.kernel import KernelSpec
+from repro.profile import (
+    MemoryMonitor,
+    Profiler,
+    export_chrome_trace,
+    summarize_apis,
+    summarize_stages,
+)
+from repro.profile.summary import gpu_busy_fractions
+
+
+def _kernel(name="k", layer="l", stage="fp"):
+    return KernelSpec(name=name, layer=layer, stage=stage, duration=1.0,
+                      flops=0.0, bytes_moved=0)
+
+
+@pytest.fixture()
+def profiler():
+    p = Profiler()
+    p.record_kernel(0, _kernel("a", stage="fp"), 0.0, 1.0)
+    p.record_kernel(0, _kernel("b", stage="bp"), 1.0, 3.0)
+    p.record_kernel(1, _kernel("c", stage="fp"), 0.0, 1.5)
+    p.record_transfer("p2p", 1, 0, 1000, 3.0, 3.5)
+    p.record_transfer("nccl", 0, -1, 2000, 3.5, 4.0)
+    p.record_api("cudaStreamSynchronize", 0, 3.0, 4.0)
+    p.record_api("cudaLaunchKernel", 0, 0.0, 0.1)
+    p.record_span("fp", 0, 0, 0.0, 1.0)
+    p.record_span("fp", 1, 0, 0.0, 1.5)
+    p.record_span("bp", 0, 0, 1.0, 3.0)
+    p.record_span("bp", 1, 0, 1.5, 3.0)
+    p.record_span("wu", -1, 0, 3.0, 4.0)
+    p.record_span("iteration", -1, 0, 0.0, 4.2)
+    return p
+
+
+def test_disabled_profiler_records_nothing():
+    p = Profiler(enabled=False)
+    p.record_kernel(0, _kernel(), 0.0, 1.0)
+    p.record_api("x", 0, 0.0, 1.0)
+    p.record_span("fp", 0, 0, 0.0, 1.0)
+    p.record_transfer("p2p", 0, 1, 10, 0.0, 1.0)
+    assert not p.kernels and not p.apis and not p.spans and not p.transfers
+
+
+def test_reset_clears_everything(profiler):
+    profiler.reset()
+    assert not profiler.kernels and not profiler.transfers
+    assert not profiler.apis and not profiler.spans
+
+
+def test_kernel_time_filters(profiler):
+    assert profiler.kernel_time() == pytest.approx(4.5)
+    assert profiler.kernel_time(gpu=0) == pytest.approx(3.0)
+    assert profiler.kernel_time(stage="fp") == pytest.approx(2.5)
+    assert profiler.kernel_time(gpu=1, stage="fp") == pytest.approx(1.5)
+
+
+def test_bytes_transferred(profiler):
+    assert profiler.bytes_transferred() == 3000
+    assert profiler.bytes_transferred("p2p") == 1000
+
+
+def test_api_time(profiler):
+    assert profiler.api_time("cudaStreamSynchronize") == pytest.approx(1.0)
+    assert profiler.api_time() == pytest.approx(1.1)
+
+
+# ----------------------------------------------------------------------
+# Summaries
+# ----------------------------------------------------------------------
+def test_stage_breakdown_takes_straggler_max(profiler):
+    stages = summarize_stages(profiler)
+    assert stages.fp == pytest.approx(1.5)   # max over the two GPUs
+    assert stages.bp == pytest.approx(2.0)
+    assert stages.wu == pytest.approx(1.0)
+    assert stages.iteration == pytest.approx(4.2)
+    assert stages.fp_bp == pytest.approx(3.5)
+    assert 0 < stages.wu_fraction < 1
+
+
+def test_stage_breakdown_empty():
+    stages = summarize_stages(Profiler())
+    assert stages.iteration == 0.0 and stages.wu_fraction == 0.0
+
+
+def test_api_summary_ordering(profiler):
+    summary = summarize_apis(profiler)
+    assert summary.totals[0][0] == "cudaStreamSynchronize"
+    assert summary.percent_of("cudaStreamSynchronize") == pytest.approx(
+        100 * 1.0 / 1.1
+    )
+    assert summary.time_of("missing") == 0.0
+    assert summary.percent_of("cudaLaunchKernel") < 50
+
+
+def test_gpu_busy_fractions(profiler):
+    busy = gpu_busy_fractions(profiler)
+    assert busy[0] == pytest.approx(3.0 / 4.2)
+    assert busy[1] == pytest.approx(1.5 / 4.2)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace
+# ----------------------------------------------------------------------
+def test_chrome_trace_round_trips(profiler):
+    buf = io.StringIO()
+    export_chrome_trace(profiler, buf)
+    data = json.loads(buf.getvalue())
+    events = data["traceEvents"]
+    assert len(events) == len(profiler.kernels) + len(profiler.transfers) + len(
+        profiler.apis
+    ) + len(profiler.spans)
+    for event in events:
+        assert event["ph"] == "X"
+        assert event["dur"] >= 0
+
+
+def test_chrome_trace_collective_destination(profiler):
+    buf = io.StringIO()
+    export_chrome_trace(profiler, buf)
+    names = [e["name"] for e in json.loads(buf.getvalue())["traceEvents"]]
+    assert "nccl:0->all" in names
+
+
+# ----------------------------------------------------------------------
+# Memory monitor
+# ----------------------------------------------------------------------
+def test_memory_monitor_shape():
+    stats = compile_network(build_network("alexnet"), network_input_shape("alexnet"))
+    readings = MemoryMonitor().sample(stats, 32, num_gpus=4)
+    assert len(readings) == 8  # 4 pre-training + 4 training
+    pre = [r for r in readings if r.phase == "pretraining"]
+    train = [r for r in readings if r.phase == "training"]
+    assert len({r.total_gb for r in pre}) == 1          # identical pre-training
+    assert train[0].total_gb > train[1].total_gb        # GPU0 above workers
+    assert len({r.total_gb for r in train[1:]}) == 1    # workers identical
+
+
+def test_memory_monitor_single_gpu_has_no_server():
+    stats = compile_network(build_network("lenet"), network_input_shape("lenet"))
+    readings = MemoryMonitor().sample(stats, 16, num_gpus=1)
+    train = [r for r in readings if r.phase == "training"]
+    assert train[0].usage.server_buffers == 0

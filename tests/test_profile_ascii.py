@@ -1,0 +1,73 @@
+"""Tests for the ASCII timeline renderer."""
+
+from repro.gpu.kernel import KernelSpec
+from repro.profile import Profiler, render_ascii_timeline
+
+
+def _kernel(name, stage):
+    return KernelSpec(name=name, layer="l", stage=stage, duration=1.0,
+                      flops=0.0, bytes_moved=0)
+
+
+def test_empty_profiler():
+    assert "no kernels" in render_ascii_timeline(Profiler())
+
+
+def test_lanes_per_gpu():
+    p = Profiler()
+    p.record_kernel(0, _kernel("a", "fp"), 0.0, 1.0)
+    p.record_kernel(2, _kernel("b", "bp"), 1.0, 2.0)
+    text = render_ascii_timeline(p, width=20)
+    assert "gpu0 |" in text
+    assert "gpu2 |" in text
+    assert "gpu1" not in text
+
+
+def test_glyphs_match_stages():
+    p = Profiler()
+    p.record_kernel(0, _kernel("f", "fp"), 0.0, 1.0)
+    p.record_kernel(0, _kernel("b", "bp"), 1.0, 2.0)
+    p.record_kernel(0, _kernel("w", "wu"), 2.0, 3.0)
+    text = render_ascii_timeline(p, width=30)
+    lane = next(l for l in text.splitlines() if l.startswith("gpu0"))
+    body = lane.split("|")[1]
+    assert "F" in body and "B" in body and "W" in body
+    # thirds in order
+    assert body.index("F") < body.index("B") < body.index("W")
+
+
+def test_idle_cells():
+    p = Profiler()
+    p.record_kernel(0, _kernel("f", "fp"), 0.0, 1.0)
+    p.record_kernel(0, _kernel("b", "bp"), 9.0, 10.0)
+    text = render_ascii_timeline(p, width=50)
+    lane = next(l for l in text.splitlines() if l.startswith("gpu0"))
+    assert "." in lane.split("|")[1]
+
+
+def test_transfer_lane():
+    p = Profiler()
+    p.record_kernel(0, _kernel("f", "fp"), 0.0, 1.0)
+    p.record_transfer("nccl", 0, -1, 100, 0.2, 0.8)
+    text = render_ascii_timeline(p, width=20)
+    xfer = next(l for l in text.splitlines() if l.startswith("xfer"))
+    assert "n" in xfer
+
+
+def test_explicit_window():
+    p = Profiler()
+    p.record_kernel(0, _kernel("f", "fp"), 0.0, 10.0)
+    text = render_ascii_timeline(p, width=10, window=(0.0, 5.0))
+    header = text.splitlines()[0]
+    assert "5000.000ms" in header  # window end = 5 s
+
+
+def test_fixed_width():
+    p = Profiler()
+    p.record_kernel(0, _kernel("f", "fp"), 0.0, 1.0)
+    for width in (10, 40, 120):
+        lane = next(
+            l for l in render_ascii_timeline(p, width=width).splitlines()
+            if l.startswith("gpu0")
+        )
+        assert len(lane.split("|")[1]) == width

@@ -1,0 +1,86 @@
+"""Tests for the layer-wise profiling summary."""
+
+import pytest
+
+from repro import CommMethodName, SimulationConfig, TrainingConfig
+from repro.gpu.kernel import KernelSpec
+from repro.profile import Profiler, render_layerwise, summarize_layers
+from repro.train import Trainer
+
+
+def _kernel(layer, stage, duration):
+    return KernelSpec(name=f"{layer}.{stage}", layer=layer, stage=stage,
+                      duration=duration, flops=0.0, bytes_moved=0)
+
+
+@pytest.fixture()
+def profiler():
+    p = Profiler()
+    p.record_kernel(0, _kernel("conv1", "fp", 1.0), 0.0, 1.0)
+    p.record_kernel(0, _kernel("conv1", "bp", 2.0), 1.0, 3.0)
+    p.record_kernel(0, _kernel("fc", "fp", 0.5), 3.0, 3.5)
+    p.record_kernel(0, _kernel("fc", "wu", 0.25), 3.5, 3.75)
+    p.record_kernel(1, _kernel("conv1", "fp", 1.0), 0.0, 1.0)
+    return p
+
+
+def test_aggregation_by_layer(profiler):
+    summary = summarize_layers(profiler)
+    conv = summary.of("conv1")
+    assert conv.fp_time == pytest.approx(2.0)   # both GPUs
+    assert conv.bp_time == pytest.approx(2.0)
+    assert conv.kernel_count == 3
+    fc = summary.of("fc")
+    assert fc.wu_time == pytest.approx(0.25)
+
+
+def test_sorted_descending(profiler):
+    summary = summarize_layers(profiler)
+    totals = [p.total for p in summary.profiles]
+    assert totals == sorted(totals, reverse=True)
+    assert summary.profiles[0].layer == "conv1"
+
+
+def test_gpu_filter(profiler):
+    summary = summarize_layers(profiler, gpu=1)
+    assert summary.of("conv1").fp_time == pytest.approx(1.0)
+    with pytest.raises(KeyError):
+        summary.of("fc")
+
+
+def test_share_and_top(profiler):
+    summary = summarize_layers(profiler)
+    assert summary.share("conv1") + summary.share("fc") == pytest.approx(1.0)
+    assert len(summary.top(1)) == 1
+
+
+def test_empty_profiler():
+    summary = summarize_layers(Profiler())
+    assert summary.profiles == ()
+    assert summary.total_time == 0.0
+
+
+def test_render(profiler):
+    text = render_layerwise(summarize_layers(profiler), top_k=5)
+    assert "conv1" in text and "Share" in text
+
+
+def test_end_to_end_alexnet_hotspots():
+    """AlexNet's compute is conv-dominated; its WU is FC-dominated."""
+    trainer = Trainer(
+        TrainingConfig("alexnet", 32, 1, comm_method=CommMethodName.P2P),
+        sim=SimulationConfig(1, 1),
+        keep_profiler=True,
+    )
+    result = trainer.run()
+    summary = summarize_layers(result.profiler)
+    conv_compute = sum(
+        p.fp_time + p.bp_time for p in summary.profiles if p.layer.startswith("conv")
+    )
+    fc_compute = sum(
+        p.fp_time + p.bp_time for p in summary.profiles if p.layer.startswith("fc")
+    )
+    assert conv_compute > fc_compute
+    fc_wu = sum(p.wu_time for p in summary.profiles if p.layer.startswith("fc"))
+    conv_wu = sum(p.wu_time for p in summary.profiles if p.layer.startswith("conv"))
+    assert fc_wu > conv_wu  # 59M of AlexNet's 61M weights sit in the FCs

@@ -1,0 +1,128 @@
+"""Cross-subsystem property-based tests (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import P2PCommunicator, reduction_tree
+from repro.comm.nccl import NcclCommunicator
+from repro.core.constants import CALIBRATION
+from repro.dnn import build_network, compile_network, network_input_shape
+from repro.dnn.stats import WeightArray
+from repro.gpu import GpuDevice, KernelCostModel, MemoryModel
+from repro.sim import Environment
+from repro.topology import Fabric, build_dgx1v
+
+
+# ----------------------------------------------------------------------
+# Reduction tree
+# ----------------------------------------------------------------------
+@given(n=st.integers(min_value=1, max_value=64))
+def test_reduction_tree_properties(n):
+    stages = reduction_tree(n)
+    sources = [src for stage in stages for src, _ in stage]
+    destinations = [dst for stage in stages for _, dst in stage]
+    # every non-root node sends exactly once
+    assert sorted(sources) == list(range(1, n))
+    # the root never sends
+    assert 0 not in sources
+    # every destination is eventually drained toward 0 (or is 0)
+    assert 0 in destinations or n == 1
+    # log2 depth
+    assert len(stages) == max(0, (n - 1)).bit_length()
+
+
+# ----------------------------------------------------------------------
+# Communication byte conservation
+# ----------------------------------------------------------------------
+def _sync_bytes(comm_cls, num_gpus, numel):
+    env = Environment()
+    topo = build_dgx1v()
+    fabric = Fabric(env, topo, CALIBRATION)
+    devices = [GpuDevice(env, topo.gpu(i)) for i in range(num_gpus)]
+    comm = comm_cls(env, fabric, devices, KernelCostModel(), CALIBRATION)
+    array = WeightArray(0, "w", numel, "l")
+    done = env.process(comm.sync_array(array))
+    env.run(until=done)
+    return sum(fabric.bytes_moved.values()), env.now
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    numel=st.integers(min_value=1_000, max_value=900_000),
+    gpus=st.sampled_from([2, 4, 8]),
+)
+def test_p2p_tree_bytes_exact(numel, gpus):
+    """Small (tree-path) arrays move exactly 2*(N-1) copies on the wire."""
+    moved, elapsed = _sync_bytes(P2PCommunicator, gpus, numel)
+    assert moved == 2 * (gpus - 1) * numel * 4
+    assert elapsed > 0
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    numel=st.integers(min_value=1_000_000, max_value=8_000_000),
+    gpus=st.sampled_from([2, 4, 8]),
+)
+def test_p2p_sharded_bytes_bounded(numel, gpus):
+    """Sharded arrays move at least the algorithmic minimum and at most
+    the relayed worst case (every transfer staged through one hop)."""
+    moved, _ = _sync_bytes(P2PCommunicator, gpus, numel)
+    shard = -(-numel * 4 // gpus)
+    minimum = 2 * gpus * (gpus - 1) * shard
+    assert minimum <= moved <= 2 * minimum
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    numel=st.integers(min_value=1_000, max_value=5_000_000),
+    gpus=st.sampled_from([2, 4, 8]),
+)
+def test_sync_time_monotone_in_size(numel, gpus):
+    _, t_small = _sync_bytes(NcclCommunicator, gpus, numel)
+    _, t_big = _sync_bytes(NcclCommunicator, gpus, numel * 2)
+    assert t_big >= t_small
+
+
+# ----------------------------------------------------------------------
+# Memory model monotonicity
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def googlenet_stats():
+    return compile_network(build_network("googlenet"),
+                           network_input_shape("googlenet"))
+
+
+@settings(max_examples=25, deadline=None)
+@given(batch=st.integers(min_value=1, max_value=512))
+def test_memory_monotone_in_batch(googlenet_stats, batch):
+    model = MemoryModel()
+    smaller = model.training(googlenet_stats, batch).total
+    larger = model.training(googlenet_stats, batch + 1).total
+    assert larger >= smaller
+    assert model.training(googlenet_stats, batch, is_server=True).total > smaller
+
+
+@settings(max_examples=25, deadline=None)
+@given(batch=st.integers(min_value=1, max_value=256))
+def test_pretraining_independent_of_batch(googlenet_stats, batch):
+    model = MemoryModel()
+    assert model.pretraining(googlenet_stats).total == (
+        MemoryModel().pretraining(googlenet_stats).total
+    )
+
+
+# ----------------------------------------------------------------------
+# Kernel model scale-invariance
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    flops=st.floats(min_value=1e3, max_value=1e11),
+    matmul=st.booleans(),
+)
+def test_kernel_time_superadditive_split(flops, matmul):
+    """Splitting work across two kernels never beats one kernel."""
+    model = KernelCostModel()
+    whole = model.kernel_time(flops, 0, matmul)
+    halves = 2 * model.kernel_time(flops / 2, 0, matmul)
+    assert halves >= whole - 1e-12

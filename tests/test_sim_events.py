@@ -1,0 +1,239 @@
+"""Tests for events, processes and the AllOf/AnyOf combinators."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Environment, Event, Interrupt
+
+
+# ----------------------------------------------------------------------
+# Bare events
+# ----------------------------------------------------------------------
+def test_event_value_unavailable_until_triggered():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    with pytest.raises(SimulationError):
+        _ = ev.ok
+
+
+def test_event_succeed_carries_value():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(42)
+    assert ev.triggered and ev.ok and ev.value == 42
+
+
+def test_event_double_trigger_is_error():
+    env = Environment()
+    ev = env.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError())
+
+
+def test_event_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# Processes
+# ----------------------------------------------------------------------
+def test_process_returns_generator_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        return 99
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 99
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_process_waits_on_another_process():
+    env = Environment()
+
+    def inner(env):
+        yield env.timeout(2.0)
+        return "inner"
+
+    def outer(env):
+        result = yield env.process(inner(env))
+        return (env.now, result)
+
+    p = env.process(outer(env))
+    env.run()
+    assert p.value == (2.0, "inner")
+
+
+def test_process_sees_exception_from_failed_event():
+    env = Environment()
+    failing = env.event()
+
+    def proc(env):
+        try:
+            yield failing
+        except RuntimeError as exc:
+            return f"caught {exc}"
+
+    p = env.process(proc(env))
+    failing.fail(RuntimeError("bad"))
+    env.run()
+    assert p.value == "caught bad"
+
+
+def test_process_yielding_non_event_fails():
+    env = Environment()
+
+    def proc(env):
+        yield 42  # type: ignore[misc]
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.triggered and not p.ok
+
+
+def test_yield_already_processed_event_resumes_immediately():
+    env = Environment()
+    done = env.timeout(1.0)
+    env.run()
+
+    def proc(env):
+        yield done
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 1.0  # no extra delay
+
+
+def test_interrupt_raises_inside_process():
+    env = Environment()
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as intr:
+            return ("interrupted", intr.cause, env.now)
+
+    v = env.process(victim(env))
+
+    def attacker(env, victim):
+        yield env.timeout(1.0)
+        victim.interrupt("stop")
+
+    env.process(attacker(env, v))
+    env.run()
+    assert v.value == ("interrupted", "stop", 1.0)
+
+
+def test_interrupt_on_finished_process_is_noop():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(0.5)
+
+    p = env.process(quick(env))
+    env.run()
+    p.interrupt()  # must not raise
+    env.run()
+
+
+def test_unhandled_interrupt_fails_process():
+    env = Environment()
+
+    def victim(env):
+        yield env.timeout(100.0)
+
+    v = env.process(victim(env))
+
+    def attacker(env):
+        yield env.timeout(1.0)
+        v.interrupt()
+
+    env.process(attacker(env))
+    env.run()
+    assert v.triggered and not v.ok
+
+
+# ----------------------------------------------------------------------
+# AllOf / AnyOf
+# ----------------------------------------------------------------------
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    a, b = env.timeout(1.0, "a"), env.timeout(3.0, "b")
+    combo = env.all_of([a, b])
+
+    def proc(env):
+        values = yield combo
+        return (env.now, values)
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (3.0, ["a", "b"])
+
+
+def test_all_of_empty_succeeds_immediately():
+    env = Environment()
+    combo = env.all_of([])
+    assert combo.triggered and combo.value == []
+
+
+def test_all_of_with_already_processed_events():
+    env = Environment()
+    a = env.timeout(1.0, "a")
+    env.run()
+    b = env.timeout(1.0, "b")
+    combo = env.all_of([a, b])
+    env.run()
+    assert combo.triggered and combo.value == ["a", "b"]
+
+
+def test_all_of_fails_when_member_fails():
+    env = Environment()
+    good = env.timeout(1.0)
+    bad = env.event()
+    combo = env.all_of([good, bad])
+    bad.fail(ValueError("nope"))
+    env.run()
+    assert combo.triggered and not combo.ok
+    assert isinstance(combo.value, ValueError)
+
+
+def test_any_of_fires_on_first_event():
+    env = Environment()
+    combo = env.any_of([env.timeout(5.0, "slow"), env.timeout(1.0, "fast")])
+
+    def proc(env):
+        value = yield combo
+        return (env.now, value)
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (1.0, "fast")
+
+
+def test_any_of_empty_succeeds_immediately():
+    env = Environment()
+    assert env.any_of([]).triggered
+
+
+def test_condition_rejects_foreign_environment():
+    env1, env2 = Environment(), Environment()
+    foreign = env2.event()
+    with pytest.raises(SimulationError):
+        AllOf(env1, [foreign])
+    with pytest.raises(SimulationError):
+        AnyOf(env1, [foreign])

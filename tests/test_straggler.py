@@ -1,0 +1,70 @@
+"""Tests for straggler injection (per-GPU speed factors)."""
+
+import pytest
+
+from repro import CommMethodName, SimulationConfig, TrainingConfig
+from repro.gpu import GpuDevice
+from repro.sim import Environment
+from repro.topology.nodes import GpuNode
+from repro.train import AsyncTrainer, Trainer
+
+FAST = SimulationConfig(warmup_iterations=1, measure_iterations=2)
+CONFIG = TrainingConfig("googlenet", 16, 4, comm_method=CommMethodName.NCCL)
+
+
+def test_speed_factor_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        GpuDevice(env, GpuNode.named(0), speed_factor=0.0)
+    with pytest.raises(ValueError):
+        GpuDevice(env, GpuNode.named(0), speed_factor=-1.0)
+
+
+def test_speed_factor_scales_kernel_time():
+    from repro.gpu.kernel import KernelSpec
+
+    env = Environment()
+    slow = GpuDevice(env, GpuNode.named(0), speed_factor=3.0)
+    kernel = KernelSpec("k", "l", "fp", duration=1.0, flops=0, bytes_moved=0)
+    env.process(slow.run_kernel(kernel))
+    env.run()
+    assert env.now == pytest.approx(3.0)
+
+
+def test_sync_training_paced_by_straggler():
+    base = Trainer(CONFIG, sim=FAST).run()
+    slow = Trainer(CONFIG, sim=FAST, gpu_speed_factors={2: 2.0}).run()
+    slowdown = slow.epoch_time / base.epoch_time
+    # the barrier transmits most of the 2x slowdown to the whole job
+    assert 1.4 < slowdown <= 2.1
+
+
+def test_straggler_position_immaterial_for_sync():
+    """Synchronous SGD waits for the slowest GPU wherever it sits."""
+    a = Trainer(CONFIG, sim=FAST, gpu_speed_factors={1: 2.0}).run()
+    b = Trainer(CONFIG, sim=FAST, gpu_speed_factors={3: 2.0}).run()
+    assert a.epoch_time == pytest.approx(b.epoch_time, rel=0.05)
+
+
+def test_async_tolerates_straggler():
+    base = AsyncTrainer(CONFIG, sim=FAST).run()
+    slow = AsyncTrainer(CONFIG, sim=FAST, gpu_speed_factors={2: 2.0}).run()
+    slowdown = slow.epoch_time / base.epoch_time
+    assert slowdown < 1.35  # other workers keep going
+
+
+def test_async_suffers_less_than_sync():
+    sync_base = Trainer(CONFIG, sim=FAST).run()
+    sync_slow = Trainer(CONFIG, sim=FAST, gpu_speed_factors={2: 2.0}).run()
+    async_base = AsyncTrainer(CONFIG, sim=FAST).run()
+    async_slow = AsyncTrainer(CONFIG, sim=FAST, gpu_speed_factors={2: 2.0}).run()
+    assert (async_slow.epoch_time / async_base.epoch_time) < (
+        sync_slow.epoch_time / sync_base.epoch_time
+    )
+
+
+def test_faster_gpu_does_not_help_sync():
+    """One GPU at 0.5x duration (2x speed) barely moves the barrier."""
+    base = Trainer(CONFIG, sim=FAST).run()
+    boosted = Trainer(CONFIG, sim=FAST, gpu_speed_factors={2: 0.5}).run()
+    assert boosted.epoch_time == pytest.approx(base.epoch_time, rel=0.1)

@@ -1,0 +1,111 @@
+"""Tests for the multi-node cluster topology and routing."""
+
+import pytest
+
+from repro.core.constants import CALIBRATION
+from repro.core.errors import ConfigurationError
+from repro.topology import Router, build_dgx1v, build_dgx1v_cluster, node_of_rank
+from repro.topology.cluster import GPUS_PER_NODE, IB_LANE_BANDWIDTH
+from repro.topology.links import LinkType
+from repro.topology.routing import RouteKind
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return build_dgx1v_cluster(2)
+
+
+def test_node_of_rank():
+    assert node_of_rank(0) == 0
+    assert node_of_rank(7) == 0
+    assert node_of_rank(8) == 1
+    assert node_of_rank(31) == 3
+
+
+def test_cluster_size(cluster):
+    assert len(cluster.gpus) == 16
+    assert len(cluster.cpus) == 4
+    ib = [l for l in cluster.links if l.link_type is LinkType.INFINIBAND]
+    assert len(ib) == 2  # one attachment per node
+    assert all(l.peak_bandwidth() == 4 * IB_LANE_BANDWIDTH for l in ib)
+
+
+def test_invalid_node_count():
+    with pytest.raises(ConfigurationError):
+        build_dgx1v_cluster(0)
+
+
+def test_intra_node_structure_preserved(cluster):
+    """Each node is a full DGX-1: six NVLink ports per GPU."""
+    for gpu in cluster.gpus:
+        assert cluster.nvlink_port_count(gpu) == 6
+
+
+def test_no_nvlink_across_nodes(cluster):
+    for i in range(8):
+        for j in range(8, 16):
+            assert cluster.nvlink_between(cluster.gpu(i), cluster.gpu(j)) is None
+
+
+def test_single_node_cluster_matches_dgx1():
+    single = build_dgx1v_cluster(1)
+    base = build_dgx1v()
+    router_s, router_b = Router(single), Router(base)
+    for a, b in ((0, 1), (0, 7), (3, 4)):
+        rs = router_s.gpu_to_gpu(single.gpu(a), single.gpu(b))
+        rb = router_b.gpu_to_gpu(base.gpu(a), base.gpu(b))
+        assert rs.kind == rb.kind
+
+
+def test_cross_node_route_uses_host_and_ib(cluster):
+    router = Router(cluster)
+    route = router.gpu_to_gpu(cluster.gpu(0), cluster.gpu(12))
+    assert route.kind is RouteKind.PCIE_HOST
+    link_types = {l.link_type for leg in route.legs for l in leg.links}
+    assert LinkType.INFINIBAND in link_types
+    assert LinkType.PCIE in link_types
+
+
+def test_cross_node_bandwidth_paced_by_ib_or_pcie(cluster):
+    router = Router(cluster)
+    route = router.gpu_to_gpu(cluster.gpu(0), cluster.gpu(12))
+    bw = route.bottleneck_bandwidth(CALIBRATION)
+    assert bw <= 16e9  # never faster than a PCIe/IB lane path
+
+
+def test_cross_node_slower_than_intra_node(cluster):
+    router = Router(cluster)
+    nbytes = 100 * 10**6
+    intra = router.gpu_to_gpu(cluster.gpu(0), cluster.gpu(1))
+    inter = router.gpu_to_gpu(cluster.gpu(0), cluster.gpu(12))
+    assert inter.serialized_time(nbytes, CALIBRATION) > (
+        3 * intra.serialized_time(nbytes, CALIBRATION)
+    )
+
+
+def test_home_cpu_per_node(cluster):
+    assert cluster.home_cpu(cluster.gpu(0)).socket == 0
+    assert cluster.home_cpu(cluster.gpu(12)).socket == 3
+
+
+def test_host_path_same_node_is_qpi(cluster):
+    path = cluster.host_path(cluster.cpu(0), cluster.cpu(1))
+    assert len(path) == 2  # direct QPI
+
+
+def test_host_path_cross_node_via_ib_switch(cluster):
+    path = cluster.host_path(cluster.cpu(0), cluster.cpu(2))
+    names = [n.name for n in path]
+    assert "ibswitch" in names
+    assert "nic0" in names and "nic1" in names
+
+
+def test_multi_node_ring_paced_by_ib(cluster):
+    from repro.comm.nccl.rings import build_ring_plan
+
+    plan = build_ring_plan(cluster, range(16))
+    assert plan.channel_bandwidth == pytest.approx(
+        IB_LANE_BANDWIDTH * CALIBRATION.nccl_bandwidth_efficiency
+    )
+    single = build_ring_plan(cluster, range(8))
+    assert single.channel_bandwidth > plan.channel_bandwidth

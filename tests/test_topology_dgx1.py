@@ -1,0 +1,111 @@
+"""Structural tests of the DGX-1 topology against the paper's description."""
+
+import itertools
+
+import pytest
+
+from repro.topology import Router, build_dgx1v
+from repro.topology.links import LinkType
+from repro.topology.nodes import CpuNode, GpuNode
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_dgx1v()
+
+
+@pytest.fixture(scope="module")
+def router(topo):
+    return Router(topo)
+
+
+def test_node_inventory(topo):
+    assert len(topo.gpus) == 8
+    assert len(topo.cpus) == 2
+    assert len(topo.nodes) == 14  # + 4 PCIe switches
+
+
+def test_every_gpu_has_exactly_six_nvlink_ports(topo):
+    for gpu in topo.gpus:
+        assert topo.nvlink_port_count(gpu) == 6
+
+
+def test_sixteen_nvlink_connections(topo):
+    nvlinks = [l for l in topo.links if l.link_type is LinkType.NVLINK]
+    assert len(nvlinks) == 16
+    assert sum(l.width for l in nvlinks) == 24  # 8 GPUs x 6 ports / 2
+
+
+def test_dual_and_single_links_exist(topo):
+    widths = {l.width for l in topo.links if l.link_type is LinkType.NVLINK}
+    assert widths == {1, 2}
+
+
+def test_gpu0_has_two_dual_and_two_single_neighbors(topo):
+    """The asymmetry the paper exploits: some workers see 2x bandwidth."""
+    g0 = topo.gpu(0)
+    widths = sorted(
+        topo.nvlink_between(g0, n).width for n in topo.nvlink_neighbors(g0)
+    )
+    assert widths == [1, 1, 2, 2]
+
+
+def test_some_gpu_pairs_not_directly_connected(topo):
+    unconnected = [
+        (a, b)
+        for a, b in itertools.combinations(range(8), 2)
+        if topo.nvlink_between(topo.gpu(a), topo.gpu(b)) is None
+    ]
+    # 28 pairs, 16 links -> 12 pairs need staging
+    assert len(unconnected) == 12
+
+
+def test_max_two_nvlink_hops_between_any_pair(topo, router):
+    for a, b in itertools.combinations(range(8), 2):
+        assert router.nvlink_distance(topo.gpu(a), topo.gpu(b)) <= 2
+
+
+def test_quads_fully_connected(topo):
+    """Devices 0-3 (and 4-7) are cliques, so NCCL rings stay on NVLink."""
+    for quad in (range(0, 4), range(4, 8)):
+        for a, b in itertools.combinations(quad, 2):
+            assert topo.nvlink_between(topo.gpu(a), topo.gpu(b)) is not None
+
+
+def test_dual_link_aggregated_bandwidth(topo):
+    dual = topo.nvlink_between(topo.gpu(0), topo.gpu(3))
+    single = topo.nvlink_between(topo.gpu(0), topo.gpu(1))
+    assert dual.peak_bandwidth() == 2 * single.peak_bandwidth()
+    assert single.peak_bandwidth() == 25e9
+
+
+def test_gpus_split_across_cpu_sockets(topo):
+    homes = [topo.home_cpu(topo.gpu(i)).socket for i in range(8)]
+    assert homes == [0, 0, 0, 0, 1, 1, 1, 1]
+
+
+def test_pcie_path_goes_through_switch(topo):
+    path = topo.pcie_path(topo.gpu(0))
+    assert isinstance(path[0], GpuNode)
+    assert isinstance(path[-1], CpuNode)
+    assert len(path) == 3  # gpu -> plx -> cpu
+
+
+def test_qpi_connects_sockets(topo):
+    qpi = topo.link_between(topo.cpu(0), topo.cpu(1))
+    assert qpi is not None and qpi.link_type is LinkType.QPI
+
+
+def test_pcie_only_variant_has_no_nvlink():
+    topo = build_dgx1v(nvlink=False)
+    assert not [l for l in topo.links if l.link_type is LinkType.NVLINK]
+    # GPUs are still reachable via the host
+    router = Router(topo)
+    route = router.gpu_to_gpu(topo.gpu(0), topo.gpu(1))
+    assert route.kind.value == "pcie_host"
+
+
+def test_uniform_width_variant_collapses_duals():
+    topo = build_dgx1v(uniform_link_width=1)
+    widths = {l.width for l in topo.links if l.link_type is LinkType.NVLINK}
+    assert widths == {1}

@@ -1,0 +1,117 @@
+"""Tests for the runtime fabric: DMA timing, contention, pipelining."""
+
+import pytest
+
+from repro.core.constants import CALIBRATION
+from repro.sim import Environment
+from repro.topology import Fabric, Router, build_dgx1v
+from repro.topology.links import LinkType
+
+
+@pytest.fixture()
+def setup():
+    env = Environment()
+    topo = build_dgx1v()
+    fabric = Fabric(env, topo, CALIBRATION)
+    return env, topo, fabric, Router(topo)
+
+
+def test_single_dma_time_matches_model(setup):
+    env, topo, fabric, router = setup
+    route = router.gpu_to_gpu(topo.gpu(0), topo.gpu(1))
+    nbytes = 25 * 10**6
+
+    done = env.process(fabric.transfer(route, nbytes))
+    env.run()
+    expected = route.serialized_time(nbytes, CALIBRATION)
+    assert env.now == pytest.approx(expected)
+
+
+def test_same_direction_transfers_serialize(setup):
+    env, topo, fabric, router = setup
+    route = router.gpu_to_gpu(topo.gpu(0), topo.gpu(1))
+    nbytes = 23 * 10**6  # ~1ms on the single link
+
+    env.process(fabric.transfer(route, nbytes))
+    env.process(fabric.transfer(route, nbytes))
+    env.run()
+    single = route.serialized_time(nbytes, CALIBRATION)
+    assert env.now == pytest.approx(2 * single)
+
+
+def test_opposite_directions_run_in_parallel(setup):
+    env, topo, fabric, router = setup
+    fwd = router.gpu_to_gpu(topo.gpu(0), topo.gpu(1))
+    rev = router.gpu_to_gpu(topo.gpu(1), topo.gpu(0))
+    nbytes = 23 * 10**6
+
+    env.process(fabric.transfer(fwd, nbytes))
+    env.process(fabric.transfer(rev, nbytes))
+    env.run()
+    assert env.now == pytest.approx(fwd.serialized_time(nbytes, CALIBRATION))
+
+
+def test_disjoint_links_run_in_parallel(setup):
+    env, topo, fabric, router = setup
+    r1 = router.gpu_to_gpu(topo.gpu(0), topo.gpu(1))
+    r2 = router.gpu_to_gpu(topo.gpu(2), topo.gpu(3))
+    nbytes = 23 * 10**6
+
+    env.process(fabric.transfer(r1, nbytes))
+    env.process(fabric.transfer(r2, nbytes))
+    env.run()
+    slower = max(
+        r1.serialized_time(nbytes, CALIBRATION),
+        r2.serialized_time(nbytes, CALIBRATION),
+    )
+    assert env.now == pytest.approx(slower)
+
+
+def test_bytes_accounting(setup):
+    env, topo, fabric, router = setup
+    route = router.gpu_to_gpu(topo.gpu(0), topo.gpu(1))
+    env.process(fabric.transfer(route, 1000))
+    env.run()
+    link_name = route.legs[0].links[0].name
+    assert fabric.bytes_moved[link_name] == 1000
+    assert fabric.busy_time[link_name] > 0
+
+
+def test_staged_transfer_sums_legs(setup):
+    env, topo, fabric, router = setup
+    route = router.gpu_to_gpu(topo.gpu(0), topo.gpu(7))
+    assert len(route.legs) == 2
+    nbytes = 50 * 10**6
+    env.process(fabric.transfer(route, nbytes))
+    env.run()
+    assert env.now == pytest.approx(route.serialized_time(nbytes, CALIBRATION))
+
+
+def test_pipelined_transfer_beats_store_and_forward(setup):
+    env, topo, fabric, router = setup
+    route = router.gpu_to_gpu(topo.gpu(0), topo.gpu(7))
+    nbytes = 64 * 10**6
+    done = env.process(fabric.pipelined_transfer(route, nbytes, 4 * 2**20))
+    env.run()
+    pipelined = env.now
+    serialized = route.serialized_time(nbytes, CALIBRATION)
+    assert pipelined < serialized
+    # asymptotically the bottleneck leg dominates
+    bottleneck = nbytes / route.bottleneck_bandwidth(CALIBRATION)
+    assert pipelined < 1.3 * bottleneck + 0.001
+
+
+def test_pipelined_transfer_single_leg_equals_plain(setup):
+    env, topo, fabric, router = setup
+    route = router.gpu_to_gpu(topo.gpu(0), topo.gpu(1))
+    nbytes = 10 * 10**6
+    env.process(fabric.pipelined_transfer(route, nbytes, 4 * 2**20))
+    env.run()
+    assert env.now == pytest.approx(route.serialized_time(nbytes, CALIBRATION))
+
+
+def test_channel_lookup_rejects_non_endpoint(setup):
+    env, topo, fabric, _ = setup
+    link = next(l for l in topo.links if l.link_type is LinkType.NVLINK)
+    with pytest.raises(ValueError):
+        fabric.channel(link, topo.cpu(0))

@@ -1,0 +1,128 @@
+"""Tests for the routing layer."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.constants import CALIBRATION
+from repro.topology import Router, build_dgx1v
+from repro.topology.routing import RouteKind
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_dgx1v()
+
+
+@pytest.fixture(scope="module")
+def router(topo):
+    return Router(topo)
+
+
+def test_local_route_is_empty(topo, router):
+    route = router.gpu_to_gpu(topo.gpu(3), topo.gpu(3))
+    assert route.kind is RouteKind.LOCAL
+    assert route.legs == ()
+    assert route.serialized_time(10**9, CALIBRATION) == 0.0
+
+
+def test_direct_route_single_leg(topo, router):
+    route = router.gpu_to_gpu(topo.gpu(0), topo.gpu(1))
+    assert route.kind is RouteKind.DIRECT_NVLINK
+    assert len(route.legs) == 1
+    assert route.hop_count == 1
+
+
+def test_staged_route_two_legs(topo, router):
+    route = router.gpu_to_gpu(topo.gpu(0), topo.gpu(7))
+    assert route.kind is RouteKind.STAGED_NVLINK
+    assert len(route.legs) == 2
+    # relay endpoint consistency
+    assert route.legs[0].dst == route.legs[1].src
+
+
+def test_staged_relay_prefers_wide_hops(topo, router):
+    """The relay maximizes the narrower of its two hops."""
+    route = router.gpu_to_gpu(topo.gpu(0), topo.gpu(7))
+    for leg in route.legs:
+        assert leg.links[0].width == 2  # 0-4-7 or 0-3-7? 0-4 (w2) + 4-7 (w2)
+
+
+def test_all_pairs_routable(topo, router):
+    for a, b in itertools.permutations(range(8), 2):
+        route = router.gpu_to_gpu(topo.gpu(a), topo.gpu(b))
+        assert route.kind in (
+            RouteKind.DIRECT_NVLINK,
+            RouteKind.STAGED_NVLINK,
+            RouteKind.PCIE_HOST,
+        )
+        assert route.legs[0].src == topo.gpu(a)
+        assert route.legs[-1].dst == topo.gpu(b)
+
+
+def test_routing_symmetry(topo, router):
+    """Route kind (and thus hop count) is symmetric on this fabric."""
+    for a, b in itertools.combinations(range(8), 2):
+        fwd = router.gpu_to_gpu(topo.gpu(a), topo.gpu(b))
+        rev = router.gpu_to_gpu(topo.gpu(b), topo.gpu(a))
+        assert fwd.kind == rev.kind
+        assert fwd.hop_count == rev.hop_count
+
+
+def test_pcie_host_route_on_nvlink_free_fabric():
+    topo = build_dgx1v(nvlink=False)
+    router = Router(topo)
+    same_socket = router.gpu_to_gpu(topo.gpu(0), topo.gpu(1))
+    cross_socket = router.gpu_to_gpu(topo.gpu(0), topo.gpu(7))
+    assert same_socket.kind is RouteKind.PCIE_HOST
+    assert cross_socket.kind is RouteKind.PCIE_HOST
+    # crossing sockets adds the QPI hop
+    assert cross_socket.hop_count == same_socket.hop_count + 1
+
+
+def test_host_route_slower_than_nvlink(topo, router):
+    nvlink = router.gpu_to_gpu(topo.gpu(0), topo.gpu(1))
+    host = Router(build_dgx1v(nvlink=False)).gpu_to_gpu(topo.gpu(0), topo.gpu(1))
+    nbytes = 100 * 10**6
+    assert host.serialized_time(nbytes, CALIBRATION) > nvlink.serialized_time(
+        nbytes, CALIBRATION
+    )
+
+
+def test_cpu_to_gpu_route(topo, router):
+    route = router.cpu_to_gpu(topo.cpu(0), topo.gpu(2))
+    assert route.kind is RouteKind.PCIE_LOCAL
+    assert len(route.legs) == 1
+
+
+def test_cpu_to_remote_gpu_crosses_qpi(topo, router):
+    local = router.cpu_to_gpu(topo.cpu(0), topo.gpu(0))
+    remote = router.cpu_to_gpu(topo.cpu(0), topo.gpu(5))
+    assert remote.hop_count == local.hop_count + 1
+
+
+@given(
+    a=st.integers(min_value=0, max_value=7),
+    b=st.integers(min_value=0, max_value=7),
+    nbytes=st.integers(min_value=1, max_value=10**9),
+)
+def test_serialized_time_positive_and_monotone_property(a, b, nbytes):
+    topo = build_dgx1v()
+    router = Router(topo)
+    route = router.gpu_to_gpu(topo.gpu(a), topo.gpu(b))
+    if a == b:
+        assert route.serialized_time(nbytes, CALIBRATION) == 0.0
+        return
+    t1 = route.serialized_time(nbytes, CALIBRATION)
+    t2 = route.serialized_time(nbytes * 2, CALIBRATION)
+    assert 0 < t1 < t2
+
+
+def test_bottleneck_bandwidth_reflects_narrowest_leg(topo, router):
+    route = router.gpu_to_gpu(topo.gpu(0), topo.gpu(3))  # dual link
+    single = router.gpu_to_gpu(topo.gpu(0), topo.gpu(1))  # single link
+    assert route.bottleneck_bandwidth(CALIBRATION) == pytest.approx(
+        2 * single.bottleneck_bandwidth(CALIBRATION)
+    )

@@ -1,0 +1,58 @@
+"""Tests for the synthetic dataset."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.dnn.shapes import Shape
+from repro.train import SyntheticImageDataset, imagenet_subset
+
+
+def test_bytes_per_image():
+    ds = imagenet_subset(100, Shape(3, 224, 224))
+    assert ds.bytes_per_image == 3 * 224 * 224 * 4
+    assert ds.total_bytes == 100 * ds.bytes_per_image
+
+
+def test_batches_cover_dataset():
+    ds = imagenet_subset(100, Shape(3, 32, 32))
+    batches = list(ds.batches(32))
+    assert batches == [32, 32, 32, 4]
+    assert sum(batches) == 100
+
+
+def test_num_batches_matches_iteration():
+    ds = imagenet_subset(1000, Shape(3, 32, 32))
+    assert ds.num_batches(64) == len(list(ds.batches(64)))
+
+
+def test_invalid_dataset_rejected():
+    with pytest.raises(ConfigurationError):
+        SyntheticImageDataset("d", 0, Shape(3, 2, 2))
+
+
+def test_invalid_batch_rejected():
+    ds = imagenet_subset(10, Shape(3, 2, 2))
+    with pytest.raises(ConfigurationError):
+        list(ds.batches(0))
+
+
+def test_scaled_for_weak_scaling():
+    ds = imagenet_subset(256, Shape(3, 32, 32))
+    big = ds.scaled(4)
+    assert big.num_images == 1024
+    assert big.image_shape == ds.image_shape
+    assert "x4" in big.name
+
+
+@given(
+    images=st.integers(min_value=1, max_value=10_000),
+    batch=st.integers(min_value=1, max_value=512),
+)
+def test_batches_partition_property(images, batch):
+    ds = imagenet_subset(images, Shape(3, 8, 8))
+    batches = list(ds.batches(batch))
+    assert sum(batches) == images
+    assert all(0 < b <= batch for b in batches)
+    assert all(b == batch for b in batches[:-1])

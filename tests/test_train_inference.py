@@ -1,0 +1,86 @@
+"""Tests for the inference estimator."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, OutOfMemoryError
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.shapes import Shape
+from repro.gpu.spec import TESLA_P100
+from repro.train import InferenceEstimator
+
+
+@pytest.fixture(scope="module")
+def resnet():
+    return InferenceEstimator("resnet")
+
+
+def test_latency_positive_and_monotone(resnet):
+    p1, p8 = resnet.estimate(1), resnet.estimate(8)
+    assert 0 < p1.latency < p8.latency
+
+
+def test_batching_improves_throughput(resnet):
+    p1, p32 = resnet.estimate(1), resnet.estimate(32)
+    assert p32.throughput_per_gpu > 2 * p1.throughput_per_gpu
+
+
+def test_replica_throughput_linear(resnet):
+    p = resnet.estimate(16)
+    assert p.throughput(8) == pytest.approx(8 * p.throughput_per_gpu)
+    with pytest.raises(ConfigurationError):
+        p.throughput(0)
+
+
+def test_memory_check(resnet):
+    with pytest.raises(OutOfMemoryError):
+        resnet.estimate(4096)
+    est = resnet.estimate(4096, check_memory=False)
+    assert est.latency > 0
+
+
+def test_sweep_stops_at_oom(resnet):
+    points = resnet.sweep(batches=(1, 64, 4096))
+    assert len(points) == 2
+
+
+def test_max_throughput_batch(resnet):
+    best = resnet.max_throughput_batch()
+    assert best.batch_size >= 32
+    assert best.throughput_per_gpu > resnet.estimate(1).throughput_per_gpu
+
+
+def test_inference_faster_than_training_iteration():
+    """FP alone beats FP+BP+WU at the same batch."""
+    from repro import CommMethodName, SimulationConfig, TrainingConfig, train
+
+    est = InferenceEstimator("resnet").estimate(16)
+    r = train(TrainingConfig("resnet", 16, 1, comm_method=CommMethodName.P2P),
+              sim=SimulationConfig(1, 2))
+    assert est.latency < r.iteration_time / 2
+
+
+def test_custom_network():
+    b = NetworkBuilder("tiny")
+    b.conv(8, 3, pad=1)
+    b.global_avgpool()
+    b.dense(10)
+    est = InferenceEstimator("tiny", network=b.build(), input_shape=Shape(3, 32, 32))
+    assert est.estimate(4).latency > 0
+    with pytest.raises(ConfigurationError):
+        InferenceEstimator("tiny", network=b.build())
+
+
+def test_slower_gpu_slower_inference():
+    v100 = InferenceEstimator("inception-v3").estimate(16)
+    p100 = InferenceEstimator("inception-v3", spec=TESLA_P100,
+                              use_tensor_cores=False).estimate(16)
+    assert p100.latency > v100.latency
+
+
+def test_invalid_batch(resnet):
+    with pytest.raises(ConfigurationError):
+        resnet.estimate(0)
+
+
+def test_describe(resnet):
+    assert "ms/batch" in resnet.estimate(4).describe()

@@ -1,0 +1,67 @@
+"""Tests for TrainingResult's derived metrics."""
+
+import pytest
+
+from repro.core.config import CommMethodName, ScalingMode, TrainingConfig
+from repro.profile.summary import ApiSummary, StageBreakdown
+from repro.train.results import TrainingResult
+
+
+def _result(epoch=10.0, wu=0.001, iteration=0.01, gpus=4, images=256 * 1024,
+            scaling=ScalingMode.STRONG, batch=16):
+    config = TrainingConfig("lenet", batch, gpus,
+                            comm_method=CommMethodName.NCCL, scaling=scaling,
+                            dataset_images=images)
+    stages = StageBreakdown(fp=0.004, bp=0.005, wu=wu, iteration=iteration)
+    return TrainingResult(
+        config=config,
+        iteration_time=iteration,
+        iteration_times=(iteration,) * 3,
+        epoch_time=epoch,
+        fixed_overhead=0.2,
+        stages=stages,
+        apis=ApiSummary(totals=(("cudaStreamSynchronize", 1.0),)),
+        gpu_busy={i: 0.8 for i in range(gpus)},
+        compute_utilization=0.1,
+        memory=(),
+    )
+
+
+def test_epoch_splits_into_two_buckets():
+    r = _result()
+    assert r.epoch_fp_bp_time + r.epoch_wu_time == pytest.approx(r.epoch_time)
+
+
+def test_wu_time_scales_with_iterations():
+    r = _result()
+    assert r.epoch_wu_time == pytest.approx(r.iterations_per_epoch * 0.001)
+
+
+def test_images_per_second():
+    r = _result(epoch=10.0)
+    assert r.images_per_second == pytest.approx(256 * 1024 / 10.0)
+
+
+def test_speedup_over_strong():
+    base = _result(epoch=20.0, gpus=1)
+    fast = _result(epoch=5.0, gpus=4)
+    assert fast.speedup_over(base) == pytest.approx(4.0)
+
+
+def test_speedup_over_weak_normalizes_per_image():
+    base = _result(epoch=10.0, gpus=1, scaling=ScalingMode.WEAK)
+    weak = _result(epoch=10.0, gpus=4, scaling=ScalingMode.WEAK)
+    # same epoch time over 4x the data = 4x speedup
+    assert weak.speedup_over(base) == pytest.approx(4.0)
+
+
+def test_stage_breakdown_fractions():
+    r = _result(wu=0.002, iteration=0.01)
+    assert r.stages.wu_fraction == pytest.approx(0.2)
+    assert r.stages.fp_bp == pytest.approx(0.009)
+
+
+def test_describe_contains_key_numbers():
+    text = _result().describe()
+    assert "epoch=10.00s" in text
+    assert "img/s" in text

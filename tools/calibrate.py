@@ -1,0 +1,112 @@
+"""Calibration harness: prints the paper anchors next to simulated values.
+
+Run after any change to ``repro.core.constants`` to confirm the anchors in
+DESIGN.md section 4 still hold.  This is a development tool; the benchmark
+suite asserts the same shapes programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro import CommMethodName, SimulationConfig, TrainingConfig, train
+
+
+def lenet_scaling() -> None:
+    print("== A1/A2: LeNet b16 speedups (paper P2P 1.62/2.37/3.36, NCCL 1.56/2.27/2.77)")
+    for method in (CommMethodName.P2P, CommMethodName.NCCL):
+        base = None
+        row = []
+        for n in (1, 2, 4, 8):
+            r = train(TrainingConfig("lenet", 16, n, comm_method=method))
+            if base is None:
+                base = r
+            row.append(f"g{n}:{r.speedup_over(base):.2f} (iter {r.iteration_time*1e3:.2f}ms)")
+        print(f"  {method.value:4s}: " + "  ".join(row))
+
+
+def nccl_single_gpu_overhead() -> None:
+    print("== A3: single-GPU NCCL overhead %% (paper: lenet ~21.8%% @b16, rising with b for small nets)")
+    for net in ("lenet", "alexnet", "resnet", "googlenet", "inception-v3"):
+        row = []
+        for b in (16, 32, 64):
+            p = train(TrainingConfig(net, b, 1, comm_method=CommMethodName.P2P))
+            n = train(TrainingConfig(net, b, 1, comm_method=CommMethodName.NCCL))
+            row.append(f"b{b}:{100*(n.epoch_time/p.epoch_time - 1):6.2f}%")
+        print(f"  {net:13s} " + "  ".join(row))
+
+
+def big_net_advantage() -> None:
+    print("== A4/A5: NCCL advantage = p2p_epoch/nccl_epoch @b16"
+          " (paper: googlenet 1.1/1.2 @g4/g8; resnet,inception 1.1/1.25; alexnet & lenet <= 1.0)")
+    for net in ("lenet", "alexnet", "resnet", "googlenet", "inception-v3"):
+        row = []
+        for n in (2, 4, 8):
+            p = train(TrainingConfig(net, 16, n, comm_method=CommMethodName.P2P))
+            c = train(TrainingConfig(net, 16, n, comm_method=CommMethodName.NCCL))
+            row.append(f"g{n}:{p.epoch_time/c.epoch_time:5.2f}")
+        print(f"  {net:13s} " + "  ".join(row))
+
+
+def batch_scaling() -> None:
+    print("== A6: LeNet g4 P2P batch scaling (paper: x1.92 @b32, x3.67 @b64)")
+    base = train(TrainingConfig("lenet", 16, 4, comm_method=CommMethodName.P2P))
+    for b in (32, 64):
+        r = train(TrainingConfig("lenet", b, 4, comm_method=CommMethodName.P2P))
+        print(f"  b{b}: x{base.epoch_time / r.epoch_time:.2f}")
+
+
+def two_gpu_speedup() -> None:
+    print("== A7: 1->2 GPU speedup @b16 (paper: up to ~1.8 for all workloads)")
+    for method in (CommMethodName.P2P, CommMethodName.NCCL):
+        row = []
+        for net in ("lenet", "alexnet", "resnet", "googlenet", "inception-v3"):
+            r1 = train(TrainingConfig(net, 16, 1, comm_method=method))
+            r2 = train(TrainingConfig(net, 16, 2, comm_method=method))
+            row.append(f"{net}:{r2.speedup_over(r1):.2f}")
+        print(f"  {method.value:4s}: " + "  ".join(row))
+
+
+def fp_bp_wu_scaling() -> None:
+    print("== A8/A9: NCCL stage scaling @b16 (paper: inception fp+bp near-linear;"
+          " wu linear only for alexnet)")
+    for net in ("lenet", "alexnet", "resnet", "googlenet", "inception-v3"):
+        rows = []
+        for n in (2, 4, 8):
+            r = train(TrainingConfig(net, 16, n, comm_method=CommMethodName.NCCL))
+            rows.append((n, r.epoch_fp_bp_time, r.epoch_wu_time))
+        base_n, base_fpbp, base_wu = rows[0]
+        desc = []
+        for n, fpbp, wu in rows:
+            s_fpbp = base_fpbp * base_n / (fpbp * n) * (n / base_n)
+            desc.append(
+                f"g{n}: fp+bp {fpbp:7.1f}s (x{base_fpbp/fpbp:4.2f}) wu {wu:6.1f}s"
+                f" (x{(base_wu/wu) if wu else float('nan'):4.2f})"
+            )
+        print(f"  {net:13s} " + " | ".join(desc))
+
+
+SECTIONS = {
+    "lenet": lenet_scaling,
+    "table2": nccl_single_gpu_overhead,
+    "advantage": big_net_advantage,
+    "batch": batch_scaling,
+    "2gpu": two_gpu_speedup,
+    "stages": fp_bp_wu_scaling,
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("sections", nargs="*", default=list(SECTIONS),
+                        help=f"subset of {sorted(SECTIONS)}")
+    args = parser.parse_args()
+    start = time.time()
+    for name in args.sections or SECTIONS:
+        SECTIONS[name]()
+    print(f"[{time.time() - start:.1f}s]")
+
+
+if __name__ == "__main__":
+    main()
