@@ -1,39 +1,68 @@
 #!/usr/bin/env python3
-"""Export an nvprof-style timeline of a training run as a Chrome trace.
+"""Profile a training run and export it three ways: Chrome trace,
+Prometheus metrics, and a JSONL event log.
 
-Open the resulting JSON in chrome://tracing or https://ui.perfetto.dev to
-see kernels per GPU, P2P/NCCL transfers on the fabric, API calls, and the
-FP/BP/WU stage spans.
+The run is observed through an ObsSession: every component publishes
+typed events onto the session's bus, a bridge keeps labelled metrics
+(per-NVLink byte/wait counters, ring-step histograms, queue depth), and
+a recorder captures the raw stream. Open the trace in chrome://tracing
+or https://ui.perfetto.dev to see kernels per GPU, fabric transfers,
+API calls, and the FP/BP/WU stage spans in named lanes.
 
-Run:  python examples/profile_timeline.py [output.json]
+Run:  python examples/profile_timeline.py [output_prefix]
 """
 
 import sys
 
 from repro import CommMethodName, SimulationConfig, TrainingConfig
+from repro.obs import ObsSession, render_prometheus
 from repro.profile import export_chrome_trace
 from repro.train import Trainer
 
 
 def main() -> None:
-    out_path = sys.argv[1] if len(sys.argv) > 1 else "resnet_timeline.json"
+    prefix = sys.argv[1] if len(sys.argv) > 1 else "resnet_profile"
 
     config = TrainingConfig("resnet", 16, 4, comm_method=CommMethodName.NCCL)
+    obs = ObsSession()
     trainer = Trainer(
         config,
         sim=SimulationConfig(warmup_iterations=1, measure_iterations=2),
         keep_profiler=True,
+        obs=obs,
     )
     result = trainer.run()
+    profiler = result.profiler
 
-    with open(out_path, "w") as fp:
-        export_chrome_trace(result.profiler, fp)
+    trace_path = f"{prefix}.trace.json"
+    with open(trace_path, "w") as fp:
+        export_chrome_trace(profiler, fp)
 
-    kernels = len(result.profiler.kernels)
-    transfers = len(result.profiler.transfers)
-    print(f"simulated {config.describe()}: iteration = {result.iteration_time*1e3:.2f} ms")
-    print(f"wrote {out_path}: {kernels} kernels, {transfers} transfers")
-    print("open it in chrome://tracing or https://ui.perfetto.dev")
+    prom_path = f"{prefix}.prom"
+    with open(prom_path, "w") as fp:
+        fp.write(render_prometheus(obs.registry))
+
+    jsonl_path = f"{prefix}.jsonl"
+    with open(jsonl_path, "w") as fp:
+        events = obs.recorder.write(fp)
+
+    print(f"simulated {config.describe()}: "
+          f"iteration = {result.iteration_time*1e3:.2f} ms")
+    print(f"wrote {trace_path}: {len(profiler.kernels)} kernels, "
+          f"{len(profiler.transfers)} transfers "
+          "(open in chrome://tracing or https://ui.perfetto.dev)")
+    print(f"wrote {prom_path}: Prometheus text exposition")
+    print(f"wrote {jsonl_path}: {events} raw bus events")
+
+    # A taste of the metrics: bytes and contention wait per NVLink pair.
+    print("\nNVLink traffic over the measured window:")
+    for labels in obs.registry.label_sets("link_bytes_total"):
+        if labels["link_type"] != "nvlink":
+            continue
+        nbytes = obs.registry.counter_value("link_bytes_total", **labels)
+        wait = obs.registry.counter_value("link_wait_time_total", **labels)
+        print(f"  {labels['src']} -> {labels['dst']}: "
+              f"{nbytes/2**20:8.1f} MiB, waited {wait*1e3:.2f} ms")
 
 
 if __name__ == "__main__":

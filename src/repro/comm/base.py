@@ -131,3 +131,13 @@ class Communicator(abc.ABC):
                          start: float, end: float) -> None:
         if self.profiler is not None:
             self.profiler.record_transfer(kind, src, dst, nbytes, start, end)
+
+    def _publish(self, event) -> None:
+        """Emit a typed observability event through the profiler's bus.
+
+        Tolerates bare profilers (anything with only ``record_*`` methods)
+        by doing nothing when no ``publish`` hook exists.
+        """
+        publish = getattr(self.profiler, "publish", None)
+        if publish is not None:
+            publish(event)

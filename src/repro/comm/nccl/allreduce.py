@@ -20,6 +20,7 @@ from typing import Generator
 
 from repro.comm.nccl.communicator import NcclCommunicator
 from repro.dnn.stats import WeightArray
+from repro.obs.events import RingStepEvent
 from repro.sim.events import Event
 
 
@@ -27,6 +28,30 @@ class NcclAllReduceCommunicator(NcclCommunicator):
     """AllReduce + replicated local SGD (DDP/Horovod style)."""
 
     name = "nccl-allreduce"
+
+    def _emit_ring_steps(
+        self, collective: str, array: WeightArray,
+        start: float, end: float, wire_bytes: int,
+    ) -> None:
+        """Reduce-scatter + all-gather: ``2(N-1)`` step windows in which
+        *every* ring link is simultaneously active carrying an ``S/N``
+        chunk -- the structure "Demystifying NCCL" times step by step."""
+        hops = self._ring_hops
+        n = self.plan.size
+        if not hops or n < 2 or end <= start:
+            return
+        num_steps = 2 * (n - 1)
+        slot = (end - start) / num_steps
+        chunk = max(1, wire_bytes // n)
+        for step in range(num_steps):
+            t0 = start + step * slot
+            t1 = start + (step + 1) * slot
+            for src, dst, _, link_type in hops:
+                self._publish(RingStepEvent(
+                    collective=collective, array=array.name, step=step,
+                    src=src, dst=dst, link_type=link_type, nbytes=chunk,
+                    start=t0, end=t1,
+                ))
 
     def allreduce_duration(self, nbytes: int) -> float:
         """Pipelined ring AllReduce: reduce-scatter + all-gather.
@@ -61,9 +86,11 @@ class NcclAllReduceCommunicator(NcclCommunicator):
         c = self.constants
         wire_bytes = self._comm_bytes(array)
         duration = self.allreduce_duration(wire_bytes)
+        queued = self.env.now
         req = self._stream.request()
         yield req
         start = self.env.now
+        self._emit_stream_waits(start - queued, start)
         taxes = [
             self.env.process(
                 dev.run_kernel(
@@ -77,5 +104,6 @@ class NcclAllReduceCommunicator(NcclCommunicator):
             yield self.env.all_of(taxes)
         finally:
             self._stream.release(req)
+        self._emit_ring_steps("allreduce", array, start, start + duration, wire_bytes)
         self._record_transfer("nccl", self.server.index, -1, wire_bytes,
                               start, self.env.now)

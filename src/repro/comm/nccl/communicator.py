@@ -15,13 +15,17 @@ setup is paid once per run (``nccl_epoch_fixed_overhead``).
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator, List, Optional, Tuple
 
 from repro.comm.base import Communicator
 from repro.comm.nccl.rings import RingPlan, build_ring_plan
 from repro.dnn.stats import WeightArray
+from repro.obs.events import LinkWaitEvent, RingStepEvent
 from repro.sim import Resource
 from repro.sim.events import Event
+
+#: One directed ring hop: (src GPU, dst GPU, link name, link type).
+RingHop = Tuple[int, int, str, str]
 
 
 class NcclCommunicator(Communicator):
@@ -37,6 +41,70 @@ class NcclCommunicator(Communicator):
             [d.index for d in self.devices],
             self.constants,
         )
+        self._ring_hops: List[RingHop] = self._build_ring_hops()
+
+    def _build_ring_hops(self) -> List[RingHop]:
+        """The directed (src -> dst) hops around the ring, with the
+        physical link each hop rides (NVLink, or the PCIe/IB fallback)."""
+        order = self.plan.order
+        if len(order) < 2:
+            return []
+        topology = self.fabric.topology
+        from repro.topology.cluster import GPUS_PER_NODE
+
+        hops: List[RingHop] = []
+        for a, b in zip(order, order[1:] + order[:1]):
+            link = topology.nvlink_between(topology.gpu(a), topology.gpu(b))
+            if link is not None:
+                hops.append((a, b, link.name, link.link_type.value))
+            elif a // GPUS_PER_NODE != b // GPUS_PER_NODE:
+                hops.append((a, b, f"gpu{a}<->gpu{b}:infiniband", "infiniband"))
+            else:
+                hops.append((a, b, f"gpu{a}<->gpu{b}:pcie", "pcie"))
+        return hops
+
+    # ------------------------------------------------------------------
+    # Ring-step observability
+    # ------------------------------------------------------------------
+    def _emit_stream_waits(self, wait: float, at: float) -> None:
+        """Attribute NCCL-stream queueing to the ring links it waited on.
+
+        A collective that queues behind the previous array is waiting for
+        exactly the ring's links, so the wait is charged to every hop --
+        this is the per-link contention counter the Prometheus export
+        surfaces as ``link_wait_time_total``.
+        """
+        if wait <= 0:
+            return
+        for src, dst, link_name, link_type in self._ring_hops:
+            self._publish(LinkWaitEvent(
+                link=link_name, src=f"gpu{src}", dst=f"gpu{dst}",
+                link_type=link_type, wait=wait, at=at,
+            ))
+
+    def _emit_ring_steps(
+        self, collective: str, array: WeightArray,
+        start: float, end: float, wire_bytes: int,
+    ) -> None:
+        """Per-ring-step timing of one collective window.
+
+        Root-bound Reduce/Broadcast streams the full payload through each
+        hop as the data front advances: ``N-1`` sequential step windows,
+        one hop each, ``wire_bytes`` per hop.  AllReduce (see the
+        subclass) overrides the schedule with its reduce-scatter +
+        all-gather structure.
+        """
+        hops = self._ring_hops
+        if not hops or end <= start:
+            return
+        steps = hops[:-1] if len(hops) > 1 else hops  # last hop closes the cycle
+        slot = (end - start) / len(steps)
+        for i, (src, dst, _, link_type) in enumerate(steps):
+            self._publish(RingStepEvent(
+                collective=collective, array=array.name, step=i,
+                src=src, dst=dst, link_type=link_type, nbytes=wire_bytes,
+                start=start + i * slot, end=start + (i + 1) * slot,
+            ))
 
     def epoch_fixed_overhead(self) -> float:
         return self.constants.nccl_epoch_fixed_overhead
@@ -122,9 +190,11 @@ class NcclCommunicator(Communicator):
             if kind == "reduce"
             else self.broadcast_duration(wire_bytes)
         )
+        queued = self.env.now
         req = self._stream.request()
         yield req
         start = self.env.now
+        self._emit_stream_waits(start - queued, start)
         # Each GPU launches its cooperative kernel; the brief SM occupancy
         # contends with backward-pass compute on every device.
         taxes = [
@@ -138,5 +208,6 @@ class NcclCommunicator(Communicator):
             yield self.env.all_of(taxes)
         finally:
             self._stream.release(req)
+        self._emit_ring_steps(kind, array, start, start + duration, wire_bytes)
         self._record_transfer("nccl", self.server.index, -1, wire_bytes,
                               start, self.env.now)

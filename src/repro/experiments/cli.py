@@ -9,6 +9,14 @@ Usage::
 
 ``--fast`` restricts sweeps to batch 16 and {1, 4} GPUs, which keeps the
 whole run under a few seconds while preserving the qualitative shapes.
+
+The ``obs`` (alias ``trace``) subcommand profiles one training run with
+the full observability stack and exports it in any combination of
+formats::
+
+    repro-experiments obs --network resnet --gpus 4 --comm nccl \\
+        --formats prometheus,jsonl,chrome,csv -o results/obs
+    repro-experiments trace --network alexnet --print-gpu-summary
 """
 
 from __future__ import annotations
@@ -98,15 +106,123 @@ EXPERIMENTS = (
     "report",
 )
 
+OBS_FORMATS = ("prometheus", "jsonl", "chrome", "csv", "summary")
+
+
+def obs_main(argv: Optional[list] = None) -> int:
+    """``repro-experiments obs``: profile one run, export every format."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments obs",
+        description="Profile one training run with the repro.obs stack and "
+                    "export metrics/events (Prometheus, JSONL, Chrome trace, "
+                    "CSV, nvprof-style summary).",
+    )
+    parser.add_argument("--network", default="resnet",
+                        help="network to train (default: resnet)")
+    parser.add_argument("--batch", type=int, default=16, help="batch size")
+    parser.add_argument("--gpus", type=int, default=4, help="GPU count")
+    parser.add_argument("--comm", default="nccl",
+                        help="communication method (p2p, nccl, nccl-allreduce)")
+    parser.add_argument("--warmup", type=int, default=1,
+                        help="warm-up iterations excluded from measurement")
+    parser.add_argument("--iterations", type=int, default=2,
+                        help="measured iterations")
+    parser.add_argument("--formats", default="prometheus,jsonl,chrome",
+                        help=f"comma list of {', '.join(OBS_FORMATS)}, or 'all'")
+    parser.add_argument("--print-gpu-summary", action="store_true",
+                        help="print the nvprof-style GPU summary report")
+    parser.add_argument("-o", "--output-dir", type=pathlib.Path,
+                        default=pathlib.Path("results/obs"),
+                        help="directory for exported artifacts")
+    args = parser.parse_args(argv)
+
+    formats = (
+        list(OBS_FORMATS) if args.formats == "all"
+        else [f.strip() for f in args.formats.split(",") if f.strip()]
+    )
+    for fmt in formats:
+        if fmt not in OBS_FORMATS:
+            parser.error(f"unknown format {fmt!r}; choose from {OBS_FORMATS}")
+
+    from repro.core.config import CommMethodName, SimulationConfig, TrainingConfig
+    from repro.core.errors import ReproError
+    from repro.obs import (
+        ObsSession,
+        render_gpu_summary,
+        render_prometheus,
+        write_profile_csv,
+    )
+    from repro.profile import export_chrome_trace
+    from repro.train import Trainer
+
+    try:
+        comm = CommMethodName(args.comm)
+    except ValueError:
+        parser.error(f"unknown comm method {args.comm!r}; choose from "
+                     f"{tuple(m.value for m in CommMethodName)}")
+    session = ObsSession()
+    try:
+        config = TrainingConfig(args.network, args.batch, args.gpus,
+                                comm_method=comm)
+        trainer = Trainer(
+            config,
+            sim=SimulationConfig(warmup_iterations=args.warmup,
+                                 measure_iterations=args.iterations),
+            keep_profiler=True,
+            obs=session,
+        )
+        result = trainer.run()
+    except ReproError as exc:
+        parser.error(str(exc))
+    profiler = result.profiler
+
+    stem = f"{args.network}_b{args.batch}_g{args.gpus}_{args.comm}"
+    out_dir = args.output_dir
+    out_dir.mkdir(parents=True, exist_ok=True)
+    print(f"profiled {config.describe()}: "
+          f"iteration = {result.iteration_time * 1e3:.2f} ms, "
+          f"{len(profiler.kernels)} kernels, "
+          f"{len(profiler.transfers)} transfers, "
+          f"{len(session.recorder.events)} bus events")
+
+    if "prometheus" in formats:
+        path = out_dir / f"{stem}.prom"
+        path.write_text(render_prometheus(session.registry))
+        print(f"wrote {path} (Prometheus text format)")
+    if "jsonl" in formats:
+        path = out_dir / f"{stem}.jsonl"
+        with path.open("w") as fp:
+            lines = session.recorder.write(fp)
+        print(f"wrote {path} ({lines} events)")
+    if "chrome" in formats:
+        path = out_dir / f"{stem}.trace.json"
+        with path.open("w") as fp:
+            export_chrome_trace(profiler, fp)
+        print(f"wrote {path} (open in chrome://tracing or ui.perfetto.dev)")
+    if "csv" in formats:
+        path = out_dir / f"{stem}.csv"
+        with path.open("w") as fp:
+            rows = write_profile_csv(profiler, fp)
+        print(f"wrote {path} ({rows} rows)")
+    if "summary" in formats or args.print_gpu_summary:
+        print(render_gpu_summary(profiler))
+    return 0
+
 
 def main(argv: Optional[list] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in ("obs", "trace"):
+        return obs_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
-        description="Regenerate the paper's tables and figures from simulation.",
+        description="Regenerate the paper's tables and figures from simulation "
+                    "(or profile one run via the 'obs'/'trace' subcommand).",
     )
     parser.add_argument(
         "experiments", nargs="+",
-        help=f"any of {', '.join(EXPERIMENTS)}, or 'all'",
+        help=f"any of {', '.join(EXPERIMENTS)}, or 'all' "
+             "(or: obs/trace [--help] for the observability exporter)",
     )
     parser.add_argument("--fast", action="store_true",
                         help="reduced sweep (batch 16, 1 and 4 GPUs)")

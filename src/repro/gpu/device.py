@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+from repro.obs.events import EngineWaitEvent
 from repro.sim import Environment, Resource
 from repro.sim.events import Event
 from repro.gpu.kernel import KernelSpec
@@ -48,6 +49,7 @@ class GpuDevice:
 
     def run_kernel(self, kernel: KernelSpec) -> Generator[Event, None, None]:
         """Process: execute one kernel on this GPU's SM array."""
+        issued = self.env.now
         req = self.engine.request()
         yield req
         start = self.env.now
@@ -59,6 +61,14 @@ class GpuDevice:
             self.engine.release(req)
             if self.profiler is not None:
                 self.profiler.record_kernel(self.index, kernel, start, end)
+                # Queueing delay behind earlier kernels, for the metrics
+                # bridge (profilers without a bus simply lack ``publish``).
+                publish = getattr(self.profiler, "publish", None)
+                if publish is not None and start > issued:
+                    publish(EngineWaitEvent(
+                        gpu=self.index, kernel=kernel.name,
+                        wait=start - issued, at=start,
+                    ))
 
     def run_kernels(self, kernels) -> Generator[Event, None, None]:
         """Process: execute a list of kernels back to back."""

@@ -1,0 +1,72 @@
+"""End-to-end observability: event bus, metrics registry, exporters.
+
+The paper's contribution is *measurement* -- nvprof timelines, API-call
+accounting, per-link NVLink traffic, nvidia-smi memory sampling.  This
+package gives the reproduction the same substrate:
+
+* :mod:`repro.obs.events`  -- the typed event taxonomy every instrumented
+  component (profiler, devices, fabric, communicators, sim engine) emits.
+* :mod:`repro.obs.bus`     -- a tiny synchronous publish/subscribe bus.
+* :mod:`repro.obs.metrics` -- labelled ``Counter``/``Gauge``/``Histogram``
+  instruments collected in a :class:`~repro.obs.metrics.MetricsRegistry`.
+* :mod:`repro.obs.bridge`  -- the standard event->metric wiring
+  (``kernel_time_total{gpu,stage}``, ``link_bytes_total{src,dst,link_type}``,
+  ``sim_event_queue_depth``, ...).
+* :mod:`repro.obs.export`  -- Prometheus text, JSONL event stream and CSV
+  exporters.
+* :mod:`repro.obs.report`  -- the nvprof-style ``--print-gpu-summary``
+  text report.
+* :mod:`repro.obs.session` -- :class:`~repro.obs.session.ObsSession`, the
+  one-line bundle a :class:`~repro.train.trainer.Trainer` accepts.
+"""
+
+from repro.obs.bridge import install_default_metrics
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    ApiEvent,
+    EngineWaitEvent,
+    KernelEvent,
+    LinkBusyEvent,
+    LinkWaitEvent,
+    ObsEvent,
+    QueueDepthEvent,
+    RingStepEvent,
+    SpanEvent,
+    TransferEvent,
+)
+from repro.obs.export import (
+    JsonlRecorder,
+    event_to_dict,
+    render_prometheus,
+    write_events_jsonl,
+    write_profile_csv,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import render_gpu_summary
+from repro.obs.session import ObsSession
+
+__all__ = [
+    "ApiEvent",
+    "Counter",
+    "EngineWaitEvent",
+    "EventBus",
+    "Gauge",
+    "Histogram",
+    "JsonlRecorder",
+    "KernelEvent",
+    "LinkBusyEvent",
+    "LinkWaitEvent",
+    "MetricsRegistry",
+    "ObsEvent",
+    "ObsSession",
+    "QueueDepthEvent",
+    "RingStepEvent",
+    "SpanEvent",
+    "TransferEvent",
+    "event_to_dict",
+    "install_default_metrics",
+    "render_gpu_summary",
+    "render_prometheus",
+    "write_events_jsonl",
+    "write_profile_csv",
+]

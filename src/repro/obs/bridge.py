@@ -1,0 +1,146 @@
+"""Standard event -> metric wiring.
+
+:func:`install_default_metrics` subscribes one handler per event type to a
+bus and maintains the canonical instrument set.  Metric names follow the
+issue's taxonomy; all times are simulated seconds, all traffic is bytes.
+
+========================================  =========  ==========================
+metric                                    kind       labels
+========================================  =========  ==========================
+kernel_time_total                         counter    gpu, stage
+kernels_total                             counter    gpu, stage
+engine_wait_time_total                    counter    gpu
+transfer_bytes_total                      counter    kind
+transfer_time_total                       counter    kind
+api_time_total                            counter    api
+api_calls_total                           counter    api
+span_time_total                           counter    name
+link_bytes_total                          counter    src, dst, link_type
+link_busy_time_total                      counter    src, dst, link_type
+link_wait_time_total                      counter    src, dst, link_type
+ring_steps_total                          counter    collective
+ring_step_time_total                      counter    collective
+ring_step_seconds                         histogram  collective
+sim_event_queue_depth                     gauge      --
+sim_event_queue_depth_max                 gauge      --
+========================================  =========  ==========================
+
+``link_wait_time_total`` children are materialized (at zero) the moment a
+link first carries traffic, so an uncontended link still exports an
+explicit zero-valued wait counter rather than silently missing.
+"""
+
+from __future__ import annotations
+
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    ApiEvent,
+    EngineWaitEvent,
+    KernelEvent,
+    LinkBusyEvent,
+    LinkWaitEvent,
+    QueueDepthEvent,
+    RingStepEvent,
+    SpanEvent,
+    TransferEvent,
+)
+from repro.obs.metrics import MetricsRegistry
+
+#: Ring steps sit in the microsecond range; give them tighter buckets.
+RING_STEP_BUCKETS = (1e-7, 5e-7, 1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 1e-2)
+
+_LINK_LABELS = ("src", "dst", "link_type")
+
+
+def install_default_metrics(bus: EventBus, registry: MetricsRegistry) -> MetricsRegistry:
+    """Wire the canonical metric set to ``bus``; returns the registry."""
+    kernel_time = registry.counter(
+        "kernel_time_total", "GPU kernel busy time (seconds)", ("gpu", "stage"))
+    kernels = registry.counter(
+        "kernels_total", "Kernel executions", ("gpu", "stage"))
+    engine_wait = registry.counter(
+        "engine_wait_time_total",
+        "Time kernels queued behind others on the SM array (seconds)", ("gpu",))
+    transfer_bytes = registry.counter(
+        "transfer_bytes_total", "Bytes moved per transfer kind", ("kind",))
+    transfer_time = registry.counter(
+        "transfer_time_total", "Transfer wall time (seconds)", ("kind",))
+    api_time = registry.counter(
+        "api_time_total", "Host CUDA API wall time (seconds)", ("api",))
+    api_calls = registry.counter(
+        "api_calls_total", "Host CUDA API invocations", ("api",))
+    span_time = registry.counter(
+        "span_time_total", "Stage span time (seconds)", ("name",))
+    link_bytes = registry.counter(
+        "link_bytes_total", "Bytes carried per directed physical link",
+        _LINK_LABELS)
+    link_busy = registry.counter(
+        "link_busy_time_total", "Directed link occupancy (seconds)",
+        _LINK_LABELS)
+    link_wait = registry.counter(
+        "link_wait_time_total",
+        "Contention: time transfers waited for a busy directed link (seconds)",
+        _LINK_LABELS)
+    ring_steps = registry.counter(
+        "ring_steps_total", "NCCL ring pipeline steps", ("collective",))
+    ring_step_time = registry.counter(
+        "ring_step_time_total", "NCCL ring step time (seconds)", ("collective",))
+    ring_step_hist = registry.histogram(
+        "ring_step_seconds", "NCCL ring step duration distribution",
+        ("collective",), buckets=RING_STEP_BUCKETS)
+    queue_depth = registry.gauge(
+        "sim_event_queue_depth", "Simulation event-heap depth (sampled)")
+    queue_depth_max = registry.gauge(
+        "sim_event_queue_depth_max", "High-water mark of the event heap")
+
+    def on_kernel(e: KernelEvent) -> None:
+        kernel_time.labels(gpu=e.gpu, stage=e.stage).inc(e.duration)
+        kernels.labels(gpu=e.gpu, stage=e.stage).inc()
+
+    def on_engine_wait(e: EngineWaitEvent) -> None:
+        engine_wait.labels(gpu=e.gpu).inc(e.wait)
+
+    def on_transfer(e: TransferEvent) -> None:
+        transfer_bytes.labels(kind=e.kind).inc(e.nbytes)
+        transfer_time.labels(kind=e.kind).inc(e.duration)
+
+    def on_api(e: ApiEvent) -> None:
+        api_time.labels(api=e.name).inc(e.duration)
+        api_calls.labels(api=e.name).inc()
+
+    def on_span(e: SpanEvent) -> None:
+        span_time.labels(name=e.name).inc(e.duration)
+
+    def on_link_busy(e: LinkBusyEvent) -> None:
+        labels = dict(src=e.src, dst=e.dst, link_type=e.link_type)
+        link_bytes.labels(**labels).inc(e.nbytes)
+        link_busy.labels(**labels).inc(e.busy)
+        link_wait.labels(**labels).inc(0.0)   # materialize the zero
+
+    def on_link_wait(e: LinkWaitEvent) -> None:
+        link_wait.labels(src=e.src, dst=e.dst, link_type=e.link_type).inc(e.wait)
+
+    def on_ring_step(e: RingStepEvent) -> None:
+        ring_steps.labels(collective=e.collective).inc()
+        ring_step_time.labels(collective=e.collective).inc(e.duration)
+        ring_step_hist.labels(collective=e.collective).observe(e.duration)
+        labels = dict(src=f"gpu{e.src}", dst=f"gpu{e.dst}", link_type=e.link_type)
+        link_bytes.labels(**labels).inc(e.nbytes)
+        link_busy.labels(**labels).inc(e.duration)
+        link_wait.labels(**labels).inc(0.0)
+
+    def on_queue_depth(e: QueueDepthEvent) -> None:
+        queue_depth.set(e.depth)
+        if e.depth > queue_depth_max.value:
+            queue_depth_max.set(e.depth)
+
+    bus.subscribe(KernelEvent, on_kernel)
+    bus.subscribe(EngineWaitEvent, on_engine_wait)
+    bus.subscribe(TransferEvent, on_transfer)
+    bus.subscribe(ApiEvent, on_api)
+    bus.subscribe(SpanEvent, on_span)
+    bus.subscribe(LinkBusyEvent, on_link_busy)
+    bus.subscribe(LinkWaitEvent, on_link_wait)
+    bus.subscribe(RingStepEvent, on_ring_step)
+    bus.subscribe(QueueDepthEvent, on_queue_depth)
+    return registry

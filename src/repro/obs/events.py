@@ -1,0 +1,166 @@
+"""The typed event taxonomy of the observability bus.
+
+Every instrumented component emits one of these frozen dataclasses onto an
+:class:`~repro.obs.bus.EventBus`:
+
+===================  ======================================================
+event                emitted by
+===================  ======================================================
+KernelEvent          :class:`~repro.gpu.device.GpuDevice` (via the profiler)
+TransferEvent        communicators and the trainer's input staging
+ApiEvent             the trainer's host-side CUDA API accounting
+SpanEvent            the trainer's FP/BP/WU/iteration stage spans
+EngineWaitEvent      :class:`~repro.gpu.device.GpuDevice` queueing delay
+LinkBusyEvent        :class:`~repro.topology.fabric.Fabric`, one per DMA
+                     per directed link it holds
+LinkWaitEvent        fabric FIFO queueing and NCCL stream contention,
+                     attributed to the directed link that was busy
+RingStepEvent        :mod:`repro.comm.nccl` per-ring-step timing
+QueueDepthEvent      :class:`~repro.sim.engine.Environment` (sampled)
+===================  ======================================================
+
+All timestamps are simulated seconds; byte counts are plain ints; ``src``
+and ``dst`` on link-level events are node names (``gpu0``, ``cpu1``, ...),
+while on GPU-level events they are GPU indices (``-1`` = host/all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """Base class: lets subscribers register for *every* event type."""
+
+
+@dataclass(frozen=True)
+class KernelEvent(ObsEvent):
+    """One kernel execution on one GPU."""
+
+    gpu: int
+    name: str
+    layer: str
+    stage: str       # "fp" | "bp" | "wu"
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class TransferEvent(ObsEvent):
+    """One inter-device data movement (P2P DMA, NCCL collective, HtoD)."""
+
+    kind: str        # "p2p" | "nccl" | "h2d" | "d2h"
+    src: int
+    dst: int         # -1 for collectives involving all GPUs
+    nbytes: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class ApiEvent(ObsEvent):
+    """One CUDA runtime API call on the host."""
+
+    name: str
+    gpu: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class SpanEvent(ObsEvent):
+    """A labelled stage span (fp / bp / wu / iteration)."""
+
+    name: str
+    gpu: int         # -1 for global spans
+    iteration: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class EngineWaitEvent(ObsEvent):
+    """Time a kernel spent queued behind others on one GPU's SM array."""
+
+    gpu: int
+    kernel: str
+    wait: float
+    at: float        # grant time
+
+
+@dataclass(frozen=True)
+class LinkBusyEvent(ObsEvent):
+    """One DMA's occupancy of one directed physical link."""
+
+    link: str        # canonical link name, e.g. "gpu0<->gpu1:nvlinkx2"
+    src: str         # directed source endpoint name
+    dst: str
+    link_type: str   # "nvlink" | "pcie" | "qpi" | "infiniband"
+    nbytes: int
+    start: float     # grant time
+    end: float
+
+    @property
+    def busy(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class LinkWaitEvent(ObsEvent):
+    """Contention: time a transfer waited for a busy directed link."""
+
+    link: str
+    src: str
+    dst: str
+    link_type: str
+    wait: float
+    at: float        # grant time (end of the wait)
+
+
+@dataclass(frozen=True)
+class RingStepEvent(ObsEvent):
+    """One hop of a pipelined NCCL ring collective.
+
+    ``nbytes`` is what this hop's link carries during the step: the full
+    wire payload for root-bound Reduce/Broadcast streams, ``S/N`` chunks
+    for the reduce-scatter/all-gather phases of AllReduce.
+    """
+
+    collective: str  # "reduce" | "broadcast" | "allreduce"
+    array: str
+    step: int
+    src: int         # GPU index of the sending ring member
+    dst: int
+    link_type: str
+    nbytes: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class QueueDepthEvent(ObsEvent):
+    """Sampled depth of the simulation engine's event heap."""
+
+    now: float
+    depth: int

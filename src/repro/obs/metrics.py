@@ -1,0 +1,252 @@
+"""Labelled metric instruments and their registry.
+
+A deliberately small, dependency-free subset of the Prometheus client
+model: ``Counter`` (monotone), ``Gauge`` (set/inc/dec) and ``Histogram``
+(cumulative buckets + sum + count), each with a fixed label schema declared
+at creation.  ``registry.counter(...)`` is get-or-create, so instrumented
+components can name a metric without coordinating initialization order;
+re-declaring a name with a different kind or label schema is an error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import ReproError
+
+#: Default histogram buckets: event durations span ~1us ring steps to
+#: multi-second epochs, so decade buckets with a 2.5x midpoint cover them.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 2.5e-6, 1e-5, 2.5e-5, 1e-4, 2.5e-4,
+    1e-3, 2.5e-3, 1e-2, 2.5e-2, 1e-1, 2.5e-1, 1.0, 10.0,
+)
+
+LabelValues = Tuple[str, ...]
+
+
+class MetricError(ReproError):
+    """Misuse of a metric instrument (bad labels, kind mismatch, ...)."""
+
+
+class Metric:
+    """Base instrument: a family of children keyed by label values."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        self._children: Dict[LabelValues, "_Child"] = {}
+
+    def labels(self, **labels: object) -> "_Child":
+        """The child instrument for one combination of label values."""
+        if set(labels) != set(self.labelnames):
+            raise MetricError(
+                f"{self.name}: expected labels {self.labelnames}, got {tuple(labels)}"
+            )
+        key = tuple(str(labels[n]) for n in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def _default_child(self) -> "_Child":
+        if self.labelnames:
+            raise MetricError(f"{self.name} is labelled; call .labels(...) first")
+        return self.labels()
+
+    def _make_child(self) -> "_Child":
+        raise NotImplementedError
+
+    def items(self) -> Iterable[Tuple[Dict[str, str], "_Child"]]:
+        """(label dict, child) pairs in deterministic (sorted) order."""
+        for key in sorted(self._children):
+            yield dict(zip(self.labelnames, key)), self._children[key]
+
+
+class _Child:
+    pass
+
+
+class _CounterChild(_Child):
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError("counters can only increase")
+        self.value += amount
+
+
+class Counter(Metric):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the unlabelled child (labelless metrics only)."""
+        self._default_child().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+
+class _GaugeChild(_Child):
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Gauge(Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_child().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+
+class _HistogramChild(_Child):
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Tuple[float, ...]) -> None:
+        self.buckets = buckets
+        self.counts = [0] * len(buckets)   # cumulative at render time
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+
+    def cumulative_counts(self) -> List[int]:
+        """Per-bucket cumulative counts (Prometheus ``le`` semantics)."""
+        out, running = [], 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+
+class Histogram(Metric):
+    """A distribution summarized by cumulative buckets."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise MetricError("histogram needs at least one bucket")
+        self.buckets: Tuple[float, ...] = bounds
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default_child().observe(value)
+
+
+class MetricsRegistry:
+    """Owns every instrument of one observability session."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str,
+                       labelnames: Sequence[str], **kwargs) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise MetricError(
+                    f"{name} already registered as {existing.kind}, not {cls.kind}"
+                )
+            if existing.labelnames != tuple(labelnames):
+                raise MetricError(
+                    f"{name} already registered with labels {existing.labelnames}"
+                )
+            return existing
+        metric = cls(name, help, labelnames, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "", labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labelnames,
+                                   buckets=buckets)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def collect(self) -> Iterable[Metric]:
+        """All metrics, sorted by name (deterministic export order)."""
+        for name in sorted(self._metrics):
+            yield self._metrics[name]
+
+    # Convenience accessors used by tests and reports -------------------
+    def counter_value(self, name: str, **labels: object) -> float:
+        """Current value of one counter child (0.0 if never touched)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return 0.0
+        if not isinstance(metric, Counter):
+            raise MetricError(f"{name} is a {metric.kind}, not a counter")
+        key = tuple(str(labels[n]) for n in metric.labelnames)
+        child = metric._children.get(key)
+        return child.value if child is not None else 0.0
+
+    def label_sets(self, name: str) -> List[Mapping[str, str]]:
+        """Every label combination a metric has been touched with."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return []
+        return [labels for labels, _ in metric.items()]

@@ -1,0 +1,128 @@
+"""nvprof-style text reports over a profiled run.
+
+:func:`render_gpu_summary` reproduces the shape of
+``nvprof --print-gpu-summary``: a "GPU activities" table (kernels grouped
+by name, memcpys grouped by kind) and an "API calls" table, each row with
+Time(%), total Time, Calls, Avg/Min/Max and Name, ordered by total time.
+"""
+
+from __future__ import annotations
+
+import io
+from collections import defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+#: nvprof's naming for data movement rows.
+_TRANSFER_NAMES = {
+    "h2d": "[CUDA memcpy HtoD]",
+    "d2h": "[CUDA memcpy DtoH]",
+    "p2p": "[CUDA memcpy PtoP]",
+    "nccl": "[NCCL collective]",
+}
+
+
+def _format_time(seconds: float) -> str:
+    """nvprof-style adaptive units (ns / us / ms / s)."""
+    if seconds >= 1.0:
+        return f"{seconds:.5f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.4f}ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.3f}us"
+    return f"{seconds * 1e9:.0f}ns"
+
+
+class _Row:
+    __slots__ = ("name", "total", "calls", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total = 0.0
+        self.calls = 0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def add(self, duration: float) -> None:
+        self.total += duration
+        self.calls += 1
+        self.min = min(self.min, duration)
+        self.max = max(self.max, duration)
+
+
+def _accumulate(intervals: Iterable[Tuple[str, float]]) -> List[_Row]:
+    rows: Dict[str, _Row] = {}
+    for name, duration in intervals:
+        row = rows.get(name)
+        if row is None:
+            row = rows[name] = _Row(name)
+        row.add(duration)
+    return sorted(rows.values(), key=lambda r: (-r.total, r.name))
+
+
+def _render_table(title: str, rows: List[_Row], out: io.StringIO) -> None:
+    out.write(f"{title}:\n")
+    if not rows:
+        out.write("    (none recorded)\n")
+        return
+    header = (f"    {'Time(%)':>8}  {'Time':>10}  {'Calls':>6}  "
+              f"{'Avg':>10}  {'Min':>10}  {'Max':>10}  Name\n")
+    out.write(header)
+    grand_total = sum(r.total for r in rows)
+    for row in rows:
+        pct = 100.0 * row.total / grand_total if grand_total > 0 else 0.0
+        avg = row.total / row.calls if row.calls else 0.0
+        out.write(
+            f"    {pct:8.2f}  {_format_time(row.total):>10}  {row.calls:6d}  "
+            f"{_format_time(avg):>10}  {_format_time(row.min):>10}  "
+            f"{_format_time(row.max):>10}  {row.name}\n"
+        )
+
+
+def render_gpu_summary(profiler) -> str:
+    """``nvprof --print-gpu-summary`` over a profiler's measured window.
+
+    ``profiler`` is anything exposing the four record lists
+    (:class:`~repro.profile.profiler.Profiler`).
+    """
+    out = io.StringIO()
+    window_start = min(
+        (r.start for records in (profiler.kernels, profiler.transfers,
+                                 profiler.apis, profiler.spans)
+         for r in records),
+        default=0.0,
+    )
+    window_end = max(
+        (r.end for records in (profiler.kernels, profiler.transfers,
+                               profiler.apis, profiler.spans)
+         for r in records),
+        default=0.0,
+    )
+    out.write("==PROF== Profiling result (simulated, "
+              f"window {window_start * 1e3:.3f}ms..{window_end * 1e3:.3f}ms):\n")
+
+    activities = [(k.name, k.duration) for k in profiler.kernels]
+    activities += [
+        (_TRANSFER_NAMES.get(t.kind, f"[transfer {t.kind}]"), t.duration)
+        for t in profiler.transfers
+    ]
+    _render_table("GPU activities", _accumulate(activities), out)
+    _render_table("API calls",
+                  _accumulate((a.name, a.duration) for a in profiler.apis), out)
+
+    # Per-GPU busy time mirrors the paper's utilization discussion.
+    busy: Dict[int, float] = defaultdict(float)
+    counts: Dict[int, int] = defaultdict(int)
+    for k in profiler.kernels:
+        busy[k.gpu] += k.duration
+        counts[k.gpu] += 1
+    window = window_end - window_start
+    out.write("Per-GPU kernel occupancy:\n")
+    if not busy:
+        out.write("    (none recorded)\n")
+    for gpu in sorted(busy):
+        frac = busy[gpu] / window if window > 0 else 0.0
+        out.write(
+            f"    gpu{gpu}: {_format_time(busy[gpu]):>10} busy "
+            f"({100.0 * frac:5.1f}% of window, {counts[gpu]} kernels)\n"
+        )
+    return out.getvalue()

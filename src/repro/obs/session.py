@@ -1,0 +1,60 @@
+"""One-line bundle of bus + registry + recorder for a profiled run.
+
+An :class:`ObsSession` is what callers hand to a
+:class:`~repro.train.trainer.Trainer`::
+
+    obs = ObsSession()
+    result = Trainer(config, keep_profiler=True, obs=obs).run()
+    print(render_prometheus(obs.registry))
+    obs.recorder.write(open("run.jsonl", "w"))
+
+The session owns the :class:`~repro.obs.bus.EventBus` every instrumented
+component publishes to, the :class:`~repro.obs.metrics.MetricsRegistry`
+fed by :func:`~repro.obs.bridge.install_default_metrics`, and (optionally)
+a :class:`~repro.obs.export.JsonlRecorder` capturing the raw event stream.
+Use one session per run: subscribers accumulate, so sharing a session
+across runs merges their streams.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.obs.bridge import install_default_metrics
+from repro.obs.bus import EventBus
+from repro.obs.events import QueueDepthEvent
+from repro.obs.export import JsonlRecorder
+from repro.obs.metrics import MetricsRegistry
+
+
+class ObsSession:
+    """Everything needed to observe one simulated training run."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        bus: Optional[EventBus] = None,
+        record_events: bool = True,
+        queue_sample_every: int = 32,
+    ) -> None:
+        """``queue_sample_every`` throttles engine queue-depth sampling to
+        every Nth simulation step (the engine steps millions of times)."""
+        if queue_sample_every < 1:
+            raise ValueError("queue_sample_every must be >= 1")
+        self.bus = bus if bus is not None else EventBus()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        install_default_metrics(self.bus, self.registry)
+        self.recorder: Optional[JsonlRecorder] = (
+            JsonlRecorder(self.bus) if record_events else None
+        )
+        self.queue_sample_every = queue_sample_every
+
+    def queue_observer(self, publisher) -> Callable[[float, int], None]:
+        """An :meth:`Environment.set_observer` callback publishing depth
+        samples through ``publisher`` (anything with ``publish``, normally
+        the run's profiler so samples honour the measurement window)."""
+
+        def observe(now: float, depth: int) -> None:
+            publisher.publish(QueueDepthEvent(now=now, depth=depth))
+
+        return observe

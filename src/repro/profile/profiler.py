@@ -1,64 +1,148 @@
 """The profiler: collects interval records during a simulated run.
 
+Since the observability refactor the profiler is a thin gate in front of a
+:class:`~repro.obs.bus.EventBus`: every ``record_*`` call constructs a
+typed event (:class:`~repro.obs.events.KernelEvent`, ...) and publishes it
+when measurement is enabled.  The familiar record lists (``.kernels``,
+``.transfers``, ``.apis``, ``.spans``) are maintained by a built-in bus
+subscriber, so existing aggregation code keeps working unchanged, while
+any number of additional subscribers (metrics bridge, JSONL recorder) can
+ride the same stream.
+
 Measurement can be gated (``profiler.enabled``) so warm-up iterations do
 not pollute the statistics, mirroring how nvprof sessions are windowed.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import contextlib
+from typing import Callable, Iterator, List, Optional, Union
 
 from repro.gpu.kernel import KernelSpec
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    ApiEvent,
+    KernelEvent,
+    ObsEvent,
+    SpanEvent,
+    TransferEvent,
+)
 from repro.profile.records import ApiRecord, KernelRecord, SpanRecord, TransferRecord
+
+#: A clock is anything with a ``now`` attribute (a simulation
+#: :class:`~repro.sim.engine.Environment`) or a zero-argument callable.
+Clock = Union[Callable[[], float], object]
 
 
 class Profiler:
-    """Collects kernel/transfer/API/span records."""
+    """Collects kernel/transfer/API/span records and feeds the event bus."""
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        enabled: bool = True,
+        bus: Optional[EventBus] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
         self.enabled = enabled
+        self.bus = bus if bus is not None else EventBus()
+        self.clock = clock
         self.kernels: List[KernelRecord] = []
         self.transfers: List[TransferRecord] = []
         self.apis: List[ApiRecord] = []
         self.spans: List[SpanRecord] = []
+        # List accumulation is itself just one subscriber of the bus.
+        self.bus.subscribe(KernelEvent, self._on_kernel)
+        self.bus.subscribe(TransferEvent, self._on_transfer)
+        self.bus.subscribe(ApiEvent, self._on_api)
+        self.bus.subscribe(SpanEvent, self._on_span)
+
+    # ------------------------------------------------------------------
+    # Bus plumbing
+    # ------------------------------------------------------------------
+    def publish(self, event: ObsEvent) -> None:
+        """Publish any typed event, honouring the measurement window."""
+        if self.enabled:
+            self.bus.publish(event)
+
+    def bind_clock(self, clock: Clock) -> None:
+        """Attach the time source :meth:`span` reads (normally the env)."""
+        self.clock = clock
+
+    def _now(self) -> float:
+        if self.clock is None:
+            raise ValueError(
+                "Profiler.span() needs a clock; pass clock= to the "
+                "constructor or call bind_clock(env)"
+            )
+        now = getattr(self.clock, "now", None)
+        if now is not None:
+            return float(now)
+        return float(self.clock())
+
+    def _on_kernel(self, e: KernelEvent) -> None:
+        self.kernels.append(
+            KernelRecord(gpu=e.gpu, name=e.name, layer=e.layer, stage=e.stage,
+                         start=e.start, end=e.end)
+        )
+
+    def _on_transfer(self, e: TransferEvent) -> None:
+        self.transfers.append(
+            TransferRecord(kind=e.kind, src=e.src, dst=e.dst, nbytes=e.nbytes,
+                           start=e.start, end=e.end)
+        )
+
+    def _on_api(self, e: ApiEvent) -> None:
+        self.apis.append(ApiRecord(name=e.name, gpu=e.gpu, start=e.start, end=e.end))
+
+    def _on_span(self, e: SpanEvent) -> None:
+        self.spans.append(
+            SpanRecord(name=e.name, gpu=e.gpu, iteration=e.iteration,
+                       start=e.start, end=e.end)
+        )
 
     # ------------------------------------------------------------------
     # Recording hooks (called by devices, communicators, trainer)
     # ------------------------------------------------------------------
     def record_kernel(self, gpu: int, kernel: KernelSpec, start: float, end: float) -> None:
-        if self.enabled:
-            self.kernels.append(
-                KernelRecord(
-                    gpu=gpu,
-                    name=kernel.name,
-                    layer=kernel.layer,
-                    stage=kernel.stage,
-                    start=start,
-                    end=end,
-                )
-            )
+        self.publish(
+            KernelEvent(gpu=gpu, name=kernel.name, layer=kernel.layer,
+                        stage=kernel.stage, start=start, end=end)
+        )
 
     def record_transfer(
         self, kind: str, src: int, dst: int, nbytes: int, start: float, end: float
     ) -> None:
-        if self.enabled:
-            self.transfers.append(
-                TransferRecord(kind=kind, src=src, dst=dst, nbytes=nbytes,
-                               start=start, end=end)
-            )
+        self.publish(
+            TransferEvent(kind=kind, src=src, dst=dst, nbytes=nbytes,
+                          start=start, end=end)
+        )
 
     def record_api(self, name: str, gpu: int, start: float, end: float) -> None:
-        if self.enabled:
-            self.apis.append(ApiRecord(name=name, gpu=gpu, start=start, end=end))
+        self.publish(ApiEvent(name=name, gpu=gpu, start=start, end=end))
 
     def record_span(
         self, name: str, gpu: int, iteration: int, start: float, end: float
     ) -> None:
-        if self.enabled:
-            self.spans.append(
-                SpanRecord(name=name, gpu=gpu, iteration=iteration,
-                           start=start, end=end)
-            )
+        self.publish(
+            SpanEvent(name=name, gpu=gpu, iteration=iteration,
+                      start=start, end=end)
+        )
+
+    @contextlib.contextmanager
+    def span(self, name: str, gpu: int = -1, iteration: int = 0) -> Iterator[None]:
+        """Record the enclosed block as one span, reading the bound clock.
+
+        Replaces hand-paired ``start = env.now ... record_span(..., start,
+        env.now)`` call sites::
+
+            with profiler.span("fp", gpu=dev.index, iteration=it):
+                ... run forward kernels ...
+        """
+        start = self._now()
+        try:
+            yield
+        finally:
+            self.record_span(name, gpu, iteration, start, self._now())
 
     # ------------------------------------------------------------------
     # Windowing

@@ -1,4 +1,20 @@
-"""Chrome-trace (about://tracing, Perfetto) export of a profiled run."""
+"""Chrome-trace (about://tracing, Perfetto) export of a profiled run.
+
+The trace groups activity into four processes with named lanes, emitted as
+standard ``process_name``/``thread_name`` metadata events so the viewer
+shows "GPU kernels / GPU 3" instead of raw ids:
+
+=====  ==================  =============================================
+pid    process             lanes (tid)
+=====  ==================  =============================================
+0      Host (CUDA APIs)    one engine thread per GPU
+1      GPU kernels         one lane per GPU index
+2      Fabric transfers    one lane per transfer kind; collectives
+                           (``dst == -1``) get their own
+                           "nccl collectives (all GPUs)" lane
+3      Stages              one lane per GPU plus a "global" lane
+=====  ==================  =============================================
+"""
 
 from __future__ import annotations
 
@@ -9,9 +25,60 @@ from repro.profile.profiler import Profiler
 
 _US = 1e6  # trace events are quoted in microseconds
 
+_PID_HOST = 0
+_PID_GPU = 1
+_PID_FABRIC = 2
+_PID_STAGES = 3
+
+#: Fixed lane ids within the fabric process.
+_TRANSFER_LANES = {"p2p": 0, "h2d": 2, "d2h": 3}
+_COLLECTIVE_LANE = 1
+_GLOBAL_STAGE_LANE = 999
+
+
+def _metadata(pid: int, name: str, tid: int = None) -> dict:
+    event = {
+        "name": "thread_name" if tid is not None else "process_name",
+        "ph": "M",
+        "pid": pid,
+        "args": {"name": name},
+    }
+    if tid is not None:
+        event["tid"] = tid
+    return event
+
+
+def chrome_trace_metadata(profiler: Profiler) -> List[dict]:
+    """``process_name``/``thread_name`` metadata for the run's lanes."""
+    events: List[dict] = [
+        _metadata(_PID_HOST, "Host (CUDA APIs)"),
+        _metadata(_PID_GPU, "GPU kernels"),
+        _metadata(_PID_FABRIC, "Fabric transfers"),
+        _metadata(_PID_STAGES, "Stages"),
+    ]
+    for gpu in sorted({k.gpu for k in profiler.kernels}):
+        events.append(_metadata(_PID_GPU, f"GPU {gpu}", tid=gpu))
+    for gpu in sorted({a.gpu for a in profiler.apis}):
+        events.append(_metadata(_PID_HOST, f"engine thread {gpu}", tid=gpu))
+    kinds = {
+        t.kind for t in profiler.transfers if not (t.kind == "nccl" and t.dst < 0)
+    }
+    for kind in sorted(kinds):
+        lane = _TRANSFER_LANES.get(kind, 10 + len(_TRANSFER_LANES))
+        events.append(_metadata(_PID_FABRIC, kind, tid=lane))
+    if any(t.kind == "nccl" and t.dst < 0 for t in profiler.transfers):
+        events.append(_metadata(_PID_FABRIC, "nccl collectives (all GPUs)",
+                                tid=_COLLECTIVE_LANE))
+    span_gpus = sorted({s.gpu for s in profiler.spans if s.gpu >= 0})
+    for gpu in span_gpus:
+        events.append(_metadata(_PID_STAGES, f"GPU {gpu}", tid=gpu))
+    if any(s.gpu < 0 for s in profiler.spans):
+        events.append(_metadata(_PID_STAGES, "global", tid=_GLOBAL_STAGE_LANE))
+    return events
+
 
 def chrome_trace_events(profiler: Profiler) -> List[dict]:
-    """The run as a list of Chrome trace-event dicts."""
+    """The run's duration ("X") events as Chrome trace-event dicts."""
     events: List[dict] = []
     for k in profiler.kernels:
         events.append(
@@ -21,22 +88,31 @@ def chrome_trace_events(profiler: Profiler) -> List[dict]:
                 "ph": "X",
                 "ts": k.start * _US,
                 "dur": k.duration * _US,
-                "pid": "gpu",
-                "tid": f"gpu{k.gpu}",
+                "pid": _PID_GPU,
+                "tid": k.gpu,
                 "args": {"layer": k.layer, "stage": k.stage},
             }
         )
     for t in profiler.transfers:
-        dst = "all" if t.dst < 0 else f"gpu{t.dst}"
+        if t.kind == "nccl" and t.dst < 0:
+            # Collective involving every GPU: a dedicated lane, not a
+            # bogus point-to-point one.
+            name = f"{t.kind}:{t.src}->all"
+            tid = _COLLECTIVE_LANE
+        else:
+            src = "host" if t.src < 0 else f"gpu{t.src}"
+            dst = "host" if t.dst < 0 else f"gpu{t.dst}"
+            name = f"{t.kind}:{src}->{dst}"
+            tid = _TRANSFER_LANES.get(t.kind, 10 + len(_TRANSFER_LANES))
         events.append(
             {
-                "name": f"{t.kind}:{t.src}->{dst}",
+                "name": name,
                 "cat": f"transfer,{t.kind}",
                 "ph": "X",
                 "ts": t.start * _US,
                 "dur": t.duration * _US,
-                "pid": "fabric",
-                "tid": f"{t.kind}",
+                "pid": _PID_FABRIC,
+                "tid": tid,
                 "args": {"bytes": t.nbytes},
             }
         )
@@ -48,8 +124,8 @@ def chrome_trace_events(profiler: Profiler) -> List[dict]:
                 "ph": "X",
                 "ts": a.start * _US,
                 "dur": a.duration * _US,
-                "pid": "host",
-                "tid": f"engine{a.gpu}",
+                "pid": _PID_HOST,
+                "tid": a.gpu,
             }
         )
     for s in profiler.spans:
@@ -60,8 +136,8 @@ def chrome_trace_events(profiler: Profiler) -> List[dict]:
                 "ph": "X",
                 "ts": s.start * _US,
                 "dur": s.duration * _US,
-                "pid": "stages",
-                "tid": "global" if s.gpu < 0 else f"gpu{s.gpu}",
+                "pid": _PID_STAGES,
+                "tid": _GLOBAL_STAGE_LANE if s.gpu < 0 else s.gpu,
                 "args": {"iteration": s.iteration},
             }
         )
@@ -70,4 +146,11 @@ def chrome_trace_events(profiler: Profiler) -> List[dict]:
 
 def export_chrome_trace(profiler: Profiler, fp: IO[str]) -> None:
     """Write the run as a Chrome trace JSON file."""
-    json.dump({"traceEvents": chrome_trace_events(profiler)}, fp)
+    json.dump(
+        {
+            "traceEvents": chrome_trace_metadata(profiler)
+            + chrome_trace_events(profiler),
+            "displayTimeUnit": "ms",
+        },
+        fp,
+    )

@@ -20,6 +20,22 @@ class Environment:
         self._now = initial_time
         self._eid = 0
         self._queue: List[Tuple[float, int, Event]] = []
+        self._observer = None
+        self._observer_every = 1
+        self._steps = 0
+
+    def set_observer(self, observer, every: int = 1) -> None:
+        """Attach an ``observer(now, queue_depth)`` callback.
+
+        Called after every ``every``-th :meth:`step` with the current
+        simulated time and event-heap depth; used by the observability
+        layer to sample ``sim_event_queue_depth``.  Pass ``None`` to
+        detach.
+        """
+        if every < 1:
+            raise SimulationError(f"observer interval must be >= 1, got {every}")
+        self._observer = observer
+        self._observer_every = every
 
     @property
     def now(self) -> float:
@@ -69,6 +85,10 @@ class Environment:
         event._processed = True
         for callback in callbacks:
             callback(event)
+        if self._observer is not None:
+            self._steps += 1
+            if self._steps % self._observer_every == 0:
+                self._observer(self._now, len(self._queue))
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run until the queue drains, a deadline passes, or an event fires.

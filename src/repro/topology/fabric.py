@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, Generator, Optional, Tuple
 
 from repro.core.constants import CALIBRATION, CalibrationConstants
+from repro.obs.events import LinkBusyEvent, LinkWaitEvent
 from repro.sim import Environment, Resource
 from repro.sim.resources import Store
 from repro.sim.events import Event
@@ -34,10 +35,17 @@ class Fabric:
         env: Environment,
         topology: SystemTopology,
         constants: CalibrationConstants = CALIBRATION,
+        observer: Optional[object] = None,
     ) -> None:
+        """``observer`` is anything with a ``publish(event)`` method
+        (normally the run's :class:`~repro.profile.profiler.Profiler`);
+        every DMA then emits per-directed-link
+        :class:`~repro.obs.events.LinkBusyEvent` /
+        :class:`~repro.obs.events.LinkWaitEvent` records."""
         self.env = env
         self.topology = topology
         self.constants = constants
+        self.observer = observer
         self._channels: Dict[DirectedKey, Resource] = {}
         for link in topology.links:
             self._channels[(link.name, link.a.name)] = Resource(env)
@@ -45,6 +53,12 @@ class Fabric:
         # Cumulative accounting, for profiler/bandwidth reports.
         self.bytes_moved: Dict[str, int] = {link.name: 0 for link in topology.links}
         self.busy_time: Dict[str, float] = {link.name: 0.0 for link in topology.links}
+        #: Contention: cumulative FIFO-queueing wait per link (seconds).
+        self.wait_time: Dict[str, float] = {link.name: 0.0 for link in topology.links}
+
+    def _publish(self, event) -> None:
+        if self.observer is not None:
+            self.observer.publish(event)
 
     def channel(self, link: Link, source: Node) -> Resource:
         """The FIFO resource guarding ``link`` in the ``source ->`` direction."""
@@ -63,21 +77,39 @@ class Fabric:
         this conservatively models a cut-through DMA whose slowest link
         paces the whole chain.
         """
+        requested = self.env.now
         requests = []
         current = leg.src
         for link in leg.links:
-            requests.append((link, self.channel(link, current).request()))
+            requests.append((link, current, self.channel(link, current).request()))
             current = link.other(current)
-        for _, req in requests:
+        for _, _, req in requests:
             yield req
+        granted = self.env.now
+        wait = granted - requested
         wire_time = leg.latency(self.constants) + nbytes / leg.bandwidth(self.constants)
         try:
             yield self.env.timeout(wire_time)
         finally:
-            for link, req in requests:
+            end = self.env.now
+            for link, src, req in requests:
                 self.bytes_moved[link.name] += nbytes
                 self.busy_time[link.name] += wire_time
+                self.wait_time[link.name] += wait
                 req.resource.release(req)
+                if self.observer is not None:
+                    dst = link.other(src)
+                    link_type = link.link_type.value
+                    if wait > 0:
+                        self._publish(LinkWaitEvent(
+                            link=link.name, src=src.name, dst=dst.name,
+                            link_type=link_type, wait=wait, at=granted,
+                        ))
+                    self._publish(LinkBusyEvent(
+                        link=link.name, src=src.name, dst=dst.name,
+                        link_type=link_type, nbytes=nbytes,
+                        start=granted, end=end,
+                    ))
 
     def transfer(self, route: Route, nbytes: int) -> Generator[Event, None, float]:
         """Process: move ``nbytes`` along a full route, store-and-forward.

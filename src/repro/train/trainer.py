@@ -27,6 +27,7 @@ from typing import Dict, Generator, List, Optional, Sequence
 from repro.comm import make_communicator
 from repro.core.config import SimulationConfig, TrainingConfig
 from repro.core.constants import CALIBRATION, CalibrationConstants
+from repro.obs.session import ObsSession
 from repro.dnn import build_network, compile_network, network_input_shape
 from repro.dnn.stats import NetworkStats
 from repro.gpu import GpuDevice, KernelCostModel, MemoryModel
@@ -56,12 +57,17 @@ class Trainer:
         network=None,
         input_shape=None,
         gpu_speed_factors=None,
+        obs: Optional[ObsSession] = None,
     ) -> None:
         """``network``/``input_shape`` override the zoo lookup, letting a
         custom :class:`~repro.dnn.network.Network` train under any
         configuration (``config.network`` then serves only as a label).
         ``gpu_speed_factors`` maps GPU position -> kernel-duration
-        multiplier (>1 = slower) for straggler-injection studies."""
+        multiplier (>1 = slower) for straggler-injection studies.
+        ``obs`` attaches an :class:`~repro.obs.session.ObsSession`: the
+        profiler, devices, fabric, communicator and sim engine then emit
+        typed events onto its bus, feeding the metrics registry and (if
+        enabled) the JSONL recorder."""
         self.config = config
         self.sim = sim
         self.constants = constants
@@ -70,6 +76,7 @@ class Trainer:
         self.keep_profiler = keep_profiler
         self.topology_builder = topology_builder
         self.gpu_speed_factors = dict(gpu_speed_factors or {})
+        self.obs = obs
         if network is not None:
             if input_shape is None:
                 raise ValueError("a custom network needs an explicit input_shape")
@@ -104,14 +111,21 @@ class Trainer:
             )
 
         env = Environment()
-        profiler = Profiler(enabled=False)
+        profiler = Profiler(
+            enabled=False,
+            bus=self.obs.bus if self.obs is not None else None,
+            clock=env,
+        )
+        if self.obs is not None:
+            env.set_observer(self.obs.queue_observer(profiler),
+                             every=self.obs.queue_sample_every)
         if self.config.cluster_nodes > 1:
             from repro.topology import build_dgx1v_cluster
 
             topology = build_dgx1v_cluster(self.config.cluster_nodes)
         else:
             topology = self.topology_builder()
-        fabric = Fabric(env, topology, self.constants)
+        fabric = Fabric(env, topology, self.constants, observer=profiler)
         router = Router(topology)
         devices = [
             GpuDevice(env, topology.gpu(i), self.spec, profiler,
@@ -269,19 +283,16 @@ class Trainer:
             self.constants.input_pipeline_residual
             + self.constants.input_cost_per_image * self.config.batch_size
         )
-        fp_start = env.now
-        for kernel in self._fwd:
-            yield env.process(dev.run_kernel(kernel))
-        fp_end = env.now
-        profiler.record_span("fp", dev.index, iteration, fp_start, fp_end)
-        for layer, kernels in self._bwd:
-            for kernel in kernels:
+        with profiler.span("fp", dev.index, iteration):
+            for kernel in self._fwd:
                 yield env.process(dev.run_kernel(kernel))
-            if layer.is_weighted:
-                grad_ready[layer.name][pos].succeed()
-        bp_end = env.now
-        bp_end_times[pos] = bp_end
-        profiler.record_span("bp", dev.index, iteration, fp_end, bp_end)
+        with profiler.span("bp", dev.index, iteration):
+            for layer, kernels in self._bwd:
+                for kernel in kernels:
+                    yield env.process(dev.run_kernel(kernel))
+                if layer.is_weighted:
+                    grad_ready[layer.name][pos].succeed()
+        bp_end_times[pos] = env.now
 
     def _weight_update(
         self, env: Environment, comm, grad_ready: Dict[str, List[Event]]

@@ -1,0 +1,182 @@
+"""Golden-file tests for the Prometheus / JSONL / CSV exporters."""
+
+import io
+import json
+import pathlib
+
+import pytest
+
+from repro.gpu.kernel import KernelSpec
+from repro.obs import (
+    EventBus,
+    JsonlRecorder,
+    KernelEvent,
+    LinkBusyEvent,
+    LinkWaitEvent,
+    MetricsRegistry,
+    QueueDepthEvent,
+    RingStepEvent,
+    event_to_dict,
+    install_default_metrics,
+    render_gpu_summary,
+    render_prometheus,
+    write_events_jsonl,
+    write_profile_csv,
+)
+from repro.profile import Profiler
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: The fixed event stream behind both golden files.
+GOLDEN_EVENTS = (
+    KernelEvent(gpu=0, name="conv1.fwd", layer="conv1", stage="fp",
+                start=0.0, end=0.002),
+    KernelEvent(gpu=1, name="conv1.fwd", layer="conv1", stage="fp",
+                start=0.0, end=0.003),
+    KernelEvent(gpu=0, name="sgd_update.conv1.weight", layer="conv1",
+                stage="wu", start=0.005, end=0.0055),
+    LinkBusyEvent(link="gpu0<->gpu1:nvlinkx2", src="gpu0", dst="gpu1",
+                  link_type="nvlink", nbytes=1048576, start=0.004, end=0.0042),
+    LinkWaitEvent(link="gpu0<->gpu1:nvlinkx2", src="gpu0", dst="gpu1",
+                  link_type="nvlink", wait=0.0001, at=0.004),
+    RingStepEvent(collective="reduce", array="conv1.weight", step=0,
+                  src=0, dst=1, link_type="nvlink", nbytes=524288,
+                  start=0.004, end=0.0041),
+    RingStepEvent(collective="reduce", array="conv1.weight", step=1,
+                  src=1, dst=2, link_type="nvlink", nbytes=524288,
+                  start=0.0041, end=0.0042),
+    QueueDepthEvent(now=0.004, depth=12),
+)
+
+
+def _publish_golden_stream(bus):
+    for event in GOLDEN_EVENTS:
+        bus.publish(event)
+
+
+def test_prometheus_output_matches_golden():
+    bus = EventBus()
+    registry = install_default_metrics(bus, MetricsRegistry())
+    _publish_golden_stream(bus)
+    rendered = render_prometheus(registry)
+    golden = (GOLDEN_DIR / "metrics.prom").read_text()
+    assert rendered == golden
+
+
+def test_jsonl_output_matches_golden():
+    buf = io.StringIO()
+    write_events_jsonl(GOLDEN_EVENTS, buf)
+    golden = (GOLDEN_DIR / "events.jsonl").read_text()
+    assert buf.getvalue() == golden
+
+
+def test_jsonl_lines_parse_back():
+    buf = io.StringIO()
+    count = write_events_jsonl(GOLDEN_EVENTS, buf)
+    lines = buf.getvalue().splitlines()
+    assert count == len(lines) == len(GOLDEN_EVENTS)
+    types = [json.loads(line)["type"] for line in lines]
+    assert types[0] == "KernelEvent"
+    assert "RingStepEvent" in types and "QueueDepthEvent" in types
+
+
+def test_jsonl_recorder_streams_and_replays():
+    bus = EventBus()
+    stream = io.StringIO()
+    recorder = JsonlRecorder(bus, stream=stream)
+    _publish_golden_stream(bus)
+    assert len(recorder.events) == len(GOLDEN_EVENTS)
+    # The write-through stream and the batch export agree.
+    batch = io.StringIO()
+    recorder.write(batch)
+    assert stream.getvalue() == batch.getvalue()
+    recorder.clear()
+    assert not recorder.events
+
+
+def test_event_to_dict_is_json_clean():
+    for event in GOLDEN_EVENTS:
+        payload = event_to_dict(event)
+        assert payload["type"] == type(event).__name__
+        json.dumps(payload)  # must not raise
+
+
+def test_prometheus_escapes_label_values():
+    registry = MetricsRegistry()
+    registry.counter("x_total", labelnames=("name",)).labels(
+        name='we"ird\\label\n'
+    ).inc()
+    text = render_prometheus(registry)
+    assert r'name="we\"ird\\label\n"' in text
+
+
+def test_prometheus_renders_untouched_labelless_metrics():
+    registry = MetricsRegistry()
+    registry.gauge("sim_event_queue_depth", "depth")
+    text = render_prometheus(registry)
+    assert "sim_event_queue_depth 0" in text
+
+
+def test_histogram_exposition_shape():
+    registry = MetricsRegistry()
+    h = registry.histogram("lat", buckets=(0.001, 0.01))
+    h.observe(0.005)
+    text = render_prometheus(registry)
+    assert 'lat_bucket{le="0.001"} 0' in text
+    assert 'lat_bucket{le="0.01"} 1' in text
+    assert 'lat_bucket{le="+Inf"} 1' in text
+    assert "lat_sum 0.005" in text
+    assert "lat_count 1" in text
+
+
+# ----------------------------------------------------------------------
+# CSV + nvprof-style report
+# ----------------------------------------------------------------------
+def _small_profiler():
+    p = Profiler()
+    k = KernelSpec(name="conv1.fwd", layer="conv1", stage="fp", duration=1.0,
+                   flops=0.0, bytes_moved=0)
+    p.record_kernel(0, k, 0.0, 0.002)
+    p.record_kernel(1, k, 0.0, 0.003)
+    p.record_transfer("h2d", -1, 0, 4096, 0.0, 0.001)
+    p.record_transfer("nccl", 0, -1, 8192, 0.004, 0.005)
+    p.record_api("cudaStreamSynchronize", 0, 0.003, 0.005)
+    p.record_span("fp", 0, 0, 0.0, 0.003)
+    return p
+
+
+def test_csv_export_row_per_record():
+    p = _small_profiler()
+    buf = io.StringIO()
+    rows = write_profile_csv(p, buf)
+    lines = buf.getvalue().splitlines()
+    assert rows == 6
+    assert len(lines) == 7  # header + rows
+    assert lines[0].startswith("record,name,gpu,kind")
+    kinds = [line.split(",")[0] for line in lines[1:]]
+    assert kinds == ["kernel", "kernel", "transfer", "transfer", "api", "span"]
+
+
+def test_gpu_summary_report_shape():
+    text = render_gpu_summary(_small_profiler())
+    assert "==PROF==" in text
+    assert "GPU activities:" in text
+    assert "API calls:" in text
+    assert "conv1.fwd" in text
+    assert "[CUDA memcpy HtoD]" in text
+    assert "[NCCL collective]" in text
+    assert "cudaStreamSynchronize" in text
+    assert "gpu0:" in text and "gpu1:" in text
+
+
+def test_gpu_summary_groups_and_ranks_by_total_time():
+    text = render_gpu_summary(_small_profiler())
+    lines = text.splitlines()
+    conv = next(l for l in lines if l.strip().endswith("conv1.fwd"))
+    # Two calls grouped into one row.
+    assert "     2  " in conv
+
+
+def test_gpu_summary_empty_profiler():
+    text = render_gpu_summary(Profiler())
+    assert "(none recorded)" in text

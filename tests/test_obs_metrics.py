@@ -1,0 +1,149 @@
+"""Tests for the labelled metrics registry and the event->metric bridge."""
+
+import pytest
+
+from repro.obs import (
+    EventBus,
+    KernelEvent,
+    LinkBusyEvent,
+    LinkWaitEvent,
+    MetricsRegistry,
+    QueueDepthEvent,
+    RingStepEvent,
+    install_default_metrics,
+)
+from repro.obs.metrics import MetricError
+
+
+# ----------------------------------------------------------------------
+# Instruments
+# ----------------------------------------------------------------------
+def test_counter_labels_accumulate_independently():
+    registry = MetricsRegistry()
+    c = registry.counter("kernel_time_total", "busy", ("gpu", "stage"))
+    c.labels(gpu=0, stage="fp").inc(1.5)
+    c.labels(gpu=0, stage="fp").inc(0.5)
+    c.labels(gpu=1, stage="bp").inc(3.0)
+    assert registry.counter_value("kernel_time_total", gpu=0, stage="fp") == 2.0
+    assert registry.counter_value("kernel_time_total", gpu=1, stage="bp") == 3.0
+    assert registry.counter_value("kernel_time_total", gpu=9, stage="fp") == 0.0
+
+
+def test_counter_rejects_decrease():
+    c = MetricsRegistry().counter("x_total")
+    with pytest.raises(MetricError):
+        c.inc(-1)
+
+
+def test_counter_label_schema_enforced():
+    c = MetricsRegistry().counter("x_total", labelnames=("a",))
+    with pytest.raises(MetricError):
+        c.labels(b=1)
+    with pytest.raises(MetricError):
+        c.labels()
+    with pytest.raises(MetricError):
+        c.inc()  # labelled counter needs .labels()
+
+
+def test_gauge_set_inc_dec():
+    g = MetricsRegistry().gauge("depth")
+    g.set(10)
+    g.inc(5)
+    g.dec(2)
+    assert g.value == 13
+
+
+def test_histogram_buckets_are_cumulative():
+    h = MetricsRegistry().histogram("d", buckets=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+        h.observe(v)
+    child = h.labels()
+    assert child.cumulative_counts() == [1, 3, 4]
+    assert child.count == 5
+    assert child.sum == pytest.approx(56.05)
+
+
+def test_registry_get_or_create_is_idempotent():
+    registry = MetricsRegistry()
+    a = registry.counter("x_total", labelnames=("k",))
+    b = registry.counter("x_total", labelnames=("k",))
+    assert a is b
+
+
+def test_registry_rejects_kind_and_schema_mismatch():
+    registry = MetricsRegistry()
+    registry.counter("x_total", labelnames=("k",))
+    with pytest.raises(MetricError):
+        registry.gauge("x_total")
+    with pytest.raises(MetricError):
+        registry.counter("x_total", labelnames=("other",))
+
+
+def test_collect_is_sorted_by_name():
+    registry = MetricsRegistry()
+    registry.counter("zeta_total")
+    registry.counter("alpha_total")
+    assert [m.name for m in registry.collect()] == ["alpha_total", "zeta_total"]
+
+
+# ----------------------------------------------------------------------
+# Bridge: events -> canonical metrics
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def wired():
+    bus = EventBus()
+    registry = install_default_metrics(bus, MetricsRegistry())
+    return bus, registry
+
+
+def test_kernel_events_feed_kernel_time(wired):
+    bus, registry = wired
+    bus.publish(KernelEvent(gpu=0, name="k", layer="l", stage="fp",
+                            start=0.0, end=1.5))
+    bus.publish(KernelEvent(gpu=0, name="k", layer="l", stage="fp",
+                            start=2.0, end=2.5))
+    assert registry.counter_value("kernel_time_total", gpu=0, stage="fp") == 2.0
+    assert registry.counter_value("kernels_total", gpu=0, stage="fp") == 2
+
+
+def test_link_busy_materializes_zero_wait_counter(wired):
+    bus, registry = wired
+    bus.publish(LinkBusyEvent(link="gpu0<->gpu1:nvlinkx2", src="gpu0",
+                              dst="gpu1", link_type="nvlink", nbytes=100,
+                              start=0.0, end=1.0))
+    assert registry.counter_value("link_bytes_total", src="gpu0", dst="gpu1",
+                                  link_type="nvlink") == 100
+    # The wait counter exists (at zero) the moment the link carries traffic.
+    assert {"src": "gpu0", "dst": "gpu1", "link_type": "nvlink"} in (
+        registry.label_sets("link_wait_time_total")
+    )
+
+
+def test_link_wait_accumulates(wired):
+    bus, registry = wired
+    for _ in range(2):
+        bus.publish(LinkWaitEvent(link="gpu0<->gpu1:nvlinkx2", src="gpu0",
+                                  dst="gpu1", link_type="nvlink",
+                                  wait=0.25, at=1.0))
+    assert registry.counter_value("link_wait_time_total", src="gpu0",
+                                  dst="gpu1", link_type="nvlink") == 0.5
+
+
+def test_ring_steps_feed_link_bytes_and_histogram(wired):
+    bus, registry = wired
+    bus.publish(RingStepEvent(collective="reduce", array="w", step=0,
+                              src=0, dst=1, link_type="nvlink", nbytes=4096,
+                              start=0.0, end=1e-5))
+    assert registry.counter_value("ring_steps_total", collective="reduce") == 1
+    assert registry.counter_value("link_bytes_total", src="gpu0", dst="gpu1",
+                                  link_type="nvlink") == 4096
+    hist = registry.get("ring_step_seconds")
+    assert hist.labels(collective="reduce").count == 1
+
+
+def test_queue_depth_gauge_tracks_max(wired):
+    bus, registry = wired
+    for depth in (3, 17, 5):
+        bus.publish(QueueDepthEvent(now=0.0, depth=depth))
+    assert registry.get("sim_event_queue_depth").value == 5
+    assert registry.get("sim_event_queue_depth_max").value == 17

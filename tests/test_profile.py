@@ -114,20 +114,41 @@ def test_chrome_trace_round_trips(profiler):
     buf = io.StringIO()
     export_chrome_trace(profiler, buf)
     data = json.loads(buf.getvalue())
-    events = data["traceEvents"]
-    assert len(events) == len(profiler.kernels) + len(profiler.transfers) + len(
-        profiler.apis
-    ) + len(profiler.spans)
-    for event in events:
-        assert event["ph"] == "X"
+    assert data["displayTimeUnit"] == "ms"
+    duration_events = [e for e in data["traceEvents"] if e["ph"] == "X"]
+    assert len(duration_events) == len(profiler.kernels) + len(
+        profiler.transfers
+    ) + len(profiler.apis) + len(profiler.spans)
+    for event in duration_events:
         assert event["dur"] >= 0
+
+
+def test_chrome_trace_lane_metadata(profiler):
+    buf = io.StringIO()
+    export_chrome_trace(profiler, buf)
+    meta = [e for e in json.loads(buf.getvalue())["traceEvents"] if e["ph"] == "M"]
+    process_names = {e["args"]["name"] for e in meta if e["name"] == "process_name"}
+    thread_names = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+    assert {"GPU kernels", "Fabric transfers", "Host (CUDA APIs)",
+            "Stages"} <= process_names
+    assert {"GPU 0", "GPU 1"} <= thread_names   # one lane per GPU index
 
 
 def test_chrome_trace_collective_destination(profiler):
     buf = io.StringIO()
     export_chrome_trace(profiler, buf)
-    names = [e["name"] for e in json.loads(buf.getvalue())["traceEvents"]]
+    events = json.loads(buf.getvalue())["traceEvents"]
+    names = [e["name"] for e in events]
     assert "nccl:0->all" in names
+    # Collectives get their own named lane instead of a bogus p2p one.
+    lane_names = {
+        e["args"]["name"] for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert "nccl collectives (all GPUs)" in lane_names
+    collective = next(e for e in events if e["name"] == "nccl:0->all")
+    p2p = next(e for e in events if e["name"].startswith("p2p:"))
+    assert collective["tid"] != p2p["tid"]
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,96 @@
+"""Focused coverage for profile.summary: multi-iteration aggregation,
+straggler semantics, edge cases the smoke tests in test_profile.py skip."""
+
+import pytest
+
+from repro.gpu.kernel import KernelSpec
+from repro.profile import Profiler, summarize_apis, summarize_stages
+from repro.profile.summary import gpu_busy_fractions
+
+
+def _kernel(name="k", stage="fp"):
+    return KernelSpec(name=name, layer="l", stage=stage, duration=1.0,
+                      flops=0.0, bytes_moved=0)
+
+
+def _two_iteration_profiler():
+    p = Profiler()
+    # Iteration 0: fp straggler on GPU 1 (1.5), bp straggler on GPU 0 (2.0).
+    p.record_span("fp", 0, 0, 0.0, 1.0)
+    p.record_span("fp", 1, 0, 0.0, 1.5)
+    p.record_span("bp", 0, 0, 1.5, 3.5)
+    p.record_span("bp", 1, 0, 1.5, 3.0)
+    p.record_span("wu", -1, 0, 3.5, 4.0)
+    p.record_span("iteration", -1, 0, 0.0, 4.0)
+    # Iteration 1: uniformly slower.
+    p.record_span("fp", 0, 1, 4.0, 6.5)
+    p.record_span("fp", 1, 1, 4.0, 6.0)
+    p.record_span("bp", 0, 1, 6.5, 9.5)
+    p.record_span("bp", 1, 1, 6.5, 9.0)
+    p.record_span("wu", -1, 1, 9.5, 10.5)
+    p.record_span("iteration", -1, 1, 4.0, 10.5)
+    return p
+
+
+def test_stage_means_average_per_iteration_stragglers():
+    stages = summarize_stages(_two_iteration_profiler())
+    # fp: mean(max(1.0, 1.5), max(2.5, 2.0)) = mean(1.5, 2.5)
+    assert stages.fp == pytest.approx(2.0)
+    # bp: mean(max(2.0, 1.5), max(3.0, 2.5)) = mean(2.0, 3.0)
+    assert stages.bp == pytest.approx(2.5)
+    assert stages.wu == pytest.approx(0.75)
+    assert stages.iteration == pytest.approx(5.25)
+    assert stages.fp_bp == pytest.approx(4.5)
+    assert stages.wu_fraction == pytest.approx(0.75 / 5.25)
+
+
+def test_stage_missing_in_some_iterations_averages_over_present_ones():
+    p = Profiler()
+    p.record_span("fp", 0, 0, 0.0, 1.0)
+    p.record_span("iteration", -1, 0, 0.0, 1.0)
+    p.record_span("fp", 0, 1, 1.0, 4.0)
+    p.record_span("iteration", -1, 1, 1.0, 4.0)
+    p.record_span("wu", -1, 1, 3.0, 4.0)   # wu only in iteration 1
+    stages = summarize_stages(p)
+    assert stages.fp == pytest.approx(2.0)
+    assert stages.wu == pytest.approx(1.0)  # averaged over 1 value, not 2
+
+
+def test_api_summary_merges_and_orders_by_total():
+    p = Profiler()
+    p.record_api("cudaLaunchKernel", 0, 0.0, 0.1)
+    p.record_api("cudaLaunchKernel", 1, 0.0, 0.2)
+    p.record_api("cudaMemcpyAsync", 0, 0.0, 0.05)
+    p.record_api("cudaStreamSynchronize", 0, 0.0, 1.0)
+    summary = summarize_apis(p)
+    assert [name for name, _ in summary.totals] == [
+        "cudaStreamSynchronize", "cudaLaunchKernel", "cudaMemcpyAsync",
+    ]
+    assert summary.time_of("cudaLaunchKernel") == pytest.approx(0.3)
+    assert summary.total_time == pytest.approx(1.35)
+    percents = [summary.percent_of(name) for name, _ in summary.totals]
+    assert sum(percents) == pytest.approx(100.0)
+
+
+def test_api_summary_empty_profiler():
+    summary = summarize_apis(Profiler())
+    assert summary.totals == ()
+    assert summary.total_time == 0.0
+    assert summary.percent_of("anything") == 0.0
+
+
+def test_gpu_busy_fractions_window_from_spans():
+    p = _two_iteration_profiler()
+    p.record_kernel(0, _kernel(), 0.0, 2.1)
+    p.record_kernel(1, _kernel(), 0.0, 4.2)
+    busy = gpu_busy_fractions(p)
+    # Window spans both iterations: 0.0 .. 10.5.
+    assert busy[0] == pytest.approx(2.1 / 10.5)
+    assert busy[1] == pytest.approx(4.2 / 10.5)
+    assert list(busy) == [0, 1]   # sorted by GPU index
+
+
+def test_gpu_busy_fractions_empty_window():
+    p = Profiler()
+    p.record_kernel(0, _kernel(), 0.0, 1.0)   # kernels but no spans
+    assert gpu_busy_fractions(p) == {}
