@@ -1,0 +1,65 @@
+"""Bench: SweepRunner wall-clock, serial vs process-pool vs cached.
+
+One reduced paper sweep (two networks, both comm methods, two batches,
+four GPU counts = 32 simulations) run three ways:
+
+* ``serial``   -- jobs=1, the baseline every experiment used to pay,
+* ``jobs2`` / ``jobs4`` -- the same spec fanned out over worker processes
+  (results are asserted identical to serial), and
+* ``cached``   -- answered entirely from a warm disk cache.
+
+pytest-benchmark's comparison table then reads as a speedup report for
+the subsystem.  Pool speedup tracks the host's core count (on a
+single-core machine jobs=N only adds pickling overhead); the cached run
+should beat serial by 2-3 orders of magnitude anywhere.
+"""
+
+import pytest
+
+from repro.analysis.serialization import result_to_dict
+from repro.core.config import CommMethodName
+from repro.runner import ResultStore, SweepRunner, SweepSpec
+
+from conftest import BENCH_SIM
+
+
+def _spec() -> SweepSpec:
+    return SweepSpec.grid(
+        "bench",
+        networks=("lenet", "googlenet"),
+        comm_methods=(CommMethodName.P2P, CommMethodName.NCCL),
+        batch_sizes=(16, 32),
+        gpu_counts=(1, 2, 4, 8),
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    return SweepRunner(sim=BENCH_SIM).run(_spec())
+
+
+def test_sweep_serial(run_once, serial_results):
+    results = run_once(SweepRunner(sim=BENCH_SIM).run, _spec())
+    assert len(results) == 32
+    assert all(o.ok for o in results)
+
+
+@pytest.mark.parametrize("jobs", (2, 4))
+def test_sweep_parallel(run_once, serial_results, jobs):
+    runner = SweepRunner(sim=BENCH_SIM, jobs=jobs)
+    results = run_once(runner.run, _spec())
+    assert runner.stats.executed == 32
+    for a, b in zip(serial_results, results):
+        assert result_to_dict(a.result) == result_to_dict(b.result)
+
+
+def test_sweep_cached(run_once, tmp_path, serial_results):
+    store = ResultStore(tmp_path)
+    SweepRunner(sim=BENCH_SIM, store=store).run(_spec())   # warm the cache
+
+    cold = SweepRunner(sim=BENCH_SIM, store=ResultStore(tmp_path))
+    results = run_once(cold.run, _spec())
+    assert cold.stats.executed == 0
+    assert cold.stats.disk_hits == 32
+    for a, b in zip(serial_results, results):
+        assert result_to_dict(a.result) == result_to_dict(b.result)

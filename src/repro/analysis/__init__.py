@@ -16,7 +16,14 @@ from repro.analysis.scaling import (
     karp_flatt,
     scaling_curve,
 )
-from repro.analysis.serialization import result_from_dict, result_to_dict
+from repro.analysis.serialization import (
+    SCHEMA_VERSION,
+    SchemaMismatchError,
+    async_result_from_dict,
+    async_result_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
 from repro.analysis.validation import PAPER_ANCHORS, PaperAnchor, ValidationReport, validate
 
 __all__ = [
@@ -24,9 +31,13 @@ __all__ = [
     "CrossoverStudy",
     "PAPER_ANCHORS",
     "PaperAnchor",
+    "SCHEMA_VERSION",
+    "SchemaMismatchError",
     "ValidationReport",
     "ScalingCurve",
     "amdahl_serial_fraction",
+    "async_result_from_dict",
+    "async_result_to_dict",
     "karp_flatt",
     "result_from_dict",
     "result_to_dict",

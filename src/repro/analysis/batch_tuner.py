@@ -15,7 +15,7 @@ from typing import List, Optional, Tuple
 from repro.core.config import CommMethodName, SimulationConfig, TrainingConfig
 from repro.core.errors import OutOfMemoryError
 from repro.experiments.tables import render_table
-from repro.train import Trainer
+from repro.runner import OomPolicy, SweepRunner, SweepSpec
 
 
 @dataclass(frozen=True)
@@ -45,6 +45,33 @@ class BatchTuneResult:
         return self.best.images_per_second / ref.images_per_second
 
 
+def sweep_spec(
+    network: str,
+    num_gpus: int = 8,
+    comm_method: CommMethodName = CommMethodName.NCCL,
+    start_batch: int = 16,
+    limit: int = 1024,
+) -> SweepSpec:
+    """Every power-of-two batch up to ``limit``; OOM points are recorded.
+
+    Memory use grows monotonically with batch size, so the curve is the
+    prefix of successful points up to the first recorded OOM.
+    """
+    batches = []
+    batch = start_batch
+    while batch <= limit:
+        batches.append(batch)
+        batch *= 2
+    return SweepSpec.grid(
+        f"tune-{network}",
+        networks=(network,),
+        batch_sizes=tuple(batches),
+        gpu_counts=(num_gpus,),
+        comm_methods=(comm_method,),
+        oom_policy=OomPolicy.RECORD,
+    )
+
+
 def tune_batch_size(
     network: str,
     num_gpus: int = 8,
@@ -52,31 +79,32 @@ def tune_batch_size(
     start_batch: int = 16,
     limit: int = 1024,
     sim: Optional[SimulationConfig] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> BatchTuneResult:
     """Sweep power-of-two batches until OOM; return the curve and winner."""
-    sim = sim or SimulationConfig()
+    if runner is None:
+        runner = SweepRunner(sim=sim or SimulationConfig())
+    results = runner.run(
+        sweep_spec(network, num_gpus, comm_method, start_batch, limit)
+    )
     points: List[BatchPoint] = []
     oom_batch: Optional[int] = None
-    batch = start_batch
-    while batch <= limit:
-        config = TrainingConfig(network, batch, num_gpus, comm_method=comm_method)
-        try:
-            result = Trainer(config, sim=sim).run()
-        except OutOfMemoryError:
-            oom_batch = batch
+    for outcome in results:
+        if outcome.oom is not None:
+            oom_batch = outcome.point.config.batch_size
             break
+        result = outcome.result
         gpu0 = next(
             m for m in result.memory if m.phase == "training" and m.gpu == 0
         )
         points.append(
             BatchPoint(
-                batch_size=batch,
+                batch_size=outcome.point.config.batch_size,
                 epoch_time=result.epoch_time,
                 images_per_second=result.images_per_second,
                 gpu0_memory_gb=gpu0.total_gb,
             )
         )
-        batch *= 2
     if not points:
         raise OutOfMemoryError("tuner", 0, 0)
     return BatchTuneResult(

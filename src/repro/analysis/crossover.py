@@ -18,7 +18,7 @@ from repro.core.config import CommMethodName, SimulationConfig, TrainingConfig
 from repro.dnn.builder import NetworkBuilder
 from repro.dnn.network import Network
 from repro.dnn.shapes import Shape
-from repro.train import Trainer
+from repro.runner import SweepPoint, SweepRunner, SweepSpec
 
 #: Input resolution of the synthetic family.
 SYNTHETIC_INPUT = Shape(3, 64, 64)
@@ -78,34 +78,55 @@ class CrossoverStudy:
         num_gpus: int = 8,
         batch_size: int = 16,
         sim: Optional[SimulationConfig] = None,
+        runner: Optional[SweepRunner] = None,
     ) -> None:
         self.num_gpus = num_gpus
         self.batch_size = batch_size
-        self.sim = sim or SimulationConfig()
+        if runner is None:
+            runner = SweepRunner(sim=sim or SimulationConfig())
+        self.runner = runner
 
-    def _epoch(self, network: Network, method: CommMethodName) -> float:
-        config = TrainingConfig(
-            network.name, self.batch_size, self.num_gpus, comm_method=method
-        )
-        trainer = Trainer(
-            config, sim=self.sim, network=network, input_shape=SYNTHETIC_INPUT,
-            check_memory=False,
-        )
-        return trainer.run().epoch_time
+    def sweep_spec(
+        self, depths: Tuple[int, ...] = (2, 4, 8, 16, 32, 64)
+    ) -> SweepSpec:
+        """P2P and NCCL points for each synthetic depth."""
+        points: List[SweepPoint] = []
+        for depth in depths:
+            network = synthetic_conv_network(depth)
+            for method in (CommMethodName.P2P, CommMethodName.NCCL):
+                points.append(
+                    SweepPoint.make(
+                        TrainingConfig(
+                            network.name, self.batch_size, self.num_gpus,
+                            comm_method=method,
+                        ),
+                        overrides={
+                            "network": network,
+                            "input_shape": SYNTHETIC_INPUT,
+                            "check_memory": False,
+                        },
+                        tags={"depth": depth},
+                    )
+                )
+        return SweepSpec.explicit("crossover", points)
 
     def run(self, depths: Tuple[int, ...] = (2, 4, 8, 16, 32, 64)) -> CrossoverStudyResult:
         from repro.dnn import compile_network
 
+        results = self.runner.run(self.sweep_spec(depths))
         points: List[CrossoverPoint] = []
         for depth in depths:
-            network = synthetic_conv_network(depth)
-            stats = compile_network(network, SYNTHETIC_INPUT)
+            stats = compile_network(synthetic_conv_network(depth), SYNTHETIC_INPUT)
             points.append(
                 CrossoverPoint(
                     depth=depth,
                     weight_arrays=len(stats.weight_arrays),
-                    p2p_epoch=self._epoch(network, CommMethodName.P2P),
-                    nccl_epoch=self._epoch(network, CommMethodName.NCCL),
+                    p2p_epoch=results.result(
+                        depth=depth, comm_method=CommMethodName.P2P
+                    ).epoch_time,
+                    nccl_epoch=results.result(
+                        depth=depth, comm_method=CommMethodName.NCCL
+                    ).epoch_time,
                 )
             )
         return CrossoverStudyResult(

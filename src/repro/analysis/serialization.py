@@ -2,8 +2,19 @@
 
 Sweeps are cheap to re-run but expensive to re-plot; these helpers round-
 trip :class:`~repro.train.results.TrainingResult` (minus the raw profiler,
-which has its own Chrome-trace exporter) through plain dicts suitable for
-``json.dump``.
+which has its own Chrome-trace exporter) and
+:class:`~repro.train.async_trainer.AsyncResult` through plain dicts
+suitable for ``json.dump``.  The persistent sweep cache
+(:mod:`repro.runner.store`) stores exactly these dicts, so
+``SCHEMA_VERSION`` doubles as the cache format version: bump it whenever
+a field is added, removed or reinterpreted, and loads of mismatched data
+are refused with :class:`SchemaMismatchError`.
+
+Schema history
+--------------
+* 1 -- initial format (config missing ``cluster_nodes``,
+  ``fp16_gradients``, ``optimizer``).
+* 2 -- full :class:`TrainingConfig` coverage and ``AsyncResult`` support.
 """
 
 from __future__ import annotations
@@ -14,26 +25,66 @@ from repro.core.config import CommMethodName, ScalingMode, TrainingConfig
 from repro.gpu.memory import MemoryUsage
 from repro.profile.smi import MemoryReading
 from repro.profile.summary import ApiSummary, StageBreakdown
+from repro.train.async_trainer import AsyncResult
 from repro.train.results import TrainingResult
 
-#: Schema version stamped into every exported dict.
-SCHEMA_VERSION = 1
+#: Schema version stamped into every exported dict (and hashed into every
+#: persistent-cache key).
+SCHEMA_VERSION = 2
+
+
+class SchemaMismatchError(ValueError):
+    """An exported dict was written by an incompatible schema version."""
+
+    def __init__(self, found: Any) -> None:
+        self.found = found
+        super().__init__(
+            f"unsupported result schema {found!r}: this library reads and "
+            f"writes schema {SCHEMA_VERSION}; re-export the result (or clear "
+            f"the sweep cache) with the current library version"
+        )
+
+
+def _check_schema(data: Dict[str, Any]) -> None:
+    if data.get("schema") != SCHEMA_VERSION:
+        raise SchemaMismatchError(data.get("schema"))
+
+
+def _config_to_dict(c: TrainingConfig) -> Dict[str, Any]:
+    return {
+        "network": c.network,
+        "batch_size": c.batch_size,
+        "num_gpus": c.num_gpus,
+        "comm_method": c.comm_method.value,
+        "scaling": c.scaling.value,
+        "dataset_images": c.dataset_images,
+        "overlap_bp_wu": c.overlap_bp_wu,
+        "cluster_nodes": c.cluster_nodes,
+        "fp16_gradients": c.fp16_gradients,
+        "optimizer": c.optimizer,
+    }
+
+
+def _config_from_dict(c: Dict[str, Any]) -> TrainingConfig:
+    return TrainingConfig(
+        network=c["network"],
+        batch_size=c["batch_size"],
+        num_gpus=c["num_gpus"],
+        comm_method=CommMethodName(c["comm_method"]),
+        scaling=ScalingMode(c["scaling"]),
+        dataset_images=c["dataset_images"],
+        overlap_bp_wu=c["overlap_bp_wu"],
+        cluster_nodes=c["cluster_nodes"],
+        fp16_gradients=c["fp16_gradients"],
+        optimizer=c["optimizer"],
+    )
 
 
 def result_to_dict(result: TrainingResult) -> Dict[str, Any]:
     """A JSON-serializable representation of ``result``."""
-    c = result.config
     return {
         "schema": SCHEMA_VERSION,
-        "config": {
-            "network": c.network,
-            "batch_size": c.batch_size,
-            "num_gpus": c.num_gpus,
-            "comm_method": c.comm_method.value,
-            "scaling": c.scaling.value,
-            "dataset_images": c.dataset_images,
-            "overlap_bp_wu": c.overlap_bp_wu,
-        },
+        "config": _config_to_dict(result.config),
         "iteration_time": result.iteration_time,
         "iteration_times": list(result.iteration_times),
         "epoch_time": result.epoch_time,
@@ -64,19 +115,13 @@ def result_to_dict(result: TrainingResult) -> Dict[str, Any]:
 
 
 def result_from_dict(data: Dict[str, Any]) -> TrainingResult:
-    """Rebuild a :class:`TrainingResult` exported by :func:`result_to_dict`."""
-    if data.get("schema") != SCHEMA_VERSION:
-        raise ValueError(f"unsupported schema {data.get('schema')!r}")
-    c = data["config"]
-    config = TrainingConfig(
-        network=c["network"],
-        batch_size=c["batch_size"],
-        num_gpus=c["num_gpus"],
-        comm_method=CommMethodName(c["comm_method"]),
-        scaling=ScalingMode(c["scaling"]),
-        dataset_images=c["dataset_images"],
-        overlap_bp_wu=c["overlap_bp_wu"],
-    )
+    """Rebuild a :class:`TrainingResult` exported by :func:`result_to_dict`.
+
+    Raises :class:`SchemaMismatchError` for dicts written by any other
+    schema version.
+    """
+    _check_schema(data)
+    config = _config_from_dict(data["config"])
     stages = StageBreakdown(
         fp=data["stages"]["fp"],
         bp=data["stages"]["bp"],
@@ -111,4 +156,34 @@ def result_from_dict(data: Dict[str, Any]) -> TrainingResult:
         compute_utilization=data["compute_utilization"],
         memory=memory,
         profiler=None,
+    )
+
+
+def async_result_to_dict(result: AsyncResult) -> Dict[str, Any]:
+    """A JSON-serializable representation of an asynchronous run."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "config": _config_to_dict(result.config),
+        "iteration_time": result.iteration_time,
+        "epoch_time": result.epoch_time,
+        "images_per_second": result.images_per_second,
+        "staleness_mean": result.staleness_mean,
+        "staleness_max": result.staleness_max,
+        "staleness_samples": list(result.staleness_samples),
+        "server_updates": result.server_updates,
+    }
+
+
+def async_result_from_dict(data: Dict[str, Any]) -> AsyncResult:
+    """Rebuild an :class:`AsyncResult` exported by :func:`async_result_to_dict`."""
+    _check_schema(data)
+    return AsyncResult(
+        config=_config_from_dict(data["config"]),
+        iteration_time=data["iteration_time"],
+        epoch_time=data["epoch_time"],
+        images_per_second=data["images_per_second"],
+        staleness_mean=data["staleness_mean"],
+        staleness_max=data["staleness_max"],
+        staleness_samples=tuple(data["staleness_samples"]),
+        server_updates=data["server_updates"],
     )

@@ -3,8 +3,8 @@
 Every quantitative claim the reproduction targets is encoded here as a
 :class:`PaperAnchor` with its source in the paper, the expected value or
 ordering, and a tolerance.  ``validate()`` evaluates all of them against a
-:class:`~repro.experiments.runner.RunCache` and renders a verdict table --
-the programmatic counterpart of EXPERIMENTS.md.
+:class:`~repro.runner.SweepRunner` and renders a verdict table -- the
+programmatic counterpart of EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -12,11 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.core.config import CommMethodName, ScalingMode
+from repro.core.config import CommMethodName, ScalingMode, TrainingConfig
 from repro.dnn import build_network, compile_network, network_input_shape
-from repro.experiments.runner import RunCache
 from repro.experiments.tables import render_table
 from repro.gpu import MemoryModel
+from repro.runner import SweepPoint, SweepRunner, SweepSpec
+
+#: Backwards-compatible alias (anchors were written against ``RunCache``).
+RunCache = SweepRunner
 
 P2P, NCCL = CommMethodName.P2P, CommMethodName.NCCL
 
@@ -162,12 +165,66 @@ PAPER_ANCHORS: Tuple[PaperAnchor, ...] = (
 )
 
 
+#: Every (network, batch, gpus, method, scaling) the default anchors read.
+_ANCHOR_CELLS: Tuple[Tuple[str, int, int, CommMethodName, ScalingMode], ...] = (
+    tuple(
+        ("lenet", 16, g, m, ScalingMode.STRONG)
+        for m in (P2P, NCCL) for g in (1, 2, 4, 8)
+    )
+    + (
+        ("lenet", 32, 4, P2P, ScalingMode.STRONG),
+        ("lenet", 64, 4, P2P, ScalingMode.STRONG),
+        ("lenet", 64, 1, P2P, ScalingMode.STRONG),
+        ("lenet", 64, 1, NCCL, ScalingMode.STRONG),
+        ("alexnet", 16, 8, P2P, ScalingMode.STRONG),
+        ("alexnet", 16, 8, NCCL, ScalingMode.STRONG),
+        ("googlenet", 16, 8, P2P, ScalingMode.STRONG),
+        ("googlenet", 16, 8, NCCL, ScalingMode.STRONG),
+        ("inception-v3", 16, 8, P2P, ScalingMode.STRONG),
+        ("inception-v3", 16, 8, NCCL, ScalingMode.STRONG),
+        ("inception-v3", 16, 1, NCCL, ScalingMode.STRONG),
+        ("inception-v3", 16, 2, NCCL, ScalingMode.STRONG),
+        ("lenet", 16, 1, NCCL, ScalingMode.WEAK),
+        ("lenet", 16, 8, NCCL, ScalingMode.WEAK),
+        ("inception-v3", 16, 1, NCCL, ScalingMode.WEAK),
+        ("inception-v3", 16, 8, NCCL, ScalingMode.WEAK),
+    )
+)
+
+
+def anchor_sweep_spec() -> SweepSpec:
+    """All simulations the default anchor set reads, as one spec.
+
+    Running this spec up front lets a parallel runner fan the anchor
+    workload out before the (serial, memo-hitting) ``measure`` lambdas
+    evaluate.
+    """
+    return SweepSpec.explicit(
+        "anchors",
+        [
+            SweepPoint(config=TrainingConfig(
+                network=net, batch_size=batch, num_gpus=gpus,
+                comm_method=method, scaling=scaling,
+            ))
+            for net, batch, gpus, method, scaling in _ANCHOR_CELLS
+        ],
+    )
+
+
 def validate(
-    cache: Optional[RunCache] = None,
+    cache: Optional[SweepRunner] = None,
     anchors: Sequence[PaperAnchor] = PAPER_ANCHORS,
+    prewarm: bool = True,
 ) -> ValidationReport:
-    """Evaluate every anchor; OOM or model errors propagate loudly."""
-    cache = cache if cache is not None else RunCache()
+    """Evaluate every anchor; OOM or model errors propagate loudly.
+
+    With ``prewarm`` (the default) the full default-anchor sweep is
+    executed through the runner first, so ``--jobs N`` parallelism and the
+    persistent cache both apply; the measures then answer from the memo.
+    """
+    cache = cache if cache is not None else SweepRunner()
+    if prewarm and anchors is PAPER_ANCHORS:
+        cache.run(anchor_sweep_spec())
     verdicts = [
         AnchorVerdict(anchor=a, measured=a.measure(cache)) for a in anchors
     ]

@@ -1,9 +1,12 @@
 """Regeneration of every table and figure in the paper's evaluation.
 
-Each module exposes ``run(...)`` returning a structured result and
-``render(result)`` producing the text table/series; the CLI
-(``repro-experiments``) drives them.  A shared :class:`~repro.experiments.runner.RunCache`
-deduplicates training simulations across experiments.
+Each module exposes ``sweep_spec(...)`` describing its simulations as a
+declarative :class:`~repro.runner.SweepSpec` and ``run(...)`` returning a
+structured result, plus ``render(result)`` producing the text table or
+series; the CLI (``repro-experiments``) drives them.  All sweeps execute
+through a shared :class:`~repro.runner.SweepRunner`, which deduplicates
+training simulations across experiments, optionally fans them out over a
+process pool (``--jobs``), and persists results on disk (``--cache-dir``).
 
 ===========  =====================================================
 Experiment   Paper artifact
@@ -21,5 +24,6 @@ Experiment   Paper artifact
 """
 
 from repro.experiments.runner import RunCache
+from repro.runner import SweepRunner, SweepSpec
 
-__all__ = ["RunCache"]
+__all__ = ["RunCache", "SweepRunner", "SweepSpec"]

@@ -20,8 +20,8 @@ from typing import List, Optional, Tuple
 
 from repro.core.config import CommMethodName, SimulationConfig, TrainingConfig
 from repro.experiments.tables import render_table
+from repro.runner import SweepPoint, SweepRunner, SweepSpec
 from repro.topology import build_dgx1v
-from repro.train import Trainer
 
 
 @dataclass(frozen=True)
@@ -49,8 +49,49 @@ class AblationResult:
         raise KeyError((name, network))
 
 
-def _epoch(config: TrainingConfig, sim: SimulationConfig, **kwargs) -> float:
-    return Trainer(config, sim=sim, **kwargs).run().epoch_time
+#: Ablation labels per communication method, in reporting order.
+_ABLATIONS = {
+    CommMethodName.P2P: ("no-overlap", "pcie-fabric", "single-links"),
+    CommMethodName.NCCL: ("no-overlap", "no-tensor-cores"),
+}
+
+
+def sweep_spec(
+    networks: Tuple[str, ...] = ("alexnet", "inception-v3"),
+    batch_size: int = 32,
+    num_gpus: int = 8,
+) -> SweepSpec:
+    """Explicit points: the baseline plus each ablated variant, tagged."""
+    points: List[SweepPoint] = []
+    for network in networks:
+        for method in (CommMethodName.P2P, CommMethodName.NCCL):
+            base_config = TrainingConfig(network, batch_size, num_gpus,
+                                         comm_method=method)
+            variants = {
+                "baseline": SweepPoint.make(
+                    base_config, tags={"ablation": "baseline"}),
+                "no-overlap": SweepPoint.make(
+                    TrainingConfig(network, batch_size, num_gpus,
+                                   comm_method=method, overlap_bp_wu=False),
+                    tags={"ablation": "no-overlap"}),
+                "pcie-fabric": SweepPoint.make(
+                    base_config,
+                    overrides={"topology_builder": functools.partial(
+                        build_dgx1v, nvlink=False)},
+                    tags={"ablation": "pcie-fabric"}),
+                "single-links": SweepPoint.make(
+                    base_config,
+                    overrides={"topology_builder": functools.partial(
+                        build_dgx1v, uniform_link_width=1)},
+                    tags={"ablation": "single-links"}),
+                "no-tensor-cores": SweepPoint.make(
+                    base_config,
+                    overrides={"use_tensor_cores": False},
+                    tags={"ablation": "no-tensor-cores"}),
+            }
+            points.append(variants["baseline"])
+            points.extend(variants[label] for label in _ABLATIONS[method])
+    return SweepSpec.explicit("ablations", points)
 
 
 def run(
@@ -58,49 +99,26 @@ def run(
     batch_size: int = 32,
     num_gpus: int = 8,
     sim: Optional[SimulationConfig] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> AblationResult:
-    sim = sim or SimulationConfig()
+    if runner is None:
+        runner = SweepRunner(sim=sim or SimulationConfig())
+    results = runner.run(sweep_spec(networks, batch_size, num_gpus))
     rows: List[AblationRow] = []
     for network in networks:
         for method in (CommMethodName.P2P, CommMethodName.NCCL):
-            base_config = TrainingConfig(network, batch_size, num_gpus,
-                                         comm_method=method)
-            baseline = _epoch(base_config, sim)
-
-            no_overlap = TrainingConfig(network, batch_size, num_gpus,
-                                        comm_method=method, overlap_bp_wu=False)
-            rows.append(AblationRow(
-                name=f"no-overlap/{method.value}", network=network,
-                comm_method=method.value, num_gpus=num_gpus,
-                baseline_epoch=baseline,
-                ablated_epoch=_epoch(no_overlap, sim),
-            ))
-
-            if method is CommMethodName.P2P:
-                pcie_only = functools.partial(build_dgx1v, nvlink=False)
+            baseline = results.result(
+                network=network, comm_method=method, ablation="baseline"
+            ).epoch_time
+            for label in _ABLATIONS[method]:
+                ablated = results.result(
+                    network=network, comm_method=method, ablation=label
+                ).epoch_time
                 rows.append(AblationRow(
-                    name="pcie-fabric/p2p", network=network,
+                    name=f"{label}/{method.value}", network=network,
                     comm_method=method.value, num_gpus=num_gpus,
                     baseline_epoch=baseline,
-                    ablated_epoch=_epoch(base_config, sim,
-                                         topology_builder=pcie_only),
-                ))
-                uniform = functools.partial(build_dgx1v, uniform_link_width=1)
-                rows.append(AblationRow(
-                    name="single-links/p2p", network=network,
-                    comm_method=method.value, num_gpus=num_gpus,
-                    baseline_epoch=baseline,
-                    ablated_epoch=_epoch(base_config, sim,
-                                         topology_builder=uniform),
-                ))
-
-            if method is CommMethodName.NCCL:
-                rows.append(AblationRow(
-                    name="no-tensor-cores/nccl", network=network,
-                    comm_method=method.value, num_gpus=num_gpus,
-                    baseline_epoch=baseline,
-                    ablated_epoch=_epoch(base_config, sim,
-                                         use_tensor_cores=False),
+                    ablated_epoch=ablated,
                 ))
     return AblationResult(rows=tuple(rows))
 

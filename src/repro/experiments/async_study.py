@@ -15,7 +15,7 @@ from typing import List, Optional, Tuple
 
 from repro.core.config import CommMethodName, SimulationConfig, TrainingConfig
 from repro.experiments.tables import render_table
-from repro.train import train, train_async
+from repro.runner import SweepPoint, SweepRunner, SweepSpec
 
 
 @dataclass(frozen=True)
@@ -48,20 +48,37 @@ class AsyncStudyResult:
         raise KeyError((network, gpus))
 
 
+def sweep_spec(
+    networks: Tuple[str, ...] = ("lenet", "inception-v3"),
+    batch_size: int = 16,
+    gpu_counts: Tuple[int, ...] = (2, 4, 8),
+) -> SweepSpec:
+    """Paired points: every configuration once synchronous, once async."""
+    points: List[SweepPoint] = []
+    for network in networks:
+        for gpus in gpu_counts:
+            config = TrainingConfig(network, batch_size, gpus,
+                                    comm_method=CommMethodName.P2P)
+            points.append(SweepPoint(config=config, mode="sync"))
+            points.append(SweepPoint(config=config, mode="async"))
+    return SweepSpec.explicit("async-study", points)
+
+
 def run(
     networks: Tuple[str, ...] = ("lenet", "inception-v3"),
     batch_size: int = 16,
     gpu_counts: Tuple[int, ...] = (2, 4, 8),
     sim: Optional[SimulationConfig] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> AsyncStudyResult:
-    sim = sim or SimulationConfig()
+    if runner is None:
+        runner = SweepRunner(sim=sim or SimulationConfig())
+    results = runner.run(sweep_spec(networks, batch_size, gpu_counts))
     rows: List[AsyncStudyRow] = []
     for network in networks:
         for gpus in gpu_counts:
-            config = TrainingConfig(network, batch_size, gpus,
-                                    comm_method=CommMethodName.P2P)
-            sync = train(config, sim=sim)
-            asyn = train_async(config, sim=sim)
+            sync = results.result(network=network, num_gpus=gpus, mode="sync")
+            asyn = results.result(network=network, num_gpus=gpus, mode="async")
             rows.append(
                 AsyncStudyRow(
                     network=network,

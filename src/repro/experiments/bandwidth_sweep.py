@@ -20,8 +20,8 @@ from typing import List, Optional, Tuple
 
 from repro.core.config import CommMethodName, SimulationConfig, TrainingConfig
 from repro.experiments.tables import render_table
+from repro.runner import SweepPoint, SweepRunner, SweepSpec
 from repro.topology import build_dgx1v
-from repro.train import Trainer
 
 #: Lane-bandwidth multipliers swept (1.0 = the real 25 GB/s NVLink 2.0).
 BANDWIDTH_SCALES = (0.5, 1.0, 2.0, 4.0, 8.0)
@@ -52,6 +52,33 @@ class BandwidthSweepResult:
         return self.epoch(network, method, 1.0) / self.epoch(network, method, scale)
 
 
+def sweep_spec(
+    networks: Tuple[str, ...] = ("alexnet", "googlenet"),
+    methods: Tuple[CommMethodName, ...] = (CommMethodName.P2P, CommMethodName.NCCL),
+    scales: Tuple[float, ...] = BANDWIDTH_SCALES,
+    batch_size: int = 16,
+    num_gpus: int = 8,
+) -> SweepSpec:
+    """Explicit points: each fabric scale needs its own topology builder."""
+    return SweepSpec.explicit(
+        "bandwidth",
+        [
+            SweepPoint.make(
+                TrainingConfig(network, batch_size, num_gpus, comm_method=method),
+                overrides={
+                    "topology_builder": functools.partial(
+                        build_dgx1v, nvlink_bandwidth_scale=scale
+                    ),
+                },
+                tags={"scale": scale},
+            )
+            for network in networks
+            for method in methods
+            for scale in scales
+        ],
+    )
+
+
 def run(
     networks: Tuple[str, ...] = ("alexnet", "googlenet"),
     methods: Tuple[CommMethodName, ...] = (CommMethodName.P2P, CommMethodName.NCCL),
@@ -59,28 +86,24 @@ def run(
     batch_size: int = 16,
     num_gpus: int = 8,
     sim: Optional[SimulationConfig] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> BandwidthSweepResult:
-    sim = sim or SimulationConfig()
-    points: List[BandwidthPoint] = []
-    for network in networks:
-        for method in methods:
-            for scale in scales:
-                builder = functools.partial(
-                    build_dgx1v, nvlink_bandwidth_scale=scale
-                )
-                config = TrainingConfig(network, batch_size, num_gpus,
-                                        comm_method=method)
-                result = Trainer(config, sim=sim, topology_builder=builder).run()
-                points.append(
-                    BandwidthPoint(
-                        network=network,
-                        comm_method=method.value,
-                        scale=scale,
-                        epoch_time=result.epoch_time,
-                    )
-                )
+    if runner is None:
+        runner = SweepRunner(sim=sim or SimulationConfig())
+    results = runner.run(
+        sweep_spec(networks, methods, scales, batch_size, num_gpus)
+    )
+    points = tuple(
+        BandwidthPoint(
+            network=o.point.config.network,
+            comm_method=o.point.config.comm_method.value,
+            scale=o.point.tag_dict()["scale"],
+            epoch_time=o.result.epoch_time,
+        )
+        for o in results
+    )
     return BandwidthSweepResult(
-        num_gpus=num_gpus, batch_size=batch_size, points=tuple(points)
+        num_gpus=num_gpus, batch_size=batch_size, points=points
     )
 
 

@@ -11,14 +11,17 @@ training at them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import CommMethodName, SimulationConfig, TrainingConfig
 from repro.dnn import build_network, compile_network, network_input_shape
 from repro.experiments.tables import render_table
 from repro.gpu import MemoryModel
 from repro.gpu.spec import TESLA_V100, TESLA_V100_32GB, GpuSpec
-from repro.train import Trainer
+from repro.runner import SweepPoint, SweepRunner, SweepSpec
+
+#: The two GPU generations compared by the study.
+CAPACITY_SPECS = (TESLA_V100, TESLA_V100_32GB)
 
 
 @dataclass(frozen=True)
@@ -55,27 +58,54 @@ def _best_power_of_two(max_batch: int, floor: int = 16, cap: int = 512) -> int:
     return batch
 
 
+def sweep_spec(
+    networks: Tuple[str, ...] = ("resnet", "inception-v3", "googlenet"),
+    num_gpus: int = 8,
+    gpu_specs: Tuple[GpuSpec, ...] = CAPACITY_SPECS,
+) -> SweepSpec:
+    """Explicit points: each network at its best batch under each GPU spec.
+
+    The batch size depends on the memory model, so the points cannot come
+    from a plain grid -- they are derived here and carried as overrides
+    (``spec``) plus lookup tags (``gpu_spec``, ``max_batch``).
+    """
+    points: List[SweepPoint] = []
+    for network in networks:
+        stats = compile_network(build_network(network), network_input_shape(network))
+        for spec in gpu_specs:
+            limit = MemoryModel(spec).max_batch_size(stats)
+            batch = _best_power_of_two(limit)
+            points.append(
+                SweepPoint.make(
+                    TrainingConfig(network, batch, num_gpus,
+                                   comm_method=CommMethodName.NCCL),
+                    overrides={"spec": spec},
+                    tags={"gpu_spec": spec.name, "max_batch": limit},
+                )
+            )
+    return SweepSpec.explicit("capacity", points)
+
+
 def run(
     networks: Tuple[str, ...] = ("resnet", "inception-v3", "googlenet"),
     num_gpus: int = 8,
     sim: Optional[SimulationConfig] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> CapacityStudyResult:
-    sim = sim or SimulationConfig()
+    if runner is None:
+        runner = SweepRunner(sim=sim or SimulationConfig())
+    results = runner.run(sweep_spec(networks, num_gpus))
     rows: List[CapacityRow] = []
     for network in networks:
-        stats = compile_network(build_network(network), network_input_shape(network))
-        limits = {}
-        best = {}
-        epochs = {}
-        for spec in (TESLA_V100, TESLA_V100_32GB):
-            limit = MemoryModel(spec).max_batch_size(stats)
-            batch = _best_power_of_two(limit)
-            config = TrainingConfig(network, batch, num_gpus,
-                                    comm_method=CommMethodName.NCCL)
-            result = Trainer(config, sim=sim, spec=spec).run()
-            limits[spec.name] = limit
-            best[spec.name] = batch
-            epochs[spec.name] = result.epoch_time
+        limits: Dict[str, int] = {}
+        best: Dict[str, int] = {}
+        epochs: Dict[str, float] = {}
+        for outcome in results.outcomes_for(network=network):
+            tags = outcome.point.tag_dict()
+            name = tags["gpu_spec"]
+            limits[name] = tags["max_batch"]
+            best[name] = outcome.point.config.batch_size
+            epochs[name] = outcome.result.epoch_time
         rows.append(
             CapacityRow(
                 network=network,

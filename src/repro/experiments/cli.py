@@ -6,9 +6,19 @@ Usage::
     repro-experiments all                  # everything
     repro-experiments fig3 --fast          # reduced sweep for a quick look
     repro-experiments fig4 -o results/     # also write the text output
+    repro-experiments all --jobs 4         # simulate on 4 worker processes
+    repro-experiments all --no-cache       # ignore the persistent cache
 
 ``--fast`` restricts sweeps to batch 16 and {1, 4} GPUs, which keeps the
 whole run under a few seconds while preserving the qualitative shapes.
+
+Every sweep executes through one shared :class:`~repro.runner.SweepRunner`:
+``--jobs N`` fans simulations out over a process pool (the simulator is
+deterministic, so output is identical to a serial run), and results are
+persisted as JSON under ``--cache-dir`` (default ``results/cache``) keyed
+by a content hash of the full configuration -- a second invocation
+re-renders every table without running a single simulation.  Timing and
+cache statistics go to stderr; stdout carries only the artifacts.
 
 The ``obs`` (alias ``trace``) subcommand profiles one training run with
 the full observability stack and exports it in any combination of
@@ -42,13 +52,15 @@ from repro.experiments import (
     table3_sync_overhead,
     table4_memory,
 )
-from repro.experiments.runner import RunCache
+from repro.runner import ResultStore, SweepRunner
 
 FAST_BATCHES = (16,)
 FAST_GPUS = (1, 4)
 
+DEFAULT_CACHE_DIR = pathlib.Path("results/cache")
 
-def _run_experiment(name: str, cache: RunCache, fast: bool) -> str:
+
+def _run_experiment(name: str, cache: SweepRunner, fast: bool) -> str:
     if name == "table1":
         return table1_networks.render(table1_networks.run())
     if name == "fig2":
@@ -66,26 +78,26 @@ def _run_experiment(name: str, cache: RunCache, fast: bool) -> str:
         kwargs = dict(batch_sizes=FAST_BATCHES, gpu_counts=FAST_GPUS) if fast else {}
         return table3_sync_overhead.render(table3_sync_overhead.run(cache, **kwargs))
     if name == "table4":
-        return table4_memory.render(table4_memory.run())
+        return table4_memory.render(table4_memory.run(runner=cache))
     if name == "fig5":
         kwargs = dict(batch_sizes=FAST_BATCHES, gpu_counts=FAST_GPUS) if fast else {}
         return fig5_weak_scaling.render(fig5_weak_scaling.run(cache, **kwargs))
     if name == "ablate":
         networks = ("alexnet",) if fast else ("alexnet", "inception-v3")
-        return ablations.render(ablations.run(networks=networks))
+        return ablations.render(ablations.run(networks=networks, runner=cache))
     if name == "async":
         kwargs = dict(networks=("lenet",), gpu_counts=(2, 4)) if fast else {}
-        return async_study.render(async_study.run(**kwargs))
+        return async_study.render(async_study.run(runner=cache, **kwargs))
     if name == "capacity":
         kwargs = dict(networks=("resnet",), num_gpus=4) if fast else {}
-        return capacity_study.render(capacity_study.run(**kwargs))
+        return capacity_study.render(capacity_study.run(runner=cache, **kwargs))
     if name == "report":
         from repro.experiments import report as report_module
 
         return report_module.generate(cache, fast=fast)
     if name == "multinode":
         kwargs = dict(networks=("resnet",), node_counts=(1, 2)) if fast else {}
-        return multinode_study.render(multinode_study.run(**kwargs))
+        return multinode_study.render(multinode_study.run(runner=cache, **kwargs))
     if name == "validate":
         from repro.analysis import validation
 
@@ -96,7 +108,7 @@ def _run_experiment(name: str, cache: RunCache, fast: bool) -> str:
             dict(networks=("alexnet",), scales=(1.0, 4.0), num_gpus=4)
             if fast else {}
         )
-        return bandwidth_sweep.render(bandwidth_sweep.run(**kwargs))
+        return bandwidth_sweep.render(bandwidth_sweep.run(runner=cache, **kwargs))
     raise SystemExit(f"unknown experiment {name!r}")
 
 
@@ -217,7 +229,10 @@ def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures from simulation "
-                    "(or profile one run via the 'obs'/'trace' subcommand).",
+                    "(or profile one run via the 'obs'/'trace' subcommand). "
+                    "All sweeps share one runner: --jobs parallelizes the "
+                    "simulations, and finished results are cached on disk so "
+                    "repeat invocations are instant.",
     )
     parser.add_argument(
         "experiments", nargs="+",
@@ -228,24 +243,66 @@ def main(argv: Optional[list] = None) -> int:
                         help="reduced sweep (batch 16, 1 and 4 GPUs)")
     parser.add_argument("-o", "--output-dir", type=pathlib.Path, default=None,
                         help="also write each artifact to <dir>/<name>.txt")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run simulations on N worker processes "
+                             "(default: 1, serial; output is identical)")
+    parser.add_argument("--cache-dir", type=pathlib.Path,
+                        default=DEFAULT_CACHE_DIR, metavar="DIR",
+                        help="persistent result cache directory "
+                             f"(default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="neither read nor write the persistent cache")
+    parser.add_argument("--progress", action="store_true",
+                        help="print per-simulation progress to stderr")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     for name in names:
         if name not in EXPERIMENTS:
             parser.error(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")
 
-    cache = RunCache()
+    cache = _build_runner(args.jobs, args.cache_dir, args.no_cache,
+                          args.progress)
     for name in names:
         start = time.time()
         text = _run_experiment(name, cache, args.fast)
         elapsed = time.time() - start
-        print(f"==== {name} [{elapsed:.1f}s] " + "=" * 40)
+        print(f"==== {name} " + "=" * 40)
         print(text)
+        print(f"{name}: {elapsed:.1f}s ({cache.stats.describe()})",
+              file=sys.stderr)
         if args.output_dir is not None:
             args.output_dir.mkdir(parents=True, exist_ok=True)
             (args.output_dir / f"{name}.txt").write_text(text)
+    print(f"total: {cache.stats.describe()}", file=sys.stderr)
     return 0
+
+
+def _build_runner(jobs: int, cache_dir: pathlib.Path, no_cache: bool,
+                  progress: bool) -> SweepRunner:
+    """One shared runner for every requested experiment."""
+    store = None if no_cache else ResultStore(cache_dir)
+    bus = None
+    if progress:
+        from repro.obs.bus import EventBus
+        from repro.obs.events import SweepPointDone, SweepPointOom
+
+        bus = EventBus()
+        bus.subscribe(SweepPointDone, _print_progress)
+        bus.subscribe(SweepPointOom, _print_progress)
+    return SweepRunner(jobs=jobs, store=store, bus=bus)
+
+
+def _print_progress(event) -> None:
+    from repro.obs.events import SweepPointOom
+
+    status = ("OOM" if isinstance(event, SweepPointOom)
+              else event.source if event.source != "executed"
+              else f"{event.elapsed:.2f}s")
+    print(f"  [{event.sweep} {event.index + 1}/{event.total}] "
+          f"{event.label}: {status}", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -8,12 +8,12 @@ repetitions; the simulator is deterministic, so each cell is one run.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.config import PAPER_BATCH_SIZES, PAPER_GPU_COUNTS, CommMethodName
 from repro.dnn.zoo import PAPER_NETWORKS
-from repro.experiments.runner import RunCache
-from repro.experiments.tables import render_table
+from repro.experiments.tables import render_per_network_grid
+from repro.runner import SweepRunner, SweepSpec
 
 
 @dataclass(frozen=True)
@@ -42,60 +42,54 @@ class Fig3Result:
         return self.cell(network, method, batch, gpus).epoch_time
 
 
+def sweep_spec(
+    networks: Tuple[str, ...] = PAPER_NETWORKS,
+    batch_sizes: Tuple[int, ...] = PAPER_BATCH_SIZES,
+    gpu_counts: Tuple[int, ...] = PAPER_GPU_COUNTS,
+) -> SweepSpec:
+    """The declarative grid behind Figure 3."""
+    return SweepSpec.grid(
+        "fig3",
+        networks=networks,
+        comm_methods=(CommMethodName.P2P, CommMethodName.NCCL),
+        batch_sizes=batch_sizes,
+        gpu_counts=gpu_counts,
+    )
+
+
 def run(
-    cache: Optional[RunCache] = None,
+    runner: Optional[SweepRunner] = None,
     networks: Tuple[str, ...] = PAPER_NETWORKS,
     batch_sizes: Tuple[int, ...] = PAPER_BATCH_SIZES,
     gpu_counts: Tuple[int, ...] = PAPER_GPU_COUNTS,
 ) -> Fig3Result:
-    cache = cache if cache is not None else RunCache()
+    runner = runner if runner is not None else SweepRunner()
+    results = runner.run(sweep_spec(networks, batch_sizes, gpu_counts))
+    # Grid order nests GPU count innermost, so the first outcome of each
+    # (network, method, batch) group is the smallest-GPU baseline.
     cells: List[Fig3Cell] = []
-    for network in networks:
-        for method in (CommMethodName.P2P, CommMethodName.NCCL):
-            for batch in batch_sizes:
-                base_epoch: Optional[float] = None
-                for gpus in gpu_counts:
-                    result = cache.get(network, batch, gpus, method)
-                    if base_epoch is None:
-                        base_epoch = result.epoch_time
-                    speedup = base_epoch / result.epoch_time
-                    cells.append(
-                        Fig3Cell(
-                            network=network,
-                            comm_method=method.value,
-                            batch_size=batch,
-                            num_gpus=gpus,
-                            epoch_time=result.epoch_time,
-                            speedup_vs_1gpu=speedup,
-                        )
-                    )
+    base_epochs = {}
+    for outcome in results:
+        c = outcome.point.config
+        group = (c.network, c.comm_method.value, c.batch_size)
+        base = base_epochs.setdefault(group, outcome.result.epoch_time)
+        cells.append(
+            Fig3Cell(
+                network=c.network,
+                comm_method=c.comm_method.value,
+                batch_size=c.batch_size,
+                num_gpus=c.num_gpus,
+                epoch_time=outcome.result.epoch_time,
+                speedup_vs_1gpu=base / outcome.result.epoch_time,
+            )
+        )
     return Fig3Result(cells=tuple(cells))
 
 
 def render(result: Fig3Result) -> str:
-    out = []
-    networks = sorted({c.network for c in result.cells},
-                      key=lambda n: [c.network for c in result.cells].index(n))
-    batches = sorted({c.batch_size for c in result.cells})
-    gpu_counts = sorted({c.num_gpus for c in result.cells})
-    for network in networks:
-        rows = []
-        for method in ("p2p", "nccl"):
-            for batch in batches:
-                row: List[object] = [method, batch]
-                for gpus in gpu_counts:
-                    try:
-                        cell = result.cell(network, method, batch, gpus)
-                    except KeyError:
-                        row.append("OOM")
-                        continue
-                    row.append(f"{cell.epoch_time:8.2f}s (x{cell.speedup_vs_1gpu:.2f})")
-                rows.append(row)
-        out.append(
-            render_table(
-                ["Method", "Batch", *[f"{g} GPU" for g in gpu_counts]],
-                rows,
-                title=f"Figure 3: {network} training time per epoch",
-            )
-        )
-    return "\n".join(out)
+    return render_per_network_grid(
+        result.cells,
+        lambda c: f"{c.epoch_time:8.2f}s (x{c.speedup_vs_1gpu:.2f})",
+        title="Figure 3: {network} training time per epoch",
+        missing="OOM",
+    )

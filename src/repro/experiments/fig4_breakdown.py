@@ -14,8 +14,8 @@ from typing import List, Optional, Tuple
 
 from repro.core.config import PAPER_BATCH_SIZES, CommMethodName
 from repro.dnn.zoo import PAPER_NETWORKS
-from repro.experiments.runner import RunCache
 from repro.experiments.tables import render_table
+from repro.runner import SweepRunner, SweepSpec
 
 #: Fig. 4 plots 1-8 GPUs but only reports WU for multi-GPU runs.
 FIG4_GPU_COUNTS = (1, 2, 4, 8)
@@ -50,29 +50,44 @@ class Fig4Result:
         raise KeyError((network, batch, gpus))
 
 
+def sweep_spec(
+    networks: Tuple[str, ...] = PAPER_NETWORKS,
+    batch_sizes: Tuple[int, ...] = PAPER_BATCH_SIZES,
+    gpu_counts: Tuple[int, ...] = FIG4_GPU_COUNTS,
+) -> SweepSpec:
+    """The declarative grid behind Figure 4 (NCCL only)."""
+    return SweepSpec.grid(
+        "fig4",
+        networks=networks,
+        comm_methods=(CommMethodName.NCCL,),
+        batch_sizes=batch_sizes,
+        gpu_counts=gpu_counts,
+    )
+
+
 def run(
-    cache: Optional[RunCache] = None,
+    runner: Optional[SweepRunner] = None,
     networks: Tuple[str, ...] = PAPER_NETWORKS,
     batch_sizes: Tuple[int, ...] = PAPER_BATCH_SIZES,
     gpu_counts: Tuple[int, ...] = FIG4_GPU_COUNTS,
 ) -> Fig4Result:
-    cache = cache if cache is not None else RunCache()
+    runner = runner if runner is not None else SweepRunner()
+    results = runner.run(sweep_spec(networks, batch_sizes, gpu_counts))
     cells: List[Fig4Cell] = []
-    for network in networks:
-        for batch in batch_sizes:
-            for gpus in gpu_counts:
-                result = cache.get(network, batch, gpus, CommMethodName.NCCL)
-                wu = result.epoch_wu_time if gpus > 1 else 0.0
-                cells.append(
-                    Fig4Cell(
-                        network=network,
-                        batch_size=batch,
-                        num_gpus=gpus,
-                        fp_bp_epoch=result.epoch_fp_bp_time,
-                        wu_epoch=wu,
-                        sync_percent=result.apis.percent_of("cudaStreamSynchronize"),
-                    )
-                )
+    for outcome in results:
+        c = outcome.point.config
+        result = outcome.result
+        wu = result.epoch_wu_time if c.num_gpus > 1 else 0.0
+        cells.append(
+            Fig4Cell(
+                network=c.network,
+                batch_size=c.batch_size,
+                num_gpus=c.num_gpus,
+                fp_bp_epoch=result.epoch_fp_bp_time,
+                wu_epoch=wu,
+                sync_percent=result.apis.percent_of("cudaStreamSynchronize"),
+            )
+        )
     return Fig4Result(cells=tuple(cells))
 
 

@@ -20,8 +20,8 @@ from repro.core.config import (
     ScalingMode,
 )
 from repro.dnn.zoo import PAPER_NETWORKS
-from repro.experiments.runner import RunCache
-from repro.experiments.tables import render_table
+from repro.experiments.tables import render_per_network_grid
+from repro.runner import SweepRunner, SweepSpec
 
 
 @dataclass(frozen=True)
@@ -48,14 +48,32 @@ class Fig5Result:
         raise KeyError((network, method, batch, gpus))
 
 
+def sweep_spec(
+    networks: Tuple[str, ...] = PAPER_NETWORKS,
+    batch_sizes: Tuple[int, ...] = PAPER_BATCH_SIZES,
+    gpu_counts: Tuple[int, ...] = PAPER_GPU_COUNTS,
+    methods: Tuple[CommMethodName, ...] = (CommMethodName.P2P, CommMethodName.NCCL),
+) -> SweepSpec:
+    """The weak *and* strong grid (Fig. 5 compares the two per cell)."""
+    return SweepSpec.grid(
+        "fig5",
+        networks=networks,
+        comm_methods=methods,
+        scalings=(ScalingMode.WEAK, ScalingMode.STRONG),
+        batch_sizes=batch_sizes,
+        gpu_counts=gpu_counts,
+    )
+
+
 def run(
-    cache: Optional[RunCache] = None,
+    runner: Optional[SweepRunner] = None,
     networks: Tuple[str, ...] = PAPER_NETWORKS,
     batch_sizes: Tuple[int, ...] = PAPER_BATCH_SIZES,
     gpu_counts: Tuple[int, ...] = PAPER_GPU_COUNTS,
     methods: Tuple[CommMethodName, ...] = (CommMethodName.P2P, CommMethodName.NCCL),
 ) -> Fig5Result:
-    cache = cache if cache is not None else RunCache()
+    runner = runner if runner is not None else SweepRunner()
+    results = runner.run(sweep_spec(networks, batch_sizes, gpu_counts, methods))
     cells: List[Fig5Cell] = []
     for network in networks:
         for method in methods:
@@ -63,8 +81,14 @@ def run(
                 weak_base = None
                 strong_base = None
                 for gpus in gpu_counts:
-                    weak = cache.get(network, batch, gpus, method, ScalingMode.WEAK)
-                    strong = cache.get(network, batch, gpus, method, ScalingMode.STRONG)
+                    weak = results.result(
+                        network=network, comm_method=method, batch_size=batch,
+                        num_gpus=gpus, scaling=ScalingMode.WEAK,
+                    )
+                    strong = results.result(
+                        network=network, comm_method=method, batch_size=batch,
+                        num_gpus=gpus, scaling=ScalingMode.STRONG,
+                    )
                     if weak_base is None:
                         weak_base, strong_base = weak, strong
                     cells.append(
@@ -82,27 +106,8 @@ def run(
 
 
 def render(result: Fig5Result) -> str:
-    out = []
-    networks = list(dict.fromkeys(c.network for c in result.cells))
-    methods = list(dict.fromkeys(c.comm_method for c in result.cells))
-    batches = sorted({c.batch_size for c in result.cells})
-    gpu_counts = sorted({c.num_gpus for c in result.cells})
-    for network in networks:
-        rows = []
-        for method in methods:
-            for batch in batches:
-                row: List[object] = [method, batch]
-                for gpus in gpu_counts:
-                    c = result.cell(network, method, batch, gpus)
-                    row.append(
-                        f"weak x{c.weak_speedup:.2f} / strong x{c.strong_speedup:.2f}"
-                    )
-                rows.append(row)
-        out.append(
-            render_table(
-                ["Method", "Batch", *[f"{g} GPU" for g in gpu_counts]],
-                rows,
-                title=f"Figure 5: {network} weak vs strong scaling speedup",
-            )
-        )
-    return "\n".join(out)
+    return render_per_network_grid(
+        result.cells,
+        lambda c: f"weak x{c.weak_speedup:.2f} / strong x{c.strong_speedup:.2f}",
+        title="Figure 5: {network} weak vs strong scaling speedup",
+    )

@@ -15,7 +15,7 @@ from typing import List, Optional, Tuple
 
 from repro.core.config import CommMethodName, SimulationConfig, TrainingConfig
 from repro.experiments.tables import render_table
-from repro.train import Trainer
+from repro.runner import SweepPoint, SweepRunner, SweepSpec
 
 
 @dataclass(frozen=True)
@@ -49,33 +49,50 @@ class MultiNodeStudyResult:
         return self.row(network, nodes).images_per_second / base.images_per_second
 
 
+def sweep_spec(
+    networks: Tuple[str, ...] = ("resnet", "inception-v3"),
+    node_counts: Tuple[int, ...] = (1, 2, 4),
+    batch_size: int = 32,
+) -> SweepSpec:
+    """Explicit points: GPU count is derived (8 per chassis) per node count."""
+    return SweepSpec.explicit(
+        "multinode",
+        [
+            SweepPoint.make(
+                TrainingConfig(
+                    network, batch_size, 8 * nodes,
+                    comm_method=CommMethodName.NCCL, cluster_nodes=nodes,
+                ),
+                tags={"nodes": nodes},
+            )
+            for network in networks
+            for nodes in node_counts
+        ],
+    )
+
+
 def run(
     networks: Tuple[str, ...] = ("resnet", "inception-v3"),
     node_counts: Tuple[int, ...] = (1, 2, 4),
     batch_size: int = 32,
     sim: Optional[SimulationConfig] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> MultiNodeStudyResult:
-    sim = sim or SimulationConfig()
-    rows: List[MultiNodeRow] = []
-    for network in networks:
-        for nodes in node_counts:
-            gpus = 8 * nodes
-            config = TrainingConfig(
-                network, batch_size, gpus,
-                comm_method=CommMethodName.NCCL, cluster_nodes=nodes,
-            )
-            result = Trainer(config, sim=sim).run()
-            rows.append(
-                MultiNodeRow(
-                    network=network,
-                    nodes=nodes,
-                    num_gpus=gpus,
-                    epoch_time=result.epoch_time,
-                    images_per_second=result.images_per_second,
-                    wu_per_iteration=result.stages.wu,
-                )
-            )
-    return MultiNodeStudyResult(batch_size=batch_size, rows=tuple(rows))
+    if runner is None:
+        runner = SweepRunner(sim=sim or SimulationConfig())
+    results = runner.run(sweep_spec(networks, node_counts, batch_size))
+    rows = tuple(
+        MultiNodeRow(
+            network=o.point.config.network,
+            nodes=o.point.config.cluster_nodes,
+            num_gpus=o.point.config.num_gpus,
+            epoch_time=o.result.epoch_time,
+            images_per_second=o.result.images_per_second,
+            wu_per_iteration=o.result.stages.wu,
+        )
+        for o in results
+    )
+    return MultiNodeStudyResult(batch_size=batch_size, rows=rows)
 
 
 def render(result: MultiNodeStudyResult) -> str:

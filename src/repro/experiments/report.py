@@ -22,7 +22,7 @@ from repro.experiments import (
     table3_sync_overhead,
     table4_memory,
 )
-from repro.experiments.runner import RunCache
+from repro.runner import SweepRunner
 
 #: (section title, paper artifact reference) per block, in paper order.
 _SECTIONS = (
@@ -38,15 +38,18 @@ _SECTIONS = (
 
 
 def generate(
-    cache: Optional[RunCache] = None,
+    cache: Optional[SweepRunner] = None,
     fast: bool = False,
     timestamp: Optional[str] = None,
 ) -> str:
     """Render the full report as markdown.
 
-    ``fast`` restricts the sweeps to batch 16 and {1, 4} GPUs.
+    ``fast`` restricts the sweeps to batch 16 and {1, 4} GPUs.  ``cache``
+    is the :class:`~repro.runner.SweepRunner` every sweep executes
+    through, so ``--jobs`` and the persistent result cache apply to the
+    whole report.
     """
-    cache = cache if cache is not None else RunCache()
+    cache = cache if cache is not None else SweepRunner()
     kwargs = dict(batch_sizes=(16,), gpu_counts=(1, 4)) if fast else {}
     t2_kwargs = dict(batch_sizes=(16,)) if fast else {}
 
@@ -61,7 +64,7 @@ def generate(
     blocks.append(
         table3_sync_overhead.render(table3_sync_overhead.run(cache, **kwargs))
     )
-    blocks.append(table4_memory.render(table4_memory.run()))
+    blocks.append(table4_memory.render(table4_memory.run(runner=cache)))
     blocks.append(fig5_weak_scaling.render(fig5_weak_scaling.run(cache, **kwargs)))
 
     when = timestamp or datetime.datetime.now().isoformat(timespec="seconds")

@@ -1,81 +1,38 @@
-"""Shared infrastructure for running experiment sweeps."""
+"""Backwards-compatible entry point for sweep execution.
+
+The sweep infrastructure grew into a first-class subsystem and moved to
+:mod:`repro.runner` (declarative :class:`~repro.runner.SweepSpec`,
+parallel :class:`~repro.runner.SweepRunner`, persistent
+:class:`~repro.runner.ResultStore`).  ``RunCache`` -- the original
+serial, in-memory-only memoizer this module used to define -- is now an
+alias for :class:`~repro.runner.SweepRunner`, which keeps the exact
+``get``/``try_get``/``len`` contract while adding batch execution,
+``jobs > 1`` process pools and the on-disk cache.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
-
-from repro.core.config import (
-    CommMethodName,
-    ScalingMode,
-    SimulationConfig,
-    TrainingConfig,
+from repro.runner import (
+    OomPolicy,
+    PointOutcome,
+    ResultStore,
+    SweepPoint,
+    SweepResults,
+    SweepRunner,
+    SweepSpec,
 )
-from repro.core.constants import CALIBRATION, CalibrationConstants
-from repro.core.errors import OutOfMemoryError
-from repro.train import Trainer, TrainingResult
 
-#: Key identifying one training simulation.
-RunKey = Tuple[str, int, int, str, str, bool]
+#: Legacy name: the memoizing runner, constructed the same way
+#: (``RunCache(sim=..., constants=..., trainer_kwargs=...)``).
+RunCache = SweepRunner
 
-
-@dataclass
-class RunCache:
-    """Lazily runs and memoizes training simulations.
-
-    Several experiments share configurations (Fig. 3, Table II and Fig. 4
-    all need the NCCL strong-scaling sweep); the cache makes the full CLI
-    run each simulation once.
-    """
-
-    sim: SimulationConfig = field(default_factory=SimulationConfig)
-    constants: CalibrationConstants = CALIBRATION
-    trainer_kwargs: Dict[str, object] = field(default_factory=dict)
-    _results: Dict[RunKey, TrainingResult] = field(default_factory=dict)
-
-    def get(
-        self,
-        network: str,
-        batch_size: int,
-        num_gpus: int,
-        comm_method: CommMethodName,
-        scaling: ScalingMode = ScalingMode.STRONG,
-        overlap_bp_wu: bool = True,
-    ) -> TrainingResult:
-        """The (memoized) result for one configuration.
-
-        Propagates :class:`~repro.core.errors.OutOfMemoryError` so callers
-        can report untrainable configurations, as the paper does.
-        """
-        key: RunKey = (
-            network,
-            batch_size,
-            num_gpus,
-            comm_method.value,
-            scaling.value,
-            overlap_bp_wu,
-        )
-        if key not in self._results:
-            config = TrainingConfig(
-                network=network,
-                batch_size=batch_size,
-                num_gpus=num_gpus,
-                comm_method=comm_method,
-                scaling=scaling,
-                overlap_bp_wu=overlap_bp_wu,
-            )
-            trainer = Trainer(
-                config, sim=self.sim, constants=self.constants, **self.trainer_kwargs
-            )
-            self._results[key] = trainer.run()
-        return self._results[key]
-
-    def try_get(self, *args, **kwargs) -> Optional[TrainingResult]:
-        """Like :meth:`get` but returns ``None`` on OOM."""
-        try:
-            return self.get(*args, **kwargs)
-        except OutOfMemoryError:
-            return None
-
-    def __len__(self) -> int:
-        return len(self._results)
+__all__ = [
+    "OomPolicy",
+    "PointOutcome",
+    "ResultStore",
+    "RunCache",
+    "SweepPoint",
+    "SweepResults",
+    "SweepRunner",
+    "SweepSpec",
+]

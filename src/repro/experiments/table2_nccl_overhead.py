@@ -14,8 +14,8 @@ from typing import List, Optional, Tuple
 
 from repro.core.config import PAPER_BATCH_SIZES, CommMethodName
 from repro.dnn.zoo import PAPER_NETWORKS
-from repro.experiments.runner import RunCache
 from repro.experiments.tables import render_table
+from repro.runner import SweepRunner, SweepSpec
 
 
 @dataclass(frozen=True)
@@ -41,17 +41,36 @@ class Table2Result:
         raise KeyError((network, batch_size))
 
 
+def sweep_spec(
+    networks: Tuple[str, ...] = PAPER_NETWORKS,
+    batch_sizes: Tuple[int, ...] = PAPER_BATCH_SIZES,
+) -> SweepSpec:
+    """The single-GPU P2P-vs-NCCL grid behind Table II."""
+    return SweepSpec.grid(
+        "table2",
+        networks=networks,
+        comm_methods=(CommMethodName.P2P, CommMethodName.NCCL),
+        batch_sizes=batch_sizes,
+        gpu_counts=(1,),
+    )
+
+
 def run(
-    cache: Optional[RunCache] = None,
+    runner: Optional[SweepRunner] = None,
     networks: Tuple[str, ...] = PAPER_NETWORKS,
     batch_sizes: Tuple[int, ...] = PAPER_BATCH_SIZES,
 ) -> Table2Result:
-    cache = cache if cache is not None else RunCache()
+    runner = runner if runner is not None else SweepRunner()
+    results = runner.run(sweep_spec(networks, batch_sizes))
     rows: List[Table2Row] = []
     for network in networks:
         for batch in batch_sizes:
-            p2p = cache.get(network, batch, 1, CommMethodName.P2P)
-            nccl = cache.get(network, batch, 1, CommMethodName.NCCL)
+            p2p = results.result(
+                network=network, batch_size=batch, comm_method=CommMethodName.P2P
+            )
+            nccl = results.result(
+                network=network, batch_size=batch, comm_method=CommMethodName.NCCL
+            )
             rows.append(
                 Table2Row(
                     network=network,

@@ -13,8 +13,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.core.config import PAPER_BATCH_SIZES, PAPER_GPU_COUNTS, CommMethodName
-from repro.experiments.runner import RunCache
 from repro.experiments.tables import render_table
+from repro.runner import SweepRunner, SweepSpec
 
 
 @dataclass(frozen=True)
@@ -37,27 +37,43 @@ class Table3Result:
         raise KeyError((batch, gpus))
 
 
+def sweep_spec(
+    network: str = "lenet",
+    batch_sizes: Tuple[int, ...] = PAPER_BATCH_SIZES,
+    gpu_counts: Tuple[int, ...] = PAPER_GPU_COUNTS,
+) -> SweepSpec:
+    """The NCCL batch-x-GPU grid behind Table III (one network)."""
+    return SweepSpec.grid(
+        "table3",
+        networks=(network,),
+        comm_methods=(CommMethodName.NCCL,),
+        batch_sizes=batch_sizes,
+        gpu_counts=gpu_counts,
+    )
+
+
 def run(
-    cache: Optional[RunCache] = None,
+    runner: Optional[SweepRunner] = None,
     network: str = "lenet",
     batch_sizes: Tuple[int, ...] = PAPER_BATCH_SIZES,
     gpu_counts: Tuple[int, ...] = PAPER_GPU_COUNTS,
 ) -> Table3Result:
-    cache = cache if cache is not None else RunCache()
+    runner = runner if runner is not None else SweepRunner()
+    results = runner.run(sweep_spec(network, batch_sizes, gpu_counts))
     rows: List[Table3Row] = []
-    for batch in batch_sizes:
-        for gpus in gpu_counts:
-            result = cache.get(network, batch, gpus, CommMethodName.NCCL)
-            iters = len(result.iteration_times)
-            sync_total = result.apis.time_of("cudaStreamSynchronize")
-            rows.append(
-                Table3Row(
-                    batch_size=batch,
-                    num_gpus=gpus,
-                    sync_percent=result.apis.percent_of("cudaStreamSynchronize"),
-                    sync_seconds_per_iter=sync_total / max(1, iters * gpus),
-                )
+    for outcome in results:
+        c = outcome.point.config
+        result = outcome.result
+        iters = len(result.iteration_times)
+        sync_total = result.apis.time_of("cudaStreamSynchronize")
+        rows.append(
+            Table3Row(
+                batch_size=c.batch_size,
+                num_gpus=c.num_gpus,
+                sync_percent=result.apis.percent_of("cudaStreamSynchronize"),
+                sync_seconds_per_iter=sync_total / max(1, iters * c.num_gpus),
             )
+        )
     return Table3Result(rows=tuple(rows), network=network)
 
 

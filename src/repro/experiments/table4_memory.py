@@ -5,18 +5,28 @@ training usage on GPU0 (the KVStore server) and on the other GPUs,
 GPU0's additional usage relative to the workers, and growth relative to
 batch size 16.  The maximum trainable batch size per network reproduces
 the OOM findings (Inception-v3/ResNet stop above 64).
+
+This sweep evaluates the analytic memory model rather than running the
+trainer, so it goes through :meth:`~repro.runner.SweepRunner.map`: the
+declarative grid supplies the points, the runner supplies (optional)
+parallelism.
 """
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.config import PAPER_BATCH_SIZES
+from repro.core.config import PAPER_BATCH_SIZES, CommMethodName, TrainingConfig
 from repro.dnn import build_network, compile_network, network_input_shape
 from repro.dnn.zoo import PAPER_NETWORKS
 from repro.experiments.tables import render_table
 from repro.gpu.memory import MemoryModel
+from repro.runner import SweepRunner, SweepSpec
+
+#: The paper measures Table IV on a 4-GPU NCCL run.
+TABLE4_GPU_COUNT = 4
 
 
 @dataclass(frozen=True)
@@ -26,6 +36,7 @@ class Table4Row:
     pretraining_gb: float
     training_gpu0_gb: float
     training_gpux_gb: float
+    max_batch: int               # memory-limited maximum batch for the network
 
     @property
     def gpu0_extra_percent(self) -> float:
@@ -48,30 +59,51 @@ class Table4Result:
         return 100.0 * (self.row(network, batch).training_gpu0_gb / base - 1.0)
 
 
+def sweep_spec(
+    networks: Tuple[str, ...] = PAPER_NETWORKS,
+    batch_sizes: Tuple[int, ...] = PAPER_BATCH_SIZES,
+) -> SweepSpec:
+    """The network-x-batch grid behind Table IV."""
+    return SweepSpec.grid(
+        "table4",
+        networks=networks,
+        comm_methods=(CommMethodName.NCCL,),
+        batch_sizes=batch_sizes,
+        gpu_counts=(TABLE4_GPU_COUNT,),
+    )
+
+
+def _evaluate(config: TrainingConfig, memory_model: Optional[MemoryModel]) -> Table4Row:
+    """Memory-model evaluation of one grid point (picklable pool worker)."""
+    model = memory_model or MemoryModel()
+    stats = compile_network(
+        build_network(config.network), network_input_shape(config.network)
+    )
+    pre = model.pretraining(stats)
+    gpu0 = model.training(stats, config.batch_size, is_server=True)
+    gpux = model.training(stats, config.batch_size, is_server=False)
+    return Table4Row(
+        network=config.network,
+        batch_size=config.batch_size,
+        pretraining_gb=pre.total_gb,
+        training_gpu0_gb=gpu0.total_gb,
+        training_gpux_gb=gpux.total_gb,
+        max_batch=model.max_batch_size(stats),
+    )
+
+
 def run(
     networks: Tuple[str, ...] = PAPER_NETWORKS,
     batch_sizes: Tuple[int, ...] = PAPER_BATCH_SIZES,
     memory_model: Optional[MemoryModel] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Table4Result:
-    model = memory_model or MemoryModel()
-    rows: List[Table4Row] = []
-    max_batch: Dict[str, int] = {}
-    for network in networks:
-        stats = compile_network(build_network(network), network_input_shape(network))
-        max_batch[network] = model.max_batch_size(stats)
-        for batch in batch_sizes:
-            pre = model.pretraining(stats)
-            gpu0 = model.training(stats, batch, is_server=True)
-            gpux = model.training(stats, batch, is_server=False)
-            rows.append(
-                Table4Row(
-                    network=network,
-                    batch_size=batch,
-                    pretraining_gb=pre.total_gb,
-                    training_gpu0_gb=gpu0.total_gb,
-                    training_gpux_gb=gpux.total_gb,
-                )
-            )
+    runner = runner if runner is not None else SweepRunner()
+    rows = runner.map(
+        sweep_spec(networks, batch_sizes),
+        functools.partial(_evaluate, memory_model=memory_model),
+    )
+    max_batch = {row.network: row.max_batch for row in rows}
     return Table4Result(rows=tuple(rows), max_batch=max_batch)
 
 

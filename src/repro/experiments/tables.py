@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import io
-from typing import Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
 
 def render_table(
@@ -45,6 +45,49 @@ def render_table(
     for row in str_rows:
         out.write(fmt(row) + "\n")
     return out.getvalue()
+
+
+def render_per_network_grid(
+    cells: Sequence[object],
+    value: Callable[[object], str],
+    title: str,
+    missing: str = "OOM",
+) -> str:
+    """One table per network: rows are (method, batch), columns GPU counts.
+
+    Figures 3 and 5 share this exact layout; ``cells`` are any objects
+    with ``network`` / ``comm_method`` / ``batch_size`` / ``num_gpus``
+    attributes, ``value`` formats one cell, and ``title`` is a format
+    string receiving ``network``.  Missing grid cells (e.g. OOM'd
+    configurations) render as ``missing``.  Networks and methods keep
+    first-appearance order; batches and GPU counts sort ascending.
+    """
+    cells = list(cells)
+    networks = list(dict.fromkeys(c.network for c in cells))
+    methods = list(dict.fromkeys(c.comm_method for c in cells))
+    batches = sorted({c.batch_size for c in cells})
+    gpu_counts = sorted({c.num_gpus for c in cells})
+    index = {
+        (c.network, c.comm_method, c.batch_size, c.num_gpus): c for c in cells
+    }
+    out = []
+    for network in networks:
+        rows: List[List[object]] = []
+        for method in methods:
+            for batch in batches:
+                row: List[object] = [method, batch]
+                for gpus in gpu_counts:
+                    cell = index.get((network, method, batch, gpus))
+                    row.append(missing if cell is None else value(cell))
+                rows.append(row)
+        out.append(
+            render_table(
+                ["Method", "Batch", *[f"{g} GPU" for g in gpu_counts]],
+                rows,
+                title=title.format(network=network),
+            )
+        )
+    return "\n".join(out)
 
 
 def render_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:

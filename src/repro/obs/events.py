@@ -17,6 +17,9 @@ LinkWaitEvent        fabric FIFO queueing and NCCL stream contention,
                      attributed to the directed link that was busy
 RingStepEvent        :mod:`repro.comm.nccl` per-ring-step timing
 QueueDepthEvent      :class:`~repro.sim.engine.Environment` (sampled)
+SweepPointStart      :class:`~repro.runner.SweepRunner`, per sweep point
+SweepPointDone       the runner, on result (executed or cache hit)
+SweepPointOom        the runner, on an out-of-memory point
 ===================  ======================================================
 
 All timestamps are simulated seconds; byte counts are plain ints; ``src``
@@ -164,3 +167,36 @@ class QueueDepthEvent(ObsEvent):
 
     now: float
     depth: int
+
+
+@dataclass(frozen=True)
+class SweepPointStart(ObsEvent):
+    """A :class:`~repro.runner.SweepRunner` picked up one sweep point."""
+
+    sweep: str       # SweepSpec name
+    index: int       # 0-based position within the spec
+    total: int
+    label: str       # point.describe()
+
+
+@dataclass(frozen=True)
+class SweepPointDone(ObsEvent):
+    """One sweep point produced a result."""
+
+    sweep: str
+    index: int
+    total: int
+    label: str
+    source: str      # "executed" | "memory" | "disk"
+    elapsed: float   # wall seconds (0.0 for cache hits)
+
+
+@dataclass(frozen=True)
+class SweepPointOom(ObsEvent):
+    """One sweep point failed with an out-of-memory error."""
+
+    sweep: str
+    index: int
+    total: int
+    label: str
+    message: str

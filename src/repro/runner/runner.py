@@ -1,0 +1,410 @@
+"""Sweep execution: serial or process-pool, memoized, disk-cached.
+
+:class:`SweepRunner` is the single execution path for every experiment
+sweep in the library.  It layers three result sources, checked in order:
+
+1. an in-process memo (what the old ``RunCache`` provided),
+2. an optional persistent :class:`~repro.runner.store.ResultStore`
+   keyed by content fingerprint,
+3. actual simulation -- serially by default, or on a
+   ``concurrent.futures`` process pool when ``jobs > 1``.
+
+The simulator is deterministic, so parallel execution returns results
+identical to serial execution; outcomes are always assembled in spec
+order regardless of completion order.  Progress is published as
+``SweepPoint*`` events on an optional :class:`~repro.obs.bus.EventBus`.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.core.config import (
+    CommMethodName,
+    ScalingMode,
+    SimulationConfig,
+    TrainingConfig,
+)
+from repro.core.constants import CALIBRATION, CalibrationConstants
+from repro.core.errors import OutOfMemoryError
+from repro.obs.bus import EventBus
+from repro.obs.events import SweepPointDone, SweepPointOom, SweepPointStart
+from repro.runner.fingerprint import point_fingerprint
+from repro.runner.spec import OomInfo, OomPolicy, SweepPoint, SweepSpec
+from repro.runner.store import ResultStore
+
+#: What one executed/cached point yields: a result object or an OOM record.
+PointValue = Union["TrainingResult", "AsyncResult", OomInfo]  # noqa: F821
+
+
+def _execute_point(
+    point: SweepPoint,
+    sim: SimulationConfig,
+    constants: CalibrationConstants,
+    trainer_kwargs: Mapping[str, Any],
+) -> Tuple[PointValue, float]:
+    """Run one simulation (also the process-pool worker).
+
+    OOM is returned as data rather than raised: custom exception
+    constructors do not survive the pool's pickle round-trip, and the
+    parent applies the spec's OOM policy anyway.
+    """
+    from repro.train.async_trainer import AsyncTrainer
+    from repro.train.trainer import Trainer
+
+    kwargs = dict(trainer_kwargs)
+    kwargs.update(point.override_dict())
+    start = time.perf_counter()
+    try:
+        if point.mode == "async":
+            value: PointValue = AsyncTrainer(
+                point.config, sim=sim, constants=constants, **kwargs
+            ).run()
+        else:
+            value = Trainer(
+                point.config, sim=sim, constants=constants, **kwargs
+            ).run()
+    except OutOfMemoryError as exc:
+        value = OomInfo(
+            device=exc.device, requested=exc.requested, free=exc.free,
+            message=str(exc),
+        )
+    return value, time.perf_counter() - start
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """One sweep point's result plus how it was obtained."""
+
+    point: SweepPoint
+    result: Optional[Any]        # TrainingResult | AsyncResult | None on OOM
+    source: str                  # "executed" | "memory" | "disk"
+    oom: Optional[OomInfo] = None
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.oom is None
+
+
+class SweepResults:
+    """Outcomes of one executed spec, in spec order, with lookup helpers."""
+
+    def __init__(self, name: str, outcomes: Tuple[PointOutcome, ...]) -> None:
+        self.name = name
+        self.outcomes = outcomes
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    @staticmethod
+    def _matches(outcome: PointOutcome, criteria: Mapping[str, Any]) -> bool:
+        tags = outcome.point.tag_dict()
+        for key, wanted in criteria.items():
+            if key == "mode":
+                have: Any = outcome.point.mode
+            elif key in tags:
+                have = tags[key]
+            elif hasattr(outcome.point.config, key):
+                have = getattr(outcome.point.config, key)
+            else:
+                return False
+            if have != wanted:
+                return False
+        return True
+
+    def outcomes_for(self, **criteria: Any) -> List[PointOutcome]:
+        """Every outcome matching the criteria, in spec order.
+
+        Criteria match, in precedence order, the point's ``mode``, its
+        tags, then :class:`TrainingConfig` fields; enum-valued fields
+        compare equal to their string values (``comm_method="nccl"``).
+        """
+        return [o for o in self.outcomes if self._matches(o, criteria)]
+
+    def outcome(self, **criteria: Any) -> PointOutcome:
+        """The unique outcome matching the criteria (KeyError otherwise)."""
+        found = self.outcomes_for(**criteria)
+        if not found:
+            raise KeyError(f"no sweep point matches {criteria!r}")
+        if len(found) > 1:
+            raise KeyError(
+                f"{len(found)} sweep points match {criteria!r}; narrow the lookup"
+            )
+        return found[0]
+
+    def result(self, **criteria: Any) -> Any:
+        """The unique matching result; raises on OOM points."""
+        out = self.outcome(**criteria)
+        if out.oom is not None:
+            raise OutOfMemoryError(out.oom.device, out.oom.requested, out.oom.free)
+        return out.result
+
+    def try_result(self, **criteria: Any) -> Optional[Any]:
+        """Like :meth:`result` but ``None`` for OOM or missing points."""
+        try:
+            return self.result(**criteria)
+        except (KeyError, OutOfMemoryError):
+            return None
+
+
+@dataclass
+class RunnerStats:
+    """Where this runner's results came from (for progress reporting)."""
+
+    executed: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    oom: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.executed + self.memory_hits + self.disk_hits
+
+    def describe(self) -> str:
+        return (
+            f"{self.executed} simulated, {self.disk_hits} from disk cache, "
+            f"{self.memory_hits} memoized, {self.oom} OOM"
+        )
+
+
+class SweepRunner:
+    """Executes :class:`SweepSpec` points with memoization and caching.
+
+    Also provides the legacy ``RunCache`` interface (:meth:`get` /
+    :meth:`try_get` / ``len``), so anchor validation and ad-hoc callers
+    can fetch single configurations through the same memo the sweeps
+    fill.
+    """
+
+    def __init__(
+        self,
+        sim: SimulationConfig = SimulationConfig(),
+        constants: CalibrationConstants = CALIBRATION,
+        trainer_kwargs: Optional[Mapping[str, Any]] = None,
+        jobs: int = 1,
+        store: Optional[ResultStore] = None,
+        bus: Optional[EventBus] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.sim = sim
+        self.constants = constants
+        self.trainer_kwargs: Dict[str, Any] = dict(trainer_kwargs or {})
+        self.jobs = jobs
+        self.store = store
+        self.bus = bus
+        self.stats = RunnerStats()
+        self._memo: Dict[str, PointValue] = {}
+
+    def __len__(self) -> int:
+        """Distinct results currently held in memory."""
+        return len(self._memo)
+
+    # ------------------------------------------------------------------
+    # Sweep execution
+    # ------------------------------------------------------------------
+    def run(self, spec: SweepSpec) -> SweepResults:
+        """Execute (or answer from cache) every point of ``spec``."""
+        total = len(spec.points)
+        outcomes: List[Optional[PointOutcome]] = [None] * total
+        pending: List[Tuple[int, Optional[str], SweepPoint]] = []
+
+        for index, point in enumerate(spec.points):
+            self._publish(SweepPointStart(
+                sweep=spec.name, index=index, total=total,
+                label=point.describe(),
+            ))
+            key = self._key(point)
+            value = self._lookup(key)
+            if value is None:
+                pending.append((index, key, point))
+            else:
+                source = "memory" if key in self._memo else "disk"
+                if source == "disk":
+                    self._memo[key] = value  # promote for later lookups
+                    self.stats.disk_hits += 1
+                else:
+                    self.stats.memory_hits += 1
+                outcomes[index] = self._finish(
+                    spec, index, total, point, value, source, 0.0
+                )
+
+        if pending:
+            self._execute_pending(spec, total, pending, outcomes)
+
+        final = [o for o in outcomes if o is not None]
+        if spec.oom_policy is OomPolicy.RAISE:
+            for outcome in final:
+                if outcome.oom is not None:
+                    raise OutOfMemoryError(
+                        outcome.oom.device, outcome.oom.requested, outcome.oom.free
+                    )
+        elif spec.oom_policy is OomPolicy.SKIP:
+            final = [o for o in final if o.oom is None]
+        return SweepResults(name=spec.name, outcomes=tuple(final))
+
+    def map(self, spec: SweepSpec, fn: Any) -> List[Any]:
+        """Apply picklable ``fn(config)`` to every point, in spec order.
+
+        For analyses that iterate a declarative grid without running the
+        trainer (Table IV's memory-model sweep).  Parallelized like
+        :meth:`run` but never cached -- ``fn``'s output has no schema.
+        """
+        configs = [point.config for point in spec.points]
+        total = len(configs)
+        for index, point in enumerate(spec.points):
+            self._publish(SweepPointStart(
+                sweep=spec.name, index=index, total=total, label=point.describe(),
+            ))
+        if self.jobs > 1 and total > 1:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.jobs, total)
+            ) as pool:
+                values = list(pool.map(fn, configs))
+        else:
+            values = [fn(config) for config in configs]
+        for index, point in enumerate(spec.points):
+            self._publish(SweepPointDone(
+                sweep=spec.name, index=index, total=total,
+                label=point.describe(), source="executed", elapsed=0.0,
+            ))
+        return values
+
+    # ------------------------------------------------------------------
+    # Single-point interface (RunCache compatibility)
+    # ------------------------------------------------------------------
+    def run_point(self, point: SweepPoint) -> Any:
+        """Execute one point (memo/disk-cached); raises on OOM."""
+        results = self.run(SweepSpec(name="point", points=(point,)))
+        return results.outcomes[0].result
+
+    def get(
+        self,
+        network: str,
+        batch_size: int,
+        num_gpus: int,
+        comm_method: CommMethodName,
+        scaling: ScalingMode = ScalingMode.STRONG,
+        overlap_bp_wu: bool = True,
+    ) -> Any:
+        """The (memoized) result for one configuration.
+
+        Propagates :class:`~repro.core.errors.OutOfMemoryError` so callers
+        can report untrainable configurations, as the paper does.
+        """
+        config = TrainingConfig(
+            network=network,
+            batch_size=batch_size,
+            num_gpus=num_gpus,
+            comm_method=comm_method,
+            scaling=scaling,
+            overlap_bp_wu=overlap_bp_wu,
+        )
+        return self.run_point(SweepPoint(config=config))
+
+    def try_get(self, *args: Any, **kwargs: Any) -> Optional[Any]:
+        """Like :meth:`get` but returns ``None`` on OOM."""
+        try:
+            return self.get(*args, **kwargs)
+        except OutOfMemoryError:
+            return None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _key(self, point: SweepPoint) -> Optional[str]:
+        return point_fingerprint(
+            point, self.sim, self.constants, self.trainer_kwargs
+        )
+
+    def _lookup(self, key: Optional[str]) -> Optional[PointValue]:
+        if key is None:
+            return None
+        if key in self._memo:
+            return self._memo[key]
+        if self.store is not None:
+            return self.store.load(key)
+        return None
+
+    def _record(self, key: Optional[str], value: PointValue) -> None:
+        if key is None:
+            return
+        self._memo[key] = value
+        if self.store is not None:
+            self.store.store(key, value)
+
+    def _finish(
+        self,
+        spec: SweepSpec,
+        index: int,
+        total: int,
+        point: SweepPoint,
+        value: PointValue,
+        source: str,
+        elapsed: float,
+    ) -> PointOutcome:
+        if isinstance(value, OomInfo):
+            self.stats.oom += 1
+            self._publish(SweepPointOom(
+                sweep=spec.name, index=index, total=total,
+                label=point.describe(), message=value.message,
+            ))
+            return PointOutcome(
+                point=point, result=None, source=source, oom=value,
+                elapsed=elapsed,
+            )
+        self._publish(SweepPointDone(
+            sweep=spec.name, index=index, total=total,
+            label=point.describe(), source=source, elapsed=elapsed,
+        ))
+        return PointOutcome(
+            point=point, result=value, source=source, elapsed=elapsed
+        )
+
+    def _execute_pending(
+        self,
+        spec: SweepSpec,
+        total: int,
+        pending: List[Tuple[int, Optional[str], SweepPoint]],
+        outcomes: List[Optional[PointOutcome]],
+    ) -> None:
+        if self.jobs > 1 and len(pending) > 1:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(pending))
+            ) as pool:
+                futures = {
+                    pool.submit(
+                        _execute_point, point, self.sim, self.constants,
+                        self.trainer_kwargs,
+                    ): (index, key, point)
+                    for index, key, point in pending
+                }
+                for future in concurrent.futures.as_completed(futures):
+                    index, key, point = futures[future]
+                    value, elapsed = future.result()
+                    self.stats.executed += 1
+                    self._record(key, value)
+                    outcomes[index] = self._finish(
+                        spec, index, total, point, value, "executed", elapsed
+                    )
+        else:
+            for index, key, point in pending:
+                value, elapsed = _execute_point(
+                    point, self.sim, self.constants, self.trainer_kwargs
+                )
+                self.stats.executed += 1
+                self._record(key, value)
+                outcomes[index] = self._finish(
+                    spec, index, total, point, value, "executed", elapsed
+                )
+
+    def _publish(self, event: Any) -> None:
+        if self.bus is not None:
+            self.bus.publish(event)

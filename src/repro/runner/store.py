@@ -1,0 +1,137 @@
+"""Persistent on-disk result cache.
+
+One JSON file per sweep point, named by its content fingerprint (see
+:mod:`repro.runner.fingerprint`), written atomically.  Because the key
+hashes the config, simulation fidelity, calibration constants and schema
+version, invalidation is automatic: change a constant and the old files
+are simply never addressed again.  ``repro-experiments`` points a
+:class:`ResultStore` at ``results/cache`` by default, making a repeat run
+of the full paper suite near-instant.
+
+Layout::
+
+    <root>/
+        <sha256-fingerprint>.json    # {"schema": N, "kind": ..., "result": {...}}
+
+``kind`` is ``"training"`` (synchronous :class:`TrainingResult`),
+``"async"`` (:class:`AsyncResult`) or ``"oom"`` (a recorded
+out-of-memory failure, so untrainable points are not re-attempted).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from typing import Optional, Union
+
+from repro.core.errors import ReproError
+from repro.runner.spec import OomInfo
+
+
+class CacheSchemaError(ReproError, RuntimeError):
+    """A cache file was written by an incompatible schema version."""
+
+
+StoredValue = Union["TrainingResult", "AsyncResult", OomInfo]  # noqa: F821
+
+
+class ResultStore:
+    """Loads and saves simulation results keyed by content fingerprint."""
+
+    def __init__(self, root: Union[str, pathlib.Path]) -> None:
+        self.root = pathlib.Path(root)
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.json"
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def load(self, key: str) -> Optional[StoredValue]:
+        """The stored value for ``key``, or ``None`` on a miss.
+
+        Unreadable or truncated files count as misses (they are
+        overwritten by the next store); a *schema* mismatch is refused
+        loudly instead, because silently re-simulating would mask the
+        fact that the cache directory holds unusable data.
+        """
+        # Imported lazily: repro.analysis's package __init__ pulls in
+        # modules that import repro.runner back.
+        from repro.analysis.serialization import (
+            SCHEMA_VERSION,
+            SchemaMismatchError,
+            async_result_from_dict,
+            result_from_dict,
+        )
+
+        path = self.path_for(key)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        found = data.get("schema") if isinstance(data, dict) else None
+        if found != SCHEMA_VERSION:
+            raise CacheSchemaError(
+                f"cache file {path} has schema {found!r} but this library "
+                f"writes schema {SCHEMA_VERSION}; delete the cache directory "
+                f"(or pass --no-cache) and re-run"
+            )
+        kind = data.get("kind")
+        try:
+            if kind == "training":
+                return result_from_dict(data["result"])
+            if kind == "async":
+                return async_result_from_dict(data["result"])
+            if kind == "oom":
+                o = data["result"]
+                return OomInfo(
+                    device=o["device"],
+                    requested=o["requested"],
+                    free=o["free"],
+                    message=o["message"],
+                )
+        except SchemaMismatchError as exc:
+            raise CacheSchemaError(f"cache file {path}: {exc}") from exc
+        except (KeyError, TypeError, ValueError):
+            return None
+        return None
+
+    def store(self, key: str, value: StoredValue) -> pathlib.Path:
+        """Persist ``value`` under ``key`` (atomic write-then-rename)."""
+        from repro.analysis.serialization import (
+            SCHEMA_VERSION,
+            async_result_to_dict,
+            result_to_dict,
+        )
+        from repro.train.async_trainer import AsyncResult
+
+        if isinstance(value, OomInfo):
+            kind, payload = "oom", {
+                "device": value.device,
+                "requested": value.requested,
+                "free": value.free,
+                "message": value.message,
+            }
+        elif isinstance(value, AsyncResult):
+            kind, payload = "async", async_result_to_dict(value)
+        else:
+            kind, payload = "training", result_to_dict(value)
+
+        self.root.mkdir(parents=True, exist_ok=True)
+        data = {"schema": SCHEMA_VERSION, "kind": kind, "result": payload}
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fp:
+                json.dump(data, fp)
+            os.replace(tmp, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return self.path_for(key)

@@ -1,0 +1,360 @@
+"""Tests for the repro.runner subsystem: specs, fingerprints, store, runner."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.analysis.serialization import (
+    SCHEMA_VERSION,
+    async_result_from_dict,
+    async_result_to_dict,
+    result_to_dict,
+)
+from repro.core.config import (
+    CommMethodName,
+    ScalingMode,
+    SimulationConfig,
+    TrainingConfig,
+)
+from repro.core.constants import CALIBRATION
+from repro.core.errors import OutOfMemoryError
+from repro.obs.bus import EventBus
+from repro.obs.events import SweepPointDone, SweepPointOom, SweepPointStart
+from repro.runner import (
+    CacheSchemaError,
+    OomInfo,
+    OomPolicy,
+    ResultStore,
+    SweepPoint,
+    SweepRunner,
+    SweepSpec,
+    Unfingerprintable,
+    canonical,
+    point_fingerprint,
+)
+from repro.train import train_async
+
+FAST = SimulationConfig(warmup_iterations=1, measure_iterations=2)
+
+#: A configuration the memory model rejects (inception at batch 512).
+OOM_CONFIG = TrainingConfig("inception-v3", 512, 1,
+                            comm_method=CommMethodName.P2P)
+
+
+def _point(network="lenet", batch=16, gpus=1, method=CommMethodName.P2P,
+           **kwargs):
+    return SweepPoint.make(
+        TrainingConfig(network, batch, gpus, comm_method=method), **kwargs
+    )
+
+
+# ----------------------------------------------------------------------
+# SweepSpec construction
+# ----------------------------------------------------------------------
+def test_grid_cross_product_and_order():
+    spec = SweepSpec.grid(
+        "g",
+        networks=("lenet", "alexnet"),
+        comm_methods=(CommMethodName.P2P, CommMethodName.NCCL),
+        batch_sizes=(16, 32),
+        gpu_counts=(1, 2),
+    )
+    assert len(spec) == 2 * 2 * 2 * 2
+    # Canonical nesting: network > method > scaling > batch > gpus.
+    cfgs = [p.config for p in spec]
+    assert [c.network for c in cfgs[:8]] == ["lenet"] * 8
+    assert (cfgs[0].batch_size, cfgs[0].num_gpus) == (16, 1)
+    assert (cfgs[1].batch_size, cfgs[1].num_gpus) == (16, 2)
+    assert (cfgs[2].batch_size, cfgs[2].num_gpus) == (32, 1)
+    assert cfgs[0].comm_method == CommMethodName.P2P
+    assert cfgs[4].comm_method == CommMethodName.NCCL
+
+
+def test_grid_config_extra_and_tags():
+    spec = SweepSpec.grid(
+        "g", networks=("lenet",), batch_sizes=(16,), gpu_counts=(8,),
+        config_extra={"cluster_nodes": 2}, tags={"study": "multinode"},
+    )
+    point = spec.points[0]
+    assert point.config.cluster_nodes == 2
+    assert point.tag_dict() == {"study": "multinode"}
+
+
+def test_spec_addition_keeps_stricter_policy():
+    raising = SweepSpec.explicit("a", [_point()], oom_policy=OomPolicy.RAISE)
+    skipping = SweepSpec.explicit("b", [_point(batch=32)],
+                                  oom_policy=OomPolicy.SKIP)
+    combined = skipping + raising
+    assert len(combined) == 2
+    assert combined.oom_policy is OomPolicy.RAISE
+
+
+def test_point_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        SweepPoint(config=OOM_CONFIG, mode="turbo")
+
+
+# ----------------------------------------------------------------------
+# Fingerprinting
+# ----------------------------------------------------------------------
+def test_fingerprint_is_stable_and_sensitive():
+    key = point_fingerprint(_point(), FAST, CALIBRATION)
+    assert key == point_fingerprint(_point(), FAST, CALIBRATION)
+    assert key != point_fingerprint(_point(batch=32), FAST, CALIBRATION)
+    assert key != point_fingerprint(_point(), SimulationConfig(), CALIBRATION)
+
+
+def test_fingerprint_changes_with_constants():
+    tweaked = dataclasses.replace(
+        CALIBRATION, kernel_launch_overhead=CALIBRATION.kernel_launch_overhead * 2
+    )
+    assert point_fingerprint(_point(), FAST, CALIBRATION) != point_fingerprint(
+        _point(), FAST, tweaked
+    )
+
+
+def test_lambda_override_is_uncacheable():
+    point = _point(overrides={"topology_builder": lambda: None})
+    assert point_fingerprint(point, FAST, CALIBRATION) is None
+
+
+def test_canonical_rejects_arbitrary_objects():
+    with pytest.raises(Unfingerprintable):
+        canonical(object())
+
+
+def test_canonical_handles_partials_and_enums():
+    import functools
+
+    from repro.topology import build_dgx1v
+
+    form = canonical(functools.partial(build_dgx1v, nvlink_bandwidth_scale=2.0))
+    assert form["kwargs"] == {"nvlink_bandwidth_scale": 2.0}
+    assert canonical(CommMethodName.NCCL) == "nccl"
+
+
+# ----------------------------------------------------------------------
+# ResultStore
+# ----------------------------------------------------------------------
+def test_store_round_trip(tmp_path):
+    runner = SweepRunner(sim=FAST)
+    result = runner.get("lenet", 16, 1, CommMethodName.P2P)
+    store = ResultStore(tmp_path)
+    store.store("k1", result)
+    loaded = store.load("k1")
+    assert result_to_dict(loaded) == result_to_dict(result)
+    assert len(store) == 1
+
+
+def test_store_oom_round_trip(tmp_path):
+    store = ResultStore(tmp_path)
+    oom = OomInfo(device="gpu0", requested=123, free=45, message="boom")
+    store.store("k1", oom)
+    assert store.load("k1") == oom
+
+
+def test_store_corrupt_file_is_a_miss(tmp_path):
+    store = ResultStore(tmp_path)
+    store.path_for("bad").parent.mkdir(parents=True, exist_ok=True)
+    store.path_for("bad").write_text("{not json")
+    assert store.load("bad") is None
+
+
+def test_store_schema_mismatch_is_loud(tmp_path):
+    store = ResultStore(tmp_path)
+    store.root.mkdir(parents=True, exist_ok=True)
+    store.path_for("old").write_text(
+        json.dumps({"schema": SCHEMA_VERSION - 1, "kind": "training",
+                    "result": {}})
+    )
+    with pytest.raises(CacheSchemaError):
+        store.load("old")
+
+
+# ----------------------------------------------------------------------
+# SweepRunner execution
+# ----------------------------------------------------------------------
+def test_runner_memoizes_across_sweeps():
+    runner = SweepRunner(sim=FAST)
+    spec = SweepSpec.explicit("s", [_point(), _point(batch=32)])
+    runner.run(spec)
+    assert runner.stats.executed == 2
+    runner.run(spec)
+    assert runner.stats.executed == 2
+    assert runner.stats.memory_hits == 2
+
+
+def test_runner_disk_cache_hit(tmp_path):
+    spec = SweepSpec.explicit("s", [_point(), _point(batch=32)])
+    first = SweepRunner(sim=FAST, store=ResultStore(tmp_path))
+    r1 = first.run(spec)
+    assert first.stats.executed == 2
+
+    second = SweepRunner(sim=FAST, store=ResultStore(tmp_path))
+    r2 = second.run(spec)
+    assert second.stats.executed == 0
+    assert second.stats.disk_hits == 2
+    for a, b in zip(r1, r2):
+        assert result_to_dict(a.result) == result_to_dict(b.result)
+
+
+def test_runner_cache_invalidated_by_constant_change(tmp_path):
+    spec = SweepSpec.explicit("s", [_point()])
+    SweepRunner(sim=FAST, store=ResultStore(tmp_path)).run(spec)
+
+    tweaked = dataclasses.replace(
+        CALIBRATION, kernel_launch_overhead=CALIBRATION.kernel_launch_overhead * 2
+    )
+    recal = SweepRunner(sim=FAST, constants=tweaked,
+                        store=ResultStore(tmp_path))
+    recal.run(spec)
+    assert recal.stats.executed == 1       # stale entry never addressed
+    assert recal.stats.disk_hits == 0
+
+
+def test_parallel_results_identical_to_serial():
+    spec = SweepSpec.grid(
+        "par", networks=("lenet",), batch_sizes=(16, 32), gpu_counts=(1, 2),
+        comm_methods=(CommMethodName.P2P,),
+    )
+    serial = SweepRunner(sim=FAST).run(spec)
+    parallel = SweepRunner(sim=FAST, jobs=2).run(spec)
+    assert len(serial) == len(parallel) == 4
+    for a, b in zip(serial, parallel):
+        assert a.point == b.point
+        assert result_to_dict(a.result) == result_to_dict(b.result)
+
+
+def test_parallel_async_points():
+    spec = SweepSpec.explicit(
+        "amix", [SweepPoint(config=_point(gpus=2).config, mode="async")]
+    )
+    serial = SweepRunner(sim=FAST).run(spec).outcomes[0].result
+    parallel = SweepRunner(sim=FAST, jobs=2)
+    # jobs>1 with one pending point falls back to serial; force two points.
+    two = spec + SweepSpec.explicit(
+        "amix2", [SweepPoint(config=_point(gpus=4).config, mode="async")]
+    )
+    results = parallel.run(two)
+    assert async_result_to_dict(results.outcomes[0].result) == \
+        async_result_to_dict(serial)
+    direct = train_async(_point(gpus=2).config, sim=FAST)
+    assert async_result_to_dict(results.outcomes[0].result) == \
+        async_result_to_dict(direct)
+
+
+def test_oom_policy_raise():
+    spec = SweepSpec.explicit("oom", [SweepPoint(config=OOM_CONFIG)])
+    with pytest.raises(OutOfMemoryError):
+        SweepRunner(sim=FAST).run(spec)
+
+
+def test_oom_policy_skip_and_record():
+    points = [_point(), SweepPoint(config=OOM_CONFIG)]
+    skip = SweepRunner(sim=FAST).run(
+        SweepSpec.explicit("oom", points, oom_policy=OomPolicy.SKIP)
+    )
+    assert len(skip) == 1 and skip.outcomes[0].ok
+
+    record = SweepRunner(sim=FAST).run(
+        SweepSpec.explicit("oom", points, oom_policy=OomPolicy.RECORD)
+    )
+    assert len(record) == 2
+    assert record.outcomes[1].oom is not None
+    assert record.outcomes[1].result is None
+    with pytest.raises(OutOfMemoryError):
+        record.result(network="inception-v3")
+    assert record.try_result(network="inception-v3") is None
+
+
+def test_results_lookup_by_tag_mode_and_config():
+    runner = SweepRunner(sim=FAST)
+    spec = SweepSpec.explicit("look", [
+        _point(tags={"role": "base"}),
+        _point(batch=32, tags={"role": "big"}),
+    ])
+    results = runner.run(spec)
+    assert results.outcome(role="big").point.config.batch_size == 32
+    assert results.outcome(batch_size=16).point.tag_dict()["role"] == "base"
+    assert results.outcome(mode="sync", role="base").ok
+    with pytest.raises(KeyError):
+        results.outcome(role="missing")
+    with pytest.raises(KeyError):
+        results.outcome(mode="sync")       # ambiguous
+
+
+def test_runner_publishes_progress_events():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(SweepPointStart, seen.append)
+    bus.subscribe(SweepPointDone, seen.append)
+    bus.subscribe(SweepPointOom, seen.append)
+    runner = SweepRunner(sim=FAST, bus=bus)
+    runner.run(SweepSpec.explicit("evt", [
+        _point(), SweepPoint(config=OOM_CONFIG),
+    ], oom_policy=OomPolicy.RECORD))
+    starts = [e for e in seen if isinstance(e, SweepPointStart)]
+    dones = [e for e in seen if isinstance(e, SweepPointDone)]
+    ooms = [e for e in seen if isinstance(e, SweepPointOom)]
+    assert len(starts) == 2 and len(dones) == 1 and len(ooms) == 1
+    assert starts[0].total == 2 and dones[0].source == "executed"
+
+
+def test_runcache_compat_interface():
+    runner = SweepRunner(sim=FAST)
+    result = runner.get("lenet", 16, 2, CommMethodName.NCCL)
+    assert result.config.num_gpus == 2
+    assert len(runner) == 1
+    assert runner.try_get("inception-v3", 512, 1, CommMethodName.P2P) is None
+    # weak-scaling variant is a distinct memo entry
+    runner.get("lenet", 16, 2, CommMethodName.NCCL, ScalingMode.WEAK)
+    assert len(runner) == 3  # incl. the OOM record
+
+
+def test_uncacheable_points_still_execute(tmp_path):
+    from repro.analysis.crossover import SYNTHETIC_INPUT, synthetic_conv_network
+
+    network = synthetic_conv_network(2)
+    point = SweepPoint.make(
+        TrainingConfig(network.name, 16, 2, comm_method=CommMethodName.P2P),
+        overrides={"network": network, "input_shape": SYNTHETIC_INPUT,
+                   "check_memory": False},
+    )
+    runner = SweepRunner(sim=FAST, store=ResultStore(tmp_path))
+    spec = SweepSpec.explicit("synth", [point])
+    runner.run(spec)
+    runner.run(spec)
+    assert runner.stats.executed == 2      # never cached, by design
+    assert len(ResultStore(tmp_path)) == 0
+
+
+# ----------------------------------------------------------------------
+# Serialization round-trips (schema v2)
+# ----------------------------------------------------------------------
+def test_async_serialization_round_trip():
+    result = train_async(
+        TrainingConfig("lenet", 16, 4, comm_method=CommMethodName.P2P),
+        sim=FAST,
+    )
+    data = json.loads(json.dumps(async_result_to_dict(result)))
+    back = async_result_from_dict(data)
+    assert back.config == result.config
+    assert back.staleness_samples == result.staleness_samples
+    assert back.effective_epoch_time() == pytest.approx(
+        result.effective_epoch_time()
+    )
+
+
+def test_result_round_trip_preserves_extended_config_fields():
+    runner = SweepRunner(sim=FAST)
+    config = TrainingConfig("lenet", 16, 8, comm_method=CommMethodName.NCCL,
+                            cluster_nodes=2)
+    result = runner.run_point(SweepPoint(config=config))
+    data = json.loads(json.dumps(result_to_dict(result)))
+    from repro.analysis.serialization import result_from_dict
+
+    back = result_from_dict(data)
+    assert back.config == config
+    assert back.config.cluster_nodes == 2
+    assert back.epoch_time == result.epoch_time
