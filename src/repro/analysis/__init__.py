@@ -4,12 +4,22 @@
 (speedup, efficiency, Amdahl/Karp-Flatt serial fractions);
 :mod:`repro.analysis.crossover` locates the model-shape boundary where
 NCCL overtakes P2P (generalizing the paper's five data points);
+:mod:`repro.analysis.protocols` tabulates the NCCL algorithm/protocol
+auto-tuner's per-message-size selections and regime crossovers;
 :mod:`repro.analysis.serialization` persists results as JSON for external
 plotting.
 """
 
 from repro.analysis.batch_tuner import BatchTuneResult, tune_batch_size
 from repro.analysis.crossover import CrossoverStudy, synthetic_conv_network
+from repro.analysis.protocols import (
+    CrossoverPoint,
+    SelectionRow,
+    crossover_table,
+    protocol_speedups,
+    regime_spans,
+    selection_table,
+)
 from repro.analysis.scaling import (
     ScalingCurve,
     amdahl_serial_fraction,
@@ -28,20 +38,26 @@ from repro.analysis.validation import PAPER_ANCHORS, PaperAnchor, ValidationRepo
 
 __all__ = [
     "BatchTuneResult",
+    "CrossoverPoint",
     "CrossoverStudy",
     "PAPER_ANCHORS",
     "PaperAnchor",
     "SCHEMA_VERSION",
     "SchemaMismatchError",
+    "SelectionRow",
     "ValidationReport",
     "ScalingCurve",
     "amdahl_serial_fraction",
     "async_result_from_dict",
     "async_result_to_dict",
+    "crossover_table",
     "karp_flatt",
+    "protocol_speedups",
+    "regime_spans",
     "result_from_dict",
     "result_to_dict",
     "scaling_curve",
+    "selection_table",
     "synthetic_conv_network",
     "tune_batch_size",
     "validate",

@@ -20,6 +20,8 @@ from repro.runner import OomPolicy, SweepRunner, SweepSpec
 
 @dataclass(frozen=True)
 class BatchPoint:
+    """One trainable batch size and its throughput/memory readings."""
+
     batch_size: int
     epoch_time: float
     images_per_second: float
@@ -28,6 +30,8 @@ class BatchPoint:
 
 @dataclass(frozen=True)
 class BatchTuneResult:
+    """The batch-size scan for one workload, with the OOM wall."""
+
     network: str
     comm_method: str
     num_gpus: int

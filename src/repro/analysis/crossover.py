@@ -45,6 +45,8 @@ def synthetic_conv_network(depth: int, width: int = 64) -> Network:
 
 @dataclass(frozen=True)
 class CrossoverPoint:
+    """One synthetic network depth: P2P vs NCCL epoch times."""
+
     depth: int
     weight_arrays: int
     p2p_epoch: float
@@ -57,6 +59,8 @@ class CrossoverPoint:
 
 @dataclass(frozen=True)
 class CrossoverStudyResult:
+    """The depth sweep locating where NCCL overtakes P2P."""
+
     num_gpus: int
     batch_size: int
     points: Tuple[CrossoverPoint, ...]

@@ -40,6 +40,8 @@ class PaperAnchor:
 
 @dataclass(frozen=True)
 class AnchorVerdict:
+    """One paper anchor's measured value and pass/fail verdict."""
+
     anchor: PaperAnchor
     measured: float
 
@@ -55,6 +57,8 @@ class AnchorVerdict:
 
 @dataclass(frozen=True)
 class ValidationReport:
+    """All anchor verdicts from one validation run."""
+
     verdicts: Tuple[AnchorVerdict, ...]
 
     @property

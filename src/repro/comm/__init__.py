@@ -31,8 +31,17 @@ __all__ = [
 
 
 def make_communicator(name, *args, **kwargs) -> Communicator:
-    """Factory keyed by :class:`~repro.core.config.CommMethodName` or string."""
+    """Factory keyed by :class:`~repro.core.config.CommMethodName` or string.
+
+    The NCCL-family constructors additionally take ``algorithm`` /
+    ``protocol`` keywords (the :class:`~repro.core.config.TrainingConfig`
+    fidelity knobs); those are silently dropped for the P2P and local
+    methods, which have no algorithm/protocol selection space.
+    """
     key = getattr(name, "value", name)
+    if key not in ("nccl", "nccl-allreduce"):
+        kwargs.pop("algorithm", None)
+        kwargs.pop("protocol", None)
     if key == "p2p":
         return P2PCommunicator(*args, **kwargs)
     if key == "nccl":

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.comm.nccl.communicator import NcclCommunicator
+from repro.comm.nccl.protocol import NcclAlgorithm
 from repro.dnn.stats import WeightArray
 from repro.obs.events import RingStepEvent
 from repro.sim.events import Event
@@ -57,12 +58,16 @@ class NcclAllReduceCommunicator(NcclCommunicator):
         """Pipelined ring AllReduce: reduce-scatter + all-gather.
 
         Each GPU sends and receives ``2(N-1)/N * S`` per channel -- the
-        bandwidth-optimal collective.
+        bandwidth-optimal collective.  Non-compat modes defer to the
+        tuner's protocol-aware cost model instead.
         """
         c = self.constants
         n = self.plan.size
         if n == 1:
             return c.nccl_single_gpu_kernel
+        choice = self._choose("allreduce", nbytes)
+        if choice is not None:
+            return choice.predicted
         wire = (2.0 * (n - 1) / n) * nbytes / self.plan.aggregate_bandwidth
         return c.nccl_call_overhead + 2 * (n - 1) * c.nccl_ring_step_latency + wire
 
@@ -104,6 +109,13 @@ class NcclAllReduceCommunicator(NcclCommunicator):
             yield self.env.all_of(taxes)
         finally:
             self._stream.release(req)
-        self._emit_ring_steps("allreduce", array, start, start + duration, wire_bytes)
+        choice = self._choose("allreduce", wire_bytes)
+        if choice is None or choice.algorithm is NcclAlgorithm.RING:
+            self._emit_ring_steps("allreduce", array, start, start + duration,
+                                  wire_bytes)
+        else:
+            self._emit_tree_steps(choice, array, start, start + duration)
+        if choice is not None:
+            self._emit_choice(choice, array, start)
         self._record_transfer("nccl", self.server.index, -1, wire_bytes,
                               start, self.env.now)

@@ -11,6 +11,14 @@ networks.
 Two costs distinguish NCCL from P2P even on a single GPU (paper Table II):
 the Reduce/Broadcast kernels still launch per array, and the communicator
 setup is paid once per run (``nccl_epoch_fixed_overhead``).
+
+The ``algorithm``/``protocol`` knobs select the fidelity layer of
+:mod:`repro.comm.nccl.protocol`: with the default ``"compat"`` pair the
+communicator charges the original pinned ring+Simple cost model
+(byte-identical outputs); any other pairing routes every collective
+through an :class:`~repro.comm.nccl.tuning.NcclTuner` that picks (or
+pins) Ring/Tree x Simple/LL/LL128 per message size, emitting per-choice
+and per-chunk observability events.  See docs/COMM.md.
 """
 
 from __future__ import annotations
@@ -18,11 +26,19 @@ from __future__ import annotations
 from typing import Generator, List, Optional, Tuple
 
 from repro.comm.base import Communicator
+from repro.comm.nccl.protocol import NcclAlgorithm, tree_hop_bytes
 from repro.comm.nccl.rings import RingPlan, build_ring_plan
+from repro.comm.nccl.tuning import NcclTuner, TuningChoice
 from repro.dnn.stats import WeightArray
-from repro.obs.events import LinkWaitEvent, RingStepEvent
+from repro.obs.events import (
+    CollectiveChunkEvent,
+    LinkWaitEvent,
+    ProtocolChoiceEvent,
+    RingStepEvent,
+)
 from repro.sim import Resource
 from repro.sim.events import Event
+from repro.topology.trees import TreeEdge, TreePlan, build_tree_plan, tree_edges
 
 #: One directed ring hop: (src GPU, dst GPU, link name, link type).
 RingHop = Tuple[int, int, str, str]
@@ -33,8 +49,16 @@ class NcclCommunicator(Communicator):
 
     name = "nccl"
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args, algorithm: str = "compat",
+                 protocol: str = "compat", **kwargs) -> None:
         super().__init__(*args, **kwargs)
+        if (algorithm == "compat") != (protocol == "compat"):
+            raise ValueError(
+                "'compat' pins the whole legacy model: algorithm and "
+                "protocol must both be 'compat' or neither"
+            )
+        self.algorithm = algorithm
+        self.protocol = protocol
         self._stream = Resource(self.env)
         self.plan: RingPlan = build_ring_plan(
             self.fabric.topology,
@@ -42,6 +66,20 @@ class NcclCommunicator(Communicator):
             self.constants,
         )
         self._ring_hops: List[RingHop] = self._build_ring_hops()
+        self.tree: Optional[TreePlan] = None
+        self._tree_edges: List[TreeEdge] = []
+        self._tuner: Optional[NcclTuner] = None
+        if algorithm != "compat":
+            self.tree = build_tree_plan(
+                self.fabric.topology,
+                [d.index for d in self.devices],
+                self.constants,
+            )
+            self._tree_edges = tree_edges(self.fabric.topology, self.tree)
+            self._tuner = NcclTuner(
+                ring=self.plan, tree=self.tree, constants=self.constants,
+                algorithm=algorithm, protocol=protocol,
+            )
 
     def _build_ring_hops(self) -> List[RingHop]:
         """The directed (src -> dst) hops around the ring, with the
@@ -122,6 +160,62 @@ class NcclCommunicator(Communicator):
         return self.constants.nccl_group_sync_per_gpu * self.num_gpus
 
     # ------------------------------------------------------------------
+    # Protocol-layer hooks (no-ops in compat mode)
+    # ------------------------------------------------------------------
+    def _choose(self, collective: str, nbytes: int) -> Optional[TuningChoice]:
+        """The tuner's decision for this message, or ``None`` in compat."""
+        if self._tuner is None or self.plan.size < 2:
+            return None
+        return self._tuner.select(collective, nbytes)
+
+    def _emit_choice(self, choice: TuningChoice, array: WeightArray,
+                     at: float) -> None:
+        self._publish(ProtocolChoiceEvent(
+            collective=choice.collective, array=array.name,
+            nbytes=choice.nbytes, algorithm=choice.algorithm.value,
+            protocol=choice.protocol.value, predicted=choice.predicted,
+            pinned=choice.pinned, at=at,
+        ))
+
+    def _emit_tree_steps(
+        self, choice: TuningChoice, array: WeightArray,
+        start: float, end: float,
+    ) -> None:
+        """Per-chunk timing of one tree collective window.
+
+        The window divides into one slot per (direction, chunk round);
+        every tree edge is active in each round -- the pipelined
+        steady-state, where all levels of the tree carry consecutive
+        chunks simultaneously.
+        """
+        if not self._tree_edges or end <= start:
+            return
+        schedule = tree_hop_bytes(choice.collective, choice.nbytes,
+                                  len(self._tree_edges))
+        if not schedule:
+            return
+        chunk_bytes = self.constants.nccl_chunk_bytes
+        num_chunks = max(1, -(-choice.nbytes // chunk_bytes))
+        directions = len({direction for _, direction, _ in schedule})
+        slots = directions * num_chunks
+        slot = (end - start) / slots
+        for edge_index, direction, nbytes in schedule:
+            child, parent, _, link_type = self._tree_edges[edge_index]
+            src, dst = (child, parent) if direction == 0 else (parent, child)
+            base, rem = divmod(nbytes, num_chunks)
+            for chunk in range(num_chunks):
+                t0 = start + (direction * num_chunks + chunk) * slot
+                self._publish(CollectiveChunkEvent(
+                    collective=choice.collective, array=array.name,
+                    algorithm=choice.algorithm.value,
+                    protocol=choice.protocol.value,
+                    chunk=chunk, num_chunks=num_chunks,
+                    src=src, dst=dst, link_type=link_type,
+                    nbytes=base + (1 if chunk < rem else 0),
+                    start=t0, end=t0 + slot,
+                ))
+
+    # ------------------------------------------------------------------
     # Collective durations
     # ------------------------------------------------------------------
     def reduce_duration(self, nbytes: int) -> float:
@@ -130,12 +224,16 @@ class NcclCommunicator(Communicator):
         With chunk pipelining every ring link stays busy carrying the
         accumulating stream, so each channel moves the full array: the
         wire cost is ``S / aggregate_bandwidth`` plus the pipeline fill of
-        ``N-1`` chunk steps.
+        ``N-1`` chunk steps.  Non-compat modes defer to the tuner's
+        protocol-aware cost model instead.
         """
         c = self.constants
         n = self.plan.size
         if n == 1:
             return c.nccl_single_gpu_kernel
+        choice = self._choose("reduce", nbytes)
+        if choice is not None:
+            return choice.predicted
         wire = nbytes / self.plan.aggregate_bandwidth
         return c.nccl_call_overhead + (n - 1) * c.nccl_ring_step_latency + wire
 
@@ -145,6 +243,9 @@ class NcclCommunicator(Communicator):
         n = self.plan.size
         if n == 1:
             return c.nccl_single_gpu_kernel
+        choice = self._choose("broadcast", nbytes)
+        if choice is not None:
+            return choice.predicted
         wire = nbytes / self.plan.aggregate_bandwidth
         return c.nccl_call_overhead + (n - 1) * c.nccl_ring_step_latency + wire
 
@@ -208,6 +309,12 @@ class NcclCommunicator(Communicator):
             yield self.env.all_of(taxes)
         finally:
             self._stream.release(req)
-        self._emit_ring_steps(kind, array, start, start + duration, wire_bytes)
+        choice = self._choose(kind, wire_bytes)
+        if choice is None or choice.algorithm is NcclAlgorithm.RING:
+            self._emit_ring_steps(kind, array, start, start + duration, wire_bytes)
+        else:
+            self._emit_tree_steps(choice, array, start, start + duration)
+        if choice is not None:
+            self._emit_choice(choice, array, start)
         self._record_transfer("nccl", self.server.index, -1, wire_bytes,
                               start, self.env.now)

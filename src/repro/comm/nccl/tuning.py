@@ -1,0 +1,218 @@
+"""NCCL's internal algorithm/protocol auto-tuner, as a cost model.
+
+At init time NCCL builds every (algorithm, protocol) variant it supports
+and, per collective call, picks the combination its latency/bandwidth
+model predicts fastest for the message size.  That selection is what the
+paper's P2P-vs-NCCL comparison is implicitly sweeping: small gradient
+arrays live in the latency-dominated regime (few-step trees and the LL
+protocol win), large arrays in the bandwidth-dominated regime (ring +
+Simple wins).  :class:`NcclTuner` reproduces the selection determinis-
+tically from the same chunk-pipelined cost formulas the communicator
+charges, so the simulated choice and the simulated cost always agree.
+
+>>> from repro.comm.nccl.tuning import NcclTuner
+>>> tuner = NcclTuner.for_dgx1(num_gpus=8)
+>>> small = tuner.select("allreduce", 16 * 1024)
+>>> (small.protocol.value, small.algorithm.value)
+('ll', 'tree')
+>>> large = tuner.select("allreduce", 64 * 1024 * 1024)
+>>> (large.protocol.value, large.algorithm.value)
+('simple', 'ring')
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.comm.nccl.protocol import (
+    NcclAlgorithm,
+    NcclProtocol,
+    ProtocolSpec,
+    protocol_table,
+    ring_collective_time,
+    tree_collective_time,
+)
+from repro.comm.nccl.rings import RingPlan, build_ring_plan
+from repro.core.constants import CALIBRATION, CalibrationConstants
+from repro.topology.trees import TreePlan, build_tree_plan
+
+#: Candidate enumeration order -- also the deterministic tie-break
+#: (earlier wins on exactly equal predicted cost).
+CANDIDATE_ORDER: Tuple[Tuple[NcclAlgorithm, NcclProtocol], ...] = tuple(
+    (alg, proto)
+    for alg in (NcclAlgorithm.RING, NcclAlgorithm.TREE)
+    for proto in (NcclProtocol.SIMPLE, NcclProtocol.LL, NcclProtocol.LL128)
+)
+
+
+@dataclass(frozen=True)
+class TuningChoice:
+    """One resolved (algorithm, protocol) decision for a message."""
+
+    collective: str
+    nbytes: int
+    algorithm: NcclAlgorithm
+    protocol: NcclProtocol
+    predicted: float          # modelled collective duration (seconds)
+    pinned: bool              # True when the config pinned the choice
+
+
+class NcclTuner:
+    """Per-message algorithm x protocol selection over fixed plans.
+
+    ``algorithm`` / ``protocol`` are the :class:`TrainingConfig` knobs:
+    ``"auto"`` lets the cost model choose, a concrete value pins that
+    axis (the other may still float).  Selections are memoized per
+    (collective, nbytes) -- NCCL likewise resolves each message size
+    once per communicator.
+    """
+
+    def __init__(
+        self,
+        ring: RingPlan,
+        tree: TreePlan,
+        constants: CalibrationConstants = CALIBRATION,
+        algorithm: str = "auto",
+        protocol: str = "auto",
+    ) -> None:
+        if algorithm not in ("auto", "ring", "tree"):
+            raise ValueError(f"unknown nccl algorithm {algorithm!r}")
+        if protocol not in ("auto", "simple", "ll", "ll128"):
+            raise ValueError(f"unknown nccl protocol {protocol!r}")
+        self.ring = ring
+        self.tree = tree
+        self.constants = constants
+        self.algorithm = algorithm
+        self.protocol = protocol
+        self.protocols = protocol_table(constants)
+        #: LL128 needs NVLink's 128-byte atomic stores end to end.
+        self.nvlink_clean = not (ring.uses_pcie or tree.uses_pcie)
+        self._memo: Dict[Tuple[str, int], TuningChoice] = {}
+
+    @classmethod
+    def for_dgx1(
+        cls,
+        num_gpus: int = 8,
+        constants: CalibrationConstants = CALIBRATION,
+        algorithm: str = "auto",
+        protocol: str = "auto",
+    ) -> "NcclTuner":
+        """Tuner over the stock DGX-1V plans (convenience for studies)."""
+        from repro.topology import build_dgx1v
+
+        topology = build_dgx1v()
+        indices = list(range(num_gpus))
+        return cls(
+            ring=build_ring_plan(topology, indices, constants),
+            tree=build_tree_plan(topology, indices, constants),
+            constants=constants,
+            algorithm=algorithm,
+            protocol=protocol,
+        )
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+    def predict(
+        self, collective: str, nbytes: int,
+        algorithm: NcclAlgorithm, protocol: NcclProtocol,
+    ) -> float:
+        """Modelled duration of one collective under a fixed combo."""
+        proto = self.protocols[protocol]
+        if algorithm is NcclAlgorithm.RING:
+            return ring_collective_time(
+                collective, nbytes, self.ring.size,
+                self.ring.aggregate_bandwidth, proto, self.constants,
+            )
+        return tree_collective_time(
+            collective, nbytes, self.tree.depth,
+            self.tree.aggregate_bandwidth, proto, self.constants,
+        )
+
+    def _eligible(
+        self, nbytes: int, algorithm: NcclAlgorithm, spec: ProtocolSpec
+    ) -> bool:
+        if self.algorithm != "auto" and algorithm.value != self.algorithm:
+            return False
+        if self.protocol != "auto" and spec.protocol.value != self.protocol:
+            return False
+        if spec.max_bytes is not None and nbytes > spec.max_bytes:
+            return False
+        if spec.nvlink_only and not self.nvlink_clean:
+            return False
+        return True
+
+    def candidates(
+        self, collective: str, nbytes: int
+    ) -> List[Tuple[NcclAlgorithm, NcclProtocol, float]]:
+        """Every eligible combo with its predicted duration, in
+        :data:`CANDIDATE_ORDER`."""
+        out = []
+        for algorithm, protocol in CANDIDATE_ORDER:
+            if self._eligible(nbytes, algorithm, self.protocols[protocol]):
+                out.append(
+                    (algorithm, protocol, self.predict(collective, nbytes,
+                                                       algorithm, protocol))
+                )
+        return out
+
+    def select(self, collective: str, nbytes: int) -> TuningChoice:
+        """The fastest eligible combo for this message (memoized).
+
+        A fully pinned tuner still resolves through here so the
+        communicator has one code path; when pinning leaves nothing
+        eligible (LL beyond its byte cap, LL128 off NVLink) the size
+        guard is relaxed, matching NCCL's behaviour of falling back to
+        the pinned protocol's nearest legal configuration.
+        """
+        key = (collective, nbytes)
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        ranked = self.candidates(collective, nbytes)
+        if not ranked:
+            # Pinned into a corner: honour the pin, ignoring size caps.
+            algorithm = NcclAlgorithm(self.algorithm) \
+                if self.algorithm != "auto" else NcclAlgorithm.RING
+            protocol = NcclProtocol(self.protocol) \
+                if self.protocol != "auto" else NcclProtocol.SIMPLE
+            choice = TuningChoice(
+                collective=collective, nbytes=nbytes, algorithm=algorithm,
+                protocol=protocol,
+                predicted=self.predict(collective, nbytes, algorithm, protocol),
+                pinned=True,
+            )
+        else:
+            best = min(ranked, key=lambda c: c[2])
+            choice = TuningChoice(
+                collective=collective, nbytes=nbytes,
+                algorithm=best[0], protocol=best[1], predicted=best[2],
+                pinned=(self.algorithm != "auto" and self.protocol != "auto"),
+            )
+        self._memo[key] = choice
+        return choice
+
+
+def crossover_sizes(
+    tuner: NcclTuner,
+    collective: str = "allreduce",
+    sizes: Optional[Sequence[int]] = None,
+) -> List[Tuple[int, TuningChoice]]:
+    """The message sizes at which the tuner's selection changes.
+
+    Scans ``sizes`` (default: powers of two from 256 B to 256 MiB) and
+    returns the first size of each new (algorithm, protocol) regime --
+    the crossover table the NCCL ablation reports.
+    """
+    if sizes is None:
+        sizes = [2 ** p for p in range(8, 29)]
+    out: List[Tuple[int, TuningChoice]] = []
+    last: Optional[Tuple[NcclAlgorithm, NcclProtocol]] = None
+    for size in sizes:
+        choice = tuner.select(collective, size)
+        combo = (choice.algorithm, choice.protocol)
+        if combo != last:
+            out.append((size, choice))
+            last = combo
+    return out

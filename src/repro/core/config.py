@@ -48,6 +48,15 @@ class ScalingMode(str, enum.Enum):
         return self.value
 
 
+#: Valid ``TrainingConfig.nccl_algorithm`` values.  ``"compat"`` pins the
+#: pre-fidelity-layer ring model exactly (byte-stable golden outputs);
+#: ``"auto"`` mirrors NCCL's internal cost-model selection; ``"ring"`` /
+#: ``"tree"`` pin one algorithm.
+NCCL_ALGORITHMS = ("compat", "auto", "ring", "tree")
+#: Valid ``TrainingConfig.nccl_protocol`` values (see docs/COMM.md).
+NCCL_PROTOCOLS = ("compat", "auto", "simple", "ll", "ll128")
+
+
 @dataclass(frozen=True)
 class SimulationConfig:
     """Controls the event-level simulation of a training run.
@@ -89,6 +98,14 @@ class TrainingConfig:
     #: Optimizer name ('sgd', 'sgd-momentum', 'adam'); resolved by the
     #: trainer against :mod:`repro.train.optimizers`.
     optimizer: str = "sgd-momentum"
+    #: NCCL collective algorithm: "compat" (default -- the pinned legacy
+    #: ring model, byte-identical to pre-fidelity-layer outputs), "auto"
+    #: (NCCL's cost-model selection per message size), "ring" or "tree".
+    #: Ignored by non-NCCL communication methods.
+    nccl_algorithm: str = "compat"
+    #: NCCL wire protocol: "compat" (default), "auto", "simple", "ll" or
+    #: "ll128".  "compat" must pair with ``nccl_algorithm="compat"``.
+    nccl_protocol: str = "compat"
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -111,6 +128,23 @@ class TrainingConfig:
             )
         if self.dataset_images < 1:
             raise ConfigurationError("dataset_images must be positive")
+        if self.nccl_algorithm not in NCCL_ALGORITHMS:
+            raise ConfigurationError(
+                f"nccl_algorithm must be one of {NCCL_ALGORITHMS}, "
+                f"got {self.nccl_algorithm!r}"
+            )
+        if self.nccl_protocol not in NCCL_PROTOCOLS:
+            raise ConfigurationError(
+                f"nccl_protocol must be one of {NCCL_PROTOCOLS}, "
+                f"got {self.nccl_protocol!r}"
+            )
+        if (self.nccl_algorithm == "compat") != (self.nccl_protocol == "compat"):
+            raise ConfigurationError(
+                "'compat' pins the whole legacy NCCL model: nccl_algorithm "
+                "and nccl_protocol must both be 'compat' or neither "
+                f"(got algorithm={self.nccl_algorithm!r}, "
+                f"protocol={self.nccl_protocol!r})"
+            )
 
     @property
     def total_images(self) -> int:
@@ -133,7 +167,12 @@ class TrainingConfig:
     def describe(self) -> str:
         """Short human-readable tag, e.g. ``alexnet/b32/g4/nccl``."""
         nodes = f"/n{self.cluster_nodes}" if self.cluster_nodes > 1 else ""
+        tuning = (
+            f"/{self.nccl_algorithm}+{self.nccl_protocol}"
+            if self.nccl_algorithm != "compat"
+            else ""
+        )
         return (
             f"{self.network}/b{self.batch_size}/g{self.num_gpus}/"
-            f"{self.comm_method.value}{nodes}"
+            f"{self.comm_method.value}{nodes}{tuning}"
         )

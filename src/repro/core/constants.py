@@ -31,6 +31,15 @@ Provenance notes
 * Efficiency knees: a V100 needs on the order of 10^8 FLOPs in flight per
   kernel to approach peak; below that launch/drain effects dominate.  The
   half-saturation constants encode that knee.
+* NCCL protocol constants (``nccl_simple_*`` / ``nccl_ll*``): the
+  Simple/LL/LL128 wire protocols differ in per-hop handshake latency and
+  in how much of each wire line is payload.  The bandwidth ratios are
+  protocol arithmetic (LL: 4 data bytes per 8-byte word; LL128: 120 data
+  bytes per 128-byte line); the hop latencies are the measured per-hop
+  costs these protocols exhibit on V100 NVLink systems.  Used only by the
+  protocol fidelity layer (:mod:`repro.comm.nccl.protocol`) -- the
+  compat path never reads them, so the calibrated paper figures are
+  unaffected.  See docs/COMM.md.
 """
 
 from __future__ import annotations
@@ -57,6 +66,22 @@ class CalibrationConstants:
     nccl_chunk_bytes: int = 4 * 1024 * 1024  # ring pipelining granularity
     nccl_ring_step_latency: float = 1.0e-6   # per chunk-step hop latency
     nccl_bandwidth_efficiency: float = 0.80  # achieved fraction of link peak in rings
+
+    # --- NCCL wire protocols (the Simple / LL / LL128 selection space) ---
+    # Simple moves full cache lines but must fence and flush per hop;
+    # LL packs 4B of data with a 4B validity flag per 8B word (half the
+    # wire is flags, but receivers poll flags instead of fencing); LL128
+    # exploits NVLink's 128B-atomic stores to carry 120 data bytes per
+    # 128B line.  Ratios are protocol arithmetic; latencies are the
+    # commonly measured per-hop handshake costs on V100 NVLink systems
+    # (see "Demystifying NCCL", arXiv:2507.04786).
+    nccl_simple_hop_latency: float = 6.0e-6   # per-hop sync + fence, Simple
+    nccl_simple_flush_cost: float = 5.0e-6    # end-of-collective flush, Simple
+    nccl_ll_hop_latency: float = 1.3e-6       # flag-polling hop cost, LL
+    nccl_ll128_hop_latency: float = 2.2e-6    # per-hop cost, LL128
+    nccl_ll_bandwidth_ratio: float = 0.50     # 4B data / 8B word on the wire
+    nccl_ll128_bandwidth_ratio: float = 0.9375  # 120B data / 128B line
+    nccl_ll_max_bytes: int = 1024 * 1024      # NCCL caps LL buffers (per op)
 
     # --- interconnect latencies (seconds, per hop) ---
     nvlink_latency: float = 1.8e-6

@@ -23,6 +23,8 @@ from repro.dnn.shapes import Shape
 
 
 class LayerKind(str, enum.Enum):
+    """Layer taxonomy used for costing and Table I accounting."""
+
     CONV = "conv"
     FC = "fc"
     POOL = "pool"

@@ -20,6 +20,7 @@ Experiment   Paper artifact
 ``table4``   Table IV -- GPU memory usage
 ``fig5``     Figure 5 -- weak scaling
 ``ablate``   DESIGN.md ablations (overlap, fabric, tensor cores)
+``nccl``     extension -- algorithm/protocol ablation + crossover
 ===========  =====================================================
 """
 

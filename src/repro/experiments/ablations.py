@@ -26,6 +26,8 @@ from repro.topology import build_dgx1v
 
 @dataclass(frozen=True)
 class AblationRow:
+    """One ablated configuration's epoch time versus baseline."""
+
     name: str
     network: str
     comm_method: str
@@ -40,6 +42,8 @@ class AblationRow:
 
 @dataclass(frozen=True)
 class AblationResult:
+    """Every ablation row, addressable by (name, network)."""
+
     rows: Tuple[AblationRow, ...]
 
     def row(self, name: str, network: str) -> AblationRow:

@@ -20,6 +20,8 @@ from repro.runner import SweepPoint, SweepRunner, SweepSpec
 
 @dataclass(frozen=True)
 class AsyncStudyRow:
+    """Sync vs async SGD epoch times for one (network, GPUs) cell."""
+
     network: str
     num_gpus: int
     sync_epoch: float
@@ -39,6 +41,8 @@ class AsyncStudyRow:
 
 @dataclass(frozen=True)
 class AsyncStudyResult:
+    """The sync-vs-async comparison grid."""
+
     rows: Tuple[AsyncStudyRow, ...]
 
     def row(self, network: str, gpus: int) -> AsyncStudyRow:

@@ -29,6 +29,8 @@ BANDWIDTH_SCALES = (0.5, 1.0, 2.0, 4.0, 8.0)
 
 @dataclass(frozen=True)
 class BandwidthPoint:
+    """Epoch time under one NVLink bandwidth scale factor."""
+
     network: str
     comm_method: str
     scale: float
@@ -37,6 +39,8 @@ class BandwidthPoint:
 
 @dataclass(frozen=True)
 class BandwidthSweepResult:
+    """The bandwidth-scaling sweep for both comm methods."""
+
     num_gpus: int
     batch_size: int
     points: Tuple[BandwidthPoint, ...]

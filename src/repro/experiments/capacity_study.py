@@ -26,6 +26,8 @@ CAPACITY_SPECS = (TESLA_V100, TESLA_V100_32GB)
 
 @dataclass(frozen=True)
 class CapacityRow:
+    """One network's max batch and best epoch at 16 vs 32 GiB."""
+
     network: str
     max_batch_16gb: int
     max_batch_32gb: int
@@ -41,6 +43,8 @@ class CapacityRow:
 
 @dataclass(frozen=True)
 class CapacityStudyResult:
+    """The 16-vs-32 GiB V100 capacity comparison."""
+
     num_gpus: int
     rows: Tuple[CapacityRow, ...]
 

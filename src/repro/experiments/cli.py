@@ -43,6 +43,7 @@ from repro.experiments import (
     bandwidth_sweep,
     capacity_study,
     multinode_study,
+    nccl_ablation,
     fig2_topology,
     fig3_training_time,
     fig4_breakdown,
@@ -98,6 +99,9 @@ def _run_experiment(name: str, cache: SweepRunner, fast: bool) -> str:
     if name == "multinode":
         kwargs = dict(networks=("resnet",), node_counts=(1, 2)) if fast else {}
         return multinode_study.render(multinode_study.run(runner=cache, **kwargs))
+    if name == "nccl":
+        kwargs = dict(networks=("alexnet",)) if fast else {}
+        return nccl_ablation.render(nccl_ablation.run(runner=cache, **kwargs))
     if name == "validate":
         from repro.analysis import validation
 
@@ -114,8 +118,8 @@ def _run_experiment(name: str, cache: SweepRunner, fast: bool) -> str:
 
 EXPERIMENTS = (
     "table1", "fig2", "fig3", "table2", "fig4", "table3", "table4", "fig5",
-    "ablate", "async", "bandwidth", "capacity", "multinode", "validate",
-    "report",
+    "ablate", "async", "bandwidth", "capacity", "multinode", "nccl",
+    "validate", "report",
 )
 
 OBS_FORMATS = ("prometheus", "jsonl", "chrome", "csv", "summary")

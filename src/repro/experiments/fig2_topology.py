@@ -17,6 +17,8 @@ from repro.topology.system import SystemTopology
 
 @dataclass(frozen=True)
 class Fig2Result:
+    """The DGX-1V connectivity matrix and link inventory."""
+
     topology: SystemTopology
     matrix: Tuple[Tuple[str, ...], ...]   # 8x8 connectivity labels
     nvlink_ports_per_gpu: Tuple[int, ...]

@@ -18,6 +18,8 @@ from repro.runner import SweepRunner, SweepSpec
 
 @dataclass(frozen=True)
 class Fig3Cell:
+    """One (network, method, batch, GPUs) epoch-time measurement."""
+
     network: str
     comm_method: str
     batch_size: int
@@ -28,6 +30,8 @@ class Fig3Cell:
 
 @dataclass(frozen=True)
 class Fig3Result:
+    """The full Figure 3 grid, addressable per cell."""
+
     cells: Tuple[Fig3Cell, ...]
 
     def cell(self, network: str, method: str, batch: int, gpus: int) -> Fig3Cell:

@@ -23,6 +23,8 @@ FIG4_GPU_COUNTS = (1, 2, 4, 8)
 
 @dataclass(frozen=True)
 class Fig4Cell:
+    """FP+BP vs WU epoch split for one configuration."""
+
     network: str
     batch_size: int
     num_gpus: int
@@ -41,6 +43,8 @@ class Fig4Cell:
 
 @dataclass(frozen=True)
 class Fig4Result:
+    """The Figure 4 breakdown grid, addressable per cell."""
+
     cells: Tuple[Fig4Cell, ...]
 
     def cell(self, network: str, batch: int, gpus: int) -> Fig4Cell:

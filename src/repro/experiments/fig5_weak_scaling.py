@@ -26,6 +26,8 @@ from repro.runner import SweepRunner, SweepSpec
 
 @dataclass(frozen=True)
 class Fig5Cell:
+    """One weak-scaling epoch-time measurement."""
+
     network: str
     comm_method: str
     batch_size: int
@@ -37,6 +39,8 @@ class Fig5Cell:
 
 @dataclass(frozen=True)
 class Fig5Result:
+    """The Figure 5 weak-scaling grid, addressable per cell."""
+
     cells: Tuple[Fig5Cell, ...]
 
     def cell(self, network: str, method: str, batch: int, gpus: int) -> Fig5Cell:

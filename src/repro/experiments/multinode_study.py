@@ -20,6 +20,8 @@ from repro.runner import SweepPoint, SweepRunner, SweepSpec
 
 @dataclass(frozen=True)
 class MultiNodeRow:
+    """Epoch time and scaling efficiency at one node count."""
+
     network: str
     nodes: int
     num_gpus: int
@@ -34,6 +36,8 @@ class MultiNodeRow:
 
 @dataclass(frozen=True)
 class MultiNodeStudyResult:
+    """The DGX-1 cluster scaling study over InfiniBand."""
+
     batch_size: int
     rows: Tuple[MultiNodeRow, ...]
 

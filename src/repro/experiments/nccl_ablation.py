@@ -1,0 +1,195 @@
+"""NCCL algorithm/protocol ablation: what the paper's fixed ring left behind.
+
+The paper measured NCCL as MXNet shipped it -- one ring algorithm, one
+wire protocol.  Real NCCL auto-tunes over {Ring, Tree} x {Simple, LL,
+LL128} per message size.  This experiment reports that selection space
+from two angles:
+
+* **Selection table** -- the pure cost model scanned over message sizes
+  (256 B .. 256 MiB): which combo the tuner picks, its predicted time,
+  and its speedup over the pinned ring+Simple baseline.  The crossover
+  summary reports the first size of each regime: LL wins the small
+  latency-bound messages, ring+Simple the large bandwidth-bound ones.
+* **End-to-end sweep** -- full training simulations over a grid of
+  pinned (algorithm, protocol) combos plus ``auto`` and the ``compat``
+  baseline, run through the shared :class:`~repro.runner.SweepRunner`
+  so the results cache and parallelize like every other artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.protocols import (
+    CrossoverPoint,
+    SelectionRow,
+    crossover_table,
+    protocol_speedups,
+    selection_table,
+)
+from repro.comm.nccl.tuning import NcclTuner
+from repro.core.config import CommMethodName, TrainingConfig
+from repro.experiments.tables import render_table
+from repro.runner import SweepPoint, SweepRunner, SweepSpec
+
+#: (algorithm, protocol) combos the end-to-end sweep trains under.
+#: ``compat`` is the paper-calibrated baseline; the pinned combos span
+#: both algorithms and all three protocols; ``auto`` is the tuner.
+SWEEP_COMBOS: Tuple[Tuple[str, str], ...] = (
+    ("compat", "compat"),
+    ("ring", "simple"),
+    ("ring", "ll"),
+    ("ring", "ll128"),
+    ("tree", "simple"),
+    ("tree", "ll"),
+    ("auto", "auto"),
+)
+
+DEFAULT_NETWORKS = ("alexnet", "resnet")
+DEFAULT_SIZES = tuple(2 ** p for p in range(8, 29))  # 256 B .. 256 MiB
+
+
+@dataclass(frozen=True)
+class EpochRow:
+    """One network's epoch time under one (algorithm, protocol) combo."""
+
+    network: str
+    algorithm: str
+    protocol: str
+    epoch_time: float
+
+
+@dataclass(frozen=True)
+class NcclAblationResult:
+    """Selection table, crossovers and per-combo epoch times."""
+
+    selection: Tuple[SelectionRow, ...]
+    crossovers: Tuple[CrossoverPoint, ...]
+    epochs: Tuple[EpochRow, ...]
+    batch_size: int
+    num_gpus: int
+
+    def epoch(self, network: str, algorithm: str, protocol: str) -> float:
+        for row in self.epochs:
+            if (row.network, row.algorithm, row.protocol) == (
+                    network, algorithm, protocol):
+                return row.epoch_time
+        raise KeyError((network, algorithm, protocol))
+
+
+def sweep_spec(
+    networks: Sequence[str] = DEFAULT_NETWORKS,
+    batch_size: int = 16,
+    num_gpus: int = 4,
+    combos: Sequence[Tuple[str, str]] = SWEEP_COMBOS,
+) -> SweepSpec:
+    """The end-to-end (algorithm, protocol) training grid."""
+    points = [
+        SweepPoint.make(
+            TrainingConfig(
+                network=network,
+                batch_size=batch_size,
+                num_gpus=num_gpus,
+                comm_method=CommMethodName.NCCL,
+                nccl_algorithm=algorithm,
+                nccl_protocol=protocol,
+            ),
+        )
+        for network in networks
+        for algorithm, protocol in combos
+    ]
+    return SweepSpec.explicit("nccl_ablation", points)
+
+
+def run(
+    runner: Optional[SweepRunner] = None,
+    networks: Sequence[str] = DEFAULT_NETWORKS,
+    batch_size: int = 16,
+    num_gpus: int = 4,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+) -> NcclAblationResult:
+    runner = runner if runner is not None else SweepRunner()
+    tuner = NcclTuner.for_dgx1(num_gpus=max(num_gpus, 2))
+    selection = tuple(selection_table(tuner, sizes=sizes))
+    crossovers = tuple(crossover_table(tuner, sizes=sizes))
+
+    results = runner.run(sweep_spec(networks, batch_size, num_gpus))
+    rows: List[EpochRow] = []
+    for network in networks:
+        for algorithm, protocol in SWEEP_COMBOS:
+            result = results.result(
+                network=network,
+                nccl_algorithm=algorithm,
+                nccl_protocol=protocol,
+            )
+            rows.append(EpochRow(
+                network=network,
+                algorithm=algorithm,
+                protocol=protocol,
+                epoch_time=result.epoch_time,
+            ))
+    return NcclAblationResult(
+        selection=selection,
+        crossovers=tuple(crossovers),
+        epochs=tuple(rows),
+        batch_size=batch_size,
+        num_gpus=num_gpus,
+    )
+
+
+def _fmt_size(nbytes: int) -> str:
+    for unit, scale in (("MiB", 1 << 20), ("KiB", 1 << 10)):
+        if nbytes >= scale:
+            value = nbytes / scale
+            return f"{value:g} {unit}"
+    return f"{nbytes} B"
+
+
+def render(result: NcclAblationResult) -> str:
+    speedups = protocol_speedups(result.selection)
+    blocks: List[str] = []
+
+    blocks.append(render_table(
+        ["Message size", "Algorithm", "Protocol", "Predicted (us)",
+         "vs ring+Simple"],
+        [
+            (
+                _fmt_size(row.nbytes),
+                row.algorithm,
+                row.protocol,
+                f"{row.predicted * 1e6:.1f}",
+                f"{speedups[row.nbytes]:.2f}x" if row.nbytes in speedups
+                else "--",
+            )
+            for row in result.selection
+        ],
+        title="NCCL auto-tuner selection by AllReduce message size "
+              f"({max(result.num_gpus, 2)} GPUs)",
+    ))
+
+    blocks.append(render_table(
+        ["From size", "Algorithm", "Protocol"],
+        [
+            (_fmt_size(point.nbytes), point.algorithm, point.protocol)
+            for point in result.crossovers
+        ],
+        title="Regime crossovers (first size each combo wins)",
+    ))
+
+    networks = []
+    for row in result.epochs:
+        if row.network not in networks:
+            networks.append(row.network)
+    blocks.append(render_table(
+        ["Network"] + [f"{a}+{p}" for a, p in SWEEP_COMBOS],
+        [
+            tuple([network] + [
+                f"{result.epoch(network, a, p):.2f}" for a, p in SWEEP_COMBOS
+            ])
+            for network in networks
+        ],
+        title="Epoch time (s) by NCCL algorithm+protocol "
+              f"(batch {result.batch_size}, {result.num_gpus} GPUs)",
+    ))
+    return "\n".join(blocks)

@@ -17,6 +17,7 @@ from repro.experiments import (
     fig3_training_time,
     fig4_breakdown,
     fig5_weak_scaling,
+    nccl_ablation,
     table1_networks,
     table2_nccl_overhead,
     table3_sync_overhead,
@@ -34,6 +35,7 @@ _SECTIONS = (
     ("cudaStreamSynchronize overhead", "Table III"),
     ("Memory usage", "Table IV"),
     ("Weak scaling", "Figure 5"),
+    ("NCCL algorithm/protocol ablation", "extension"),
 )
 
 
@@ -66,6 +68,8 @@ def generate(
     )
     blocks.append(table4_memory.render(table4_memory.run(runner=cache)))
     blocks.append(fig5_weak_scaling.render(fig5_weak_scaling.run(cache, **kwargs)))
+    nccl_kwargs = dict(networks=("alexnet",)) if fast else {}
+    blocks.append(nccl_ablation.render(nccl_ablation.run(runner=cache, **nccl_kwargs)))
 
     when = timestamp or datetime.datetime.now().isoformat(timespec="seconds")
     lines = [

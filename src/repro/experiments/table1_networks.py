@@ -12,6 +12,8 @@ from repro.experiments.tables import render_table
 
 @dataclass(frozen=True)
 class NetworkRow:
+    """Layer and parameter counts for one zoo network."""
+
     network: str
     conv_layers: int
     inception_modules: int
@@ -28,6 +30,8 @@ class NetworkRow:
 
 @dataclass(frozen=True)
 class Table1Result:
+    """All Table I network-description rows."""
+
     rows: Tuple[NetworkRow, ...]
 
 

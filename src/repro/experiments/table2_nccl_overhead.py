@@ -20,6 +20,8 @@ from repro.runner import SweepRunner, SweepSpec
 
 @dataclass(frozen=True)
 class Table2Row:
+    """P2P vs NCCL single-GPU epoch times for one (network, batch)."""
+
     network: str
     batch_size: int
     p2p_epoch: float
@@ -32,6 +34,8 @@ class Table2Row:
 
 @dataclass(frozen=True)
 class Table2Result:
+    """The Table II overhead grid, addressable per cell."""
+
     rows: Tuple[Table2Row, ...]
 
     def overhead(self, network: str, batch_size: int) -> float:

@@ -19,6 +19,8 @@ from repro.runner import SweepRunner, SweepSpec
 
 @dataclass(frozen=True)
 class Table3Row:
+    """cudaStreamSynchronize share for one (batch, GPUs) cell."""
+
     batch_size: int
     num_gpus: int
     sync_percent: float          # share of total CUDA API wall time
@@ -27,6 +29,8 @@ class Table3Row:
 
 @dataclass(frozen=True)
 class Table3Result:
+    """The Table III synchronize-overhead grid (LeNet)."""
+
     rows: Tuple[Table3Row, ...]
     network: str = "lenet"
 

@@ -31,6 +31,8 @@ TABLE4_GPU_COUNT = 4
 
 @dataclass(frozen=True)
 class Table4Row:
+    """Per-GPU memory readings for one (network, batch) cell."""
+
     network: str
     batch_size: int
     pretraining_gb: float
@@ -45,6 +47,8 @@ class Table4Row:
 
 @dataclass(frozen=True)
 class Table4Result:
+    """The Table IV memory grid plus per-network max batch."""
+
     rows: Tuple[Table4Row, ...]
     max_batch: Dict[str, int]
 

@@ -24,11 +24,13 @@ from repro.obs.bridge import install_default_metrics
 from repro.obs.bus import EventBus
 from repro.obs.events import (
     ApiEvent,
+    CollectiveChunkEvent,
     EngineWaitEvent,
     KernelEvent,
     LinkBusyEvent,
     LinkWaitEvent,
     ObsEvent,
+    ProtocolChoiceEvent,
     QueueDepthEvent,
     RingStepEvent,
     SpanEvent,
@@ -47,6 +49,7 @@ from repro.obs.session import ObsSession
 
 __all__ = [
     "ApiEvent",
+    "CollectiveChunkEvent",
     "Counter",
     "EngineWaitEvent",
     "EventBus",
@@ -59,6 +62,7 @@ __all__ = [
     "MetricsRegistry",
     "ObsEvent",
     "ObsSession",
+    "ProtocolChoiceEvent",
     "QueueDepthEvent",
     "RingStepEvent",
     "SpanEvent",

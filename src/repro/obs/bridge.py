@@ -21,6 +21,13 @@ link_wait_time_total                      counter    src, dst, link_type
 ring_steps_total                          counter    collective
 ring_step_time_total                      counter    collective
 ring_step_seconds                         histogram  collective
+nccl_protocol_choices_total               counter    collective, algorithm,
+                                                     protocol
+nccl_predicted_time_total                 counter    collective, algorithm,
+                                                     protocol
+collective_chunks_total                   counter    collective, protocol
+collective_chunk_time_total               counter    collective, protocol
+collective_chunk_seconds                  histogram  collective, protocol
 sim_event_queue_depth                     gauge      --
 sim_event_queue_depth_max                 gauge      --
 ========================================  =========  ==========================
@@ -35,10 +42,12 @@ from __future__ import annotations
 from repro.obs.bus import EventBus
 from repro.obs.events import (
     ApiEvent,
+    CollectiveChunkEvent,
     EngineWaitEvent,
     KernelEvent,
     LinkBusyEvent,
     LinkWaitEvent,
+    ProtocolChoiceEvent,
     QueueDepthEvent,
     RingStepEvent,
     SpanEvent,
@@ -88,6 +97,23 @@ def install_default_metrics(bus: EventBus, registry: MetricsRegistry) -> Metrics
     ring_step_hist = registry.histogram(
         "ring_step_seconds", "NCCL ring step duration distribution",
         ("collective",), buckets=RING_STEP_BUCKETS)
+    protocol_choices = registry.counter(
+        "nccl_protocol_choices_total",
+        "NCCL tuner decisions per (collective, algorithm, protocol)",
+        ("collective", "algorithm", "protocol"))
+    predicted_time = registry.counter(
+        "nccl_predicted_time_total",
+        "Modelled collective time charged per tuner decision (seconds)",
+        ("collective", "algorithm", "protocol"))
+    chunk_steps = registry.counter(
+        "collective_chunks_total", "NCCL tree pipeline chunk hops",
+        ("collective", "protocol"))
+    chunk_time = registry.counter(
+        "collective_chunk_time_total", "NCCL tree chunk hop time (seconds)",
+        ("collective", "protocol"))
+    chunk_hist = registry.histogram(
+        "collective_chunk_seconds", "NCCL tree chunk hop duration distribution",
+        ("collective", "protocol"), buckets=RING_STEP_BUCKETS)
     queue_depth = registry.gauge(
         "sim_event_queue_depth", "Simulation event-heap depth (sampled)")
     queue_depth_max = registry.gauge(
@@ -129,6 +155,23 @@ def install_default_metrics(bus: EventBus, registry: MetricsRegistry) -> Metrics
         link_busy.labels(**labels).inc(e.duration)
         link_wait.labels(**labels).inc(0.0)
 
+    def on_protocol_choice(e: ProtocolChoiceEvent) -> None:
+        labels = dict(collective=e.collective, algorithm=e.algorithm,
+                      protocol=e.protocol)
+        protocol_choices.labels(**labels).inc()
+        predicted_time.labels(**labels).inc(e.predicted)
+
+    def on_collective_chunk(e: CollectiveChunkEvent) -> None:
+        chunk_steps.labels(collective=e.collective, protocol=e.protocol).inc()
+        chunk_time.labels(
+            collective=e.collective, protocol=e.protocol).inc(e.duration)
+        chunk_hist.labels(
+            collective=e.collective, protocol=e.protocol).observe(e.duration)
+        labels = dict(src=f"gpu{e.src}", dst=f"gpu{e.dst}", link_type=e.link_type)
+        link_bytes.labels(**labels).inc(e.nbytes)
+        link_busy.labels(**labels).inc(e.duration)
+        link_wait.labels(**labels).inc(0.0)
+
     def on_queue_depth(e: QueueDepthEvent) -> None:
         queue_depth.set(e.depth)
         if e.depth > queue_depth_max.value:
@@ -142,5 +185,7 @@ def install_default_metrics(bus: EventBus, registry: MetricsRegistry) -> Metrics
     bus.subscribe(LinkBusyEvent, on_link_busy)
     bus.subscribe(LinkWaitEvent, on_link_wait)
     bus.subscribe(RingStepEvent, on_ring_step)
+    bus.subscribe(ProtocolChoiceEvent, on_protocol_choice)
+    bus.subscribe(CollectiveChunkEvent, on_collective_chunk)
     bus.subscribe(QueueDepthEvent, on_queue_depth)
     return registry

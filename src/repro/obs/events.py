@@ -16,6 +16,10 @@ LinkBusyEvent        :class:`~repro.topology.fabric.Fabric`, one per DMA
 LinkWaitEvent        fabric FIFO queueing and NCCL stream contention,
                      attributed to the directed link that was busy
 RingStepEvent        :mod:`repro.comm.nccl` per-ring-step timing
+ProtocolChoiceEvent  the NCCL tuner, one per collective in non-compat
+                     algorithm/protocol modes (see docs/COMM.md)
+CollectiveChunkEvent :mod:`repro.comm.nccl` per-chunk timing of tree
+                     collectives (non-compat modes)
 QueueDepthEvent      :class:`~repro.sim.engine.Environment` (sampled)
 SweepPointStart      :class:`~repro.runner.SweepRunner`, per sweep point
 SweepPointDone       the runner, on result (executed or cache hit)
@@ -150,6 +154,53 @@ class RingStepEvent(ObsEvent):
     array: str
     step: int
     src: int         # GPU index of the sending ring member
+    dst: int
+    link_type: str
+    nbytes: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class ProtocolChoiceEvent(ObsEvent):
+    """The NCCL tuner resolved one collective's algorithm and protocol.
+
+    Emitted once per collective call in non-compat modes.  ``pinned`` is
+    true when the training configuration fixed both axes; otherwise the
+    cost model chose the combination and ``predicted`` is its modelled
+    duration (which is also what the simulation charges).
+    """
+
+    collective: str  # "reduce" | "broadcast" | "allreduce"
+    array: str
+    nbytes: int
+    algorithm: str   # "ring" | "tree"
+    protocol: str    # "simple" | "ll" | "ll128"
+    predicted: float
+    pinned: bool
+    at: float        # collective start time
+
+
+@dataclass(frozen=True)
+class CollectiveChunkEvent(ObsEvent):
+    """One pipelined chunk crossing one tree edge of a collective.
+
+    The tree analogue of :class:`RingStepEvent`: ``chunk`` of
+    ``num_chunks`` rounds, direction encoded by ``src``/``dst`` (child
+    to parent while reducing, parent to child while broadcasting).
+    """
+
+    collective: str
+    array: str
+    algorithm: str
+    protocol: str
+    chunk: int
+    num_chunks: int
+    src: int         # GPU index of the sending tree member
     dst: int
     link_type: str
     nbytes: int

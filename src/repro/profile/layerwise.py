@@ -32,6 +32,8 @@ class LayerProfile:
 
 @dataclass(frozen=True)
 class LayerwiseSummary:
+    """Per-layer kernel-time profiles, descending by total."""
+
     profiles: Tuple[LayerProfile, ...]   # descending by total time
 
     @property

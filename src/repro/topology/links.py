@@ -18,6 +18,8 @@ from repro.topology.nodes import Node
 
 
 class LinkType(str, enum.Enum):
+    """Physical interconnect classes of the DGX-1 fabric."""
+
     NVLINK = "nvlink"
     PCIE = "pcie"
     QPI = "qpi"

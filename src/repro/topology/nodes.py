@@ -7,6 +7,8 @@ from dataclasses import dataclass
 
 
 class NodeKind(str, enum.Enum):
+    """Topology node classes: GPUs, CPUs and PCIe switches."""
+
     GPU = "gpu"
     CPU = "cpu"
     PCIE_SWITCH = "pcie_switch"

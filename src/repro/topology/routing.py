@@ -30,6 +30,8 @@ from repro.topology.system import SystemTopology
 
 
 class RouteKind(str, enum.Enum):
+    """How a transfer travels: direct/staged NVLink, PCIe, local."""
+
     DIRECT_NVLINK = "direct_nvlink"
     STAGED_NVLINK = "staged_nvlink"
     PCIE_HOST = "pcie_host"

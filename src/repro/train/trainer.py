@@ -142,6 +142,8 @@ class Trainer:
             profiler,
             gradient_bytes_scale=0.5 if self.config.fp16_gradients else 1.0,
             optimizer=self.optimizer,
+            algorithm=self.config.nccl_algorithm,
+            protocol=self.config.nccl_protocol,
         )
 
         input_ready: List[Optional[Event]] = [None] * len(devices)

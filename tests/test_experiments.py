@@ -6,6 +6,7 @@ from repro.core.config import SimulationConfig
 from repro.experiments import RunCache
 from repro.experiments import (
     ablations,
+    nccl_ablation,
     fig2_topology,
     fig3_training_time,
     fig4_breakdown,
@@ -140,6 +141,34 @@ def test_ablations_reduced():
     assert result.row("no-overlap/p2p", "alexnet").slowdown >= 1.0
     assert result.row("no-tensor-cores/nccl", "alexnet").slowdown > 1.0
     assert "Ablation" in ablations.render(result)
+
+
+def test_nccl_ablation_reduced(cache):
+    result = nccl_ablation.run(runner=cache, networks=("alexnet",))
+    # Crossover shape: LL wins the small sizes, ring+Simple the large.
+    assert result.crossovers[0].protocol == "ll"
+    assert (result.crossovers[-1].algorithm,
+            result.crossovers[-1].protocol) == ("ring", "simple")
+    sizes = [p.nbytes for p in result.crossovers]
+    assert sizes == sorted(sizes) and len(sizes) >= 2
+    # Per-size wins: LL beats Simple at 4 KiB, Simple wins at 256 MiB.
+    small = next(r for r in result.selection if r.nbytes == 4096)
+    assert small.protocol == "ll"
+    assert small.predicted < small.candidate_time("ring", "simple")
+    large = result.selection[-1]
+    assert (large.algorithm, large.protocol) == ("ring", "simple")
+    # End-to-end: compat epochs match the calibrated default exactly.
+    from repro.core.config import CommMethodName, TrainingConfig
+    from repro.train import train
+
+    compat = result.epoch("alexnet", "compat", "compat")
+    baseline = train(
+        TrainingConfig("alexnet", 16, 4, comm_method=CommMethodName.NCCL),
+        sim=FAST_SIM,
+    )
+    assert compat == baseline.epoch_time
+    rendered = nccl_ablation.render(result)
+    assert "Regime crossovers" in rendered and "auto+auto" in rendered
 
 
 # ----------------------------------------------------------------------

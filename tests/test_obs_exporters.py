@@ -8,12 +8,14 @@ import pytest
 
 from repro.gpu.kernel import KernelSpec
 from repro.obs import (
+    CollectiveChunkEvent,
     EventBus,
     JsonlRecorder,
     KernelEvent,
     LinkBusyEvent,
     LinkWaitEvent,
     MetricsRegistry,
+    ProtocolChoiceEvent,
     QueueDepthEvent,
     RingStepEvent,
     event_to_dict,
@@ -45,6 +47,13 @@ GOLDEN_EVENTS = (
     RingStepEvent(collective="reduce", array="conv1.weight", step=1,
                   src=1, dst=2, link_type="nvlink", nbytes=524288,
                   start=0.0041, end=0.0042),
+    ProtocolChoiceEvent(collective="allreduce", array="conv1.weight",
+                        nbytes=1048576, algorithm="tree", protocol="ll",
+                        predicted=0.0003, pinned=False, at=0.005),
+    CollectiveChunkEvent(collective="allreduce", array="conv1.weight",
+                         algorithm="tree", protocol="ll", chunk=0,
+                         num_chunks=2, src=1, dst=0, link_type="nvlink",
+                         nbytes=524288, start=0.005, end=0.00515),
     QueueDepthEvent(now=0.004, depth=12),
 )
 

@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 
 from repro.comm import P2PCommunicator, reduction_tree
 from repro.comm.nccl import NcclCommunicator
+from repro.comm.nccl.protocol import ring_wire_total, tree_wire_total
 from repro.core.constants import CALIBRATION
 from repro.dnn import build_network, compile_network, network_input_shape
 from repro.dnn.stats import WeightArray
@@ -57,6 +58,19 @@ def test_p2p_tree_bytes_exact(numel, gpus):
     moved, elapsed = _sync_bytes(P2PCommunicator, gpus, numel)
     assert moved == 2 * (gpus - 1) * numel * 4
     assert elapsed > 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    nbytes=st.integers(min_value=1, max_value=1 << 30),
+    gpus=st.integers(min_value=2, max_value=16),
+)
+def test_ring_and_tree_allreduce_wire_totals_agree(nbytes, gpus):
+    """Ring and tree AllReduce move the identical wire total, 2(N-1)*S,
+    exactly -- for any payload size, including uneven integer splits."""
+    ring = ring_wire_total("allreduce", nbytes, gpus)
+    tree = tree_wire_total("allreduce", nbytes, gpus - 1)
+    assert ring == tree == 2 * (gpus - 1) * nbytes
 
 
 @settings(max_examples=8, deadline=None)

@@ -114,6 +114,28 @@ def test_fingerprint_changes_with_constants():
     )
 
 
+def test_fingerprint_covers_protocol_constants():
+    """The NCCL protocol constants invalidate cached sweep results."""
+    tweaked = dataclasses.replace(
+        CALIBRATION, nccl_ll_hop_latency=CALIBRATION.nccl_ll_hop_latency * 2
+    )
+    assert point_fingerprint(_point(), FAST, CALIBRATION) != point_fingerprint(
+        _point(), FAST, tweaked
+    )
+
+
+def test_fingerprint_covers_protocol_config_knobs():
+    """Points differing only in algorithm/protocol cache separately."""
+    compat = _point(method=CommMethodName.NCCL)
+    tuned = SweepPoint.make(
+        TrainingConfig("lenet", 16, 1, comm_method=CommMethodName.NCCL,
+                       nccl_algorithm="auto", nccl_protocol="auto")
+    )
+    assert point_fingerprint(compat, FAST, CALIBRATION) != point_fingerprint(
+        tuned, FAST, CALIBRATION
+    )
+
+
 def test_lambda_override_is_uncacheable():
     point = _point(overrides={"topology_builder": lambda: None})
     assert point_fingerprint(point, FAST, CALIBRATION) is None

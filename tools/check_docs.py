@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Documentation gate: link check + executable doc examples.
+
+Two checks over README.md and docs/*.md, both run by the CI docs job:
+
+1. **Relative links resolve.**  Every markdown link or inline-code
+   reference to a repository path (``[text](docs/COMM.md)``,
+   ```` `docs/RUNNER.md` ````) must point at an existing file or
+   directory.  External ``http(s)://`` and anchor-only links are
+   skipped.
+2. **Fenced examples execute.**  Every ```` ```python ```` block whose
+   body contains a ``>>>`` prompt is run through :mod:`doctest`, so the
+   documented behaviour is re-verified on every commit.  Blocks without
+   prompts are narrative and only checked for links.
+
+Exit status is non-zero on any broken link or failing example.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py [file.md ...]
+"""
+
+from __future__ import annotations
+
+import doctest
+import pathlib
+import re
+import sys
+from typing import Iterable, List, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` markdown links.
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Inline code spans that look like repo-relative paths to checked docs.
+CODE_PATH = re.compile(r"`((?:docs|examples|tools|src|tests|benchmarks)/[\w./-]+|"
+                       r"[A-Z][A-Z_]+\.md)`")
+#: Fenced code blocks: ```lang\n ... \n```
+FENCE = re.compile(r"^```(\w*)\n(.*?)^```", re.MULTILINE | re.DOTALL)
+
+
+def default_files() -> List[pathlib.Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return files
+
+
+def iter_link_targets(text: str) -> Iterable[str]:
+    for match in MD_LINK.finditer(text):
+        yield match.group(1)
+    for match in CODE_PATH.finditer(text):
+        yield match.group(1)
+
+
+def check_links(path: pathlib.Path, text: str) -> List[str]:
+    problems = []
+    for target in iter_link_targets(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        in_repo = (REPO_ROOT / relative).resolve()
+        if not (resolved.exists() or in_repo.exists()):
+            problems.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+    return problems
+
+
+def doctest_blocks(path: pathlib.Path, text: str) -> Tuple[int, List[str]]:
+    """Run every ``>>>``-bearing python fence; returns (blocks_run, problems)."""
+    problems = []
+    run = 0
+    parser = doctest.DocTestParser()
+    runner = doctest.DocTestRunner(verbose=False, optionflags=doctest.ELLIPSIS)
+    for index, match in enumerate(FENCE.finditer(text)):
+        lang, body = match.group(1), match.group(2)
+        if lang != "python" or ">>>" not in body:
+            continue
+        run += 1
+        name = f"{path.name}[block {index}]"
+        test = parser.get_doctest(body, {}, name, str(path), 0)
+        result = runner.run(test, clear_globs=True)
+        if result.failed:
+            problems.append(
+                f"{path.relative_to(REPO_ROOT)}: {result.failed} doctest "
+                f"failure(s) in fenced block {index}"
+            )
+    return run, problems
+
+
+def main(argv: List[str]) -> int:
+    files = [pathlib.Path(a).resolve() for a in argv] or default_files()
+    problems: List[str] = []
+    total_blocks = 0
+    for path in files:
+        text = path.read_text()
+        problems.extend(check_links(path, text))
+        run, block_problems = doctest_blocks(path, text)
+        total_blocks += run
+        problems.extend(block_problems)
+        status = "FAIL" if block_problems else "ok"
+        print(f"{path.relative_to(REPO_ROOT)}: {run} doctest block(s) [{status}]")
+    if problems:
+        print()
+        for problem in problems:
+            print(f"ERROR: {problem}")
+        return 1
+    print(f"\nall links resolve, {total_blocks} doctest block(s) pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

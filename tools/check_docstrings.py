@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Docstring gate: every module and public class in src/repro documents itself.
+
+The library's documentation strategy leans on docstrings (docs/API.md
+defers to them for details), so CI enforces the floor: each ``.py`` file
+under ``src/repro`` must open with a module docstring, and every public
+class (name not starting with ``_``, not nested inside a function) must
+carry a class docstring.  Functions are exempt -- small helpers would
+drown the signal -- but classes are the API surface.
+
+Usage::
+
+    python tools/check_docstrings.py [root ...]
+
+Exit status is non-zero listing every offender.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+from typing import List
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_ROOT = REPO_ROOT / "src" / "repro"
+
+
+def check_file(path: pathlib.Path) -> List[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    rel = path.relative_to(REPO_ROOT)
+    problems = []
+    if ast.get_docstring(tree) is None:
+        problems.append(f"{rel}: missing module docstring")
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if node.name.startswith("_"):
+            continue
+        if ast.get_docstring(node) is None:
+            problems.append(
+                f"{rel}:{node.lineno}: class {node.name} missing docstring"
+            )
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    roots = [pathlib.Path(a).resolve() for a in argv] or [DEFAULT_ROOT]
+    problems: List[str] = []
+    checked = 0
+    for root in roots:
+        for path in sorted(root.rglob("*.py")):
+            checked += 1
+            problems.extend(check_file(path))
+    if problems:
+        for problem in problems:
+            print(f"ERROR: {problem}")
+        print(f"\n{len(problems)} docstring problem(s) in {checked} file(s)")
+        return 1
+    print(f"{checked} file(s): all modules and public classes documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
