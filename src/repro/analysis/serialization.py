@@ -15,13 +15,16 @@ Schema history
 * 1 -- initial format (config missing ``cluster_nodes``,
   ``fp16_gradients``, ``optimizer``).
 * 2 -- full :class:`TrainingConfig` coverage and ``AsyncResult`` support.
+* 3 -- optional ``faults`` block (the
+  :class:`~repro.faults.recovery.FaultSummary` of a fault-injected run).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.core.config import CommMethodName, ScalingMode, TrainingConfig
+from repro.faults.recovery import FaultSummary, SegmentReport
 from repro.gpu.memory import MemoryUsage
 from repro.profile.smi import MemoryReading
 from repro.profile.summary import ApiSummary, StageBreakdown
@@ -30,7 +33,7 @@ from repro.train.results import TrainingResult
 
 #: Schema version stamped into every exported dict (and hashed into every
 #: persistent-cache key).
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 class SchemaMismatchError(ValueError):
@@ -80,6 +83,66 @@ def _config_from_dict(c: Dict[str, Any]) -> TrainingConfig:
     )
 
 
+def _faults_to_dict(summary: Optional[FaultSummary]) -> Optional[Dict[str, Any]]:
+    if summary is None:
+        return None
+    return {
+        "policy": summary.policy,
+        "segments": [
+            {
+                "index": s.index,
+                "start_time": s.start_time,
+                "start_iteration": s.start_iteration,
+                "iterations": s.iterations,
+                "mean_iteration": s.mean_iteration,
+                "active": list(s.active),
+                "ring_bandwidth": s.ring_bandwidth,
+                "ring_uses_pcie": s.ring_uses_pcie,
+                "gpus": s.gpus,
+            }
+            for s in summary.segments
+        ],
+        "transition_cost": summary.transition_cost,
+        "recovery_cost": summary.recovery_cost,
+        "checkpoint_cost": summary.checkpoint_cost,
+        "healthy_iteration": summary.healthy_iteration,
+        "crashed_gpu": summary.crashed_gpu,
+        "crash_iteration": summary.crash_iteration,
+        "replayed_iterations": summary.replayed_iterations,
+        "survivors": summary.survivors,
+    }
+
+
+def _faults_from_dict(data: Optional[Dict[str, Any]]) -> Optional[FaultSummary]:
+    if data is None:
+        return None
+    return FaultSummary(
+        policy=data["policy"],
+        segments=tuple(
+            SegmentReport(
+                index=s["index"],
+                start_time=s["start_time"],
+                start_iteration=s["start_iteration"],
+                iterations=s["iterations"],
+                mean_iteration=s["mean_iteration"],
+                active=tuple(s["active"]),
+                ring_bandwidth=s["ring_bandwidth"],
+                ring_uses_pcie=s["ring_uses_pcie"],
+                gpus=s["gpus"],
+            )
+            for s in data["segments"]
+        ),
+        transition_cost=data["transition_cost"],
+        recovery_cost=data["recovery_cost"],
+        checkpoint_cost=data["checkpoint_cost"],
+        healthy_iteration=data["healthy_iteration"],
+        crashed_gpu=data["crashed_gpu"],
+        crash_iteration=data["crash_iteration"],
+        replayed_iterations=data["replayed_iterations"],
+        survivors=data["survivors"],
+    )
+
+
 def result_to_dict(result: TrainingResult) -> Dict[str, Any]:
     """A JSON-serializable representation of ``result``."""
     return {
@@ -111,6 +174,7 @@ def result_to_dict(result: TrainingResult) -> Dict[str, Any]:
             }
             for m in result.memory
         ],
+        "faults": _faults_to_dict(result.faults),
     }
 
 
@@ -156,6 +220,7 @@ def result_from_dict(data: Dict[str, Any]) -> TrainingResult:
         compute_utilization=data["compute_utilization"],
         memory=memory,
         profiler=None,
+        faults=_faults_from_dict(data.get("faults")),
     )
 
 

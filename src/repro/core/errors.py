@@ -41,3 +41,30 @@ class OutOfMemoryError(ReproError, MemoryError):
 
 class ShapeError(ReproError, ValueError):
     """Layer shape inference failed (incompatible tensor dimensions)."""
+
+
+class FaultPlanError(ReproError, ValueError):
+    """A fault-injection plan is malformed (bad window, scale, or target)."""
+
+
+class WorkerCrashError(ReproError, RuntimeError):
+    """A simulated worker GPU crashed under the FAIL_FAST resilience policy."""
+
+    def __init__(self, gpu: int, iteration: int) -> None:
+        self.gpu = gpu
+        self.iteration = iteration
+        super().__init__(
+            f"gpu{gpu} crashed at iteration {iteration} (policy=fail-fast)"
+        )
+
+
+class SweepPointError(ReproError, RuntimeError):
+    """A sweep point exhausted its retries (or timed out) and was abandoned."""
+
+    def __init__(self, point: str, attempts: int, cause: str) -> None:
+        self.point = point
+        self.attempts = attempts
+        self.cause = cause
+        super().__init__(
+            f"sweep point {point} failed after {attempts} attempt(s): {cause}"
+        )

@@ -21,6 +21,7 @@ Experiment   Paper artifact
 ``fig5``     Figure 5 -- weak scaling
 ``ablate``   DESIGN.md ablations (overlap, fabric, tensor cores)
 ``nccl``     extension -- algorithm/protocol ablation + crossover
+``faults``   extension -- degradation sensitivity under faults
 ===========  =====================================================
 """
 

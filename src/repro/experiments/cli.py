@@ -42,6 +42,7 @@ from repro.experiments import (
     async_study,
     bandwidth_sweep,
     capacity_study,
+    faults_study,
     multinode_study,
     nccl_ablation,
     fig2_topology,
@@ -92,6 +93,11 @@ def _run_experiment(name: str, cache: SweepRunner, fast: bool) -> str:
     if name == "capacity":
         kwargs = dict(networks=("resnet",), num_gpus=4) if fast else {}
         return capacity_study.render(capacity_study.run(runner=cache, **kwargs))
+    if name == "faults":
+        kwargs = (
+            dict(networks=("alexnet",), gpu_counts=(4,)) if fast else {}
+        )
+        return faults_study.render(faults_study.run(runner=cache, **kwargs))
     if name == "report":
         from repro.experiments import report as report_module
 
@@ -118,8 +124,8 @@ def _run_experiment(name: str, cache: SweepRunner, fast: bool) -> str:
 
 EXPERIMENTS = (
     "table1", "fig2", "fig3", "table2", "fig4", "table3", "table4", "fig5",
-    "ablate", "async", "bandwidth", "capacity", "multinode", "nccl",
-    "validate", "report",
+    "ablate", "async", "bandwidth", "capacity", "faults", "multinode",
+    "nccl", "validate", "report",
 )
 
 OBS_FORMATS = ("prometheus", "jsonl", "chrome", "csv", "summary")
@@ -150,6 +156,9 @@ def obs_main(argv: Optional[list] = None) -> int:
     parser.add_argument("-o", "--output-dir", type=pathlib.Path,
                         default=pathlib.Path("results/obs"),
                         help="directory for exported artifacts")
+    parser.add_argument("--debug", action="store_true",
+                        help="show the full traceback on simulation errors "
+                             "instead of a one-line message")
     args = parser.parse_args(argv)
 
     formats = (
@@ -189,7 +198,10 @@ def obs_main(argv: Optional[list] = None) -> int:
         )
         result = trainer.run()
     except ReproError as exc:
-        parser.error(str(exc))
+        if args.debug:
+            raise
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     profiler = result.profiler
 
     stem = f"{args.network}_b{args.batch}_g{args.gpus}_{args.comm}"
@@ -258,6 +270,9 @@ def main(argv: Optional[list] = None) -> int:
                         help="neither read nor write the persistent cache")
     parser.add_argument("--progress", action="store_true",
                         help="print per-simulation progress to stderr")
+    parser.add_argument("--debug", action="store_true",
+                        help="show the full traceback on simulation errors "
+                             "instead of a one-line message")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
@@ -267,19 +282,27 @@ def main(argv: Optional[list] = None) -> int:
         if name not in EXPERIMENTS:
             parser.error(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")
 
+    from repro.core.errors import ReproError
+
     cache = _build_runner(args.jobs, args.cache_dir, args.no_cache,
                           args.progress)
-    for name in names:
-        start = time.time()
-        text = _run_experiment(name, cache, args.fast)
-        elapsed = time.time() - start
-        print(f"==== {name} " + "=" * 40)
-        print(text)
-        print(f"{name}: {elapsed:.1f}s ({cache.stats.describe()})",
-              file=sys.stderr)
-        if args.output_dir is not None:
-            args.output_dir.mkdir(parents=True, exist_ok=True)
-            (args.output_dir / f"{name}.txt").write_text(text)
+    try:
+        for name in names:
+            start = time.time()
+            text = _run_experiment(name, cache, args.fast)
+            elapsed = time.time() - start
+            print(f"==== {name} " + "=" * 40)
+            print(text)
+            print(f"{name}: {elapsed:.1f}s ({cache.stats.describe()})",
+                  file=sys.stderr)
+            if args.output_dir is not None:
+                args.output_dir.mkdir(parents=True, exist_ok=True)
+                (args.output_dir / f"{name}.txt").write_text(text)
+    except ReproError as exc:
+        if args.debug:
+            raise
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"total: {cache.stats.describe()}", file=sys.stderr)
     return 0
 

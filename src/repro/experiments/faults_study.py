@@ -1,0 +1,257 @@
+"""Extension study: degradation sensitivity under injected faults.
+
+The paper profiles a *healthy* DGX-1V; production clusters are not.  This
+study replays the paper's NCCL training sweep under the
+:mod:`repro.faults` scenarios -- degraded and failed NVLinks (forcing an
+NCCL re-ring, in the worst case onto the PCIe tree), thermal stragglers,
+ECC-retry storms, and a mid-epoch worker crash under each resilience
+policy -- and reports how epoch time and the communication (WU) share
+respond per network and GPU count.
+
+Every scenario is an explicit, deterministic :class:`FaultPlan`:
+mid-epoch activation times are derived from the *healthy* epoch time of
+the same configuration (itself deterministic), so the whole study is
+reproducible bit-for-bit and caches cleanly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import CommMethodName, SimulationConfig, TrainingConfig
+from repro.experiments.tables import render_table
+from repro.faults import (
+    CrashFault,
+    EccFault,
+    FaultPlan,
+    LinkFault,
+    ResiliencePolicy,
+    StragglerFault,
+)
+from repro.runner import SweepPoint, SweepRunner, SweepSpec
+from repro.topology import build_dgx1v
+from repro.topology.links import LinkType
+
+#: Fraction of the healthy epoch at which mid-epoch faults activate.
+FAULT_AT_FRACTION = 0.3
+
+#: Link bandwidth-degradation severities swept (0.0 = outright failure).
+LINK_SEVERITIES = (0.5, 0.25, 0.0)
+
+#: Straggler slowdown factors swept.
+STRAGGLER_SEVERITIES = (1.5, 2.0)
+
+
+@dataclass(frozen=True)
+class FaultCell:
+    """One (configuration, scenario) outcome."""
+
+    network: str
+    num_gpus: int
+    scenario: str
+    epoch_time: float
+    wu_share: float              # exposed-WU fraction of the epoch
+    overhead: float              # transition + recovery + checkpoint seconds
+    segments: int                # constant-fault-set windows simulated
+    uses_pcie: bool              # final ring fell back to the PCIe tree
+    policy: str                  # resilience policy label ("-" if unused)
+
+    @property
+    def key(self) -> Tuple[str, int, str]:
+        return (self.network, self.num_gpus, self.scenario)
+
+
+@dataclass(frozen=True)
+class FaultsStudyResult:
+    """The degradation-sensitivity grid, addressable per cell."""
+
+    batch_size: int
+    cells: Tuple[FaultCell, ...]
+
+    def cell(self, network: str, gpus: int, scenario: str) -> FaultCell:
+        for c in self.cells:
+            if c.key == (network, gpus, scenario):
+                return c
+        raise KeyError((network, gpus, scenario))
+
+    def slowdown(self, cell: FaultCell) -> float:
+        """Epoch-time ratio of ``cell`` over its healthy twin."""
+        healthy = self.cell(cell.network, cell.num_gpus, "healthy")
+        return cell.epoch_time / healthy.epoch_time if healthy.epoch_time else 0.0
+
+
+def _ring_link(topology, a: int = 0, b: int = 1) -> str:
+    """A deterministic NVLink between two adjacent GPUs (sorted-first)."""
+    node_a, node_b = topology.gpu(a), topology.gpu(b)
+    names = sorted(
+        link.name
+        for link in topology.links_of(node_a)
+        if link.link_type is LinkType.NVLINK and node_b in link.endpoints()
+    )
+    if not names:
+        raise KeyError(f"no NVLink between gpu{a} and gpu{b}")
+    return names[0]
+
+
+def scenarios(
+    topology, num_gpus: int, at: float, crash_iteration: int,
+) -> Tuple[Tuple[str, Optional[FaultPlan]], ...]:
+    """The ordered (label, plan) scenario list for one configuration.
+
+    ``at`` is the mid-epoch activation time (seconds); link and crash
+    scenarios need more than one GPU and are skipped on a single GPU.
+    """
+    out: List[Tuple[str, Optional[FaultPlan]]] = [("healthy", None)]
+    link = _ring_link(topology) if num_gpus > 1 else None
+    if link is not None:
+        for scale in LINK_SEVERITIES:
+            label = "link down" if scale == 0.0 else f"link x{scale:g}"
+            out.append(
+                (label, FaultPlan.single_link(link, bandwidth_scale=scale, at=at))
+            )
+        out.append(
+            ("gpu0 isolated", FaultPlan.isolate_gpu(topology, 0, at=at))
+        )
+    for factor in STRAGGLER_SEVERITIES:
+        out.append((
+            f"straggler x{factor:g}",
+            FaultPlan(stragglers=(StragglerFault(gpu=0, factor=factor, at=at),)),
+        ))
+    out.append((
+        "ecc storm",
+        FaultPlan(ecc_faults=(EccFault(gpu=0, at=at),)),
+    ))
+    if num_gpus > 1:
+        crash = CrashFault(gpu=num_gpus - 1, at_iteration=crash_iteration)
+        out.append((
+            "crash->shrink",
+            FaultPlan(crashes=(crash,), policy=ResiliencePolicy.SHRINK),
+        ))
+        out.append((
+            "crash->restart",
+            FaultPlan(crashes=(crash,),
+                      policy=ResiliencePolicy.CHECKPOINT_RESTART),
+        ))
+    return tuple(out)
+
+
+def healthy_spec(
+    networks: Tuple[str, ...],
+    gpu_counts: Tuple[int, ...],
+    batch_size: int,
+) -> SweepSpec:
+    """Phase 1: the healthy baselines the fault times are derived from."""
+    return SweepSpec.grid(
+        "faults-healthy",
+        networks=networks,
+        comm_methods=(CommMethodName.NCCL,),
+        batch_sizes=(batch_size,),
+        gpu_counts=gpu_counts,
+    )
+
+
+def fault_spec(
+    networks: Tuple[str, ...],
+    gpu_counts: Tuple[int, ...],
+    batch_size: int,
+    healthy_epochs: Dict[Tuple[str, int], float],
+) -> SweepSpec:
+    """Phase 2: every fault scenario as an explicit sweep point."""
+    topology = build_dgx1v()
+    points = []
+    for network in networks:
+        for gpus in gpu_counts:
+            config = TrainingConfig(network, batch_size, gpus,
+                                    comm_method=CommMethodName.NCCL)
+            at = round(healthy_epochs[(network, gpus)] * FAULT_AT_FRACTION, 3)
+            crash_iteration = max(1, config.iterations_per_epoch // 2)
+            for label, plan in scenarios(topology, gpus, at, crash_iteration):
+                if plan is None:
+                    continue  # healthy baseline already ran in phase 1
+                points.append(SweepPoint.make(
+                    config,
+                    overrides={"faults": plan},
+                    tags={"scenario": label},
+                ))
+    return SweepSpec.explicit("faults", points)
+
+
+def run(
+    networks: Tuple[str, ...] = ("alexnet", "resnet"),
+    gpu_counts: Tuple[int, ...] = (4, 8),
+    batch_size: int = 16,
+    sim: Optional[SimulationConfig] = None,
+    runner: Optional[SweepRunner] = None,
+) -> FaultsStudyResult:
+    if runner is None:
+        runner = SweepRunner(sim=sim or SimulationConfig())
+
+    cells: List[FaultCell] = []
+    healthy_epochs: Dict[Tuple[str, int], float] = {}
+    for outcome in runner.run(healthy_spec(networks, gpu_counts, batch_size)):
+        c = outcome.point.config
+        r = outcome.result
+        healthy_epochs[(c.network, c.num_gpus)] = r.epoch_time
+        cells.append(FaultCell(
+            network=c.network, num_gpus=c.num_gpus, scenario="healthy",
+            epoch_time=r.epoch_time,
+            wu_share=r.stages.wu / r.iteration_time if r.iteration_time else 0.0,
+            overhead=0.0, segments=1, uses_pcie=False, policy="-",
+        ))
+
+    spec = fault_spec(networks, gpu_counts, batch_size, healthy_epochs)
+    for outcome in runner.run(spec):
+        c = outcome.point.config
+        r = outcome.result
+        summary = r.faults
+        uses_pcie = bool(summary.segments and summary.segments[-1].ring_uses_pcie)
+        policy = (str(summary.policy)
+                  if summary.crashed_gpu is not None else "-")
+        # Stage means come from the dominant segment, so the WU share is
+        # taken against that segment's own mean iteration (the
+        # cross-segment epoch mean would let the ratio exceed 100%).
+        dominant = max(summary.segments, key=lambda s: s.iterations)
+        cells.append(FaultCell(
+            network=c.network, num_gpus=c.num_gpus,
+            scenario=outcome.point.tag_dict()["scenario"],
+            epoch_time=r.epoch_time,
+            wu_share=(r.stages.wu / dominant.mean_iteration
+                      if dominant.mean_iteration else 0.0),
+            overhead=summary.overhead,
+            segments=len(summary.segments),
+            uses_pcie=uses_pcie,
+            policy=policy,
+        ))
+    return FaultsStudyResult(batch_size=batch_size, cells=tuple(cells))
+
+
+def render(result: FaultsStudyResult) -> str:
+    out = []
+    combos = list(dict.fromkeys((c.network, c.num_gpus) for c in result.cells))
+    for network, gpus in combos:
+        rows = []
+        for cell in result.cells:
+            if (cell.network, cell.num_gpus) != (network, gpus):
+                continue
+            rows.append((
+                cell.scenario,
+                f"{cell.epoch_time:8.2f}",
+                f"x{result.slowdown(cell):.2f}",
+                f"{100 * cell.wu_share:5.1f}%",
+                f"{cell.overhead:6.2f}",
+                str(cell.segments),
+                "pcie" if cell.uses_pcie else "nvlink",
+                cell.policy,
+            ))
+        out.append(render_table(
+            ["Scenario", "Epoch (s)", "vs healthy", "WU share",
+             "Overhead (s)", "Segs", "Ring", "Policy"],
+            rows,
+            title=(
+                f"Fault degradation sensitivity: {network}, {gpus} GPUs, "
+                f"batch {result.batch_size} (NCCL)"
+            ),
+            align_right_from=1,
+        ))
+    return "\n".join(out)

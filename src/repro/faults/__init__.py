@@ -1,0 +1,54 @@
+"""Deterministic fault injection and resilience modeling.
+
+The package splits into four layers:
+
+- :mod:`repro.faults.plan` -- declarative, frozen fault scenarios
+  (:class:`FaultPlan`) with seeded expansion (:meth:`FaultPlan.random`);
+- :mod:`repro.faults.injector` -- point-in-time queries over a plan
+  (:class:`FaultInjector`), consumed at fault-segment boundaries;
+- :mod:`repro.faults.view` -- degraded :class:`SystemTopology` views over
+  which routing and NCCL ring construction recompute naturally;
+- :mod:`repro.faults.recovery` -- recovery-cost models and the
+  :class:`FaultSummary` report attached to training results.
+
+Everything is deterministic: no wall clock, no global RNG, and every
+type fingerprints into the persistent sweep cache.
+"""
+
+from repro.faults.injector import EccModel, FaultInjector
+from repro.faults.plan import (
+    CrashFault,
+    EccFault,
+    FaultPlan,
+    LinkFault,
+    RecoveryCosts,
+    ResiliencePolicy,
+    SlowdownProfile,
+    StragglerFault,
+)
+from repro.faults.recovery import (
+    FaultSummary,
+    SegmentReport,
+    checkpoint_write_cost,
+    crash_recovery_cost,
+)
+from repro.faults.view import MIN_HOST_SCALE, degraded_topology
+
+__all__ = [
+    "CrashFault",
+    "EccFault",
+    "EccModel",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSummary",
+    "LinkFault",
+    "MIN_HOST_SCALE",
+    "RecoveryCosts",
+    "ResiliencePolicy",
+    "SegmentReport",
+    "SlowdownProfile",
+    "StragglerFault",
+    "checkpoint_write_cost",
+    "crash_recovery_cost",
+    "degraded_topology",
+]

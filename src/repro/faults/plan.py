@@ -1,0 +1,397 @@
+"""Declarative, deterministic fault scenarios.
+
+A :class:`FaultPlan` is plain frozen data describing every degradation a
+simulated training run suffers: link faults (NVLink bandwidth loss or
+outright failure), GPU stragglers (time-varying slowdown multipliers),
+ECC-retry storms (latency adders on memory-bound kernels) and worker
+crashes, plus the :class:`ResiliencePolicy` applied when a worker drops
+and the :class:`RecoveryCosts` the resilience machinery charges.
+
+Plans carry no randomness at execution time: two runs of the same plan
+are bit-identical, plans hash into the persistent sweep cache through
+:func:`repro.runner.fingerprint.canonical`, and the *only* place a seed
+appears is :meth:`FaultPlan.random`, which deterministically expands a
+seed into an explicit plan (same seed, same plan -- forever).
+
+Times (``at`` / ``until``) are seconds on the simulated *epoch* timeline;
+crash points are epoch iteration indices, matching how elastic training
+systems observe failures (between steps).
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.core.errors import FaultPlanError
+
+_INF = float("inf")
+
+
+class ResiliencePolicy(str, enum.Enum):
+    """What a training run does when a worker GPU crashes.
+
+    ``FAIL_FAST`` aborts the run (raises
+    :class:`~repro.core.errors.WorkerCrashError`); ``SHRINK`` re-rings the
+    survivors and finishes the epoch on N-1 GPUs (elastic training);
+    ``CHECKPOINT_RESTART`` restores the last periodic checkpoint, replays
+    the lost iterations, and continues at full width.
+    """
+
+    FAIL_FAST = "fail-fast"
+    SHRINK = "shrink"
+    CHECKPOINT_RESTART = "checkpoint-restart"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class RecoveryCosts:
+    """Modeled wall-clock costs of resilience machinery, in seconds.
+
+    Defaults are DGX-scale: an ``ncclCommInitRank`` over 8 ranks is
+    sub-second, route recomputation is host-side bookkeeping, draining
+    in-flight state for an elastic shrink takes a couple of seconds, a
+    multi-GB checkpoint to local NVMe costs seconds, and a full worker
+    restart (process spawn, CUDA context, NCCL reinit, input pipeline
+    warm-up) dominates at ~30 s.
+    """
+
+    ring_rebuild: float = 0.75        # NCCL communicator re-init
+    route_recompute: float = 0.05     # host-side route/table rebuild
+    shrink_drain: float = 1.5         # drain + re-shard for SHRINK
+    checkpoint_write: float = 2.0     # one periodic checkpoint write
+    checkpoint_interval: int = 200    # iterations between checkpoints
+    restart_overhead: float = 30.0    # worker restart for CHECKPOINT_RESTART
+
+    def __post_init__(self) -> None:
+        for name in ("ring_rebuild", "route_recompute", "shrink_drain",
+                     "checkpoint_write", "restart_overhead"):
+            if getattr(self, name) < 0:
+                raise FaultPlanError(f"{name} must be >= 0")
+        if self.checkpoint_interval < 1:
+            raise FaultPlanError("checkpoint_interval must be >= 1")
+
+
+@dataclass(frozen=True)
+class SlowdownProfile:
+    """A piecewise-constant kernel-duration multiplier over simulated time.
+
+    ``steps`` is an ascending sequence of ``(start_time, factor)`` pairs;
+    the first step must start at 0.  Generalizes the scalar straggler
+    knob: a plain float is the single-step profile.
+
+    >>> p = SlowdownProfile(steps=((0.0, 1.0), (2.0, 1.8)))
+    >>> p.at(1.0), p.at(2.0), p.at(99.0)
+    (1.0, 1.8, 1.8)
+    """
+
+    steps: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise FaultPlanError("a slowdown profile needs at least one step")
+        if self.steps[0][0] != 0.0:
+            raise FaultPlanError("the first profile step must start at t=0")
+        last = -_INF
+        for when, factor in self.steps:
+            if when <= last:
+                raise FaultPlanError("profile step times must be ascending")
+            if factor <= 0:
+                raise FaultPlanError("slowdown factors must be positive")
+            last = when
+        object.__setattr__(
+            self, "_times", tuple(when for when, _ in self.steps)
+        )
+
+    def at(self, now: float) -> float:
+        """The multiplier in effect at simulated time ``now``."""
+        index = bisect.bisect_right(self._times, now) - 1
+        return self.steps[max(index, 0)][1]
+
+    def scaled(self, factor: float) -> "SlowdownProfile":
+        """This profile with every step multiplied by ``factor``."""
+        if factor == 1.0:
+            return self
+        return SlowdownProfile(
+            steps=tuple((when, f * factor) for when, f in self.steps)
+        )
+
+    @property
+    def peak(self) -> float:
+        return max(f for _, f in self.steps)
+
+
+def _check_window(at: float, until: float, what: str) -> None:
+    if at < 0 or math.isnan(at):
+        raise FaultPlanError(f"{what}: activation time must be >= 0")
+    if until <= at:
+        raise FaultPlanError(f"{what}: until must be after at")
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """One physical link degrading (or failing) at a point in time.
+
+    ``bandwidth_scale`` multiplies the link's per-lane bandwidth while the
+    fault is active; 0 is an outright failure -- the link disappears from
+    the routable topology and NCCL must re-ring over the survivors.
+    """
+
+    link: str                       # canonical link name (Link.name)
+    at: float = 0.0
+    bandwidth_scale: float = 0.0
+    until: float = _INF
+
+    def __post_init__(self) -> None:
+        _check_window(self.at, self.until, f"link fault on {self.link}")
+        if not 0.0 <= self.bandwidth_scale < 1.0:
+            raise FaultPlanError(
+                "bandwidth_scale must be in [0, 1) -- 1.0 would be a no-op"
+            )
+
+    @property
+    def is_failure(self) -> bool:
+        return self.bandwidth_scale == 0.0
+
+    def label(self) -> str:
+        mode = "down" if self.is_failure else f"x{self.bandwidth_scale:g}"
+        return f"link:{self.link}:{mode}@{self.at:g}s"
+
+
+@dataclass(frozen=True)
+class StragglerFault:
+    """One GPU running slow (thermal throttle, preemption, noisy neighbor)."""
+
+    gpu: int
+    factor: float                   # kernel-duration multiplier, > 1 = slower
+    at: float = 0.0
+    until: float = _INF
+
+    def __post_init__(self) -> None:
+        _check_window(self.at, self.until, f"straggler on gpu{self.gpu}")
+        if self.gpu < 0:
+            raise FaultPlanError("straggler gpu index must be >= 0")
+        if self.factor <= 0:
+            raise FaultPlanError("straggler factor must be positive")
+
+    def label(self) -> str:
+        return f"straggler:gpu{self.gpu}:x{self.factor:g}@{self.at:g}s"
+
+
+@dataclass(frozen=True)
+class EccFault:
+    """ECC-retry latency on one GPU's memory-bound kernels.
+
+    While active, every kernel whose arithmetic intensity (FLOPs per byte
+    moved) falls below ``intensity_ridge`` pays ``retry_latency`` extra
+    seconds -- the DRAM-retry penalty of a GPU developing correctable ECC
+    errors, which taxes memory-bound weight updates far more than
+    compute-bound convolutions.
+    """
+
+    gpu: int
+    retry_latency: float = 20e-6
+    at: float = 0.0
+    until: float = _INF
+    intensity_ridge: float = 8.0    # FLOPs/byte below which a kernel is memory-bound
+
+    def __post_init__(self) -> None:
+        _check_window(self.at, self.until, f"ecc fault on gpu{self.gpu}")
+        if self.gpu < 0:
+            raise FaultPlanError("ecc gpu index must be >= 0")
+        if self.retry_latency <= 0:
+            raise FaultPlanError("retry_latency must be positive")
+        if self.intensity_ridge <= 0:
+            raise FaultPlanError("intensity_ridge must be positive")
+
+    def label(self) -> str:
+        return f"ecc:gpu{self.gpu}:{self.retry_latency * 1e6:g}us@{self.at:g}s"
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """A worker GPU dropping out at an epoch iteration boundary."""
+
+    gpu: int
+    at_iteration: int
+
+    def __post_init__(self) -> None:
+        if self.gpu < 0:
+            raise FaultPlanError("crash gpu index must be >= 0")
+        if self.at_iteration < 1:
+            raise FaultPlanError("crashes happen at iteration >= 1")
+
+    def label(self) -> str:
+        return f"crash:gpu{self.gpu}@iter{self.at_iteration}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The complete fault scenario of one training run.
+
+    >>> plan = FaultPlan(
+    ...     link_faults=(LinkFault("gpu0<->gpu1:nvlinkx1", at=5.0),),
+    ...     stragglers=(StragglerFault(gpu=2, factor=1.5),),
+    ... )
+    >>> plan.empty
+    False
+    >>> sorted(plan.boundaries())
+    [5.0]
+    """
+
+    link_faults: Tuple[LinkFault, ...] = ()
+    stragglers: Tuple[StragglerFault, ...] = ()
+    ecc_faults: Tuple[EccFault, ...] = ()
+    crashes: Tuple[CrashFault, ...] = ()
+    policy: ResiliencePolicy = ResiliencePolicy.FAIL_FAST
+    costs: RecoveryCosts = field(default_factory=RecoveryCosts)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.crashes) > 1:
+            raise FaultPlanError(
+                "the recovery model handles at most one crash per run"
+            )
+        if not isinstance(self.policy, ResiliencePolicy):
+            object.__setattr__(self, "policy", ResiliencePolicy(self.policy))
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing (healthy run)."""
+        return not (
+            self.link_faults or self.stragglers or self.ecc_faults
+            or self.crashes
+        )
+
+    @property
+    def crash(self) -> Optional[CrashFault]:
+        return self.crashes[0] if self.crashes else None
+
+    def boundaries(self) -> Tuple[float, ...]:
+        """Sorted activation/deactivation times (> 0) of continuous faults."""
+        times = set()
+        for f in (*self.link_faults, *self.stragglers, *self.ecc_faults):
+            if f.at > 0:
+                times.add(f.at)
+            if f.until != _INF:
+                times.add(f.until)
+        return tuple(sorted(times))
+
+    def labels(self) -> Tuple[str, ...]:
+        """One short label per fault, for reports and event payloads."""
+        return tuple(
+            f.label()
+            for f in (*self.link_faults, *self.stragglers,
+                      *self.ecc_faults, *self.crashes)
+        )
+
+    # ------------------------------------------------------------------
+    # Scenario constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def single_link(
+        cls, link: str, bandwidth_scale: float = 0.0, at: float = 0.0,
+        **kwargs,
+    ) -> "FaultPlan":
+        """One link degrading/failing; the smallest interesting scenario."""
+        return cls(
+            link_faults=(LinkFault(link, at=at, bandwidth_scale=bandwidth_scale),),
+            description=f"single link {link}",
+            **kwargs,
+        )
+
+    @classmethod
+    def isolate_gpu(cls, topology, gpu: int, at: float = 0.0, **kwargs) -> "FaultPlan":
+        """Fail every NVLink of one GPU (a dead NVLink bridge).
+
+        The surviving graph has no NVLink ring through ``gpu``, so NCCL
+        must fall back to a PCIe ring -- the worst-case degradation the
+        paper's Figure 2 discussion implies.
+        """
+        from repro.topology.links import LinkType
+
+        node = topology.gpu(gpu)
+        faults = tuple(
+            LinkFault(link.name, at=at)
+            for link in topology.links_of(node)
+            if link.link_type is LinkType.NVLINK
+        )
+        if not faults:
+            raise FaultPlanError(f"gpu{gpu} has no NVLinks to fail")
+        return cls(
+            link_faults=faults,
+            description=f"gpu{gpu} NVLink-isolated",
+            **kwargs,
+        )
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        topology=None,
+        num_gpus: int = 8,
+        policy: ResiliencePolicy = ResiliencePolicy.SHRINK,
+    ) -> "FaultPlan":
+        """Deterministically expand ``seed`` into a mixed fault scenario.
+
+        The expansion uses only :class:`random.Random` seeded with
+        ``seed`` -- no wall clock, no global state -- so the same seed
+        always yields the identical plan (and therefore the identical
+        simulated epoch), on any machine and any process count.
+        """
+        if topology is None:
+            from repro.topology import build_dgx1v
+
+            topology = build_dgx1v()
+        rng = random.Random(seed)
+        gpus = list(range(num_gpus))
+        nvlinks = sorted(
+            link.name
+            for link in topology.links
+            if link.link_type.value == "nvlink"
+            and all(
+                end.name in {f"gpu{i}" for i in gpus}
+                for end in link.endpoints()
+            )
+        )
+        link_faults = []
+        for name in rng.sample(nvlinks, k=min(rng.randint(0, 2), len(nvlinks))):
+            link_faults.append(LinkFault(
+                link=name,
+                at=round(rng.uniform(0.0, 30.0), 3),
+                bandwidth_scale=rng.choice((0.0, 0.25, 0.5)),
+            ))
+        stragglers = []
+        if rng.random() < 0.75:
+            stragglers.append(StragglerFault(
+                gpu=rng.choice(gpus),
+                factor=round(rng.uniform(1.2, 2.5), 2),
+                at=round(rng.uniform(0.0, 20.0), 3),
+            ))
+        ecc_faults = []
+        if rng.random() < 0.5:
+            ecc_faults.append(EccFault(
+                gpu=rng.choice(gpus),
+                retry_latency=round(rng.uniform(5e-6, 50e-6), 7),
+                at=round(rng.uniform(0.0, 20.0), 3),
+            ))
+        crashes = []
+        if rng.random() < 0.33 and num_gpus > 1:
+            crashes.append(CrashFault(
+                gpu=rng.choice(gpus),
+                at_iteration=rng.randint(50, 2000),
+            ))
+        return cls(
+            link_faults=tuple(link_faults),
+            stragglers=tuple(stragglers),
+            ecc_faults=tuple(ecc_faults),
+            crashes=tuple(crashes),
+            policy=policy,
+            description=f"random(seed={seed})",
+        )

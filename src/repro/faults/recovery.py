@@ -1,0 +1,95 @@
+"""Recovery-cost accounting and the fault report attached to results.
+
+The faulted trainer builds a :class:`FaultSummary` describing the epoch
+timeline it assembled: one :class:`SegmentReport` per fault segment (a
+maximal window with a constant active-fault set), plus the transition
+and recovery costs charged between segments.  The summary rides on
+:class:`~repro.train.results.TrainingResult` and round-trips through the
+sweep cache (:mod:`repro.analysis.serialization`), so degradation tables
+render from cached results without re-simulating.
+
+:func:`crash_recovery_cost` is the policy cost model: what the epoch pays
+at the crash point, *excluding* the re-run iterations (the trainer
+accounts those on the timeline directly, at the measured segment means).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.faults.plan import CrashFault, RecoveryCosts, ResiliencePolicy
+
+
+@dataclass(frozen=True)
+class SegmentReport:
+    """One constant-fault window of the epoch timeline."""
+
+    index: int
+    start_time: float               # epoch-timeline start of the segment (s)
+    start_iteration: int
+    iterations: int                 # epoch iterations charged to this segment
+    mean_iteration: float           # measured steady-state iteration (s)
+    active: Tuple[str, ...]         # labels of active continuous faults
+    ring_bandwidth: float           # NCCL aggregate ring bandwidth (bytes/s)
+    ring_uses_pcie: bool            # ring fell back to PCIe
+    gpus: int                       # GPUs participating in this segment
+
+    @property
+    def span(self) -> float:
+        """Simulated seconds this segment contributes to the epoch."""
+        return self.iterations * self.mean_iteration
+
+
+@dataclass(frozen=True)
+class FaultSummary:
+    """Everything the resilience layer did to one training run."""
+
+    policy: str
+    segments: Tuple[SegmentReport, ...]
+    transition_cost: float          # re-ring + route-recompute totals (s)
+    recovery_cost: float            # crash recovery (policy-dependent, s)
+    checkpoint_cost: float          # periodic checkpoint writes (s)
+    healthy_iteration: float        # segment-0 steady-state iteration (s)
+    crashed_gpu: Optional[int] = None
+    crash_iteration: Optional[int] = None
+    replayed_iterations: int = 0    # lost work re-run after restart
+    survivors: int = 0              # GPUs that finished the epoch
+
+    @property
+    def overhead(self) -> float:
+        """Total modeled resilience cost added to the epoch (seconds)."""
+        return self.transition_cost + self.recovery_cost + self.checkpoint_cost
+
+    @property
+    def degraded(self) -> bool:
+        return len(self.segments) > 1 or self.crashed_gpu is not None or any(
+            s.active for s in self.segments
+        )
+
+
+def checkpoint_write_cost(iterations: int, costs: RecoveryCosts) -> float:
+    """Cost of the periodic checkpoints an epoch of ``iterations`` writes."""
+    return (iterations // costs.checkpoint_interval) * costs.checkpoint_write
+
+
+def crash_recovery_cost(
+    crash: CrashFault,
+    policy: ResiliencePolicy,
+    costs: RecoveryCosts,
+) -> Tuple[float, int]:
+    """(seconds charged at the crash point, iterations to replay).
+
+    ``SHRINK`` pays the drain plus an NCCL re-ring over the survivors and
+    replays nothing (synchronous SGD loses only the crashed in-flight
+    iteration, which the shrunk group re-runs -- accounted by the caller
+    on the survivor timeline).  ``CHECKPOINT_RESTART`` pays the worker
+    restart plus re-ring, then replays the iterations since the last
+    periodic checkpoint.  ``FAIL_FAST`` never reaches recovery.
+    """
+    if policy is ResiliencePolicy.SHRINK:
+        return costs.shrink_drain + costs.ring_rebuild, 0
+    if policy is ResiliencePolicy.CHECKPOINT_RESTART:
+        replay = crash.at_iteration % costs.checkpoint_interval
+        return costs.restart_overhead + costs.ring_rebuild, replay
+    raise ValueError(f"no recovery cost defined for policy {policy!r}")

@@ -1,0 +1,66 @@
+"""Degraded-topology views: the surviving interconnect at a point in time.
+
+:func:`degraded_topology` rebuilds a :class:`~repro.topology.system.SystemTopology`
+with failed links removed and degraded links' lane bandwidth scaled, so
+routing (:class:`~repro.topology.routing.Router`) and NCCL ring/tree
+construction (:mod:`repro.comm.nccl.rings`, :mod:`repro.topology.trees`)
+recompute naturally over the surviving graph -- no special-casing in the
+consumers, exactly as real NCCL re-rings after ``ncclCommInitRank`` on a
+machine with a dead NVLink bridge.
+
+Only NVLink carries outright failures: the PCIe/QPI/host fabric is the
+fallback path and must stay connected (a machine whose PCIe tree is gone
+cannot run at all), so non-NVLink faults degrade bandwidth but are
+floored at :data:`MIN_HOST_SCALE`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+from repro.topology.links import PEAK_BANDWIDTH, Link, LinkType
+from repro.topology.system import SystemTopology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
+
+#: Non-NVLink links never degrade below this fraction of peak.
+MIN_HOST_SCALE = 0.01
+
+
+def _scaled_link(link: Link, scale: float) -> Link:
+    per_lane = (
+        link.lane_bandwidth
+        if link.lane_bandwidth is not None
+        else PEAK_BANDWIDTH[link.link_type]
+    )
+    return dataclasses.replace(link, lane_bandwidth=per_lane * scale)
+
+
+def degraded_topology(
+    topology: SystemTopology, injector: "FaultInjector", now: float
+) -> SystemTopology:
+    """The surviving topology under ``injector``'s faults at time ``now``.
+
+    Returns ``topology`` itself (same object) when no link fault is
+    active, so the healthy path never pays a rebuild.  Degraded links
+    keep their canonical name (names encode endpoints/type/width, not
+    bandwidth), which keeps profiler link counters continuous across a
+    degradation.
+    """
+    if not injector.degrades_links(now):
+        return topology
+
+    links = []
+    for link in topology.links:
+        scale = injector.link_scale(link.name, now)
+        if scale >= 1.0:
+            links.append(link)
+        elif link.link_type is LinkType.NVLINK:
+            if scale > 0.0:
+                links.append(_scaled_link(link, scale))
+            # scale == 0: the link is down -- drop it from the graph.
+        else:
+            links.append(_scaled_link(link, max(scale, MIN_HOST_SCALE)))
+    return SystemTopology(f"{topology.name}@faulted", topology.nodes, links)

@@ -29,17 +29,30 @@ class GpuDevice:
         node: GpuNode,
         spec: GpuSpec = TESLA_V100,
         profiler: Optional[object] = None,
-        speed_factor: float = 1.0,
+        speed_factor=1.0,
+        ecc: Optional[object] = None,
     ) -> None:
         """``speed_factor`` scales every kernel's duration on this device
-        (>1 = slower); used for straggler-injection studies."""
-        if speed_factor <= 0:
-            raise ValueError("speed_factor must be positive")
+        (>1 = slower); used for straggler-injection studies.  It is either
+        a plain number (constant slowdown) or anything with an
+        ``at(now) -> float`` method -- e.g. a
+        :class:`~repro.faults.plan.SlowdownProfile` -- sampled at each
+        kernel's start time for time-varying throttling.  ``ecc`` is an
+        optional :class:`~repro.faults.injector.EccModel` adding a retry
+        latency to memory-bound kernels (``delay(kernel) -> float``)."""
+        # Duck-typed rather than isinstance so the gpu layer stays
+        # decoupled from repro.faults (which sits above it).
+        self.slowdown = speed_factor if hasattr(speed_factor, "at") else None
+        if self.slowdown is None:
+            speed_factor = float(speed_factor)
+            if speed_factor <= 0:
+                raise ValueError("speed_factor must be positive")
         self.env = env
         self.node = node
         self.spec = spec
         self.profiler = profiler
         self.speed_factor = speed_factor
+        self.ecc = ecc
         self.engine = Resource(env, capacity=1)
         self.busy_time = 0.0
 
@@ -53,8 +66,14 @@ class GpuDevice:
         req = self.engine.request()
         yield req
         start = self.env.now
+        if self.slowdown is not None:
+            duration = kernel.duration * self.slowdown.at(start)
+        else:
+            duration = kernel.duration * self.speed_factor
+        if self.ecc is not None:
+            duration += self.ecc.delay(kernel)
         try:
-            yield self.env.timeout(kernel.duration * self.speed_factor)
+            yield self.env.timeout(duration)
         finally:
             end = self.env.now
             self.busy_time += end - start

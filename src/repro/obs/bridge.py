@@ -30,6 +30,12 @@ collective_chunk_time_total               counter    collective, protocol
 collective_chunk_seconds                  histogram  collective, protocol
 sim_event_queue_depth                     gauge      --
 sim_event_queue_depth_max                 gauge      --
+faults_injected_total                     counter    kind
+route_recomputes_total                    counter    reason
+ring_rebuilds_total                       counter    fallback
+recovery_cost_seconds_total               counter    policy
+sweep_point_retries_total                 counter    sweep
+sweep_point_failures_total                counter    sweep
 ========================================  =========  ==========================
 
 ``link_wait_time_total`` children are materialized (at zero) the moment a
@@ -44,13 +50,19 @@ from repro.obs.events import (
     ApiEvent,
     CollectiveChunkEvent,
     EngineWaitEvent,
+    FaultInjectedEvent,
     KernelEvent,
     LinkBusyEvent,
     LinkWaitEvent,
     ProtocolChoiceEvent,
     QueueDepthEvent,
+    RecoveryCostEvent,
+    RingRebuiltEvent,
     RingStepEvent,
+    RouteRecomputedEvent,
     SpanEvent,
+    SweepPointFailed,
+    SweepPointRetry,
     TransferEvent,
 )
 from repro.obs.metrics import MetricsRegistry
@@ -118,6 +130,22 @@ def install_default_metrics(bus: EventBus, registry: MetricsRegistry) -> Metrics
         "sim_event_queue_depth", "Simulation event-heap depth (sampled)")
     queue_depth_max = registry.gauge(
         "sim_event_queue_depth_max", "High-water mark of the event heap")
+    faults_injected = registry.counter(
+        "faults_injected_total", "Fault activations by kind", ("kind",))
+    route_recomputes = registry.counter(
+        "route_recomputes_total", "Topology route recomputations", ("reason",))
+    ring_rebuilds = registry.counter(
+        "ring_rebuilds_total",
+        "NCCL communicator rebuilds (fallback=pcie when the new ring "
+        "crosses PCIe)", ("fallback",))
+    recovery_seconds = registry.counter(
+        "recovery_cost_seconds_total",
+        "Modeled crash-recovery time charged (seconds)", ("policy",))
+    point_retries = registry.counter(
+        "sweep_point_retries_total", "Sweep-point retry attempts", ("sweep",))
+    point_failures = registry.counter(
+        "sweep_point_failures_total",
+        "Sweep points abandoned after exhausting retries", ("sweep",))
 
     def on_kernel(e: KernelEvent) -> None:
         kernel_time.labels(gpu=e.gpu, stage=e.stage).inc(e.duration)
@@ -177,6 +205,25 @@ def install_default_metrics(bus: EventBus, registry: MetricsRegistry) -> Metrics
         if e.depth > queue_depth_max.value:
             queue_depth_max.set(e.depth)
 
+    def on_fault(e: FaultInjectedEvent) -> None:
+        faults_injected.labels(kind=e.kind).inc()
+
+    def on_route_recompute(e: RouteRecomputedEvent) -> None:
+        route_recomputes.labels(reason=e.reason).inc()
+
+    def on_ring_rebuild(e: RingRebuiltEvent) -> None:
+        ring_rebuilds.labels(
+            fallback="pcie" if e.uses_pcie else "nvlink").inc()
+
+    def on_recovery(e: RecoveryCostEvent) -> None:
+        recovery_seconds.labels(policy=e.policy).inc(e.cost)
+
+    def on_point_retry(e: SweepPointRetry) -> None:
+        point_retries.labels(sweep=e.sweep).inc()
+
+    def on_point_failed(e: SweepPointFailed) -> None:
+        point_failures.labels(sweep=e.sweep).inc()
+
     bus.subscribe(KernelEvent, on_kernel)
     bus.subscribe(EngineWaitEvent, on_engine_wait)
     bus.subscribe(TransferEvent, on_transfer)
@@ -188,4 +235,10 @@ def install_default_metrics(bus: EventBus, registry: MetricsRegistry) -> Metrics
     bus.subscribe(ProtocolChoiceEvent, on_protocol_choice)
     bus.subscribe(CollectiveChunkEvent, on_collective_chunk)
     bus.subscribe(QueueDepthEvent, on_queue_depth)
+    bus.subscribe(FaultInjectedEvent, on_fault)
+    bus.subscribe(RouteRecomputedEvent, on_route_recompute)
+    bus.subscribe(RingRebuiltEvent, on_ring_rebuild)
+    bus.subscribe(RecoveryCostEvent, on_recovery)
+    bus.subscribe(SweepPointRetry, on_point_retry)
+    bus.subscribe(SweepPointFailed, on_point_failed)
     return registry

@@ -24,6 +24,12 @@ QueueDepthEvent      :class:`~repro.sim.engine.Environment` (sampled)
 SweepPointStart      :class:`~repro.runner.SweepRunner`, per sweep point
 SweepPointDone       the runner, on result (executed or cache hit)
 SweepPointOom        the runner, on an out-of-memory point
+SweepPointRetry      the runner, before re-executing a failed point
+SweepPointFailed     the runner, when a point exhausts its retries
+FaultInjectedEvent   the trainer's fault layer, per fault activation
+RouteRecomputedEvent the fault layer, when link faults change the topology
+RingRebuiltEvent     the fault layer, per NCCL communicator rebuild
+RecoveryCostEvent    the fault layer, per crash-recovery charge
 ===================  ======================================================
 
 All timestamps are simulated seconds; byte counts are plain ints; ``src``
@@ -251,3 +257,72 @@ class SweepPointOom(ObsEvent):
     total: int
     label: str
     message: str
+
+
+@dataclass(frozen=True)
+class SweepPointRetry(ObsEvent):
+    """A failed/timed-out sweep point is about to be re-executed."""
+
+    sweep: str
+    index: int
+    total: int
+    label: str
+    attempt: int     # the attempt that just failed (1-based)
+    max_attempts: int
+    reason: str      # one-line failure description
+    backoff: float   # simulated-deterministic backoff charged before retry (s)
+
+
+@dataclass(frozen=True)
+class SweepPointFailed(ObsEvent):
+    """A sweep point exhausted its retries and was recorded as failed."""
+
+    sweep: str
+    index: int
+    total: int
+    label: str
+    attempts: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class FaultInjectedEvent(ObsEvent):
+    """One fault from a :class:`~repro.faults.plan.FaultPlan` activated."""
+
+    fault: str       # fault label, e.g. "link:gpu0<->gpu1:nvlinkx1:down@5s"
+    kind: str        # "link" | "straggler" | "ecc" | "crash"
+    at: float        # epoch-timeline seconds
+
+
+@dataclass(frozen=True)
+class RouteRecomputedEvent(ObsEvent):
+    """Link faults changed the routable topology; routes were recomputed."""
+
+    reason: str      # "link-fault" | "crash"
+    surviving_links: int
+    failed_links: int
+    cost: float      # modeled host-side recompute cost charged (s)
+    at: float
+
+
+@dataclass(frozen=True)
+class RingRebuiltEvent(ObsEvent):
+    """The NCCL communicator was rebuilt over the surviving GPUs/links."""
+
+    gpus: int
+    uses_pcie: bool  # the new ring fell back to PCIe
+    bandwidth: float # new aggregate ring bandwidth (bytes/s)
+    cost: float      # modeled re-init cost charged (s)
+    at: float
+
+
+@dataclass(frozen=True)
+class RecoveryCostEvent(ObsEvent):
+    """A crash-recovery policy charged its modeled cost."""
+
+    policy: str      # "shrink" | "checkpoint-restart"
+    gpu: int         # the crashed GPU
+    iteration: int   # epoch iteration the crash was observed at
+    cost: float      # seconds charged at the crash point
+    replayed_iterations: int
+    at: float

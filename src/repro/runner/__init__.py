@@ -9,8 +9,10 @@ execution path:
   OOM policy, free-form tags.
 * :mod:`repro.runner.runner`      -- :class:`SweepRunner`: serial or
   process-pool execution (``jobs > 1``), in-process memoization, obs-bus
-  progress events, plus the legacy ``RunCache`` ``get``/``try_get``
-  interface.
+  progress events, bounded retry-with-backoff and per-point wall-clock
+  timeouts (failed points degrade to :class:`FailureInfo` outcomes under
+  the spec's :class:`FailurePolicy` instead of aborting the sweep), plus
+  the legacy ``RunCache`` ``get``/``try_get`` interface.
 * :mod:`repro.runner.store`       -- :class:`ResultStore`: persistent
   JSON cache keyed by content fingerprint.
 * :mod:`repro.runner.fingerprint` -- the content hash over config +
@@ -27,11 +29,21 @@ from repro.runner.runner import (
     SweepResults,
     SweepRunner,
 )
-from repro.runner.spec import OomInfo, OomPolicy, SweepPoint, SweepSpec
-from repro.runner.store import CacheSchemaError, ResultStore
+from repro.runner.spec import (
+    FailureInfo,
+    FailurePolicy,
+    OomInfo,
+    OomPolicy,
+    SweepPoint,
+    SweepSpec,
+)
+from repro.runner.store import CacheCorruptionWarning, CacheSchemaError, ResultStore
 
 __all__ = [
+    "CacheCorruptionWarning",
     "CacheSchemaError",
+    "FailureInfo",
+    "FailurePolicy",
     "OomInfo",
     "OomPolicy",
     "PointOutcome",

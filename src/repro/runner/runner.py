@@ -13,11 +13,21 @@ The simulator is deterministic, so parallel execution returns results
 identical to serial execution; outcomes are always assembled in spec
 order regardless of completion order.  Progress is published as
 ``SweepPoint*`` events on an optional :class:`~repro.obs.bus.EventBus`.
+
+The runner degrades gracefully around bad points: a crashing point is
+retried with exponential backoff (``retries``) and, if it keeps failing,
+recorded as a :class:`~repro.runner.spec.FailureInfo` outcome under the
+spec's :class:`~repro.runner.spec.FailurePolicy` instead of aborting the
+sweep; ``point_timeout`` bounds each point's wall-clock execution (the
+point is recorded as timed out, the rest of the sweep continues).
+Failures are transient by definition and are never memoized or written
+to the persistent cache.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
@@ -29,15 +39,32 @@ from repro.core.config import (
     TrainingConfig,
 )
 from repro.core.constants import CALIBRATION, CalibrationConstants
-from repro.core.errors import OutOfMemoryError
+from repro.core.errors import OutOfMemoryError, SweepPointError
 from repro.obs.bus import EventBus
-from repro.obs.events import SweepPointDone, SweepPointOom, SweepPointStart
+from repro.obs.events import (
+    SweepPointDone,
+    SweepPointFailed,
+    SweepPointOom,
+    SweepPointRetry,
+    SweepPointStart,
+)
 from repro.runner.fingerprint import point_fingerprint
-from repro.runner.spec import OomInfo, OomPolicy, SweepPoint, SweepSpec
+from repro.runner.spec import (
+    FailureInfo,
+    FailurePolicy,
+    OomInfo,
+    OomPolicy,
+    SweepPoint,
+    SweepSpec,
+)
 from repro.runner.store import ResultStore
 
-#: What one executed/cached point yields: a result object or an OOM record.
-PointValue = Union["TrainingResult", "AsyncResult", OomInfo]  # noqa: F821
+#: What one executed/cached point yields: a result object, an OOM record,
+#: or a (never-cached) failure record.
+PointValue = Union["TrainingResult", "AsyncResult", OomInfo, FailureInfo]  # noqa: F821
+
+#: Poll interval of the timeout-enforcing pool wait loop (wall seconds).
+_TIMEOUT_POLL = 0.05
 
 
 def _execute_point(
@@ -48,9 +75,9 @@ def _execute_point(
 ) -> Tuple[PointValue, float]:
     """Run one simulation (also the process-pool worker).
 
-    OOM is returned as data rather than raised: custom exception
-    constructors do not survive the pool's pickle round-trip, and the
-    parent applies the spec's OOM policy anyway.
+    OOM and crashes are returned as data rather than raised: custom
+    exception constructors do not survive the pool's pickle round-trip,
+    and the parent applies the spec's policies anyway.
     """
     from repro.train.async_trainer import AsyncTrainer
     from repro.train.trainer import Trainer
@@ -72,6 +99,10 @@ def _execute_point(
             device=exc.device, requested=exc.requested, free=exc.free,
             message=str(exc),
         )
+    except Exception as exc:  # noqa: BLE001 - converted to data, re-raised by policy
+        value = FailureInfo(
+            error_type=type(exc).__name__, message=str(exc), attempts=1,
+        )
     return value, time.perf_counter() - start
 
 
@@ -84,10 +115,11 @@ class PointOutcome:
     source: str                  # "executed" | "memory" | "disk"
     oom: Optional[OomInfo] = None
     elapsed: float = 0.0
+    failure: Optional[FailureInfo] = None
 
     @property
     def ok(self) -> bool:
-        return self.oom is None
+        return self.oom is None and self.failure is None
 
 
 class SweepResults:
@@ -140,17 +172,21 @@ class SweepResults:
         return found[0]
 
     def result(self, **criteria: Any) -> Any:
-        """The unique matching result; raises on OOM points."""
+        """The unique matching result; raises on OOM or failed points."""
         out = self.outcome(**criteria)
         if out.oom is not None:
             raise OutOfMemoryError(out.oom.device, out.oom.requested, out.oom.free)
+        if out.failure is not None:
+            raise SweepPointError(
+                out.point.describe(), out.failure.attempts, out.failure.message
+            )
         return out.result
 
     def try_result(self, **criteria: Any) -> Optional[Any]:
-        """Like :meth:`result` but ``None`` for OOM or missing points."""
+        """Like :meth:`result` but ``None`` for OOM, failed or missing points."""
         try:
             return self.result(**criteria)
-        except (KeyError, OutOfMemoryError):
+        except (KeyError, OutOfMemoryError, SweepPointError):
             return None
 
 
@@ -162,16 +198,21 @@ class RunnerStats:
     memory_hits: int = 0
     disk_hits: int = 0
     oom: int = 0
+    retried: int = 0
+    failed: int = 0
 
     @property
     def total(self) -> int:
         return self.executed + self.memory_hits + self.disk_hits
 
     def describe(self) -> str:
-        return (
+        base = (
             f"{self.executed} simulated, {self.disk_hits} from disk cache, "
             f"{self.memory_hits} memoized, {self.oom} OOM"
         )
+        if self.retried or self.failed:
+            base += f", {self.retried} retried, {self.failed} failed"
+        return base
 
 
 class SweepRunner:
@@ -191,15 +232,38 @@ class SweepRunner:
         jobs: int = 1,
         store: Optional[ResultStore] = None,
         bus: Optional[EventBus] = None,
+        retries: int = 1,
+        retry_backoff: float = 0.05,
+        point_timeout: Optional[float] = None,
     ) -> None:
+        """``retries`` is the number of *re*-executions granted to a
+        crashing point (so a point runs at most ``retries + 1`` times);
+        ``retry_backoff`` is the base of the exponential wall-clock
+        backoff slept between attempts.  ``point_timeout`` bounds one
+        point's wall-clock execution in seconds; a point that exceeds it
+        is recorded as a timed-out failure (not retried -- the simulator
+        is deterministic, so a hang would simply hang again) while the
+        rest of the sweep continues.  Timeout enforcement routes the
+        sweep through a process pool even when ``jobs=1``; the stuck
+        worker process is abandoned and may run to completion in the
+        background."""
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
+        if point_timeout is not None and point_timeout <= 0:
+            raise ValueError(f"point_timeout must be positive, got {point_timeout}")
         self.sim = sim
         self.constants = constants
         self.trainer_kwargs: Dict[str, Any] = dict(trainer_kwargs or {})
         self.jobs = jobs
         self.store = store
         self.bus = bus
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.point_timeout = point_timeout
         self.stats = RunnerStats()
         self._memo: Dict[str, PointValue] = {}
 
@@ -248,6 +312,16 @@ class SweepRunner:
                     )
         elif spec.oom_policy is OomPolicy.SKIP:
             final = [o for o in final if o.oom is None]
+        if spec.failure_policy is FailurePolicy.RAISE:
+            for outcome in final:
+                if outcome.failure is not None:
+                    raise SweepPointError(
+                        outcome.point.describe(),
+                        outcome.failure.attempts,
+                        outcome.failure.message,
+                    )
+        elif spec.failure_policy is FailurePolicy.SKIP:
+            final = [o for o in final if o.failure is None]
         return SweepResults(name=spec.name, outcomes=tuple(final))
 
     def map(self, spec: SweepSpec, fn: Any) -> List[Any]:
@@ -336,6 +410,10 @@ class SweepRunner:
     def _record(self, key: Optional[str], value: PointValue) -> None:
         if key is None:
             return
+        if isinstance(value, FailureInfo):
+            # Failures are transient: caching one would make a crashed
+            # point permanently "fail" from cache on every future run.
+            return
         self._memo[key] = value
         if self.store is not None:
             self.store.store(key, value)
@@ -360,6 +438,17 @@ class SweepRunner:
                 point=point, result=None, source=source, oom=value,
                 elapsed=elapsed,
             )
+        if isinstance(value, FailureInfo):
+            self.stats.failed += 1
+            self._publish(SweepPointFailed(
+                sweep=spec.name, index=index, total=total,
+                label=point.describe(), attempts=value.attempts,
+                reason=f"{value.error_type}: {value.message}",
+            ))
+            return PointOutcome(
+                point=point, result=None, source=source, failure=value,
+                elapsed=elapsed,
+            )
         self._publish(SweepPointDone(
             sweep=spec.name, index=index, total=total,
             label=point.describe(), source=source, elapsed=elapsed,
@@ -368,6 +457,24 @@ class SweepRunner:
             point=point, result=value, source=source, elapsed=elapsed
         )
 
+    def _backoff(self, attempt: int) -> float:
+        """Exponential backoff slept before re-attempt ``attempt + 1``."""
+        return self.retry_backoff * (2 ** (attempt - 1))
+
+    def _note_retry(
+        self, spec: SweepSpec, total: int, index: int, point: SweepPoint,
+        attempt: int, value: FailureInfo,
+    ) -> float:
+        backoff = self._backoff(attempt)
+        self.stats.retried += 1
+        self._publish(SweepPointRetry(
+            sweep=spec.name, index=index, total=total,
+            label=point.describe(), attempt=attempt,
+            max_attempts=self.retries + 1,
+            reason=f"{value.error_type}: {value.message}", backoff=backoff,
+        ))
+        return backoff
+
     def _execute_pending(
         self,
         spec: SweepSpec,
@@ -375,35 +482,129 @@ class SweepRunner:
         pending: List[Tuple[int, Optional[str], SweepPoint]],
         outcomes: List[Optional[PointOutcome]],
     ) -> None:
-        if self.jobs > 1 and len(pending) > 1:
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(pending))
-            ) as pool:
-                futures = {
-                    pool.submit(
-                        _execute_point, point, self.sim, self.constants,
-                        self.trainer_kwargs,
-                    ): (index, key, point)
-                    for index, key, point in pending
-                }
-                for future in concurrent.futures.as_completed(futures):
-                    index, key, point = futures[future]
-                    value, elapsed = future.result()
+        # Timeouts need an interruptible boundary around the simulation,
+        # which only a separate worker process provides -- so a timeout
+        # routes even a serial sweep through a 1-worker pool.
+        if (self.jobs > 1 and len(pending) > 1) or self.point_timeout is not None:
+            self._execute_pool(spec, total, pending, outcomes)
+            return
+        for index, key, point in pending:
+            attempt = 1
+            while True:
+                value, elapsed = _execute_point(
+                    point, self.sim, self.constants, self.trainer_kwargs
+                )
+                if not isinstance(value, FailureInfo) or attempt > self.retries:
+                    break
+                time.sleep(self._note_retry(
+                    spec, total, index, point, attempt, value))
+                attempt += 1
+            if isinstance(value, FailureInfo):
+                value = dataclasses.replace(value, attempts=attempt)
+            self.stats.executed += 1
+            self._record(key, value)
+            outcomes[index] = self._finish(
+                spec, index, total, point, value, "executed", elapsed
+            )
+
+    def _execute_pool(
+        self,
+        spec: SweepSpec,
+        total: int,
+        pending: List[Tuple[int, Optional[str], SweepPoint]],
+        outcomes: List[Optional[PointOutcome]],
+    ) -> None:
+        """Pool execution with per-point retry and wall-clock timeout.
+
+        A timed-out future cannot be interrupted (ProcessPoolExecutor has
+        no kill primitive), so it is abandoned: its outcome is recorded
+        as a timeout failure, the wait loop stops tracking it, and the
+        final ``shutdown(wait=False, cancel_futures=True)`` leaves the
+        stuck worker to die with the process.
+        """
+        deadline = self.point_timeout
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(pending))
+        )
+        state: Dict[concurrent.futures.Future, Tuple[int, Optional[str], SweepPoint, int]] = {}
+        running_since: Dict[concurrent.futures.Future, float] = {}
+        abandoned = False
+
+        def submit(index: int, key: Optional[str], point: SweepPoint,
+                   attempt: int) -> None:
+            future = pool.submit(
+                _execute_point, point, self.sim, self.constants,
+                self.trainer_kwargs,
+            )
+            state[future] = (index, key, point, attempt)
+
+        try:
+            for index, key, point in pending:
+                submit(index, key, point, 1)
+            while state:
+                done, _ = concurrent.futures.wait(
+                    set(state),
+                    timeout=_TIMEOUT_POLL if deadline is not None else None,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                now = time.monotonic()
+                for future in done:
+                    index, key, point, attempt = state.pop(future)
+                    running_since.pop(future, None)
+                    try:
+                        value, elapsed = future.result()
+                    except Exception as exc:  # noqa: BLE001 - worker died
+                        value = FailureInfo(
+                            error_type=type(exc).__name__,
+                            message=str(exc), attempts=attempt,
+                        )
+                        elapsed = 0.0
+                    if isinstance(value, FailureInfo) and attempt <= self.retries:
+                        time.sleep(self._note_retry(
+                            spec, total, index, point, attempt, value))
+                        submit(index, key, point, attempt + 1)
+                        continue
+                    if isinstance(value, FailureInfo):
+                        value = dataclasses.replace(value, attempts=attempt)
                     self.stats.executed += 1
                     self._record(key, value)
                     outcomes[index] = self._finish(
                         spec, index, total, point, value, "executed", elapsed
                     )
-        else:
-            for index, key, point in pending:
-                value, elapsed = _execute_point(
-                    point, self.sim, self.constants, self.trainer_kwargs
-                )
-                self.stats.executed += 1
-                self._record(key, value)
-                outcomes[index] = self._finish(
-                    spec, index, total, point, value, "executed", elapsed
-                )
+                if deadline is None:
+                    continue
+                for future in [f for f in state if f.running()]:
+                    started = running_since.setdefault(future, now)
+                    if now - started < deadline:
+                        continue
+                    index, key, point, attempt = state.pop(future)
+                    running_since.pop(future, None)
+                    abandoned = True
+                    value = FailureInfo(
+                        error_type="TimeoutError",
+                        message=(
+                            f"point exceeded the {deadline:g}s wall-clock "
+                            f"timeout and was abandoned"
+                        ),
+                        attempts=attempt,
+                        timed_out=True,
+                    )
+                    self.stats.executed += 1
+                    outcomes[index] = self._finish(
+                        spec, index, total, point, value, "executed",
+                        now - started,
+                    )
+        finally:
+            # Snapshot before shutdown(): the executor nulls _processes out.
+            workers = list((getattr(pool, "_processes", None) or {}).values())
+            pool.shutdown(wait=False, cancel_futures=True)
+            if abandoned:
+                # Every tracked future has completed by now, so the only
+                # busy workers are the abandoned (stuck) ones -- kill them,
+                # or the interpreter's process-pool atexit join would hang
+                # on them forever.
+                for proc in workers:
+                    proc.terminate()
 
     def _publish(self, event: Any) -> None:
         if self.bus is not None:

@@ -39,6 +39,24 @@ class OomPolicy(str, enum.Enum):
     RECORD = "record"
 
 
+class FailurePolicy(str, enum.Enum):
+    """What a sweep does when a point crashes or times out.
+
+    Unlike OOM (an expected, physical outcome the paper itself reports),
+    a crash is exceptional -- but one bad point must not abort a
+    many-point sweep, so the default is ``RECORD``: the point is retried
+    with backoff (see :class:`~repro.runner.runner.SweepRunner`) and, if
+    it keeps failing, recorded as a :class:`FailureInfo` outcome while
+    the rest of the sweep completes.  ``RAISE`` re-raises as
+    :class:`~repro.core.errors.SweepPointError` after the whole sweep
+    ran; ``SKIP`` silently drops failed points from the results.
+    """
+
+    RAISE = "raise"
+    SKIP = "skip"
+    RECORD = "record"
+
+
 def _freeze(mapping: Optional[Mapping[str, Any]]) -> Tuple[Tuple[str, Any], ...]:
     if not mapping:
         return ()
@@ -53,6 +71,22 @@ class OomInfo:
     requested: int
     free: int
     message: str
+
+
+@dataclass(frozen=True)
+class FailureInfo:
+    """Details of one sweep point that failed after exhausting retries.
+
+    Carried as plain data because worker exceptions do not reliably
+    survive the process pool's pickle round-trip.  Failures are
+    considered transient and are never written to the persistent cache
+    or the in-process memo -- a re-run re-attempts the point.
+    """
+
+    error_type: str       # exception class name, e.g. "WorkerCrashError"
+    message: str          # one-line failure description
+    attempts: int         # execution attempts made (1 = no retries)
+    timed_out: bool = False
 
 
 @dataclass(frozen=True)
@@ -108,11 +142,12 @@ class SweepPoint:
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """A named, ordered collection of sweep points plus an OOM policy."""
+    """A named, ordered collection of sweep points plus failure policies."""
 
     name: str
     points: Tuple[SweepPoint, ...] = ()
     oom_policy: OomPolicy = OomPolicy.RAISE
+    failure_policy: FailurePolicy = FailurePolicy.RECORD
 
     def __len__(self) -> int:
         return len(self.points)
@@ -121,16 +156,22 @@ class SweepSpec:
         return iter(self.points)
 
     def __add__(self, other: "SweepSpec") -> "SweepSpec":
-        """Concatenate two specs (the stricter OOM policy wins)."""
+        """Concatenate two specs (the stricter policies win)."""
         policy = (
             OomPolicy.RAISE
             if OomPolicy.RAISE in (self.oom_policy, other.oom_policy)
             else self.oom_policy
         )
+        failure = (
+            FailurePolicy.RAISE
+            if FailurePolicy.RAISE in (self.failure_policy, other.failure_policy)
+            else self.failure_policy
+        )
         return SweepSpec(
             name=f"{self.name}+{other.name}",
             points=self.points + other.points,
             oom_policy=policy,
+            failure_policy=failure,
         )
 
     @classmethod
@@ -139,9 +180,11 @@ class SweepSpec:
         name: str,
         points: Sequence[SweepPoint],
         oom_policy: OomPolicy = OomPolicy.RAISE,
+        failure_policy: FailurePolicy = FailurePolicy.RECORD,
     ) -> "SweepSpec":
         """A spec from hand-constructed points (extension studies)."""
-        return cls(name=name, points=tuple(points), oom_policy=oom_policy)
+        return cls(name=name, points=tuple(points), oom_policy=oom_policy,
+                   failure_policy=failure_policy)
 
     @classmethod
     def grid(

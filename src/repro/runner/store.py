@@ -24,6 +24,7 @@ import json
 import os
 import pathlib
 import tempfile
+import warnings
 from typing import Optional, Union
 
 from repro.core.errors import ReproError
@@ -32,6 +33,16 @@ from repro.runner.spec import OomInfo
 
 class CacheSchemaError(ReproError, RuntimeError):
     """A cache file was written by an incompatible schema version."""
+
+
+class CacheCorruptionWarning(UserWarning):
+    """A cache file was unreadable/corrupted and treated as a miss.
+
+    Truncated writes (a killed process, a full disk) or hand-edited files
+    must not abort a long sweep mid-way: the point is simply re-simulated
+    and the next :meth:`ResultStore.store` atomically replaces the bad
+    file.  The warning keeps the corruption visible.
+    """
 
 
 StoredValue = Union["TrainingResult", "AsyncResult", OomInfo]  # noqa: F821
@@ -51,13 +62,26 @@ class ResultStore:
             return 0
         return sum(1 for _ in self.root.glob("*.json"))
 
+    def _corrupt(self, path: pathlib.Path, why: str) -> None:
+        warnings.warn(
+            f"sweep cache file {path} is corrupted ({why}); treating as a "
+            f"cache miss -- the point will be re-simulated and the file "
+            f"overwritten",
+            CacheCorruptionWarning,
+            stacklevel=3,
+        )
+
     def load(self, key: str) -> Optional[StoredValue]:
         """The stored value for ``key``, or ``None`` on a miss.
 
-        Unreadable or truncated files count as misses (they are
-        overwritten by the next store); a *schema* mismatch is refused
-        loudly instead, because silently re-simulating would mask the
-        fact that the cache directory holds unusable data.
+        Corrupted or truncated files -- invalid JSON, a non-dict payload,
+        a missing ``schema`` stamp, missing result fields -- count as
+        misses with a :class:`CacheCorruptionWarning` (the next store
+        atomically overwrites them), so one bad file cannot abort a sweep
+        mid-way.  Only an explicit *different* schema version is refused
+        loudly with :class:`CacheSchemaError`: those files are internally
+        consistent data from another library version, and silently
+        re-simulating would mask a whole directory of unusable entries.
         """
         # Imported lazily: repro.analysis's package __init__ pulls in
         # modules that import repro.runner back.
@@ -70,10 +94,18 @@ class ResultStore:
 
         path = self.path_for(key)
         try:
-            data = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+            text = path.read_text()
+        except OSError:
+            return None  # plain miss: the file does not exist (or is unreadable)
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            self._corrupt(path, f"invalid JSON: {exc}")
             return None
-        found = data.get("schema") if isinstance(data, dict) else None
+        if not isinstance(data, dict) or "schema" not in data:
+            self._corrupt(path, "not a schema-stamped result object")
+            return None
+        found = data["schema"]
         if found != SCHEMA_VERSION:
             raise CacheSchemaError(
                 f"cache file {path} has schema {found!r} but this library "
@@ -96,8 +128,10 @@ class ResultStore:
                 )
         except SchemaMismatchError as exc:
             raise CacheSchemaError(f"cache file {path}: {exc}") from exc
-        except (KeyError, TypeError, ValueError):
+        except (KeyError, TypeError, ValueError) as exc:
+            self._corrupt(path, f"missing/invalid result fields: {exc}")
             return None
+        self._corrupt(path, f"unknown result kind {kind!r}")
         return None
 
     def store(self, key: str, value: StoredValue) -> pathlib.Path:

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import TrainingConfig
+from repro.faults.recovery import FaultSummary
 from repro.profile.profiler import Profiler
 from repro.profile.smi import MemoryReading
 from repro.profile.summary import ApiSummary, StageBreakdown
@@ -26,6 +27,9 @@ class TrainingResult:
     compute_utilization: float       # achieved/peak FLOP fraction in FP+BP
     memory: Tuple[MemoryReading, ...]
     profiler: Optional[Profiler] = None
+    #: What the fault/resilience layer did to this run; ``None`` for a
+    #: healthy (no-faults) simulation.
+    faults: Optional[FaultSummary] = None
 
     @property
     def iterations_per_epoch(self) -> int:

@@ -18,16 +18,43 @@ update complete, plus the host-side synchronization cost.
 Training is periodic, so the trainer simulates a warm-up then a few
 measured iterations at full event fidelity and extrapolates the epoch:
 ``epoch = iterations * mean_iteration + once_per_run_overheads``.
+
+Fault injection (``faults=``, a :class:`~repro.faults.plan.FaultPlan`)
+generalizes this: the epoch timeline splits into *segments* -- maximal
+windows with a constant active-fault set -- and each segment gets its own
+fully-assembled mini-simulation over the degraded topology
+(:func:`~repro.faults.view.degraded_topology`), so routing and NCCL
+ring construction recompute over the surviving graph exactly as a real
+communicator re-init would.  The epoch is then the sum of per-segment
+extrapolations plus modeled transition/recovery costs; the no-faults
+path is byte-identical to a faultless build (golden-tested).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional, Sequence
+import math
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.comm import make_communicator
 from repro.core.config import SimulationConfig, TrainingConfig
 from repro.core.constants import CALIBRATION, CalibrationConstants
+from repro.core.errors import FaultPlanError, WorkerCrashError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, ResiliencePolicy
+from repro.faults.recovery import (
+    FaultSummary,
+    SegmentReport,
+    checkpoint_write_cost,
+    crash_recovery_cost,
+)
+from repro.faults.view import degraded_topology
 from repro.obs.session import ObsSession
+from repro.obs.events import (
+    FaultInjectedEvent,
+    RecoveryCostEvent,
+    RingRebuiltEvent,
+    RouteRecomputedEvent,
+)
 from repro.dnn import build_network, compile_network, network_input_shape
 from repro.dnn.stats import NetworkStats
 from repro.gpu import GpuDevice, KernelCostModel, MemoryModel
@@ -39,6 +66,10 @@ from repro.sim.events import Event
 from repro.topology import Fabric, Router, build_dgx1v
 from repro.train.optimizers import get_optimizer
 from repro.train.results import TrainingResult
+
+
+def _fault_kind(label: str) -> str:
+    return label.split(":", 1)[0]
 
 
 class Trainer:
@@ -58,16 +89,22 @@ class Trainer:
         input_shape=None,
         gpu_speed_factors=None,
         obs: Optional[ObsSession] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         """``network``/``input_shape`` override the zoo lookup, letting a
         custom :class:`~repro.dnn.network.Network` train under any
         configuration (``config.network`` then serves only as a label).
         ``gpu_speed_factors`` maps GPU position -> kernel-duration
-        multiplier (>1 = slower) for straggler-injection studies.
-        ``obs`` attaches an :class:`~repro.obs.session.ObsSession`: the
-        profiler, devices, fabric, communicator and sim engine then emit
-        typed events onto its bus, feeding the metrics registry and (if
-        enabled) the JSONL recorder."""
+        multiplier (>1 = slower) for straggler-injection studies; each
+        value is either a scalar or a time-varying
+        :class:`~repro.faults.plan.SlowdownProfile` sampled at kernel
+        start times.  ``obs`` attaches an
+        :class:`~repro.obs.session.ObsSession`: the profiler, devices,
+        fabric, communicator and sim engine then emit typed events onto
+        its bus, feeding the metrics registry and (if enabled) the JSONL
+        recorder.  ``faults`` attaches a deterministic
+        :class:`~repro.faults.plan.FaultPlan`; ``None`` (or an empty
+        plan) takes the exact healthy code path."""
         self.config = config
         self.sim = sim
         self.constants = constants
@@ -77,6 +114,11 @@ class Trainer:
         self.topology_builder = topology_builder
         self.gpu_speed_factors = dict(gpu_speed_factors or {})
         self.obs = obs
+        self.faults = faults
+        if faults is not None and not isinstance(faults, FaultPlan):
+            raise FaultPlanError(
+                f"faults must be a FaultPlan, got {type(faults).__name__}"
+            )
         if network is not None:
             if input_shape is None:
                 raise ValueError("a custom network needs an explicit input_shape")
@@ -101,7 +143,9 @@ class Trainer:
 
         Raises :class:`~repro.core.errors.OutOfMemoryError` when the
         configuration cannot fit in GPU memory (as the paper hit for
-        Inception-v3/ResNet above batch 64).
+        Inception-v3/ResNet above batch 64), and
+        :class:`~repro.core.errors.WorkerCrashError` when the fault plan
+        crashes a worker under the ``FAIL_FAST`` policy.
         """
         if self.check_memory:
             self.memory_model.check_fits(
@@ -109,7 +153,33 @@ class Trainer:
                 self.config.batch_size,
                 is_server=self.config.num_gpus > 1,
             )
+        if self.faults is None or self.faults.empty:
+            return self._run_healthy()
+        return self._run_faulted(FaultInjector(self.faults))
 
+    # ------------------------------------------------------------------
+    # System assembly and steady-state measurement
+    # ------------------------------------------------------------------
+    def _base_topology(self):
+        if self.config.cluster_nodes > 1:
+            from repro.topology import build_dgx1v_cluster
+
+            return build_dgx1v_cluster(self.config.cluster_nodes)
+        return self.topology_builder()
+
+    def _build_system(
+        self,
+        topology=None,
+        gpu_indices: Optional[Sequence[int]] = None,
+        speed_overrides: Optional[Dict[int, float]] = None,
+        ecc_models: Optional[Dict[int, object]] = None,
+    ):
+        """Assemble env, profiler, fabric, router, devices and comm.
+
+        With no overrides this is the exact healthy construction sequence
+        (byte-identical outputs); the faulted path passes a degraded
+        topology, a survivor GPU set and per-segment speed/ECC models.
+        """
         env = Environment()
         profiler = Profiler(
             enabled=False,
@@ -119,18 +189,20 @@ class Trainer:
         if self.obs is not None:
             env.set_observer(self.obs.queue_observer(profiler),
                              every=self.obs.queue_sample_every)
-        if self.config.cluster_nodes > 1:
-            from repro.topology import build_dgx1v_cluster
-
-            topology = build_dgx1v_cluster(self.config.cluster_nodes)
-        else:
-            topology = self.topology_builder()
+        if topology is None:
+            topology = self._base_topology()
         fabric = Fabric(env, topology, self.constants, observer=profiler)
         router = Router(topology)
+        if gpu_indices is None:
+            gpu_indices = range(self.config.num_gpus)
+        speed_overrides = speed_overrides or {}
+        ecc_models = ecc_models or {}
         devices = [
             GpuDevice(env, topology.gpu(i), self.spec, profiler,
-                      speed_factor=self.gpu_speed_factors.get(i, 1.0))
-            for i in range(self.config.num_gpus)
+                      speed_factor=speed_overrides.get(
+                          i, self.gpu_speed_factors.get(i, 1.0)),
+                      ecc=ecc_models.get(i))
+            for i in gpu_indices
         ]
         comm = make_communicator(
             self.config.comm_method,
@@ -145,7 +217,12 @@ class Trainer:
             algorithm=self.config.nccl_algorithm,
             protocol=self.config.nccl_protocol,
         )
+        return env, profiler, fabric, router, devices, comm
 
+    def _measure(
+        self, env, profiler, fabric, router, devices, comm
+    ) -> List[float]:
+        """Warm up, then measure steady-state iterations at full fidelity."""
         input_ready: List[Optional[Event]] = [None] * len(devices)
         iteration_times: List[float] = []
         total_iterations = self.sim.warmup_iterations + self.sim.measure_iterations
@@ -163,7 +240,13 @@ class Trainer:
             env.run(until=done)
             if iteration >= self.sim.warmup_iterations:
                 iteration_times.append(env.now - start)
+        return iteration_times
 
+    def _run_healthy(self) -> TrainingResult:
+        env, profiler, fabric, router, devices, comm = self._build_system()
+        iteration_times = self._measure(
+            env, profiler, fabric, router, devices, comm
+        )
         mean_iteration = sum(iteration_times) / len(iteration_times)
         fixed = comm.epoch_fixed_overhead() + self.constants.run_startup_overhead
         epoch_time = self.config.iterations_per_epoch * mean_iteration + fixed
@@ -185,6 +268,231 @@ class Trainer:
             ),
             profiler=profiler if self.keep_profiler else None,
         )
+
+    # ------------------------------------------------------------------
+    # Faulted runs: segment-by-segment epoch assembly
+    # ------------------------------------------------------------------
+    def _run_faulted(self, injector: FaultInjector) -> TrainingResult:
+        cfg = self.config
+        plan = injector.plan
+        crash = injector.crash
+        if crash is not None and crash.gpu >= cfg.num_gpus:
+            raise FaultPlanError(
+                f"crash targets gpu{crash.gpu} but the run uses "
+                f"{cfg.num_gpus} GPU(s)"
+            )
+        policy = plan.policy
+        if (crash is not None and policy is ResiliencePolicy.SHRINK
+                and cfg.num_gpus == 1):
+            # Nothing to shrink to: a 1-GPU run cannot survive its only
+            # worker, so SHRINK degenerates to FAIL_FAST.
+            policy = ResiliencePolicy.FAIL_FAST
+        costs = plan.costs
+        bus = self.obs.bus if self.obs is not None else None
+        boundaries = list(injector.boundaries())
+        total_iters = cfg.iterations_per_epoch
+
+        participants = list(range(cfg.num_gpus))
+        now = 0.0                # epoch-timeline seconds
+        done_iters = 0           # epoch iterations completed
+        remaining = total_iters
+        segments: List[SegmentReport] = []
+        seg_profilers: List[Tuple[int, Profiler]] = []
+        iteration_times: List[float] = []
+        transition_cost = 0.0
+        recovery_cost = 0.0
+        crash_pending = crash is not None
+        crashed_gpu: Optional[int] = None
+        replayed = 0
+        fixed: Optional[float] = None
+        ring_reason: Optional[str] = None
+
+        if bus is not None:
+            for label in injector.active_labels(0.0):
+                bus.publish(FaultInjectedEvent(
+                    fault=label, kind=_fault_kind(label), at=0.0))
+
+        while remaining > 0:
+            base = self._base_topology()
+            topo = degraded_topology(base, injector, now)
+            link_sig = tuple(
+                label for label in injector.active_labels(now)
+                if label.startswith("link:")
+            )
+            speed = {
+                i: self._base_factor(i, now) * injector.gpu_factor(i, now)
+                for i in participants
+            }
+            ecc = {
+                i: m for i in participants
+                if (m := injector.ecc_model(i, now)) is not None
+            }
+            env, profiler, fabric, router, devices, comm = self._build_system(
+                topology=topo,
+                gpu_indices=participants,
+                speed_overrides=speed,
+                ecc_models=ecc,
+            )
+            plan_obj = getattr(comm, "plan", None)
+            if bus is not None and topo is not base:
+                bus.publish(RouteRecomputedEvent(
+                    reason=ring_reason or "link-fault",
+                    surviving_links=len(topo.links),
+                    failed_links=len(base.links) - len(topo.links),
+                    cost=costs.route_recompute,
+                    at=now,
+                ))
+            if bus is not None and ring_reason is not None:
+                bus.publish(RingRebuiltEvent(
+                    gpus=len(participants),
+                    uses_pcie=bool(plan_obj.uses_pcie) if plan_obj else False,
+                    bandwidth=plan_obj.aggregate_bandwidth if plan_obj else 0.0,
+                    cost=costs.ring_rebuild if plan_obj else 0.0,
+                    at=now,
+                ))
+            ring_reason = None
+
+            times = self._measure(env, profiler, fabric, router, devices, comm)
+            mean = sum(times) / len(times)
+            iteration_times.extend(times)
+            if fixed is None:
+                fixed = (comm.epoch_fixed_overhead()
+                         + self.constants.run_startup_overhead)
+
+            next_boundary = next((b for b in boundaries if b > now), None)
+            if next_boundary is None:
+                n = remaining
+            else:
+                n = min(remaining,
+                        max(1, math.ceil((next_boundary - now) / mean)))
+            crash_now = (
+                crash_pending
+                and done_iters < crash.at_iteration <= done_iters + n
+            )
+            if crash_now:
+                n = crash.at_iteration - done_iters
+
+            segments.append(SegmentReport(
+                index=len(segments),
+                start_time=now,
+                start_iteration=done_iters,
+                iterations=n,
+                mean_iteration=mean,
+                active=injector.active_labels(now),
+                ring_bandwidth=plan_obj.aggregate_bandwidth if plan_obj else 0.0,
+                ring_uses_pcie=bool(plan_obj.uses_pcie) if plan_obj else False,
+                gpus=len(participants),
+            ))
+            seg_profilers.append((n, profiler))
+
+            prev_now = now
+            now += n * mean
+            done_iters += n
+            remaining -= n
+
+            if crash_now:
+                crash_pending = False
+                crashed_gpu = crash.gpu
+                if bus is not None:
+                    bus.publish(FaultInjectedEvent(
+                        fault=crash.label(), kind="crash", at=now))
+                if policy is ResiliencePolicy.FAIL_FAST:
+                    raise WorkerCrashError(crash.gpu, crash.at_iteration)
+                cost, replay = crash_recovery_cost(crash, policy, costs)
+                recovery_cost += cost
+                replayed = replay
+                if policy is ResiliencePolicy.SHRINK:
+                    participants = [i for i in participants if i != crash.gpu]
+                    images_left = (cfg.total_images
+                                   - done_iters * cfg.global_batch_size)
+                    remaining = max(0, math.ceil(
+                        images_left / (cfg.batch_size * len(participants))
+                    )) if images_left > 0 else 0
+                else:  # CHECKPOINT_RESTART: replay lost work at full width
+                    remaining += replay
+                if bus is not None:
+                    bus.publish(RecoveryCostEvent(
+                        policy=policy.value,
+                        gpu=crash.gpu,
+                        iteration=crash.at_iteration,
+                        cost=cost,
+                        replayed_iterations=replay,
+                        at=now,
+                    ))
+                now += cost
+                ring_reason = "crash"
+            if remaining > 0 and not crash_now:
+                new_sig = tuple(
+                    label for label in injector.active_labels(now)
+                    if label.startswith("link:")
+                )
+                if new_sig != link_sig:
+                    # The routable topology changed: pay a route
+                    # recomputation and (ring-based comm only) an NCCL
+                    # communicator rebuild before the next segment.
+                    cost = costs.route_recompute
+                    if plan_obj is not None:
+                        cost += costs.ring_rebuild
+                        ring_reason = "link-fault"
+                    transition_cost += cost
+                    now += cost
+                if bus is not None:
+                    for label in injector.activated_between(prev_now, now):
+                        bus.publish(FaultInjectedEvent(
+                            fault=label, kind=_fault_kind(label), at=now))
+
+        checkpoint_cost = 0.0
+        if policy is ResiliencePolicy.CHECKPOINT_RESTART:
+            checkpoint_cost = checkpoint_write_cost(done_iters, costs)
+
+        sim_seconds = sum(s.span for s in segments)
+        overhead = transition_cost + recovery_cost + checkpoint_cost
+        epoch_time = sim_seconds + fixed + overhead
+        mean_iteration = sim_seconds / done_iters
+        # Stage/API/busy summaries come from the dominant segment (most
+        # epoch iterations; first on ties) -- the regime the epoch mostly
+        # ran in.
+        dominant = max(range(len(seg_profilers)),
+                       key=lambda i: seg_profilers[i][0])
+        dom_profiler = seg_profilers[dominant][1]
+        summary = FaultSummary(
+            policy=policy.value,
+            segments=tuple(segments),
+            transition_cost=transition_cost,
+            recovery_cost=recovery_cost,
+            checkpoint_cost=checkpoint_cost,
+            healthy_iteration=segments[0].mean_iteration,
+            crashed_gpu=crashed_gpu,
+            crash_iteration=crash.at_iteration if crashed_gpu is not None else None,
+            replayed_iterations=replayed,
+            survivors=len(participants),
+        )
+        monitor = MemoryMonitor(self.spec, self.constants, optimizer=self.optimizer)
+        return TrainingResult(
+            config=cfg,
+            iteration_time=mean_iteration,
+            iteration_times=tuple(iteration_times),
+            epoch_time=epoch_time,
+            fixed_overhead=fixed + overhead,
+            stages=summarize_stages(dom_profiler),
+            apis=summarize_apis(dom_profiler),
+            gpu_busy=gpu_busy_fractions(dom_profiler),
+            compute_utilization=self.cost_model.compute_utilization(
+                self.stats, cfg.batch_size
+            ),
+            memory=tuple(
+                monitor.sample(self.stats, cfg.batch_size, cfg.num_gpus)
+            ),
+            profiler=dom_profiler if self.keep_profiler else None,
+            faults=summary,
+        )
+
+    def _base_factor(self, gpu: int, now: float) -> float:
+        """The user-supplied straggler factor for ``gpu`` sampled at ``now``."""
+        base = self.gpu_speed_factors.get(gpu, 1.0)
+        if hasattr(base, "at"):
+            return base.at(now)
+        return float(base)
 
     # ------------------------------------------------------------------
     # One synchronous-SGD iteration

@@ -1,0 +1,349 @@
+"""Tests for repro.faults: plans, injection, recovery, determinism, goldens."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.config import CommMethodName, SimulationConfig, TrainingConfig
+from repro.core.constants import CALIBRATION
+from repro.core.errors import FaultPlanError, WorkerCrashError
+from repro.faults import (
+    CrashFault,
+    EccFault,
+    EccModel,
+    FaultInjector,
+    FaultPlan,
+    LinkFault,
+    RecoveryCosts,
+    ResiliencePolicy,
+    SlowdownProfile,
+    StragglerFault,
+    degraded_topology,
+)
+from repro.gpu.kernel import KernelSpec
+from repro.runner import SweepPoint, SweepRunner, SweepSpec, point_fingerprint
+from repro.topology import build_dgx1v
+from repro.topology.links import LinkType
+from repro.train import Trainer
+
+FAST = SimulationConfig(warmup_iterations=1, measure_iterations=2)
+CONFIG = TrainingConfig("lenet", 16, 4, comm_method=CommMethodName.NCCL)
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden" / "artifacts"
+
+
+def _nvlink(topology, a=0, b=1):
+    node_a, node_b = topology.gpu(a), topology.gpu(b)
+    return sorted(
+        link.name
+        for link in topology.links_of(node_a)
+        if link.link_type is LinkType.NVLINK and node_b in link.endpoints()
+    )[0]
+
+
+# ----------------------------------------------------------------------
+# Plan validation
+# ----------------------------------------------------------------------
+def test_link_fault_validation():
+    with pytest.raises(FaultPlanError):
+        LinkFault("l", bandwidth_scale=1.0)      # no-op scale
+    with pytest.raises(FaultPlanError):
+        LinkFault("l", at=5.0, until=5.0)        # empty window
+    with pytest.raises(FaultPlanError):
+        LinkFault("l", at=-1.0)
+
+
+def test_straggler_and_ecc_validation():
+    with pytest.raises(FaultPlanError):
+        StragglerFault(gpu=0, factor=0.0)
+    with pytest.raises(FaultPlanError):
+        StragglerFault(gpu=-1, factor=2.0)
+    with pytest.raises(FaultPlanError):
+        EccFault(gpu=0, retry_latency=0.0)
+
+
+def test_crash_validation():
+    with pytest.raises(FaultPlanError):
+        CrashFault(gpu=0, at_iteration=0)
+    with pytest.raises(FaultPlanError):
+        FaultPlan(crashes=(CrashFault(0, 1), CrashFault(1, 2)))
+
+
+def test_recovery_costs_validation():
+    with pytest.raises(FaultPlanError):
+        RecoveryCosts(ring_rebuild=-1.0)
+    with pytest.raises(FaultPlanError):
+        RecoveryCosts(checkpoint_interval=0)
+
+
+def test_slowdown_profile_validation_and_lookup():
+    with pytest.raises(FaultPlanError):
+        SlowdownProfile(steps=())
+    with pytest.raises(FaultPlanError):
+        SlowdownProfile(steps=((1.0, 2.0),))         # must start at 0
+    with pytest.raises(FaultPlanError):
+        SlowdownProfile(steps=((0.0, 1.0), (0.0, 2.0)))
+    with pytest.raises(FaultPlanError):
+        SlowdownProfile(steps=((0.0, -1.0),))
+    p = SlowdownProfile(steps=((0.0, 1.0), (2.0, 1.8), (4.0, 1.2)))
+    assert p.at(0.0) == 1.0
+    assert p.at(1.999) == 1.0
+    assert p.at(2.0) == 1.8
+    assert p.at(100.0) == 1.2
+    assert p.peak == 1.8
+    assert p.scaled(2.0).at(3.0) == pytest.approx(3.6)
+
+
+# ----------------------------------------------------------------------
+# Injector queries
+# ----------------------------------------------------------------------
+def test_injector_link_scale_overlap_and_windows():
+    plan = FaultPlan(link_faults=(
+        LinkFault("l", at=1.0, bandwidth_scale=0.5, until=10.0),
+        LinkFault("l", at=5.0, bandwidth_scale=0.25, until=8.0),
+    ))
+    inj = FaultInjector(plan)
+    assert inj.link_scale("l", 0.5) == 1.0
+    assert inj.link_scale("l", 1.0) == 0.5        # half-open: at <= t
+    assert inj.link_scale("l", 6.0) == 0.25       # min of active faults
+    assert inj.link_scale("l", 9.0) == 0.5
+    assert inj.link_scale("l", 10.0) == 1.0       # half-open: t < until
+    assert inj.boundaries() == (1.0, 5.0, 8.0, 10.0)
+
+
+def test_injector_gpu_factor_is_multiplicative():
+    plan = FaultPlan(stragglers=(
+        StragglerFault(gpu=0, factor=1.5, at=0.0),
+        StragglerFault(gpu=0, factor=2.0, at=2.0),
+    ))
+    inj = FaultInjector(plan)
+    assert inj.gpu_factor(0, 1.0) == pytest.approx(1.5)
+    assert inj.gpu_factor(0, 3.0) == pytest.approx(3.0)
+    assert inj.gpu_factor(1, 3.0) == 1.0
+
+
+def test_injector_ecc_model_taxes_memory_bound_kernels():
+    plan = FaultPlan(ecc_faults=(EccFault(gpu=0, retry_latency=1e-5, at=2.0),))
+    inj = FaultInjector(plan)
+    assert inj.ecc_model(0, 0.0) is None          # not active yet
+    model = inj.ecc_model(0, 3.0)
+    assert isinstance(model, EccModel)
+    wu = KernelSpec("wu", "l", "wu", duration=1e-3, flops=100, bytes_moved=100)
+    conv = KernelSpec("conv", "l", "fp", duration=1e-3, flops=10000,
+                      bytes_moved=100)
+    assert model.delay(wu) == pytest.approx(1e-5)  # intensity 1 < ridge
+    assert model.delay(conv) == 0.0                # compute-bound
+
+
+# ----------------------------------------------------------------------
+# Degraded topology view
+# ----------------------------------------------------------------------
+def test_degraded_topology_identity_when_inactive():
+    topology = build_dgx1v()
+    inj = FaultInjector(FaultPlan.single_link(_nvlink(topology), at=5.0))
+    assert degraded_topology(topology, inj, 0.0) is topology
+
+
+def test_degraded_topology_drops_failed_nvlink():
+    topology = build_dgx1v()
+    name = _nvlink(topology)
+    inj = FaultInjector(FaultPlan.single_link(name, at=5.0))
+    degraded = degraded_topology(topology, inj, 5.0)
+    assert degraded is not topology
+    assert any(l.name == name for l in topology.links)
+    assert not any(l.name == name for l in degraded.links)
+
+
+def test_degraded_topology_scales_bandwidth():
+    topology = build_dgx1v()
+    name = _nvlink(topology)
+    inj = FaultInjector(FaultPlan.single_link(name, bandwidth_scale=0.5))
+    degraded = degraded_topology(topology, inj, 0.0)
+    before = next(l for l in topology.links if l.name == name)
+    after = next(l for l in degraded.links if l.name == name)
+    assert after.peak_bandwidth() == pytest.approx(before.peak_bandwidth() * 0.5)
+
+
+# ----------------------------------------------------------------------
+# Trainer integration
+# ----------------------------------------------------------------------
+def test_empty_plan_identical_to_no_faults():
+    from repro.analysis.serialization import result_to_dict
+
+    base = Trainer(CONFIG, sim=FAST).run()
+    empty = Trainer(CONFIG, sim=FAST, faults=FaultPlan()).run()
+    assert result_to_dict(empty) == result_to_dict(base)
+    assert empty.faults is None
+
+
+def test_faults_kwarg_type_checked():
+    with pytest.raises(FaultPlanError):
+        Trainer(CONFIG, sim=FAST, faults="link down please")
+
+
+def test_crash_gpu_must_participate():
+    plan = FaultPlan(crashes=(CrashFault(gpu=7, at_iteration=10),),
+                     policy=ResiliencePolicy.SHRINK)
+    with pytest.raises(FaultPlanError):
+        Trainer(CONFIG, sim=FAST, faults=plan).run()
+
+
+def test_full_time_straggler_matches_scalar_knob():
+    plan = FaultPlan(stragglers=(StragglerFault(gpu=2, factor=2.0, at=0.0),))
+    knob = Trainer(CONFIG, sim=FAST, gpu_speed_factors={2: 2.0}).run()
+    fault = Trainer(CONFIG, sim=FAST, faults=plan).run()
+    assert fault.epoch_time == pytest.approx(knob.epoch_time, rel=1e-9)
+    assert len(fault.faults.segments) == 1
+
+
+def test_mid_epoch_link_failure_pays_transition():
+    topology = build_dgx1v()
+    plan = FaultPlan.single_link(_nvlink(topology), at=2.0)
+    base = Trainer(CONFIG, sim=FAST).run()
+    result = Trainer(CONFIG, sim=FAST, faults=plan).run()
+    summary = result.faults
+    assert len(summary.segments) == 2
+    costs = plan.costs
+    assert summary.transition_cost == pytest.approx(
+        costs.route_recompute + costs.ring_rebuild
+    )
+    assert result.epoch_time >= base.epoch_time
+
+
+def test_gpu_isolation_falls_back_to_pcie():
+    topology = build_dgx1v()
+    plan = FaultPlan.isolate_gpu(topology, 0)
+    base = Trainer(CONFIG, sim=FAST).run()
+    result = Trainer(CONFIG, sim=FAST, faults=plan).run()
+    seg = result.faults.segments[-1]
+    assert seg.ring_uses_pcie
+    assert base.faults is None
+    assert result.epoch_time > base.epoch_time
+
+
+def test_crash_fail_fast_raises():
+    plan = FaultPlan(crashes=(CrashFault(gpu=1, at_iteration=10),),
+                     policy=ResiliencePolicy.FAIL_FAST)
+    with pytest.raises(WorkerCrashError, match="gpu1"):
+        Trainer(CONFIG, sim=FAST, faults=plan).run()
+
+
+def test_crash_shrink_finishes_on_survivors():
+    plan = FaultPlan(crashes=(CrashFault(gpu=3, at_iteration=100),),
+                     policy=ResiliencePolicy.SHRINK)
+    result = Trainer(CONFIG, sim=FAST, faults=plan).run()
+    summary = result.faults
+    assert summary.crashed_gpu == 3
+    assert summary.crash_iteration == 100
+    assert summary.survivors == 3
+    assert summary.segments[-1].gpus == 3
+    costs = plan.costs
+    assert summary.recovery_cost == pytest.approx(
+        costs.shrink_drain + costs.ring_rebuild
+    )
+    assert summary.checkpoint_cost == 0.0
+
+
+def test_crash_checkpoint_restart_replays_and_charges_checkpoints():
+    plan = FaultPlan(crashes=(CrashFault(gpu=3, at_iteration=300),),
+                     policy=ResiliencePolicy.CHECKPOINT_RESTART)
+    result = Trainer(CONFIG, sim=FAST, faults=plan).run()
+    summary = result.faults
+    costs = plan.costs
+    assert summary.replayed_iterations == 300 % costs.checkpoint_interval
+    assert summary.recovery_cost == pytest.approx(
+        costs.restart_overhead + costs.ring_rebuild
+    )
+    # the policy pays a periodic checkpoint write for the whole epoch
+    from repro.faults import checkpoint_write_cost
+
+    done = CONFIG.iterations_per_epoch + summary.replayed_iterations
+    assert summary.checkpoint_cost == pytest.approx(
+        checkpoint_write_cost(done, costs)
+    )
+    assert summary.checkpoint_cost > 0
+    assert summary.survivors == 4                  # full width after restart
+
+
+def test_faulted_result_serialization_round_trip():
+    from repro.analysis.serialization import result_from_dict, result_to_dict
+
+    plan = FaultPlan(
+        link_faults=(LinkFault(_nvlink(build_dgx1v()), at=2.0),),
+        crashes=(CrashFault(gpu=3, at_iteration=100),),
+        policy=ResiliencePolicy.SHRINK,
+    )
+    result = Trainer(CONFIG, sim=FAST, faults=plan).run()
+    back = result_from_dict(json.loads(json.dumps(result_to_dict(result))))
+    assert back.epoch_time == result.epoch_time
+    assert back.faults == result.faults
+
+
+# ----------------------------------------------------------------------
+# Determinism properties
+# ----------------------------------------------------------------------
+def test_random_plans_are_seed_deterministic():
+    for seed in range(30):
+        assert FaultPlan.random(seed) == FaultPlan.random(seed)
+    assert any(not FaultPlan.random(s).empty for s in range(10))
+    assert FaultPlan.random(1) != FaultPlan.random(2)
+
+
+def test_fault_plans_fingerprint_into_the_cache():
+    plan = FaultPlan.random(7)
+    a = SweepPoint.make(CONFIG, overrides={"faults": plan})
+    b = SweepPoint.make(CONFIG, overrides={"faults": FaultPlan.random(8)})
+    key = point_fingerprint(a, FAST, CALIBRATION)
+    assert key is not None
+    assert key == point_fingerprint(a, FAST, CALIBRATION)
+    assert key != point_fingerprint(b, FAST, CALIBRATION)
+
+
+def test_identical_seeds_give_identical_epoch_times():
+    # seed 7 mixes a mid-epoch link failure, a straggler, and a SHRINK crash
+    a = Trainer(CONFIG, sim=FAST, faults=FaultPlan.random(7, num_gpus=4)).run()
+    b = Trainer(CONFIG, sim=FAST, faults=FaultPlan.random(7, num_gpus=4)).run()
+    assert not a.faults.segments == ()
+    assert a.epoch_time == b.epoch_time
+    assert a.faults == b.faults
+
+
+def test_same_plan_identical_across_runs_and_job_counts():
+    from repro.analysis.serialization import result_to_dict
+
+    topology = build_dgx1v()
+    points = [
+        SweepPoint.make(CONFIG, overrides={"faults": FaultPlan(
+            stragglers=(StragglerFault(gpu=1, factor=1.7, at=1.0),),
+        )}),
+        SweepPoint.make(CONFIG, overrides={"faults": FaultPlan.single_link(
+            _nvlink(topology), bandwidth_scale=0.5, at=1.0,
+        )}),
+        SweepPoint.make(CONFIG, overrides={
+            "faults": FaultPlan.random(7, num_gpus=4),
+        }),
+    ]
+    spec = SweepSpec.explicit("det", points)
+    serial_a = SweepRunner(sim=FAST).run(spec)
+    serial_b = SweepRunner(sim=FAST).run(spec)
+    pooled = SweepRunner(sim=FAST, jobs=2).run(spec)
+    for a, b, c in zip(serial_a, serial_b, pooled):
+        assert result_to_dict(a.result) == result_to_dict(b.result)
+        assert result_to_dict(a.result) == result_to_dict(c.result)
+
+
+# ----------------------------------------------------------------------
+# Golden byte-identity: the paper's artifacts with faults disabled
+# ----------------------------------------------------------------------
+def test_paper_artifacts_byte_identical_without_faults(tmp_path):
+    """The no-faults default must not perturb any calibrated artifact."""
+    from repro.experiments import cli
+
+    names = ("fig3", "fig4", "fig5", "table2", "table3", "table4")
+    rc = cli.main([*names, "--fast", "--no-cache", "-o", str(tmp_path)])
+    assert rc == 0
+    for name in names:
+        produced = (tmp_path / f"{name}.txt").read_bytes()
+        golden = (GOLDEN_DIR / f"{name}.txt").read_bytes()
+        assert produced == golden, f"{name} diverged from golden artifact"

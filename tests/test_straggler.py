@@ -1,8 +1,14 @@
-"""Tests for straggler injection (per-GPU speed factors)."""
+"""Tests for straggler injection (per-GPU speed factors).
+
+The knob accepts both forms: a plain positive float (the original scalar
+multiplier) and a :class:`repro.faults.SlowdownProfile` (a time-varying
+piecewise-constant multiplier), backward-compatibly.
+"""
 
 import pytest
 
 from repro import CommMethodName, SimulationConfig, TrainingConfig
+from repro.faults import SlowdownProfile
 from repro.gpu import GpuDevice
 from repro.sim import Environment
 from repro.topology.nodes import GpuNode
@@ -68,3 +74,40 @@ def test_faster_gpu_does_not_help_sync():
     base = Trainer(CONFIG, sim=FAST).run()
     boosted = Trainer(CONFIG, sim=FAST, gpu_speed_factors={2: 0.5}).run()
     assert boosted.epoch_time == pytest.approx(base.epoch_time, rel=0.1)
+
+
+# ----------------------------------------------------------------------
+# Time-varying slowdown profiles (the generalized knob)
+# ----------------------------------------------------------------------
+def test_device_accepts_slowdown_profile():
+    from repro.gpu.kernel import KernelSpec
+
+    profile = SlowdownProfile(steps=((0.0, 1.0), (2.0, 3.0)))
+    env = Environment()
+    gpu = GpuDevice(env, GpuNode.named(0), speed_factor=profile)
+    kernel = KernelSpec("k", "l", "fp", duration=1.0, flops=0, bytes_moved=0)
+
+    def work():
+        yield from gpu.run_kernel(kernel)     # starts at 0.0 -> 1x
+        yield from gpu.run_kernel(kernel)     # starts at 1.0 -> 1x
+        yield from gpu.run_kernel(kernel)     # starts at 2.0 -> 3x
+
+    env.process(work())
+    env.run()
+    assert env.now == pytest.approx(5.0)
+
+
+def test_constant_profile_equals_scalar_knob():
+    profile = SlowdownProfile(steps=((0.0, 2.0),))
+    scalar = Trainer(CONFIG, sim=FAST, gpu_speed_factors={2: 2.0}).run()
+    profiled = Trainer(CONFIG, sim=FAST, gpu_speed_factors={2: profile}).run()
+    assert profiled.epoch_time == scalar.epoch_time
+
+
+def test_time_varying_straggler_bounded_by_extremes():
+    """A GPU that degrades mid-run lands between always-fast and always-slow."""
+    profile = SlowdownProfile(steps=((0.0, 1.0), (0.05, 2.0)))
+    base = Trainer(CONFIG, sim=FAST).run()
+    slow = Trainer(CONFIG, sim=FAST, gpu_speed_factors={2: 2.0}).run()
+    varying = Trainer(CONFIG, sim=FAST, gpu_speed_factors={2: profile}).run()
+    assert base.epoch_time < varying.epoch_time <= slow.epoch_time
