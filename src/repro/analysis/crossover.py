@@ -102,7 +102,7 @@ class CrossoverStudy:
                     SweepPoint.make(
                         TrainingConfig(
                             network.name, self.batch_size, self.num_gpus,
-                            comm_method=method,
+                            comm_method=method, custom_network=True,
                         ),
                         overrides={
                             "network": network,

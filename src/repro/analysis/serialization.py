@@ -17,12 +17,17 @@ Schema history
 * 2 -- full :class:`TrainingConfig` coverage and ``AsyncResult`` support.
 * 3 -- optional ``faults`` block (the
   :class:`~repro.faults.recovery.FaultSummary` of a fault-injected run).
+* 4 -- ``violations`` list (invariant-violation records from
+  :mod:`repro.checks`) and full config coverage (``custom_network``,
+  ``nccl_algorithm``, ``nccl_protocol`` -- the tuning fields were
+  previously dropped on round-trip).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.checks.engine import Violation
 from repro.core.config import CommMethodName, ScalingMode, TrainingConfig
 from repro.faults.recovery import FaultSummary, SegmentReport
 from repro.gpu.memory import MemoryUsage
@@ -33,7 +38,7 @@ from repro.train.results import TrainingResult
 
 #: Schema version stamped into every exported dict (and hashed into every
 #: persistent-cache key).
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 
 class SchemaMismatchError(ValueError):
@@ -65,6 +70,9 @@ def _config_to_dict(c: TrainingConfig) -> Dict[str, Any]:
         "cluster_nodes": c.cluster_nodes,
         "fp16_gradients": c.fp16_gradients,
         "optimizer": c.optimizer,
+        "nccl_algorithm": c.nccl_algorithm,
+        "nccl_protocol": c.nccl_protocol,
+        "custom_network": c.custom_network,
     }
 
 
@@ -80,6 +88,33 @@ def _config_from_dict(c: Dict[str, Any]) -> TrainingConfig:
         cluster_nodes=c["cluster_nodes"],
         fp16_gradients=c["fp16_gradients"],
         optimizer=c["optimizer"],
+        nccl_algorithm=c["nccl_algorithm"],
+        nccl_protocol=c["nccl_protocol"],
+        custom_network=c["custom_network"],
+    )
+
+
+def _violations_to_list(violations: Tuple[Violation, ...]) -> List[Dict[str, Any]]:
+    return [
+        {
+            "invariant": v.invariant,
+            "checkpoint": v.checkpoint,
+            "message": v.message,
+            "at": v.at,
+        }
+        for v in violations
+    ]
+
+
+def _violations_from_list(data: List[Dict[str, Any]]) -> Tuple[Violation, ...]:
+    return tuple(
+        Violation(
+            invariant=v["invariant"],
+            checkpoint=v["checkpoint"],
+            message=v["message"],
+            at=v["at"],
+        )
+        for v in data
     )
 
 
@@ -175,6 +210,7 @@ def result_to_dict(result: TrainingResult) -> Dict[str, Any]:
             for m in result.memory
         ],
         "faults": _faults_to_dict(result.faults),
+        "violations": _violations_to_list(result.violations),
     }
 
 
@@ -221,6 +257,7 @@ def result_from_dict(data: Dict[str, Any]) -> TrainingResult:
         memory=memory,
         profiler=None,
         faults=_faults_from_dict(data.get("faults")),
+        violations=_violations_from_list(data.get("violations", [])),
     )
 
 

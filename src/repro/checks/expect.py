@@ -1,0 +1,66 @@
+"""Closed-form expected wire traffic per training iteration.
+
+:func:`expected_sync_bytes` reproduces, independently of the simulated
+data path, the exact number of bytes each communication method records as
+``p2p``/``nccl`` transfers when synchronizing one iteration's gradients.
+The trainer feeds the result to the ``conservation.gradient-traffic``
+checker, which compares it against the profiler's measured transfer
+records — a full end-to-end conservation audit of the gradient exchange.
+
+The per-method formulas (``b = max(1, floor(nbytes x scale))`` per array):
+
+``p2p`` (MXNet ``device`` KVStore)
+    Small arrays ride the binomial reduction tree + broadcast:
+    ``2(N-1) x b``.  Arrays at or above the BIGARRAY bound are sharded:
+    each of the N owners receives N-1 and sends N-1 shards of
+    ``ceil(b / N)`` bytes, so ``2 x N x (N-1) x ceil(b / N)``.
+``nccl``
+    KVStore semantics: one reduce plus one broadcast, each recording the
+    full payload once: ``2 x b``.
+``nccl-allreduce``
+    One fused AllReduce record: ``b``.
+``local``
+    Host staging records only ``d2h``/``h2d`` transfers, which prefetching
+    can slide across the measurement boundary: ``0`` p2p/nccl bytes.
+
+A single GPU never records sync transfers, so every method expects 0.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.dnn.stats import WeightArray
+
+
+def expected_sync_bytes(
+    comm_name: str,
+    arrays: Iterable[WeightArray],
+    num_gpus: int,
+    gradient_bytes_scale: float = 1.0,
+) -> Optional[int]:
+    """Exact ``p2p``+``nccl`` bytes one iteration's gradient sync records.
+
+    Returns ``None`` (checker skips) for an unrecognized communicator name
+    — e.g. a user-supplied custom communicator with unknown semantics.
+    """
+    if comm_name not in ("p2p", "nccl", "nccl-allreduce", "local"):
+        return None
+    if num_gpus <= 1 or comm_name == "local":
+        return 0
+    from repro.comm.p2p import BIGARRAY_BOUND_ELEMENTS
+
+    total = 0
+    for array in arrays:
+        b = max(1, int(array.nbytes * gradient_bytes_scale))
+        if comm_name == "p2p":
+            if array.numel >= BIGARRAY_BOUND_ELEMENTS:
+                shard = -(-b // num_gpus)
+                total += 2 * num_gpus * (num_gpus - 1) * shard
+            else:
+                total += 2 * (num_gpus - 1) * b
+        elif comm_name == "nccl":
+            total += 2 * b
+        else:  # nccl-allreduce
+            total += b
+    return total

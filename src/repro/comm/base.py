@@ -38,10 +38,13 @@ class Communicator(abc.ABC):
         profiler: Optional[object] = None,
         gradient_bytes_scale: float = 1.0,
         optimizer: OptimizerSpec = SGD_MOMENTUM,
+        checks: Optional[object] = None,
     ) -> None:
         """``gradient_bytes_scale`` shrinks the bytes moved per array
         (0.5 models fp16 gradient communication); update kernels stay at
-        full precision."""
+        full precision.  ``checks`` is an optional
+        :class:`~repro.checks.CheckEngine`; implementations fire their
+        structural/conservation checkpoints through :meth:`_check`."""
         if not devices:
             raise ValueError("communicator needs at least one device")
         if gradient_bytes_scale <= 0 or gradient_bytes_scale > 1:
@@ -54,6 +57,7 @@ class Communicator(abc.ABC):
         self.profiler = profiler
         self.gradient_bytes_scale = gradient_bytes_scale
         self.optimizer = optimizer
+        self.checks = checks
 
     @property
     def num_gpus(self) -> int:
@@ -131,6 +135,18 @@ class Communicator(abc.ABC):
                          start: float, end: float) -> None:
         if self.profiler is not None:
             self.profiler.record_transfer(kind, src, dst, nbytes, start, end)
+
+    @property
+    def checks_active(self) -> bool:
+        """True when an enabled check engine is attached — callers gate
+        checkpoint-payload construction on this to keep the disabled path
+        free."""
+        return self.checks is not None and self.checks.enabled
+
+    def _check(self, point: str, **payload) -> None:
+        """Fire one invariant checkpoint (no-op without an active engine)."""
+        if self.checks is not None and self.checks.enabled:
+            self.checks.check(point, **payload)
 
     def _publish(self, event) -> None:
         """Emit a typed observability event through the profiler's bus.

@@ -91,6 +91,7 @@ class NcclAllReduceCommunicator(NcclCommunicator):
         c = self.constants
         wire_bytes = self._comm_bytes(array)
         duration = self.allreduce_duration(wire_bytes)
+        self._check_collective("allreduce", wire_bytes, duration)
         queued = self.env.now
         req = self._stream.request()
         yield req

@@ -26,7 +26,12 @@ from __future__ import annotations
 from typing import Generator, List, Optional, Tuple
 
 from repro.comm.base import Communicator
-from repro.comm.nccl.protocol import NcclAlgorithm, tree_hop_bytes
+from repro.comm.nccl.protocol import (
+    NcclAlgorithm,
+    ring_wire_total,
+    tree_hop_bytes,
+    tree_wire_total,
+)
 from repro.comm.nccl.rings import RingPlan, build_ring_plan
 from repro.comm.nccl.tuning import NcclTuner, TuningChoice
 from repro.dnn.stats import WeightArray
@@ -80,6 +85,60 @@ class NcclCommunicator(Communicator):
                 ring=self.plan, tree=self.tree, constants=self.constants,
                 algorithm=algorithm, protocol=protocol,
             )
+        self._check_plans()
+
+    def _check_plans(self) -> None:
+        """Fire the structural checkpoints over the ring (and tree) plans.
+
+        Runs at construction and therefore again after every fault-driven
+        re-ring, so a rebuilt communicator re-proves its spanning
+        structure."""
+        if not self.checks_active:
+            return
+        participants = tuple(d.index for d in self.devices)
+        self._check(
+            "comm.ring",
+            order=tuple(self.plan.order),
+            participants=participants,
+            hops=list(self._ring_hops),
+            uses_pcie=self.plan.uses_pcie,
+        )
+        if self.tree is not None:
+            self._check(
+                "comm.tree",
+                root=self.tree.root,
+                parent=tuple(self.tree.parent),
+                participants=participants,
+                depth=self.tree.depth,
+            )
+
+    @property
+    def _bound_bandwidth(self) -> float:
+        """Best aggregate bandwidth any algorithm could use (capacity bound)."""
+        bound = self.plan.aggregate_bandwidth
+        if self.tree is not None:
+            bound = max(bound, self.tree.channels * self.tree.channel_bandwidth)
+        return bound
+
+    def _check_collective(self, kind: str, wire_bytes: int, duration: float) -> None:
+        """Fire the ``comm.collective`` conservation/capacity checkpoint."""
+        if not self.checks_active:
+            return
+        choice = self._choose(kind, wire_bytes)
+        if choice is not None and choice.algorithm is NcclAlgorithm.TREE:
+            schedule_total = tree_wire_total(kind, wire_bytes, len(self._tree_edges))
+        else:
+            schedule_total = ring_wire_total(kind, wire_bytes, self.plan.size)
+        self._check(
+            "comm.collective",
+            kind=kind,
+            nbytes=wire_bytes,
+            size=self.plan.size,
+            duration=duration,
+            bound_bandwidth=self._bound_bandwidth,
+            schedule_total=schedule_total,
+            now=self.env.now,
+        )
 
     def _build_ring_hops(self) -> List[RingHop]:
         """The directed (src -> dst) hops around the ring, with the
@@ -291,6 +350,7 @@ class NcclCommunicator(Communicator):
             if kind == "reduce"
             else self.broadcast_duration(wire_bytes)
         )
+        self._check_collective(kind, wire_bytes, duration)
         queued = self.env.now
         req = self._stream.request()
         yield req

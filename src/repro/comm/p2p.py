@@ -90,6 +90,7 @@ class P2PCommunicator(Communicator):
         for stage in self._reduce_stages:
             for src, dst in stage:
                 self._children[self._gpu_at(dst)].append(self._gpu_at(src))
+        self._check("comm.p2p.plan", stages=self._reduce_stages, num_gpus=n)
 
     def _gpu_at(self, position: int) -> int:
         """Device index of the GPU at tree position ``position``."""

@@ -11,10 +11,12 @@ from repro.core.config import CommMethodName, ScalingMode, SimulationConfig, Tra
 from repro.core.constants import CALIBRATION, CalibrationConstants
 from repro.core.errors import (
     ConfigurationError,
+    InvariantViolationError,
     OutOfMemoryError,
     ReproError,
     RoutingError,
     SimulationError,
+    SweepInterrupted,
 )
 from repro.core.units import (
     GB,
@@ -38,6 +40,7 @@ __all__ = [
     "ConfigurationError",
     "GB",
     "GIB",
+    "InvariantViolationError",
     "KB",
     "KIB",
     "MB",
@@ -49,6 +52,7 @@ __all__ = [
     "Seconds",
     "SimulationConfig",
     "SimulationError",
+    "SweepInterrupted",
     "TrainingConfig",
     "format_bytes",
     "format_seconds",

@@ -106,6 +106,9 @@ class TrainingConfig:
     #: NCCL wire protocol: "compat" (default), "auto", "simple", "ll" or
     #: "ll128".  "compat" must pair with ``nccl_algorithm="compat"``.
     nccl_protocol: str = "compat"
+    #: Skip the model-zoo name check (for tests that monkeypatch the zoo
+    #: or supply hand-built networks outside :mod:`repro.dnn.zoo`).
+    custom_network: bool = False
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -116,9 +119,24 @@ class TrainingConfig:
             raise ConfigurationError("cluster_nodes must be positive")
         if self.num_gpus > 8 * self.cluster_nodes:
             raise ConfigurationError(
+                f"num_gpus={self.num_gpus} does not fit the modeled topology: "
                 f"{self.cluster_nodes} DGX-1 node(s) hold at most "
-                f"{8 * self.cluster_nodes} GPUs"
+                f"{8 * self.cluster_nodes} GPUs (raise cluster_nodes to "
+                "simulate a larger InfiniBand cluster)"
             )
+        if not self.custom_network:
+            # Imported lazily: the zoo sits above core in the layer order.
+            from repro.dnn.zoo import available_networks
+
+            if self.network not in available_networks():
+                raise ConfigurationError(
+                    f"unknown network {self.network!r}; available: "
+                    f"{sorted(available_networks())} (pass custom_network=True "
+                    "to bypass the zoo lookup)"
+                )
+        from repro.train.optimizers import get_optimizer
+
+        get_optimizer(self.optimizer)  # raises ConfigurationError if unknown
         if self.cluster_nodes > 1 and self.comm_method not in (
             CommMethodName.NCCL, CommMethodName.NCCL_ALLREDUCE,
         ):

@@ -58,6 +58,40 @@ class WorkerCrashError(ReproError, RuntimeError):
         )
 
 
+class InvariantViolationError(ReproError, AssertionError):
+    """A physical invariant was violated while checks ran in strict mode.
+
+    Raised by :class:`repro.checks.CheckEngine` when a registered checker
+    (conservation, capacity, temporal, or structural) rejects a checkpoint
+    payload and the engine's enforcement mode is ``strict``.  In ``warn``
+    mode the same violation is logged and published to the observability
+    bus instead of raising.
+    """
+
+    def __init__(self, invariant: str, checkpoint: str, message: str) -> None:
+        self.invariant = invariant
+        self.checkpoint = checkpoint
+        self.message = message
+        super().__init__(f"invariant {invariant} violated at {checkpoint}: {message}")
+
+
+class SweepInterrupted(ReproError, RuntimeError):
+    """A sweep was interrupted (SIGINT/SIGTERM) before all points finished.
+
+    Completed points were already flushed to the :class:`ResultStore`; the
+    CLI converts this into exit code 130 (the conventional SIGINT status).
+    """
+
+    def __init__(self, sweep: str, completed: int, total: int) -> None:
+        self.sweep = sweep
+        self.completed = completed
+        self.total = total
+        super().__init__(
+            f"sweep {sweep!r} interrupted after {completed}/{total} point(s); "
+            "completed results were flushed to the cache"
+        )
+
+
 class SweepPointError(ReproError, RuntimeError):
     """A sweep point exhausted its retries (or timed out) and was abandoned."""
 

@@ -27,6 +27,12 @@ formats::
     repro-experiments obs --network resnet --gpus 4 --comm nccl \\
         --formats prometheus,jsonl,chrome,csv -o results/obs
     repro-experiments trace --network alexnet --print-gpu-summary
+
+The ``selfcheck`` subcommand re-runs the paper's headline sweeps under
+strict physical-invariant verification (:mod:`repro.checks`) and prints
+a per-invariant pass/violation report::
+
+    repro-experiments selfcheck --fast
 """
 
 from __future__ import annotations
@@ -242,6 +248,10 @@ def main(argv: Optional[list] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] in ("obs", "trace"):
         return obs_main(list(argv[1:]))
+    if argv and argv[0] == "selfcheck":
+        from repro.experiments import selfcheck
+
+        return selfcheck.main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures from simulation "
@@ -253,7 +263,8 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument(
         "experiments", nargs="+",
         help=f"any of {', '.join(EXPERIMENTS)}, or 'all' "
-             "(or: obs/trace [--help] for the observability exporter)",
+             "(or: obs/trace [--help] for the observability exporter, "
+             "selfcheck [--help] for strict invariant verification)",
     )
     parser.add_argument("--fast", action="store_true",
                         help="reduced sweep (batch 16, 1 and 4 GPUs)")
@@ -270,22 +281,31 @@ def main(argv: Optional[list] = None) -> int:
                         help="neither read nor write the persistent cache")
     parser.add_argument("--progress", action="store_true",
                         help="print per-simulation progress to stderr")
+    parser.add_argument("--invariants", choices=("off", "warn", "strict"),
+                        default="off", metavar="MODE",
+                        help="physical-invariant verification for executed "
+                             "simulations: off (default), warn (record and "
+                             "report violations) or strict (a violation "
+                             "fails the point)")
+    parser.add_argument("--strict-invariants", action="store_true",
+                        help="shorthand for --invariants strict")
     parser.add_argument("--debug", action="store_true",
                         help="show the full traceback on simulation errors "
                              "instead of a one-line message")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    invariants = "strict" if args.strict_invariants else args.invariants
 
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     for name in names:
         if name not in EXPERIMENTS:
             parser.error(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")
 
-    from repro.core.errors import ReproError
+    from repro.core.errors import ReproError, SweepInterrupted
 
     cache = _build_runner(args.jobs, args.cache_dir, args.no_cache,
-                          args.progress)
+                          args.progress, invariants)
     try:
         for name in names:
             start = time.time()
@@ -298,17 +318,28 @@ def main(argv: Optional[list] = None) -> int:
             if args.output_dir is not None:
                 args.output_dir.mkdir(parents=True, exist_ok=True)
                 (args.output_dir / f"{name}.txt").write_text(text)
+    except (SweepInterrupted, KeyboardInterrupt) as exc:
+        # The runner already flushed completed points and reported the
+        # partial tally; use the conventional SIGINT exit status.
+        if isinstance(exc, SweepInterrupted):
+            print(f"interrupted: {exc}", file=sys.stderr)
+        return 130
     except ReproError as exc:
         if args.debug:
             raise
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(f"total: {cache.stats.describe()}", file=sys.stderr)
+    if invariants != "off":
+        violated = sum(v[1] for v in cache.check_stats.values())
+        checked = sum(v[0] for v in cache.check_stats.values())
+        print(f"invariants ({invariants}): {checked} checks, "
+              f"{violated} violation(s)", file=sys.stderr)
     return 0
 
 
 def _build_runner(jobs: int, cache_dir: pathlib.Path, no_cache: bool,
-                  progress: bool) -> SweepRunner:
+                  progress: bool, invariants: str = "off") -> SweepRunner:
     """One shared runner for every requested experiment."""
     store = None if no_cache else ResultStore(cache_dir)
     bus = None
@@ -319,7 +350,7 @@ def _build_runner(jobs: int, cache_dir: pathlib.Path, no_cache: bool,
         bus = EventBus()
         bus.subscribe(SweepPointDone, _print_progress)
         bus.subscribe(SweepPointOom, _print_progress)
-    return SweepRunner(jobs=jobs, store=store, bus=bus)
+    return SweepRunner(jobs=jobs, store=store, bus=bus, invariants=invariants)
 
 
 def _print_progress(event) -> None:

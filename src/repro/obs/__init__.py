@@ -26,6 +26,7 @@ from repro.obs.events import (
     ApiEvent,
     CollectiveChunkEvent,
     EngineWaitEvent,
+    InvariantViolationEvent,
     KernelEvent,
     LinkBusyEvent,
     LinkWaitEvent,
@@ -55,6 +56,7 @@ __all__ = [
     "EventBus",
     "Gauge",
     "Histogram",
+    "InvariantViolationEvent",
     "JsonlRecorder",
     "KernelEvent",
     "LinkBusyEvent",

@@ -36,6 +36,7 @@ ring_rebuilds_total                       counter    fallback
 recovery_cost_seconds_total               counter    policy
 sweep_point_retries_total                 counter    sweep
 sweep_point_failures_total                counter    sweep
+repro_invariant_violations_total          counter    invariant, checkpoint
 ========================================  =========  ==========================
 
 ``link_wait_time_total`` children are materialized (at zero) the moment a
@@ -51,6 +52,7 @@ from repro.obs.events import (
     CollectiveChunkEvent,
     EngineWaitEvent,
     FaultInjectedEvent,
+    InvariantViolationEvent,
     KernelEvent,
     LinkBusyEvent,
     LinkWaitEvent,
@@ -146,6 +148,10 @@ def install_default_metrics(bus: EventBus, registry: MetricsRegistry) -> Metrics
     point_failures = registry.counter(
         "sweep_point_failures_total",
         "Sweep points abandoned after exhausting retries", ("sweep",))
+    invariant_violations = registry.counter(
+        "repro_invariant_violations_total",
+        "Physical-invariant violations detected by repro.checks",
+        ("invariant", "checkpoint"))
 
     def on_kernel(e: KernelEvent) -> None:
         kernel_time.labels(gpu=e.gpu, stage=e.stage).inc(e.duration)
@@ -224,6 +230,10 @@ def install_default_metrics(bus: EventBus, registry: MetricsRegistry) -> Metrics
     def on_point_failed(e: SweepPointFailed) -> None:
         point_failures.labels(sweep=e.sweep).inc()
 
+    def on_invariant_violation(e: InvariantViolationEvent) -> None:
+        invariant_violations.labels(
+            invariant=e.invariant, checkpoint=e.checkpoint).inc()
+
     bus.subscribe(KernelEvent, on_kernel)
     bus.subscribe(EngineWaitEvent, on_engine_wait)
     bus.subscribe(TransferEvent, on_transfer)
@@ -241,4 +251,5 @@ def install_default_metrics(bus: EventBus, registry: MetricsRegistry) -> Metrics
     bus.subscribe(RecoveryCostEvent, on_recovery)
     bus.subscribe(SweepPointRetry, on_point_retry)
     bus.subscribe(SweepPointFailed, on_point_failed)
+    bus.subscribe(InvariantViolationEvent, on_invariant_violation)
     return registry

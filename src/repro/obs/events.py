@@ -30,6 +30,8 @@ FaultInjectedEvent   the trainer's fault layer, per fault activation
 RouteRecomputedEvent the fault layer, when link faults change the topology
 RingRebuiltEvent     the fault layer, per NCCL communicator rebuild
 RecoveryCostEvent    the fault layer, per crash-recovery charge
+InvariantViolationEvent :class:`repro.checks.CheckEngine`, per violated
+                     invariant in ``warn``/``strict`` modes
 ===================  ======================================================
 
 All timestamps are simulated seconds; byte counts are plain ints; ``src``
@@ -326,3 +328,20 @@ class RecoveryCostEvent(ObsEvent):
     cost: float      # seconds charged at the crash point
     replayed_iterations: int
     at: float
+
+
+@dataclass(frozen=True)
+class InvariantViolationEvent(ObsEvent):
+    """A physical-invariant checker rejected a checkpoint payload.
+
+    Published by :class:`repro.checks.CheckEngine` in ``warn`` and
+    ``strict`` modes (in strict mode the matching
+    :class:`~repro.core.errors.InvariantViolationError` is raised right
+    after publication).  See docs/INVARIANTS.md for the checker catalog.
+    """
+
+    invariant: str   # e.g. "conservation.collective-wire"
+    checkpoint: str  # e.g. "comm.collective"
+    message: str     # human-readable description of the violated property
+    mode: str        # "warn" | "strict"
+    at: float        # simulated seconds (0.0 when outside the sim clock)

@@ -27,11 +27,16 @@ to the persistent cache.
 from __future__ import annotations
 
 import concurrent.futures
+import contextlib
 import dataclasses
+import signal
+import sys
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
+from repro.checks.engine import CheckMode, merge_stats
 from repro.core.config import (
     CommMethodName,
     ScalingMode,
@@ -39,7 +44,7 @@ from repro.core.config import (
     TrainingConfig,
 )
 from repro.core.constants import CALIBRATION, CalibrationConstants
-from repro.core.errors import OutOfMemoryError, SweepPointError
+from repro.core.errors import OutOfMemoryError, SweepInterrupted, SweepPointError
 from repro.obs.bus import EventBus
 from repro.obs.events import (
     SweepPointDone,
@@ -67,23 +72,57 @@ PointValue = Union["TrainingResult", "AsyncResult", OomInfo, FailureInfo]  # noq
 _TIMEOUT_POLL = 0.05
 
 
+@contextlib.contextmanager
+def _sigterm_as_interrupt() -> Iterator[None]:
+    """Deliver SIGTERM as :class:`KeyboardInterrupt` while a sweep runs.
+
+    SIGINT already raises ``KeyboardInterrupt``; routing SIGTERM through
+    the same exception gives both signals the one graceful-shutdown path
+    (flush completed points, report partials, exit 130).  Signal handlers
+    can only be installed from the main thread; elsewhere (e.g. a sweep
+    driven from a worker thread) this is a no-op and SIGTERM keeps its
+    process-default behavior.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    previous = signal.getsignal(signal.SIGTERM)
+
+    def _raise_interrupt(signum: int, frame: Any) -> None:
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _raise_interrupt)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
 def _execute_point(
     point: SweepPoint,
     sim: SimulationConfig,
     constants: CalibrationConstants,
     trainer_kwargs: Mapping[str, Any],
-) -> Tuple[PointValue, float]:
+    invariants: str = "off",
+) -> Tuple[PointValue, float, Dict[str, Tuple[int, int]]]:
     """Run one simulation (also the process-pool worker).
 
     OOM and crashes are returned as data rather than raised: custom
     exception constructors do not survive the pool's pickle round-trip,
-    and the parent applies the spec's policies anyway.
+    and the parent applies the spec's policies anyway.  The third element
+    is the point's invariant-check statistics (plain picklable dict,
+    empty when ``invariants="off"``); it is collected even when the point
+    fails, so a strict-mode violation still reports which checks ran.
     """
+    from repro.checks.engine import CheckEngine
     from repro.train.async_trainer import AsyncTrainer
     from repro.train.trainer import Trainer
 
+    engine = CheckEngine(invariants)
     kwargs = dict(trainer_kwargs)
     kwargs.update(point.override_dict())
+    if engine.enabled and "checks" not in kwargs:
+        kwargs["checks"] = engine
     start = time.perf_counter()
     try:
         if point.mode == "async":
@@ -103,7 +142,7 @@ def _execute_point(
         value = FailureInfo(
             error_type=type(exc).__name__, message=str(exc), attempts=1,
         )
-    return value, time.perf_counter() - start
+    return value, time.perf_counter() - start, engine.stats_dict()
 
 
 @dataclass(frozen=True)
@@ -235,6 +274,7 @@ class SweepRunner:
         retries: int = 1,
         retry_backoff: float = 0.05,
         point_timeout: Optional[float] = None,
+        invariants: str = "off",
     ) -> None:
         """``retries`` is the number of *re*-executions granted to a
         crashing point (so a point runs at most ``retries + 1`` times);
@@ -246,7 +286,16 @@ class SweepRunner:
         rest of the sweep continues.  Timeout enforcement routes the
         sweep through a process pool even when ``jobs=1``; the stuck
         worker process is abandoned and may run to completion in the
-        background."""
+        background.
+
+        ``invariants`` enables runtime physical-invariant verification
+        (:mod:`repro.checks`) for every executed point: ``"off"``
+        (default, zero overhead), ``"warn"`` (violations are recorded on
+        each result and aggregated in :attr:`check_stats`) or
+        ``"strict"`` (a violation fails the point, subject to the spec's
+        failure policy; violating results are never cached).  The mode is
+        deliberately *not* part of the cache fingerprint -- checks
+        observe a run without changing its modeled numbers."""
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if retries < 0:
@@ -264,7 +313,12 @@ class SweepRunner:
         self.retries = retries
         self.retry_backoff = retry_backoff
         self.point_timeout = point_timeout
+        self.invariants = CheckMode.parse(invariants).value
         self.stats = RunnerStats()
+        #: Aggregated ``{invariant: [checked, violated]}`` across every
+        #: point this runner executed (cache hits contribute nothing --
+        #: their checks ran when the entry was first simulated).
+        self.check_stats: Dict[str, List[int]] = {}
         self._memo: Dict[str, PointValue] = {}
 
     def __len__(self) -> int:
@@ -301,7 +355,18 @@ class SweepRunner:
                 )
 
         if pending:
-            self._execute_pending(spec, total, pending, outcomes)
+            try:
+                with _sigterm_as_interrupt():
+                    self._execute_pending(spec, total, pending, outcomes)
+            except KeyboardInterrupt:
+                completed = sum(1 for o in outcomes if o is not None)
+                print(
+                    f"sweep {spec.name!r} interrupted: {completed}/{total} "
+                    f"point(s) finished and flushed to the result store "
+                    f"({self.stats.describe()})",
+                    file=sys.stderr,
+                )
+                raise SweepInterrupted(spec.name, completed, total) from None
 
         final = [o for o in outcomes if o is not None]
         if spec.oom_policy is OomPolicy.RAISE:
@@ -491,9 +556,11 @@ class SweepRunner:
         for index, key, point in pending:
             attempt = 1
             while True:
-                value, elapsed = _execute_point(
-                    point, self.sim, self.constants, self.trainer_kwargs
+                value, elapsed, cstats = _execute_point(
+                    point, self.sim, self.constants, self.trainer_kwargs,
+                    self.invariants,
                 )
+                merge_stats(self.check_stats, cstats)
                 if not isinstance(value, FailureInfo) or attempt > self.retries:
                     break
                 time.sleep(self._note_retry(
@@ -529,12 +596,13 @@ class SweepRunner:
         state: Dict[concurrent.futures.Future, Tuple[int, Optional[str], SweepPoint, int]] = {}
         running_since: Dict[concurrent.futures.Future, float] = {}
         abandoned = False
+        interrupted = False
 
         def submit(index: int, key: Optional[str], point: SweepPoint,
                    attempt: int) -> None:
             future = pool.submit(
                 _execute_point, point, self.sim, self.constants,
-                self.trainer_kwargs,
+                self.trainer_kwargs, self.invariants,
             )
             state[future] = (index, key, point, attempt)
 
@@ -552,7 +620,8 @@ class SweepRunner:
                     index, key, point, attempt = state.pop(future)
                     running_since.pop(future, None)
                     try:
-                        value, elapsed = future.result()
+                        value, elapsed, cstats = future.result()
+                        merge_stats(self.check_stats, cstats)
                     except Exception as exc:  # noqa: BLE001 - worker died
                         value = FailureInfo(
                             error_type=type(exc).__name__,
@@ -594,15 +663,22 @@ class SweepRunner:
                         spec, index, total, point, value, "executed",
                         now - started,
                     )
+        except KeyboardInterrupt:
+            # Graceful shutdown: pending futures are cancelled and busy
+            # workers terminated by the cleanup below; completed points
+            # were recorded (and flushed to the store) as they finished.
+            interrupted = True
+            raise
         finally:
             # Snapshot before shutdown(): the executor nulls _processes out.
             workers = list((getattr(pool, "_processes", None) or {}).values())
             pool.shutdown(wait=False, cancel_futures=True)
-            if abandoned:
-                # Every tracked future has completed by now, so the only
-                # busy workers are the abandoned (stuck) ones -- kill them,
-                # or the interpreter's process-pool atexit join would hang
-                # on them forever.
+            if abandoned or interrupted:
+                # After an abandon every tracked future has completed, so
+                # the only busy workers are the stuck ones; after an
+                # interrupt the in-flight points are abandoned by design.
+                # Kill them, or the interpreter's process-pool atexit
+                # join would hang on them forever.
                 for proc in workers:
                     proc.terminate()
 

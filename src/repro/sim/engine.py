@@ -23,6 +23,16 @@ class Environment:
         self._observer = None
         self._observer_every = 1
         self._steps = 0
+        self._checks = None
+
+    def set_checks(self, checks) -> None:
+        """Attach a :class:`~repro.checks.CheckEngine` (or ``None``).
+
+        When attached and enabled, every :meth:`step` fires the
+        ``sim.event`` checkpoint (``temporal.event-monotone``) before the
+        clock advances.
+        """
+        self._checks = checks if checks is not None and checks.enabled else None
 
     def set_observer(self, observer, every: int = 1) -> None:
         """Attach an ``observer(now, queue_depth)`` callback.
@@ -80,6 +90,8 @@ class Environment:
         when, _, event = heapq.heappop(self._queue)
         if when < self._now:
             raise SimulationError("event scheduled in the past")
+        if self._checks is not None:
+            self._checks.check("sim.event", when=when, now=self._now)
         self._now = when
         callbacks, event.callbacks = event.callbacks, []
         event._processed = True

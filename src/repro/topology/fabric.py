@@ -36,16 +36,25 @@ class Fabric:
         topology: SystemTopology,
         constants: CalibrationConstants = CALIBRATION,
         observer: Optional[object] = None,
+        checks: Optional[object] = None,
     ) -> None:
         """``observer`` is anything with a ``publish(event)`` method
         (normally the run's :class:`~repro.profile.profiler.Profiler`);
         every DMA then emits per-directed-link
         :class:`~repro.obs.events.LinkBusyEvent` /
-        :class:`~repro.obs.events.LinkWaitEvent` records."""
+        :class:`~repro.obs.events.LinkWaitEvent` records.
+
+        ``checks`` is an optional :class:`~repro.checks.CheckEngine`; when
+        enabled, every DMA fires the ``fabric.dma`` checkpoint (link
+        capacity + FIFO serialization invariants)."""
         self.env = env
         self.topology = topology
         self.constants = constants
         self.observer = observer
+        self.checks = checks if checks is not None and checks.enabled else None
+        # Previous DMA's release time per directed channel, maintained only
+        # while checks are active (feeds temporal.link-serialization).
+        self._busy_until: Dict[DirectedKey, float] = {}
         self._channels: Dict[DirectedKey, Resource] = {}
         for link in topology.links:
             self._channels[(link.name, link.a.name)] = Resource(env)
@@ -92,6 +101,25 @@ class Fabric:
             yield self.env.timeout(wire_time)
         finally:
             end = self.env.now
+            if self.checks is not None:
+                windows = []
+                for link, src, _ in requests:
+                    key = (link.name, src.name)
+                    prev = self._busy_until.get(key)
+                    if prev is not None:
+                        windows.append((f"{link.name}:{src.name}->", prev))
+                    self._busy_until[key] = end
+                self.checks.check(
+                    "fabric.dma",
+                    nbytes=nbytes,
+                    wire_time=wire_time,
+                    latency=leg.latency(self.constants),
+                    bandwidth=leg.bandwidth(self.constants),
+                    granted=granted,
+                    end=end,
+                    windows=windows,
+                    now=end,
+                )
             for link, src, req in requests:
                 self.bytes_moved[link.name] += nbytes
                 self.busy_time[link.name] += wire_time

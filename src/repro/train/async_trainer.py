@@ -91,9 +91,14 @@ class AsyncTrainer:
         spec: GpuSpec = TESLA_V100,
         check_memory: bool = True,
         gpu_speed_factors=None,
+        checks=None,
     ) -> None:
         self.config = config
         self.gpu_speed_factors = dict(gpu_speed_factors or {})
+        #: Accepted for constructor parity with :class:`~repro.train.trainer.Trainer`
+        #: so callers can thread one ``CheckEngine`` everywhere; the async
+        #: parameter-server path does not run invariant checkpoints yet.
+        self.checks = checks
         self.sim = sim
         self.constants = constants
         self.spec = spec

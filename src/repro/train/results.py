@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.checks.engine import Violation
 from repro.core.config import TrainingConfig
 from repro.faults.recovery import FaultSummary
 from repro.profile.profiler import Profiler
@@ -30,6 +31,9 @@ class TrainingResult:
     #: What the fault/resilience layer did to this run; ``None`` for a
     #: healthy (no-faults) simulation.
     faults: Optional[FaultSummary] = None
+    #: Invariant violations the attached :class:`~repro.checks.CheckEngine`
+    #: recorded (always empty with checks off or in a clean strict run).
+    violations: Tuple[Violation, ...] = ()
 
     @property
     def iterations_per_epoch(self) -> int:

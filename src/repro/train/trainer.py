@@ -90,6 +90,7 @@ class Trainer:
         gpu_speed_factors=None,
         obs: Optional[ObsSession] = None,
         faults: Optional[FaultPlan] = None,
+        checks=None,
     ) -> None:
         """``network``/``input_shape`` override the zoo lookup, letting a
         custom :class:`~repro.dnn.network.Network` train under any
@@ -104,7 +105,11 @@ class Trainer:
         its bus, feeding the metrics registry and (if enabled) the JSONL
         recorder.  ``faults`` attaches a deterministic
         :class:`~repro.faults.plan.FaultPlan`; ``None`` (or an empty
-        plan) takes the exact healthy code path."""
+        plan) takes the exact healthy code path.  ``checks`` attaches a
+        :class:`~repro.checks.CheckEngine`: the sim engine, fabric,
+        communicator and trainer then fire their invariant checkpoints
+        (no-ops when the engine's mode is ``off``); accumulated
+        violations land on :attr:`TrainingResult.violations`."""
         self.config = config
         self.sim = sim
         self.constants = constants
@@ -115,6 +120,9 @@ class Trainer:
         self.gpu_speed_factors = dict(gpu_speed_factors or {})
         self.obs = obs
         self.faults = faults
+        self.checks = checks
+        if checks is not None and obs is not None:
+            checks.bind_bus(obs.bus)
         if faults is not None and not isinstance(faults, FaultPlan):
             raise FaultPlanError(
                 f"faults must be a FaultPlan, got {type(faults).__name__}"
@@ -189,9 +197,12 @@ class Trainer:
         if self.obs is not None:
             env.set_observer(self.obs.queue_observer(profiler),
                              every=self.obs.queue_sample_every)
+        if self.checks is not None:
+            env.set_checks(self.checks)
         if topology is None:
             topology = self._base_topology()
-        fabric = Fabric(env, topology, self.constants, observer=profiler)
+        fabric = Fabric(env, topology, self.constants, observer=profiler,
+                        checks=self.checks)
         router = Router(topology)
         if gpu_indices is None:
             gpu_indices = range(self.config.num_gpus)
@@ -216,8 +227,105 @@ class Trainer:
             optimizer=self.optimizer,
             algorithm=self.config.nccl_algorithm,
             protocol=self.config.nccl_protocol,
+            checks=self.checks,
         )
         return env, profiler, fabric, router, devices, comm
+
+    # ------------------------------------------------------------------
+    # Invariant checkpoints over one measured system
+    # ------------------------------------------------------------------
+    def _sync_arrays(self):
+        """The weight arrays one iteration hands to the communicator."""
+        return [
+            array
+            for layer, _ in self._bwd
+            if layer.is_weighted
+            for array in self.stats.arrays_of_layer(layer.name)
+        ]
+
+    def _post_measure_checks(self, env, profiler, fabric, devices, comm,
+                             iterations: int) -> None:
+        """Fire the trainer-level checkpoints after a measured segment.
+
+        Covers temporal span structure (``trainer.stages``), exact
+        gradient-traffic conservation (``trainer.traffic``) and the
+        fabric's cumulative link accounting (``fabric.totals``).
+        """
+        checks = self.checks
+        if checks is None or not checks.enabled:
+            return
+        spans = list(profiler.spans)
+        host_overhead = (
+            self.constants.framework_iteration_overhead
+            + len(devices) * self.constants.stream_sync_overhead
+            + comm.per_iteration_overhead()
+        )
+        busy: Dict[int, float] = {}
+        for kernel in profiler.kernels:
+            busy[kernel.gpu] = busy.get(kernel.gpu, 0.0) + (kernel.end - kernel.start)
+        windows = [s for s in spans if s.name == "iteration"]
+        elapsed = (
+            max(s.end for s in windows) - min(s.start for s in windows)
+            if windows else 0.0
+        )
+        checks.check(
+            "trainer.stages",
+            spans=spans,
+            host_overhead=host_overhead,
+            busy=busy,
+            elapsed=elapsed,
+            now=env.now,
+        )
+        measured: Dict[str, int] = {}
+        for t in profiler.transfers:
+            if t.kind in ("p2p", "nccl"):
+                measured[t.kind] = measured.get(t.kind, 0) + t.nbytes
+        from repro.checks.expect import expected_sync_bytes
+
+        expected = expected_sync_bytes(
+            comm.name,
+            self._sync_arrays(),
+            len(devices),
+            gradient_bytes_scale=comm.gradient_bytes_scale,
+        )
+        checks.check(
+            "trainer.traffic",
+            comm=comm.name,
+            measured=measured,
+            expected=expected,
+            iterations=iterations,
+            now=env.now,
+        )
+        checks.check(
+            "fabric.totals",
+            bytes_moved=dict(fabric.bytes_moved),
+            busy_time=dict(fabric.busy_time),
+            wait_time=dict(fabric.wait_time),
+            elapsed=env.now,
+            now=env.now,
+        )
+
+    def _result_checks(self, epoch_time: float, iterations: int,
+                       mean_iteration: float, fixed: float, memory) -> tuple:
+        """Fire the run-level checkpoints; return the violation records."""
+        checks = self.checks
+        if checks is None:
+            return ()
+        if checks.enabled:
+            checks.check(
+                "trainer.epoch",
+                epoch_time=epoch_time,
+                iterations=iterations,
+                mean_iteration=mean_iteration,
+                fixed=fixed,
+            )
+            checks.check(
+                "trainer.memory",
+                totals=[(m.gpu, m.usage.total) for m in memory],
+                capacity=self.spec.memory_bytes,
+                check_memory=self.check_memory,
+            )
+        return checks.violation_records()
 
     def _measure(
         self, env, profiler, fabric, router, devices, comm
@@ -247,10 +355,19 @@ class Trainer:
         iteration_times = self._measure(
             env, profiler, fabric, router, devices, comm
         )
+        self._post_measure_checks(env, profiler, fabric, devices, comm,
+                                  len(iteration_times))
         mean_iteration = sum(iteration_times) / len(iteration_times)
         fixed = comm.epoch_fixed_overhead() + self.constants.run_startup_overhead
         epoch_time = self.config.iterations_per_epoch * mean_iteration + fixed
         monitor = MemoryMonitor(self.spec, self.constants, optimizer=self.optimizer)
+        memory = tuple(
+            monitor.sample(self.stats, self.config.batch_size, self.config.num_gpus)
+        )
+        violations = self._result_checks(
+            epoch_time, self.config.iterations_per_epoch, mean_iteration,
+            fixed, memory,
+        )
         return TrainingResult(
             config=self.config,
             iteration_time=mean_iteration,
@@ -263,10 +380,9 @@ class Trainer:
             compute_utilization=self.cost_model.compute_utilization(
                 self.stats, self.config.batch_size
             ),
-            memory=tuple(
-                monitor.sample(self.stats, self.config.batch_size, self.config.num_gpus)
-            ),
+            memory=memory,
             profiler=profiler if self.keep_profiler else None,
+            violations=violations,
         )
 
     # ------------------------------------------------------------------
@@ -353,6 +469,8 @@ class Trainer:
             ring_reason = None
 
             times = self._measure(env, profiler, fabric, router, devices, comm)
+            self._post_measure_checks(env, profiler, fabric, devices, comm,
+                                      len(times))
             mean = sum(times) / len(times)
             iteration_times.extend(times)
             if fixed is None:
@@ -468,6 +586,12 @@ class Trainer:
             survivors=len(participants),
         )
         monitor = MemoryMonitor(self.spec, self.constants, optimizer=self.optimizer)
+        memory = tuple(
+            monitor.sample(self.stats, cfg.batch_size, cfg.num_gpus)
+        )
+        violations = self._result_checks(
+            epoch_time, done_iters, mean_iteration, fixed + overhead, memory,
+        )
         return TrainingResult(
             config=cfg,
             iteration_time=mean_iteration,
@@ -480,11 +604,10 @@ class Trainer:
             compute_utilization=self.cost_model.compute_utilization(
                 self.stats, cfg.batch_size
             ),
-            memory=tuple(
-                monitor.sample(self.stats, cfg.batch_size, cfg.num_gpus)
-            ),
+            memory=memory,
             profiler=dom_profiler if self.keep_profiler else None,
             faults=summary,
+            violations=violations,
         )
 
     def _base_factor(self, gpu: int, now: float) -> float:

@@ -1,0 +1,302 @@
+"""repro.checks: registry, engine modes, and every shipped checker.
+
+Each checker gets a clean payload (no violation) and at least one
+corrupted payload (fires); a completeness test asserts that *every*
+registered checker is covered by a corrupted-payload case, so adding a
+checker without proving it can fire fails the suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.checks import (
+    CheckEngine,
+    CheckMode,
+    all_checkers,
+    checkers_at,
+    get_checker,
+    invariant,
+    merge_stats,
+)
+from repro.core.errors import ConfigurationError, InvariantViolationError
+from repro.obs.bus import EventBus
+from repro.obs.events import InvariantViolationEvent
+
+
+@dataclass(frozen=True)
+class Span:
+    """Minimal stand-in for a profiler stage span."""
+
+    name: str
+    iteration: int
+    start: float
+    end: float
+    gpu: int = 0
+
+
+def fire(invariant_name: str, payload: dict) -> list:
+    """Run one checker directly; normalized list of violation messages."""
+    checker = get_checker(invariant_name)
+    assert checker is not None, f"unknown checker {invariant_name}"
+    out = checker.fn(payload)
+    if out is None:
+        return []
+    return [out] if isinstance(out, str) else list(out)
+
+
+def _stage_spans(wu_end: float = 1.8, window_end: float = 2.0,
+                 fp_end: float = 1.2, wu_start: float = 1.5):
+    return [
+        Span("iteration", 0, 1.0, window_end),
+        Span("fp", 0, 1.0, fp_end),
+        Span("bp", 0, fp_end, 1.5),
+        Span("wu", 0, wu_start, wu_end),
+    ]
+
+
+#: (clean payload, corrupted payload) per invariant.  The corrupted
+#: payload must make exactly that checker fire.
+CASES = {
+    "temporal.event-monotone": (
+        {"when": 1.0, "now": 0.5},
+        {"when": 0.4, "now": 0.5},
+    ),
+    "capacity.link-bandwidth": (
+        {"nbytes": 10**6, "wire_time": 2e-3, "latency": 1e-6,
+         "bandwidth": 1e9, "granted": 0.0, "windows": []},
+        {"nbytes": 10**6, "wire_time": 5e-4, "latency": 1e-6,
+         "bandwidth": 1e9, "granted": 0.0, "windows": []},
+    ),
+    "temporal.link-serialization": (
+        {"granted": 2.0, "windows": [("nvlink:gpu0->", 2.0)]},
+        {"granted": 1.0, "windows": [("nvlink:gpu0->", 2.0)]},
+    ),
+    "capacity.link-busy": (
+        {"busy_time": {"l": 1.5}, "bytes_moved": {}, "wait_time": {},
+         "elapsed": 1.0},
+        {"busy_time": {"l": 2.5}, "bytes_moved": {}, "wait_time": {},
+         "elapsed": 1.0},
+    ),
+    "conservation.link-accounting": (
+        {"busy_time": {"l": 0.1}, "bytes_moved": {"l": 10},
+         "wait_time": {"l": 0.0}, "elapsed": 1.0},
+        {"busy_time": {}, "bytes_moved": {"l": 10}, "wait_time": {},
+         "elapsed": 1.0},
+    ),
+    "structural.ring-permutation": (
+        {"order": [0, 2, 1], "participants": [0, 1, 2], "hops": [],
+         "uses_pcie": False},
+        {"order": [0, 1, 1], "participants": [0, 1, 2], "hops": [],
+         "uses_pcie": False},
+    ),
+    "structural.ring-links": (
+        {"order": [0, 1, 2], "participants": [0, 1, 2], "uses_pcie": False,
+         "hops": [(0, 1, "a", "nvlink"), (1, 2, "b", "nvlink"),
+                  (2, 0, "c", "nvlink")]},
+        {"order": [0, 1, 2], "participants": [0, 1, 2], "uses_pcie": False,
+         "hops": [(0, 2, "a", "nvlink"), (1, 2, "b", "nvlink"),
+                  (2, 0, "c", "pcie")]},
+    ),
+    "structural.tree-spanning": (
+        {"root": 0, "parent": ((1, 0), (2, 0), (3, 1)),
+         "participants": [0, 1, 2, 3], "depth": 2},
+        {"root": 0, "parent": ((1, 0), (2, 0), (3, 1)),
+         "participants": [0, 1, 2, 3], "depth": 3},
+    ),
+    "structural.reduce-coverage": (
+        {"num_gpus": 4, "stages": [[(1, 0), (3, 2)], [(2, 0)]]},
+        {"num_gpus": 4, "stages": [[(1, 0)]]},
+    ),
+    "conservation.collective-wire": (
+        {"kind": "allreduce", "nbytes": 100, "size": 4,
+         "schedule_total": 600, "duration": 1.0, "bound_bandwidth": 1e9},
+        {"kind": "allreduce", "nbytes": 100, "size": 4,
+         "schedule_total": 599, "duration": 1.0, "bound_bandwidth": 1e9},
+    ),
+    "capacity.collective-bandwidth": (
+        {"kind": "allreduce", "nbytes": 4000, "size": 4,
+         "schedule_total": 24000, "duration": 2e-6, "bound_bandwidth": 1e9},
+        {"kind": "allreduce", "nbytes": 4000, "size": 4,
+         "schedule_total": 24000, "duration": 5e-7, "bound_bandwidth": 1e9},
+    ),
+    "temporal.spans-nested": (
+        {"spans": _stage_spans(), "host_overhead": 0.2, "busy": {},
+         "elapsed": 1.0},
+        {"spans": _stage_spans(fp_end=2.5), "host_overhead": 0.2,
+         "busy": {}, "elapsed": 1.0},
+    ),
+    "temporal.iterations-monotone": (
+        {"spans": [Span("iteration", 0, 0.0, 1.0),
+                   Span("iteration", 1, 1.0, 2.0)],
+         "host_overhead": 0.0, "busy": {}, "elapsed": 2.0},
+        {"spans": [Span("iteration", 0, 0.0, 1.0),
+                   Span("iteration", 1, 0.9, 2.0)],
+         "host_overhead": 0.0, "busy": {}, "elapsed": 2.0},
+    ),
+    "temporal.step-accounting": (
+        {"spans": _stage_spans(), "host_overhead": 0.2, "busy": {},
+         "elapsed": 1.0},
+        {"spans": _stage_spans(), "host_overhead": 0.1, "busy": {},
+         "elapsed": 1.0},
+    ),
+    "capacity.gpu-busy": (
+        {"spans": [], "host_overhead": 0.0, "busy": {0: 0.5}, "elapsed": 1.0},
+        {"spans": [], "host_overhead": 0.0, "busy": {0: 2.0}, "elapsed": 1.0},
+    ),
+    "conservation.gradient-traffic": (
+        {"comm": "nccl", "measured": {"nccl": 300}, "expected": 100,
+         "iterations": 3},
+        {"comm": "nccl", "measured": {"nccl": 299}, "expected": 100,
+         "iterations": 3},
+    ),
+    "conservation.epoch-accounting": (
+        {"epoch_time": 10.0, "iterations": 9, "mean_iteration": 1.0,
+         "fixed": 1.0},
+        {"epoch_time": 10.0, "iterations": 9, "mean_iteration": 1.0,
+         "fixed": 0.5},
+    ),
+    "capacity.memory-budget": (
+        {"check_memory": True, "totals": [(0, 500)], "capacity": 1000},
+        {"check_memory": True, "totals": [(0, 2000)], "capacity": 1000},
+    ),
+}
+
+
+@pytest.mark.parametrize("invariant_name", sorted(CASES))
+def test_clean_payload_passes(invariant_name):
+    clean, _ = CASES[invariant_name]
+    assert fire(invariant_name, clean) == []
+
+
+@pytest.mark.parametrize("invariant_name", sorted(CASES))
+def test_corrupted_payload_fires(invariant_name):
+    _, corrupted = CASES[invariant_name]
+    assert fire(invariant_name, corrupted)
+
+
+def test_every_registered_checker_has_a_corruption_case():
+    registered = {c.invariant for c in all_checkers()}
+    assert registered == set(CASES)
+
+
+# ----------------------------------------------------------------------
+# Extra corruption shapes for the multi-branch structural checkers
+# ----------------------------------------------------------------------
+def test_ring_permutation_rejects_wrong_membership():
+    assert fire("structural.ring-permutation",
+                {"order": [0, 1, 3], "participants": [0, 1, 2]})
+
+
+def test_tree_rejects_double_parent_and_cycle():
+    base = {"root": 0, "participants": [0, 1, 2], "depth": 1}
+    assert fire("structural.tree-spanning",
+                dict(base, parent=((1, 0), (1, 2), (2, 0))))
+    assert fire("structural.tree-spanning",
+                dict(base, parent=((1, 2), (2, 1))))
+    assert fire("structural.tree-spanning",
+                dict(base, parent=((1, 0), (2, 0), (0, 1))))
+
+
+def test_reduce_coverage_rejects_cycle():
+    assert fire("structural.reduce-coverage",
+                {"num_gpus": 4, "stages": [[(1, 0), (2, 3), (3, 2)]]})
+
+
+def test_memory_budget_ignored_when_not_enforced():
+    assert fire("capacity.memory-budget",
+                {"check_memory": False, "totals": [(0, 2000)],
+                 "capacity": 1000}) == []
+
+
+def test_gradient_traffic_skips_unknown_comm():
+    assert fire("conservation.gradient-traffic",
+                {"comm": "other", "measured": {"nccl": 1}, "expected": None,
+                 "iterations": 3}) == []
+
+
+# ----------------------------------------------------------------------
+# Engine semantics
+# ----------------------------------------------------------------------
+BAD = CASES["temporal.event-monotone"][1]
+
+
+def test_mode_parse():
+    assert CheckMode.parse("off") is CheckMode.OFF
+    assert CheckMode.parse("warn") is CheckMode.WARN
+    assert CheckMode.parse("strict") is CheckMode.STRICT
+    assert CheckMode.parse(CheckMode.WARN) is CheckMode.WARN
+    with pytest.raises(ConfigurationError):
+        CheckMode.parse("loud")
+
+
+def test_off_mode_is_inert():
+    engine = CheckEngine("off")
+    assert not engine.enabled
+    engine.check("sim.event", **BAD)
+    assert engine.violation_records() == ()
+    assert engine.stats_dict() == {}
+
+
+def test_warn_mode_records_without_raising():
+    engine = CheckEngine("warn")
+    engine.check("sim.event", **BAD)
+    engine.check("sim.event", when=2.0, now=1.0)
+    records = engine.violation_records()
+    assert len(records) == 1
+    assert records[0].invariant == "temporal.event-monotone"
+    assert records[0].checkpoint == "sim.event"
+    assert records[0].at == BAD["now"]
+    assert engine.stats_dict()["temporal.event-monotone"] == (2, 1)
+
+
+def test_strict_mode_raises():
+    engine = CheckEngine("strict")
+    with pytest.raises(InvariantViolationError) as exc:
+        engine.check("sim.event", **BAD)
+    assert exc.value.invariant == "temporal.event-monotone"
+    assert exc.value.checkpoint == "sim.event"
+    assert engine.violation_records()  # recorded before raising
+
+
+def test_violation_published_on_bus():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(InvariantViolationEvent, seen.append)
+    engine = CheckEngine("warn", bus=bus)
+    engine.check("sim.event", **BAD)
+    assert len(seen) == 1
+    assert seen[0].invariant == "temporal.event-monotone"
+    assert seen[0].mode == "warn"
+
+
+def test_unknown_checkpoint_is_harmless():
+    engine = CheckEngine("strict")
+    engine.check("no.such.point", anything=1)
+    assert engine.stats_dict() == {}
+
+
+def test_merge_stats_accumulates():
+    target = {}
+    merge_stats(target, {"a.b": (2, 1)})
+    merge_stats(target, {"a.b": [3, 0], "c.d": (1, 1)})
+    assert target == {"a.b": [5, 1], "c.d": [1, 1]}
+
+
+def test_registry_rejects_bad_category_and_duplicates():
+    with pytest.raises(ValueError):
+        invariant("x.point", name="x", category="vibes", description="d")(
+            lambda p: None
+        )
+    existing = all_checkers()[0]
+    with pytest.raises(ValueError):
+        invariant(existing.checkpoint, name=existing.name,
+                  category=existing.category, description="dup")(
+            lambda p: None
+        )
+
+
+def test_checkers_at_unknown_point_empty():
+    assert checkers_at("nope") == ()

@@ -89,3 +89,54 @@ def test_simulation_config_validation():
 def test_comm_method_round_trip():
     assert CommMethodName("p2p") is CommMethodName.P2P
     assert str(CommMethodName.NCCL) == "nccl"
+
+
+# ----------------------------------------------------------------------
+# Eager construction-time validation (fail fast, actionable messages)
+# ----------------------------------------------------------------------
+def test_unknown_network_rejected_eagerly():
+    with pytest.raises(ConfigurationError) as exc:
+        TrainingConfig("resnet-50", 16, 1)
+    assert "resnet-50" in str(exc.value)
+    assert "available" in str(exc.value)  # lists valid choices
+
+
+def test_custom_network_flag_bypasses_zoo_lookup():
+    config = TrainingConfig("hand-built", 16, 1, custom_network=True)
+    assert config.custom_network
+
+
+def test_unknown_optimizer_rejected_eagerly():
+    with pytest.raises(ConfigurationError) as exc:
+        TrainingConfig("lenet", 16, 1, optimizer="rmsprop")
+    assert "rmsprop" in str(exc.value)
+    assert "available" in str(exc.value)
+
+
+def test_unsupported_gpu_count_message_is_actionable():
+    with pytest.raises(ConfigurationError) as exc:
+        TrainingConfig("lenet", 16, 9)
+    message = str(exc.value)
+    assert "num_gpus=9" in message
+    assert "cluster_nodes" in message  # tells the user how to fix it
+
+
+def test_incompatible_nccl_tuning_combo_rejected():
+    with pytest.raises(ConfigurationError):
+        TrainingConfig("lenet", 16, 2, nccl_algorithm="compat",
+                       nccl_protocol="simple")
+    with pytest.raises(ConfigurationError):
+        TrainingConfig("lenet", 16, 2, nccl_algorithm="ring",
+                       nccl_protocol="compat")
+    with pytest.raises(ConfigurationError):
+        TrainingConfig("lenet", 16, 2, nccl_algorithm="butterfly",
+                       nccl_protocol="simple")
+
+
+def test_nonpositive_batch_and_gpus_rejected():
+    with pytest.raises(ConfigurationError):
+        TrainingConfig("lenet", 0, 1)
+    with pytest.raises(ConfigurationError):
+        TrainingConfig("lenet", -4, 1)
+    with pytest.raises(ConfigurationError):
+        TrainingConfig("lenet", 16, 0)

@@ -140,3 +140,79 @@ def test_kernel_time_superadditive_split(flops, matmul):
     whole = model.kernel_time(flops, 0, matmul)
     halves = 2 * model.kernel_time(flops / 2, 0, matmul)
     assert halves >= whole - 1e-12
+
+
+# ----------------------------------------------------------------------
+# Physical invariants hold for randomized configurations (repro.checks)
+# ----------------------------------------------------------------------
+def _strict_run(config, faults=None):
+    """Train ``config`` under strict invariant enforcement; the engine
+    raising InvariantViolationError *is* the test failure."""
+    from repro.checks import CheckEngine
+    from repro.core.config import SimulationConfig
+    from repro.train.trainer import Trainer
+
+    engine = CheckEngine("strict")
+    kwargs = {} if faults is None else {"faults": faults}
+    result = Trainer(
+        config,
+        sim=SimulationConfig(warmup_iterations=1, measure_iterations=2),
+        checks=engine,
+        **kwargs,
+    ).run()
+    assert result.violations == ()
+    # Every enabled run must actually exercise checkers, or "zero
+    # violations" would be vacuous.
+    assert sum(c for c, _ in engine.stats_dict().values()) > 0
+    return engine
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    network=st.sampled_from(["lenet", "alexnet", "resnet"]),
+    batch=st.sampled_from([16, 32, 64]),
+    gpus=st.sampled_from([1, 2, 4, 8]),
+    comm=st.sampled_from(["p2p", "nccl", "local", "nccl-allreduce"]),
+)
+def test_invariants_hold_for_random_configs(network, batch, gpus, comm):
+    from repro.core.config import CommMethodName, TrainingConfig
+
+    _strict_run(TrainingConfig(network, batch, gpus,
+                               comm_method=CommMethodName(comm)))
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    algo=st.sampled_from(["auto", "ring", "tree"]),
+    proto=st.sampled_from(["auto", "simple", "ll", "ll128"]),
+    gpus=st.sampled_from([2, 4, 8]),
+)
+def test_invariants_hold_for_tuner_modes(algo, proto, gpus):
+    from repro.core.config import CommMethodName, TrainingConfig
+
+    _strict_run(TrainingConfig(
+        "alexnet", 16, gpus, comm_method=CommMethodName.NCCL,
+        nccl_algorithm=algo, nccl_protocol=proto,
+    ))
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    gpus=st.sampled_from([4, 8]),
+    at=st.floats(min_value=0.01, max_value=0.2),
+    scenario=st.sampled_from(["isolate", "slow-link"]),
+)
+def test_invariants_hold_through_faults(gpus, at, scenario):
+    """Invariants survive mid-flight degradation and re-ringing."""
+    from repro.core.config import CommMethodName, TrainingConfig
+    from repro.faults import FaultPlan
+    from repro.topology import build_dgx1v
+
+    if scenario == "isolate":
+        plan = FaultPlan.isolate_gpu(build_dgx1v(), 0, at=at)
+    else:
+        plan = FaultPlan.single_link("nvlink:gpu0<->gpu1",
+                                     bandwidth_scale=0.25, at=at)
+    config = TrainingConfig("alexnet", 16, gpus,
+                            comm_method=CommMethodName.NCCL)
+    _strict_run(config, faults=plan)

@@ -339,7 +339,8 @@ def test_uncacheable_points_still_execute(tmp_path):
 
     network = synthetic_conv_network(2)
     point = SweepPoint.make(
-        TrainingConfig(network.name, 16, 2, comm_method=CommMethodName.P2P),
+        TrainingConfig(network.name, 16, 2, comm_method=CommMethodName.P2P,
+                       custom_network=True),
         overrides={"network": network, "input_shape": SYNTHETIC_INPUT,
                    "check_memory": False},
     )
@@ -380,3 +381,121 @@ def test_result_round_trip_preserves_extended_config_fields():
     assert back.config == config
     assert back.config.cluster_nodes == 2
     assert back.epoch_time == result.epoch_time
+
+
+# ----------------------------------------------------------------------
+# Invariant verification (schema v4: violations + full config coverage)
+# ----------------------------------------------------------------------
+def test_store_rejects_pre_violations_schema3_entry(tmp_path):
+    """Entries written before the schema gained the ``violations`` field
+    (schema 3) must be refused loudly, not deserialized without it."""
+    assert SCHEMA_VERSION == 4
+    store = ResultStore(tmp_path)
+    store.root.mkdir(parents=True, exist_ok=True)
+    store.path_for("v3").write_text(json.dumps({
+        "schema": 3, "kind": "training",
+        "result": {"schema": 3, "config": {}, "iteration_time": 0.1},
+    }))
+    with pytest.raises(CacheSchemaError):
+        store.load("v3")
+
+
+def _violation():
+    from repro.checks.engine import Violation
+
+    return Violation("capacity.link-bandwidth", "fabric.dma",
+                     "1000 bytes crossed too fast", 0.25)
+
+
+def test_violations_serialization_round_trip():
+    from repro.analysis.serialization import result_from_dict
+
+    runner = SweepRunner(sim=FAST)
+    result = runner.get("lenet", 16, 1, CommMethodName.P2P)
+    tagged = dataclasses.replace(result, violations=(_violation(),))
+    data = json.loads(json.dumps(result_to_dict(tagged)))
+    assert data["violations"] == [{
+        "invariant": "capacity.link-bandwidth", "checkpoint": "fabric.dma",
+        "message": "1000 bytes crossed too fast", "at": 0.25,
+    }]
+    assert result_from_dict(data).violations == (_violation(),)
+
+
+def test_store_replays_violation_records(tmp_path):
+    runner = SweepRunner(sim=FAST)
+    result = runner.get("lenet", 16, 1, CommMethodName.P2P)
+    store = ResultStore(tmp_path)
+    store.store("k1", dataclasses.replace(result, violations=(_violation(),)))
+    assert store.load("k1").violations == (_violation(),)
+
+
+def test_tuning_and_custom_network_config_fields_round_trip():
+    from repro.analysis.serialization import _config_from_dict, _config_to_dict
+
+    config = TrainingConfig("lenet", 16, 2, comm_method=CommMethodName.NCCL,
+                            nccl_algorithm="ring", nccl_protocol="simple")
+    assert _config_from_dict(_config_to_dict(config)) == config
+
+
+def test_runner_invariants_validated_and_collected():
+    with pytest.raises(Exception):
+        SweepRunner(sim=FAST, invariants="loud")
+    runner = SweepRunner(sim=FAST, invariants="warn")
+    runner.run(SweepSpec(name="w", points=(_point(gpus=2),)))
+    assert runner.check_stats
+    assert all(v == 0 for _, v in runner.check_stats.values())
+    off = SweepRunner(sim=FAST)
+    off.run(SweepSpec(name="o", points=(_point(gpus=2),)))
+    assert off.check_stats == {}
+
+
+def test_invariants_mode_not_part_of_fingerprint(tmp_path):
+    """Checks observe a run without changing it, so strict and off share
+    cache entries."""
+    spec = SweepSpec(name="s", points=(_point(),))
+    SweepRunner(sim=FAST, store=ResultStore(tmp_path),
+                invariants="strict").run(spec)
+    second = SweepRunner(sim=FAST, store=ResultStore(tmp_path))
+    second.run(spec)
+    assert second.stats.disk_hits == 1
+    assert second.stats.executed == 0
+
+
+def test_parallel_runner_collects_check_stats():
+    runner = SweepRunner(sim=FAST, jobs=2, invariants="warn")
+    runner.run(SweepSpec(name="p", points=(_point(gpus=2),
+                                           _point(gpus=4))))
+    assert runner.check_stats
+    assert all(v == 0 for _, v in runner.check_stats.values())
+
+
+# ----------------------------------------------------------------------
+# Graceful interruption (SIGINT/SIGTERM -> SweepInterrupted)
+# ----------------------------------------------------------------------
+def test_interrupt_flushes_completed_points(tmp_path, monkeypatch, capsys):
+    from repro.core.errors import SweepInterrupted
+    from repro.runner import runner as runner_module
+
+    real = runner_module._execute_point
+    calls = {"n": 0}
+
+    def interrupt_second(point, sim, constants, kwargs, invariants="off"):
+        calls["n"] += 1
+        if calls["n"] >= 2:
+            raise KeyboardInterrupt
+        return real(point, sim, constants, kwargs, invariants)
+
+    monkeypatch.setattr(runner_module, "_execute_point", interrupt_second)
+    first = _point()
+    spec = SweepSpec(name="s", points=(first, _point(gpus=2)))
+    runner = SweepRunner(sim=FAST, store=ResultStore(tmp_path))
+    with pytest.raises(SweepInterrupted) as exc:
+        runner.run(spec)
+    assert exc.value.completed == 1
+    assert exc.value.total == 2
+    assert "interrupted" in capsys.readouterr().err
+    # The completed point reached the disk store before the interrupt.
+    fresh = SweepRunner(sim=FAST, store=ResultStore(tmp_path))
+    fresh.run(SweepSpec(name="s2", points=(first,)))
+    assert fresh.stats.disk_hits == 1
+    assert fresh.stats.executed == 0

@@ -129,7 +129,8 @@ def test_custom_network_override():
     b.global_avgpool()
     b.dense(10)
     b.softmax()
-    config = TrainingConfig("custom", 16, 2, comm_method=CommMethodName.P2P)
+    config = TrainingConfig("custom", 16, 2, comm_method=CommMethodName.P2P,
+                            custom_network=True)
     trainer = Trainer(config, sim=FAST, network=b.build(), input_shape=Shape(3, 16, 16))
     result = trainer.run()
     assert result.epoch_time > 0
@@ -139,7 +140,8 @@ def test_custom_network_requires_input_shape():
     b = NetworkBuilder("custom")
     b.conv(8, 3)
     with pytest.raises(ValueError):
-        Trainer(TrainingConfig("custom", 16, 1), network=b.build())
+        Trainer(TrainingConfig("custom", 16, 1, custom_network=True),
+                network=b.build())
 
 
 def test_describe_mentions_config():
