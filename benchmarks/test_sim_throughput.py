@@ -1,44 +1,22 @@
 """Bench: raw event throughput of the discrete-event engine.
 
 Not a paper artifact -- this guards the substrate's performance so the
-full experiment sweeps stay tractable.
+full experiment sweeps stay tractable.  Both benchmarks drive the shared
+scenario functions of :mod:`repro.perf.scenarios`, the same code paths the
+``repro-experiments bench`` harness times into the committed
+``BENCH_*.json`` trajectory -- one definition, two reporting front-ends.
 """
 
-from repro.sim import Environment, Resource
-
-
-def _pingpong(num_processes: int, hops: int) -> float:
-    env = Environment()
-    resource = Resource(env, capacity=2)
-
-    def worker(env):
-        for _ in range(hops):
-            req = resource.request()
-            yield req
-            yield env.timeout(0.001)
-            resource.release(req)
-
-    for _ in range(num_processes):
-        env.process(worker(env))
-    env.run()
-    return env.now
+from repro.perf.scenarios import engine_pingpong, training_iteration
 
 
 def test_engine_throughput(benchmark):
-    result = benchmark(_pingpong, 50, 200)
-    assert result > 0
+    meta = benchmark(engine_pingpong, 50, 200)
+    assert meta["sim_now"] > 0
+    assert meta["events"] > 0
 
 
 def test_training_iteration_cost(benchmark):
     """Cost of simulating one full 8-GPU Inception-v3 iteration."""
-    from repro.core.config import CommMethodName, SimulationConfig, TrainingConfig
-    from repro.train import Trainer
-
-    config = TrainingConfig("inception-v3", 16, 8, comm_method=CommMethodName.NCCL)
-    sim = SimulationConfig(warmup_iterations=0, measure_iterations=1)
-
-    def run():
-        return Trainer(config, sim=sim).run()
-
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
-    assert result.iteration_time > 0
+    meta = benchmark.pedantic(training_iteration, rounds=1, iterations=1)
+    assert meta["iteration_time"] > 0

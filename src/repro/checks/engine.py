@@ -29,6 +29,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.errors import ConfigurationError, InvariantViolationError
 from repro.checks.registry import checkers_at
+from repro.perf.spans import PERF
 
 logger = logging.getLogger("repro.checks")
 
@@ -105,8 +106,14 @@ class CheckEngine:
         """
         if self.mode is CheckMode.OFF:
             return
+        if PERF.enabled:
+            # One payload was built by the calling checkpoint; each checker
+            # dispatch is counted separately so the ratio is visible.
+            PERF.count("checks.payloads")
         at = float(payload.get("now", 0.0))
         for checker in checkers_at(point):
+            if PERF.enabled:
+                PERF.count("checks.evaluations")
             entry = self.stats.setdefault(checker.invariant, [0, 0])
             entry[0] += 1
             result = checker.fn(payload)

@@ -41,6 +41,7 @@ from repro.obs.events import (
     ProtocolChoiceEvent,
     RingStepEvent,
 )
+from repro.perf.spans import PERF
 from repro.sim import Resource
 from repro.sim.events import Event
 from repro.topology.trees import TreeEdge, TreePlan, build_tree_plan, tree_edges
@@ -65,26 +66,27 @@ class NcclCommunicator(Communicator):
         self.algorithm = algorithm
         self.protocol = protocol
         self._stream = Resource(self.env)
-        self.plan: RingPlan = build_ring_plan(
-            self.fabric.topology,
-            [d.index for d in self.devices],
-            self.constants,
-        )
-        self._ring_hops: List[RingHop] = self._build_ring_hops()
-        self.tree: Optional[TreePlan] = None
-        self._tree_edges: List[TreeEdge] = []
-        self._tuner: Optional[NcclTuner] = None
-        if algorithm != "compat":
-            self.tree = build_tree_plan(
+        with PERF.span("nccl.build"):
+            self.plan: RingPlan = build_ring_plan(
                 self.fabric.topology,
                 [d.index for d in self.devices],
                 self.constants,
             )
-            self._tree_edges = tree_edges(self.fabric.topology, self.tree)
-            self._tuner = NcclTuner(
-                ring=self.plan, tree=self.tree, constants=self.constants,
-                algorithm=algorithm, protocol=protocol,
-            )
+            self._ring_hops: List[RingHop] = self._build_ring_hops()
+            self.tree: Optional[TreePlan] = None
+            self._tree_edges: List[TreeEdge] = []
+            self._tuner: Optional[NcclTuner] = None
+            if algorithm != "compat":
+                self.tree = build_tree_plan(
+                    self.fabric.topology,
+                    [d.index for d in self.devices],
+                    self.constants,
+                )
+                self._tree_edges = tree_edges(self.fabric.topology, self.tree)
+                self._tuner = NcclTuner(
+                    ring=self.plan, tree=self.tree, constants=self.constants,
+                    algorithm=algorithm, protocol=protocol,
+                )
         self._check_plans()
 
     def _check_plans(self) -> None:
@@ -369,12 +371,20 @@ class NcclCommunicator(Communicator):
             yield self.env.all_of(taxes)
         finally:
             self._stream.release(req)
-        choice = self._choose(kind, wire_bytes)
-        if choice is None or choice.algorithm is NcclAlgorithm.RING:
-            self._emit_ring_steps(kind, array, start, start + duration, wire_bytes)
-        else:
-            self._emit_tree_steps(choice, array, start, start + duration)
-        if choice is not None:
-            self._emit_choice(choice, array, start)
-        self._record_transfer("nccl", self.server.index, -1, wire_bytes,
-                              start, self.env.now)
+        # Synchronous post-collective bookkeeping: tuner choice replay and
+        # the per-step/per-chunk event fan-out (allocation-heavy, a known
+        # self-time hot spot) -- spanned as "nccl.pipeline" so the perf
+        # profile attributes it separately from simulated progress.
+        with PERF.span("nccl.pipeline"):
+            if PERF.enabled:
+                PERF.count("nccl.collectives")
+            choice = self._choose(kind, wire_bytes)
+            if choice is None or choice.algorithm is NcclAlgorithm.RING:
+                self._emit_ring_steps(kind, array, start, start + duration,
+                                      wire_bytes)
+            else:
+                self._emit_tree_steps(choice, array, start, start + duration)
+            if choice is not None:
+                self._emit_choice(choice, array, start)
+            self._record_transfer("nccl", self.server.index, -1, wire_bytes,
+                                  start, self.env.now)

@@ -25,6 +25,7 @@ from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.dnn.stats import WeightArray
 from repro.comm.base import Communicator
+from repro.perf.spans import PERF
 from repro.sim import Resource
 from repro.sim.events import Event
 from repro.topology.routing import Router
@@ -78,18 +79,19 @@ class P2PCommunicator(Communicator):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        self.router = Router(self.fabric.topology)
-        # Driver-side DMA dispatch is serialized per source GPU.
-        self._dispatch: Dict[int, Resource] = {
-            d.index: Resource(self.env) for d in self.devices
-        }
-        n = self.num_gpus
-        self._reduce_stages = reduction_tree(n)
-        # children[parent] = [(child, stage_index), ...]
-        self._children: Dict[int, List[int]] = {d.index: [] for d in self.devices}
-        for stage in self._reduce_stages:
-            for src, dst in stage:
-                self._children[self._gpu_at(dst)].append(self._gpu_at(src))
+        with PERF.span("p2p.plan"):
+            self.router = Router(self.fabric.topology)
+            # Driver-side DMA dispatch is serialized per source GPU.
+            self._dispatch: Dict[int, Resource] = {
+                d.index: Resource(self.env) for d in self.devices
+            }
+            n = self.num_gpus
+            self._reduce_stages = reduction_tree(n)
+            # children[parent] = [(child, stage_index), ...]
+            self._children: Dict[int, List[int]] = {d.index: [] for d in self.devices}
+            for stage in self._reduce_stages:
+                for src, dst in stage:
+                    self._children[self._gpu_at(dst)].append(self._gpu_at(src))
         self._check("comm.p2p.plan", stages=self._reduce_stages, num_gpus=n)
 
     def _gpu_at(self, position: int) -> int:

@@ -1,0 +1,103 @@
+"""``repro-experiments bench``: time the simulator, record the trajectory.
+
+Runs the registered bench workloads (:mod:`repro.perf.harness`) with
+warmup/repeat/min-of-N discipline and either prints a summary table or
+writes the schema-versioned ``BENCH_*.json`` document::
+
+    repro-experiments bench --profile fast
+    repro-experiments bench --profile all -o BENCH_6.json   # the baseline
+    repro-experiments bench --profile fast --repeats 1      # CI smoke
+
+The committed ``BENCH_<PR>.json`` files form the repository's performance
+trajectory: one document per PR, compared by ``tools/check_bench.py``
+(:mod:`repro.perf.gate`) with machine-speed normalization.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any, Dict, Optional
+
+
+def _summarize(name: str, record: Dict[str, Any]) -> str:
+    """One streamed stderr line per finished workload."""
+    spans = record.get("spans", {})
+    top = ""
+    if spans:
+        widest = max(spans, key=lambda path: spans[path]["total"])
+        top = f", top span {widest} ({spans[widest]['total']:.3f}s)"
+    return (
+        f"  {name}: {record['wall_clock']:.3f}s "
+        f"(min of {record['repeats']}{top})"
+    )
+
+
+def render_summary(document: Dict[str, Any]) -> str:
+    """Fixed-width table of every workload in one bench document."""
+    lines = [
+        f"bench profile={document['profile']} "
+        f"calibration={document['calibration']['score']:g} ops/s",
+        f"{'workload':<22} {'profile':>8} {'repeats':>8} {'wall s':>10}",
+    ]
+    for name, record in document["workloads"].items():
+        lines.append(
+            f"{name:<22} {record['profile']:>8} {record['repeats']:>8} "
+            f"{record['wall_clock']:>10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Entry point for the ``bench`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments bench",
+        description="Benchmark the simulator's canonical workloads and "
+                    "write a schema-versioned BENCH_*.json document "
+                    "(the committed per-PR performance trajectory).",
+    )
+    parser.add_argument("--profile", default="fast",
+                        choices=("fast", "full", "all"),
+                        help="workload set: fast (CI-sized, default), full "
+                             "(paper scale) or all (both; used for the "
+                             "committed baseline)")
+    parser.add_argument("--repeats", type=int, default=None, metavar="N",
+                        help="override each workload's timed repeat count")
+    parser.add_argument("-o", "--output", type=pathlib.Path, default=None,
+                        metavar="PATH",
+                        help="write the validated bench document to PATH "
+                             "(default: print the document to stdout)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-workload progress on stderr")
+    args = parser.parse_args(argv)
+    if args.repeats is not None and args.repeats < 1:
+        parser.error(f"--repeats must be >= 1, got {args.repeats}")
+
+    from repro.core.errors import ReproError
+    from repro.perf.harness import run_harness, write_bench
+
+    def progress(name: str, record: Dict[str, Any]) -> None:
+        if not args.quiet:
+            print(_summarize(name, record), file=sys.stderr)
+
+    try:
+        document = run_harness(
+            profile=args.profile, repeats=args.repeats, progress=progress,
+        )
+        if args.output is not None:
+            path = write_bench(args.output, document)
+            print(render_summary(document), file=sys.stderr)
+            print(f"wrote {path}", file=sys.stderr)
+        else:
+            print(json.dumps(document, indent=2))
+            print(render_summary(document), file=sys.stderr)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,14 @@ strict physical-invariant verification (:mod:`repro.checks`) and prints
 a per-invariant pass/violation report::
 
     repro-experiments selfcheck --fast
+
+The ``bench`` subcommand times the simulator itself (:mod:`repro.perf`)
+and writes the ``BENCH_*.json`` performance-trajectory document, while
+``--self-profile TRACE`` profiles any experiment run and exports a
+Chrome trace of simulator self-time::
+
+    repro-experiments bench --profile all -o BENCH_6.json
+    repro-experiments fig3 --fast --self-profile self.trace.json
 """
 
 from __future__ import annotations
@@ -252,6 +260,10 @@ def main(argv: Optional[list] = None) -> int:
         from repro.experiments import selfcheck
 
         return selfcheck.main(list(argv[1:]))
+    if argv and argv[0] == "bench":
+        from repro.experiments import bench
+
+        return bench.main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures from simulation "
@@ -264,7 +276,8 @@ def main(argv: Optional[list] = None) -> int:
         "experiments", nargs="+",
         help=f"any of {', '.join(EXPERIMENTS)}, or 'all' "
              "(or: obs/trace [--help] for the observability exporter, "
-             "selfcheck [--help] for strict invariant verification)",
+             "selfcheck [--help] for strict invariant verification, "
+             "bench [--help] for the simulator bench harness)",
     )
     parser.add_argument("--fast", action="store_true",
                         help="reduced sweep (batch 16, 1 and 4 GPUs)")
@@ -280,7 +293,13 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="neither read nor write the persistent cache")
     parser.add_argument("--progress", action="store_true",
-                        help="print per-simulation progress to stderr")
+                        help="print per-simulation progress (with live "
+                             "throughput and ETA) to stderr")
+    parser.add_argument("--self-profile", type=pathlib.Path, default=None,
+                        metavar="TRACE",
+                        help="profile the simulator itself: write a Chrome "
+                             "trace of simulator self-time to TRACE and "
+                             "print a span report to stderr")
     parser.add_argument("--invariants", choices=("off", "warn", "strict"),
                         default="off", metavar="MODE",
                         help="physical-invariant verification for executed "
@@ -304,13 +323,18 @@ def main(argv: Optional[list] = None) -> int:
 
     from repro.core.errors import ReproError, SweepInterrupted
 
+    if args.self_profile is not None:
+        from repro.perf.spans import PERF
+
+        PERF.reset()
+        PERF.enable()
     cache = _build_runner(args.jobs, args.cache_dir, args.no_cache,
                           args.progress, invariants)
     try:
         for name in names:
-            start = time.time()
+            start = time.perf_counter()
             text = _run_experiment(name, cache, args.fast)
-            elapsed = time.time() - start
+            elapsed = time.perf_counter() - start
             print(f"==== {name} " + "=" * 40)
             print(text)
             print(f"{name}: {elapsed:.1f}s ({cache.stats.describe()})",
@@ -330,12 +354,32 @@ def main(argv: Optional[list] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(f"total: {cache.stats.describe()}", file=sys.stderr)
+    timing = cache.stats.describe_timing()
+    if timing is not None:
+        print(timing, file=sys.stderr)
     if invariants != "off":
         violated = sum(v[1] for v in cache.check_stats.values())
         checked = sum(v[0] for v in cache.check_stats.values())
         print(f"invariants ({invariants}): {checked} checks, "
               f"{violated} violation(s)", file=sys.stderr)
+    if args.self_profile is not None:
+        _write_self_profile(args.self_profile)
     return 0
+
+
+def _write_self_profile(path: pathlib.Path) -> None:
+    """Export the enabled :data:`PERF` profiler and report to stderr."""
+    from repro.perf.spans import PERF, render_perf_report
+    from repro.perf.trace import export_perf_chrome_trace
+
+    if path.parent != pathlib.Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fp:
+        export_perf_chrome_trace(PERF, fp)
+    print(render_perf_report(PERF, top=15), file=sys.stderr)
+    print(f"self-profile trace: {path} (open in ui.perfetto.dev)",
+          file=sys.stderr)
+    PERF.disable()
 
 
 def _build_runner(jobs: int, cache_dir: pathlib.Path, no_cache: bool,
@@ -348,19 +392,52 @@ def _build_runner(jobs: int, cache_dir: pathlib.Path, no_cache: bool,
         from repro.obs.events import SweepPointDone, SweepPointOom
 
         bus = EventBus()
-        bus.subscribe(SweepPointDone, _print_progress)
-        bus.subscribe(SweepPointOom, _print_progress)
+        printer = _ProgressPrinter()
+        bus.subscribe(SweepPointDone, printer)
+        bus.subscribe(SweepPointOom, printer)
     return SweepRunner(jobs=jobs, store=store, bus=bus, invariants=invariants)
 
 
-def _print_progress(event) -> None:
-    from repro.obs.events import SweepPointOom
+class _ProgressPrinter:
+    """Per-point progress lines with live throughput and ETA.
 
-    status = ("OOM" if isinstance(event, SweepPointOom)
-              else event.source if event.source != "executed"
-              else f"{event.elapsed:.2f}s")
-    print(f"  [{event.sweep} {event.index + 1}/{event.total}] "
-          f"{event.label}: {status}", file=sys.stderr)
+    One instance is subscribed to both ``SweepPointDone`` and
+    ``SweepPointOom``; it keeps a wall-clock anchor per sweep name, so
+    throughput is points finished since that sweep's first completion and
+    the ETA extrapolates it over the points still outstanding.
+    """
+
+    def __init__(self) -> None:
+        self._anchors: Dict[str, float] = {}
+        self._finished: Dict[str, int] = {}
+
+    def _pace(self, event) -> str:
+        anchor = self._anchors.setdefault(event.sweep, time.perf_counter())
+        done = self._finished.get(event.sweep, 0) + 1
+        self._finished[event.sweep] = done
+        window = time.perf_counter() - anchor
+        if done < 2 or window <= 0:
+            return ""
+        # The anchor is the *first* completion, so pace covers done-1 points.
+        rate = (done - 1) / window
+        remaining = event.total - (event.index + 1)
+        if remaining <= 0:
+            return f" [{rate:.1f} pt/s]"
+        return f" [{rate:.1f} pt/s, ETA {remaining / rate:.0f}s]"
+
+    def __call__(self, event) -> None:
+        from repro.obs.events import SweepPointOom
+
+        status = ("OOM" if isinstance(event, SweepPointOom)
+                  else event.source if event.source != "executed"
+                  else f"{event.elapsed:.2f}s")
+        print(f"  [{event.sweep} {event.index + 1}/{event.total}] "
+              f"{event.label}: {status}{self._pace(event)}", file=sys.stderr)
+
+
+def _print_progress(event) -> None:
+    """One stateless progress line (kept for ad-hoc bus subscribers)."""
+    _ProgressPrinter()(event)
 
 
 if __name__ == "__main__":

@@ -20,6 +20,7 @@ from typing import Iterator, List, Tuple
 from repro.core.constants import CALIBRATION, CalibrationConstants
 from repro.dnn.stats import DTYPE_BYTES, CompiledLayer, NetworkStats
 from repro.gpu.spec import TESLA_V100, GpuSpec
+from repro.perf.spans import PERF
 
 #: Layer kinds whose FLOPs map onto matrix-multiply hardware.
 _MATMUL_KINDS = frozenset({"conv", "fc"})
@@ -151,10 +152,13 @@ class KernelCostModel:
     # ------------------------------------------------------------------
     def forward_schedule(self, stats: NetworkStats, batch: int) -> List[KernelSpec]:
         """All forward kernels in topological order."""
-        kernels: List[KernelSpec] = []
-        for layer in stats.layers:
-            kernels.extend(self.forward_kernels(layer, batch))
-        return kernels
+        with PERF.span("costmodel.schedule"):
+            kernels: List[KernelSpec] = []
+            for layer in stats.layers:
+                kernels.extend(self.forward_kernels(layer, batch))
+            if PERF.enabled:
+                PERF.count("costmodel.kernels", len(kernels))
+            return kernels
 
     def backward_schedule(
         self, stats: NetworkStats, batch: int
@@ -165,10 +169,14 @@ class KernelCostModel:
         for BP/WU overlap: once a layer's backward kernels finish, its
         weight gradients may be pushed to the KVStore.
         """
-        schedule: List[Tuple[CompiledLayer, List[KernelSpec]]] = []
-        for layer in reversed(stats.layers):
-            schedule.append((layer, self.backward_kernels(layer, batch)))
-        return schedule
+        with PERF.span("costmodel.schedule"):
+            schedule: List[Tuple[CompiledLayer, List[KernelSpec]]] = []
+            for layer in reversed(stats.layers):
+                schedule.append((layer, self.backward_kernels(layer, batch)))
+            if PERF.enabled:
+                PERF.count("costmodel.kernels",
+                           sum(len(k) for _, k in schedule))
+            return schedule
 
     # ------------------------------------------------------------------
     # Aggregates used for reporting

@@ -1,0 +1,150 @@
+"""The noise-aware bench regression gate behind ``tools/check_bench.py``.
+
+Compares a fresh bench document against the committed baseline
+(``BENCH_6.json``) and fails on wall-clock regressions.  Two defenses
+against false alarms:
+
+* **Machine normalization** -- both documents embed a pure-Python
+  calibration score (reference-loop ops/second).  A baseline time is
+  first rescaled by ``baseline_score / fresh_score``: a machine that runs
+  the reference loop 2x slower is *expected* to run the workloads 2x
+  slower, and only slowdowns beyond that ratio count.
+* **Tolerance** -- the normalized ratio must exceed ``1 + tolerance``
+  to fail.  The default (0.35) absorbs scheduler jitter and cache-state
+  variance between CI runs; CI smoke passes a larger one because shared
+  runners are noisier still.
+
+Workloads present in only one document are reported as skipped, never
+failed: the committed baseline carries both the ``fast`` and ``full``
+profiles, while CI smoke runs only ``fast``, so a partial fresh document
+is the normal case.  Improvements are highlighted so the trajectory of
+ROADMAP item 1 (an order of magnitude on the selfcheck) is visible in CI
+logs PR over PR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Mapping, Tuple
+
+#: Default headroom: a workload fails only when its normalized wall-clock
+#: exceeds the baseline by more than this fraction.
+DEFAULT_TOLERANCE = 0.35
+
+
+@dataclass(frozen=True)
+class WorkloadVerdict:
+    """The gate's decision for one workload name."""
+
+    name: str
+    status: str            # "ok" | "improved" | "regressed" | "skipped"
+    baseline: float = 0.0  # committed wall-clock, seconds
+    expected: float = 0.0  # baseline rescaled to the fresh machine
+    fresh: float = 0.0     # measured wall-clock, seconds
+    ratio: float = 0.0     # fresh / expected
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """Every verdict plus the machine-speed ratio that produced them."""
+
+    verdicts: Tuple[WorkloadVerdict, ...]
+    speed_ratio: float  # baseline_score / fresh_score (>1: fresh machine slower)
+    tolerance: float
+
+    @property
+    def regressions(self) -> Tuple[WorkloadVerdict, ...]:
+        return tuple(v for v in self.verdicts if v.status == "regressed")
+
+    @property
+    def ok(self) -> bool:
+        """True when no compared workload regressed (skips don't fail)."""
+        return not self.regressions
+
+
+def _score(document: Mapping[str, Any]) -> float:
+    return float(document["calibration"]["score"])
+
+
+def compare_bench(
+    fresh: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> BenchComparison:
+    """Gate ``fresh`` against ``baseline`` (both already validated).
+
+    ``tolerance`` must be non-negative; the comparison never mutates
+    either document.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    # scores are ops/second: slower fresh machine => smaller fresh score
+    # => ratio > 1 => baseline times are scaled *up* before comparing.
+    speed_ratio = _score(baseline) / _score(fresh)
+    verdicts: List[WorkloadVerdict] = []
+    fresh_workloads = fresh["workloads"]
+    base_workloads = baseline["workloads"]
+    for name, record in fresh_workloads.items():
+        if name not in base_workloads:
+            verdicts.append(WorkloadVerdict(
+                name=name, status="skipped", fresh=record["wall_clock"],
+                note="not in baseline (new workload)",
+            ))
+            continue
+        base = float(base_workloads[name]["wall_clock"])
+        measured = float(record["wall_clock"])
+        expected = base * speed_ratio
+        ratio = measured / expected if expected > 0 else float("inf")
+        if ratio > 1 + tolerance:
+            status = "regressed"
+            note = (f"{ratio:.2f}x the machine-normalized baseline "
+                    f"(limit {1 + tolerance:.2f}x)")
+        elif ratio < 1 / (1 + tolerance):
+            status = "improved"
+            note = f"{1 / ratio:.2f}x faster than the normalized baseline"
+        else:
+            status = "ok"
+            note = ""
+        verdicts.append(WorkloadVerdict(
+            name=name, status=status, baseline=base, expected=expected,
+            fresh=measured, ratio=ratio, note=note,
+        ))
+    for name in base_workloads:
+        if name not in fresh_workloads:
+            verdicts.append(WorkloadVerdict(
+                name=name, status="skipped",
+                baseline=float(base_workloads[name]["wall_clock"]),
+                note="not measured in this run (different profile)",
+            ))
+    return BenchComparison(
+        verdicts=tuple(verdicts), speed_ratio=speed_ratio, tolerance=tolerance,
+    )
+
+
+def render_comparison(comparison: BenchComparison) -> str:
+    """The gate's human-readable verdict table."""
+    lines = [
+        f"machine speed ratio (baseline/fresh): {comparison.speed_ratio:.3f}  "
+        f"tolerance: +{comparison.tolerance * 100:.0f}%",
+        "",
+        f"{'workload':<20} {'baseline':>9} {'expected':>9} {'fresh':>9} "
+        f"{'ratio':>6}  status",
+    ]
+    for v in comparison.verdicts:
+        if v.status == "skipped":
+            lines.append(f"{v.name:<20} {'-':>9} {'-':>9} "
+                         f"{(f'{v.fresh:.2f}s' if v.fresh else '-'):>9} "
+                         f"{'-':>6}  skipped ({v.note})")
+            continue
+        lines.append(
+            f"{v.name:<20} {v.baseline:>8.2f}s {v.expected:>8.2f}s "
+            f"{v.fresh:>8.2f}s {v.ratio:>5.2f}x  {v.status}"
+            + (f" ({v.note})" if v.note else "")
+        )
+    lines.append("")
+    lines.append(
+        "gate: PASS" if comparison.ok
+        else f"gate: FAIL ({len(comparison.regressions)} regression(s))"
+    )
+    return "\n".join(lines)

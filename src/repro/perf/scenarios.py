@@ -1,0 +1,152 @@
+"""Canonical timed scenarios, shared by the bench harness and pytest-bench.
+
+Each function here is one *code path worth guarding*: the raw event-engine
+substrate, a full training-iteration simulation, the paper's headline
+sweep grids, the strict selfcheck and the NCCL tuner sweep.  The
+``repro-experiments bench`` harness (:mod:`repro.perf.harness`) and
+``benchmarks/test_sim_throughput.py`` both call these functions, so the
+committed ``BENCH_*.json`` trajectory and the pytest-benchmark numbers
+time exactly the same code.
+
+Every scenario builds fresh state (its own runner, no persistent store)
+so repeated calls measure simulation, not cache hits, and returns a small
+JSON-ready dict of meta facts (points simulated, events dispatched) the
+harness embeds in the bench record.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core.config import CommMethodName, SimulationConfig, TrainingConfig
+from repro.sim import Environment, Resource
+
+#: Grid used by the reduced ("fast") scenario variants; matches the main
+#: driver's ``--fast`` so numbers line up with everyday CLI usage.
+FAST_BATCHES = (16,)
+FAST_GPUS = (1, 4)
+
+
+def engine_pingpong(num_processes: int = 50, hops: int = 200) -> Dict[str, float]:
+    """Raw event throughput of the discrete-event engine.
+
+    ``num_processes`` generator processes contend for a capacity-2
+    resource ``hops`` times each -- pure substrate, no model code.
+    """
+    env = Environment()
+    resource = Resource(env, capacity=2)
+
+    def worker(env):
+        for _ in range(hops):
+            req = resource.request()
+            yield req
+            yield env.timeout(0.001)
+            resource.release(req)
+
+    for _ in range(num_processes):
+        env.process(worker(env))
+    env.run()
+    return {"sim_now": env.now, "events": float(env.dispatched)}
+
+
+def training_iteration(
+    network: str = "inception-v3",
+    batch: int = 16,
+    gpus: int = 8,
+    comm: CommMethodName = CommMethodName.NCCL,
+) -> Dict[str, float]:
+    """Cost of simulating one full 8-GPU Inception-v3 iteration."""
+    from repro.train import Trainer
+
+    config = TrainingConfig(network, batch, gpus, comm_method=comm)
+    sim = SimulationConfig(warmup_iterations=0, measure_iterations=1)
+    result = Trainer(config, sim=sim).run()
+    return {"iteration_time": result.iteration_time}
+
+
+def _fresh_runner(jobs: int = 1, invariants: str = "off"):
+    """A store-less runner: every point is really simulated."""
+    from repro.runner import SweepRunner
+
+    return SweepRunner(jobs=jobs, invariants=invariants)
+
+
+def paper_grids(fast: bool = True) -> Dict[str, float]:
+    """The paper's figure/table sweep grids (Fig. 3/4/5, Tables II/III).
+
+    One shared runner per call, exactly like ``repro-experiments all``:
+    later grids hit the in-process memo where configurations overlap, so
+    the scenario times the real mixed simulate/memoize workload.
+    """
+    from repro.experiments import (
+        fig3_training_time,
+        fig4_breakdown,
+        fig5_weak_scaling,
+        table2_nccl_overhead,
+        table3_sync_overhead,
+    )
+
+    grid = dict(batch_sizes=FAST_BATCHES, gpu_counts=FAST_GPUS) if fast else {}
+    t2 = dict(batch_sizes=FAST_BATCHES) if fast else {}
+    runner = _fresh_runner()
+    specs = [
+        fig3_training_time.sweep_spec(**grid),
+        fig4_breakdown.sweep_spec(**grid),
+        fig5_weak_scaling.sweep_spec(**grid),
+        table2_nccl_overhead.sweep_spec(**t2),
+        table3_sync_overhead.sweep_spec(**grid),
+    ]
+    points = 0
+    for spec in specs:
+        points += len(runner.run(spec))
+    return {
+        "points": float(points),
+        "simulated": float(runner.stats.executed),
+        "memoized": float(runner.stats.memory_hits),
+    }
+
+
+def selfcheck_strict(fast: bool = True) -> Dict[str, float]:
+    """The strict-invariant selfcheck sweeps (213 points at full size).
+
+    Times the same specs ``repro-experiments selfcheck`` runs -- the
+    headline grids plus tuner-mode and fault-injected points -- under
+    ``strict`` enforcement, which is the checker-heavy worst case for
+    payload construction.
+    """
+    from repro.experiments.selfcheck import _specs
+
+    runner = _fresh_runner(invariants="strict")
+    points = 0
+    checked = 0
+    for spec in _specs(fast):
+        points += len(runner.run(spec))
+    checked = sum(entry[0] for entry in runner.check_stats.values())
+    return {
+        "points": float(points),
+        "simulated": float(runner.stats.executed),
+        "checks": float(checked),
+    }
+
+
+def nccl_tuner_sweep(
+    fast: bool = True, networks: Optional[Sequence[str]] = None
+) -> Dict[str, float]:
+    """The NCCL algorithm/protocol ablation (tuner selection + training).
+
+    The selection table scans the pure cost model over 256 B..256 MiB;
+    the end-to-end sweep trains every pinned (algorithm, protocol) combo
+    plus ``auto`` through the tuner path -- the allocation-heavy chunk
+    pipelining ROADMAP item 1 targets.
+    """
+    from repro.experiments import nccl_ablation
+
+    if networks is None:
+        networks = ("alexnet",) if fast else ("alexnet", "resnet")
+    runner = _fresh_runner()
+    result = nccl_ablation.run(runner=runner, networks=tuple(networks))
+    return {
+        "selection_rows": float(len(result.selection)),
+        "epoch_rows": float(len(result.epochs)),
+        "simulated": float(runner.stats.executed),
+    }

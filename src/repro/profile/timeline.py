@@ -4,16 +4,18 @@ The trace groups activity into four processes with named lanes, emitted as
 standard ``process_name``/``thread_name`` metadata events so the viewer
 shows "GPU kernels / GPU 3" instead of raw ids:
 
-=====  ==================  =============================================
-pid    process             lanes (tid)
-=====  ==================  =============================================
-0      Host (CUDA APIs)    one engine thread per GPU
-1      GPU kernels         one lane per GPU index
-2      Fabric transfers    one lane per transfer kind; collectives
-                           (``dst == -1``) get their own
-                           "nccl collectives (all GPUs)" lane
-3      Stages              one lane per GPU plus a "global" lane
-=====  ==================  =============================================
+=====  ===================  ============================================
+pid    process              lanes (tid)
+=====  ===================  ============================================
+0      Host (CUDA APIs)     one engine thread per GPU
+1      GPU kernels          one lane per GPU index
+2      Fabric transfers     one lane per transfer kind; collectives
+                            (``dst == -1``) get their own
+                            "nccl collectives (all GPUs)" lane
+3      Stages               one lane per GPU plus a "global" lane
+4      Simulator self-time  one wall-clock lane (``repro.perf`` spans;
+                            see :mod:`repro.perf.trace`)
+=====  ===================  ============================================
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ _PID_HOST = 0
 _PID_GPU = 1
 _PID_FABRIC = 2
 _PID_STAGES = 3
+_PID_SELF = 4  # simulator self-time (repro.perf), kept clear of sim lanes
 
 #: Fixed lane ids within the fabric process.
 _TRANSFER_LANES = {"p2p": 0, "h2d": 2, "d2h": 3}
@@ -144,13 +147,17 @@ def chrome_trace_events(profiler: Profiler) -> List[dict]:
     return events
 
 
-def export_chrome_trace(profiler: Profiler, fp: IO[str]) -> None:
-    """Write the run as a Chrome trace JSON file."""
-    json.dump(
-        {
-            "traceEvents": chrome_trace_metadata(profiler)
-            + chrome_trace_events(profiler),
-            "displayTimeUnit": "ms",
-        },
-        fp,
-    )
+def export_chrome_trace(profiler: Profiler, fp: IO[str], perf=None) -> None:
+    """Write the run as a Chrome trace JSON file.
+
+    ``perf`` optionally attaches a :class:`~repro.perf.spans.PerfProfiler`
+    whose simulator self-time spans ride along on their own process lane
+    (pid 4), so one Perfetto tab shows simulated time and the wall-clock
+    spent producing it side by side.
+    """
+    events = chrome_trace_metadata(profiler) + chrome_trace_events(profiler)
+    if perf is not None:
+        from repro.perf.trace import perf_chrome_trace_events
+
+        events += perf_chrome_trace_events(perf)
+    json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fp)

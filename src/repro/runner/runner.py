@@ -62,7 +62,8 @@ from repro.runner.spec import (
     SweepPoint,
     SweepSpec,
 )
-from repro.runner.store import ResultStore
+from repro.perf.spans import PERF
+from repro.runner.store import CacheEntry, ResultStore
 
 #: What one executed/cached point yields: a result object, an OOM record,
 #: or a (never-cached) failure record.
@@ -239,6 +240,12 @@ class RunnerStats:
     oom: int = 0
     retried: int = 0
     failed: int = 0
+    #: Wall-clock seconds spent actually simulating points this run.
+    sim_seconds: float = 0.0
+    #: Wall-clock seconds cache hits would have cost to re-simulate
+    #: (summed from the ``perf`` metadata of the entries they were
+    #: answered from; entries without metadata contribute 0).
+    saved_seconds: float = 0.0
 
     @property
     def total(self) -> int:
@@ -252,6 +259,21 @@ class RunnerStats:
         if self.retried or self.failed:
             base += f", {self.retried} retried, {self.failed} failed"
         return base
+
+    def describe_timing(self) -> Optional[str]:
+        """One-line cache-hit/miss timing summary, or ``None`` if idle.
+
+        Kept separate from :meth:`describe` (whose format downstream
+        tooling matches) and only rendered once any wall-clock was
+        actually spent or saved.
+        """
+        if self.sim_seconds <= 0.0 and self.saved_seconds <= 0.0:
+            return None
+        return (
+            f"timing: {self.sim_seconds:.2f}s simulating "
+            f"({self.executed} point(s)), ~{self.saved_seconds:.2f}s "
+            f"avoided by {self.memory_hits + self.disk_hits} cache hit(s)"
+        )
 
 
 class SweepRunner:
@@ -320,6 +342,9 @@ class SweepRunner:
         #: their checks ran when the entry was first simulated).
         self.check_stats: Dict[str, List[int]] = {}
         self._memo: Dict[str, PointValue] = {}
+        #: Wall-clock each memoized point originally cost to simulate,
+        #: so memory hits can credit :attr:`RunnerStats.saved_seconds`.
+        self._memo_cost: Dict[str, float] = {}
 
     def __len__(self) -> int:
         """Distinct results currently held in memory."""
@@ -340,18 +365,20 @@ class SweepRunner:
                 label=point.describe(),
             ))
             key = self._key(point)
-            value = self._lookup(key)
-            if value is None:
+            entry = self._lookup(key)
+            if entry is None:
                 pending.append((index, key, point))
             else:
                 source = "memory" if key in self._memo else "disk"
                 if source == "disk":
-                    self._memo[key] = value  # promote for later lookups
+                    self._memo[key] = entry.value  # promote for later lookups
+                    self._memo_cost[key] = entry.elapsed
                     self.stats.disk_hits += 1
                 else:
                     self.stats.memory_hits += 1
+                self.stats.saved_seconds += entry.elapsed
                 outcomes[index] = self._finish(
-                    spec, index, total, point, value, source, 0.0
+                    spec, index, total, point, entry.value, source, 0.0
                 )
 
         if pending:
@@ -463,16 +490,25 @@ class SweepRunner:
             point, self.sim, self.constants, self.trainer_kwargs
         )
 
-    def _lookup(self, key: Optional[str]) -> Optional[PointValue]:
+    def _lookup(self, key: Optional[str]) -> Optional[CacheEntry]:
         if key is None:
             return None
         if key in self._memo:
-            return self._memo[key]
+            return CacheEntry(
+                value=self._memo[key],
+                elapsed=self._memo_cost.get(key, 0.0),
+            )
         if self.store is not None:
-            return self.store.load(key)
+            return self.store.load_entry(key)
         return None
 
-    def _record(self, key: Optional[str], value: PointValue) -> None:
+    def _record(
+        self,
+        key: Optional[str],
+        value: PointValue,
+        elapsed: float = 0.0,
+        check_stats: Optional[Dict[str, Tuple[int, int]]] = None,
+    ) -> None:
         if key is None:
             return
         if isinstance(value, FailureInfo):
@@ -480,8 +516,9 @@ class SweepRunner:
             # point permanently "fail" from cache on every future run.
             return
         self._memo[key] = value
+        self._memo_cost[key] = elapsed
         if self.store is not None:
-            self.store.store(key, value)
+            self.store.store(key, value, elapsed=elapsed, check_stats=check_stats)
 
     def _finish(
         self,
@@ -556,10 +593,11 @@ class SweepRunner:
         for index, key, point in pending:
             attempt = 1
             while True:
-                value, elapsed, cstats = _execute_point(
-                    point, self.sim, self.constants, self.trainer_kwargs,
-                    self.invariants,
-                )
+                with PERF.span("runner.point"):
+                    value, elapsed, cstats = _execute_point(
+                        point, self.sim, self.constants, self.trainer_kwargs,
+                        self.invariants,
+                    )
                 merge_stats(self.check_stats, cstats)
                 if not isinstance(value, FailureInfo) or attempt > self.retries:
                     break
@@ -569,7 +607,8 @@ class SweepRunner:
             if isinstance(value, FailureInfo):
                 value = dataclasses.replace(value, attempts=attempt)
             self.stats.executed += 1
-            self._record(key, value)
+            self.stats.sim_seconds += elapsed
+            self._record(key, value, elapsed, cstats)
             outcomes[index] = self._finish(
                 spec, index, total, point, value, "executed", elapsed
             )
@@ -628,6 +667,7 @@ class SweepRunner:
                             message=str(exc), attempts=attempt,
                         )
                         elapsed = 0.0
+                        cstats = {}
                     if isinstance(value, FailureInfo) and attempt <= self.retries:
                         time.sleep(self._note_retry(
                             spec, total, index, point, attempt, value))
@@ -636,7 +676,8 @@ class SweepRunner:
                     if isinstance(value, FailureInfo):
                         value = dataclasses.replace(value, attempts=attempt)
                     self.stats.executed += 1
-                    self._record(key, value)
+                    self.stats.sim_seconds += elapsed
+                    self._record(key, value, elapsed, cstats)
                     outcomes[index] = self._finish(
                         spec, index, total, point, value, "executed", elapsed
                     )
@@ -659,6 +700,7 @@ class SweepRunner:
                         timed_out=True,
                     )
                     self.stats.executed += 1
+                    self.stats.sim_seconds += now - started
                     outcomes[index] = self._finish(
                         spec, index, total, point, value, "executed",
                         now - started,

@@ -16,6 +16,12 @@ Layout::
 ``kind`` is ``"training"`` (synchronous :class:`TrainingResult`),
 ``"async"`` (:class:`AsyncResult`) or ``"oom"`` (a recorded
 out-of-memory failure, so untrainable points are not re-attempted).
+
+Entries may additionally carry a ``"perf"`` object -- the wall-clock the
+point originally cost to simulate and its invariant-check statistics
+(see :meth:`ResultStore.load_entry`).  The field is additive: readers of
+the original layout ignore unknown keys, so no schema bump is needed,
+and files written before the field exist load fine with ``perf=None``.
 """
 
 from __future__ import annotations
@@ -25,7 +31,8 @@ import os
 import pathlib
 import tempfile
 import warnings
-from typing import Optional, Union
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.core.errors import ReproError
 from repro.runner.spec import OomInfo
@@ -46,6 +53,51 @@ class CacheCorruptionWarning(UserWarning):
 
 
 StoredValue = Union["TrainingResult", "AsyncResult", OomInfo]  # noqa: F821
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One loaded cache entry: the value plus its recorded cost.
+
+    ``elapsed`` is the wall-clock seconds the point took when it was
+    first simulated (0.0 for entries written before the ``perf`` field
+    existed); ``check_stats`` is the invariant-statistics snapshot from
+    that original execution.
+    """
+
+    value: StoredValue
+    elapsed: float = 0.0
+    check_stats: Optional[Dict[str, Tuple[int, int]]] = None
+
+
+def _parse_perf(
+    raw: Any,
+) -> Tuple[float, Optional[Dict[str, Tuple[int, int]]]]:
+    """Best-effort decode of an entry's ``"perf"`` object.
+
+    Perf metadata is advisory (it only feeds timing summaries), so any
+    malformed shape degrades to ``(0.0, None)`` rather than poisoning an
+    otherwise intact result.
+    """
+    if not isinstance(raw, dict):
+        return 0.0, None
+    try:
+        elapsed = float(raw.get("elapsed", 0.0))
+    except (TypeError, ValueError):
+        elapsed = 0.0
+    if elapsed < 0.0:
+        elapsed = 0.0
+    stats_raw = raw.get("check_stats")
+    check_stats: Optional[Dict[str, Tuple[int, int]]] = None
+    if isinstance(stats_raw, dict):
+        try:
+            check_stats = {
+                str(name): (int(pair[0]), int(pair[1]))
+                for name, pair in stats_raw.items()
+            }
+        except (TypeError, ValueError, IndexError, KeyError):
+            check_stats = None
+    return elapsed, check_stats
 
 
 class ResultStore:
@@ -72,7 +124,12 @@ class ResultStore:
         )
 
     def load(self, key: str) -> Optional[StoredValue]:
-        """The stored value for ``key``, or ``None`` on a miss.
+        """The stored value for ``key``, or ``None`` on a miss."""
+        entry = self.load_entry(key)
+        return entry.value if entry is not None else None
+
+    def load_entry(self, key: str) -> Optional[CacheEntry]:
+        """The stored value plus its recorded perf metadata, or ``None``.
 
         Corrupted or truncated files -- invalid JSON, a non-dict payload,
         a missing ``schema`` stamp, missing result fields -- count as
@@ -82,6 +139,9 @@ class ResultStore:
         loudly with :class:`CacheSchemaError`: those files are internally
         consistent data from another library version, and silently
         re-simulating would mask a whole directory of unusable entries.
+
+        A malformed ``perf`` field never fails the load: the result data
+        is intact, so the entry is returned with ``elapsed=0.0``.
         """
         # Imported lazily: repro.analysis's package __init__ pulls in
         # modules that import repro.runner back.
@@ -113,14 +173,15 @@ class ResultStore:
                 f"(or pass --no-cache) and re-run"
             )
         kind = data.get("kind")
+        value: Optional[StoredValue] = None
         try:
             if kind == "training":
-                return result_from_dict(data["result"])
-            if kind == "async":
-                return async_result_from_dict(data["result"])
-            if kind == "oom":
+                value = result_from_dict(data["result"])
+            elif kind == "async":
+                value = async_result_from_dict(data["result"])
+            elif kind == "oom":
                 o = data["result"]
-                return OomInfo(
+                value = OomInfo(
                     device=o["device"],
                     requested=o["requested"],
                     free=o["free"],
@@ -131,11 +192,25 @@ class ResultStore:
         except (KeyError, TypeError, ValueError) as exc:
             self._corrupt(path, f"missing/invalid result fields: {exc}")
             return None
-        self._corrupt(path, f"unknown result kind {kind!r}")
-        return None
+        if value is None:
+            self._corrupt(path, f"unknown result kind {kind!r}")
+            return None
+        elapsed, check_stats = _parse_perf(data.get("perf"))
+        return CacheEntry(value=value, elapsed=elapsed, check_stats=check_stats)
 
-    def store(self, key: str, value: StoredValue) -> pathlib.Path:
-        """Persist ``value`` under ``key`` (atomic write-then-rename)."""
+    def store(
+        self,
+        key: str,
+        value: StoredValue,
+        elapsed: Optional[float] = None,
+        check_stats: Optional[Dict[str, Tuple[int, int]]] = None,
+    ) -> pathlib.Path:
+        """Persist ``value`` under ``key`` (atomic write-then-rename).
+
+        ``elapsed`` (wall-clock seconds the point took to simulate) and
+        ``check_stats`` (its invariant statistics) are recorded in the
+        additive ``"perf"`` entry field when given.
+        """
         from repro.analysis.serialization import (
             SCHEMA_VERSION,
             async_result_to_dict,
@@ -156,7 +231,17 @@ class ResultStore:
             kind, payload = "training", result_to_dict(value)
 
         self.root.mkdir(parents=True, exist_ok=True)
-        data = {"schema": SCHEMA_VERSION, "kind": kind, "result": payload}
+        data: Dict[str, Any] = {
+            "schema": SCHEMA_VERSION, "kind": kind, "result": payload,
+        }
+        if elapsed is not None:
+            perf: Dict[str, Any] = {"elapsed": float(elapsed)}
+            if check_stats:
+                perf["check_stats"] = {
+                    name: [int(checked), int(violated)]
+                    for name, (checked, violated) in sorted(check_stats.items())
+                }
+            data["perf"] = perf
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fp:

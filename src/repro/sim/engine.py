@@ -23,6 +23,7 @@ class Environment:
         self._observer = None
         self._observer_every = 1
         self._steps = 0
+        self._dispatched = 0
         self._checks = None
 
     def set_checks(self, checks) -> None:
@@ -51,6 +52,16 @@ class Environment:
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def dispatched(self) -> int:
+        """Events processed so far (feeds the ``sim.events`` perf counter).
+
+        Maintained unconditionally -- one integer increment per event is
+        the cheapest instrumentation :mod:`repro.perf` can buy, far below
+        the cost of a gating branch plus attribute lookups would be.
+        """
+        return self._dispatched
 
     # ------------------------------------------------------------------
     # Event factories
@@ -93,6 +104,7 @@ class Environment:
         if self._checks is not None:
             self._checks.check("sim.event", when=when, now=self._now)
         self._now = when
+        self._dispatched += 1
         callbacks, event.callbacks = event.callbacks, []
         event._processed = True
         for callback in callbacks:

@@ -15,6 +15,7 @@ from typing import Dict, Generator, Optional, Tuple
 
 from repro.core.constants import CALIBRATION, CalibrationConstants
 from repro.obs.events import LinkBusyEvent, LinkWaitEvent
+from repro.perf.spans import PERF
 from repro.sim import Environment, Resource
 from repro.sim.resources import Store
 from repro.sim.events import Event
@@ -86,6 +87,9 @@ class Fabric:
         this conservatively models a cut-through DMA whose slowest link
         paces the whole chain.
         """
+        if PERF.enabled:
+            PERF.count("fabric.dmas")
+            PERF.count("fabric.bytes", nbytes)
         requested = self.env.now
         requests = []
         current = leg.src

@@ -49,6 +49,7 @@ from repro.faults.recovery import (
 )
 from repro.faults.view import degraded_topology
 from repro.obs.session import ObsSession
+from repro.perf.spans import PERF
 from repro.obs.events import (
     FaultInjectedEvent,
     RecoveryCostEvent,
@@ -127,21 +128,28 @@ class Trainer:
             raise FaultPlanError(
                 f"faults must be a FaultPlan, got {type(faults).__name__}"
             )
-        if network is not None:
-            if input_shape is None:
-                raise ValueError("a custom network needs an explicit input_shape")
-            self.stats = compile_network(network, input_shape)
-        else:
-            self.stats = compile_network(
-                build_network(config.network), network_input_shape(config.network)
-            )
-        self.optimizer = get_optimizer(config.optimizer)
-        self.cost_model = KernelCostModel(spec, constants, use_tensor_cores)
-        self.memory_model = MemoryModel(spec, constants, optimizer=self.optimizer)
-        # Kernel schedules are batch-dependent but iteration-invariant.
-        self._fwd = self.cost_model.forward_schedule(self.stats, config.batch_size)
-        self._bwd = self.cost_model.backward_schedule(self.stats, config.batch_size)
-        self._kernels_per_iter = len(self._fwd) + sum(len(k) for _, k in self._bwd)
+        with PERF.span("trainer.compile"):
+            if network is not None:
+                if input_shape is None:
+                    raise ValueError(
+                        "a custom network needs an explicit input_shape")
+                self.stats = compile_network(network, input_shape)
+            else:
+                self.stats = compile_network(
+                    build_network(config.network),
+                    network_input_shape(config.network)
+                )
+            self.optimizer = get_optimizer(config.optimizer)
+            self.cost_model = KernelCostModel(spec, constants, use_tensor_cores)
+            self.memory_model = MemoryModel(spec, constants,
+                                            optimizer=self.optimizer)
+            # Kernel schedules are batch-dependent but iteration-invariant.
+            self._fwd = self.cost_model.forward_schedule(
+                self.stats, config.batch_size)
+            self._bwd = self.cost_model.backward_schedule(
+                self.stats, config.batch_size)
+            self._kernels_per_iter = (
+                len(self._fwd) + sum(len(k) for _, k in self._bwd))
 
     # ------------------------------------------------------------------
     # Public API
@@ -188,6 +196,17 @@ class Trainer:
         (byte-identical outputs); the faulted path passes a degraded
         topology, a survivor GPU set and per-segment speed/ECC models.
         """
+        with PERF.span("trainer.build"):
+            return self._build_system_inner(
+                topology, gpu_indices, speed_overrides, ecc_models)
+
+    def _build_system_inner(
+        self,
+        topology=None,
+        gpu_indices: Optional[Sequence[int]] = None,
+        speed_overrides: Optional[Dict[int, float]] = None,
+        ecc_models: Optional[Dict[int, object]] = None,
+    ):
         env = Environment()
         profiler = Profiler(
             enabled=False,
@@ -254,6 +273,13 @@ class Trainer:
         checks = self.checks
         if checks is None or not checks.enabled:
             return
+        with PERF.span("trainer.checks"):
+            self._post_measure_checks_inner(
+                env, profiler, fabric, devices, comm, iterations)
+
+    def _post_measure_checks_inner(self, env, profiler, fabric, devices,
+                                   comm, iterations: int) -> None:
+        checks = self.checks
         spans = list(profiler.spans)
         host_overhead = (
             self.constants.framework_iteration_overhead
@@ -331,24 +357,29 @@ class Trainer:
         self, env, profiler, fabric, router, devices, comm
     ) -> List[float]:
         """Warm up, then measure steady-state iterations at full fidelity."""
-        input_ready: List[Optional[Event]] = [None] * len(devices)
-        iteration_times: List[float] = []
-        total_iterations = self.sim.warmup_iterations + self.sim.measure_iterations
-        for iteration in range(total_iterations):
-            if iteration == self.sim.warmup_iterations:
-                profiler.enabled = True
-                profiler.reset()
-            start = env.now
-            done = env.process(
-                self._iteration(
-                    env, iteration, devices, comm, profiler, fabric, router,
-                    input_ready,
+        with PERF.span("trainer.measure"):
+            input_ready: List[Optional[Event]] = [None] * len(devices)
+            iteration_times: List[float] = []
+            total_iterations = (
+                self.sim.warmup_iterations + self.sim.measure_iterations)
+            for iteration in range(total_iterations):
+                if iteration == self.sim.warmup_iterations:
+                    profiler.enabled = True
+                    profiler.reset()
+                start = env.now
+                done = env.process(
+                    self._iteration(
+                        env, iteration, devices, comm, profiler, fabric,
+                        router, input_ready,
+                    )
                 )
-            )
-            env.run(until=done)
-            if iteration >= self.sim.warmup_iterations:
-                iteration_times.append(env.now - start)
-        return iteration_times
+                env.run(until=done)
+                if iteration >= self.sim.warmup_iterations:
+                    iteration_times.append(env.now - start)
+            if PERF.enabled:
+                PERF.count("sim.events", env.dispatched)
+                PERF.count("trainer.iterations", total_iterations)
+            return iteration_times
 
     def _run_healthy(self) -> TrainingResult:
         env, profiler, fabric, router, devices, comm = self._build_system()

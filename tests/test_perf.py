@@ -1,0 +1,381 @@
+"""Tests for repro.perf: spans, harness, gate, trace, cache perf field."""
+
+import json
+
+import pytest
+
+from repro.analysis.serialization import result_to_dict
+from repro.core.config import CommMethodName, SimulationConfig, TrainingConfig
+from repro.perf.gate import compare_bench, render_comparison
+from repro.perf.harness import (
+    BENCH_SCHEMA_VERSION,
+    BenchValidationError,
+    BenchWorkload,
+    _time_workload,
+    calibration_score,
+    load_bench,
+    machine_fingerprint,
+    validate_bench,
+    workloads_for_profile,
+    write_bench,
+)
+from repro.perf.spans import PERF, PerfProfiler, render_perf_report
+from repro.perf.trace import PID_SELF, export_perf_chrome_trace
+from repro.runner import OomInfo, ResultStore, SweepPoint, SweepRunner, SweepSpec
+from repro.runner.store import CacheEntry
+from repro.train import Trainer
+
+FAST = SimulationConfig(warmup_iterations=1, measure_iterations=2)
+
+
+def _config(**kwargs):
+    defaults = dict(network="lenet", batch_size=16, num_gpus=1,
+                    comm_method=CommMethodName.P2P)
+    defaults.update(kwargs)
+    return TrainingConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Spans and counters
+# ----------------------------------------------------------------------
+def test_disabled_span_is_shared_noop():
+    perf = PerfProfiler()
+    assert perf.span("a") is perf.span("b")
+    perf.count("c", 5)
+    assert perf.records == [] and perf.counters == {}
+
+
+def test_span_nesting_builds_slash_paths():
+    perf = PerfProfiler(enabled=True)
+    with perf.span("outer"):
+        with perf.span("inner"):
+            pass
+        with perf.span("inner"):
+            pass
+    agg = perf.aggregate()
+    assert set(agg) == {"outer", "outer/inner"}
+    assert agg["outer/inner"].calls == 2
+    assert agg["outer"].calls == 1
+    # Self time excludes the directly enclosed children.
+    assert agg["outer"].self_time <= agg["outer"].total
+    assert agg["outer"].total >= agg["outer/inner"].total
+
+
+def test_span_closes_and_records_under_exceptions():
+    perf = PerfProfiler(enabled=True)
+    with pytest.raises(ValueError):
+        with perf.span("outer"):
+            with perf.span("inner"):
+                raise ValueError("boom")
+    # Both spans recorded, stack fully unwound.
+    assert sorted(r.path for r in perf.records) == ["outer", "outer/inner"]
+    assert perf._stack == []
+    # The profiler is still usable afterwards, at depth 0.
+    with perf.span("after"):
+        pass
+    assert perf.records[-1].path == "after"
+
+
+def test_span_abandoned_child_is_popped():
+    perf = PerfProfiler(enabled=True)
+    outer = perf.span("outer")
+    outer.__enter__()
+    inner = perf.span("inner")
+    inner.__enter__()  # never exited: simulates a raise mid-__enter__ chain
+    outer.__exit__(None, None, None)
+    assert perf._stack == []
+    assert [r.name for r in perf.records] == ["outer"]
+
+
+def test_counters_accumulate_and_snapshot_sorted():
+    perf = PerfProfiler(enabled=True)
+    perf.count("b", 2)
+    perf.count("a")
+    perf.count("b", 3)
+    assert perf.counters_dict() == {"a": 1, "b": 5}
+
+
+def test_reset_clears_everything():
+    perf = PerfProfiler(enabled=True)
+    with perf.span("x"):
+        perf.count("n")
+    perf.reset()
+    assert perf.records == [] and perf.counters == {} and perf._stack == []
+
+
+def test_to_registry_publishes_gauges():
+    from repro.obs.metrics import MetricsRegistry
+
+    perf = PerfProfiler(enabled=True)
+    with perf.span("stage"):
+        perf.count("events", 7)
+    registry = MetricsRegistry()
+    perf.to_registry(registry)
+    seconds = registry.gauge("perf_span_seconds", "", labelnames=("path",))
+    assert seconds.labels(path="stage").value > 0
+    counter = registry.gauge("perf_counter_total", "", labelnames=("name",))
+    assert counter.labels(name="events").value == 7
+
+
+def test_render_perf_report_lists_spans_and_counters():
+    perf = PerfProfiler(enabled=True)
+    with perf.span("alpha"):
+        perf.count("widgets", 3)
+    report = render_perf_report(perf)
+    assert "alpha" in report and "widgets" in report
+
+
+# ----------------------------------------------------------------------
+# Byte-identity: profiling must not perturb simulated outputs
+# ----------------------------------------------------------------------
+def test_enabled_profiling_keeps_results_byte_identical():
+    config = _config(comm_method=CommMethodName.NCCL, num_gpus=2)
+    baseline = result_to_dict(Trainer(config, sim=FAST).run())
+    assert not PERF.enabled
+    PERF.reset()
+    PERF.enable()
+    try:
+        profiled = result_to_dict(Trainer(config, sim=FAST).run())
+    finally:
+        PERF.disable()
+        recorded = len(PERF.records)
+        PERF.reset()
+    assert json.dumps(profiled, sort_keys=True) == json.dumps(
+        baseline, sort_keys=True
+    )
+    assert recorded > 0  # the run really was instrumented
+
+
+def test_global_perf_disabled_by_default():
+    assert not PERF.enabled
+
+
+# ----------------------------------------------------------------------
+# Chrome trace export
+# ----------------------------------------------------------------------
+def test_export_perf_chrome_trace(tmp_path):
+    perf = PerfProfiler(enabled=True)
+    with perf.span("outer"):
+        with perf.span("inner"):
+            perf.count("things", 2)
+    path = tmp_path / "self.trace.json"
+    with path.open("w") as fp:
+        export_perf_chrome_trace(perf, fp)
+    trace = json.loads(path.read_text())
+    events = trace["traceEvents"]
+    assert all(e["pid"] == PID_SELF for e in events)
+    durations = [e for e in events if e.get("ph") == "X"]
+    assert {e["name"] for e in durations} == {"outer", "inner"}
+    # Rebased to t=0 at the earliest span.
+    assert min(e["ts"] for e in durations) == 0.0
+    assert trace["metadata"]["perf_counters"] == {"things": 2}
+    # Process metadata names the self-time lane.
+    meta = [e for e in events if e.get("ph") == "M"]
+    assert any(e["args"]["name"] == "Simulator self-time" for e in meta)
+
+
+# ----------------------------------------------------------------------
+# Harness: timing discipline, document round-trip, validation
+# ----------------------------------------------------------------------
+def _tiny_document():
+    perf = PerfProfiler()
+    calls = []
+
+    def fn():
+        calls.append(1)
+        with perf.span("work"):
+            pass
+        return {"items": 3.0}
+
+    workload = BenchWorkload(name="tiny", profile="fast", fn=fn,
+                             repeats=3, warmup=2)
+    record = _time_workload(workload, None, perf)
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "generated": "2026-01-01T00:00:00Z",
+        "profile": "fast",
+        "machine": machine_fingerprint(),
+        "calibration": calibration_score(repeats=1),
+        "workloads": {"tiny": record},
+    }, calls
+
+
+def test_time_workload_min_of_n_with_warmup():
+    document, calls = _tiny_document()
+    record = document["workloads"]["tiny"]
+    assert len(calls) == 5  # 2 warmup + 3 timed
+    assert len(record["samples"]) == 3
+    assert record["wall_clock"] == min(record["samples"])
+    assert record["meta"] == {"items": 3.0}
+    assert "work" in record["spans"]
+    validate_bench(document)
+
+
+def test_bench_write_load_round_trip(tmp_path):
+    document, _ = _tiny_document()
+    path = write_bench(tmp_path / "BENCH_test.json", document)
+    assert path.read_text().endswith("\n")
+    loaded = load_bench(path)
+    assert loaded == json.loads(json.dumps(document))
+
+
+@pytest.mark.parametrize("mutate, fragment", [
+    (lambda d: d.update(schema=99), "schema"),
+    (lambda d: d.pop("calibration"), "calibration"),
+    (lambda d: d["workloads"].clear(), "empty"),
+    (lambda d: d["workloads"]["tiny"].update(wall_clock=-1), "wall_clock"),
+    (lambda d: d["workloads"]["tiny"].update(wall_clock=999.0), "min-of-N"),
+    (lambda d: d["workloads"]["tiny"].pop("spans"), "spans"),
+    (lambda d: d["workloads"]["tiny"].update(profile="bogus"), "profile"),
+])
+def test_validate_bench_rejects(mutate, fragment):
+    document, _ = _tiny_document()
+    mutate(document)
+    with pytest.raises(BenchValidationError, match=fragment):
+        validate_bench(document)
+
+
+def test_default_workload_registry_profiles():
+    fast = {w.name for w in workloads_for_profile("fast")}
+    full = {w.name for w in workloads_for_profile("full")}
+    both = {w.name for w in workloads_for_profile("all")}
+    assert "selfcheck-fast" in fast and "selfcheck-full" in full
+    assert fast.isdisjoint(full)
+    assert both == fast | full
+    with pytest.raises(BenchValidationError):
+        workloads_for_profile("bogus")
+
+
+# ----------------------------------------------------------------------
+# Regression gate
+# ----------------------------------------------------------------------
+def _bench_doc(score, **wall_clocks):
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "profile": "fast",
+        "machine": {},
+        "calibration": {"score": score},
+        "workloads": {
+            name: {"wall_clock": wall, "profile": "fast", "repeats": 1,
+                   "samples": [wall], "spans": {}, "counters": {}, "meta": {}}
+            for name, wall in wall_clocks.items()
+        },
+    }
+
+
+def test_gate_passes_identical_documents():
+    doc = _bench_doc(1e6, sweep=10.0)
+    comparison = compare_bench(doc, doc, tolerance=0.1)
+    assert comparison.ok
+    assert comparison.verdicts[0].status == "ok"
+    assert "gate: PASS" in render_comparison(comparison)
+
+
+def test_gate_fails_on_regression():
+    baseline = _bench_doc(1e6, sweep=10.0)
+    fresh = _bench_doc(1e6, sweep=14.0)
+    comparison = compare_bench(fresh, baseline, tolerance=0.2)
+    assert not comparison.ok
+    assert comparison.regressions[0].name == "sweep"
+    assert "gate: FAIL (1 regression(s))" in render_comparison(comparison)
+
+
+def test_gate_normalizes_by_machine_score():
+    # Fresh machine is 2x slower (half the calibration score): a 2x
+    # wall-clock is exactly expected, not a regression.
+    baseline = _bench_doc(2e6, sweep=10.0)
+    fresh = _bench_doc(1e6, sweep=20.0)
+    comparison = compare_bench(fresh, baseline, tolerance=0.1)
+    assert comparison.speed_ratio == pytest.approx(2.0)
+    assert comparison.ok
+    # ...while a genuine slowdown on top of that still fails.
+    slower = _bench_doc(1e6, sweep=30.0)
+    assert not compare_bench(slower, baseline, tolerance=0.1).ok
+
+
+def test_gate_reports_improvements():
+    baseline = _bench_doc(1e6, sweep=10.0)
+    fresh = _bench_doc(1e6, sweep=4.0)
+    comparison = compare_bench(fresh, baseline, tolerance=0.2)
+    assert comparison.ok
+    assert comparison.verdicts[0].status == "improved"
+
+
+def test_gate_skips_mismatched_workloads():
+    baseline = _bench_doc(1e6, common=1.0, only_base=5.0)
+    fresh = _bench_doc(1e6, common=1.0, only_fresh=2.0)
+    comparison = compare_bench(fresh, baseline, tolerance=0.2)
+    assert comparison.ok
+    statuses = {v.name: v.status for v in comparison.verdicts}
+    assert statuses == {"common": "ok", "only_base": "skipped",
+                        "only_fresh": "skipped"}
+
+
+def test_gate_rejects_negative_tolerance():
+    doc = _bench_doc(1e6, sweep=1.0)
+    with pytest.raises(ValueError):
+        compare_bench(doc, doc, tolerance=-0.5)
+
+
+# ----------------------------------------------------------------------
+# ResultStore perf field and runner timing stats
+# ----------------------------------------------------------------------
+def test_store_perf_field_round_trip(tmp_path):
+    store = ResultStore(tmp_path)
+    oom = OomInfo(device=0, requested=10, free=5, message="nope")
+    store.store("k", oom, elapsed=1.25, check_stats={"inv": (4, 1)})
+    entry = store.load_entry("k")
+    assert isinstance(entry, CacheEntry)
+    assert entry.value == oom
+    assert entry.elapsed == 1.25
+    assert entry.check_stats == {"inv": (4, 1)}
+    # load() still returns the bare value.
+    assert store.load("k") == oom
+
+
+def test_store_entry_without_perf_defaults(tmp_path):
+    store = ResultStore(tmp_path)
+    oom = OomInfo(device=0, requested=10, free=5, message="nope")
+    store.store("k", oom)  # no perf metadata (old-writer shape)
+    entry = store.load_entry("k")
+    assert entry.elapsed == 0.0 and entry.check_stats is None
+
+
+def test_store_malformed_perf_is_ignored(tmp_path):
+    store = ResultStore(tmp_path)
+    oom = OomInfo(device=0, requested=10, free=5, message="nope")
+    path = store.store("k", oom, elapsed=2.0)
+    data = json.loads(path.read_text())
+    data["perf"] = {"elapsed": "garbage", "check_stats": [1, 2]}
+    path.write_text(json.dumps(data))
+    entry = store.load_entry("k")
+    assert entry.value == oom
+    assert entry.elapsed == 0.0 and entry.check_stats is None
+
+
+def test_runner_credits_saved_seconds_from_cache(tmp_path):
+    spec = SweepSpec(name="t", points=(SweepPoint(config=_config()),))
+    first = SweepRunner(sim=FAST, store=ResultStore(tmp_path))
+    first.run(spec)
+    assert first.stats.executed == 1
+    assert first.stats.sim_seconds > 0
+    assert first.stats.describe_timing() is not None
+
+    second = SweepRunner(sim=FAST, store=ResultStore(tmp_path))
+    second.run(spec)
+    assert second.stats.disk_hits == 1
+    assert second.stats.saved_seconds > 0
+    # A memo hit in the same runner credits the recorded cost too.
+    second.run(spec)
+    assert second.stats.memory_hits == 1
+    assert second.stats.saved_seconds > first.stats.sim_seconds * 0.5
+
+
+def test_runner_stats_describe_format_is_stable():
+    from repro.runner.runner import RunnerStats
+
+    stats = RunnerStats()
+    assert stats.describe() == (
+        "0 simulated, 0 from disk cache, 0 memoized, 0 OOM"
+    )
+    assert stats.describe_timing() is None

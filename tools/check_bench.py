@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Bench regression gate: fresh timings vs. the committed baseline.
+
+Two modes, both exiting non-zero on failure:
+
+* ``--validate BENCH.json`` -- schema-check one committed bench document
+  without running anything (CI uses this to keep the baseline honest).
+* ``--baseline BENCH.json [--fresh RUN.json]`` -- compare a fresh bench
+  document against the committed baseline through the noise-aware gate
+  (:mod:`repro.perf.gate`): baseline times are rescaled by the embedded
+  machine-calibration scores, and only normalized slowdowns beyond
+  ``--tolerance`` fail.  Without ``--fresh`` the harness is run in-process
+  first (``--profile``/``--repeats`` size that run).
+
+Usage::
+
+    PYTHONPATH=src python tools/check_bench.py --validate BENCH_6.json
+    PYTHONPATH=src python tools/check_bench.py --baseline BENCH_6.json \
+        --profile fast --tolerance 1.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.perf.gate import DEFAULT_TOLERANCE, compare_bench, render_comparison
+from repro.perf.harness import (
+    BenchValidationError,
+    load_bench,
+    run_harness,
+    validate_bench,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--validate", type=pathlib.Path, default=None,
+                        metavar="BENCH",
+                        help="only validate this bench document and exit")
+    parser.add_argument("--baseline", type=pathlib.Path, default=None,
+                        metavar="BENCH",
+                        help="committed baseline document to gate against")
+    parser.add_argument("--fresh", type=pathlib.Path, default=None,
+                        metavar="BENCH",
+                        help="pre-recorded fresh document (default: run the "
+                             "harness now)")
+    parser.add_argument("--profile", default="fast",
+                        choices=("fast", "full", "all"),
+                        help="harness profile when measuring fresh timings "
+                             "(default: fast)")
+    parser.add_argument("--repeats", type=int, default=None, metavar="N",
+                        help="override workload repeat counts for the fresh "
+                             "run")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        metavar="FRAC",
+                        help="allowed normalized slowdown fraction "
+                             f"(default: {DEFAULT_TOLERANCE})")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.validate is not None:
+            document = load_bench(args.validate)
+            print(f"{args.validate}: valid bench document "
+                  f"({len(document['workloads'])} workload(s), "
+                  f"profile {document['profile']})")
+            return 0
+        if args.baseline is None:
+            parser.error("one of --validate or --baseline is required")
+        baseline = load_bench(args.baseline)
+        if args.fresh is not None:
+            fresh = load_bench(args.fresh)
+        else:
+            print(f"measuring fresh '{args.profile}' timings ...",
+                  file=sys.stderr)
+            fresh = run_harness(profile=args.profile, repeats=args.repeats)
+            validate_bench(fresh)
+        comparison = compare_bench(fresh, baseline, tolerance=args.tolerance)
+        print(render_comparison(comparison))
+        return 0 if comparison.ok else 1
+    except BenchValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())
