@@ -21,6 +21,9 @@ Schema history
   :mod:`repro.checks`) and full config coverage (``custom_network``,
   ``nccl_algorithm``, ``nccl_protocol`` -- the tuning fields were
   previously dropped on round-trip).
+* 5 -- strategy-registry support: the config ``strategy`` field and the
+  optional ``async_stats`` block (staleness accounting when a
+  :class:`TrainingResult` came from the ``async-update`` strategy).
 """
 
 from __future__ import annotations
@@ -34,11 +37,11 @@ from repro.gpu.memory import MemoryUsage
 from repro.profile.smi import MemoryReading
 from repro.profile.summary import ApiSummary, StageBreakdown
 from repro.train.async_trainer import AsyncResult
-from repro.train.results import TrainingResult
+from repro.train.results import AsyncStats, TrainingResult
 
 #: Schema version stamped into every exported dict (and hashed into every
 #: persistent-cache key).
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 
 class SchemaMismatchError(ValueError):
@@ -73,6 +76,7 @@ def _config_to_dict(c: TrainingConfig) -> Dict[str, Any]:
         "nccl_algorithm": c.nccl_algorithm,
         "nccl_protocol": c.nccl_protocol,
         "custom_network": c.custom_network,
+        "strategy": c.strategy,
     }
 
 
@@ -91,6 +95,7 @@ def _config_from_dict(c: Dict[str, Any]) -> TrainingConfig:
         nccl_algorithm=c["nccl_algorithm"],
         nccl_protocol=c["nccl_protocol"],
         custom_network=c["custom_network"],
+        strategy=c["strategy"],
     )
 
 
@@ -178,6 +183,28 @@ def _faults_from_dict(data: Optional[Dict[str, Any]]) -> Optional[FaultSummary]:
     )
 
 
+def _async_stats_to_dict(stats: Optional[AsyncStats]) -> Optional[Dict[str, Any]]:
+    if stats is None:
+        return None
+    return {
+        "staleness_mean": stats.staleness_mean,
+        "staleness_max": stats.staleness_max,
+        "staleness_samples": list(stats.staleness_samples),
+        "server_updates": stats.server_updates,
+    }
+
+
+def _async_stats_from_dict(data: Optional[Dict[str, Any]]) -> Optional[AsyncStats]:
+    if data is None:
+        return None
+    return AsyncStats(
+        staleness_mean=data["staleness_mean"],
+        staleness_max=data["staleness_max"],
+        staleness_samples=tuple(data["staleness_samples"]),
+        server_updates=data["server_updates"],
+    )
+
+
 def result_to_dict(result: TrainingResult) -> Dict[str, Any]:
     """A JSON-serializable representation of ``result``."""
     return {
@@ -211,6 +238,7 @@ def result_to_dict(result: TrainingResult) -> Dict[str, Any]:
         ],
         "faults": _faults_to_dict(result.faults),
         "violations": _violations_to_list(result.violations),
+        "async_stats": _async_stats_to_dict(result.async_stats),
     }
 
 
@@ -258,6 +286,7 @@ def result_from_dict(data: Dict[str, Any]) -> TrainingResult:
         profiler=None,
         faults=_faults_from_dict(data.get("faults")),
         violations=_violations_from_list(data.get("violations", [])),
+        async_stats=_async_stats_from_dict(data.get("async_stats")),
     )
 
 

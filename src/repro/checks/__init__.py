@@ -11,10 +11,13 @@ runs*:
 * :mod:`repro.checks.engine`   — :class:`CheckEngine` with its three
   enforcement modes (``off`` / ``warn`` / ``strict``), violation records,
   and per-invariant statistics.
-* :mod:`repro.checks.checkers` — the 18 shipped checkers across the
+* :mod:`repro.checks.checkers` — the 19 shipped checkers across the
   conservation / capacity / temporal / structural categories.
 * :mod:`repro.checks.expect`   — closed-form expected gradient traffic,
   the independent oracle for the conservation audit.
+* :mod:`repro.checks.dag`      — the analytic-DAG cross-check oracle:
+  Shi et al.'s stage model of synchronous SGD as a lower bound on every
+  measured iteration, independent of the event engine.
 
 Usage: pass ``checks=CheckEngine("strict")`` to a
 :class:`~repro.train.trainer.Trainer`, run sweeps with
@@ -32,8 +35,9 @@ from repro.checks.registry import (
     invariant,
 )
 
-# Importing the catalog registers every shipped checker.
+# Importing the catalogs registers every shipped checker.
 from repro.checks import checkers as _checkers  # noqa: F401  (side effect)
+from repro.checks import dag as _dag  # noqa: F401  (side effect)
 
 __all__ = [
     "CheckEngine",

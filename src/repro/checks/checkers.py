@@ -1,11 +1,13 @@
-"""The shipped invariant checkers (18 checkers over 10 checkpoints).
+"""The shipped invariant checkers (18 of the 19 checkers, over 10 of the
+11 checkpoints; the ``trainer.dag`` analytic-oracle checker lives in
+:mod:`repro.checks.dag`).
 
 Each checker guards one physically meaningful property of the simulation —
 the quantities the paper's figures are built from.  The catalog, the
 payload contract of every checkpoint, and instructions for adding a new
 checker live in docs/INVARIANTS.md.
 
-Checkpoints and the checkers attached to them:
+Checkpoints and the checkers attached to them (here):
 
 ====================  ====================================================
 checkpoint            checkers

@@ -19,6 +19,9 @@ The per-method formulas (``b = max(1, floor(nbytes x scale))`` per array):
     full payload once: ``2 x b``.
 ``nccl-allreduce``
     One fused AllReduce record: ``b``.
+``ps-gpu``
+    Flat-star parameter server: every worker sends its whole gradient to
+    GPU0 and receives whole weights back, never sharded: ``2(N-1) x b``.
 ``local``
     Host staging records only ``d2h``/``h2d`` transfers, which prefetching
     can slide across the measurement boundary: ``0`` p2p/nccl bytes.
@@ -44,7 +47,7 @@ def expected_sync_bytes(
     Returns ``None`` (checker skips) for an unrecognized communicator name
     — e.g. a user-supplied custom communicator with unknown semantics.
     """
-    if comm_name not in ("p2p", "nccl", "nccl-allreduce", "local"):
+    if comm_name not in ("p2p", "ps-gpu", "nccl", "nccl-allreduce", "local"):
         return None
     if num_gpus <= 1 or comm_name == "local":
         return 0
@@ -59,6 +62,8 @@ def expected_sync_bytes(
                 total += 2 * num_gpus * (num_gpus - 1) * shard
             else:
                 total += 2 * (num_gpus - 1) * b
+        elif comm_name == "ps-gpu":
+            total += 2 * (num_gpus - 1) * b
         elif comm_name == "nccl":
             total += 2 * b
         else:  # nccl-allreduce

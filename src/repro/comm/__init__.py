@@ -19,6 +19,7 @@ from repro.comm.base import Communicator
 from repro.comm.local import LocalCommunicator
 from repro.comm.nccl import NcclAllReduceCommunicator, NcclCommunicator
 from repro.comm.p2p import P2PCommunicator, reduction_tree
+from repro.comm.ps import PsGpuCommunicator
 
 __all__ = [
     "Communicator",
@@ -26,6 +27,7 @@ __all__ = [
     "NcclAllReduceCommunicator",
     "NcclCommunicator",
     "P2PCommunicator",
+    "PsGpuCommunicator",
     "reduction_tree",
 ]
 
@@ -44,6 +46,8 @@ def make_communicator(name, *args, **kwargs) -> Communicator:
         kwargs.pop("protocol", None)
     if key == "p2p":
         return P2PCommunicator(*args, **kwargs)
+    if key == "ps-gpu":
+        return PsGpuCommunicator(*args, **kwargs)
     if key == "nccl":
         return NcclCommunicator(*args, **kwargs)
     if key == "local":

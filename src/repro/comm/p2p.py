@@ -86,13 +86,21 @@ class P2PCommunicator(Communicator):
                 d.index: Resource(self.env) for d in self.devices
             }
             n = self.num_gpus
-            self._reduce_stages = reduction_tree(n)
+            self._reduce_stages = self._plan_stages(n)
             # children[parent] = [(child, stage_index), ...]
             self._children: Dict[int, List[int]] = {d.index: [] for d in self.devices}
             for stage in self._reduce_stages:
                 for src, dst in stage:
                     self._children[self._gpu_at(dst)].append(self._gpu_at(src))
         self._check("comm.p2p.plan", stages=self._reduce_stages, num_gpus=n)
+
+    def _plan_stages(self, num_gpus: int) -> List[List[Tuple[int, int]]]:
+        """The reduction schedule as stages of ``(src, dst)`` positions.
+
+        Subclasses (the flat-star parameter server) override this; the
+        broadcast always runs the reversed schedule.
+        """
+        return reduction_tree(num_gpus)
 
     def _gpu_at(self, position: int) -> int:
         """Device index of the GPU at tree position ``position``."""

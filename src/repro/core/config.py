@@ -109,6 +109,14 @@ class TrainingConfig:
     #: Skip the model-zoo name check (for tests that monkeypatch the zoo
     #: or supply hand-built networks outside :mod:`repro.dnn.zoo`).
     custom_network: bool = False
+    #: Training strategy (see :mod:`repro.train.strategies` and
+    #: docs/TRAINING.md).  The default ``"auto"`` selects the synchronous
+    #: strategy matching ``comm_method`` -- byte-identical to the
+    #: pre-registry trainer -- while an explicit name ("p2p-tree",
+    #: "nccl-collective", "nccl-allreduce-replicated", "ps-cpu",
+    #: "ps-gpu", "async-update", "model-parallel") pins one point of the
+    #: strategy matrix.
+    strategy: str = "auto"
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -137,13 +145,14 @@ class TrainingConfig:
         from repro.train.optimizers import get_optimizer
 
         get_optimizer(self.optimizer)  # raises ConfigurationError if unknown
-        if self.cluster_nodes > 1 and self.comm_method not in (
-            CommMethodName.NCCL, CommMethodName.NCCL_ALLREDUCE,
-        ):
-            raise ConfigurationError(
-                "multi-node training is modeled for NCCL only (MXNet's "
-                "device/local KVStores cannot span nodes)"
-            )
+        # Strategy x comm x topology validation matrix.  Imported lazily:
+        # the strategy registry sits above core in the layer order.  This
+        # replaces the old multi-node string check, which let incompatible
+        # strategy/topology pairs (e.g. a parameter server spanning nodes)
+        # slip through as soon as the wording drifted.
+        from repro.train.strategies import validate_config
+
+        validate_config(self)
         if self.dataset_images < 1:
             raise ConfigurationError("dataset_images must be positive")
         if self.nccl_algorithm not in NCCL_ALGORITHMS:
@@ -190,7 +199,8 @@ class TrainingConfig:
             if self.nccl_algorithm != "compat"
             else ""
         )
+        strat = f"/{self.strategy}" if self.strategy != "auto" else ""
         return (
             f"{self.network}/b{self.batch_size}/g{self.num_gpus}/"
-            f"{self.comm_method.value}{nodes}{tuning}"
+            f"{self.comm_method.value}{nodes}{tuning}{strat}"
         )

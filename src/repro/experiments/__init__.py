@@ -22,6 +22,7 @@ Experiment   Paper artifact
 ``ablate``   DESIGN.md ablations (overlap, fabric, tensor cores)
 ``nccl``     extension -- algorithm/protocol ablation + crossover
 ``faults``   extension -- degradation sensitivity under faults
+``strategies``  extension -- the training-strategy matrix
 ===========  =====================================================
 """
 

@@ -59,6 +59,7 @@ from repro.experiments import (
     faults_study,
     multinode_study,
     nccl_ablation,
+    strategies as strategies_study,
     fig2_topology,
     fig3_training_time,
     fig4_breakdown,
@@ -122,6 +123,13 @@ def _run_experiment(name: str, cache: SweepRunner, fast: bool) -> str:
     if name == "nccl":
         kwargs = dict(networks=("alexnet",)) if fast else {}
         return nccl_ablation.render(nccl_ablation.run(runner=cache, **kwargs))
+    if name == "strategies":
+        kwargs = (
+            dict(networks=("lenet", "alexnet"), batch_size=16)
+            if fast else {}
+        )
+        return strategies_study.render(
+            strategies_study.run(runner=cache, **kwargs))
     if name == "validate":
         from repro.analysis import validation
 
@@ -139,7 +147,7 @@ def _run_experiment(name: str, cache: SweepRunner, fast: bool) -> str:
 EXPERIMENTS = (
     "table1", "fig2", "fig3", "table2", "fig4", "table3", "table4", "fig5",
     "ablate", "async", "bandwidth", "capacity", "faults", "multinode",
-    "nccl", "validate", "report",
+    "nccl", "strategies", "validate", "report",
 )
 
 OBS_FORMATS = ("prometheus", "jsonl", "chrome", "csv", "summary")

@@ -141,6 +141,11 @@ def _ensure_default_workloads() -> None:
             description="NCCL tuner selection scan + 1-network combo sweep",
         ),
         BenchWorkload(
+            name="strategies-fast", profile="fast", repeats=3, warmup=1,
+            fn=lambda: scenarios.strategy_matrix(fast=True),
+            description="the 7-strategy registry matrix on 2 networks",
+        ),
+        BenchWorkload(
             name="grids-full", profile="full", repeats=1, warmup=0,
             fn=lambda: scenarios.paper_grids(fast=False),
             description="Fig. 3/4/5 + Table II/III grids at paper scale",
@@ -154,6 +159,11 @@ def _ensure_default_workloads() -> None:
             name="nccl-tuner-full", profile="full", repeats=1, warmup=0,
             fn=lambda: scenarios.nccl_tuner_sweep(fast=False),
             description="NCCL tuner selection scan + 2-network combo sweep",
+        ),
+        BenchWorkload(
+            name="strategies-full", profile="full", repeats=1, warmup=0,
+            fn=lambda: scenarios.strategy_matrix(fast=False),
+            description="the 7-strategy matrix over the paper's 5 networks",
         ),
     ):
         register_workload(workload)

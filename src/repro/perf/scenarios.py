@@ -129,6 +129,29 @@ def selfcheck_strict(fast: bool = True) -> Dict[str, float]:
     }
 
 
+def strategy_matrix(fast: bool = True) -> Dict[str, float]:
+    """The training-strategy matrix (every registered strategy x network).
+
+    Times the ``strategies`` experiment -- one point per (network,
+    strategy) pair through the registry dispatch path -- so the bench
+    trajectory tracks the overhead of the strategy abstraction itself:
+    a regression here that does not show in ``grids-fast`` points at the
+    registry, not the engine.
+    """
+    from repro.experiments import strategies
+
+    kwargs = (
+        dict(networks=("lenet", "alexnet"), batch_size=FAST_BATCHES[0])
+        if fast else {}
+    )
+    runner = _fresh_runner()
+    result = strategies.run(runner=runner, **kwargs)
+    return {
+        "rows": float(len(result.rows)),
+        "simulated": float(runner.stats.executed),
+    }
+
+
 def nccl_tuner_sweep(
     fast: bool = True, networks: Optional[Sequence[str]] = None
 ) -> Dict[str, float]:

@@ -2,11 +2,24 @@
 
 :class:`~repro.train.trainer.Trainer` assembles the whole system -- DGX-1
 fabric, V100 devices, kernel cost model, communicator, profiler -- and
-simulates synchronous-SGD iterations at event fidelity, extrapolating
-steady-state iteration time to a full epoch.
+simulates training at event fidelity, extrapolating steady-state
+iteration time to a full epoch.  *How* an iteration turns gradients into
+updated weights is pluggable: the strategy registry
+(:mod:`repro.train.strategies`, selected via
+``TrainingConfig.strategy``) covers the synchronous P2P/NCCL/parameter-
+server reductions, asynchronous parameter-server SGD and the
+model-parallel placement estimator behind one result schema.
+
+The direct ``train_async`` / ``train_model_parallel`` entry points are
+deprecated (they bypass the registry, the runner cache and the invariant
+checks); importing them from this package warns once and keeps working.
+Use ``train(TrainingConfig(..., strategy="async-update"))`` /
+``strategy="model-parallel"`` instead -- see docs/TRAINING.md.
 """
 
-from repro.train.async_trainer import AsyncResult, AsyncTrainer, train_async
+import warnings
+
+from repro.train.async_trainer import AsyncResult, AsyncTrainer
 from repro.train.dataset import SyntheticImageDataset, imagenet_subset
 from repro.train.inference import InferenceEstimate, InferenceEstimator
 from repro.train.optimizers import ADAM, SGD, SGD_MOMENTUM, OptimizerSpec, available_optimizers, get_optimizer
@@ -15,14 +28,22 @@ from repro.train.model_parallel import (
     ModelParallelPlan,
     ModelParallelResult,
     partition_network,
-    train_model_parallel,
 )
-from repro.train.results import TrainingResult
+from repro.train.results import AsyncStats, TrainingResult
+from repro.train.strategies import (
+    ReductionStrategy,
+    RecoverySemantics,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+    strategy_for,
+)
 from repro.train.trainer import Trainer, train
 
 __all__ = [
     "ADAM",
     "AsyncResult",
+    "AsyncStats",
     "AsyncTrainer",
     "InferenceEstimate",
     "InferenceEstimator",
@@ -30,16 +51,50 @@ __all__ = [
     "ModelParallelPlan",
     "ModelParallelResult",
     "OptimizerSpec",
+    "RecoverySemantics",
+    "ReductionStrategy",
     "SGD",
     "SGD_MOMENTUM",
     "SyntheticImageDataset",
     "Trainer",
     "TrainingResult",
-    "imagenet_subset",
     "available_optimizers",
+    "available_strategies",
     "get_optimizer",
+    "get_strategy",
+    "imagenet_subset",
     "partition_network",
+    "register_strategy",
+    "strategy_for",
     "train",
     "train_async",
     "train_model_parallel",
 ]
+
+#: Deprecated entry points kept importable through a warn-once shim.
+_DEPRECATED = ("train_async", "train_model_parallel")
+_warned = set()
+
+
+def __getattr__(name):
+    """PEP 562 shim: deprecated entry points warn once, then resolve."""
+    if name in _DEPRECATED:
+        if name not in _warned:
+            _warned.add(name)
+            replacement = (
+                'strategy="async-update"' if name == "train_async"
+                else 'strategy="model-parallel"'
+            )
+            warnings.warn(
+                f"repro.train.{name} is deprecated: run "
+                f"train(TrainingConfig(..., {replacement})) through the "
+                "strategy registry instead (see docs/TRAINING.md)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if name == "train_async":
+            from repro.train.async_trainer import train_async
+            return train_async
+        from repro.train.model_parallel import train_model_parallel
+        return train_model_parallel
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

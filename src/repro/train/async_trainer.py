@@ -7,11 +7,14 @@ waiting for the other GPUs, eliminating stragglers at the cost of the
 weights have moved on by however many updates the other workers landed in
 between.
 
-:class:`AsyncTrainer` simulates this execution: per-GPU loops of
-pull -> FP -> BP -> push over the real fabric (P2P routes, contention and
-all), a server update per arriving push, and staleness accounting.  The
-result quantifies the paper's qualitative trade-off: higher hardware
-throughput, staleness growing with GPU count.
+The server-model simulation itself lives in the strategy registry
+(:class:`~repro.train.strategies.AsyncUpdateStrategy`, registered as
+``"async-update"``); :class:`AsyncTrainer` is the thin legacy wrapper
+that compiles the network and returns the historical
+:class:`AsyncResult` shape.  New code should run
+``Trainer(config.with strategy="async-update")`` (or the ``strategies``
+experiment) and read :attr:`~repro.train.results.TrainingResult.async_stats`
+instead -- see docs/TRAINING.md for the migration notes.
 
 Convergence itself is out of scope for a performance study, but
 :attr:`AsyncResult.effective_epoch_time` exposes the standard
@@ -23,23 +26,18 @@ a documented model input, not a measured quantity.
 
 from __future__ import annotations
 
-import statistics
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Tuple
 
 from repro.core.config import SimulationConfig, TrainingConfig
 from repro.core.constants import CALIBRATION, CalibrationConstants
 from repro.dnn import build_network, compile_network, network_input_shape
-from repro.gpu import GpuDevice, KernelCostModel, MemoryModel
-from repro.gpu.kernel import KernelSpec
+from repro.gpu import KernelCostModel, MemoryModel
 from repro.gpu.spec import TESLA_V100, GpuSpec
-from repro.profile import Profiler
-from repro.sim import Environment
-from repro.sim.events import Event
-from repro.topology import Fabric, Router, build_dgx1v
 
-#: Per-iteration count each worker executes in the simulation window.
-ASYNC_MEASURE_ITERATIONS = 4
+# Re-exported for backwards compatibility; the value lives beside the
+# simulation it parameterizes.
+from repro.train.strategies import ASYNC_MEASURE_ITERATIONS  # noqa: F401
 
 #: Default linear staleness penalty: epochs-to-converge multiplier is
 #: ``1 + coefficient * mean_staleness`` (illustrative model input).
@@ -74,7 +72,7 @@ class AsyncResult:
 
 
 class AsyncTrainer:
-    """Simulates asynchronous parameter-server SGD.
+    """Thin legacy wrapper over the ``async-update`` strategy.
 
     Weights live on GPU0.  Each worker (including GPU0's own compute)
     repeatedly pulls the model, computes FP+BP on its mini-batch, and
@@ -113,130 +111,21 @@ class AsyncTrainer:
         self._fwd = self.cost_model.forward_schedule(self.stats, config.batch_size)
         self._bwd = self.cost_model.backward_schedule(self.stats, config.batch_size)
 
-    # ------------------------------------------------------------------
-    # Simulation
-    # ------------------------------------------------------------------
     def run(self) -> AsyncResult:
-        env = Environment()
-        topology = build_dgx1v()
-        fabric = Fabric(env, topology, self.constants)
-        router = Router(topology)
-        devices = [
-            GpuDevice(env, topology.gpu(i), self.spec,
-                      speed_factor=self.gpu_speed_factors.get(i, 1.0))
-            for i in range(self.config.num_gpus)
-        ]
+        """Run the registry's server-model simulation; historical shape."""
+        from repro.train.strategies import get_strategy
 
-        state = _ServerState()
-        iterations = self.sim.warmup_iterations + ASYNC_MEASURE_ITERATIONS
-        workers = [
-            env.process(
-                self._worker(env, fabric, router, devices, pos, state, iterations)
-            )
-            for pos in range(len(devices))
-        ]
-        env.run(until=env.all_of(workers))
-
-        measured = [
-            t for pos, it, t in state.iteration_records
-            if it >= self.sim.warmup_iterations
-        ]
-        staleness = tuple(
-            s for pos, it, s in state.staleness_records
-            if it >= self.sim.warmup_iterations
-        )
-        mean_iteration = statistics.mean(measured)
-        # Workers proceed independently: aggregate throughput is the sum of
-        # per-worker rates.
-        images_per_second = sum(
-            self.config.batch_size / t for t in measured
-        ) / max(1, len(measured)) * self.config.num_gpus
-        epoch_time = (
-            self.config.total_images / images_per_second
-            + self.constants.run_startup_overhead
-        )
+        measured = get_strategy("async-update").simulate(self)
         return AsyncResult(
             config=self.config,
-            iteration_time=mean_iteration,
-            epoch_time=epoch_time,
-            images_per_second=images_per_second,
-            staleness_mean=statistics.mean(staleness) if staleness else 0.0,
-            staleness_max=max(staleness) if staleness else 0,
-            staleness_samples=staleness,
-            server_updates=state.version,
+            iteration_time=measured.iteration_time,
+            epoch_time=measured.epoch_time,
+            images_per_second=measured.images_per_second,
+            staleness_mean=measured.stats.staleness_mean,
+            staleness_max=measured.stats.staleness_max,
+            staleness_samples=measured.stats.staleness_samples,
+            server_updates=measured.stats.server_updates,
         )
-
-    # ------------------------------------------------------------------
-    # Worker process
-    # ------------------------------------------------------------------
-    def _worker(
-        self,
-        env: Environment,
-        fabric: Fabric,
-        router: Router,
-        devices: List[GpuDevice],
-        pos: int,
-        state: "_ServerState",
-        iterations: int,
-    ) -> Generator[Event, None, None]:
-        c = self.constants
-        dev = devices[pos]
-        server = devices[0]
-        model_bytes = self.stats.model_bytes
-        for iteration in range(iterations):
-            start = env.now
-            # Pull the current weights from the server.
-            version_seen = state.version
-            if pos != 0:
-                route = router.gpu_to_gpu(
-                    fabric.topology.gpu(server.index), fabric.topology.gpu(dev.index)
-                )
-                yield env.timeout(c.p2p_copy_setup)
-                yield from fabric.pipelined_transfer(route, model_bytes, 4 * 2**20)
-            # Compute FP + BP.
-            yield env.timeout(
-                c.input_pipeline_residual
-                + c.input_cost_per_image * self.config.batch_size
-            )
-            for kernel in self._fwd:
-                yield env.process(dev.run_kernel(kernel))
-            for _, kernels in self._bwd:
-                for kernel in kernels:
-                    yield env.process(dev.run_kernel(kernel))
-            # Push gradients; the server updates immediately on arrival.
-            if pos != 0:
-                route = router.gpu_to_gpu(
-                    fabric.topology.gpu(dev.index), fabric.topology.gpu(server.index)
-                )
-                yield env.timeout(c.p2p_copy_setup)
-                yield from fabric.pipelined_transfer(route, model_bytes, 4 * 2**20)
-            yield env.process(server.run_kernel(self._update_kernel()))
-            staleness = state.version - version_seen
-            state.version += 1
-            state.staleness_records.append((pos, iteration, staleness))
-            state.iteration_records.append((pos, iteration, env.now - start))
-            yield env.timeout(c.stream_sync_overhead)
-
-    def _update_kernel(self) -> KernelSpec:
-        numel = self.stats.total_params
-        nbytes = self.stats.model_bytes
-        return KernelSpec(
-            name="asgd_update",
-            layer="@server",
-            stage="wu",
-            duration=self.cost_model.kernel_time(4.0 * numel, 5 * nbytes, False),
-            flops=4.0 * numel,
-            bytes_moved=5 * nbytes,
-        )
-
-
-class _ServerState:
-    """Mutable server-side bookkeeping shared by worker processes."""
-
-    def __init__(self) -> None:
-        self.version = 0
-        self.staleness_records: List[Tuple[int, int, int]] = []
-        self.iteration_records: List[Tuple[int, int, float]] = []
 
 
 def train_async(

@@ -14,6 +14,21 @@ from repro.profile.summary import ApiSummary, StageBreakdown
 
 
 @dataclass(frozen=True)
+class AsyncStats:
+    """Staleness accounting of an asynchronous (``async-update``) run.
+
+    The delayed-gradient problem in numbers: how many server updates
+    landed between each worker's pull and its push.  ``None`` on
+    :attr:`TrainingResult.async_stats` for synchronous strategies.
+    """
+
+    staleness_mean: float            # server updates between pull and push
+    staleness_max: int
+    staleness_samples: Tuple[int, ...]
+    server_updates: int
+
+
+@dataclass(frozen=True)
 class TrainingResult:
     """Everything measured for one training configuration."""
 
@@ -34,6 +49,9 @@ class TrainingResult:
     #: Invariant violations the attached :class:`~repro.checks.CheckEngine`
     #: recorded (always empty with checks off or in a clean strict run).
     violations: Tuple[Violation, ...] = ()
+    #: Staleness accounting when the run used the ``async-update``
+    #: strategy; ``None`` for every synchronous strategy.
+    async_stats: Optional[AsyncStats] = None
 
     @property
     def iterations_per_epoch(self) -> int:

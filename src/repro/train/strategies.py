@@ -1,0 +1,605 @@
+"""The pluggable training-strategy registry.
+
+ROADMAP item 3 asks for a training-strategy matrix in the tensorpack
+mold (``SyncMultiGPUTrainerParameterServer`` / ``Replicated`` /
+``AsyncMultiGPUTrainer``).  This module provides the abstraction
+boundary: a :class:`ReductionStrategy` owns everything that differs
+between those trainers -- which communicator to build, how gradient-ready
+events map onto weight-update work, which execution model drives the
+epoch, and what the fault/resilience layer may assume about recovery --
+while :class:`~repro.train.trainer.Trainer` keeps the parts they share
+(network compilation, kernel schedules, measurement, extrapolation).
+
+The split follows the DAG model of synchronous SGD (Shi et al.): the
+iteration is a stage DAG whose compute stages are strategy-independent
+and whose reduction schedule is exactly the strategy.  That same model
+doubles as an analytic cross-check oracle -- see
+:mod:`repro.checks.dag`.
+
+Registered strategies (``TrainingConfig.strategy``):
+
+=============================  ==========================================
+name                           execution model
+=============================  ==========================================
+``p2p-tree``                   sync; binomial-tree P2P (MXNet ``device``)
+``nccl-collective``            sync; NCCL reduce+broadcast KVStore
+``nccl-allreduce-replicated``  sync; fused AllReduce, replicated update
+``ps-cpu``                     sync; CPU parameter server (``local``)
+``ps-gpu``                     sync; GPU0 parameter server, flat star
+``async-update``               async parameter server (no barrier)
+``model-parallel``             layer-partitioned pipeline placement
+=============================  ==========================================
+
+The default ``strategy="auto"`` maps the configured ``comm_method`` onto
+the matching synchronous strategy, reproducing pre-registry outputs
+byte-identically (golden-tested).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.core.config import CommMethodName
+from repro.core.errors import ConfigurationError, FaultPlanError
+from repro.gpu import GpuDevice
+from repro.gpu.kernel import KernelSpec
+from repro.profile import MemoryMonitor
+from repro.profile.summary import ApiSummary, StageBreakdown
+from repro.sim import Environment
+from repro.sim.events import Event
+from repro.topology import Fabric, Router, build_dgx1v
+from repro.train.results import AsyncStats, TrainingResult
+
+#: Per-worker iteration count the asynchronous simulation measures (the
+#: async loop has no barrier, so a fixed window replaces
+#: ``SimulationConfig.measure_iterations``).
+ASYNC_MEASURE_ITERATIONS = 4
+
+
+@dataclass(frozen=True)
+class RecoverySemantics:
+    """What the fault/resilience layer may assume about a strategy.
+
+    ``supports_faults``
+        The segment-based faulted epoch assembly
+        (:meth:`~repro.train.trainer.Trainer._run_faulted`) applies: the
+        strategy rebuilds its communicator per degraded segment.
+    ``ring_rebuild``
+        Recovering from a link fault or crash additionally pays the NCCL
+        communicator re-init cost (ring-based collectives only); tree and
+        star schedules recompute routes for free beyond the route cost.
+    """
+
+    supports_faults: bool
+    ring_rebuild: bool
+    description: str
+
+
+class ReductionStrategy:
+    """One way to turn per-layer gradients into updated weights.
+
+    Subclasses override the class attributes (the validation matrix) and
+    whichever hooks differ from the synchronous default:
+
+    * :meth:`validate` -- strategy x comm x topology compatibility,
+      called eagerly from ``TrainingConfig.__post_init__``;
+    * :meth:`build_communicator` -- strategy-owned communicator
+      construction for one assembled system;
+    * :meth:`schedule_weight_update` -- the reduction schedule: a
+      process mapping gradient-ready events onto communicator work;
+    * :meth:`run` -- the execution model driving a whole epoch;
+    * :meth:`recovery_semantics` -- contract with :mod:`repro.faults`.
+    """
+
+    #: Registry key and ``TrainingConfig.strategy`` value.
+    name: str = ""
+    #: ``"sync"``, ``"async"`` or ``"model-parallel"``.
+    execution: str = "sync"
+    #: The ``comm_method`` this strategy runs over (``None`` = any).
+    comm_method: Optional[CommMethodName] = None
+    #: Communicator-factory key; ``None`` uses ``config.comm_method``.
+    comm_key: Optional[str] = None
+    #: Whether the strategy is modeled across InfiniBand-linked nodes.
+    multi_node: bool = False
+
+    # ------------------------------------------------------------------
+    # Validation matrix (strategy x comm x topology)
+    # ------------------------------------------------------------------
+    def validate(self, config) -> None:
+        """Raise :class:`ConfigurationError` for an incompatible config."""
+        if (self.comm_method is not None
+                and config.comm_method is not self.comm_method):
+            raise ConfigurationError(
+                f"strategy {self.name!r} runs over "
+                f"comm_method={self.comm_method.value!r}, got "
+                f"{config.comm_method.value!r} (see the strategy matrix in "
+                "docs/TRAINING.md)"
+            )
+        if config.cluster_nodes > 1 and not self.multi_node:
+            raise ConfigurationError(
+                f"strategy {self.name!r} is modeled for a single DGX-1 node "
+                f"but cluster_nodes={config.cluster_nodes}: only the NCCL "
+                "strategies span nodes (MXNet's device/local KVStores "
+                "cannot; see the strategy matrix in docs/TRAINING.md)"
+            )
+
+    # ------------------------------------------------------------------
+    # Fault contract
+    # ------------------------------------------------------------------
+    def recovery_semantics(self) -> RecoverySemantics:
+        """Default: segment-rebuild recovery without a ring re-init."""
+        return RecoverySemantics(
+            supports_faults=True,
+            ring_rebuild=False,
+            description="re-plans the reduction schedule per degraded segment",
+        )
+
+    # ------------------------------------------------------------------
+    # System construction
+    # ------------------------------------------------------------------
+    def build_communicator(self, trainer, env, fabric, devices, profiler):
+        """Build this strategy's communicator for one assembled system."""
+        # Imported lazily: repro.comm itself imports the train package
+        # (optimizer specs), so a module-level import would be circular.
+        from repro.comm import make_communicator
+
+        config = trainer.config
+        return make_communicator(
+            self.comm_key or config.comm_method,
+            env,
+            fabric,
+            devices,
+            trainer.cost_model,
+            trainer.constants,
+            profiler,
+            gradient_bytes_scale=0.5 if config.fp16_gradients else 1.0,
+            optimizer=trainer.optimizer,
+            algorithm=config.nccl_algorithm,
+            protocol=config.nccl_protocol,
+            checks=trainer.checks,
+        )
+
+    # ------------------------------------------------------------------
+    # Reduction schedule
+    # ------------------------------------------------------------------
+    def schedule_weight_update(
+        self, trainer, env: Environment, comm,
+        grad_ready: Dict[str, List[Event]],
+    ) -> Generator[Event, None, None]:
+        """Spawn per-array synchronization as gradients become ready."""
+        pending = []
+        if trainer.config.overlap_bp_wu:
+            # Layers appear in BP completion order, so waiting on each in
+            # turn streams arrays into the communicator as they are ready.
+            for layer, _ in trainer._bwd:
+                if not layer.is_weighted:
+                    continue
+                yield env.all_of(grad_ready[layer.name])
+                for array in trainer.stats.arrays_of_layer(layer.name):
+                    pending.append(env.process(comm.sync_array(array)))
+        else:
+            # No overlap: wait for every gradient, then synchronize.
+            all_events = [e for events in grad_ready.values() for e in events]
+            if all_events:
+                yield env.all_of(all_events)
+            for layer, _ in trainer._bwd:
+                if layer.is_weighted:
+                    for array in trainer.stats.arrays_of_layer(layer.name):
+                        pending.append(env.process(comm.sync_array(array)))
+        if pending:
+            yield env.all_of(pending)
+
+    # ------------------------------------------------------------------
+    # Execution model
+    # ------------------------------------------------------------------
+    def run(self, trainer) -> TrainingResult:
+        """Drive one epoch for ``trainer`` and return its result."""
+        raise NotImplementedError
+
+    def _check_no_faults(self, trainer) -> None:
+        if trainer.faults is not None and not trainer.faults.empty:
+            raise FaultPlanError(
+                f"strategy {self.name!r} declares no fault-recovery "
+                "semantics: fault plans apply to the synchronous "
+                "strategies only (see docs/TRAINING.md)"
+            )
+
+
+class SyncStrategy(ReductionStrategy):
+    """Shared execution model of the synchronous data-parallel strategies.
+
+    The epoch is the trainer's measured steady-state extrapolation (or
+    its segment-based faulted assembly); subclasses differ only in the
+    communicator they build and the recovery semantics they declare.
+    """
+
+    def run(self, trainer) -> TrainingResult:
+        from repro.faults.injector import FaultInjector
+
+        if trainer.check_memory:
+            trainer.memory_model.check_fits(
+                trainer.stats,
+                trainer.config.batch_size,
+                is_server=trainer.config.num_gpus > 1,
+            )
+        if trainer.faults is None or trainer.faults.empty:
+            return trainer._run_healthy()
+        return trainer._run_faulted(FaultInjector(trainer.faults))
+
+
+class P2pTreeStrategy(SyncStrategy):
+    """MXNet ``device`` KVStore: binomial P2P reduction tree onto GPU0."""
+
+    name = "p2p-tree"
+    comm_method = CommMethodName.P2P
+
+
+class NcclCollectiveStrategy(SyncStrategy):
+    """MXNet ``nccl`` KVStore: ring/tree Reduce + Broadcast collectives."""
+
+    name = "nccl-collective"
+    comm_method = CommMethodName.NCCL
+    multi_node = True
+
+    def recovery_semantics(self) -> RecoverySemantics:
+        return RecoverySemantics(
+            supports_faults=True,
+            ring_rebuild=True,
+            description="pays an NCCL communicator re-init per topology change",
+        )
+
+
+class NcclAllReduceReplicatedStrategy(SyncStrategy):
+    """DDP/Horovod style: fused AllReduce with replicated local updates."""
+
+    name = "nccl-allreduce-replicated"
+    comm_method = CommMethodName.NCCL_ALLREDUCE
+    multi_node = True
+
+    def recovery_semantics(self) -> RecoverySemantics:
+        return RecoverySemantics(
+            supports_faults=True,
+            ring_rebuild=True,
+            description="pays an NCCL communicator re-init per topology change",
+        )
+
+
+class PsCpuStrategy(SyncStrategy):
+    """MXNet ``local`` KVStore: CPU parameter server over PCIe."""
+
+    name = "ps-cpu"
+    comm_method = CommMethodName.LOCAL
+
+
+class PsGpuStrategy(SyncStrategy):
+    """GPU0 parameter server: flat-star P2P reduction (no tree stages)."""
+
+    name = "ps-gpu"
+    comm_method = CommMethodName.P2P
+    comm_key = "ps-gpu"
+
+
+class AsyncUpdateStrategy(ReductionStrategy):
+    """Asynchronous parameter-server SGD (paper Section II-B).
+
+    Weights live on GPU0.  Each worker repeatedly pulls the model,
+    computes FP+BP on its mini-batch, and pushes gradients back; the
+    server applies each push immediately.  Transfers ride the same P2P
+    routes as the synchronous ``device`` KVStore and contend on the
+    NVLink fabric.  There is no barrier, so there is no reduction
+    schedule: :meth:`schedule_weight_update` never applies and the
+    execution model replaces the whole measured loop.
+    """
+
+    name = "async-update"
+    execution = "async"
+    comm_method = CommMethodName.P2P
+
+    def recovery_semantics(self) -> RecoverySemantics:
+        return RecoverySemantics(
+            supports_faults=False,
+            ring_rebuild=False,
+            description="asynchronous workers have no segment semantics yet",
+        )
+
+    def run(self, trainer) -> TrainingResult:
+        self._check_no_faults(trainer)
+        if trainer.check_memory:
+            trainer.memory_model.check_fits(
+                trainer.stats,
+                trainer.config.batch_size,
+                is_server=trainer.config.num_gpus > 1,
+            )
+        measured = self.simulate(trainer)
+        config = trainer.config
+        monitor = MemoryMonitor(trainer.spec, trainer.constants,
+                                optimizer=trainer.optimizer)
+        memory = tuple(
+            monitor.sample(trainer.stats, config.batch_size, config.num_gpus)
+        )
+        return TrainingResult(
+            config=config,
+            iteration_time=measured.iteration_time,
+            iteration_times=measured.iteration_times,
+            epoch_time=measured.epoch_time,
+            fixed_overhead=trainer.constants.run_startup_overhead,
+            stages=StageBreakdown(fp=0.0, bp=0.0, wu=0.0,
+                                  iteration=measured.iteration_time),
+            apis=ApiSummary(totals=()),
+            gpu_busy={},
+            compute_utilization=trainer.cost_model.compute_utilization(
+                trainer.stats, config.batch_size
+            ),
+            memory=memory,
+            async_stats=measured.stats,
+        )
+
+    # ------------------------------------------------------------------
+    # The server-model simulation (shared with the legacy AsyncTrainer)
+    # ------------------------------------------------------------------
+    def simulate(self, host) -> "AsyncMeasurement":
+        """Run the async server-model simulation for ``host``.
+
+        ``host`` is any object carrying the compiled-trainer attributes
+        (``config``, ``sim``, ``constants``, ``spec``, ``stats``,
+        ``cost_model``, ``_fwd``, ``_bwd``, ``gpu_speed_factors``); both
+        :class:`~repro.train.trainer.Trainer` and the legacy
+        :class:`~repro.train.async_trainer.AsyncTrainer` qualify.
+        """
+        env = Environment()
+        topology = build_dgx1v()
+        fabric = Fabric(env, topology, host.constants)
+        router = Router(topology)
+        devices = [
+            GpuDevice(env, topology.gpu(i), host.spec,
+                      speed_factor=host.gpu_speed_factors.get(i, 1.0))
+            for i in range(host.config.num_gpus)
+        ]
+
+        state = _ServerState()
+        iterations = host.sim.warmup_iterations + ASYNC_MEASURE_ITERATIONS
+        workers = [
+            env.process(
+                self._worker(host, env, fabric, router, devices, pos, state,
+                             iterations)
+            )
+            for pos in range(len(devices))
+        ]
+        env.run(until=env.all_of(workers))
+
+        measured = [
+            t for pos, it, t in state.iteration_records
+            if it >= host.sim.warmup_iterations
+        ]
+        staleness = tuple(
+            s for pos, it, s in state.staleness_records
+            if it >= host.sim.warmup_iterations
+        )
+        mean_iteration = statistics.mean(measured)
+        # Workers proceed independently: aggregate throughput is the sum
+        # of per-worker rates.
+        images_per_second = sum(
+            host.config.batch_size / t for t in measured
+        ) / max(1, len(measured)) * host.config.num_gpus
+        epoch_time = (
+            host.config.total_images / images_per_second
+            + host.constants.run_startup_overhead
+        )
+        return AsyncMeasurement(
+            iteration_time=mean_iteration,
+            iteration_times=tuple(measured),
+            epoch_time=epoch_time,
+            images_per_second=images_per_second,
+            stats=AsyncStats(
+                staleness_mean=(statistics.mean(staleness)
+                                if staleness else 0.0),
+                staleness_max=max(staleness) if staleness else 0,
+                staleness_samples=staleness,
+                server_updates=state.version,
+            ),
+        )
+
+    def _worker(
+        self,
+        host,
+        env: Environment,
+        fabric: Fabric,
+        router: Router,
+        devices: List[GpuDevice],
+        pos: int,
+        state: "_ServerState",
+        iterations: int,
+    ) -> Generator[Event, None, None]:
+        c = host.constants
+        dev = devices[pos]
+        server = devices[0]
+        model_bytes = host.stats.model_bytes
+        for iteration in range(iterations):
+            start = env.now
+            # Pull the current weights from the server.
+            version_seen = state.version
+            if pos != 0:
+                route = router.gpu_to_gpu(
+                    fabric.topology.gpu(server.index),
+                    fabric.topology.gpu(dev.index),
+                )
+                yield env.timeout(c.p2p_copy_setup)
+                yield from fabric.pipelined_transfer(
+                    route, model_bytes, 4 * 2**20)
+            # Compute FP + BP.
+            yield env.timeout(
+                c.input_pipeline_residual
+                + c.input_cost_per_image * host.config.batch_size
+            )
+            for kernel in host._fwd:
+                yield env.process(dev.run_kernel(kernel))
+            for _, kernels in host._bwd:
+                for kernel in kernels:
+                    yield env.process(dev.run_kernel(kernel))
+            # Push gradients; the server updates immediately on arrival.
+            if pos != 0:
+                route = router.gpu_to_gpu(
+                    fabric.topology.gpu(dev.index),
+                    fabric.topology.gpu(server.index),
+                )
+                yield env.timeout(c.p2p_copy_setup)
+                yield from fabric.pipelined_transfer(
+                    route, model_bytes, 4 * 2**20)
+            yield env.process(server.run_kernel(self._update_kernel(host)))
+            staleness = state.version - version_seen
+            state.version += 1
+            state.staleness_records.append((pos, iteration, staleness))
+            state.iteration_records.append((pos, iteration, env.now - start))
+            yield env.timeout(c.stream_sync_overhead)
+
+    def _update_kernel(self, host) -> KernelSpec:
+        numel = host.stats.total_params
+        nbytes = host.stats.model_bytes
+        return KernelSpec(
+            name="asgd_update",
+            layer="@server",
+            stage="wu",
+            duration=host.cost_model.kernel_time(4.0 * numel, 5 * nbytes,
+                                                 False),
+            flops=4.0 * numel,
+            bytes_moved=5 * nbytes,
+        )
+
+
+@dataclass(frozen=True)
+class AsyncMeasurement:
+    """Raw output of the async server-model simulation."""
+
+    iteration_time: float
+    iteration_times: Tuple[float, ...]
+    epoch_time: float
+    images_per_second: float
+    stats: AsyncStats
+
+
+class _ServerState:
+    """Mutable server-side bookkeeping shared by async worker processes."""
+
+    def __init__(self) -> None:
+        self.version = 0
+        self.staleness_records: List[Tuple[int, int, int]] = []
+        self.iteration_records: List[Tuple[int, int, float]] = []
+
+
+class ModelParallelStrategy(ReductionStrategy):
+    """Layer-partitioned placement: the analytic pipeline estimator.
+
+    Registers :class:`~repro.train.model_parallel.ModelParallelEstimator`
+    as a placement strategy sharing the trainer's result and
+    serialization schema.  The weights never replicate, so there is no
+    reduction schedule; boundary activations are the only inter-GPU
+    traffic and the closed-form pipeline algebra replaces the measured
+    loop.
+    """
+
+    name = "model-parallel"
+    execution = "model-parallel"
+    comm_method = CommMethodName.P2P
+
+    def recovery_semantics(self) -> RecoverySemantics:
+        return RecoverySemantics(
+            supports_faults=False,
+            ring_rebuild=False,
+            description="the analytic pipeline estimator has no fault model",
+        )
+
+    def run(self, trainer) -> TrainingResult:
+        from repro.train.model_parallel import ModelParallelEstimator
+
+        self._check_no_faults(trainer)
+        config = trainer.config
+        estimator = ModelParallelEstimator(
+            config, constants=trainer.constants, spec=trainer.spec)
+        mp = estimator.run()
+        monitor = MemoryMonitor(trainer.spec, trainer.constants,
+                                optimizer=trainer.optimizer)
+        memory = tuple(
+            monitor.sample(trainer.stats, config.batch_size, config.num_gpus)
+        )
+        return TrainingResult(
+            config=config,
+            iteration_time=mp.iteration_time,
+            iteration_times=(mp.iteration_time,),
+            epoch_time=mp.epoch_time,
+            fixed_overhead=trainer.constants.run_startup_overhead,
+            stages=StageBreakdown(fp=0.0, bp=0.0, wu=0.0,
+                                  iteration=mp.iteration_time),
+            apis=ApiSummary(totals=()),
+            gpu_busy={},
+            compute_utilization=trainer.cost_model.compute_utilization(
+                trainer.stats, config.batch_size
+            ),
+            memory=memory,
+        )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, ReductionStrategy] = {}
+
+#: ``strategy="auto"``: the synchronous strategy implied by the
+#: configured communication method (the pre-registry behaviour).
+AUTO_STRATEGY = {
+    CommMethodName.P2P: "p2p-tree",
+    CommMethodName.NCCL: "nccl-collective",
+    CommMethodName.NCCL_ALLREDUCE: "nccl-allreduce-replicated",
+    CommMethodName.LOCAL: "ps-cpu",
+}
+
+
+def register_strategy(strategy: ReductionStrategy) -> ReductionStrategy:
+    """Add ``strategy`` to the registry (keyed by its ``name``)."""
+    if not strategy.name:
+        raise ValueError("a strategy needs a non-empty name")
+    _REGISTRY[strategy.name] = strategy
+    return strategy
+
+
+def available_strategies() -> Tuple[str, ...]:
+    """Registered strategy names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_strategy(name: str) -> ReductionStrategy:
+    """Look up a registered strategy by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown strategy {name!r}; available: "
+            f"{sorted(_REGISTRY)} (or 'auto')"
+        ) from None
+
+
+def strategy_for(config) -> ReductionStrategy:
+    """The strategy a config selects (resolving ``"auto"``)."""
+    name = config.strategy
+    if name == "auto":
+        name = AUTO_STRATEGY[config.comm_method]
+    return get_strategy(name)
+
+
+def validate_config(config) -> None:
+    """Eager strategy x comm x topology validation for ``config``."""
+    strategy_for(config).validate(config)
+
+
+for _strategy in (
+    P2pTreeStrategy(),
+    NcclCollectiveStrategy(),
+    NcclAllReduceReplicatedStrategy(),
+    PsCpuStrategy(),
+    PsGpuStrategy(),
+    AsyncUpdateStrategy(),
+    ModelParallelStrategy(),
+):
+    register_strategy(_strategy)
+del _strategy

@@ -35,7 +35,6 @@ from __future__ import annotations
 import math
 from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
-from repro.comm import make_communicator
 from repro.core.config import SimulationConfig, TrainingConfig
 from repro.core.constants import CALIBRATION, CalibrationConstants
 from repro.core.errors import FaultPlanError, WorkerCrashError
@@ -67,6 +66,7 @@ from repro.sim.events import Event
 from repro.topology import Fabric, Router, build_dgx1v
 from repro.train.optimizers import get_optimizer
 from repro.train.results import TrainingResult
+from repro.train.strategies import strategy_for
 
 
 def _fault_kind(label: str) -> str:
@@ -150,6 +150,13 @@ class Trainer:
                 self.stats, config.batch_size)
             self._kernels_per_iter = (
                 len(self._fwd) + sum(len(k) for _, k in self._bwd))
+            # Raw per-GPU kernel seconds of one iteration -- the compute
+            # stage of the analytic DAG oracle (repro.checks.dag).
+            self._kernel_seconds = (
+                sum(k.duration for k in self._fwd)
+                + sum(k.duration for _, ks in self._bwd for k in ks)
+            )
+        self.strategy = strategy_for(config)
 
     # ------------------------------------------------------------------
     # Public API
@@ -157,21 +164,19 @@ class Trainer:
     def run(self) -> TrainingResult:
         """Simulate the run and return the measured result.
 
-        Raises :class:`~repro.core.errors.OutOfMemoryError` when the
+        Delegates to the configured
+        :class:`~repro.train.strategies.ReductionStrategy` (resolved from
+        ``config.strategy``; the default ``"auto"`` maps ``comm_method``
+        to the matching synchronous strategy, byte-identical to the
+        pre-registry trainer).  Raises
+        :class:`~repro.core.errors.OutOfMemoryError` when the
         configuration cannot fit in GPU memory (as the paper hit for
         Inception-v3/ResNet above batch 64), and
         :class:`~repro.core.errors.WorkerCrashError` when the fault plan
         crashes a worker under the ``FAIL_FAST`` policy.
         """
-        if self.check_memory:
-            self.memory_model.check_fits(
-                self.stats,
-                self.config.batch_size,
-                is_server=self.config.num_gpus > 1,
-            )
-        if self.faults is None or self.faults.empty:
-            return self._run_healthy()
-        return self._run_faulted(FaultInjector(self.faults))
+        with PERF.span(f"strategy.{self.strategy.name}"):
+            return self.strategy.run(self)
 
     # ------------------------------------------------------------------
     # System assembly and steady-state measurement
@@ -192,63 +197,44 @@ class Trainer:
     ):
         """Assemble env, profiler, fabric, router, devices and comm.
 
-        With no overrides this is the exact healthy construction sequence
-        (byte-identical outputs); the faulted path passes a degraded
-        topology, a survivor GPU set and per-segment speed/ECC models.
+        One code path for healthy and faulted construction: with no
+        overrides this is the exact healthy sequence (byte-identical
+        outputs); the faulted path passes a degraded topology, a survivor
+        GPU set and per-segment speed/ECC models.  The communicator
+        itself is strategy-owned
+        (:meth:`~repro.train.strategies.ReductionStrategy.build_communicator`).
         """
         with PERF.span("trainer.build"):
-            return self._build_system_inner(
-                topology, gpu_indices, speed_overrides, ecc_models)
-
-    def _build_system_inner(
-        self,
-        topology=None,
-        gpu_indices: Optional[Sequence[int]] = None,
-        speed_overrides: Optional[Dict[int, float]] = None,
-        ecc_models: Optional[Dict[int, object]] = None,
-    ):
-        env = Environment()
-        profiler = Profiler(
-            enabled=False,
-            bus=self.obs.bus if self.obs is not None else None,
-            clock=env,
-        )
-        if self.obs is not None:
-            env.set_observer(self.obs.queue_observer(profiler),
-                             every=self.obs.queue_sample_every)
-        if self.checks is not None:
-            env.set_checks(self.checks)
-        if topology is None:
-            topology = self._base_topology()
-        fabric = Fabric(env, topology, self.constants, observer=profiler,
-                        checks=self.checks)
-        router = Router(topology)
-        if gpu_indices is None:
-            gpu_indices = range(self.config.num_gpus)
-        speed_overrides = speed_overrides or {}
-        ecc_models = ecc_models or {}
-        devices = [
-            GpuDevice(env, topology.gpu(i), self.spec, profiler,
-                      speed_factor=speed_overrides.get(
-                          i, self.gpu_speed_factors.get(i, 1.0)),
-                      ecc=ecc_models.get(i))
-            for i in gpu_indices
-        ]
-        comm = make_communicator(
-            self.config.comm_method,
-            env,
-            fabric,
-            devices,
-            self.cost_model,
-            self.constants,
-            profiler,
-            gradient_bytes_scale=0.5 if self.config.fp16_gradients else 1.0,
-            optimizer=self.optimizer,
-            algorithm=self.config.nccl_algorithm,
-            protocol=self.config.nccl_protocol,
-            checks=self.checks,
-        )
-        return env, profiler, fabric, router, devices, comm
+            env = Environment()
+            profiler = Profiler(
+                enabled=False,
+                bus=self.obs.bus if self.obs is not None else None,
+                clock=env,
+            )
+            if self.obs is not None:
+                env.set_observer(self.obs.queue_observer(profiler),
+                                 every=self.obs.queue_sample_every)
+            if self.checks is not None:
+                env.set_checks(self.checks)
+            if topology is None:
+                topology = self._base_topology()
+            fabric = Fabric(env, topology, self.constants, observer=profiler,
+                            checks=self.checks)
+            router = Router(topology)
+            if gpu_indices is None:
+                gpu_indices = range(self.config.num_gpus)
+            speed_overrides = speed_overrides or {}
+            ecc_models = ecc_models or {}
+            devices = [
+                GpuDevice(env, topology.gpu(i), self.spec, profiler,
+                          speed_factor=speed_overrides.get(
+                              i, self.gpu_speed_factors.get(i, 1.0)),
+                          ecc=ecc_models.get(i))
+                for i in gpu_indices
+            ]
+            comm = self.strategy.build_communicator(
+                self, env, fabric, devices, profiler)
+            return env, profiler, fabric, router, devices, comm
 
     # ------------------------------------------------------------------
     # Invariant checkpoints over one measured system
@@ -328,6 +314,33 @@ class Trainer:
             busy_time=dict(fabric.busy_time),
             wait_time=dict(fabric.wait_time),
             elapsed=env.now,
+            now=env.now,
+        )
+        # Analytic-DAG cross-check oracle (Shi et al.'s stage model of
+        # synchronous SGD): the measured mean iteration must dominate the
+        # closed-form critical-path floor computed from quantities the
+        # event simulation never touches.
+        from repro.checks.dag import aggregate_peak_bandwidth, device_factor_floor
+
+        compute_floor = self._kernel_seconds * max(
+            (device_factor_floor(dev) for dev in devices), default=1.0
+        )
+        wire_floor = 0.0
+        if expected:
+            agg = aggregate_peak_bandwidth(fabric.topology)
+            if agg > 0.0:
+                wire_floor = expected / agg
+        checks.check(
+            "trainer.dag",
+            mean_iteration=elapsed / iterations if iterations else 0.0,
+            compute_floor=compute_floor,
+            input_floor=(
+                self.constants.input_pipeline_residual
+                + self.constants.input_cost_per_image * self.config.batch_size
+            ),
+            wire_floor=wire_floor,
+            host_floor=host_overhead,
+            iterations=iterations,
             now=env.now,
         )
 
@@ -453,6 +466,12 @@ class Trainer:
         replayed = 0
         fixed: Optional[float] = None
         ring_reason: Optional[str] = None
+        # The strategy's contract with the fault layer: whether topology
+        # changes additionally pay an NCCL communicator re-init.
+        recovery = self.strategy.recovery_semantics()
+        # The pristine topology is segment-invariant; each segment derives
+        # its degraded view from this one base instead of re-deriving it.
+        base = self._base_topology()
 
         if bus is not None:
             for label in injector.active_labels(0.0):
@@ -460,7 +479,6 @@ class Trainer:
                     fault=label, kind=_fault_kind(label), at=0.0))
 
         while remaining > 0:
-            base = self._base_topology()
             topo = degraded_topology(base, injector, now)
             link_sig = tuple(
                 label for label in injector.active_labels(now)
@@ -577,10 +595,11 @@ class Trainer:
                 )
                 if new_sig != link_sig:
                     # The routable topology changed: pay a route
-                    # recomputation and (ring-based comm only) an NCCL
-                    # communicator rebuild before the next segment.
+                    # recomputation and (strategies declaring ring-based
+                    # recovery semantics only) an NCCL communicator
+                    # rebuild before the next segment.
                     cost = costs.route_recompute
-                    if plan_obj is not None:
+                    if recovery.ring_rebuild and plan_obj is not None:
                         cost += costs.ring_rebuild
                         ring_reason = "link-fault"
                     transition_cost += cost
@@ -761,28 +780,9 @@ class Trainer:
     def _weight_update(
         self, env: Environment, comm, grad_ready: Dict[str, List[Event]]
     ) -> Generator[Event, None, None]:
-        """Spawn per-array synchronization as gradients become ready."""
-        pending = []
-        if self.config.overlap_bp_wu:
-            # Layers appear in BP completion order, so waiting on each in
-            # turn streams arrays into the communicator as they are ready.
-            for layer, _ in self._bwd:
-                if not layer.is_weighted:
-                    continue
-                yield env.all_of(grad_ready[layer.name])
-                for array in self.stats.arrays_of_layer(layer.name):
-                    pending.append(env.process(comm.sync_array(array)))
-        else:
-            # No overlap: wait for every gradient, then synchronize.
-            all_events = [e for events in grad_ready.values() for e in events]
-            if all_events:
-                yield env.all_of(all_events)
-            for layer, _ in self._bwd:
-                if layer.is_weighted:
-                    for array in self.stats.arrays_of_layer(layer.name):
-                        pending.append(env.process(comm.sync_array(array)))
-        if pending:
-            yield env.all_of(pending)
+        """The strategy's reduction schedule over the gradient-ready DAG."""
+        yield from self.strategy.schedule_weight_update(
+            self, env, comm, grad_ready)
 
 
 def train(

@@ -162,6 +162,14 @@ CASES = {
         {"check_memory": True, "totals": [(0, 500)], "capacity": 1000},
         {"check_memory": True, "totals": [(0, 2000)], "capacity": 1000},
     ),
+    "temporal.dag-lower-bound": (
+        {"mean_iteration": 1.0, "compute_floor": 0.4, "input_floor": 0.1,
+         "wire_floor": 0.3, "host_floor": 0.2, "iterations": 8,
+         "now": 8.0},
+        {"mean_iteration": 0.6, "compute_floor": 0.4, "input_floor": 0.1,
+         "wire_floor": 0.3, "host_floor": 0.2, "iterations": 8,
+         "now": 8.0},
+    ),
 }
 
 

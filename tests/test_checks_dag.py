@@ -1,0 +1,164 @@
+"""Tests for the analytic-DAG oracle (repro.checks.dag).
+
+The DAG critical-path floor must be a *sound* lower bound: for every
+strategy x communicator-variant x GPU-count point the event-driven
+measurement may never beat it.  Real simulations exercise the soundness
+end to end under strict enforcement; hypothesis drives the closed-form
+algebra and the checker's firing condition directly.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checks import CheckEngine
+from repro.checks.dag import (
+    aggregate_peak_bandwidth,
+    critical_path_floor,
+    device_factor_floor,
+)
+from repro.checks.registry import get_checker
+from repro.core.config import CommMethodName, SimulationConfig, TrainingConfig
+from repro.topology import build_dgx1v
+from repro.train import Trainer
+
+FAST = SimulationConfig(warmup_iterations=1, measure_iterations=2)
+
+#: Every synchronous strategy (the ones whose trainer loop fires the
+#: ``trainer.dag`` checkpoint) and the comm_method it requires.
+SYNC_STRATEGIES = {
+    "p2p-tree": CommMethodName.P2P,
+    "nccl-collective": CommMethodName.NCCL,
+    "nccl-allreduce-replicated": CommMethodName.NCCL_ALLREDUCE,
+    "ps-cpu": CommMethodName.LOCAL,
+    "ps-gpu": CommMethodName.P2P,
+}
+
+DAG = "temporal.dag-lower-bound"
+
+
+def _strict_dag_run(config):
+    """Train under strict enforcement; return the engine for inspection."""
+    engine = CheckEngine("strict")
+    result = Trainer(config, sim=FAST, checks=engine).run()
+    assert result.violations == ()
+    checked, violated = engine.stats.get(DAG, (0, 0))
+    assert checked > 0, "the trainer.dag checkpoint never fired"
+    assert violated == 0
+    return engine
+
+
+# ----------------------------------------------------------------------
+# Soundness on real simulations: strategy x comm variant x GPU count
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("strategy,comm", sorted(SYNC_STRATEGIES.items()))
+@pytest.mark.parametrize("gpus", [1, 2, 4, 8])
+def test_dag_floor_bounds_every_sync_strategy(strategy, comm, gpus):
+    _strict_dag_run(
+        TrainingConfig("lenet", 16, gpus, comm_method=comm,
+                       strategy=strategy)
+    )
+
+
+@pytest.mark.parametrize("algorithm", ["ring", "tree"])
+@pytest.mark.parametrize("gpus", [2, 4, 8])
+def test_dag_floor_bounds_nccl_ring_and_tree(algorithm, gpus):
+    _strict_dag_run(
+        TrainingConfig("alexnet", 16, gpus, comm_method=CommMethodName.NCCL,
+                       strategy="nccl-collective",
+                       nccl_algorithm=algorithm, nccl_protocol="simple")
+    )
+
+
+def test_dag_floor_bounds_a_faulted_run():
+    from repro.faults import FaultPlan, StragglerFault
+
+    engine = CheckEngine("strict")
+    plan = FaultPlan(stragglers=(StragglerFault(gpu=1, factor=1.6, at=0.0),))
+    result = Trainer(
+        TrainingConfig("lenet", 16, 4, comm_method=CommMethodName.NCCL),
+        sim=FAST, checks=engine, faults=plan,
+    ).run()
+    assert result.violations == ()
+    checked, violated = engine.stats.get(DAG, (0, 0))
+    assert checked > 0 and violated == 0
+
+
+# ----------------------------------------------------------------------
+# The closed-form algebra (hypothesis)
+# ----------------------------------------------------------------------
+finite = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+
+
+@settings(max_examples=50, deadline=None)
+@given(compute=finite, inp=finite, wire=finite, host=finite)
+def test_floor_algebra(compute, inp, wire, host):
+    floor = critical_path_floor(compute, inp, wire, host)
+    # The serial chain and the wire each lower-bound the iteration...
+    assert floor >= inp + compute + host - 1e-9
+    assert floor >= wire + host - 1e-9
+    # ...and the floor is exactly the larger of the two paths plus host.
+    assert floor == max(inp + compute, wire) + host
+
+
+@settings(max_examples=50, deadline=None)
+@given(compute=finite, inp=finite, wire=finite, host=finite,
+       slack=st.floats(min_value=1e-6, max_value=1e3, allow_nan=False))
+def test_checker_fires_iff_measured_beats_the_floor(
+        compute, inp, wire, host, slack):
+    checker = get_checker(DAG)
+    floor = critical_path_floor(compute, inp, wire, host)
+    payload = dict(compute_floor=compute, input_floor=inp, wire_floor=wire,
+                   host_floor=host, iterations=3, now=1.0)
+    ok = checker.fn({**payload, "mean_iteration": floor * (1 + 1e-6) + slack})
+    assert ok is None
+    # Clearly below the floor (beyond the tolerance of ``_lt``) it fires.
+    below = checker.fn({**payload, "mean_iteration": floor - slack})
+    if floor - slack < floor * (1 - 1e-6):
+        assert below is not None and "critical-path floor" in below
+
+
+# ----------------------------------------------------------------------
+# Device and topology floors
+# ----------------------------------------------------------------------
+class _Scalar:
+    def __init__(self, f):
+        self.speed_factor = f
+
+
+class _Profiled:
+    def __init__(self, steps):
+        self.speed_factor = 1.0
+        self.slowdown = dataclasses.make_dataclass("S", ["steps"])(steps)
+
+
+@settings(max_examples=50, deadline=None)
+@given(factor=st.floats(min_value=0.1, max_value=10.0, allow_nan=False))
+def test_scalar_device_floor_is_its_speed_factor(factor):
+    assert device_factor_floor(_Scalar(factor)) == factor
+
+
+@settings(max_examples=50, deadline=None)
+@given(factors=st.lists(
+    st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+    min_size=1, max_size=5))
+def test_profiled_device_floor_is_the_minimum_step(factors):
+    steps = tuple((float(i), f) for i, f in enumerate(factors))
+    assert device_factor_floor(_Profiled(steps)) == min(factors)
+
+
+def test_unknown_profile_degrades_to_no_floor():
+    class Opaque:
+        speed_factor = 1.0
+        slowdown = object()          # has neither .steps nor anything useful
+
+    assert device_factor_floor(Opaque()) == 0.0
+
+
+def test_aggregate_peak_bandwidth_is_full_duplex():
+    topology = build_dgx1v()
+    agg = aggregate_peak_bandwidth(topology)
+    assert agg == 2.0 * sum(link.peak_bandwidth() for link in topology.links)
+    assert agg > 0

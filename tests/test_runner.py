@@ -384,20 +384,24 @@ def test_result_round_trip_preserves_extended_config_fields():
 
 
 # ----------------------------------------------------------------------
-# Invariant verification (schema v4: violations + full config coverage)
+# Invariant verification (schema v5: strategy field + async_stats block)
 # ----------------------------------------------------------------------
-def test_store_rejects_pre_violations_schema3_entry(tmp_path):
+def test_store_rejects_stale_schema_entries(tmp_path):
     """Entries written before the schema gained the ``violations`` field
-    (schema 3) must be refused loudly, not deserialized without it."""
-    assert SCHEMA_VERSION == 4
+    (schema 3) or the ``strategy``/``async_stats`` fields (schema 4) must
+    be refused loudly, not deserialized without them."""
+    assert SCHEMA_VERSION == 5
     store = ResultStore(tmp_path)
     store.root.mkdir(parents=True, exist_ok=True)
-    store.path_for("v3").write_text(json.dumps({
-        "schema": 3, "kind": "training",
-        "result": {"schema": 3, "config": {}, "iteration_time": 0.1},
-    }))
-    with pytest.raises(CacheSchemaError):
-        store.load("v3")
+    for stale in (3, 4):
+        key = f"v{stale}"
+        store.path_for(key).write_text(json.dumps({
+            "schema": stale, "kind": "training",
+            "result": {"schema": stale, "config": {},
+                       "iteration_time": 0.1},
+        }))
+        with pytest.raises(CacheSchemaError):
+            store.load(key)
 
 
 def _violation():

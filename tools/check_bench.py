@@ -14,8 +14,8 @@ Two modes, both exiting non-zero on failure:
 
 Usage::
 
-    PYTHONPATH=src python tools/check_bench.py --validate BENCH_6.json
-    PYTHONPATH=src python tools/check_bench.py --baseline BENCH_6.json \
+    PYTHONPATH=src python tools/check_bench.py --validate BENCH_7.json
+    PYTHONPATH=src python tools/check_bench.py --baseline BENCH_7.json \
         --profile fast --tolerance 1.0
 """
 
