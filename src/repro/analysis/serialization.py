@@ -24,6 +24,10 @@ Schema history
 * 5 -- strategy-registry support: the config ``strategy`` field and the
   optional ``async_stats`` block (staleness accounting when a
   :class:`TrainingResult` came from the ``async-update`` strategy).
+* 6 -- cluster-tier support: the config ``cluster_fabric``,
+  ``cluster_collective`` and ``cluster_fast_path`` fields (rail-aware
+  inter-node fabrics and hierarchical collectives; see
+  ``docs/SCALING.md``).
 """
 
 from __future__ import annotations
@@ -41,7 +45,7 @@ from repro.train.results import AsyncStats, TrainingResult
 
 #: Schema version stamped into every exported dict (and hashed into every
 #: persistent-cache key).
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 
 class SchemaMismatchError(ValueError):
@@ -77,6 +81,9 @@ def _config_to_dict(c: TrainingConfig) -> Dict[str, Any]:
         "nccl_protocol": c.nccl_protocol,
         "custom_network": c.custom_network,
         "strategy": c.strategy,
+        "cluster_fabric": c.cluster_fabric,
+        "cluster_collective": c.cluster_collective,
+        "cluster_fast_path": c.cluster_fast_path,
     }
 
 
@@ -96,6 +103,9 @@ def _config_from_dict(c: Dict[str, Any]) -> TrainingConfig:
         nccl_protocol=c["nccl_protocol"],
         custom_network=c["custom_network"],
         strategy=c["strategy"],
+        cluster_fabric=c["cluster_fabric"],
+        cluster_collective=c["cluster_collective"],
+        cluster_fast_path=c["cluster_fast_path"],
     )
 
 

@@ -1,5 +1,5 @@
-"""The shipped invariant checkers (18 of the 19 checkers, over 10 of the
-11 checkpoints; the ``trainer.dag`` analytic-oracle checker lives in
+"""The shipped invariant checkers (21 of the 22 checkers, over 11 of the
+12 checkpoints; the ``trainer.dag`` analytic-oracle checker lives in
 :mod:`repro.checks.dag`).
 
 Each checker guards one physically meaningful property of the simulation —
@@ -20,6 +20,9 @@ checkpoint            checkers
 ``comm.p2p.plan``     structural.reduce-coverage
 ``comm.collective``   conservation.collective-wire,
                       capacity.collective-bandwidth
+``comm.hierarchical`` conservation.hierarchical-wire,
+                      capacity.hierarchical-floor,
+                      temporal.hierarchical-agreement
 ``trainer.stages``    temporal.spans-nested, temporal.iterations-monotone,
                       temporal.step-accounting, capacity.gpu-busy
 ``trainer.traffic``   conservation.gradient-traffic
@@ -281,6 +284,71 @@ def check_collective_bandwidth(p: Payload):
         return (f"{p['kind']} of {nbytes} bytes over {size} GPUs took "
                 f"{p['duration']:.3e}s < wire lower bound {lower:.3e}s at "
                 f"aggregate bandwidth {p['bound_bandwidth']:.3e} B/s")
+
+
+# ----------------------------------------------------------------------
+# comm.hierarchical — fired per hierarchical cluster collective
+# ----------------------------------------------------------------------
+@invariant("comm.hierarchical", name="hierarchical-wire",
+           category="conservation",
+           description="the hierarchical phase schedule moves exactly the closed-form wire total")
+def check_hierarchical_wire(p: Payload):
+    """The enumerated per-phase schedule must sum to the closed form:
+    ``M(g-1)S`` for each intra-node phase plus ``2(M-1)S`` for the
+    inter-node exchange (identical for the ring and tree schedules), and
+    the communicator's own ``wire_total`` must agree."""
+    nodes, g, nbytes = p["nodes"], p["gpus_per_node"], p["nbytes"]
+    if nbytes <= 0 or nodes * g < 2:
+        expected = 0
+    else:
+        intra = nodes * (g - 1) * nbytes if g > 1 else 0
+        inter = 2 * (nodes - 1) * nbytes if nodes > 1 else 0
+        expected = 2 * intra + inter
+    if p["schedule_total"] != expected:
+        return (f"hierarchical {p['kind']} of {nbytes} bytes over {nodes} "
+                f"node(s) x {g} GPUs schedules {p['schedule_total']} wire "
+                f"bytes, expected exactly {expected}")
+    if p["wire_total"] != expected:
+        return (f"hierarchical {p['kind']}: closed-form wire_total "
+                f"{p['wire_total']} disagrees with the expected {expected}")
+
+
+@invariant("comm.hierarchical", name="hierarchical-floor",
+           category="capacity",
+           description="hierarchical collective duration covers its serial phase floors")
+def check_hierarchical_floor(p: Payload):
+    """The modeled duration can never beat the sum of the phases' serial
+    wire floors: the phases are strictly ordered, each intra phase must
+    move at least one ``S/g`` segment across the NVLink ring, and the
+    inter phase at least one ``B_max/M`` segment over the fullest rail
+    (sound for both the ring and tree exchanges)."""
+    nodes, g, nbytes = p["nodes"], p["gpus_per_node"], p["nbytes"]
+    if nbytes <= 0 or nodes * g < 2:
+        return None
+    floor = 0.0
+    if g > 1:
+        floor += 2.0 * max(1, nbytes // g) / p["intra_bound_bandwidth"]
+    if nodes > 1:
+        floor += (max(1, p["max_rail_bytes"] // nodes)
+                  / p["rail_bound_bandwidth"])
+    if _lt(p["duration"], floor):
+        return (f"hierarchical {p['kind']} of {nbytes} bytes over {nodes} "
+                f"node(s) took {p['duration']:.3e}s < serial phase floor "
+                f"{floor:.3e}s")
+
+
+@invariant("comm.hierarchical", name="hierarchical-agreement",
+           category="temporal",
+           description="the charged collective duration matches the analytic closed form")
+def check_hierarchical_agreement(p: Payload):
+    """Event mode charges one window per phase and analytic mode a single
+    closed-form window; both must evaluate the same algebra, so the
+    charged duration agrees with the analytic total within float
+    tolerance on every topology -- the fast path's cross-validation."""
+    if _ne(p["duration"], p["analytic"]):
+        return (f"{p['mode']}-mode hierarchical {p['kind']} charges "
+                f"{p['duration']!r}s but the analytic closed form gives "
+                f"{p['analytic']!r}s")
 
 
 # ----------------------------------------------------------------------

@@ -19,6 +19,10 @@ The per-method formulas (``b = max(1, floor(nbytes x scale))`` per array):
     full payload once: ``2 x b``.
 ``nccl-allreduce``
     One fused AllReduce record: ``b``.
+``nccl-hierarchical``
+    The cluster tier's hierarchical AllReduce also records one fused
+    transfer per array: ``b`` (the per-phase wire accounting lives in
+    the ``comm.hierarchical`` checkpoint instead).
 ``ps-gpu``
     Flat-star parameter server: every worker sends its whole gradient to
     GPU0 and receives whole weights back, never sharded: ``2(N-1) x b``.
@@ -47,7 +51,8 @@ def expected_sync_bytes(
     Returns ``None`` (checker skips) for an unrecognized communicator name
     — e.g. a user-supplied custom communicator with unknown semantics.
     """
-    if comm_name not in ("p2p", "ps-gpu", "nccl", "nccl-allreduce", "local"):
+    if comm_name not in ("p2p", "ps-gpu", "nccl", "nccl-allreduce",
+                         "nccl-hierarchical", "local"):
         return None
     if num_gpus <= 1 or comm_name == "local":
         return 0
@@ -66,6 +71,6 @@ def expected_sync_bytes(
             total += 2 * (num_gpus - 1) * b
         elif comm_name == "nccl":
             total += 2 * b
-        else:  # nccl-allreduce
+        else:  # nccl-allreduce, nccl-hierarchical
             total += b
     return total

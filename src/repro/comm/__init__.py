@@ -17,12 +17,17 @@ baseline the paper's background section contrasts against.
 
 from repro.comm.base import Communicator
 from repro.comm.local import LocalCommunicator
-from repro.comm.nccl import NcclAllReduceCommunicator, NcclCommunicator
+from repro.comm.nccl import (
+    HierarchicalNcclCommunicator,
+    NcclAllReduceCommunicator,
+    NcclCommunicator,
+)
 from repro.comm.p2p import P2PCommunicator, reduction_tree
 from repro.comm.ps import PsGpuCommunicator
 
 __all__ = [
     "Communicator",
+    "HierarchicalNcclCommunicator",
     "LocalCommunicator",
     "NcclAllReduceCommunicator",
     "NcclCommunicator",
@@ -31,19 +36,29 @@ __all__ = [
     "reduction_tree",
 ]
 
+#: Keyword arguments only the hierarchical cluster communicator takes.
+_CLUSTER_KWARGS = (
+    "cluster_nodes", "rails", "rail_bandwidth", "rail_latency",
+    "inter_algorithm", "fast_path",
+)
+
 
 def make_communicator(name, *args, **kwargs) -> Communicator:
     """Factory keyed by :class:`~repro.core.config.CommMethodName` or string.
 
     The NCCL-family constructors additionally take ``algorithm`` /
     ``protocol`` keywords (the :class:`~repro.core.config.TrainingConfig`
-    fidelity knobs); those are silently dropped for the P2P and local
-    methods, which have no algorithm/protocol selection space.
+    fidelity knobs) and the hierarchical communicator its cluster
+    keywords; unsupported keywords are silently dropped for the methods
+    that have no such selection space.
     """
     key = getattr(name, "value", name)
     if key not in ("nccl", "nccl-allreduce"):
         kwargs.pop("algorithm", None)
         kwargs.pop("protocol", None)
+    if key != "nccl-hierarchical":
+        for cluster_kwarg in _CLUSTER_KWARGS:
+            kwargs.pop(cluster_kwarg, None)
     if key == "p2p":
         return P2PCommunicator(*args, **kwargs)
     if key == "ps-gpu":
@@ -54,4 +69,6 @@ def make_communicator(name, *args, **kwargs) -> Communicator:
         return LocalCommunicator(*args, **kwargs)
     if key == "nccl-allreduce":
         return NcclAllReduceCommunicator(*args, **kwargs)
+    if key == "nccl-hierarchical":
+        return HierarchicalNcclCommunicator(*args, **kwargs)
     raise ValueError(f"unknown communication method {name!r}")

@@ -2,17 +2,33 @@
 
 :class:`NcclCommunicator` is the paper's method (MXNet ``nccl`` KVStore:
 Reduce to GPU0, update, Broadcast); :class:`NcclAllReduceCommunicator` is
-the modern AllReduce-with-local-updates variant for comparison.
+the modern AllReduce-with-local-updates variant for comparison;
+:class:`HierarchicalNcclCommunicator` is the cluster tier's rail-aware
+hierarchical AllReduce (docs/SCALING.md).
 """
 
 from repro.comm.nccl.allreduce import NcclAllReduceCommunicator
 from repro.comm.nccl.communicator import NcclCommunicator
+from repro.comm.nccl.hierarchical import (
+    HierarchicalNcclCommunicator,
+    hierarchical_phase_times,
+    hierarchical_phase_wire,
+    hierarchical_schedule_total,
+    hierarchical_wire_total,
+    rail_bytes,
+)
 from repro.comm.nccl.rings import RingPlan, build_ring_plan, find_nvlink_ring
 
 __all__ = [
+    "HierarchicalNcclCommunicator",
     "NcclAllReduceCommunicator",
     "NcclCommunicator",
     "RingPlan",
     "build_ring_plan",
     "find_nvlink_ring",
+    "hierarchical_phase_times",
+    "hierarchical_phase_wire",
+    "hierarchical_schedule_total",
+    "hierarchical_wire_total",
+    "rail_bytes",
 ]

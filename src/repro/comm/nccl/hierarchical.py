@@ -1,0 +1,492 @@
+"""Hierarchical rail-aware NCCL collectives for the cluster tier.
+
+The flat global ring (:mod:`repro.comm.nccl.rings`) paces every hop at
+the slowest link, so a 1024-GPU ring moves at InfiniBand speed even for
+the seven-eighths of its hops that sit on NVLink.  NCCL's multi-node
+schedule -- and FireCaffe's before it -- is hierarchical instead:
+
+1. **intra-node reduce-scatter** over the NVLink ring: after ``g - 1``
+   steps local GPU ``i`` holds the node-local sum of shard ``i``;
+2. **inter-node exchange** of shard ``i`` across the ``M`` nodes over
+   the InfiniBand *rail* serving GPU ``i`` (ring or tree schedule, all
+   rails concurrent);
+3. **intra-node allgather** over the NVLink ring redistributes the
+   fully reduced shards.
+
+This module provides the pure algebra of that schedule (exact integer
+wire totals, closed-form phase timings built on the audited
+:func:`~repro.comm.nccl.protocol._pipelined_time` pipeline model) and
+:class:`HierarchicalNcclCommunicator`, which folds it into the event
+timeline either *event*-wise (one charged window per phase, per-rail
+ring-step events) or *analytically* (one closed-form window per
+collective -- a 1024-GPU AllReduce cannot afford per-chunk events on
+every link).  Both modes charge the same float algebra, which is what
+the ``temporal.hierarchical-agreement`` invariant cross-validates.  See
+docs/SCALING.md for the model and its validity envelope.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator, List, Tuple
+
+from repro.comm.nccl.communicator import NcclCommunicator
+from repro.comm.nccl.protocol import (
+    _pipelined_time,
+    _segments,
+    ring_wire_total,
+    tree_wire_total,
+)
+from repro.comm.nccl.rings import RingPlan, build_ring_plan
+from repro.core.constants import CALIBRATION, CalibrationConstants
+from repro.core.errors import ConfigurationError
+from repro.dnn.stats import WeightArray
+from repro.obs.events import RingStepEvent
+from repro.perf.spans import PERF
+from repro.sim.events import Event
+from repro.topology.cluster import (
+    GPUS_PER_NODE,
+    IB_LANE_BANDWIDTH,
+    IB_LANES_PER_NODE,
+    IB_RAIL_LATENCY,
+    rail_of_rank,
+)
+
+#: Valid inter-node exchange schedules.
+INTER_ALGORITHMS = ("ring", "tree")
+
+#: Valid fast-path modes (the resolved values; ``"auto"`` is resolved by
+#: the strategy layer before construction).
+FAST_PATHS = ("event", "analytic")
+
+
+# ----------------------------------------------------------------------
+# Pure schedule algebra (no simulation state)
+# ----------------------------------------------------------------------
+def rail_bytes(
+    nbytes: int,
+    gpus_per_node: int = GPUS_PER_NODE,
+    rails: int = IB_LANES_PER_NODE,
+) -> List[int]:
+    """Bytes each inter-node rail carries for one shard exchange.
+
+    The intra-node reduce-scatter leaves shard ``i`` (of the
+    ``gpus_per_node`` integer segments of the payload) on local GPU
+    ``i``; rail ``r`` then exchanges the shards of its GPUs.  Sums to
+    exactly ``nbytes``:
+
+    >>> rail_bytes(100, 8, 4)
+    [26, 26, 24, 24]
+    >>> sum(rail_bytes(100, 8, 4))
+    100
+    """
+    shards = _segments(nbytes, gpus_per_node)
+    per_rail = [0] * rails
+    for i, s in enumerate(shards):
+        per_rail[rail_of_rank(i, rails)] += s
+    return per_rail
+
+
+def hierarchical_phase_wire(
+    nbytes: int, nodes: int, gpus_per_node: int = GPUS_PER_NODE
+) -> Tuple[int, int, int]:
+    """Exact wire bytes of the three phases, all links summed.
+
+    Intra-node reduce-scatter and allgather each move every payload
+    segment across ``g - 1`` ring steps on every node; the inter-node
+    exchange AllReduces each shard across ``M`` nodes, which costs
+    ``2(M-1)`` segment traversals per shard for the ring schedule and
+    ``(M-1)`` edges x 2 directions for the tree -- the *same* total:
+
+    >>> hierarchical_phase_wire(800, nodes=4, gpus_per_node=8)
+    (22400, 4800, 22400)
+    """
+    if nbytes <= 0:
+        return (0, 0, 0)
+    intra = nodes * (gpus_per_node - 1) * nbytes if gpus_per_node > 1 else 0
+    inter = 2 * (nodes - 1) * nbytes if nodes > 1 else 0
+    return (intra, inter, intra)
+
+
+def hierarchical_wire_total(
+    nbytes: int, nodes: int, gpus_per_node: int = GPUS_PER_NODE
+) -> int:
+    """Closed-form total wire bytes of one hierarchical AllReduce."""
+    rs, inter, ag = hierarchical_phase_wire(nbytes, nodes, gpus_per_node)
+    return rs + inter + ag
+
+
+def hierarchical_schedule_total(
+    nbytes: int,
+    nodes: int,
+    gpus_per_node: int = GPUS_PER_NODE,
+    inter_algorithm: str = "ring",
+) -> int:
+    """Enumerated wire total: every phase's schedule, segment by segment.
+
+    Independent of :func:`hierarchical_wire_total`'s closed form -- the
+    conservation checker compares the two, so a schedule bug and an
+    algebra bug cannot hide each other:
+
+    >>> hierarchical_schedule_total(800, 4) == hierarchical_wire_total(800, 4)
+    True
+    >>> hierarchical_schedule_total(801, 3, inter_algorithm="tree") == \\
+    ...     hierarchical_wire_total(801, 3)
+    True
+    """
+    if nbytes <= 0 or nodes * gpus_per_node < 2:
+        return 0
+    total = 0
+    if gpus_per_node > 1:
+        # Ring reduce-scatter + allgather on every node is exactly the
+        # wire schedule of one intra-node ring AllReduce.
+        total += nodes * ring_wire_total("allreduce", nbytes, gpus_per_node)
+    if nodes > 1:
+        for shard in _segments(nbytes, gpus_per_node):
+            if inter_algorithm == "tree":
+                total += tree_wire_total("allreduce", shard, nodes - 1)
+            else:
+                total += ring_wire_total("allreduce", shard, nodes)
+    return total
+
+
+def hierarchical_phase_times(
+    nbytes: int,
+    nodes: int,
+    intra_bandwidth: float,
+    rail_bandwidth: float,
+    rail_latency: float,
+    gpus_per_node: int = GPUS_PER_NODE,
+    rails: int = IB_LANES_PER_NODE,
+    inter_algorithm: str = "ring",
+    constants: CalibrationConstants = CALIBRATION,
+) -> Tuple[float, float, float]:
+    """Closed-form (reduce-scatter, inter-exchange, allgather) seconds.
+
+    The intra phases are ``g - 1``-step ring pipelines moving one
+    ``S/g`` segment per step at the NVLink ring's aggregate bandwidth
+    (``intra_bandwidth``, already efficiency-scaled).  The inter phase
+    is paced by the *fullest* rail (rails run concurrently but the
+    barrier is the slowest): a ``2(M-1)``-step ring pipeline of
+    ``B_max/M`` segments, or a ``2 x ceil(log2 M)``-deep tree pipeline
+    of the full ``B_max``, at ``rail_bandwidth`` derated by the NCCL
+    bus efficiency.  All three use the audited fill+drain pipeline
+    model (:func:`~repro.comm.nccl.protocol._pipelined_time`).
+    """
+    chunk = constants.nccl_chunk_bytes
+    t_intra = 0.0
+    if gpus_per_node > 1:
+        t_intra = _pipelined_time(
+            max(1, nbytes // gpus_per_node),
+            gpus_per_node - 1,
+            chunk,
+            intra_bandwidth,
+            constants.nccl_ring_step_latency,
+        )
+    t_inter = 0.0
+    if nodes > 1:
+        busiest = max(rail_bytes(nbytes, gpus_per_node, rails))
+        bw = rail_bandwidth * constants.nccl_bandwidth_efficiency
+        if inter_algorithm == "tree":
+            depth = max(1, math.ceil(math.log2(nodes)))
+            t_inter = 2.0 * _pipelined_time(
+                busiest, depth, chunk, bw, rail_latency
+            )
+        else:
+            t_inter = _pipelined_time(
+                max(1, busiest // nodes),
+                2 * (nodes - 1),
+                chunk,
+                bw,
+                rail_latency,
+            )
+    return (t_intra, t_inter, t_intra)
+
+
+# ----------------------------------------------------------------------
+# The communicator
+# ----------------------------------------------------------------------
+class HierarchicalNcclCommunicator(NcclCommunicator):
+    """Rail-aware hierarchical AllReduce with replicated local updates.
+
+    Covers the whole cluster (``cluster_nodes * 8`` ranks) even when the
+    trainer event-simulates only a *representative node* (node 0's eight
+    GPUs): collective durations, wire accounting and the per-iteration
+    group rendezvous are always charged for the full cluster, while
+    kernels run on the simulated devices only.  ``fast_path`` selects
+    how collectives enter the timeline -- ``"event"`` charges one window
+    per phase and emits per-rail ring-step events, ``"analytic"``
+    charges a single closed-form window -- and both modes evaluate the
+    same float algebra (invariant ``temporal.hierarchical-agreement``).
+    """
+
+    name = "nccl-hierarchical"
+
+    def __init__(
+        self,
+        *args,
+        cluster_nodes: int = 1,
+        rails: int = IB_LANES_PER_NODE,
+        rail_bandwidth: float = IB_LANE_BANDWIDTH,
+        rail_latency: float | None = None,
+        inter_algorithm: str = "ring",
+        fast_path: str = "event",
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if cluster_nodes < 1:
+            raise ConfigurationError("cluster_nodes must be positive")
+        if inter_algorithm not in INTER_ALGORITHMS:
+            raise ConfigurationError(
+                f"inter_algorithm must be one of {INTER_ALGORITHMS}, "
+                f"got {inter_algorithm!r}"
+            )
+        if fast_path not in FAST_PATHS:
+            raise ConfigurationError(
+                f"fast_path must be one of {FAST_PATHS}, got {fast_path!r} "
+                "(resolve 'auto' before construction)"
+            )
+        if rails < 1 or GPUS_PER_NODE % rails:
+            raise ConfigurationError(
+                f"rails must divide {GPUS_PER_NODE}, got {rails}"
+            )
+        self.cluster_nodes = cluster_nodes
+        self.rails = rails
+        self.rail_bandwidth = rail_bandwidth
+        self.rail_latency = (
+            rail_latency if rail_latency is not None else IB_RAIL_LATENCY
+        )
+        self.inter_algorithm = inter_algorithm
+        self.fast_path = fast_path
+        with PERF.span("nccl.build"):
+            # The intra-node NVLink ring of the representative node; the
+            # parent's plan equals it when only node 0 is simulated.
+            intra_indices = [
+                d.index for d in self.devices if d.index < GPUS_PER_NODE
+            ]
+            self.intra_plan: RingPlan = build_ring_plan(
+                self.fabric.topology, intra_indices, self.constants
+            )
+
+    @property
+    def total_ranks(self) -> int:
+        """GPUs participating in the collective across the cluster."""
+        return self.cluster_nodes * GPUS_PER_NODE
+
+    @property
+    def representative(self) -> bool:
+        """True when fewer devices are simulated than ranks exist."""
+        return len(self.devices) < self.total_ranks
+
+    def per_iteration_overhead(self) -> float:
+        """Grouped-launch rendezvous across the *whole cluster*'s engines."""
+        if self.total_ranks == 1:
+            return 0.0
+        return self.constants.nccl_group_sync_per_gpu * self.total_ranks
+
+    # ------------------------------------------------------------------
+    # Durations
+    # ------------------------------------------------------------------
+    def _phase_times(self, nbytes: int) -> Tuple[float, float, float]:
+        return hierarchical_phase_times(
+            nbytes,
+            self.cluster_nodes,
+            self.intra_plan.aggregate_bandwidth,
+            self.rail_bandwidth,
+            self.rail_latency,
+            gpus_per_node=GPUS_PER_NODE,
+            rails=self.rails,
+            inter_algorithm=self.inter_algorithm,
+            constants=self.constants,
+        )
+
+    def allreduce_duration(self, nbytes: int) -> float:
+        """Closed-form hierarchical AllReduce time (all three phases)."""
+        t_rs, t_inter, t_ag = self._phase_times(nbytes)
+        return self.constants.nccl_call_overhead + t_rs + t_inter + t_ag
+
+    # ------------------------------------------------------------------
+    # Checkpoint
+    # ------------------------------------------------------------------
+    def _check_hierarchical(
+        self, nbytes: int, duration: float, analytic: float
+    ) -> None:
+        """Fire the ``comm.hierarchical`` checkpoint for one collective."""
+        if not self.checks_active:
+            return
+        t_rs, t_inter, t_ag = self._phase_times(nbytes)
+        self._check(
+            "comm.hierarchical",
+            kind="allreduce",
+            nbytes=nbytes,
+            size=self.total_ranks,
+            nodes=self.cluster_nodes,
+            gpus_per_node=GPUS_PER_NODE,
+            rails=self.rails,
+            inter_algorithm=self.inter_algorithm,
+            mode=self.fast_path,
+            duration=duration,
+            analytic=analytic,
+            t_reduce_scatter=t_rs,
+            t_inter=t_inter,
+            t_allgather=t_ag,
+            wire_total=hierarchical_wire_total(
+                nbytes, self.cluster_nodes, GPUS_PER_NODE
+            ),
+            schedule_total=hierarchical_schedule_total(
+                nbytes, self.cluster_nodes, GPUS_PER_NODE,
+                self.inter_algorithm,
+            ),
+            max_rail_bytes=(
+                max(rail_bytes(nbytes, GPUS_PER_NODE, self.rails))
+                if self.cluster_nodes > 1
+                else 0
+            ),
+            intra_bound_bandwidth=self.intra_plan.aggregate_bandwidth,
+            rail_bound_bandwidth=self.rail_bandwidth,
+            now=self.env.now,
+        )
+
+    # ------------------------------------------------------------------
+    # Event emission
+    # ------------------------------------------------------------------
+    def _intra_hops(self) -> List[Tuple[int, int, str]]:
+        """Directed (src, dst, link_type) hops of the intra-node ring."""
+        order = self.intra_plan.order
+        if len(order) < 2:
+            return []
+        topology = self.fabric.topology
+        hops = []
+        for a, b in zip(order, order[1:] + order[:1]):
+            link = topology.nvlink_between(topology.gpu(a), topology.gpu(b))
+            hops.append((a, b, link.link_type.value if link else "pcie"))
+        return hops
+
+    def _emit_intra_steps(
+        self, collective: str, array: WeightArray,
+        start: float, end: float, nbytes: int,
+    ) -> None:
+        """``g - 1`` step windows, every intra-node ring hop active."""
+        hops = self._intra_hops()
+        g = self.intra_plan.size
+        if not hops or g < 2 or end <= start:
+            return
+        slot = (end - start) / (g - 1)
+        seg = max(1, nbytes // g)
+        for step in range(g - 1):
+            t0, t1 = start + step * slot, start + (step + 1) * slot
+            for src, dst, link_type in hops:
+                self._publish(RingStepEvent(
+                    collective=collective, array=array.name, step=step,
+                    src=src, dst=dst, link_type=link_type, nbytes=seg,
+                    start=t0, end=t1,
+                ))
+
+    def _emit_inter_steps(
+        self, array: WeightArray, start: float, end: float, nbytes: int,
+    ) -> None:
+        """Per-rail inter-node exchange windows.
+
+        Each rail is represented by its first GPU on consecutive nodes
+        (rank ``node * 8 + rail_lead``); ring mode has ``2(M-1)`` step
+        windows moving one ``B_r/M`` segment per hop, tree mode
+        ``2*ceil(log2 M)`` windows moving the full ``B_r``.
+        """
+        m = self.cluster_nodes
+        if m < 2 or end <= start:
+            return
+        per_rail = rail_bytes(nbytes, GPUS_PER_NODE, self.rails)
+        lead = GPUS_PER_NODE // self.rails
+        collective = f"hier-inter-{self.inter_algorithm}"
+        if self.inter_algorithm == "tree":
+            steps = 2 * max(1, math.ceil(math.log2(m)))
+        else:
+            steps = 2 * (m - 1)
+        slot = (end - start) / steps
+        for r, b in enumerate(per_rail):
+            seg = b if self.inter_algorithm == "tree" else max(1, b // m)
+            for step in range(steps):
+                src_node = step % m
+                dst_node = (step + 1) % m
+                self._publish(RingStepEvent(
+                    collective=collective, array=array.name, step=step,
+                    src=src_node * GPUS_PER_NODE + r * lead,
+                    dst=dst_node * GPUS_PER_NODE + r * lead,
+                    link_type="infiniband", nbytes=seg,
+                    start=start + step * slot, end=start + (step + 1) * slot,
+                ))
+
+    # ------------------------------------------------------------------
+    # Weight-update path
+    # ------------------------------------------------------------------
+    def sync_array(self, array: WeightArray) -> Generator[Event, None, None]:
+        yield self.env.process(self._allreduce(array))
+        # Every simulated GPU applies the identical update in parallel;
+        # the unsimulated nodes run the same kernels on their own engines.
+        updates = [
+            self.env.process(dev.run_kernel(self._update_kernel(array)))
+            for dev in self.devices
+        ]
+        yield self.env.all_of(updates)
+
+    def _allreduce(self, array: WeightArray) -> Generator[Event, None, None]:
+        c = self.constants
+        wire_bytes = self._comm_bytes(array)
+        t_rs, t_inter, t_ag = self._phase_times(wire_bytes)
+        analytic = c.nccl_call_overhead + t_rs + t_inter + t_ag
+        if self.fast_path == "event":
+            duration = (c.nccl_call_overhead + t_rs) + t_inter + t_ag
+        else:
+            duration = analytic
+        self._check_hierarchical(wire_bytes, duration, analytic)
+        queued = self.env.now
+        req = self._stream.request()
+        yield req
+        start = self.env.now
+        self._emit_stream_waits(start - queued, start)
+        taxes = [
+            self.env.process(
+                dev.run_kernel(
+                    self._collective_kernel("allreduce", array,
+                                            c.nccl_engine_tax)
+                )
+            )
+            for dev in self.devices
+        ]
+        try:
+            if self.fast_path == "event":
+                # One charged window per phase: the inter-node exchange
+                # cannot start before the reduce-scatter finishes, and
+                # the allgather not before the exchange.
+                yield self.env.timeout(c.nccl_call_overhead + t_rs)
+                rs_end = self.env.now
+                if t_inter > 0:
+                    yield self.env.timeout(t_inter)
+                inter_end = self.env.now
+                if t_ag > 0:
+                    yield self.env.timeout(t_ag)
+            else:
+                yield self.env.timeout(duration)
+            yield self.env.all_of(taxes)
+        finally:
+            self._stream.release(req)
+        with PERF.span("nccl.pipeline"):
+            if PERF.enabled:
+                PERF.count("nccl.collectives")
+            if self.fast_path == "event":
+                self._emit_intra_steps("hier-reduce-scatter", array,
+                                       start, rs_end, wire_bytes)
+                self._emit_inter_steps(array, rs_end, inter_end, wire_bytes)
+                self._emit_intra_steps("hier-allgather", array,
+                                       inter_end, inter_end + t_ag,
+                                       wire_bytes)
+            else:
+                # Analytic mode: one summary window, no per-step fan-out.
+                self._publish(RingStepEvent(
+                    collective="hier-analytic", array=array.name, step=0,
+                    src=self.server.index, dst=self.server.index + 1,
+                    link_type="infiniband", nbytes=wire_bytes,
+                    start=start, end=start + duration,
+                ))
+            self._record_transfer("nccl", self.server.index, -1, wire_bytes,
+                                  start, self.env.now)

@@ -104,11 +104,23 @@ def build_ring_plan(
 
     spanned = {i // GPUS_PER_NODE for i in indices}
     if len(spanned) > 1:
+        # Node-major order, each node's section threaded along its NVLink
+        # Hamiltonian cycle so every intra-node hop rides NVLink and only
+        # the node-to-node seams cross InfiniBand.
+        order: List[int] = []
+        pcie_fallback = False
+        for node in sorted(spanned):
+            section = [i for i in indices if i // GPUS_PER_NODE == node]
+            threaded = find_nvlink_ring(topology, section)
+            if threaded is None:
+                pcie_fallback = True
+                threaded = section
+            order.extend(threaded)
         return RingPlan(
-            order=tuple(indices),  # node-major: one IB crossing per node
+            order=tuple(order),
             channels=2,
             channel_bandwidth=IB_LANE_BANDWIDTH * constants.nccl_bandwidth_efficiency,
-            uses_pcie=False,
+            uses_pcie=pcie_fallback,
         )
 
     ring = find_nvlink_ring(topology, indices)

@@ -56,6 +56,22 @@ NCCL_ALGORITHMS = ("compat", "auto", "ring", "tree")
 #: Valid ``TrainingConfig.nccl_protocol`` values (see docs/COMM.md).
 NCCL_PROTOCOLS = ("compat", "auto", "simple", "ll", "ll128")
 
+#: Valid ``TrainingConfig.cluster_fabric`` values.  ``"compat"`` keeps the
+#: aggregated width-4 InfiniBand attachment (byte-identical to the
+#: pre-cluster-tier graph); the others select a
+#: :class:`repro.topology.cluster.ClusterSpec` interconnect
+#: (docs/SCALING.md).
+CLUSTER_FABRICS = ("compat", "single-switch", "fat-tree")
+#: Valid ``TrainingConfig.cluster_collective`` values.  ``"compat"`` keeps
+#: the flat global NCCL ring; the hierarchical values enable the
+#: rail-aware three-phase AllReduce with a ring or tree inter-node
+#: exchange (docs/SCALING.md).
+CLUSTER_COLLECTIVES = ("compat", "hierarchical-ring", "hierarchical-tree")
+#: Valid ``TrainingConfig.cluster_fast_path`` values: how inter-node
+#: collective segments are folded into the event timeline.  ``"auto"``
+#: picks ``"event"`` up to 4 nodes and ``"analytic"`` beyond.
+CLUSTER_FAST_PATHS = ("auto", "event", "analytic")
+
 
 @dataclass(frozen=True)
 class SimulationConfig:
@@ -117,6 +133,22 @@ class TrainingConfig:
     #: "ps-gpu", "async-update", "model-parallel") pins one point of the
     #: strategy matrix.
     strategy: str = "auto"
+    #: Inter-node fabric: "compat" (default -- the aggregated width-4
+    #: InfiniBand attachment, byte-identical to the pre-cluster-tier
+    #: graph), "single-switch" or "fat-tree" (per-HCA rails; see
+    #: docs/SCALING.md).  Ignored for single-node runs.
+    cluster_fabric: str = "compat"
+    #: Multi-node collective: "compat" (default -- the flat global NCCL
+    #: ring), "hierarchical-ring" or "hierarchical-tree" (rail-aware
+    #: reduce-scatter / inter-node exchange / allgather).  Requires an
+    #: NCCL comm method, compat NCCL tuning, and full nodes.
+    cluster_collective: str = "compat"
+    #: How inter-node collective phases enter the event timeline:
+    #: "auto" (default; "event" up to 4 nodes, "analytic" beyond),
+    #: "event" (per-phase, per-rail events) or "analytic" (one
+    #: closed-form segment per collective).  Only meaningful with a
+    #: hierarchical ``cluster_collective``.
+    cluster_fast_path: str = "auto"
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -172,6 +204,45 @@ class TrainingConfig:
                 f"(got algorithm={self.nccl_algorithm!r}, "
                 f"protocol={self.nccl_protocol!r})"
             )
+        if self.cluster_fabric not in CLUSTER_FABRICS:
+            raise ConfigurationError(
+                f"cluster_fabric must be one of {CLUSTER_FABRICS}, "
+                f"got {self.cluster_fabric!r}"
+            )
+        if self.cluster_collective not in CLUSTER_COLLECTIVES:
+            raise ConfigurationError(
+                f"cluster_collective must be one of {CLUSTER_COLLECTIVES}, "
+                f"got {self.cluster_collective!r}"
+            )
+        if self.cluster_fast_path not in CLUSTER_FAST_PATHS:
+            raise ConfigurationError(
+                f"cluster_fast_path must be one of {CLUSTER_FAST_PATHS}, "
+                f"got {self.cluster_fast_path!r}"
+            )
+        if self.cluster_collective != "compat":
+            if self.comm_method not in (
+                CommMethodName.NCCL,
+                CommMethodName.NCCL_ALLREDUCE,
+            ):
+                raise ConfigurationError(
+                    "hierarchical cluster collectives require an NCCL "
+                    "communication method (nccl or nccl-allreduce), got "
+                    f"{self.comm_method.value!r}"
+                )
+            if self.nccl_algorithm != "compat":
+                raise ConfigurationError(
+                    "hierarchical cluster collectives pin their own "
+                    "intra/inter-node schedule; nccl_algorithm/nccl_protocol "
+                    "must stay 'compat' (got "
+                    f"algorithm={self.nccl_algorithm!r})"
+                )
+            if self.num_gpus != 8 * self.cluster_nodes:
+                raise ConfigurationError(
+                    "hierarchical cluster collectives assume full DGX-1 "
+                    f"nodes: num_gpus must equal 8 * cluster_nodes "
+                    f"(got num_gpus={self.num_gpus}, "
+                    f"cluster_nodes={self.cluster_nodes})"
+                )
 
     @property
     def total_images(self) -> int:
@@ -200,7 +271,15 @@ class TrainingConfig:
             else ""
         )
         strat = f"/{self.strategy}" if self.strategy != "auto" else ""
+        coll = (
+            f"/{self.cluster_collective}"
+            if self.cluster_collective != "compat"
+            else ""
+        )
+        fabric = (
+            f"/{self.cluster_fabric}" if self.cluster_fabric != "compat" else ""
+        )
         return (
             f"{self.network}/b{self.batch_size}/g{self.num_gpus}/"
-            f"{self.comm_method.value}{nodes}{tuning}{strat}"
+            f"{self.comm_method.value}{nodes}{tuning}{strat}{coll}{fabric}"
         )

@@ -23,6 +23,7 @@ Experiment   Paper artifact
 ``nccl``     extension -- algorithm/protocol ablation + crossover
 ``faults``   extension -- degradation sensitivity under faults
 ``strategies``  extension -- the training-strategy matrix
+``cluster``  extension -- hierarchical collectives to 1024 GPUs
 ===========  =====================================================
 """
 

@@ -56,6 +56,7 @@ from repro.experiments import (
     async_study,
     bandwidth_sweep,
     capacity_study,
+    cluster_scaling,
     faults_study,
     multinode_study,
     nccl_ablation,
@@ -120,6 +121,12 @@ def _run_experiment(name: str, cache: SweepRunner, fast: bool) -> str:
     if name == "multinode":
         kwargs = dict(networks=("resnet",), node_counts=(1, 2)) if fast else {}
         return multinode_study.render(multinode_study.run(runner=cache, **kwargs))
+    if name == "cluster":
+        kwargs = (
+            dict(networks=("resnet",), node_counts=(1, 2, 128)) if fast else {}
+        )
+        return cluster_scaling.render(
+            cluster_scaling.run(runner=cache, **kwargs))
     if name == "nccl":
         kwargs = dict(networks=("alexnet",)) if fast else {}
         return nccl_ablation.render(nccl_ablation.run(runner=cache, **kwargs))
@@ -146,11 +153,20 @@ def _run_experiment(name: str, cache: SweepRunner, fast: bool) -> str:
 
 EXPERIMENTS = (
     "table1", "fig2", "fig3", "table2", "fig4", "table3", "table4", "fig5",
-    "ablate", "async", "bandwidth", "capacity", "faults", "multinode",
-    "nccl", "strategies", "validate", "report",
+    "ablate", "async", "bandwidth", "capacity", "cluster", "faults",
+    "multinode", "nccl", "strategies", "validate", "report",
 )
 
 OBS_FORMATS = ("prometheus", "jsonl", "chrome", "csv", "summary")
+
+
+def all_subcommands() -> tuple:
+    """Every name ``repro-experiments`` accepts as its first argument.
+
+    The docs gate (``tools/check_docs.py``) compares this list against the
+    CLI reference in ``docs/API.md``, so the two cannot drift apart.
+    """
+    return EXPERIMENTS + ("all", "obs", "trace", "selfcheck", "bench")
 
 
 def obs_main(argv: Optional[list] = None) -> int:

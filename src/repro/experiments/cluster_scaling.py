@@ -1,0 +1,158 @@
+"""Cluster-scale tier: hierarchical collectives from 8 to 1024 GPUs.
+
+The multi-node study stops at a handful of chassis because its flat
+16-to-32-rank rings pay one InfiniBand crossing per node.  This
+experiment exercises the cluster tier proper: the rail-aware fabric
+(:mod:`repro.topology.cluster`), the hierarchical reduce-scatter /
+inter-node exchange / allgather collective
+(:mod:`repro.comm.nccl.hierarchical`), and the analytic fast path that
+makes a 1024-GPU AllReduce point tractable (``cluster_fast_path="auto"``
+switches from event fidelity to the closed form beyond four nodes; the
+two are held byte-identical by the ``comm.hierarchical`` invariants).
+
+The grid runs the paper's five ImageNet networks in strong scaling from
+one DGX-1V (8 GPUs) to 128 chassis (1024 GPUs).  See docs/SCALING.md for
+the fabric model and the collective algebra behind each cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.config import CommMethodName, SimulationConfig, TrainingConfig
+from repro.experiments.tables import render_table
+from repro.runner import SweepPoint, SweepRunner, SweepSpec
+
+#: The paper's five ImageNet CNNs (Table I).
+PAPER_NETWORKS = ("alexnet", "googlenet", "inception-v3", "resnet", "vgg16")
+
+#: Chassis counts for the scaling grid (8 GPUs per chassis).
+DEFAULT_NODE_COUNTS = (1, 2, 4, 8, 32, 128)
+
+#: Cluster-tier knobs every point shares.
+FABRIC = "single-switch"
+COLLECTIVE = "hierarchical-ring"
+
+
+@dataclass(frozen=True)
+class ClusterRow:
+    """One (network, node count) cell of the scaling grid."""
+
+    network: str
+    nodes: int
+    num_gpus: int
+    iteration_time: float
+    images_per_second: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.nodes}x8"
+
+
+@dataclass(frozen=True)
+class ClusterScalingResult:
+    """The hierarchical-collective strong-scaling study."""
+
+    batch_size: int
+    rows: Tuple[ClusterRow, ...]
+
+    def row(self, network: str, nodes: int) -> ClusterRow:
+        for r in self.rows:
+            if (r.network, r.nodes) == (network, nodes):
+                return r
+        raise KeyError((network, nodes))
+
+    def speedup(self, network: str, nodes: int) -> float:
+        """Throughput gain over the smallest node count run for ``network``."""
+        base_nodes = min(r.nodes for r in self.rows if r.network == network)
+        base = self.row(network, base_nodes)
+        return (self.row(network, nodes).images_per_second
+                / base.images_per_second)
+
+    def efficiency(self, network: str, nodes: int) -> float:
+        """Speedup per added chassis (1.0 = perfectly linear)."""
+        base_nodes = min(r.nodes for r in self.rows if r.network == network)
+        return self.speedup(network, nodes) / (nodes / base_nodes)
+
+
+def sweep_spec(
+    networks: Tuple[str, ...] = PAPER_NETWORKS,
+    node_counts: Tuple[int, ...] = DEFAULT_NODE_COUNTS,
+    batch_size: int = 32,
+) -> SweepSpec:
+    """Strong-scaling grid over the hierarchical cluster tier.
+
+    Every point selects the rail-aware ``single-switch`` fabric and the
+    ``hierarchical-ring`` collective with ``cluster_fast_path="auto"``,
+    so small node counts run at event fidelity and large ones take the
+    analytic fast path.
+    """
+    return SweepSpec.explicit(
+        "cluster",
+        [
+            SweepPoint.make(
+                TrainingConfig(
+                    network, batch_size, 8 * nodes,
+                    comm_method=CommMethodName.NCCL_ALLREDUCE,
+                    cluster_nodes=nodes,
+                    cluster_fabric=FABRIC,
+                    cluster_collective=COLLECTIVE,
+                    cluster_fast_path="auto",
+                ),
+                tags={"nodes": nodes},
+            )
+            for network in networks
+            for nodes in node_counts
+        ],
+    )
+
+
+def run(
+    networks: Tuple[str, ...] = PAPER_NETWORKS,
+    node_counts: Tuple[int, ...] = DEFAULT_NODE_COUNTS,
+    batch_size: int = 32,
+    sim: Optional[SimulationConfig] = None,
+    runner: Optional[SweepRunner] = None,
+) -> ClusterScalingResult:
+    if runner is None:
+        runner = SweepRunner(sim=sim or SimulationConfig())
+    results = runner.run(sweep_spec(networks, node_counts, batch_size))
+    rows = tuple(
+        ClusterRow(
+            network=o.point.config.network,
+            nodes=o.point.config.cluster_nodes,
+            num_gpus=o.point.config.num_gpus,
+            iteration_time=o.result.iteration_time,
+            images_per_second=o.result.images_per_second,
+        )
+        for o in results
+    )
+    return ClusterScalingResult(batch_size=batch_size, rows=rows)
+
+
+def render(result: ClusterScalingResult) -> str:
+    from repro.train.strategies import AUTO_ANALYTIC_NODES
+
+    return render_table(
+        ["Network", "Nodes", "GPUs", "Iter (ms)", "img/s",
+         "Speedup", "Efficiency", "Path"],
+        [
+            (
+                r.network,
+                r.label,
+                r.num_gpus,
+                f"{r.iteration_time * 1e3:.2f}",
+                f"{r.images_per_second:.0f}",
+                f"x{result.speedup(r.network, r.nodes):.1f}",
+                f"{result.efficiency(r.network, r.nodes) * 100:.0f}%",
+                "analytic" if r.nodes > AUTO_ANALYTIC_NODES else "event",
+            )
+            for r in result.rows
+        ],
+        title=(
+            f"Cluster strong scaling, hierarchical ring over IB rails "
+            f"({COLLECTIVE}/{FABRIC}, batch {result.batch_size}/GPU)"
+        ),
+        max_col_width=24,
+    )

@@ -6,16 +6,45 @@ a cluster of DGX-1s on EDR InfiniBand: NCCL's rings must cross the
 12.5 GB/s IB lanes instead of staying on 25-50 GB/s NVLink, so per-GPU
 communication cost jumps at the node boundary -- the crossover every
 multi-node deployment has to engineer around.
+
+Since the cluster tier landed, the study routes through the rail-aware
+fabric and hierarchical collectives by default (``fabric``/``collective``
+arguments; see docs/SCALING.md); requesting the old single-attachment
+model with ``fabric="aggregated"`` still works but warns once, like the
+deprecated ``train_async`` entry point.  For the full 8-to-1024-GPU grid
+use the ``cluster`` experiment (:mod:`repro.experiments.cluster_scaling`).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.core.config import CommMethodName, SimulationConfig, TrainingConfig
 from repro.experiments.tables import render_table
 from repro.runner import SweepPoint, SweepRunner, SweepSpec
+
+#: Default cluster-tier knobs (the ``aggregated`` fabric is deprecated).
+DEFAULT_FABRIC = "single-switch"
+DEFAULT_COLLECTIVE = "hierarchical-ring"
+
+_warned_aggregated = False
+
+
+def _deprecate_aggregated() -> None:
+    """Warn once when the pre-rail aggregated IB path is requested."""
+    global _warned_aggregated
+    if not _warned_aggregated:
+        _warned_aggregated = True
+        warnings.warn(
+            'multinode_study fabric="aggregated" is deprecated: the single '
+            "width-4 IB attachment ignores per-HCA rails; use the default "
+            'rail-aware fabric (fabric="single-switch") or the cluster '
+            "experiment instead (see docs/SCALING.md)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
 
 
 @dataclass(frozen=True)
@@ -53,20 +82,34 @@ class MultiNodeStudyResult:
         return self.row(network, nodes).images_per_second / base.images_per_second
 
 
+def _point_config(network: str, batch_size: int, nodes: int,
+                  fabric: str) -> TrainingConfig:
+    if fabric == "aggregated":
+        _deprecate_aggregated()
+        return TrainingConfig(
+            network, batch_size, 8 * nodes,
+            comm_method=CommMethodName.NCCL, cluster_nodes=nodes,
+        )
+    return TrainingConfig(
+        network, batch_size, 8 * nodes,
+        comm_method=CommMethodName.NCCL, cluster_nodes=nodes,
+        cluster_fabric=fabric, cluster_collective=DEFAULT_COLLECTIVE,
+        cluster_fast_path="auto",
+    )
+
+
 def sweep_spec(
     networks: Tuple[str, ...] = ("resnet", "inception-v3"),
     node_counts: Tuple[int, ...] = (1, 2, 4),
     batch_size: int = 32,
+    fabric: str = DEFAULT_FABRIC,
 ) -> SweepSpec:
     """Explicit points: GPU count is derived (8 per chassis) per node count."""
     return SweepSpec.explicit(
         "multinode",
         [
             SweepPoint.make(
-                TrainingConfig(
-                    network, batch_size, 8 * nodes,
-                    comm_method=CommMethodName.NCCL, cluster_nodes=nodes,
-                ),
+                _point_config(network, batch_size, nodes, fabric),
                 tags={"nodes": nodes},
             )
             for network in networks
@@ -81,10 +124,11 @@ def run(
     batch_size: int = 32,
     sim: Optional[SimulationConfig] = None,
     runner: Optional[SweepRunner] = None,
+    fabric: str = DEFAULT_FABRIC,
 ) -> MultiNodeStudyResult:
     if runner is None:
         runner = SweepRunner(sim=sim or SimulationConfig())
-    results = runner.run(sweep_spec(networks, node_counts, batch_size))
+    results = runner.run(sweep_spec(networks, node_counts, batch_size, fabric))
     rows = tuple(
         MultiNodeRow(
             network=o.point.config.network,
@@ -116,7 +160,9 @@ def render(result: MultiNodeStudyResult) -> str:
             for r in result.rows
         ],
         title=(
-            f"Multi-node scaling over EDR InfiniBand "
-            f"(NCCL, batch {result.batch_size}/GPU, strong scaling)"
+            f"Multi-node scaling over EDR InfiniBand rails "
+            f"(hierarchical NCCL, batch {result.batch_size}/GPU, "
+            f"strong scaling)"
         ),
+        max_col_width=24,
     )

@@ -2,7 +2,8 @@
 
 Re-runs the paper's headline sweeps -- Figure 3 (full strong-scaling
 grid), Figure 4 (NCCL stage breakdown) and Table II (single-GPU NCCL
-overhead) -- plus one deliberately fault-injected run, all under
+overhead) -- plus a 2-node hierarchical cluster pair (event and analytic
+fast paths) and one deliberately fault-injected run, all under
 ``strict`` invariant enforcement (:mod:`repro.checks`), and prints a
 per-invariant pass/violation report::
 
@@ -76,6 +77,25 @@ def _tuned_spec() -> SweepSpec:
     )
 
 
+def _cluster_spec() -> SweepSpec:
+    """Hierarchical cluster-tier points (event and analytic fast paths on
+    a 2-node rail fabric) so the ``comm.hierarchical`` checkers and the
+    analytic/event agreement are exercised under strict enforcement."""
+    return SweepSpec(
+        name="selfcheck-cluster",
+        points=tuple(
+            SweepPoint.make(TrainingConfig(
+                "resnet", 16, 16,
+                comm_method=CommMethodName.NCCL_ALLREDUCE,
+                cluster_nodes=2, cluster_fabric="single-switch",
+                cluster_collective="hierarchical-ring",
+                cluster_fast_path=fast_path,
+            ))
+            for fast_path in ("event", "analytic")
+        ),
+    )
+
+
 def _specs(fast: bool) -> List[SweepSpec]:
     if fast:
         grid = dict(batch_sizes=FAST_BATCHES, gpu_counts=FAST_GPUS)
@@ -88,6 +108,7 @@ def _specs(fast: bool) -> List[SweepSpec]:
         fig4_breakdown.sweep_spec(**grid),
         table2_nccl_overhead.sweep_spec(**t2),
         _tuned_spec(),
+        _cluster_spec(),
         _faulted_spec(),
     ]
     # Record rather than raise: a strict-mode violation (FailureInfo) or

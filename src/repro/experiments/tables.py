@@ -11,13 +11,24 @@ def render_table(
     rows: Iterable[Sequence[object]],
     title: Optional[str] = None,
     align_right_from: int = 1,
+    max_col_width: Optional[int] = None,
 ) -> str:
     """Render an aligned text table.
 
     Columns from index ``align_right_from`` onward are right-aligned
-    (numeric convention); earlier columns are left-aligned.
+    (numeric convention); earlier columns are left-aligned.  When
+    ``max_col_width`` is given, any cell longer than that is truncated
+    with ``..`` so a wide grid (e.g. 128-node scaling rows) cannot blow
+    out its columns.
     """
     str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    if max_col_width is not None:
+        if max_col_width < 3:
+            raise ValueError(f"max_col_width must be >= 3, got {max_col_width}")
+        str_rows = [
+            [_clip(cell, max_col_width) for cell in row] for row in str_rows
+        ]
+        headers = [_clip(h, max_col_width) for h in headers]
     widths = [len(h) for h in headers]
     for row in str_rows:
         if len(row) != len(headers):
@@ -96,6 +107,10 @@ def render_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
     for row in rows:
         lines.append(",".join(_cell(v) for v in row))
     return "\n".join(lines) + "\n"
+
+
+def _clip(cell: str, limit: int) -> str:
+    return cell if len(cell) <= limit else cell[: limit - 2] + ".."
 
 
 def _cell(value: object) -> str:

@@ -146,6 +146,12 @@ def _ensure_default_workloads() -> None:
             description="the 7-strategy registry matrix on 2 networks",
         ),
         BenchWorkload(
+            name="cluster-fast", profile="fast", repeats=3, warmup=1,
+            fn=lambda: scenarios.cluster_scaling_sweep(fast=True),
+            description="hierarchical cluster tier: 1/2 nodes at event "
+                        "fidelity + the analytic 1024-GPU point",
+        ),
+        BenchWorkload(
             name="grids-full", profile="full", repeats=1, warmup=0,
             fn=lambda: scenarios.paper_grids(fast=False),
             description="Fig. 3/4/5 + Table II/III grids at paper scale",
@@ -164,6 +170,11 @@ def _ensure_default_workloads() -> None:
             name="strategies-full", profile="full", repeats=1, warmup=0,
             fn=lambda: scenarios.strategy_matrix(fast=False),
             description="the 7-strategy matrix over the paper's 5 networks",
+        ),
+        BenchWorkload(
+            name="cluster-full", profile="full", repeats=1, warmup=0,
+            fn=lambda: scenarios.cluster_scaling_sweep(fast=False),
+            description="the full cluster grid: 5 networks x 8..1024 GPUs",
         ),
     ):
         register_workload(workload)

@@ -152,6 +152,30 @@ def strategy_matrix(fast: bool = True) -> Dict[str, float]:
     }
 
 
+def cluster_scaling_sweep(fast: bool = True) -> Dict[str, float]:
+    """The hierarchical cluster tier (rail fabric + analytic fast path).
+
+    Times the ``cluster`` experiment grid: event-fidelity points at small
+    node counts plus the analytic 128-chassis (1024-GPU) point, which is
+    the representative-node fast path's reason to exist -- a per-chunk
+    event simulation at that scale would take minutes, the closed form
+    milliseconds.  The fast variant keeps the 1024-GPU point so the bench
+    trajectory guards exactly the scale the tier was built for.
+    """
+    from repro.experiments import cluster_scaling
+
+    kwargs = (
+        dict(networks=("resnet",), node_counts=(1, 2, 128)) if fast else {}
+    )
+    runner = _fresh_runner()
+    result = cluster_scaling.run(runner=runner, **kwargs)
+    return {
+        "rows": float(len(result.rows)),
+        "max_gpus": float(max(r.num_gpus for r in result.rows)),
+        "simulated": float(runner.stats.executed),
+    }
+
+
 def nccl_tuner_sweep(
     fast: bool = True, networks: Optional[Sequence[str]] = None
 ) -> Dict[str, float]:

@@ -7,7 +7,17 @@ PCIe), and a runtime binding (:class:`~repro.topology.fabric.Fabric`) that
 attaches FIFO link resources to a simulation environment.
 """
 
-from repro.topology.cluster import GPUS_PER_NODE, build_dgx1v_cluster, node_of_rank
+from repro.topology.cluster import (
+    CLUSTER_INTERCONNECTS,
+    GPUS_PER_NODE,
+    IB_LANE_BANDWIDTH,
+    IB_LANES_PER_NODE,
+    ClusterSpec,
+    build_cluster,
+    build_dgx1v_cluster,
+    node_of_rank,
+    rail_of_rank,
+)
 from repro.topology.dgx1 import build_dgx1v
 from repro.topology.fabric import Fabric
 from repro.topology.links import Link, LinkType
@@ -16,10 +26,14 @@ from repro.topology.routing import Route, RouteKind, Router
 from repro.topology.system import SystemTopology
 
 __all__ = [
+    "CLUSTER_INTERCONNECTS",
     "CpuNode",
+    "ClusterSpec",
     "GPUS_PER_NODE",
     "Fabric",
     "GpuNode",
+    "IB_LANES_PER_NODE",
+    "IB_LANE_BANDWIDTH",
     "Link",
     "LinkType",
     "Node",
@@ -29,7 +43,9 @@ __all__ = [
     "Router",
     "SwitchNode",
     "SystemTopology",
+    "build_cluster",
     "build_dgx1v",
     "build_dgx1v_cluster",
     "node_of_rank",
+    "rail_of_rank",
 ]

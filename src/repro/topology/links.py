@@ -48,6 +48,10 @@ class Link:
     link_type: LinkType
     width: int = 1
     lane_bandwidth: float | None = None
+    #: Per-hop latency override, seconds; ``None`` uses the calibrated
+    #: default for the link type.  The rail-aware cluster fabrics use it
+    #: to give each InfiniBand rail its own latency (docs/SCALING.md).
+    latency_override: float | None = None
 
     def __post_init__(self) -> None:
         if self.width < 1:
@@ -56,6 +60,8 @@ class Link:
             raise ValueError(f"self-link on {self.a}")
         if self.lane_bandwidth is not None and self.lane_bandwidth <= 0:
             raise ValueError("lane_bandwidth must be positive")
+        if self.latency_override is not None and self.latency_override < 0:
+            raise ValueError("latency_override must be >= 0")
 
     @property
     def name(self) -> str:
@@ -89,6 +95,8 @@ class Link:
 
     def latency(self, constants: CalibrationConstants) -> float:
         """Per-message latency of this hop, seconds."""
+        if self.latency_override is not None:
+            return self.latency_override
         if self.link_type is LinkType.NVLINK:
             return constants.nvlink_latency
         if self.link_type is LinkType.QPI:

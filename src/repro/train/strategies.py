@@ -57,6 +57,24 @@ from repro.train.results import AsyncStats, TrainingResult
 #: ``SimulationConfig.measure_iterations``).
 ASYNC_MEASURE_ITERATIONS = 4
 
+#: Node count above which ``cluster_fast_path="auto"`` switches from the
+#: event-driven to the analytic collective path (the 1/2/4-node grids
+#: the agreement invariant cross-validates stay event-driven).
+AUTO_ANALYTIC_NODES = 4
+
+
+def resolve_fast_path(config) -> str:
+    """The concrete collective fast path a config selects.
+
+    ``"auto"`` keeps the fully event-driven path up to
+    ``AUTO_ANALYTIC_NODES`` nodes and folds larger clusters' inter-node
+    segments in analytically (a 1024-GPU AllReduce cannot simulate
+    per-chunk events on every link); explicit values pass through.
+    """
+    if config.cluster_fast_path != "auto":
+        return config.cluster_fast_path
+    return "analytic" if config.cluster_nodes > AUTO_ANALYTIC_NODES else "event"
+
 
 @dataclass(frozen=True)
 class RecoverySemantics:
@@ -140,14 +158,32 @@ class ReductionStrategy:
     # System construction
     # ------------------------------------------------------------------
     def build_communicator(self, trainer, env, fabric, devices, profiler):
-        """Build this strategy's communicator for one assembled system."""
+        """Build this strategy's communicator for one assembled system.
+
+        A non-compat ``cluster_collective`` reroutes the NCCL strategies
+        onto the hierarchical rail-aware communicator (docs/SCALING.md);
+        everything else keeps the flat per-method factory key.
+        """
         # Imported lazily: repro.comm itself imports the train package
         # (optimizer specs), so a module-level import would be circular.
         from repro.comm import make_communicator
 
         config = trainer.config
+        key = self.comm_key or config.comm_method
+        kwargs = {}
+        if config.cluster_collective != "compat":
+            from repro.topology.cluster import IB_LANE_BANDWIDTH
+
+            key = "nccl-hierarchical"
+            kwargs = dict(
+                cluster_nodes=config.cluster_nodes,
+                rail_bandwidth=IB_LANE_BANDWIDTH,
+                inter_algorithm=config.cluster_collective.removeprefix(
+                    "hierarchical-"),
+                fast_path=resolve_fast_path(config),
+            )
         return make_communicator(
-            self.comm_key or config.comm_method,
+            key,
             env,
             fabric,
             devices,
@@ -159,6 +195,7 @@ class ReductionStrategy:
             algorithm=config.nccl_algorithm,
             protocol=config.nccl_protocol,
             checks=trainer.checks,
+            **kwargs,
         )
 
     # ------------------------------------------------------------------

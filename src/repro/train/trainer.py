@@ -182,11 +182,41 @@ class Trainer:
     # System assembly and steady-state measurement
     # ------------------------------------------------------------------
     def _base_topology(self):
-        if self.config.cluster_nodes > 1:
-            from repro.topology import build_dgx1v_cluster
+        cfg = self.config
+        if cfg.cluster_nodes > 1 or cfg.cluster_fabric != "compat":
+            from repro.topology import ClusterSpec, build_cluster
 
-            return build_dgx1v_cluster(self.config.cluster_nodes)
+            # "compat" keeps the aggregated width-4 attachment (the
+            # pre-cluster-tier graph, byte-identical); the rail fabrics
+            # go through the parameterized ClusterSpec (docs/SCALING.md).
+            interconnect = (
+                cfg.cluster_fabric
+                if cfg.cluster_fabric != "compat"
+                else "aggregated"
+            )
+            return build_cluster(
+                ClusterSpec(cfg.cluster_nodes, interconnect=interconnect)
+            )
         return self.topology_builder()
+
+    @property
+    def _simulated_gpus(self) -> int:
+        """GPUs the event simulation instantiates devices for.
+
+        The analytic cluster fast path simulates one *representative
+        node* (node 0's eight GPUs): compute and per-node host costs are
+        identical on every node, while the hierarchical communicator
+        charges collective durations and rendezvous for the full
+        cluster.  Every other configuration simulates all GPUs.
+        """
+        cfg = self.config
+        if cfg.cluster_collective != "compat":
+            from repro.topology import GPUS_PER_NODE
+            from repro.train.strategies import resolve_fast_path
+
+            if resolve_fast_path(cfg) == "analytic":
+                return min(cfg.num_gpus, GPUS_PER_NODE)
+        return cfg.num_gpus
 
     def _build_system(
         self,
@@ -222,7 +252,7 @@ class Trainer:
                             checks=self.checks)
             router = Router(topology)
             if gpu_indices is None:
-                gpu_indices = range(self.config.num_gpus)
+                gpu_indices = range(self._simulated_gpus)
             speed_overrides = speed_overrides or {}
             ecc_models = ecc_models or {}
             devices = [

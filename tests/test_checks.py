@@ -122,6 +122,29 @@ CASES = {
         {"kind": "allreduce", "nbytes": 4000, "size": 4,
          "schedule_total": 24000, "duration": 5e-7, "bound_bandwidth": 1e9},
     ),
+    "conservation.hierarchical-wire": (
+        # 800 B over 2 nodes x 8 GPUs: intra 2*7*800 = 11200 per phase,
+        # inter 2*1*800 = 1600 -> 2*11200 + 1600 = 24000.
+        {"kind": "allreduce", "nodes": 2, "gpus_per_node": 8, "nbytes": 800,
+         "schedule_total": 24000, "wire_total": 24000},
+        {"kind": "allreduce", "nodes": 2, "gpus_per_node": 8, "nbytes": 800,
+         "schedule_total": 23999, "wire_total": 24000},
+    ),
+    "capacity.hierarchical-floor": (
+        # floor = 2*(800//8)/1e9 + (200//2)/1e10 = 2.1e-7 s.
+        {"kind": "allreduce", "nodes": 2, "gpus_per_node": 8, "nbytes": 800,
+         "duration": 1e-6, "max_rail_bytes": 200,
+         "intra_bound_bandwidth": 1e9, "rail_bound_bandwidth": 1e10},
+        {"kind": "allreduce", "nodes": 2, "gpus_per_node": 8, "nbytes": 800,
+         "duration": 1e-8, "max_rail_bytes": 200,
+         "intra_bound_bandwidth": 1e9, "rail_bound_bandwidth": 1e10},
+    ),
+    "temporal.hierarchical-agreement": (
+        {"kind": "allreduce", "mode": "event",
+         "duration": 1.25e-6, "analytic": 1.25e-6},
+        {"kind": "allreduce", "mode": "analytic",
+         "duration": 1.35e-6, "analytic": 1.25e-6},
+    ),
     "temporal.spans-nested": (
         {"spans": _stage_spans(), "host_overhead": 0.2, "busy": {},
          "elapsed": 1.0},

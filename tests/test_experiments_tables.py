@@ -42,3 +42,26 @@ def test_left_and_right_alignment():
     # left column is left-aligned, right column right-aligned
     assert lines[2].startswith("x ")
     assert lines[2].rstrip().endswith("5")
+
+
+def test_max_col_width_clips_cells():
+    from repro.experiments.tables import render_table
+
+    text = render_table(
+        ["A", "Long header that exceeds the cap"],
+        [("short", "a very long cell value that must be clipped")],
+        max_col_width=10,
+    )
+    for line in text.splitlines():
+        if "|" in line:
+            assert all(len(cell.strip()) <= 10 for cell in line.split("|"))
+    assert ".." in text  # clipped cells carry the ellipsis marker
+
+
+def test_max_col_width_must_fit_ellipsis():
+    import pytest
+
+    from repro.experiments.tables import render_table
+
+    with pytest.raises(ValueError):
+        render_table(["A"], [("x",)], max_col_width=2)

@@ -109,3 +109,122 @@ def test_multi_node_ring_paced_by_ib(cluster):
     )
     single = build_ring_plan(cluster, range(8))
     assert single.channel_bandwidth > plan.channel_bandwidth
+
+
+def test_multi_node_ring_threads_nvlink_sections(cluster):
+    """Each node's section of a cross-node ring rides NVLink hop-to-hop."""
+    from repro.comm.nccl.rings import build_ring_plan
+
+    plan = build_ring_plan(cluster, range(16))
+    assert not plan.uses_pcie
+    assert sorted(plan.order) == list(range(16))
+    order = list(plan.order)
+    for a, b in zip(order, order[1:]):
+        if a // GPUS_PER_NODE == b // GPUS_PER_NODE:  # intra-node hop
+            assert cluster.nvlink_between(cluster.gpu(a), cluster.gpu(b))
+
+
+# ----------------------------------------------------------------------
+# The parameterized rail fabric (ClusterSpec / build_cluster)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def rail_cluster():
+    from repro.topology import ClusterSpec, build_cluster
+
+    return build_cluster(ClusterSpec(num_nodes=2))
+
+
+def test_rail_of_rank_mapping():
+    from repro.topology import rail_of_rank
+
+    assert [rail_of_rank(r) for r in range(8)] == [0, 0, 1, 1, 2, 2, 3, 3]
+    assert rail_of_rank(13) == 2  # node 1, local GPU 5
+    with pytest.raises(ConfigurationError):
+        rail_of_rank(0, rails_per_node=3)  # 3 does not divide 8
+
+
+def test_rail_fabric_has_one_hca_per_pcie_switch(rail_cluster):
+    ib = [l for l in rail_cluster.links
+          if l.link_type is LinkType.INFINIBAND]
+    assert len(ib) == 8  # 2 nodes x 4 rails
+    assert all(l.peak_bandwidth() == IB_LANE_BANDWIDTH for l in ib)
+    nic_names = {n.name for n in rail_cluster.nodes if "nic" in n.name}
+    assert nic_names == {f"nic{k}r{r}" for k in range(2) for r in range(4)}
+
+
+def test_rail_hca_shares_its_gpus_pcie_switch(rail_cluster):
+    """A rail's HCA hangs off the PLX switch of its GPU pair (no QPI)."""
+    from repro.topology import rail_of_rank
+
+    by_node = {n.name: n for n in rail_cluster.nodes}
+    neighbours = {}
+    for link in rail_cluster.links:
+        if link.link_type is LinkType.PCIE:
+            neighbours.setdefault(link.a.name, set()).add(link.b.name)
+            neighbours.setdefault(link.b.name, set()).add(link.a.name)
+    for k in range(2):
+        for local in range(GPUS_PER_NODE):
+            rail = rail_of_rank(local)
+            nic = f"nic{k}r{rail}"
+            gpu = by_node[f"gpu{k * GPUS_PER_NODE + local}"]
+            # the GPU's PLX switch and the rail NIC's PLX switch coincide
+            gpu_plx = {s for s in neighbours[gpu.name] if s.startswith("plx")}
+            nic_plx = {s for s in neighbours[nic] if s.startswith("plx")}
+            assert gpu_plx == nic_plx
+
+
+def test_single_node_rail_cluster_matches_dgx1v_routes():
+    from repro.topology import ClusterSpec, build_cluster
+
+    single = build_cluster(ClusterSpec(num_nodes=1))
+    base = build_dgx1v()
+    router_s, router_b = Router(single), Router(base)
+    for a, b in ((0, 1), (0, 7), (3, 4), (0, 5)):
+        rs = router_s.gpu_to_gpu(single.gpu(a), single.gpu(b))
+        rb = router_b.gpu_to_gpu(base.gpu(a), base.gpu(b))
+        assert rs.kind == rb.kind
+        assert rs.bottleneck_bandwidth(CALIBRATION) == pytest.approx(
+            rb.bottleneck_bandwidth(CALIBRATION)
+        )
+
+
+def test_aggregated_spec_delegates_to_compat_graph():
+    from repro.topology import ClusterSpec, build_cluster
+
+    compat = build_cluster(ClusterSpec(num_nodes=2, interconnect="aggregated"))
+    legacy = build_dgx1v_cluster(2)
+    assert {n.name for n in compat.nodes} == {n.name for n in legacy.nodes}
+    assert len(compat.links) == len(legacy.links)
+
+
+def test_fat_tree_non_power_of_two_nodes():
+    """3 nodes with leaf_radix=2: two leaves per rail under one spine."""
+    from repro.topology import ClusterSpec, build_cluster
+
+    topo = build_cluster(
+        ClusterSpec(num_nodes=3, interconnect="fat-tree", leaf_radix=2))
+    assert len(topo.gpus) == 24
+    names = {n.name for n in topo.nodes}
+    for r in range(4):
+        assert f"spine{r}" in names
+        assert f"leaf{r}_0" in names and f"leaf{r}_1" in names
+    # cross-leaf route exists and crosses IB
+    router = Router(topo)
+    route = router.gpu_to_gpu(topo.gpu(0), topo.gpu(16))  # node 0 -> node 2
+    link_types = {l.link_type for leg in route.legs for l in leg.links}
+    assert LinkType.INFINIBAND in link_types
+
+
+def test_invalid_cluster_specs_rejected():
+    from repro.topology import ClusterSpec
+
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(num_nodes=0)
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(num_nodes=2, interconnect="torus")
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(num_nodes=2, rails_per_node=3)
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(num_nodes=2, rail_bandwidth=0.0)
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(num_nodes=2, leaf_radix=1)

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Documentation gate: link check + executable doc examples.
+"""Documentation gate: link check + executable doc examples + coverage.
 
-Two checks over README.md and docs/*.md, both run by the CI docs job:
+Four checks over README.md and docs/*.md, all run by the CI docs job:
 
 1. **Relative links resolve.**  Every markdown link or inline-code
    reference to a repository path (``[text](docs/COMM.md)``,
@@ -12,8 +12,17 @@ Two checks over README.md and docs/*.md, both run by the CI docs job:
    body contains a ``>>>`` prompt is run through :mod:`doctest`, so the
    documented behaviour is re-verified on every commit.  Blocks without
    prompts are narrative and only checked for links.
+3. **Every subsystem is documented.**  Each ``src/repro/<pkg>``
+   subpackage must appear (as ``repro.<pkg>``) in README.md's
+   Documentation index, so adding a package without a docs pointer
+   fails the gate.
+4. **The CLI reference matches the CLI.**  The fenced block following
+   the ``<!-- cli-subcommands -->`` marker in docs/API.md must list
+   exactly ``repro.experiments.cli.all_subcommands()`` (requires
+   ``PYTHONPATH=src``), so the documented vocabulary cannot drift from
+   the parser.
 
-Exit status is non-zero on any broken link or failing example.
+Exit status is non-zero on any failure.
 
 Usage::
 
@@ -89,6 +98,47 @@ def doctest_blocks(path: pathlib.Path, text: str) -> Tuple[int, List[str]]:
     return run, problems
 
 
+def check_subsystem_index() -> List[str]:
+    """Every ``src/repro/*`` subpackage appears in README's docs index."""
+    readme = (REPO_ROOT / "README.md").read_text()
+    problems = []
+    for init in sorted((REPO_ROOT / "src" / "repro").glob("*/__init__.py")):
+        package = f"repro.{init.parent.name}"
+        if f"`{package}`" not in readme:
+            problems.append(
+                f"README.md: subpackage {package} missing from the "
+                f"Documentation index"
+            )
+    return problems
+
+
+def check_cli_reference() -> List[str]:
+    """docs/API.md's marked CLI block matches ``all_subcommands()``."""
+    text = (REPO_ROOT / "docs" / "API.md").read_text()
+    marker = "<!-- cli-subcommands -->"
+    at = text.find(marker)
+    if at < 0:
+        return [f"docs/API.md: missing the {marker} marker"]
+    fence = FENCE.search(text, at)
+    if fence is None:
+        return [f"docs/API.md: no fenced block after the {marker} marker"]
+    documented = set(fence.group(2).split())
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.experiments.cli import all_subcommands
+    except ImportError as exc:  # pragma: no cover - needs PYTHONPATH=src
+        return [f"docs/API.md: cannot import repro to verify CLI list ({exc})"]
+    actual = set(all_subcommands())
+    problems = []
+    for name in sorted(actual - documented):
+        problems.append(f"docs/API.md: CLI subcommand {name!r} undocumented")
+    for name in sorted(documented - actual):
+        problems.append(
+            f"docs/API.md: documented subcommand {name!r} does not exist"
+        )
+    return problems
+
+
 def main(argv: List[str]) -> int:
     files = [pathlib.Path(a).resolve() for a in argv] or default_files()
     problems: List[str] = []
@@ -101,12 +151,16 @@ def main(argv: List[str]) -> int:
         problems.extend(block_problems)
         status = "FAIL" if block_problems else "ok"
         print(f"{path.relative_to(REPO_ROOT)}: {run} doctest block(s) [{status}]")
+    if not argv:  # repo-wide coverage checks only on the default file set
+        problems.extend(check_subsystem_index())
+        problems.extend(check_cli_reference())
     if problems:
         print()
         for problem in problems:
             print(f"ERROR: {problem}")
         return 1
-    print(f"\nall links resolve, {total_blocks} doctest block(s) pass")
+    print(f"\nall links resolve, {total_blocks} doctest block(s) pass, "
+          f"docs index and CLI reference complete")
     return 0
 
 
