@@ -28,6 +28,9 @@ Schema history
   ``cluster_collective`` and ``cluster_fast_path`` fields (rail-aware
   inter-node fabrics and hierarchical collectives; see
   ``docs/SCALING.md``).
+* 7 -- cluster-tier faults: the ``faults`` block gained
+  ``crashed_node`` and per-segment ``rails_degraded`` (node crashes
+  and NIC/rail degradation; see ``docs/FAULTS.md``).
 """
 
 from __future__ import annotations
@@ -45,7 +48,7 @@ from repro.train.results import AsyncStats, TrainingResult
 
 #: Schema version stamped into every exported dict (and hashed into every
 #: persistent-cache key).
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 
 class SchemaMismatchError(ValueError):
@@ -149,6 +152,7 @@ def _faults_to_dict(summary: Optional[FaultSummary]) -> Optional[Dict[str, Any]]
                 "ring_bandwidth": s.ring_bandwidth,
                 "ring_uses_pcie": s.ring_uses_pcie,
                 "gpus": s.gpus,
+                "rails_degraded": s.rails_degraded,
             }
             for s in summary.segments
         ],
@@ -160,6 +164,7 @@ def _faults_to_dict(summary: Optional[FaultSummary]) -> Optional[Dict[str, Any]]
         "crash_iteration": summary.crash_iteration,
         "replayed_iterations": summary.replayed_iterations,
         "survivors": summary.survivors,
+        "crashed_node": summary.crashed_node,
     }
 
 
@@ -179,6 +184,7 @@ def _faults_from_dict(data: Optional[Dict[str, Any]]) -> Optional[FaultSummary]:
                 ring_bandwidth=s["ring_bandwidth"],
                 ring_uses_pcie=s["ring_uses_pcie"],
                 gpus=s["gpus"],
+                rails_degraded=s["rails_degraded"],
             )
             for s in data["segments"]
         ),
@@ -190,6 +196,7 @@ def _faults_from_dict(data: Optional[Dict[str, Any]]) -> Optional[FaultSummary]:
         crash_iteration=data["crash_iteration"],
         replayed_iterations=data["replayed_iterations"],
         survivors=data["survivors"],
+        crashed_node=data["crashed_node"],
     )
 
 

@@ -1,5 +1,5 @@
-"""The shipped invariant checkers (21 of the 22 checkers, over 11 of the
-12 checkpoints; the ``trainer.dag`` analytic-oracle checker lives in
+"""The shipped invariant checkers (24 of the 25 checkers, over 13 of the
+14 checkpoints; the ``trainer.dag`` analytic-oracle checker lives in
 :mod:`repro.checks.dag`).
 
 Each checker guards one physically meaningful property of the simulation —
@@ -22,7 +22,10 @@ checkpoint            checkers
                       capacity.collective-bandwidth
 ``comm.hierarchical`` conservation.hierarchical-wire,
                       capacity.hierarchical-floor,
-                      temporal.hierarchical-agreement
+                      temporal.hierarchical-agreement,
+                      conservation.rail-rebalance,
+                      capacity.degraded-rail-floor
+``trainer.fastpath``  temporal.fallback-agreement
 ``trainer.stages``    temporal.spans-nested, temporal.iterations-monotone,
                       temporal.step-accounting, capacity.gpu-busy
 ``trainer.traffic``   conservation.gradient-traffic
@@ -349,6 +352,81 @@ def check_hierarchical_agreement(p: Payload):
         return (f"{p['mode']}-mode hierarchical {p['kind']} charges "
                 f"{p['duration']!r}s but the analytic closed form gives "
                 f"{p['analytic']!r}s")
+
+
+@invariant("comm.hierarchical", name="rail-rebalance",
+           category="conservation",
+           description="re-railing conserves inter-node bytes and keeps failed rails empty")
+def check_rail_rebalance(p: Payload):
+    """A failed rail's traffic must re-rail *exactly*: the post-rebalance
+    assignment sums to the payload (no bytes lost or invented), rails
+    with scale 0 carry nothing, and a fully healthy rail set keeps the
+    canonical :func:`~repro.comm.nccl.hierarchical.rail_bytes` split."""
+    nodes, nbytes = p["nodes"], p["nbytes"]
+    if nodes < 2 or nbytes <= 0:
+        return None
+    assignment = list(p["rail_assignment"])
+    scales = list(p["rail_scales"])
+    if sum(assignment) != nbytes:
+        return (f"rail assignment {assignment} sums to {sum(assignment)} "
+                f"bytes, expected exactly the {nbytes}-byte payload")
+    for r, (b, s) in enumerate(zip(assignment, scales)):
+        if s == 0.0 and b != 0:
+            return (f"rail {r} is down (scale 0) but still carries "
+                    f"{b} bytes instead of re-railing them")
+    if all(s == 1.0 for s in scales):
+        healthy = list(p["healthy_rail_bytes"])
+        if assignment != healthy:
+            return (f"healthy rails must keep the canonical split "
+                    f"{healthy}, got {assignment}")
+
+
+@invariant("comm.hierarchical", name="degraded-rail-floor",
+           category="capacity",
+           description="collective duration covers the slowest surviving rail's degraded floor")
+def check_degraded_rail_floor(p: Payload):
+    """The inter phase paces at its slowest loaded rail, so the charged
+    duration can never beat any surviving rail's serial floor: one
+    ``B_r/M`` segment of its assigned bytes at its *degraded* bandwidth
+    (sound for ring and tree -- both move at least that much serially)."""
+    nodes, nbytes = p["nodes"], p["nbytes"]
+    if nodes < 2 or nbytes <= 0:
+        return None
+    floor = 0.0
+    for b, s in zip(p["rail_assignment"], p["rail_scales"]):
+        if b <= 0 or s <= 0.0:
+            continue
+        floor = max(floor,
+                    max(1, b // nodes) / (p["rail_bound_bandwidth"] * s))
+    if _lt(p["duration"], floor):
+        return (f"hierarchical {p['kind']} of {nbytes} bytes took "
+                f"{p['duration']:.3e}s < the slowest surviving rail's "
+                f"degraded serial floor {floor:.3e}s")
+
+
+# ----------------------------------------------------------------------
+# trainer.fastpath — fired once per measured hierarchical segment
+# ----------------------------------------------------------------------
+@invariant("trainer.fastpath", name="fallback-agreement",
+           category="temporal",
+           description="the fast path never silently ignores faults and dominates the shared collective floor")
+def check_fallback_agreement(p: Payload):
+    """The fault-aware fast-path contract, observed from the trainer: a
+    plan the analytic path cannot represent must have resolved to the
+    event path (never silently simulating a healthy cluster), and the
+    measured mean iteration must dominate the fault-aware closed-form
+    collective time both paths share (the iteration serializes its
+    collectives on one stream, so their algebraic sum is a floor --
+    event-vs-fallback temporal agreement)."""
+    if p["faulted"] and not p["analytic_ok"] and p["resolved"] != "event":
+        return (f"fault plan unrepresentable on the analytic path "
+                f"resolved to {p['resolved']!r} (requested "
+                f"{p['requested']!r}) instead of falling back to the "
+                f"event path")
+    if p["iterations"] and _lt(p["mean_iteration"], p["analytic_wu"]):
+        return (f"mean iteration {p['mean_iteration']:.3e}s beats the "
+                f"closed-form collective floor {p['analytic_wu']:.3e}s "
+                f"shared by the event and analytic paths")
 
 
 # ----------------------------------------------------------------------

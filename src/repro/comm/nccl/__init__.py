@@ -15,6 +15,7 @@ from repro.comm.nccl.hierarchical import (
     hierarchical_phase_wire,
     hierarchical_schedule_total,
     hierarchical_wire_total,
+    rail_assignment,
     rail_bytes,
 )
 from repro.comm.nccl.rings import RingPlan, build_ring_plan, find_nvlink_ring
@@ -30,5 +31,6 @@ __all__ = [
     "hierarchical_phase_wire",
     "hierarchical_schedule_total",
     "hierarchical_wire_total",
+    "rail_assignment",
     "rail_bytes",
 ]

@@ -87,6 +87,47 @@ def rail_bytes(
     return per_rail
 
 
+def rail_assignment(
+    nbytes: int,
+    gpus_per_node: int = GPUS_PER_NODE,
+    rails: int = IB_LANES_PER_NODE,
+    rail_scales: Tuple[float, ...] | None = None,
+) -> List[int]:
+    """Bytes each rail carries after re-railing around failed rails.
+
+    Healthy rails (``rail_scales`` omitted or all 1.0) keep the
+    :func:`rail_bytes` split.  A failed rail (scale 0) re-rails its shard
+    traffic onto the survivors: its bytes are integer-split evenly
+    (:func:`~repro.comm.nccl.protocol._segments`) over the surviving
+    rails in index order, so conservation is exact and the assignment is
+    deterministic.  Degraded-but-alive rails (0 < scale < 1) keep their
+    own traffic -- they are slow, not gone.
+
+    >>> rail_assignment(100, 8, 4, (1.0, 0.0, 1.0, 1.0))
+    [35, 0, 33, 32]
+    >>> sum(rail_assignment(100, 8, 4, (1.0, 0.0, 1.0, 1.0)))
+    100
+    """
+    base = rail_bytes(nbytes, gpus_per_node, rails)
+    if rail_scales is None or all(s == 1.0 for s in rail_scales):
+        return base
+    survivors = [r for r in range(rails) if rail_scales[r] > 0.0]
+    if not survivors:
+        from repro.core.errors import FaultPlanError
+
+        raise FaultPlanError(
+            "every inter-node rail is down: re-railing needs at least "
+            "one surviving rail"
+        )
+    assigned = [base[r] if rail_scales[r] > 0.0 else 0 for r in range(rails)]
+    for r in range(rails):
+        if rail_scales[r] > 0.0 or base[r] == 0:
+            continue
+        for j, part in enumerate(_segments(base[r], len(survivors))):
+            assigned[survivors[j]] += part
+    return assigned
+
+
 def hierarchical_phase_wire(
     nbytes: int, nodes: int, gpus_per_node: int = GPUS_PER_NODE
 ) -> Tuple[int, int, int]:
@@ -160,6 +201,7 @@ def hierarchical_phase_times(
     rails: int = IB_LANES_PER_NODE,
     inter_algorithm: str = "ring",
     constants: CalibrationConstants = CALIBRATION,
+    rail_scales: Tuple[float, ...] | None = None,
 ) -> Tuple[float, float, float]:
     """Closed-form (reduce-scatter, inter-exchange, allgather) seconds.
 
@@ -172,6 +214,14 @@ def hierarchical_phase_times(
     of the full ``B_max``, at ``rail_bandwidth`` derated by the NCCL
     bus efficiency.  All three use the audited fill+drain pipeline
     model (:func:`~repro.comm.nccl.protocol._pipelined_time`).
+
+    ``rail_scales`` (per-rail bandwidth multipliers from an active
+    :class:`~repro.faults.plan.RailFault` set) makes the inter phase
+    fault-aware: failed rails' traffic re-rails per
+    :func:`rail_assignment` and the phase paces at the *slowest loaded
+    rail* -- the max over surviving rails of that rail's pipeline time at
+    its degraded bandwidth.  A healthy scale set takes the exact code
+    path of the no-argument form, so no-fault runs stay byte-identical.
     """
     chunk = constants.nccl_chunk_bytes
     t_intra = 0.0
@@ -185,21 +235,43 @@ def hierarchical_phase_times(
         )
     t_inter = 0.0
     if nodes > 1:
-        busiest = max(rail_bytes(nbytes, gpus_per_node, rails))
         bw = rail_bandwidth * constants.nccl_bandwidth_efficiency
-        if inter_algorithm == "tree":
-            depth = max(1, math.ceil(math.log2(nodes)))
-            t_inter = 2.0 * _pipelined_time(
-                busiest, depth, chunk, bw, rail_latency
-            )
+        depth = max(1, math.ceil(math.log2(nodes)))
+        if rail_scales is None or all(s == 1.0 for s in rail_scales):
+            busiest = max(rail_bytes(nbytes, gpus_per_node, rails))
+            if inter_algorithm == "tree":
+                t_inter = 2.0 * _pipelined_time(
+                    busiest, depth, chunk, bw, rail_latency
+                )
+            else:
+                t_inter = _pipelined_time(
+                    max(1, busiest // nodes),
+                    2 * (nodes - 1),
+                    chunk,
+                    bw,
+                    rail_latency,
+                )
         else:
-            t_inter = _pipelined_time(
-                max(1, busiest // nodes),
-                2 * (nodes - 1),
-                chunk,
-                bw,
-                rail_latency,
+            assigned = rail_assignment(
+                nbytes, gpus_per_node, rails, rail_scales
             )
+            for b, scale in zip(assigned, rail_scales):
+                if b <= 0 or scale <= 0.0:
+                    continue
+                rail_bw = bw * scale
+                if inter_algorithm == "tree":
+                    t = 2.0 * _pipelined_time(
+                        b, depth, chunk, rail_bw, rail_latency
+                    )
+                else:
+                    t = _pipelined_time(
+                        max(1, b // nodes),
+                        2 * (nodes - 1),
+                        chunk,
+                        rail_bw,
+                        rail_latency,
+                    )
+                t_inter = max(t_inter, t)
     return (t_intra, t_inter, t_intra)
 
 
@@ -231,6 +303,7 @@ class HierarchicalNcclCommunicator(NcclCommunicator):
         rail_latency: float | None = None,
         inter_algorithm: str = "ring",
         fast_path: str = "event",
+        rail_scales: Tuple[float, ...] | None = None,
         **kwargs,
     ) -> None:
         super().__init__(*args, **kwargs)
@@ -250,8 +323,30 @@ class HierarchicalNcclCommunicator(NcclCommunicator):
             raise ConfigurationError(
                 f"rails must divide {GPUS_PER_NODE}, got {rails}"
             )
+        if rail_scales is not None:
+            if len(rail_scales) != rails:
+                raise ConfigurationError(
+                    f"rail_scales needs one entry per rail ({rails}), "
+                    f"got {len(rail_scales)}"
+                )
+            if any(not 0.0 <= s <= 1.0 for s in rail_scales):
+                raise ConfigurationError(
+                    "rail_scales entries must be in [0, 1]"
+                )
+            if all(s == 0.0 for s in rail_scales):
+                from repro.core.errors import FaultPlanError
+
+                raise FaultPlanError(
+                    "every inter-node rail is down: re-railing needs at "
+                    "least one surviving rail"
+                )
+            if all(s == 1.0 for s in rail_scales):
+                # A healthy scale set is the no-fault communicator; drop
+                # it so the no-fault algebra path stays byte-identical.
+                rail_scales = None
         self.cluster_nodes = cluster_nodes
         self.rails = rails
+        self.rail_scales = tuple(rail_scales) if rail_scales else None
         self.rail_bandwidth = rail_bandwidth
         self.rail_latency = (
             rail_latency if rail_latency is not None else IB_RAIL_LATENCY
@@ -298,6 +393,7 @@ class HierarchicalNcclCommunicator(NcclCommunicator):
             rails=self.rails,
             inter_algorithm=self.inter_algorithm,
             constants=self.constants,
+            rail_scales=self.rail_scales,
         )
 
     def allreduce_duration(self, nbytes: int) -> float:
@@ -315,6 +411,8 @@ class HierarchicalNcclCommunicator(NcclCommunicator):
         if not self.checks_active:
             return
         t_rs, t_inter, t_ag = self._phase_times(nbytes)
+        scales = self.rail_scales or (1.0,) * self.rails
+        multi = self.cluster_nodes > 1
         self._check(
             "comm.hierarchical",
             kind="allreduce",
@@ -344,6 +442,18 @@ class HierarchicalNcclCommunicator(NcclCommunicator):
             ),
             intra_bound_bandwidth=self.intra_plan.aggregate_bandwidth,
             rail_bound_bandwidth=self.rail_bandwidth,
+            rail_scales=scales,
+            healthy_rail_bytes=(
+                tuple(rail_bytes(nbytes, GPUS_PER_NODE, self.rails))
+                if multi else ()
+            ),
+            rail_assignment=(
+                tuple(rail_assignment(
+                    nbytes, GPUS_PER_NODE, self.rails, self.rail_scales
+                ))
+                if multi else ()
+            ),
+            faulted=self.rail_scales is not None,
             now=self.env.now,
         )
 
@@ -395,7 +505,9 @@ class HierarchicalNcclCommunicator(NcclCommunicator):
         m = self.cluster_nodes
         if m < 2 or end <= start:
             return
-        per_rail = rail_bytes(nbytes, GPUS_PER_NODE, self.rails)
+        per_rail = rail_assignment(
+            nbytes, GPUS_PER_NODE, self.rails, self.rail_scales
+        )
         lead = GPUS_PER_NODE // self.rails
         collective = f"hier-inter-{self.inter_algorithm}"
         if self.inter_algorithm == "tree":
@@ -404,6 +516,8 @@ class HierarchicalNcclCommunicator(NcclCommunicator):
             steps = 2 * (m - 1)
         slot = (end - start) / steps
         for r, b in enumerate(per_rail):
+            if self.rail_scales is not None and b <= 0:
+                continue  # failed rail: its traffic re-railed elsewhere
             seg = b if self.inter_algorithm == "tree" else max(1, b // m)
             for step in range(steps):
                 src_node = step % m

@@ -24,6 +24,7 @@ Experiment   Paper artifact
 ``faults``   extension -- degradation sensitivity under faults
 ``strategies``  extension -- the training-strategy matrix
 ``cluster``  extension -- hierarchical collectives to 1024 GPUs
+``cluster-faults``  extension -- rail/node faults on the cluster tier
 ===========  =====================================================
 """
 

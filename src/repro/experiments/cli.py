@@ -56,6 +56,7 @@ from repro.experiments import (
     async_study,
     bandwidth_sweep,
     capacity_study,
+    cluster_faults,
     cluster_scaling,
     faults_study,
     multinode_study,
@@ -127,6 +128,12 @@ def _run_experiment(name: str, cache: SweepRunner, fast: bool) -> str:
         )
         return cluster_scaling.render(
             cluster_scaling.run(runner=cache, **kwargs))
+    if name == "cluster-faults":
+        kwargs = (
+            dict(networks=("alexnet",), node_counts=(2,)) if fast else {}
+        )
+        return cluster_faults.render(
+            cluster_faults.run(runner=cache, **kwargs))
     if name == "nccl":
         kwargs = dict(networks=("alexnet",)) if fast else {}
         return nccl_ablation.render(nccl_ablation.run(runner=cache, **kwargs))
@@ -153,8 +160,8 @@ def _run_experiment(name: str, cache: SweepRunner, fast: bool) -> str:
 
 EXPERIMENTS = (
     "table1", "fig2", "fig3", "table2", "fig4", "table3", "table4", "fig5",
-    "ablate", "async", "bandwidth", "capacity", "cluster", "faults",
-    "multinode", "nccl", "strategies", "validate", "report",
+    "ablate", "async", "bandwidth", "capacity", "cluster", "cluster-faults",
+    "faults", "multinode", "nccl", "strategies", "validate", "report",
 )
 
 OBS_FORMATS = ("prometheus", "jsonl", "chrome", "csv", "summary")
@@ -381,6 +388,9 @@ def main(argv: Optional[list] = None) -> int:
     timing = cache.stats.describe_timing()
     if timing is not None:
         print(timing, file=sys.stderr)
+    fault_line = cache.stats.describe_faults()
+    if fault_line is not None:
+        print(fault_line, file=sys.stderr)
     if invariants != "off":
         violated = sum(v[1] for v in cache.check_stats.values())
         checked = sum(v[0] for v in cache.check_stats.values())

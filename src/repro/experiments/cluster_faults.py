@@ -1,0 +1,247 @@
+"""Extension study: cluster-tier degradation sensitivity under faults.
+
+The single-chassis fault study (:mod:`repro.experiments.faults_study`)
+stops at the NVLink fabric; this one injects the failure modes a
+multi-node deployment actually meets: a failed or degraded InfiniBand
+rail (the hierarchical collective re-rails its inter-node traffic onto
+the survivors), a chassis-level thermal straggler, and a full node crash
+recovered at node granularity under each resilience policy.
+
+Every scenario is an explicit, deterministic
+:class:`~repro.faults.plan.FaultPlan`: mid-epoch activation times are
+derived from the *healthy* epoch time of the same configuration, so the
+whole grid is reproducible bit-for-bit and caches cleanly.  All points
+request ``cluster_fast_path="auto"``: rail and node-0 straggler
+scenarios stay analytic-eligible, while node crashes force the automatic
+fallback to the event path (see docs/SCALING.md for the validity
+envelope) -- the ``Path`` column shows which side each cell ran on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import CommMethodName, SimulationConfig, TrainingConfig
+from repro.experiments.tables import render_table
+from repro.faults import (
+    FaultPlan,
+    NodeCrashFault,
+    NodeStragglerFault,
+    RailFault,
+    ResiliencePolicy,
+)
+from repro.runner import SweepPoint, SweepRunner, SweepSpec
+
+#: Fraction of the healthy epoch at which mid-epoch faults activate.
+FAULT_AT_FRACTION = 0.3
+
+#: Rail bandwidth-degradation severities swept (0.0 = NIC outright dead).
+RAIL_SEVERITIES = (0.5, 0.0)
+
+#: Cluster-tier knobs every point shares (mirrors the scaling study).
+FABRIC = "single-switch"
+COLLECTIVE = "hierarchical-ring"
+
+
+@dataclass(frozen=True)
+class ClusterFaultCell:
+    """One (configuration, scenario) outcome."""
+
+    network: str
+    nodes: int
+    scenario: str
+    epoch_time: float
+    overhead: float              # transition + recovery + checkpoint seconds
+    segments: int                # constant-fault-set windows simulated
+    rails_degraded: int          # worst simultaneous degraded-rail count
+    path: str                    # "analytic" or "event" (fast-path side)
+    policy: str                  # resilience policy label ("-" if unused)
+
+    @property
+    def key(self) -> Tuple[str, int, str]:
+        return (self.network, self.nodes, self.scenario)
+
+
+@dataclass(frozen=True)
+class ClusterFaultsResult:
+    """The cluster degradation-sensitivity grid, addressable per cell."""
+
+    batch_size: int
+    cells: Tuple[ClusterFaultCell, ...]
+
+    def cell(self, network: str, nodes: int, scenario: str) -> ClusterFaultCell:
+        for c in self.cells:
+            if c.key == (network, nodes, scenario):
+                return c
+        raise KeyError((network, nodes, scenario))
+
+    def slowdown(self, cell: ClusterFaultCell) -> float:
+        """Epoch-time ratio of ``cell`` over its healthy twin."""
+        healthy = self.cell(cell.network, cell.nodes, "healthy")
+        return cell.epoch_time / healthy.epoch_time if healthy.epoch_time else 0.0
+
+
+def scenarios(
+    nodes: int, at: float, crash_iteration: int,
+) -> Tuple[Tuple[str, Optional[FaultPlan]], ...]:
+    """The ordered (label, plan) scenario list for one node count.
+
+    ``at`` is the mid-epoch activation time (seconds).  Rail scenarios
+    target rail 0 of node 0; the recovering-rail scenario brings the NIC
+    back after an equal-length outage, exercising until-based recovery
+    and the extra fault segment it opens.
+    """
+    out: List[Tuple[str, Optional[FaultPlan]]] = [("healthy", None)]
+    for scale in RAIL_SEVERITIES:
+        label = "rail down" if scale == 0.0 else f"rail x{scale:g}"
+        out.append((label, FaultPlan(
+            rail_faults=(RailFault(node=0, rail=0, at=at,
+                                   bandwidth_scale=scale),),
+        )))
+    out.append(("rail flap", FaultPlan(
+        rail_faults=(RailFault(node=0, rail=0, at=at, bandwidth_scale=0.0,
+                               until=round(2 * at, 3)),),
+    )))
+    out.append(("node straggler x1.5", FaultPlan(
+        node_stragglers=(NodeStragglerFault(node=0, factor=1.5, at=at),),
+    )))
+    crash = NodeCrashFault(node=nodes - 1, at_iteration=crash_iteration)
+    out.append(("node crash->shrink", FaultPlan(
+        node_crashes=(crash,), policy=ResiliencePolicy.SHRINK,
+    )))
+    out.append(("node crash->restart", FaultPlan(
+        node_crashes=(crash,), policy=ResiliencePolicy.CHECKPOINT_RESTART,
+    )))
+    return tuple(out)
+
+
+def _config(network: str, nodes: int, batch_size: int) -> TrainingConfig:
+    return TrainingConfig(
+        network, batch_size, 8 * nodes,
+        comm_method=CommMethodName.NCCL_ALLREDUCE,
+        cluster_nodes=nodes,
+        cluster_fabric=FABRIC,
+        cluster_collective=COLLECTIVE,
+        cluster_fast_path="auto",
+    )
+
+
+def healthy_spec(
+    networks: Tuple[str, ...],
+    node_counts: Tuple[int, ...],
+    batch_size: int,
+) -> SweepSpec:
+    """Phase 1: the healthy baselines the fault times are derived from."""
+    return SweepSpec.explicit(
+        "cluster-faults-healthy",
+        [
+            SweepPoint.make(_config(network, nodes, batch_size),
+                            tags={"nodes": nodes})
+            for network in networks
+            for nodes in node_counts
+        ],
+    )
+
+
+def fault_spec(
+    networks: Tuple[str, ...],
+    node_counts: Tuple[int, ...],
+    batch_size: int,
+    healthy_epochs: Dict[Tuple[str, int], float],
+) -> SweepSpec:
+    """Phase 2: every cluster-fault scenario as an explicit sweep point."""
+    points = []
+    for network in networks:
+        for nodes in node_counts:
+            config = _config(network, nodes, batch_size)
+            at = round(healthy_epochs[(network, nodes)] * FAULT_AT_FRACTION, 3)
+            crash_iteration = max(1, config.iterations_per_epoch // 2)
+            for label, plan in scenarios(nodes, at, crash_iteration):
+                if plan is None:
+                    continue  # healthy baseline already ran in phase 1
+                points.append(SweepPoint.make(
+                    config,
+                    overrides={"faults": plan},
+                    tags={"scenario": label, "nodes": nodes},
+                ))
+    return SweepSpec.explicit("cluster-faults", points)
+
+
+def run(
+    networks: Tuple[str, ...] = ("alexnet", "resnet"),
+    node_counts: Tuple[int, ...] = (2, 4),
+    batch_size: int = 32,
+    sim: Optional[SimulationConfig] = None,
+    runner: Optional[SweepRunner] = None,
+) -> ClusterFaultsResult:
+    from repro.train.strategies import resolve_fast_path
+
+    if runner is None:
+        runner = SweepRunner(sim=sim or SimulationConfig())
+
+    cells: List[ClusterFaultCell] = []
+    healthy_epochs: Dict[Tuple[str, int], float] = {}
+    for outcome in runner.run(healthy_spec(networks, node_counts, batch_size)):
+        c = outcome.point.config
+        r = outcome.result
+        healthy_epochs[(c.network, c.cluster_nodes)] = r.epoch_time
+        cells.append(ClusterFaultCell(
+            network=c.network, nodes=c.cluster_nodes, scenario="healthy",
+            epoch_time=r.epoch_time, overhead=0.0, segments=1,
+            rails_degraded=0, path=resolve_fast_path(c), policy="-",
+        ))
+
+    spec = fault_spec(networks, node_counts, batch_size, healthy_epochs)
+    for outcome in runner.run(spec):
+        c = outcome.point.config
+        r = outcome.result
+        summary = r.faults
+        plan = outcome.point.override_dict()["faults"]
+        policy = (str(summary.policy)
+                  if summary.crashed_node is not None else "-")
+        cells.append(ClusterFaultCell(
+            network=c.network, nodes=c.cluster_nodes,
+            scenario=outcome.point.tag_dict()["scenario"],
+            epoch_time=r.epoch_time,
+            overhead=summary.overhead,
+            segments=len(summary.segments),
+            rails_degraded=max(
+                (s.rails_degraded for s in summary.segments), default=0),
+            path=resolve_fast_path(c, plan),
+            policy=policy,
+        ))
+    return ClusterFaultsResult(batch_size=batch_size, cells=tuple(cells))
+
+
+def render(result: ClusterFaultsResult) -> str:
+    out = []
+    combos = list(dict.fromkeys((c.network, c.nodes) for c in result.cells))
+    for network, nodes in combos:
+        rows = []
+        for cell in result.cells:
+            if (cell.network, cell.nodes) != (network, nodes):
+                continue
+            rows.append((
+                cell.scenario,
+                f"{cell.epoch_time:8.2f}",
+                f"x{result.slowdown(cell):.2f}",
+                f"{cell.overhead:6.2f}",
+                str(cell.segments),
+                str(cell.rails_degraded),
+                cell.path,
+                cell.policy,
+            ))
+        out.append(render_table(
+            ["Scenario", "Epoch (s)", "vs healthy", "Overhead (s)",
+             "Segs", "Rails deg.", "Path", "Policy"],
+            rows,
+            title=(
+                f"Cluster fault degradation sensitivity: {network}, "
+                f"{nodes}x8 GPUs, batch {result.batch_size}/GPU "
+                f"({COLLECTIVE}/{FABRIC})"
+            ),
+            align_right_from=1,
+            max_col_width=24,
+        ))
+    return "\n".join(out)

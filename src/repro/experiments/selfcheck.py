@@ -3,7 +3,8 @@
 Re-runs the paper's headline sweeps -- Figure 3 (full strong-scaling
 grid), Figure 4 (NCCL stage breakdown) and Table II (single-GPU NCCL
 overhead) -- plus a 2-node hierarchical cluster pair (event and analytic
-fast paths) and one deliberately fault-injected run, all under
+fast paths) and deliberately fault-injected runs (a single-chassis
+NVLink isolation, a cluster rail failure, and a node crash), all under
 ``strict`` invariant enforcement (:mod:`repro.checks`), and prints a
 per-invariant pass/violation report::
 
@@ -35,7 +36,12 @@ from repro.experiments import (
     fig4_breakdown,
     table2_nccl_overhead,
 )
-from repro.faults import FaultPlan
+from repro.faults import (
+    FaultPlan,
+    NodeCrashFault,
+    RailFault,
+    ResiliencePolicy,
+)
 from repro.runner import SweepPoint, SweepRunner, SweepSpec
 from repro.runner.spec import FailurePolicy, OomPolicy
 from repro.topology import build_dgx1v
@@ -96,6 +102,38 @@ def _cluster_spec() -> SweepSpec:
     )
 
 
+def _cluster_faulted_spec() -> SweepSpec:
+    """Fault-injected cluster-tier points: a mid-epoch rail failure (the
+    collective re-rails onto the survivors, exercising the
+    ``rail-rebalance`` and ``degraded-rail-floor`` checkers) and a node
+    crash recovered by SHRINK (the analytic fast path must fall back to
+    the event path, exercising ``fallback-agreement``)."""
+
+    def config() -> TrainingConfig:
+        return TrainingConfig(
+            "alexnet", 16, 16,
+            comm_method=CommMethodName.NCCL_ALLREDUCE,
+            cluster_nodes=2, cluster_fabric="single-switch",
+            cluster_collective="hierarchical-ring",
+            cluster_fast_path="auto",
+        )
+
+    rail_plan = FaultPlan(
+        rail_faults=(RailFault(node=0, rail=1, at=0.05, bandwidth_scale=0.0),),
+    )
+    crash_plan = FaultPlan(
+        node_crashes=(NodeCrashFault(node=1, at_iteration=3),),
+        policy=ResiliencePolicy.SHRINK,
+    )
+    return SweepSpec(
+        name="selfcheck-cluster-faulted",
+        points=(
+            SweepPoint.make(config(), overrides={"faults": rail_plan}),
+            SweepPoint.make(config(), overrides={"faults": crash_plan}),
+        ),
+    )
+
+
 def _specs(fast: bool) -> List[SweepSpec]:
     if fast:
         grid = dict(batch_sizes=FAST_BATCHES, gpu_counts=FAST_GPUS)
@@ -110,6 +148,7 @@ def _specs(fast: bool) -> List[SweepSpec]:
         _tuned_spec(),
         _cluster_spec(),
         _faulted_spec(),
+        _cluster_faulted_spec(),
     ]
     # Record rather than raise: a strict-mode violation (FailureInfo) or
     # an OOM point must land in the report, not abort the remaining grid.

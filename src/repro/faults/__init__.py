@@ -21,6 +21,9 @@ from repro.faults.plan import (
     EccFault,
     FaultPlan,
     LinkFault,
+    NodeCrashFault,
+    NodeStragglerFault,
+    RailFault,
     RecoveryCosts,
     ResiliencePolicy,
     SlowdownProfile,
@@ -43,6 +46,9 @@ __all__ = [
     "FaultSummary",
     "LinkFault",
     "MIN_HOST_SCALE",
+    "NodeCrashFault",
+    "NodeStragglerFault",
+    "RailFault",
     "RecoveryCosts",
     "ResiliencePolicy",
     "SegmentReport",

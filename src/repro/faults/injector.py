@@ -22,8 +22,11 @@ from repro.faults.plan import (
     EccFault,
     FaultPlan,
     LinkFault,
+    NodeCrashFault,
+    RailFault,
     StragglerFault,
 )
+from repro.topology.cluster import GPUS_PER_NODE
 
 
 @dataclass(frozen=True)
@@ -60,22 +63,21 @@ class FaultInjector:
         """Epoch-timeline instants where the active fault set changes."""
         return self.plan.boundaries()
 
+    def _continuous(self):
+        return (*self.plan.link_faults, *self.plan.stragglers,
+                *self.plan.ecc_faults, *self.plan.rail_faults,
+                *self.plan.node_stragglers)
+
     def active_labels(self, now: float) -> Tuple[str, ...]:
         """Labels of every continuous fault active at ``now``."""
         return tuple(
-            f.label()
-            for f in (*self.plan.link_faults, *self.plan.stragglers,
-                      *self.plan.ecc_faults)
-            if f.at <= now < f.until
+            f.label() for f in self._continuous() if f.at <= now < f.until
         )
 
     def activated_between(self, start: float, end: float) -> Tuple[str, ...]:
         """Labels of faults whose activation lies in ``(start, end]``."""
         return tuple(
-            f.label()
-            for f in (*self.plan.link_faults, *self.plan.stragglers,
-                      *self.plan.ecc_faults)
-            if start < f.at <= end
+            f.label() for f in self._continuous() if start < f.at <= end
         )
 
     # ------------------------------------------------------------------
@@ -109,17 +111,48 @@ class FaultInjector:
         return bool(self._active_link_faults(now))
 
     # ------------------------------------------------------------------
+    # Rail faults (cluster tier)
+    # ------------------------------------------------------------------
+    def _active_rail_faults(self, now: float) -> Tuple[RailFault, ...]:
+        return tuple(
+            f for f in self.plan.rail_faults if f.at <= now < f.until
+        )
+
+    def rail_scales(self, rails: int, now: float) -> Tuple[float, ...]:
+        """Per-rail bandwidth multipliers at ``now`` (all 1.0 = healthy).
+
+        The inter-node rail-*r* ring paces at its slowest member, so
+        every active rail fault on rail *r* -- whichever node's HCA it
+        hits -- applies, and overlapping faults take the most severe
+        (minimum) scale.  0 means the rail ring is down and its shard
+        traffic re-rails (:func:`repro.comm.nccl.hierarchical.rail_assignment`).
+        """
+        scales = [1.0] * rails
+        for f in self._active_rail_faults(now):
+            if f.rail < rails:
+                scales[f.rail] = min(scales[f.rail], f.bandwidth_scale)
+        return tuple(scales)
+
+    def degrades_rails(self, now: float) -> bool:
+        return bool(self._active_rail_faults(now))
+
+    # ------------------------------------------------------------------
     # Stragglers / ECC
     # ------------------------------------------------------------------
     def gpu_factor(self, gpu: int, now: float) -> float:
         """Combined slowdown multiplier for ``gpu`` at ``now``.
 
         Overlapping stragglers compound multiplicatively (a preempted GPU
-        can also be thermally throttled).
+        can also be thermally throttled), and a node straggler on the
+        GPU's chassis compounds with its per-GPU stragglers.
         """
         factor = 1.0
         for f in self.plan.stragglers:
             if f.gpu == gpu and f.at <= now < f.until:
+                factor *= f.factor
+        node = gpu // GPUS_PER_NODE
+        for f in self.plan.node_stragglers:
+            if f.node == node and f.at <= now < f.until:
                 factor *= f.factor
         return factor
 
@@ -142,3 +175,7 @@ class FaultInjector:
     @property
     def crash(self) -> Optional[CrashFault]:
         return self.plan.crash
+
+    @property
+    def node_crash(self) -> Optional[NodeCrashFault]:
+        return self.plan.node_crash

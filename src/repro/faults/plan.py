@@ -7,6 +7,16 @@ ECC-retry storms (latency adders on memory-bound kernels) and worker
 crashes, plus the :class:`ResiliencePolicy` applied when a worker drops
 and the :class:`RecoveryCosts` the resilience machinery charges.
 
+The cluster tier (docs/SCALING.md) adds three node-scale primitives:
+:class:`RailFault` (an InfiniBand NIC/HCA failing or degrading, with
+until-based recovery -- a failed rail re-rails its shard traffic onto the
+survivors), :class:`NodeStragglerFault` (a whole chassis running slow)
+and :class:`NodeCrashFault` (a chassis dropping out, recovered at node
+granularity under SHRINK / CHECKPOINT_RESTART).  These compose with the
+intra-node primitives; :meth:`FaultPlan.analytic_conflict` decides
+whether the representative-node analytic fast path can still represent
+the plan (see docs/SCALING.md's validity envelope).
+
 Plans carry no randomness at execution time: two runs of the same plan
 are bit-identical, plans hash into the persistent sweep cache through
 :func:`repro.runner.fingerprint.canonical`, and the *only* place a seed
@@ -232,6 +242,93 @@ class CrashFault:
 
 
 @dataclass(frozen=True)
+class RailFault:
+    """One node's InfiniBand rail (NIC/HCA) failing or degrading.
+
+    ``bandwidth_scale`` multiplies the rail's bandwidth while the fault is
+    active; 0 is an outright NIC failure.  The hierarchical collective's
+    inter-node rings are rail-global -- every node's rail-*r* HCA is a hop
+    on the rail-*r* ring -- so one node's dead NIC takes the whole rail
+    ring down and its shard traffic re-rails onto the surviving rails,
+    while a degraded NIC paces its ring at the degraded bandwidth (the
+    ring moves at its slowest member).  See docs/FAULTS.md.
+    """
+
+    node: int                       # chassis whose HCA is faulty
+    rail: int                       # rail index, 0 <= rail < rails_per_node
+    at: float = 0.0
+    bandwidth_scale: float = 0.0
+    until: float = _INF
+
+    def __post_init__(self) -> None:
+        what = f"rail fault on n{self.node}r{self.rail}"
+        _check_window(self.at, self.until, what)
+        if self.node < 0:
+            raise FaultPlanError("rail fault node index must be >= 0")
+        if self.rail < 0:
+            raise FaultPlanError("rail index must be >= 0")
+        if not 0.0 <= self.bandwidth_scale < 1.0:
+            raise FaultPlanError(
+                "bandwidth_scale must be in [0, 1) -- 1.0 would be a no-op"
+            )
+
+    @property
+    def is_failure(self) -> bool:
+        return self.bandwidth_scale == 0.0
+
+    def label(self) -> str:
+        mode = "down" if self.is_failure else f"x{self.bandwidth_scale:g}"
+        return f"rail:n{self.node}r{self.rail}:{mode}@{self.at:g}s"
+
+
+@dataclass(frozen=True)
+class NodeStragglerFault:
+    """A whole chassis running slow (shared PSU derate, host contention).
+
+    Every GPU of ``node`` pays the multiplier; it compounds with per-GPU
+    :class:`StragglerFault` entries on the same ranks.
+    """
+
+    node: int
+    factor: float                   # kernel-duration multiplier, > 1 = slower
+    at: float = 0.0
+    until: float = _INF
+
+    def __post_init__(self) -> None:
+        _check_window(self.at, self.until, f"node straggler on n{self.node}")
+        if self.node < 0:
+            raise FaultPlanError("node straggler index must be >= 0")
+        if self.factor <= 0:
+            raise FaultPlanError("node straggler factor must be positive")
+
+    def label(self) -> str:
+        return f"node-straggler:n{self.node}:x{self.factor:g}@{self.at:g}s"
+
+
+@dataclass(frozen=True)
+class NodeCrashFault:
+    """A whole chassis dropping out at an epoch iteration boundary.
+
+    Node crashes recover at node granularity: ``SHRINK`` removes all of
+    the node's GPUs and re-ranks the survivors densely (elastic
+    training), ``CHECKPOINT_RESTART`` restores full width after replaying
+    from the last checkpoint, ``FAIL_FAST`` aborts.
+    """
+
+    node: int
+    at_iteration: int
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise FaultPlanError("crash node index must be >= 0")
+        if self.at_iteration < 1:
+            raise FaultPlanError("crashes happen at iteration >= 1")
+
+    def label(self) -> str:
+        return f"node-crash:n{self.node}@iter{self.at_iteration}"
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """The complete fault scenario of one training run.
 
@@ -252,9 +349,12 @@ class FaultPlan:
     policy: ResiliencePolicy = ResiliencePolicy.FAIL_FAST
     costs: RecoveryCosts = field(default_factory=RecoveryCosts)
     description: str = ""
+    rail_faults: Tuple[RailFault, ...] = ()
+    node_stragglers: Tuple[NodeStragglerFault, ...] = ()
+    node_crashes: Tuple[NodeCrashFault, ...] = ()
 
     def __post_init__(self) -> None:
-        if len(self.crashes) > 1:
+        if len(self.crashes) + len(self.node_crashes) > 1:
             raise FaultPlanError(
                 "the recovery model handles at most one crash per run"
             )
@@ -266,17 +366,30 @@ class FaultPlan:
         """True when the plan injects nothing (healthy run)."""
         return not (
             self.link_faults or self.stragglers or self.ecc_faults
-            or self.crashes
+            or self.crashes or self.rail_faults or self.node_stragglers
+            or self.node_crashes
         )
 
     @property
     def crash(self) -> Optional[CrashFault]:
         return self.crashes[0] if self.crashes else None
 
+    @property
+    def node_crash(self) -> Optional[NodeCrashFault]:
+        return self.node_crashes[0] if self.node_crashes else None
+
+    @property
+    def cluster_faults(self) -> bool:
+        """True when the plan touches the cluster tier (rails / nodes)."""
+        return bool(
+            self.rail_faults or self.node_stragglers or self.node_crashes
+        )
+
     def boundaries(self) -> Tuple[float, ...]:
         """Sorted activation/deactivation times (> 0) of continuous faults."""
         times = set()
-        for f in (*self.link_faults, *self.stragglers, *self.ecc_faults):
+        for f in (*self.link_faults, *self.stragglers, *self.ecc_faults,
+                  *self.rail_faults, *self.node_stragglers):
             if f.at > 0:
                 times.add(f.at)
             if f.until != _INF:
@@ -288,8 +401,52 @@ class FaultPlan:
         return tuple(
             f.label()
             for f in (*self.link_faults, *self.stragglers,
-                      *self.ecc_faults, *self.crashes)
+                      *self.ecc_faults, *self.rail_faults,
+                      *self.node_stragglers, *self.crashes,
+                      *self.node_crashes)
         )
+
+    def analytic_conflict(self, gpus_per_node: int = 8) -> Optional[str]:
+        """Why the representative-node analytic fast path cannot run this
+        plan, or ``None`` when it can.
+
+        The analytic path event-simulates only node 0's GPUs and scales
+        the collective algebra to the full rank count, so it can
+        represent faults that either live on node 0 (the slowest-member
+        pacing of synchronous SGD makes the representative node the
+        pacemaker) or enter the closed-form rail algebra globally
+        (:class:`RailFault`).  Anything else -- crashes (membership
+        changes mid-epoch), faults addressing GPUs or nodes the path
+        never simulates, or link names it cannot place -- forces the
+        event path.  See docs/SCALING.md's validity envelope.
+        """
+        import re
+
+        if self.crashes or self.node_crashes:
+            label = (self.crash or self.node_crash).label()
+            return f"{label} changes cluster membership mid-epoch"
+        for f in (*self.stragglers, *self.ecc_faults):
+            if f.gpu >= gpus_per_node:
+                return (
+                    f"{f.label()} targets gpu{f.gpu} on unrepresented "
+                    f"node {f.gpu // gpus_per_node}"
+                )
+        for f in self.node_stragglers:
+            if f.node != 0:
+                return f"{f.label()} targets unrepresented node {f.node}"
+        for f in self.link_faults:
+            indices = [int(m) for m in re.findall(r"gpu(\d+)", f.link)]
+            if not indices:
+                return (
+                    f"{f.label()} names no GPU endpoint the "
+                    f"representative node could place"
+                )
+            if any(i >= gpus_per_node for i in indices):
+                return (
+                    f"{f.label()} touches a link on unrepresented "
+                    f"node {max(indices) // gpus_per_node}"
+                )
+        return None
 
     # ------------------------------------------------------------------
     # Scenario constructors
@@ -337,6 +494,8 @@ class FaultPlan:
         topology=None,
         num_gpus: int = 8,
         policy: ResiliencePolicy = ResiliencePolicy.SHRINK,
+        cluster_nodes: int = 1,
+        rails_per_node: int = 4,
     ) -> "FaultPlan":
         """Deterministically expand ``seed`` into a mixed fault scenario.
 
@@ -344,7 +503,19 @@ class FaultPlan:
         ``seed`` -- no wall clock, no global state -- so the same seed
         always yields the identical plan (and therefore the identical
         simulated epoch), on any machine and any process count.
+
+        With ``cluster_nodes > 1`` the expansion additionally samples the
+        nodes x rails grid -- up to two rail faults, an optional node
+        straggler, and an optional :class:`NodeCrashFault` in place of
+        the single-GPU crash (hierarchical collectives recover at node
+        granularity).  Single-node calls draw the exact same sequence as
+        before the cluster tier existed, so historical seeds keep their
+        plans.
         """
+        if cluster_nodes < 1:
+            raise FaultPlanError("cluster_nodes must be >= 1")
+        if rails_per_node < 1:
+            raise FaultPlanError("rails_per_node must be >= 1")
         if topology is None:
             from repro.topology import build_dgx1v
 
@@ -382,11 +553,41 @@ class FaultPlan:
                 at=round(rng.uniform(0.0, 20.0), 3),
             ))
         crashes = []
-        if rng.random() < 0.33 and num_gpus > 1:
+        if cluster_nodes == 1 and rng.random() < 0.33 and num_gpus > 1:
             crashes.append(CrashFault(
                 gpu=rng.choice(gpus),
                 at_iteration=rng.randint(50, 2000),
             ))
+        rail_faults = []
+        node_stragglers = []
+        node_crashes = []
+        if cluster_nodes > 1:
+            cells = [
+                (node, rail)
+                for node in range(cluster_nodes)
+                for rail in range(rails_per_node)
+            ]
+            # Cap failed rails below the rail count so re-railing always
+            # has a survivor (an all-rails-down cluster cannot train).
+            k = min(rng.randint(0, 2), len(cells), rails_per_node - 1)
+            for node, rail in rng.sample(cells, k=k):
+                rail_faults.append(RailFault(
+                    node=node,
+                    rail=rail,
+                    at=round(rng.uniform(0.0, 30.0), 3),
+                    bandwidth_scale=rng.choice((0.0, 0.25, 0.5)),
+                ))
+            if rng.random() < 0.5:
+                node_stragglers.append(NodeStragglerFault(
+                    node=rng.randrange(cluster_nodes),
+                    factor=round(rng.uniform(1.2, 2.0), 2),
+                    at=round(rng.uniform(0.0, 20.0), 3),
+                ))
+            if rng.random() < 0.33:
+                node_crashes.append(NodeCrashFault(
+                    node=rng.randrange(cluster_nodes),
+                    at_iteration=rng.randint(50, 2000),
+                ))
         return cls(
             link_faults=tuple(link_faults),
             stragglers=tuple(stragglers),
@@ -394,4 +595,7 @@ class FaultPlan:
             crashes=tuple(crashes),
             policy=policy,
             description=f"random(seed={seed})",
+            rail_faults=tuple(rail_faults),
+            node_stragglers=tuple(node_stragglers),
+            node_crashes=tuple(node_crashes),
         )

@@ -34,6 +34,7 @@ class SegmentReport:
     ring_bandwidth: float           # NCCL aggregate ring bandwidth (bytes/s)
     ring_uses_pcie: bool            # ring fell back to PCIe
     gpus: int                       # GPUs participating in this segment
+    rails_degraded: int = 0         # inter-node rails below full bandwidth
 
     @property
     def span(self) -> float:
@@ -55,6 +56,7 @@ class FaultSummary:
     crash_iteration: Optional[int] = None
     replayed_iterations: int = 0    # lost work re-run after restart
     survivors: int = 0              # GPUs that finished the epoch
+    crashed_node: Optional[int] = None  # chassis lost (cluster tier)
 
     @property
     def overhead(self) -> float:
@@ -63,8 +65,11 @@ class FaultSummary:
 
     @property
     def degraded(self) -> bool:
-        return len(self.segments) > 1 or self.crashed_gpu is not None or any(
-            s.active for s in self.segments
+        return (
+            len(self.segments) > 1
+            or self.crashed_gpu is not None
+            or self.crashed_node is not None
+            or any(s.active for s in self.segments)
         )
 
 
@@ -86,6 +91,12 @@ def crash_recovery_cost(
     on the survivor timeline).  ``CHECKPOINT_RESTART`` pays the worker
     restart plus re-ring, then replays the iterations since the last
     periodic checkpoint.  ``FAIL_FAST`` never reaches recovery.
+
+    ``crash`` is any fault with an ``at_iteration`` -- a
+    :class:`~repro.faults.plan.CrashFault` or a node-granularity
+    :class:`~repro.faults.plan.NodeCrashFault` (the cost model is the
+    same machinery either way; only the survivor set differs, and the
+    caller owns that).
     """
     if policy is ResiliencePolicy.SHRINK:
         return costs.shrink_drain + costs.ring_rebuild, 0

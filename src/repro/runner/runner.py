@@ -63,7 +63,7 @@ from repro.runner.spec import (
     SweepSpec,
 )
 from repro.perf.spans import PERF
-from repro.runner.store import CacheEntry, ResultStore
+from repro.runner.store import CacheEntry, ResultStore, fault_breakdown
 
 #: What one executed/cached point yields: a result object, an OOM record,
 #: or a (never-cached) failure record.
@@ -246,6 +246,12 @@ class RunnerStats:
     #: (summed from the ``perf`` metadata of the entries they were
     #: answered from; entries without metadata contribute 0).
     saved_seconds: float = 0.0
+    #: Fault-injected points seen this run (executed or cache hits with
+    #: a recorded ``faults`` breakdown).
+    faulted: int = 0
+    #: Total modeled resilience overhead across those points (simulated
+    #: seconds: re-ring transitions + crash recovery + checkpoints).
+    fault_overhead: float = 0.0
 
     @property
     def total(self) -> int:
@@ -273,6 +279,16 @@ class RunnerStats:
             f"timing: {self.sim_seconds:.2f}s simulating "
             f"({self.executed} point(s)), ~{self.saved_seconds:.2f}s "
             f"avoided by {self.memory_hits + self.disk_hits} cache hit(s)"
+        )
+
+    def describe_faults(self) -> Optional[str]:
+        """One-line recovery-breakdown summary, or ``None`` if no point
+        this run (executed or replayed from cache) was fault-injected."""
+        if not self.faulted:
+            return None
+        return (
+            f"faults: {self.faulted} fault-injected point(s), "
+            f"{self.fault_overhead:.2f}s modeled recovery overhead"
         )
 
 
@@ -345,6 +361,9 @@ class SweepRunner:
         #: Wall-clock each memoized point originally cost to simulate,
         #: so memory hits can credit :attr:`RunnerStats.saved_seconds`.
         self._memo_cost: Dict[str, float] = {}
+        #: Recovery breakdown of each memoized fault-injected point, so
+        #: memory hits report it like disk hits do.
+        self._memo_faults: Dict[str, Optional[Dict[str, Any]]] = {}
 
     def __len__(self) -> int:
         """Distinct results currently held in memory."""
@@ -373,10 +392,12 @@ class SweepRunner:
                 if source == "disk":
                     self._memo[key] = entry.value  # promote for later lookups
                     self._memo_cost[key] = entry.elapsed
+                    self._memo_faults[key] = entry.faults
                     self.stats.disk_hits += 1
                 else:
                     self.stats.memory_hits += 1
                 self.stats.saved_seconds += entry.elapsed
+                self._note_faults(entry.faults)
                 outcomes[index] = self._finish(
                     spec, index, total, point, entry.value, source, 0.0
                 )
@@ -497,6 +518,7 @@ class SweepRunner:
             return CacheEntry(
                 value=self._memo[key],
                 elapsed=self._memo_cost.get(key, 0.0),
+                faults=self._memo_faults.get(key),
             )
         if self.store is not None:
             return self.store.load_entry(key)
@@ -517,6 +539,8 @@ class SweepRunner:
             return
         self._memo[key] = value
         self._memo_cost[key] = elapsed
+        self._memo_faults[key] = fault_breakdown(value)
+        self._note_faults(self._memo_faults[key])
         if self.store is not None:
             self.store.store(key, value, elapsed=elapsed, check_stats=check_stats)
 
@@ -558,6 +582,11 @@ class SweepRunner:
         return PointOutcome(
             point=point, result=value, source=source, elapsed=elapsed
         )
+
+    def _note_faults(self, breakdown: Optional[Dict[str, Any]]) -> None:
+        if breakdown is not None:
+            self.stats.faulted += 1
+            self.stats.fault_overhead += breakdown.get("overhead", 0.0)
 
     def _backoff(self, attempt: int) -> float:
         """Exponential backoff slept before re-attempt ``attempt + 1``."""

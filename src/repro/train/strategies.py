@@ -63,17 +63,43 @@ ASYNC_MEASURE_ITERATIONS = 4
 AUTO_ANALYTIC_NODES = 4
 
 
-def resolve_fast_path(config) -> str:
-    """The concrete collective fast path a config selects.
+def resolve_fast_path(config, faults=None) -> str:
+    """The concrete collective fast path a config (and fault plan) selects.
 
     ``"auto"`` keeps the fully event-driven path up to
     ``AUTO_ANALYTIC_NODES`` nodes and folds larger clusters' inter-node
     segments in analytically (a 1024-GPU AllReduce cannot simulate
     per-chunk events on every link); explicit values pass through.
+
+    The resolution is fault-aware: the analytic path simulates only a
+    representative node, so a plan it cannot represent
+    (:meth:`~repro.faults.plan.FaultPlan.analytic_conflict`) forces the
+    event path when the analytic choice was automatic, and raises
+    :class:`~repro.core.errors.FaultPlanError` when the config demanded
+    ``cluster_fast_path="analytic"`` explicitly -- the fast path never
+    silently simulates a healthy cluster.
     """
     if config.cluster_fast_path != "auto":
-        return config.cluster_fast_path
-    return "analytic" if config.cluster_nodes > AUTO_ANALYTIC_NODES else "event"
+        resolved = config.cluster_fast_path
+    else:
+        resolved = (
+            "analytic" if config.cluster_nodes > AUTO_ANALYTIC_NODES
+            else "event"
+        )
+    if resolved != "analytic" or faults is None or faults.empty:
+        return resolved
+    conflict = faults.analytic_conflict()
+    if conflict is None:
+        return resolved
+    if config.cluster_fast_path == "analytic":
+        raise FaultPlanError(
+            "cluster_fast_path='analytic' cannot represent this fault "
+            f"plan: {conflict}; the representative-node simulation would "
+            "silently model a healthy cluster -- use "
+            "cluster_fast_path='event' (or 'auto' to fall back "
+            "automatically; see docs/SCALING.md)"
+        )
+    return "event"
 
 
 @dataclass(frozen=True)
@@ -175,13 +201,22 @@ class ReductionStrategy:
             from repro.topology.cluster import IB_LANE_BANDWIDTH
 
             key = "nccl-hierarchical"
+            # The faulted segment loop narrows the cluster (a crashed
+            # node shrinks the rank space) and degrades rails; healthy
+            # runs leave both overrides None.
+            nodes = getattr(trainer, "_fault_cluster_nodes", None)
             kwargs = dict(
-                cluster_nodes=config.cluster_nodes,
+                cluster_nodes=(
+                    nodes if nodes is not None else config.cluster_nodes
+                ),
                 rail_bandwidth=IB_LANE_BANDWIDTH,
                 inter_algorithm=config.cluster_collective.removeprefix(
                     "hierarchical-"),
-                fast_path=resolve_fast_path(config),
+                fast_path=resolve_fast_path(config, trainer.faults),
             )
+            scales = getattr(trainer, "_fault_rail_scales", None)
+            if scales is not None:
+                kwargs["rail_scales"] = scales
         return make_communicator(
             key,
             env,

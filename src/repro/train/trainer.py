@@ -128,6 +128,13 @@ class Trainer:
             raise FaultPlanError(
                 f"faults must be a FaultPlan, got {type(faults).__name__}"
             )
+        # Per-segment cluster overrides the faulted segment loop sets and
+        # the strategy's communicator construction consults; None outside
+        # a faulted cluster segment (the healthy path never touches them).
+        self._fault_cluster_nodes: Optional[int] = None
+        self._fault_rail_scales: Optional[Tuple[float, ...]] = None
+        if faults is not None:
+            self._validate_fault_plan(faults)
         with PERF.span("trainer.compile"):
             if network is not None:
                 if input_shape is None:
@@ -157,6 +164,74 @@ class Trainer:
                 + sum(k.duration for _, ks in self._bwd for k in ks)
             )
         self.strategy = strategy_for(config)
+
+    def _validate_fault_plan(self, plan: FaultPlan) -> None:
+        """Reject a plan this run cannot execute, before any simulation.
+
+        Every fault target is bounds-checked against the configuration
+        eagerly (a bad plan must fail at construction, not minutes into
+        a sweep), cluster-tier primitives require the hierarchical
+        collective, and an explicit analytic fast path must be able to
+        represent the plan (:func:`~repro.train.strategies.resolve_fast_path`).
+        """
+        cfg = self.config
+        for f in plan.crashes:
+            if f.gpu >= cfg.num_gpus:
+                raise FaultPlanError(
+                    f"crash targets gpu{f.gpu} but the run uses "
+                    f"{cfg.num_gpus} GPU(s)"
+                )
+        for f in plan.stragglers:
+            if f.gpu >= cfg.num_gpus:
+                raise FaultPlanError(
+                    f"straggler targets gpu{f.gpu} but the run uses "
+                    f"{cfg.num_gpus} GPU(s)"
+                )
+        for f in plan.ecc_faults:
+            if f.gpu >= cfg.num_gpus:
+                raise FaultPlanError(
+                    f"ecc fault targets gpu{f.gpu} but the run uses "
+                    f"{cfg.num_gpus} GPU(s)"
+                )
+        if plan.cluster_faults and cfg.cluster_collective == "compat":
+            raise FaultPlanError(
+                "rail/node faults live on the hierarchical cluster tier: "
+                "select a non-compat cluster_collective "
+                "(see docs/FAULTS.md)"
+            )
+        if plan.cluster_faults:
+            from repro.topology.cluster import IB_LANES_PER_NODE
+
+            for f in plan.rail_faults:
+                if f.node >= cfg.cluster_nodes:
+                    raise FaultPlanError(
+                        f"rail fault targets node {f.node} but the "
+                        f"cluster has {cfg.cluster_nodes} node(s)"
+                    )
+                if f.rail >= IB_LANES_PER_NODE:
+                    raise FaultPlanError(
+                        f"rail fault targets rail {f.rail} but nodes "
+                        f"have {IB_LANES_PER_NODE} rails"
+                    )
+            for f in (*plan.node_stragglers, *plan.node_crashes):
+                if f.node >= cfg.cluster_nodes:
+                    raise FaultPlanError(
+                        f"{f.label()} targets node {f.node} but the "
+                        f"cluster has {cfg.cluster_nodes} node(s)"
+                    )
+        if (plan.crashes and cfg.cluster_nodes > 1
+                and cfg.cluster_collective != "compat"):
+            raise FaultPlanError(
+                "hierarchical collectives need full 8-GPU nodes, so a "
+                "single-GPU crash cannot shrink a multi-node cluster -- "
+                "use NodeCrashFault for node-granularity recovery"
+            )
+        if not plan.empty:
+            from repro.train.strategies import resolve_fast_path
+
+            # Raises under an explicit analytic fast path the plan's
+            # faults cannot be represented on.
+            resolve_fast_path(cfg, plan)
 
     # ------------------------------------------------------------------
     # Public API
@@ -214,7 +289,7 @@ class Trainer:
             from repro.topology import GPUS_PER_NODE
             from repro.train.strategies import resolve_fast_path
 
-            if resolve_fast_path(cfg) == "analytic":
+            if resolve_fast_path(cfg, self.faults) == "analytic":
                 return min(cfg.num_gpus, GPUS_PER_NODE)
         return cfg.num_gpus
 
@@ -373,6 +448,29 @@ class Trainer:
             iterations=iterations,
             now=env.now,
         )
+        if comm.name == "nccl-hierarchical":
+            # Fast-path contract: the resolved path never silently
+            # drops a fault plan, and the measured iteration dominates
+            # the fault-aware closed-form collective floor both modes
+            # share (temporal.fallback-agreement).
+            plan = self.faults
+            faulted = plan is not None and not plan.empty
+            checks.check(
+                "trainer.fastpath",
+                requested=self.config.cluster_fast_path,
+                resolved=comm.fast_path,
+                analytic_ok=(
+                    not faulted or plan.analytic_conflict() is None
+                ),
+                faulted=faulted,
+                mean_iteration=elapsed / iterations if iterations else 0.0,
+                analytic_wu=sum(
+                    comm.allreduce_duration(comm._comm_bytes(a))
+                    for a in self._sync_arrays()
+                ),
+                iterations=iterations,
+                now=env.now,
+            )
 
     def _result_checks(self, epoch_time: float, iterations: int,
                        mean_iteration: float, fixed: float, memory) -> tuple:
@@ -466,23 +564,32 @@ class Trainer:
         cfg = self.config
         plan = injector.plan
         crash = injector.crash
-        if crash is not None and crash.gpu >= cfg.num_gpus:
-            raise FaultPlanError(
-                f"crash targets gpu{crash.gpu} but the run uses "
-                f"{cfg.num_gpus} GPU(s)"
-            )
+        node_crash = injector.node_crash
+        # At most one of the two (FaultPlan enforces it); either way the
+        # epoch sees a single membership change at one iteration boundary.
+        crash_event = crash if crash is not None else node_crash
         policy = plan.policy
         if (crash is not None and policy is ResiliencePolicy.SHRINK
                 and cfg.num_gpus == 1):
             # Nothing to shrink to: a 1-GPU run cannot survive its only
             # worker, so SHRINK degenerates to FAIL_FAST.
             policy = ResiliencePolicy.FAIL_FAST
+        if (node_crash is not None and policy is ResiliencePolicy.SHRINK
+                and cfg.cluster_nodes == 1):
+            # Same rule one level up: a 1-node cluster cannot shrink.
+            policy = ResiliencePolicy.FAIL_FAST
         costs = plan.costs
         bus = self.obs.bus if self.obs is not None else None
         boundaries = list(injector.boundaries())
         total_iters = cfg.iterations_per_epoch
+        cluster = cfg.cluster_collective != "compat"
+        if cluster:
+            from repro.topology.cluster import GPUS_PER_NODE, IB_LANES_PER_NODE
 
-        participants = list(range(cfg.num_gpus))
+            rails = IB_LANES_PER_NODE
+        active_nodes = cfg.cluster_nodes
+
+        participants = list(range(self._simulated_gpus))
         now = 0.0                # epoch-timeline seconds
         done_iters = 0           # epoch iterations completed
         remaining = total_iters
@@ -491,8 +598,9 @@ class Trainer:
         iteration_times: List[float] = []
         transition_cost = 0.0
         recovery_cost = 0.0
-        crash_pending = crash is not None
+        crash_pending = crash_event is not None
         crashed_gpu: Optional[int] = None
+        crashed_node: Optional[int] = None
         replayed = 0
         fixed: Optional[float] = None
         ring_reason: Optional[str] = None
@@ -510,10 +618,24 @@ class Trainer:
 
         while remaining > 0:
             topo = degraded_topology(base, injector, now)
+            # Faults that change the communication structure (routable
+            # links, inter-node rails); a change between segments pays
+            # the route/ring transition costs.
             link_sig = tuple(
                 label for label in injector.active_labels(now)
-                if label.startswith("link:")
+                if label.startswith(("link:", "rail:"))
             )
+            rails_degraded = 0
+            if cluster:
+                scales = injector.rail_scales(rails, now)
+                rails_degraded = sum(1 for s in scales if s < 1.0)
+                self._fault_rail_scales = (
+                    scales if rails_degraded else None
+                )
+                self._fault_cluster_nodes = (
+                    active_nodes if active_nodes != cfg.cluster_nodes
+                    else None
+                )
             speed = {
                 i: self._base_factor(i, now) * injector.gpu_factor(i, now)
                 for i in participants
@@ -528,6 +650,11 @@ class Trainer:
                 speed_overrides=speed,
                 ecc_models=ecc,
             )
+            # The overrides only steer communicator construction; clear
+            # them so an exception (or a later healthy run on this
+            # trainer) never sees a stale cluster narrowing.
+            self._fault_cluster_nodes = None
+            self._fault_rail_scales = None
             plan_obj = getattr(comm, "plan", None)
             if bus is not None and topo is not base:
                 bus.publish(RouteRecomputedEvent(
@@ -564,10 +691,10 @@ class Trainer:
                         max(1, math.ceil((next_boundary - now) / mean)))
             crash_now = (
                 crash_pending
-                and done_iters < crash.at_iteration <= done_iters + n
+                and done_iters < crash_event.at_iteration <= done_iters + n
             )
             if crash_now:
-                n = crash.at_iteration - done_iters
+                n = crash_event.at_iteration - done_iters
 
             segments.append(SegmentReport(
                 index=len(segments),
@@ -579,6 +706,7 @@ class Trainer:
                 ring_bandwidth=plan_obj.aggregate_bandwidth if plan_obj else 0.0,
                 ring_uses_pcie=bool(plan_obj.uses_pcie) if plan_obj else False,
                 gpus=len(participants),
+                rails_degraded=rails_degraded,
             ))
             seg_profilers.append((n, profiler))
 
@@ -589,17 +717,38 @@ class Trainer:
 
             if crash_now:
                 crash_pending = False
-                crashed_gpu = crash.gpu
                 if bus is not None:
                     bus.publish(FaultInjectedEvent(
-                        fault=crash.label(), kind="crash", at=now))
-                if policy is ResiliencePolicy.FAIL_FAST:
-                    raise WorkerCrashError(crash.gpu, crash.at_iteration)
-                cost, replay = crash_recovery_cost(crash, policy, costs)
+                        fault=crash_event.label(),
+                        kind=_fault_kind(crash_event.label()),
+                        at=now))
+                if node_crash is not None:
+                    crashed_node = node_crash.node
+                    first_rank = node_crash.node * GPUS_PER_NODE
+                    if policy is ResiliencePolicy.FAIL_FAST:
+                        raise WorkerCrashError(
+                            first_rank, node_crash.at_iteration)
+                else:
+                    crashed_gpu = crash.gpu
+                    first_rank = crash.gpu
+                    if policy is ResiliencePolicy.FAIL_FAST:
+                        raise WorkerCrashError(crash.gpu, crash.at_iteration)
+                cost, replay = crash_recovery_cost(crash_event, policy, costs)
                 recovery_cost += cost
                 replayed = replay
                 if policy is ResiliencePolicy.SHRINK:
-                    participants = [i for i in participants if i != crash.gpu]
+                    if node_crash is not None:
+                        # Node-granularity shrink: the survivors re-rank
+                        # densely into the low global ranks (elastic
+                        # training re-ranks on every membership change),
+                        # keeping the hierarchical communicator's
+                        # representative intra-node ring well-formed.
+                        active_nodes -= 1
+                        participants = list(
+                            range(active_nodes * GPUS_PER_NODE))
+                    else:
+                        participants = [
+                            i for i in participants if i != crash.gpu]
                     images_left = (cfg.total_images
                                    - done_iters * cfg.global_batch_size)
                     remaining = max(0, math.ceil(
@@ -610,8 +759,8 @@ class Trainer:
                 if bus is not None:
                     bus.publish(RecoveryCostEvent(
                         policy=policy.value,
-                        gpu=crash.gpu,
-                        iteration=crash.at_iteration,
+                        gpu=first_rank,
+                        iteration=crash_event.at_iteration,
                         cost=cost,
                         replayed_iterations=replay,
                         at=now,
@@ -621,17 +770,22 @@ class Trainer:
             if remaining > 0 and not crash_now:
                 new_sig = tuple(
                     label for label in injector.active_labels(now)
-                    if label.startswith("link:")
+                    if label.startswith(("link:", "rail:"))
                 )
                 if new_sig != link_sig:
-                    # The routable topology changed: pay a route
+                    # The communication structure changed: pay a route
                     # recomputation and (strategies declaring ring-based
                     # recovery semantics only) an NCCL communicator
                     # rebuild before the next segment.
                     cost = costs.route_recompute
                     if recovery.ring_rebuild and plan_obj is not None:
                         cost += costs.ring_rebuild
-                        ring_reason = "link-fault"
+                        changed = set(new_sig) ^ set(link_sig)
+                        ring_reason = (
+                            "rail-fault"
+                            if any(l.startswith("rail:") for l in changed)
+                            else "link-fault"
+                        )
                     transition_cost += cost
                     now += cost
                 if bus is not None:
@@ -661,9 +815,14 @@ class Trainer:
             checkpoint_cost=checkpoint_cost,
             healthy_iteration=segments[0].mean_iteration,
             crashed_gpu=crashed_gpu,
-            crash_iteration=crash.at_iteration if crashed_gpu is not None else None,
+            crash_iteration=(
+                crash_event.at_iteration
+                if crashed_gpu is not None or crashed_node is not None
+                else None
+            ),
             replayed_iterations=replayed,
             survivors=len(participants),
+            crashed_node=crashed_node,
         )
         monitor = MemoryMonitor(self.spec, self.constants, optimizer=self.optimizer)
         memory = tuple(

@@ -145,6 +145,37 @@ CASES = {
         {"kind": "allreduce", "mode": "analytic",
          "duration": 1.35e-6, "analytic": 1.25e-6},
     ),
+    "conservation.rail-rebalance": (
+        # Rail 1 down: its 26 bytes re-rail as 9/9/8 onto rails 0/2/3.
+        {"kind": "allreduce", "nodes": 2, "nbytes": 100,
+         "rail_scales": (1.0, 0.0, 1.0, 1.0),
+         "healthy_rail_bytes": (26, 26, 24, 24),
+         "rail_assignment": (35, 0, 33, 32)},
+        {"kind": "allreduce", "nodes": 2, "nbytes": 100,
+         "rail_scales": (1.0, 0.0, 1.0, 1.0),
+         "healthy_rail_bytes": (26, 26, 24, 24),
+         "rail_assignment": (35, 26, 33, 32)},  # down rail still loaded
+    ),
+    "capacity.degraded-rail-floor": (
+        # Slowest surviving rail: 4000 B at 0.25 x 1e10 -> (4000//2)/2.5e9
+        # = 8e-7 s.
+        {"kind": "allreduce", "nodes": 2, "nbytes": 10000,
+         "rail_assignment": (4000, 0, 3000, 3000),
+         "rail_scales": (0.25, 0.0, 1.0, 1.0),
+         "rail_bound_bandwidth": 1e10, "duration": 1e-6},
+        {"kind": "allreduce", "nodes": 2, "nbytes": 10000,
+         "rail_assignment": (4000, 0, 3000, 3000),
+         "rail_scales": (0.25, 0.0, 1.0, 1.0),
+         "rail_bound_bandwidth": 1e10, "duration": 1e-7},
+    ),
+    "temporal.fallback-agreement": (
+        {"requested": "auto", "resolved": "event", "analytic_ok": False,
+         "faulted": True, "mean_iteration": 2e-3, "analytic_wu": 1e-3,
+         "iterations": 4},
+        {"requested": "auto", "resolved": "analytic", "analytic_ok": False,
+         "faulted": True, "mean_iteration": 2e-3, "analytic_wu": 1e-3,
+         "iterations": 4},
+    ),
     "temporal.spans-nested": (
         {"spans": _stage_spans(), "host_overhead": 0.2, "busy": {},
          "elapsed": 1.0},

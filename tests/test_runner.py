@@ -384,17 +384,18 @@ def test_result_round_trip_preserves_extended_config_fields():
 
 
 # ----------------------------------------------------------------------
-# Invariant verification (schema v6: cluster-tier config fields)
+# Invariant verification (schema v7: cluster-tier fault fields)
 # ----------------------------------------------------------------------
 def test_store_rejects_stale_schema_entries(tmp_path):
     """Entries written before the schema gained the ``violations`` field
-    (schema 3), the ``strategy``/``async_stats`` fields (schema 4) or the
-    cluster-tier config fields (schema 5) must be refused loudly, not
-    deserialized without them."""
-    assert SCHEMA_VERSION == 6
+    (schema 3), the ``strategy``/``async_stats`` fields (schema 4), the
+    cluster-tier config fields (schema 5) or the cluster-tier fault
+    fields (schema 6) must be refused loudly, not deserialized without
+    them."""
+    assert SCHEMA_VERSION == 7
     store = ResultStore(tmp_path)
     store.root.mkdir(parents=True, exist_ok=True)
-    for stale in (3, 4, 5):
+    for stale in (3, 4, 5, 6):
         key = f"v{stale}"
         store.path_for(key).write_text(json.dumps({
             "schema": stale, "kind": "training",
