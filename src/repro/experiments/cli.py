@@ -173,7 +173,7 @@ def all_subcommands() -> tuple:
     The docs gate (``tools/check_docs.py``) compares this list against the
     CLI reference in ``docs/API.md``, so the two cannot drift apart.
     """
-    return EXPERIMENTS + ("all", "obs", "trace", "selfcheck", "bench")
+    return EXPERIMENTS + ("all", "obs", "trace", "selfcheck", "bench", "serve")
 
 
 def obs_main(argv: Optional[list] = None) -> int:
@@ -295,6 +295,10 @@ def main(argv: Optional[list] = None) -> int:
         from repro.experiments import bench
 
         return bench.main(list(argv[1:]))
+    if argv and argv[0] == "serve":
+        from repro.service import server
+
+        return server.main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures from simulation "
@@ -308,7 +312,8 @@ def main(argv: Optional[list] = None) -> int:
         help=f"any of {', '.join(EXPERIMENTS)}, or 'all' "
              "(or: obs/trace [--help] for the observability exporter, "
              "selfcheck [--help] for strict invariant verification, "
-             "bench [--help] for the simulator bench harness)",
+             "bench [--help] for the simulator bench harness, "
+             "serve [--help] for the resilient sweep service)",
     )
     parser.add_argument("--fast", action="store_true",
                         help="reduced sweep (batch 16, 1 and 4 GPUs)")

@@ -34,6 +34,7 @@ from repro.obs.events import (
     ProtocolChoiceEvent,
     QueueDepthEvent,
     RingStepEvent,
+    ServiceRequestEvent,
     SpanEvent,
     TransferEvent,
 )
@@ -67,6 +68,7 @@ __all__ = [
     "ProtocolChoiceEvent",
     "QueueDepthEvent",
     "RingStepEvent",
+    "ServiceRequestEvent",
     "SpanEvent",
     "TransferEvent",
     "event_to_dict",

@@ -32,6 +32,8 @@ RingRebuiltEvent     the fault layer, per NCCL communicator rebuild
 RecoveryCostEvent    the fault layer, per crash-recovery charge
 InvariantViolationEvent :class:`repro.checks.CheckEngine`, per violated
                      invariant in ``warn``/``strict`` modes
+ServiceRequestEvent  :class:`repro.service.SweepService`, one per
+                     completed (or rejected) client request
 ===================  ======================================================
 
 All timestamps are simulated seconds; byte counts are plain ints; ``src``
@@ -345,3 +347,28 @@ class InvariantViolationEvent(ObsEvent):
     message: str     # human-readable description of the violated property
     mode: str        # "warn" | "strict"
     at: float        # simulated seconds (0.0 when outside the sim clock)
+
+
+@dataclass(frozen=True)
+class ServiceRequestEvent(ObsEvent):
+    """One sweep-service request finished (served, shed, or refused).
+
+    Published by :class:`repro.service.SweepService` after the response
+    is written, so the JSONL event log doubles as a request log: how many
+    points each client asked for, how the service sourced them
+    (simulated / disk hits / deduped onto another client's in-flight
+    execution / degraded to the analytic fast path), and why over-limit
+    requests were shed.  ``shed_reason`` is ``""`` for admitted requests;
+    otherwise one of ``"quota"``, ``"budget"``, ``"backpressure"``,
+    ``"draining"`` (see docs/SERVICE.md).
+    """
+
+    client: str      # client-supplied identity (quota key)
+    status: str      # "ok" | "busy" | "rejected" | "error"
+    points: int      # points in the request
+    executed: int    # points this request simulated itself
+    disk_hits: int   # points served from the sharded store
+    deduped: int     # points coalesced onto concurrent identical work
+    degraded: int    # points answered by the analytic fast path
+    shed_reason: str # "" | "quota" | "budget" | "backpressure" | "draining"
+    elapsed: float   # wall-clock request latency (s)

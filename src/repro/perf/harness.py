@@ -152,6 +152,12 @@ def _ensure_default_workloads() -> None:
                         "fidelity + the analytic 1024-GPU point",
         ),
         BenchWorkload(
+            name="service-fast", profile="fast", repeats=3, warmup=1,
+            fn=lambda: scenarios.service_throughput(fast=True),
+            description="sweep service: 3 concurrent clients, overlapping "
+                        "points through admission/dedup/pool",
+        ),
+        BenchWorkload(
             name="grids-full", profile="full", repeats=1, warmup=0,
             fn=lambda: scenarios.paper_grids(fast=False),
             description="Fig. 3/4/5 + Table II/III grids at paper scale",
@@ -175,6 +181,12 @@ def _ensure_default_workloads() -> None:
             name="cluster-full", profile="full", repeats=1, warmup=0,
             fn=lambda: scenarios.cluster_scaling_sweep(fast=False),
             description="the full cluster grid: 5 networks x 8..1024 GPUs",
+        ),
+        BenchWorkload(
+            name="service-full", profile="full", repeats=1, warmup=0,
+            fn=lambda: scenarios.service_throughput(fast=False),
+            description="sweep service: 4 concurrent clients over the "
+                        "3-batch x 2-GPU overlapping grid",
         ),
     ):
         register_workload(workload)

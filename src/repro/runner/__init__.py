@@ -14,7 +14,9 @@ execution path:
   the spec's :class:`FailurePolicy` instead of aborting the sweep), plus
   the legacy ``RunCache`` ``get``/``try_get`` interface.
 * :mod:`repro.runner.store`       -- :class:`ResultStore`: persistent
-  JSON cache keyed by content fingerprint.
+  JSON cache keyed by content fingerprint; :class:`ShardedResultStore`
+  adds per-shard directories and a write-ahead journal for concurrent
+  writers (the :mod:`repro.service` backend).
 * :mod:`repro.runner.fingerprint` -- the content hash over config +
   simulation fidelity + calibration constants + schema version that makes
   the disk cache self-invalidating.
@@ -37,7 +39,12 @@ from repro.runner.spec import (
     SweepPoint,
     SweepSpec,
 )
-from repro.runner.store import CacheCorruptionWarning, CacheSchemaError, ResultStore
+from repro.runner.store import (
+    CacheCorruptionWarning,
+    CacheSchemaError,
+    ResultStore,
+    ShardedResultStore,
+)
 
 __all__ = [
     "CacheCorruptionWarning",
@@ -48,6 +55,7 @@ __all__ = [
     "OomPolicy",
     "PointOutcome",
     "ResultStore",
+    "ShardedResultStore",
     "RunnerStats",
     "SweepPoint",
     "SweepResults",

@@ -29,6 +29,7 @@ from __future__ import annotations
 import concurrent.futures
 import contextlib
 import dataclasses
+import random
 import signal
 import sys
 import threading
@@ -311,13 +312,21 @@ class SweepRunner:
         bus: Optional[EventBus] = None,
         retries: int = 1,
         retry_backoff: float = 0.05,
+        retry_jitter: float = 0.0,
+        retry_seed: Optional[int] = None,
         point_timeout: Optional[float] = None,
         invariants: str = "off",
     ) -> None:
         """``retries`` is the number of *re*-executions granted to a
         crashing point (so a point runs at most ``retries + 1`` times);
         ``retry_backoff`` is the base of the exponential wall-clock
-        backoff slept between attempts.  ``point_timeout`` bounds one
+        backoff slept between attempts.  ``retry_jitter`` widens each
+        backoff by a random factor in ``[1, 1 + retry_jitter)`` so N
+        clients retrying the same failed point do not thundering-herd a
+        shared pool; the default ``0.0`` keeps the historical
+        deterministic schedule.  ``retry_seed`` seeds the jitter RNG so
+        tests (and the service's reproducibility guarantees) can pin the
+        exact sleep sequence.  ``point_timeout`` bounds one
         point's wall-clock execution in seconds; a point that exceeds it
         is recorded as a timed-out failure (not retried -- the simulator
         is deterministic, so a hang would simply hang again) while the
@@ -340,6 +349,8 @@ class SweepRunner:
             raise ValueError(f"retries must be >= 0, got {retries}")
         if retry_backoff < 0:
             raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
+        if retry_jitter < 0:
+            raise ValueError(f"retry_jitter must be >= 0, got {retry_jitter}")
         if point_timeout is not None and point_timeout <= 0:
             raise ValueError(f"point_timeout must be positive, got {point_timeout}")
         self.sim = sim
@@ -350,6 +361,8 @@ class SweepRunner:
         self.bus = bus
         self.retries = retries
         self.retry_backoff = retry_backoff
+        self.retry_jitter = retry_jitter
+        self._retry_rng = random.Random(retry_seed)
         self.point_timeout = point_timeout
         self.invariants = CheckMode.parse(invariants).value
         self.stats = RunnerStats()
@@ -589,8 +602,17 @@ class SweepRunner:
             self.stats.fault_overhead += breakdown.get("overhead", 0.0)
 
     def _backoff(self, attempt: int) -> float:
-        """Exponential backoff slept before re-attempt ``attempt + 1``."""
-        return self.retry_backoff * (2 ** (attempt - 1))
+        """Exponential backoff slept before re-attempt ``attempt + 1``.
+
+        With ``retry_jitter > 0`` the exponential base is widened by a
+        seeded random factor in ``[1, 1 + retry_jitter)``; drawing from
+        the runner's own RNG keeps concurrent runners decorrelated while
+        a fixed ``retry_seed`` keeps any single runner reproducible.
+        """
+        backoff = self.retry_backoff * (2 ** (attempt - 1))
+        if self.retry_jitter:
+            backoff *= 1.0 + self._retry_rng.random() * self.retry_jitter
+        return backoff
 
     def _note_retry(
         self, spec: SweepSpec, total: int, index: int, point: SweepPoint,

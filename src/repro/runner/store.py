@@ -30,17 +30,28 @@ GPU/node, degraded rails) lifted out of the
 faulted points can report what the resilience layer did without
 deserializing the full result.  Same additive contract as ``"perf"``:
 healthy entries and pre-existing files simply load with ``faults=None``.
+
+:class:`ShardedResultStore` extends the same contract for concurrent
+writers (the sweep service): entries live in per-shard directories
+(``shard-XX/<fingerprint>.json``, shard = CRC32 of the key) so directory
+churn is spread across ``shards`` inodes, and every write is journaled to
+a per-process write-ahead log (``journal/wal-<pid>.jsonl``, fsynced
+before the point file is renamed into place) that is replayed on startup
+-- a SIGKILL between the journal append and the rename can never lose a
+committed entry, and a torn trailing journal line is simply an
+uncommitted write.  See ``docs/RUNNER.md`` and ``docs/SERVICE.md``.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import pathlib
-import tempfile
 import warnings
+import zlib
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
 
 from repro.core.errors import ReproError
 from repro.runner.spec import OomInfo
@@ -170,6 +181,37 @@ def _parse_perf(
     return elapsed, check_stats
 
 
+# Monotonic per-process suffix for atomic-write temp names.  Combined
+# with the pid it makes temp paths unique across concurrent writers in
+# the same directory (mkstemp would too, but a deterministic name keeps
+# leftover temp files attributable to the process that crashed).
+_TMP_COUNTER = itertools.count()
+
+
+def _atomic_write_json(path: pathlib.Path, data: Any) -> None:
+    """Write ``data`` as JSON to ``path`` via an O_EXCL temp + rename.
+
+    The temp name embeds the writer's pid and a monotonic counter, so two
+    concurrent writers in one directory can never race on the same temp
+    path; ``O_EXCL`` turns any residual collision (pid reuse after a
+    crash) into an explicit error instead of silent interleaving.
+    """
+    tmp = path.with_name(
+        f"{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
+    )
+    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+    try:
+        with os.fdopen(fd, "w") as fp:
+            json.dump(data, fp)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 class ResultStore:
     """Loads and saves simulation results keyed by content fingerprint."""
 
@@ -286,6 +328,16 @@ class ResultStore:
         training results additionally get the ``"faults"`` breakdown
         (see :func:`fault_breakdown`).
         """
+        data = self._encode(value, elapsed=elapsed, check_stats=check_stats)
+        return self._write(key, data)
+
+    def _encode(
+        self,
+        value: StoredValue,
+        elapsed: Optional[float] = None,
+        check_stats: Optional[Dict[str, Tuple[int, int]]] = None,
+    ) -> Dict[str, Any]:
+        """The JSON-ready entry document for ``value`` (no I/O)."""
         from repro.analysis.serialization import (
             SCHEMA_VERSION,
             async_result_to_dict,
@@ -305,7 +357,6 @@ class ResultStore:
         else:
             kind, payload = "training", result_to_dict(value)
 
-        self.root.mkdir(parents=True, exist_ok=True)
         data: Dict[str, Any] = {
             "schema": SCHEMA_VERSION, "kind": kind, "result": payload,
         }
@@ -320,15 +371,177 @@ class ResultStore:
                     for name, (checked, violated) in sorted(check_stats.items())
                 }
             data["perf"] = perf
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        return data
+
+    def _write(self, key: str, data: Dict[str, Any]) -> pathlib.Path:
+        """Atomically persist an encoded entry document under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(path, data)
+        return path
+
+    def flush(self) -> None:
+        """Durability barrier; a no-op for the flat store.
+
+        Every :meth:`store` is already an atomic rename, so there is
+        nothing buffered.  :class:`ShardedResultStore` overrides this to
+        checkpoint its write-ahead journal.
+        """
+
+
+class ShardedResultStore(ResultStore):
+    """A :class:`ResultStore` hardened for concurrent writers.
+
+    Two additions over the flat layout, both transparent to readers of
+    the :class:`ResultStore` API:
+
+    * **Sharding** -- entries live under ``shard-XX/`` subdirectories
+      (``XX`` = CRC32 of the key modulo ``shards``, hex), bounding
+      per-directory entry counts when a service writes tens of thousands
+      of points.
+    * **Write-ahead journal** -- every :meth:`store` first appends the
+      full entry to ``journal/wal-<pid>.jsonl`` (flushed *and* fsynced)
+      and only then renames the point file into place.  On startup,
+      :meth:`replay_journal` re-applies any journaled entry whose point
+      file is missing or unreadable, then removes the consumed logs: a
+      SIGKILL at any instant loses at most the single entry whose journal
+      line was itself torn -- which by definition had not been
+      acknowledged -- and never corrupts or loses a committed one.
+
+    The journal is bounded: it is truncated every
+    ``checkpoint_every`` writes (all prior entries have durable point
+    files by then) and on :meth:`flush` / :meth:`close` during graceful
+    drain.
+    """
+
+    #: Journal lines between automatic truncations.
+    checkpoint_every = 256
+
+    def __init__(
+        self,
+        root: Union[str, pathlib.Path],
+        shards: int = 16,
+        replay: bool = True,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        super().__init__(root)
+        self.shards = int(shards)
+        self.journal_dir = self.root / "journal"
+        self._wal_path = self.journal_dir / f"wal-{os.getpid()}.jsonl"
+        self._wal_fp = None
+        self._wal_entries = 0
+        self.replayed = 0
+        if replay:
+            self.replayed = self.replay_journal()
+
+    def shard_for(self, key: str) -> pathlib.Path:
+        """The shard directory holding ``key``'s entry file."""
+        index = zlib.crc32(key.encode("utf-8")) % self.shards
+        return self.root / f"shard-{index:02x}"
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.shard_for(key) / f"{key}.json"
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("shard-*/*.json"))
+
+    def _journal_entries(
+        self, wal: pathlib.Path
+    ) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Yield the committed ``(key, data)`` records in one log.
+
+        A torn trailing line (the writer was killed mid-append) or any
+        non-decodable line is skipped: the corresponding write was never
+        acknowledged, so dropping it is the correct recovery.
+        """
         try:
-            with os.fdopen(fd, "w") as fp:
-                json.dump(data, fp)
-            os.replace(tmp, self.path_for(key))
-        except BaseException:
+            text = wal.read_text()
+        except OSError:
+            return
+        for line in text.splitlines():
+            if not line.strip():
+                continue
             try:
-                os.unlink(tmp)
+                record = json.loads(line)
+                key, data = record["key"], record["data"]
+            except (json.JSONDecodeError, TypeError, KeyError):
+                continue  # torn or malformed append: uncommitted
+            if isinstance(key, str) and isinstance(data, dict):
+                yield key, data
+
+    def _entry_intact(self, path: pathlib.Path) -> bool:
+        """Whether the point file at ``path`` is structurally sound."""
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return False
+        return isinstance(data, dict) and "schema" in data
+
+    def replay_journal(self) -> int:
+        """Re-apply journaled writes whose point files did not survive.
+
+        Returns the number of entries restored.  Consumed logs are
+        removed; the store's own (not-yet-opened) log is never touched by
+        other processes because log names embed the writer pid.
+        """
+        if not self.journal_dir.is_dir():
+            return 0
+        restored = 0
+        for wal in sorted(self.journal_dir.glob("wal-*.jsonl")):
+            for key, data in self._journal_entries(wal):
+                path = self.path_for(key)
+                if not self._entry_intact(path):
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                    _atomic_write_json(path, data)
+                    restored += 1
+            try:
+                wal.unlink()
             except OSError:
                 pass
-            raise
-        return self.path_for(key)
+        return restored
+
+    def _append_journal(self, key: str, data: Dict[str, Any]) -> None:
+        if self._wal_fp is None:
+            self.journal_dir.mkdir(parents=True, exist_ok=True)
+            self._wal_fp = open(self._wal_path, "a")
+        json.dump({"key": key, "data": data}, self._wal_fp)
+        self._wal_fp.write("\n")
+        self._wal_fp.flush()
+        os.fsync(self._wal_fp.fileno())
+        self._wal_entries += 1
+
+    def _write(self, key: str, data: Dict[str, Any]) -> pathlib.Path:
+        self._append_journal(key, data)
+        path = super()._write(key, data)
+        if self._wal_entries >= self.checkpoint_every:
+            self.flush()
+        return path
+
+    def flush(self) -> None:
+        """Truncate the write-ahead journal.
+
+        Safe because :meth:`_write` only returns after the point file's
+        rename, so every journaled entry already has a durable file.
+        """
+        if self._wal_fp is None:
+            return
+        self._wal_fp.truncate(0)
+        self._wal_fp.seek(0)
+        self._wal_fp.flush()
+        os.fsync(self._wal_fp.fileno())
+        self._wal_entries = 0
+
+    def close(self) -> None:
+        """Flush and remove this process's (now empty) journal file."""
+        if self._wal_fp is None:
+            return
+        self.flush()
+        self._wal_fp.close()
+        self._wal_fp = None
+        try:
+            self._wal_path.unlink()
+        except OSError:
+            pass

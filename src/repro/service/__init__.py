@@ -1,0 +1,55 @@
+"""Resilient sweep service: a concurrent front-end over the runner.
+
+ROADMAP item 4: the paper's characterization sweeps are exactly the
+query shape a shared profiling backend must serve, so this package
+promotes the :class:`~repro.runner.SweepRunner` machinery into a
+long-running server that many concurrent clients can hit without
+knocking it over.  Everything is stdlib ``asyncio`` -- a
+newline-delimited JSON line protocol over TCP, no new dependencies.
+
+* :mod:`repro.service.protocol`  -- the wire format: requests
+  (``ping`` / ``stats`` / ``sweep`` / ``drain``), point parsing into
+  :class:`~repro.core.config.TrainingConfig`, response payloads.
+* :mod:`repro.service.admission` -- :class:`AdmissionController`
+  (per-client concurrency quotas, per-request point budgets,
+  queue-depth watermarks) and :class:`CircuitBreaker`
+  (CLOSED/OPEN/HALF_OPEN over repeated worker crashes).
+* :mod:`repro.service.dedup`     -- :class:`InflightRegistry`: identical
+  points submitted by concurrent clients simulate exactly once.
+* :mod:`repro.service.analytic`  -- the closed-form DAG estimate
+  (Shi et al.) degraded requests are answered with, marked
+  ``degraded: true``.
+* :mod:`repro.service.executor`  -- the asyncio wrapper around the
+  process pool: crash detection, single-flight pool rebuild, retry with
+  jittered backoff.
+* :mod:`repro.service.server`    -- :class:`SweepService` itself plus
+  the ``repro-experiments serve`` entry point: sharded crash-safe
+  store, obs metrics, graceful SIGTERM drain.
+* :mod:`repro.service.client`    -- a small blocking client (library and
+  ``python -m repro.service.client`` CLI) used by the CI smoke job and
+  the chaos tests; import it explicitly (``from repro.service.client
+  import ServiceClient``).
+
+See ``docs/SERVICE.md`` for the protocol and the degradation semantics.
+"""
+
+from repro.service.admission import AdmissionController, CircuitBreaker
+from repro.service.analytic import analytic_estimate
+from repro.service.dedup import InflightRegistry
+from repro.service.protocol import ProtocolError, SweepRequest
+from repro.service.server import ServiceConfig, SweepService
+
+# repro.service.client is deliberately not imported here: it is also an
+# executable module (``python -m repro.service.client``), and importing
+# it from the package __init__ would shadow that entry point.
+
+__all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "InflightRegistry",
+    "ProtocolError",
+    "ServiceConfig",
+    "SweepRequest",
+    "SweepService",
+    "analytic_estimate",
+]

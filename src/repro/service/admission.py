@@ -1,0 +1,141 @@
+"""Admission control and the worker-pool circuit breaker.
+
+Two small, independently testable policies the server composes:
+
+* :class:`AdmissionController` decides whether a new request may enter
+  at all -- per-client concurrency quotas (one slow client cannot
+  monopolize the pool) and queue-depth watermarks (when the pool's
+  backlog crosses ``queue_high`` the service answers 429-style ``busy``
+  until it drains below ``queue_low``, classic hysteresis so admission
+  does not flap at the boundary).
+* :class:`CircuitBreaker` guards the process pool against crash loops:
+  repeated worker deaths open the breaker for a cooldown, during which
+  points are answered analytically (or refused) instead of feeding a
+  dying pool; after the cooldown a single half-open probe decides
+  whether to close it again.
+
+Both are plain synchronous objects driven by the server's event loop --
+no locks, no threads -- with an injectable clock for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+#: Breaker states (string-valued for cheap JSON exposure in ``stats``).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class AdmissionController:
+    """Quota and backpressure decisions for incoming sweep requests."""
+
+    def __init__(
+        self,
+        max_inflight_per_client: int = 4,
+        queue_high: int = 64,
+        queue_low: int = 32,
+    ) -> None:
+        if max_inflight_per_client < 1:
+            raise ValueError("max_inflight_per_client must be >= 1")
+        if queue_high < 1:
+            raise ValueError("queue_high must be >= 1")
+        if not 0 <= queue_low <= queue_high:
+            raise ValueError("queue_low must satisfy 0 <= low <= high")
+        self.max_inflight_per_client = max_inflight_per_client
+        self.queue_high = queue_high
+        self.queue_low = queue_low
+        self._inflight: Dict[str, int] = {}
+        #: Latched true when depth crosses ``queue_high``; cleared only
+        #: once it falls back below ``queue_low``.
+        self._saturated = False
+
+    def inflight(self, client: str) -> int:
+        """Requests ``client`` currently has admitted."""
+        return self._inflight.get(client, 0)
+
+    def admit(self, client: str, queue_depth: int) -> Optional[str]:
+        """Try to admit one request; returns a shed reason or ``None``.
+
+        On ``None`` the caller *must* pair the admission with a later
+        :meth:`release`.
+        """
+        if self._saturated:
+            if queue_depth > self.queue_low:
+                return "backpressure"
+            self._saturated = False
+        elif queue_depth >= self.queue_high:
+            self._saturated = True
+            return "backpressure"
+        if self.inflight(client) >= self.max_inflight_per_client:
+            return "quota"
+        self._inflight[client] = self.inflight(client) + 1
+        return None
+
+    def release(self, client: str) -> None:
+        """Return ``client``'s admission slot."""
+        count = self._inflight.get(client, 0) - 1
+        if count <= 0:
+            self._inflight.pop(client, None)
+        else:
+            self._inflight[client] = count
+
+
+class CircuitBreaker:
+    """CLOSED -> OPEN -> HALF_OPEN protection around the worker pool.
+
+    ``failure_threshold`` *consecutive* failures trip the breaker OPEN
+    for ``cooldown`` seconds.  After the cooldown, :meth:`allow` admits
+    exactly one probe (HALF_OPEN); the probe's success closes the
+    breaker, its failure re-opens it for a fresh cooldown.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self.state = CLOSED
+        self.failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    def allow(self) -> bool:
+        """Whether the pool may be used for the next execution."""
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self._clock() - self._opened_at >= self.cooldown:
+                self.state = HALF_OPEN
+                self._probing = False
+            else:
+                return False
+        # HALF_OPEN: admit a single probe at a time.
+        if self._probing:
+            return False
+        self._probing = True
+        return True
+
+    def record_success(self) -> None:
+        """A pool execution completed; close the breaker."""
+        self.state = CLOSED
+        self.failures = 0
+        self._probing = False
+
+    def record_failure(self) -> None:
+        """A worker crashed; maybe trip (or re-trip) the breaker."""
+        self.failures += 1
+        if self.state == HALF_OPEN or self.failures >= self.failure_threshold:
+            self.state = OPEN
+            self._opened_at = self._clock()
+            self._probing = False

@@ -1,0 +1,62 @@
+"""In-flight deduplication: identical points simulate exactly once.
+
+Concurrent clients sweeping overlapping grids are the normal case for a
+shared profiling backend (the Alibaba-PAI query mix in PAPERS.md), so
+the service coalesces identical points *while they run*: the first
+request to claim a fingerprint becomes its leader and executes it;
+every later claimant awaits the leader's future instead of resubmitting
+the same simulation to the pool.  The persistent store already dedupes
+*completed* work across time; this registry closes the window between
+submission and completion.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Tuple
+
+
+class InflightRegistry:
+    """Fingerprint -> future map for point executions in flight."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, asyncio.Future] = {}
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def claim(self, key: str) -> Tuple[bool, "asyncio.Future[Any]"]:
+        """Claim ``key``; returns ``(leader, future)``.
+
+        The leader (first claimant) must eventually call :meth:`resolve`
+        or :meth:`fail` with the same key; followers just await the
+        future.  Futures are handed out shielded-by-convention: a
+        follower cancelling its own request must not cancel the leader's
+        execution, so followers await ``asyncio.shield(future)``.
+        """
+        future = self._inflight.get(key)
+        if future is not None:
+            return False, future
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        return True, future
+
+    def resolve(self, key: str, value: Any) -> None:
+        """Publish the leader's result to every waiting follower."""
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_result(value)
+
+    def fail(self, key: str, exc: BaseException) -> None:
+        """Propagate the leader's failure to every waiting follower."""
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_exception(exc)
+
+    def abandon_all(self, exc: BaseException) -> int:
+        """Fail every outstanding future (drain/shutdown); returns count."""
+        count = 0
+        for key in list(self._inflight):
+            self.fail(key, exc)
+            count += 1
+        return count

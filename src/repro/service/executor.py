@@ -1,0 +1,154 @@
+"""Asyncio wrapper around the simulation process pool.
+
+The service shares the runner's module-level pool worker
+(:func:`repro.runner.runner._execute_point` -- OOM and crashes come back
+as data, invariant stats as a plain dict), but drives it from the event
+loop: each point execution is ``loop.run_in_executor`` on a
+:class:`~concurrent.futures.ProcessPoolExecutor`, so the server keeps
+accepting connections while simulations run.
+
+Worker death (SIGKILL, segfault) surfaces as
+:class:`~concurrent.futures.process.BrokenProcessPool` on *every*
+in-flight future.  Recovery is single-flight: the first coroutine to
+observe the break swaps in a fresh pool (every other one re-checks and
+reuses it), reports the crash to the circuit breaker, sleeps a jittered
+backoff -- the satellite jitter knob, seeded for determinism -- and
+retries its point up to ``retries`` times.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import random
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.config import SimulationConfig
+from repro.core.constants import CALIBRATION, CalibrationConstants
+from repro.runner.runner import _execute_point
+from repro.runner.spec import SweepPoint
+from repro.service.admission import CircuitBreaker
+
+
+class PoolExecutor:
+    """Crash-tolerant point execution on a process pool."""
+
+    def __init__(
+        self,
+        jobs: int = 2,
+        sim: SimulationConfig = SimulationConfig(),
+        constants: CalibrationConstants = CALIBRATION,
+        trainer_kwargs: Optional[Mapping[str, Any]] = None,
+        invariants: str = "off",
+        retries: int = 1,
+        retry_backoff: float = 0.05,
+        retry_jitter: float = 0.5,
+        retry_seed: Optional[int] = 0,
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.sim = sim
+        self.constants = constants
+        self.trainer_kwargs: Dict[str, Any] = dict(trainer_kwargs or {})
+        self.invariants = invariants
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.retry_jitter = retry_jitter
+        self._rng = random.Random(retry_seed)
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._rebuild_lock: Optional[asyncio.Lock] = None
+        #: Points submitted but not yet finished -- the queue-depth gauge.
+        self.inflight = 0
+        #: Pools this executor had to rebuild after a worker crash.
+        self.rebuilds = 0
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def worker_pids(self) -> List[int]:
+        """Pids of the live pool workers (spawned lazily on first use)."""
+        pool = self._pool
+        if pool is None or pool._processes is None:
+            return []
+        return [p.pid for p in pool._processes.values() if p.pid is not None]
+
+    def prestart(self) -> None:
+        """Spawn the pool eagerly so ``stats`` can report worker pids."""
+        pool = self._ensure_pool()
+        # Submitting a trivial task forces worker creation on all
+        # Python versions (3.8's pool spawns lazily per task).
+        pool.submit(int, 0).result()
+
+    async def _rebuild(self, broken: ProcessPoolExecutor) -> None:
+        """Replace a broken pool exactly once (single-flight)."""
+        if self._rebuild_lock is None:
+            self._rebuild_lock = asyncio.Lock()
+        async with self._rebuild_lock:
+            if self._pool is broken:
+                broken.shutdown(wait=False, cancel_futures=True)
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+                self.rebuilds += 1
+
+    def _backoff(self, attempt: int) -> float:
+        backoff = self.retry_backoff * (2 ** (attempt - 1))
+        if self.retry_jitter:
+            backoff *= 1.0 + self._rng.random() * self.retry_jitter
+        return backoff
+
+    async def execute(
+        self, point: SweepPoint,
+    ) -> Tuple[Any, float, Dict[str, Tuple[int, int]]]:
+        """Run one point; returns ``(value, elapsed, check_stats)``.
+
+        A worker crash is retried (on a rebuilt pool) up to ``retries``
+        times; the final failure propagates as
+        :class:`BrokenProcessPool` for the server to convert into a
+        failed-point payload.
+        """
+        loop = asyncio.get_running_loop()
+        task = functools.partial(
+            _execute_point, point, self.sim, self.constants,
+            self.trainer_kwargs, self.invariants,
+        )
+        self.inflight += 1
+        try:
+            attempt = 0
+            while True:
+                attempt += 1
+                pool = self._ensure_pool()
+                try:
+                    result = await loop.run_in_executor(pool, task)
+                except BrokenProcessPool:
+                    self.breaker.record_failure()
+                    await self._rebuild(pool)
+                    if attempt > self.retries:
+                        raise
+                    await asyncio.sleep(self._backoff(attempt))
+                    continue
+                self.breaker.record_success()
+                return result
+        finally:
+            self.inflight -= 1
+
+    def shutdown(self, kill_workers: bool = False) -> None:
+        """Tear the pool down (used by graceful drain).
+
+        ``kill_workers=True`` terminates worker processes outright --
+        the drain path's last resort for a hung simulation, mirroring
+        the runner's timeout-abandonment semantics.
+        """
+        pool = self._pool
+        self._pool = None
+        if pool is None:
+            return
+        if kill_workers and pool._processes:
+            for proc in list(pool._processes.values()):
+                proc.terminate()
+        pool.shutdown(wait=not kill_workers, cancel_futures=True)

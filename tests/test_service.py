@@ -1,0 +1,612 @@
+"""Tests for the resilient sweep service: protocol, admission control,
+circuit breaker, in-flight dedup, the analytic degraded path, the sharded
+crash-safe store, seeded retry jitter, and the in-process service loop.
+
+Process-level chaos (SIGKILL of workers and of the server itself) lives
+in ``tests/test_service_chaos.py``; everything here runs in-process.
+"""
+
+import asyncio
+import io
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.core.config import CommMethodName, SimulationConfig, TrainingConfig
+from repro.obs.bus import EventBus
+from repro.obs.events import ServiceRequestEvent
+from repro.obs.export import JsonlRecorder, event_to_dict, write_events_jsonl
+from repro.runner import ShardedResultStore, SweepPoint, SweepRunner
+from repro.service import (
+    AdmissionController,
+    CircuitBreaker,
+    InflightRegistry,
+    ProtocolError,
+    ServiceConfig,
+    SweepService,
+    analytic_estimate,
+)
+from repro.service import protocol
+from repro.service.analytic import AnalyticUnsupported
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+FAST = SimulationConfig(warmup_iterations=1, measure_iterations=2)
+#: Cheapest sim fidelity, for tests that really execute points.
+TINY = SimulationConfig(warmup_iterations=0, measure_iterations=1)
+CONFIG = TrainingConfig("lenet", 16, 1, comm_method=CommMethodName.P2P)
+
+
+def _point(batch=16, gpus=1, **kwargs):
+    return SweepPoint.make(
+        TrainingConfig("lenet", batch, gpus, comm_method=CommMethodName.P2P),
+        **kwargs,
+    )
+
+
+def _wire_point(batch=16, gpus=1):
+    return {"network": "lenet", "batch_size": batch, "num_gpus": gpus,
+            "comm_method": "p2p"}
+
+
+# ----------------------------------------------------------------------
+# Protocol
+# ----------------------------------------------------------------------
+def test_parse_request_ops_and_rejections():
+    assert protocol.parse_request('{"op": "ping"}')["op"] == "ping"
+    for bad in ('not json', '[1]', '{"op": "launch_missiles"}', '{}'):
+        with pytest.raises(ProtocolError):
+            protocol.parse_request(bad)
+
+
+def test_point_roundtrip_through_wire_format():
+    for point in (_point(), _point(batch=64, gpus=4),
+                  SweepPoint.make(CONFIG, mode="async")):
+        again = protocol.point_from_dict(protocol.point_to_dict(point))
+        assert again.config == point.config
+        assert again.mode == point.mode
+
+
+def test_point_from_dict_rejects_malformed_points():
+    with pytest.raises(ProtocolError, match="must be an object"):
+        protocol.point_from_dict([1, 2])
+    with pytest.raises(ProtocolError, match="mode"):
+        protocol.point_from_dict({"network": "lenet", "batch_size": 16,
+                                  "mode": "psycho"})
+    with pytest.raises(ProtocolError, match="unknown point field"):
+        protocol.point_from_dict({"network": "lenet", "batch_size": 16,
+                                  "topology_builder": "evil"})
+    with pytest.raises(ProtocolError, match="must be an integer"):
+        protocol.point_from_dict({"network": "lenet", "batch_size": "16"})
+    with pytest.raises(ProtocolError, match="at least"):
+        protocol.point_from_dict({"network": "lenet"})
+    # TrainingConfig's own eager validation is surfaced as ProtocolError.
+    with pytest.raises(ProtocolError, match="invalid point"):
+        protocol.point_from_dict({"network": "lenet", "batch_size": 0})
+    with pytest.raises(ProtocolError):
+        protocol.point_from_dict({"network": "lenet", "batch_size": 16,
+                                  "comm_method": "pigeon"})
+
+
+def test_parse_sweep_validates_envelope_fields():
+    base = {"op": "sweep", "points": [_wire_point()]}
+    request = protocol.parse_sweep(dict(base, client="ci", budget=2,
+                                        deadline=1.5, degrade=False))
+    assert request.client == "ci" and request.budget == 2
+    assert request.deadline == 1.5 and request.degrade is False
+    assert protocol.parse_sweep(base).client == "anonymous"
+    for bad in (dict(base, client=""), dict(base, points=[]),
+                dict(base, budget=-1), dict(base, budget=True),
+                dict(base, deadline=0), dict(base, deadline="soon"),
+                dict(base, degrade="yes")):
+        with pytest.raises(ProtocolError):
+            protocol.parse_sweep(bad)
+
+
+def test_value_payload_is_deterministic_and_sorted():
+    result = SweepRunner(sim=FAST).run_point(_point())
+    payload = protocol.value_payload("p", result)
+    assert payload["kind"] == "training" and payload["degraded"] is False
+    assert payload["iteration_time"] == result.iteration_time
+    line = protocol.encode(payload)
+    assert line.endswith(b"\n")
+    assert line == protocol.encode(json.loads(line))  # stable re-encode
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+def test_admission_per_client_quota_and_release():
+    adm = AdmissionController(max_inflight_per_client=2,
+                              queue_high=10, queue_low=5)
+    assert adm.admit("a", 0) is None
+    assert adm.admit("a", 0) is None
+    assert adm.admit("a", 0) == "quota"
+    assert adm.admit("b", 0) is None          # quotas are per-client
+    adm.release("a")
+    assert adm.admit("a", 0) is None
+
+
+def test_admission_backpressure_is_hysteretic():
+    adm = AdmissionController(max_inflight_per_client=10,
+                              queue_high=4, queue_low=2)
+    assert adm.admit("a", 3) is None          # below high: admitted
+    assert adm.admit("a", 4) == "backpressure"
+    # Latched: still shedding between low and high.
+    assert adm.admit("a", 3) == "backpressure"
+    # Only once the backlog drains to the low watermark does it reopen.
+    assert adm.admit("a", 2) is None
+
+
+def test_admission_validates_knobs():
+    with pytest.raises(ValueError):
+        AdmissionController(max_inflight_per_client=0)
+    with pytest.raises(ValueError):
+        AdmissionController(queue_high=0)
+    with pytest.raises(ValueError):
+        AdmissionController(queue_high=4, queue_low=5)
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+def test_breaker_full_state_machine_with_fake_clock():
+    now = [0.0]
+    breaker = CircuitBreaker(failure_threshold=2, cooldown=10.0,
+                             clock=lambda: now[0])
+    assert breaker.state == "closed" and breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == "closed"          # below threshold
+    breaker.record_failure()
+    assert breaker.state == "open"
+    assert not breaker.allow()
+    now[0] = 9.9
+    assert not breaker.allow()                # cooldown not elapsed
+    now[0] = 10.0
+    assert breaker.allow()                    # the half-open probe
+    assert breaker.state == "half-open"
+    assert not breaker.allow()                # exactly one probe at a time
+    breaker.record_failure()                  # probe failed: re-open
+    assert breaker.state == "open" and not breaker.allow()
+    now[0] = 25.0
+    assert breaker.allow()
+    breaker.record_success()                  # probe succeeded: close
+    assert breaker.state == "closed"
+    assert breaker.allow() and breaker.allow()
+
+
+def test_breaker_success_resets_consecutive_failures():
+    breaker = CircuitBreaker(failure_threshold=2, cooldown=1.0)
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == "closed"          # failures were not consecutive
+
+
+# ----------------------------------------------------------------------
+# In-flight dedup
+# ----------------------------------------------------------------------
+def test_inflight_registry_leader_follower_lifecycle():
+    async def go():
+        reg = InflightRegistry()
+        leader, future = reg.claim("k")
+        assert leader and len(reg) == 1
+        follower, same = reg.claim("k")
+        assert not follower and same is future
+        reg.resolve("k", 42)
+        assert await asyncio.shield(same) == 42
+        assert len(reg) == 0
+        again, _ = reg.claim("k")             # resolved keys claimable anew
+        assert again
+        reg.fail("k", RuntimeError("boom"))
+        with pytest.raises(RuntimeError):
+            await _
+    asyncio.run(go())
+
+
+def test_inflight_abandon_all_fails_every_waiter():
+    async def go():
+        reg = InflightRegistry()
+        _, fa = reg.claim("a")
+        _, fb = reg.claim("b")
+        assert reg.abandon_all(ConnectionResetError("drain")) == 2
+        for future in (fa, fb):
+            with pytest.raises(ConnectionResetError):
+                await future
+        assert len(reg) == 0
+    asyncio.run(go())
+
+
+# ----------------------------------------------------------------------
+# Analytic degraded path
+# ----------------------------------------------------------------------
+def test_analytic_estimate_is_a_marked_floor_of_the_simulation():
+    point = _point()
+    est = analytic_estimate(point)
+    assert est["degraded"] is True and est["kind"] == "analytic"
+    assert est["path"] == "analytic-dag"
+    floors = est["floors"]
+    assert est["iteration_time"] == pytest.approx(
+        max(floors["input"] + floors["compute"], floors["wire"])
+        + floors["host"]
+    )
+    assert est["images_per_second"] == pytest.approx(
+        16 / est["iteration_time"])
+    # The DAG floors are lower bounds: the analytic answer is a sound
+    # optimistic estimate of the simulated one.
+    simulated = SweepRunner(sim=FAST).run_point(point)
+    assert 0.0 < est["iteration_time"] <= simulated.iteration_time + 1e-9
+
+
+def test_analytic_refuses_async_and_override_points():
+    with pytest.raises(AnalyticUnsupported, match="async"):
+        analytic_estimate(SweepPoint.make(CONFIG, mode="async"))
+    with pytest.raises(AnalyticUnsupported, match="overrides"):
+        analytic_estimate(SweepPoint.make(
+            CONFIG, overrides={"check_memory": False}))
+
+
+# ----------------------------------------------------------------------
+# Sharded crash-safe store
+# ----------------------------------------------------------------------
+def _stored_value():
+    return SweepRunner(sim=FAST).run_point(_point())
+
+
+def test_sharded_store_layout_and_roundtrip(tmp_path):
+    store = ShardedResultStore(tmp_path, shards=4)
+    value = _stored_value()
+    for key in ("alpha", "beta", "gamma"):
+        store.store(key, value, elapsed=1.25)
+    assert len(store) == 3
+    for key in ("alpha", "beta", "gamma"):
+        path = store.path_for(key)
+        assert path.parent == store.shard_for(key)
+        assert path.parent.name.startswith("shard-")
+        entry = store.load_entry(key)
+        assert entry.value.iteration_time == value.iteration_time
+        assert entry.elapsed == 1.25
+    store.close()
+    # A fresh store (fresh process in real life) sees the same entries.
+    assert len(ShardedResultStore(tmp_path, shards=4)) == 3
+
+
+def test_sharded_store_replays_journal_after_simulated_sigkill(tmp_path):
+    store = ShardedResultStore(tmp_path, shards=4)
+    data = store._encode(_stored_value(), elapsed=2.5)
+    # SIGKILL between the journal append and the point-file rename:
+    # the journal line exists, the point file does not, close() never ran.
+    store._append_journal("victim", data)
+    assert store._wal_path.read_text().strip()
+    assert not store.path_for("victim").exists()
+
+    recovered = ShardedResultStore(tmp_path, shards=4)
+    assert recovered.replayed == 1
+    entry = recovered.load_entry("victim")
+    assert entry is not None and entry.elapsed == 2.5
+    # Consumed logs are removed; a second startup replays nothing.
+    assert ShardedResultStore(tmp_path, shards=4).replayed == 0
+
+
+def test_sharded_store_skips_torn_trailing_journal_line(tmp_path):
+    store = ShardedResultStore(tmp_path, shards=2)
+    data = store._encode(_stored_value(), elapsed=1.0)
+    store._append_journal("committed", data)
+    # The writer died mid-append: a torn, undecodable trailing line.
+    with open(store._wal_path, "a") as fp:
+        fp.write('{"key": "torn", "data": {"schema"')
+
+    recovered = ShardedResultStore(tmp_path, shards=2)
+    assert recovered.replayed == 1
+    assert recovered.load_entry("committed") is not None
+    assert recovered.load_entry("torn") is None       # never acknowledged
+
+
+def test_sharded_store_does_not_replay_over_intact_entries(tmp_path):
+    store = ShardedResultStore(tmp_path, shards=2)
+    store.store("done", _stored_value(), elapsed=1.0)
+    # Killed after the rename but before any flush: wal still has the line.
+    assert store._wal_path.read_text().strip()
+    recovered = ShardedResultStore(tmp_path, shards=2)
+    assert recovered.replayed == 0                    # file was intact
+    assert not list(recovered.journal_dir.glob("wal-*.jsonl"))
+
+
+def test_sharded_store_journal_is_bounded(tmp_path):
+    store = ShardedResultStore(tmp_path, shards=2)
+    store.checkpoint_every = 2
+    value = _stored_value()
+    store.store("one", value)
+    assert store._wal_path.stat().st_size > 0
+    store.store("two", value)                         # hits the checkpoint
+    assert store._wal_path.stat().st_size == 0
+    store.store("three", value)
+    store.flush()
+    assert store._wal_path.stat().st_size == 0
+    store.close()
+    assert not store._wal_path.exists()
+    assert len(ShardedResultStore(tmp_path, shards=2)) == 3
+
+
+def test_sharded_store_validates_shards(tmp_path):
+    with pytest.raises(ValueError):
+        ShardedResultStore(tmp_path, shards=0)
+
+
+def test_atomic_temp_names_embed_pid_and_monotonic_counter(tmp_path, monkeypatch):
+    """Two concurrent writers in one directory can never race on the same
+    temp path (the satellite fix over the old fixed-suffix naming)."""
+    from repro.runner import store as store_module
+
+    seen = []
+    real_replace = os.replace
+
+    def spy(src, dst):
+        seen.append(pathlib.Path(src).name)
+        real_replace(src, dst)
+
+    monkeypatch.setattr(store_module.os, "replace", spy)
+    store_module._atomic_write_json(tmp_path / "a.json", {"x": 1})
+    store_module._atomic_write_json(tmp_path / "a.json", {"x": 2})
+    assert len(seen) == 2 and len(set(seen)) == 2     # distinct temp paths
+    pid = str(os.getpid())
+    counters = []
+    for name in seen:
+        parts = name.split(".")
+        assert parts[-1] == "tmp" and parts[-3] == pid
+        counters.append(int(parts[-2]))
+    assert counters[1] > counters[0]                  # monotonic
+    assert json.loads((tmp_path / "a.json").read_text()) == {"x": 2}
+    assert not list(tmp_path.glob("*.tmp"))
+
+
+# ----------------------------------------------------------------------
+# Seeded retry jitter (runner satellite)
+# ----------------------------------------------------------------------
+def test_retry_jitter_is_seeded_and_bounded():
+    kwargs = dict(retry_backoff=0.01, retry_jitter=0.5, retry_seed=42)
+    first = [SweepRunner(**kwargs)._backoff(a) for a in range(1, 5)]
+    second = [SweepRunner(**kwargs)._backoff(a) for a in range(1, 5)]
+    assert first == second                            # seeded: reproducible
+    other = SweepRunner(retry_backoff=0.01, retry_jitter=0.5, retry_seed=7)
+    assert [other._backoff(a) for a in range(1, 5)] != first
+    for attempt, backoff in enumerate(first, start=1):
+        base = 0.01 * 2 ** (attempt - 1)
+        assert base <= backoff <= base * 1.5          # bounded jitter
+    # Distinct runners de-correlate even with the default seed source.
+    assert any(a != b for a, b in zip(
+        [SweepRunner(retry_backoff=0.01, retry_jitter=0.5,
+                     retry_seed=1)._backoff(a) for a in range(1, 5)],
+        [SweepRunner(retry_backoff=0.01, retry_jitter=0.5,
+                     retry_seed=2)._backoff(a) for a in range(1, 5)],
+    ))
+
+
+def test_retry_jitter_defaults_off_and_validates():
+    runner = SweepRunner(retry_backoff=0.01)
+    assert [runner._backoff(a) for a in range(1, 4)] == [0.01, 0.02, 0.04]
+    with pytest.raises(ValueError):
+        SweepRunner(retry_jitter=-0.1)
+
+
+# ----------------------------------------------------------------------
+# The service loop, in-process
+# ----------------------------------------------------------------------
+async def _request(port, message):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write((json.dumps(message) + "\n").encode())
+    await writer.drain()
+    line = await reader.readline()
+    writer.close()
+    return json.loads(line)
+
+
+async def _drained(service):
+    service.request_drain()
+    await service._stopped.wait()
+
+
+def _config(cache_dir=None, **kwargs):
+    kwargs.setdefault("jobs", 1)
+    kwargs.setdefault("sim", TINY)
+    return ServiceConfig(cache_dir=cache_dir, **kwargs)
+
+
+def test_service_cold_then_warm_requests(tmp_path, capsys):
+    async def go():
+        service = SweepService(_config(cache_dir=tmp_path / "cache"))
+        await service.start()
+        message = {"op": "sweep", "client": "t",
+                   "points": [_wire_point(16), _wire_point(32)]}
+        cold = await _request(service.port, message)
+        warm = await _request(service.port, message)
+        pong = await _request(service.port, {"op": "ping"})
+        stats = await _request(service.port, {"op": "stats"})
+        await _drained(service)
+        return cold, warm, pong, stats
+
+    cold, warm, pong, stats = asyncio.run(go())
+    assert cold["status"] == warm["status"] == "ok"
+    assert cold["sourcing"]["executed"] == 2
+    assert warm["sourcing"]["executed"] == 0
+    assert warm["sourcing"]["disk_hits"] == 2
+    assert warm["sourcing"]["saved_seconds"] > 0
+    # The deterministic halves are identical between cold and warm runs.
+    assert cold["results"] == warm["results"]
+    assert pong == {"status": "ok", "pong": True}
+    payload = stats["stats"]
+    assert payload["points_executed"] == 2 and payload["points_disk"] == 2
+    assert payload["breaker"] == "closed" and payload["store_entries"] == 2
+    assert "drained: journal flushed" in capsys.readouterr().err
+
+
+def test_service_dedups_concurrent_identical_points():
+    async def go():
+        service = SweepService(_config())
+        await service.start()
+        message = {"op": "sweep",
+                   "points": [_wire_point(16), _wire_point(32)]}
+        a, b = await asyncio.gather(
+            _request(service.port, dict(message, client="a")),
+            _request(service.port, dict(message, client="b")),
+        )
+        await _drained(service)
+        return a, b
+
+    a, b = asyncio.run(go())
+    assert a["status"] == b["status"] == "ok"
+    executed = a["sourcing"]["executed"] + b["sourcing"]["executed"]
+    deduped = a["sourcing"]["deduped"] + b["sourcing"]["deduped"]
+    assert executed == 2 and deduped == 2             # each point ran once
+    assert a["results"] == b["results"]
+    assert sum(s["saved_seconds"] for s in
+               (a["sourcing"], b["sourcing"])) > 0
+
+
+def test_service_budget_degrades_overflow_to_analytic():
+    async def go():
+        service = SweepService(_config())
+        await service.start()
+        response = await _request(service.port, {
+            "op": "sweep", "client": "t", "budget": 1,
+            "points": [_wire_point(16), _wire_point(32), _wire_point(64)],
+        })
+        await _drained(service)
+        return response
+
+    response = asyncio.run(go())
+    assert response["status"] == "ok"
+    assert response["sourcing"]["executed"] == 1
+    assert response["sourcing"]["degraded"] == 2
+    degraded = [r for r in response["results"] if r["degraded"]]
+    assert len(degraded) == 2
+    assert all(r["kind"] == "analytic" and r["iteration_time"] > 0
+               for r in degraded)
+
+
+def test_service_rejects_over_budget_when_degradation_forbidden():
+    async def go():
+        service = SweepService(_config())
+        await service.start()
+        refused = await _request(service.port, {
+            "op": "sweep", "client": "t", "budget": 0, "degrade": False,
+            "points": [_wire_point(16)],
+        })
+        async_over = await _request(service.port, {
+            "op": "sweep", "client": "t", "budget": 0,
+            "points": [dict(_wire_point(16), mode="async")],
+        })
+        await _drained(service)
+        return refused, async_over
+
+    refused, async_over = asyncio.run(go())
+    assert refused["status"] == "rejected" and refused["reason"] == "budget"
+    # Async points cannot degrade, so the whole request is refused too.
+    assert async_over["status"] == "rejected"
+    assert async_over["reason"] == "budget"
+
+
+def test_service_rejects_while_draining_and_malformed_lines():
+    async def go():
+        service = SweepService(_config())
+        await service.start()
+        bad = await _request(service.port, {"op": "sweep", "points": "nope"})
+        garbage = await _request(service.port, {"op": "teleport"})
+        service.draining = True                       # drain announced
+        shed = await _request(service.port, {
+            "op": "sweep", "client": "late", "points": [_wire_point()],
+        })
+        service.draining = False
+        await _drained(service)
+        return bad, garbage, shed
+
+    bad, garbage, shed = asyncio.run(go())
+    assert bad["status"] == "error" and "points" in bad["error"]
+    assert garbage["status"] == "error"
+    assert shed["status"] == "rejected" and shed["reason"] == "draining"
+
+
+def test_service_quota_returns_busy_under_concurrent_pressure():
+    async def go():
+        service = SweepService(_config(max_inflight_per_client=1))
+        await service.start()
+        message = {"op": "sweep", "client": "greedy",
+                   "points": [_wire_point(16), _wire_point(32)]}
+        responses = await asyncio.gather(*(
+            _request(service.port, message) for _ in range(4)))
+        await _drained(service)
+        return responses
+
+    responses = asyncio.run(go())
+    statuses = sorted(r["status"] for r in responses)
+    assert "ok" in statuses and "busy" in statuses
+    for response in responses:
+        if response["status"] == "busy":
+            assert response["reason"] == "quota"
+
+
+# ----------------------------------------------------------------------
+# Per-request service stats in the obs JSONL exporter
+# ----------------------------------------------------------------------
+#: Fixed event stream behind the service JSONL golden file.
+SERVICE_GOLDEN_EVENTS = (
+    ServiceRequestEvent(client="ci-a", status="ok", points=4, executed=2,
+                        disk_hits=1, deduped=1, degraded=0, shed_reason="",
+                        elapsed=0.25),
+    ServiceRequestEvent(client="ci-b", status="ok", points=4, executed=0,
+                        disk_hits=2, deduped=0, degraded=2, shed_reason="",
+                        elapsed=0.0125),
+    ServiceRequestEvent(client="ci-b", status="busy", points=4, executed=0,
+                        disk_hits=0, deduped=0, degraded=0,
+                        shed_reason="quota", elapsed=0.0001),
+    ServiceRequestEvent(client="ci-c", status="rejected", points=2,
+                        executed=0, disk_hits=0, deduped=0, degraded=0,
+                        shed_reason="draining", elapsed=0.0002),
+)
+
+
+def test_service_jsonl_output_matches_golden():
+    buf = io.StringIO()
+    count = write_events_jsonl(SERVICE_GOLDEN_EVENTS, buf)
+    golden = (GOLDEN_DIR / "service_events.jsonl").read_text()
+    assert count == 4
+    assert buf.getvalue() == golden
+
+
+def test_service_request_events_are_json_clean():
+    for event in SERVICE_GOLDEN_EVENTS:
+        payload = event_to_dict(event)
+        assert payload["type"] == "ServiceRequestEvent"
+        json.dumps(payload)
+
+
+def test_service_publishes_request_events_on_its_bus():
+    bus = EventBus()
+    recorder = JsonlRecorder(bus)
+
+    async def go():
+        service = SweepService(_config(), bus=bus)
+        await service.start()
+        await _request(service.port, {
+            "op": "sweep", "client": "obs", "budget": 1,
+            "points": [_wire_point(16), _wire_point(32)],
+        })
+        service.draining = True
+        await _request(service.port, {
+            "op": "sweep", "client": "late", "points": [_wire_point()],
+        })
+        service.draining = False
+        await _drained(service)
+
+    asyncio.run(go())
+    events = [e for e in recorder.events
+              if isinstance(e, ServiceRequestEvent)]
+    assert len(events) == 2
+    ok, shed = events
+    assert ok.client == "obs" and ok.status == "ok"
+    assert ok.points == 2 and ok.executed == 1 and ok.degraded == 1
+    assert ok.shed_reason == "" and ok.elapsed > 0
+    assert shed.client == "late" and shed.status == "rejected"
+    assert shed.shed_reason == "draining"
